@@ -1,0 +1,68 @@
+// Ablation: extension design choices at 256^2 — out-painting stride (the
+// overlap/sample-count trade-off of the N_out formula) and in-painting
+// resample rounds (RePaint harmonisation).
+
+#include <chrono>
+
+#include "bench/common.h"
+#include "extension/planner.h"
+#include "metrics/metrics.h"
+
+using namespace cp;
+
+int main(int argc, char** argv) {
+  bench::Env env = bench::make_env(argc, argv, /*default_samples=*/8);
+  const long long n = env.samples;
+  const int size = 256;
+  const geometry::Coord phys = bench::physical_for(env, size);
+  util::Rng rng(env.seed + 7000);
+
+  std::printf("\n== Extension ablation (256^2, %lld samples per row, Layer-10001) ==\n\n", n);
+  std::printf("%-30s | %8s | %7s | %10s | %8s\n", "Configuration", "Legality", "Divers.",
+              "ModelCalls", "s/sample");
+  std::printf("%s\n", std::string(75, '-').c_str());
+
+  auto run = [&](const char* name, extension::Method method, int stride, int resample) {
+    long long legal = 0, calls = 0;
+    std::vector<squish::Topology> legal_topos;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long long i = 0; i < n; ++i) {
+      extension::ExtensionConfig ec;
+      ec.condition = 0;
+      ec.stride = stride;
+      ec.resample_rounds = resample;
+      const auto res =
+          extension::extend(env.chat->sampler(), method, squish::Topology(), size, size, ec, rng);
+      calls += res.model_calls;
+      const auto lr = env.legalizer(0).legalize(res.topology, phys, phys);
+      if (lr.ok()) {
+        ++legal;
+        legal_topos.push_back(res.topology);
+      }
+    }
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() /
+        static_cast<double>(n);
+    std::printf("%-30s | %7.2f%% | %7.3f | %10lld | %8.3f\n", name,
+                100.0 * static_cast<double>(legal) / static_cast<double>(n),
+                metrics::diversity(legal_topos), calls / n, sec);
+    bench::csv_row(env,
+                   util::format("ablation_extension,%s,%.4f,%.4f,%lld", name,
+                                100.0 * static_cast<double>(legal) / static_cast<double>(n),
+                                metrics::diversity(legal_topos), calls / n));
+  };
+
+  run("out, stride 32 (75% overlap)", extension::Method::kOutPainting, 32, 1);
+  run("out, stride 64 (default)", extension::Method::kOutPainting, 64, 1);
+  run("out, stride 96 (25% overlap)", extension::Method::kOutPainting, 96, 1);
+  run("out, stride 128 (no overlap)", extension::Method::kOutPainting, 128, 1);
+  run("in, 1 pass (default)", extension::Method::kInPainting, 64, 1);
+  run("in, 2 resample rounds", extension::Method::kInPainting, 64, 2);
+  run("in, 3 resample rounds", extension::Method::kInPainting, 64, 3);
+
+  std::printf(
+      "\nExpected: larger strides cost fewer model calls but weaken seam context\n"
+      "(stride 128 degenerates to concatenation-with-fresh-borders); extra RePaint\n"
+      "rounds harmonise seams at proportional cost.\n");
+  return 0;
+}

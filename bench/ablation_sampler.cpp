@@ -1,0 +1,155 @@
+// Ablation: design choices of the CPU sampling stack (DESIGN.md section 4 /
+// substitution S2). Compares, at 128^2:
+//   - cascade (coarse-to-fine) vs single-resolution sampling
+//   - sequential (Gibbs-style) vs factorized within-step sampling
+//   - mean-matching guidance on vs off
+//   - number of visited timesteps
+// Reported: legality, diversity, density gap to data, seconds per sample.
+
+#include <chrono>
+
+#include "bench/common.h"
+#include "core/selection.h"
+#include "metrics/metrics.h"
+
+using namespace cp;
+
+namespace {
+
+struct Row {
+  const char* name;
+  double legality_pct;
+  double diversity;
+  double density;
+  double sec_per_sample;
+};
+
+Row run_config(const bench::Env& env, const char* name,
+               const diffusion::TopologyGenerator& gen, int style, long long n,
+               util::Rng& rng) {
+  std::vector<squish::Topology> topos;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (long long i = 0; i < n; ++i) {
+    diffusion::SampleConfig sc;
+    sc.condition = style;
+    sc.sample_steps = 16;  // the CPU default; 0 would run the full K-step chain
+    topos.push_back(gen.sample(sc, rng));
+  }
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() /
+      static_cast<double>(n);
+  std::vector<squish::Topology> legal;
+  double density = 0.0;
+  const geometry::Coord phys = bench::physical_for(env, 128);
+  for (const auto& t : topos) {
+    density += t.density();
+    const auto res = env.legalizer(style).legalize(t, phys, phys);
+    if (res.ok()) legal.push_back(t);
+  }
+  return Row{name, 100.0 * static_cast<double>(legal.size()) / static_cast<double>(n),
+             metrics::diversity(legal), density / static_cast<double>(n), sec};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Env env = bench::make_env(argc, argv, /*default_samples=*/24);
+  const long long n = env.samples;
+  util::Rng rng(env.seed + 6000);
+
+  // Rebuild the denoisers so single-resolution variants can be constructed.
+  std::vector<std::vector<squish::Topology>> fine_data, coarse_data;
+  for (int s = 0; s < 2; ++s) {
+    fine_data.push_back(env.chat->training_set(s).topologies);
+    std::vector<squish::Topology> coarse;
+    for (const auto& t : fine_data.back()) coarse.push_back(squish::downsample_majority(t, 4));
+    coarse_data.push_back(std::move(coarse));
+  }
+  diffusion::TabularConfig tc;
+  tc.conditions = 2;
+  tc.draws_per_bucket = env.config.draws_per_bucket;
+  const auto fine = diffusion::fit_tabular(env.chat->schedule(), tc, fine_data, env.seed + 41);
+  const auto coarse =
+      diffusion::fit_tabular(env.chat->schedule(), tc, coarse_data, env.seed + 42);
+
+  std::printf("\n== Sampler ablation (128^2, %lld samples per row, style Layer-10001) ==\n\n",
+              n);
+  std::printf("%-34s | %8s | %7s | %7s | %8s\n", "Configuration", "Legality", "Divers.",
+              "Density", "s/sample");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  const double data_density = [&] {
+    double d = 0;
+    for (const auto& t : fine_data[0]) d += t.density();
+    return d / static_cast<double>(fine_data[0].size());
+  }();
+
+  std::vector<Row> rows;
+  {
+    diffusion::CascadeSampler cascade(env.chat->schedule(), coarse, fine,
+                                      diffusion::CascadeConfig{});
+    rows.push_back(run_config(env, "cascade (default)", cascade, 0, n, rng));
+  }
+  {
+    diffusion::CascadeConfig cc;
+    cc.refine_flip = 0.05;  // stochastic fine refinement enabled
+    diffusion::CascadeSampler cascade(env.chat->schedule(), coarse, fine, cc);
+    rows.push_back(run_config(env, "cascade + stochastic refine", cascade, 0, n, rng));
+  }
+  {
+    diffusion::CascadeConfig cc;
+    cc.polish_rounds = 0;
+    diffusion::CascadeSampler cascade(env.chat->schedule(), coarse, fine, cc);
+    rows.push_back(run_config(env, "cascade, no MAP polish", cascade, 0, n, rng));
+  }
+  {
+    diffusion::DiffusionSampler flat(env.chat->schedule(), fine, /*sequential=*/true);
+    rows.push_back(run_config(env, "single-res sequential", flat, 0, n, rng));
+  }
+  {
+    diffusion::DiffusionSampler flat(env.chat->schedule(), fine, /*sequential=*/false);
+    rows.push_back(run_config(env, "single-res factorized", flat, 0, n, rng));
+  }
+  {
+    diffusion::DiffusionSampler flat(env.chat->schedule(), fine, /*sequential=*/true);
+    flat.set_guidance(false);
+    rows.push_back(run_config(env, "single-res, no guidance", flat, 0, n, rng));
+  }
+
+  // Topology selection (the step the paper removes for fair comparison):
+  // cost of pushing legality to 100% with the default cascade.
+  {
+    diffusion::CascadeSampler cascade(env.chat->schedule(), coarse, fine,
+                                      diffusion::CascadeConfig{});
+    diffusion::SampleConfig sc;
+    sc.sample_steps = 16;
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::SelectionResult sel = core::select_legal(
+        cascade, env.legalizer(0), sc, bench::physical_for(env, 128),
+        bench::physical_for(env, 128), static_cast<int>(n), rng);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() /
+        static_cast<double>(n);
+    std::vector<squish::Topology> topos;
+    for (const auto& p : sel.patterns) topos.push_back(p.topology);
+    double dens = 0;
+    for (const auto& t : topos) dens += t.density();
+    rows.push_back(Row{"cascade + topology selection", 100.0, metrics::diversity(topos),
+                       topos.empty() ? 0.0 : dens / static_cast<double>(topos.size()), sec});
+    std::printf("(selection used %lld attempts for %lld kept patterns)\n", sel.attempts, n);
+  }
+
+  for (const Row& r : rows) {
+    std::printf("%-34s | %7.2f%% | %7.3f | %7.3f | %8.3f\n", r.name, r.legality_pct,
+                r.diversity, r.density, r.sec_per_sample);
+    bench::csv_row(env, util::format("ablation_sampler,%s,%.4f,%.4f,%.4f,%.5f", r.name,
+                                     r.legality_pct, r.diversity, r.density, r.sec_per_sample));
+  }
+  std::printf("\n(data density for reference: %.3f)\n", data_density);
+  std::printf(
+      "Expected: the cascade variants dominate single-resolution sampling on legality;\n"
+      "removing guidance collapses density toward the empty pattern; skipping the MAP\n"
+      "polish locks complexity to the coarse grid (diversity collapses); stochastic\n"
+      "refinement buys complexity diversity at a density-accuracy and runtime cost.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#pragma once
+// Shared setup and reporting helpers for the evaluation harness. Every bench
+// binary runs standalone with sensible defaults and accepts:
+//   --samples N   samples per table cell (default per bench)
+//   --seed S      global seed
+//   --train N     training clips per class
+//   --csv FILE    also append machine-readable rows to FILE
+//
+// Absolute numbers are sample-count limited on one CPU core (see DESIGN.md
+// S5); the orderings and gaps are what reproduces the paper.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/chatpattern.h"
+#include "dataset/style.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+namespace cp::bench {
+
+struct Env {
+  core::ChatPatternConfig config;
+  std::unique_ptr<core::ChatPattern> chat;
+  std::uint64_t seed = 1;
+  long long samples = 0;
+  std::string csv_path;
+
+  const legalize::Legalizer& legalizer(int style) const { return chat->legalizer(style); }
+};
+
+inline Env make_env(int argc, char** argv, long long default_samples) {
+  util::CliFlags flags(argc, argv);
+  Env env;
+  env.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  env.samples = flags.get_int("samples", default_samples);
+  env.csv_path = flags.get("csv", "");
+  env.config.seed = env.seed;
+  env.config.train_clips_per_class = static_cast<int>(flags.get_int("train", 160));
+  env.config.draws_per_bucket = static_cast<int>(flags.get_int("draws", 3));
+  std::printf("[setup] training backend (%d clips/class, seed %llu)...\n",
+              env.config.train_clips_per_class,
+              static_cast<unsigned long long>(env.seed));
+  std::fflush(stdout);
+  env.chat = std::make_unique<core::ChatPattern>(env.config);
+  return env;
+}
+
+inline void csv_row(const Env& env, const std::string& line) {
+  if (env.csv_path.empty()) return;
+  std::ofstream out(env.csv_path, std::ios::app);
+  out << line << "\n";
+}
+
+/// Print a Table-1-style row.
+inline void print_row(const char* task, const char* method, const char* training,
+                      const char* dataset, double legality_pct, double diversity,
+                      bool has_legality = true) {
+  if (has_legality) {
+    std::printf("%-10s | %-24s | %-17s | %-11s | %7.2f%% | %7.3f\n", task, method, training,
+                dataset, legality_pct, diversity);
+  } else {
+    std::printf("%-10s | %-24s | %-17s | %-11s |     /    | %7.3f\n", task, method, training,
+                dataset, diversity);
+  }
+}
+
+inline void print_header() {
+  std::printf("%-10s | %-24s | %-17s | %-11s | %8s | %7s\n", "Task", "Set/Method",
+              "Training Set", "Dataset", "Legality", "Divers.");
+  std::printf("%s\n", std::string(95, '-').c_str());
+}
+
+/// Per-style physical budget for a topology of the given size at the native
+/// 16 nm/cell scale.
+inline geometry::Coord physical_for(const Env& env, int topo_size) {
+  return static_cast<geometry::Coord>(topo_size) * env.chat->nm_per_cell();
+}
+
+}  // namespace cp::bench

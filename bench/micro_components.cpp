@@ -1,0 +1,165 @@
+// Micro-benchmarks (google-benchmark) for the substrate components:
+// squish/unsquish, normalisation, DRC checking, legalization, diffusion
+// reverse steps and full 128^2 sampling. Engineering numbers, not part of
+// the paper's tables.
+
+#include <benchmark/benchmark.h>
+
+#include "dataset/builder.h"
+#include "diffusion/cascade.h"
+#include "diffusion/trainer.h"
+#include "legalize/legalizer.h"
+#include "squish/normalize.h"
+
+namespace {
+
+using namespace cp;
+
+struct Fixture {
+  dataset::Dataset dataset;
+  std::vector<geometry::Rect> map;
+  diffusion::NoiseSchedule schedule{diffusion::ScheduleConfig{}};
+  std::unique_ptr<diffusion::TabularDenoiser> fine;
+  std::unique_ptr<diffusion::TabularDenoiser> coarse;
+  std::unique_ptr<diffusion::CascadeSampler> sampler;
+  legalize::Legalizer legalizer{drc::rules_for_style("Layer-10001")};
+
+  Fixture() {
+    dataset::DatasetConfig dc;
+    dc.style = 0;
+    dc.count = 64;
+    dc.seed = 5;
+    dataset = dataset::build_dataset(dc);
+    util::Rng rng(7);
+    map = dataset::generate_map(dataset::style_params(0), 8192, rng);
+
+    diffusion::TabularConfig tc;
+    tc.conditions = 1;
+    tc.draws_per_bucket = 2;
+    std::vector<squish::Topology> coarse_data;
+    for (const auto& t : dataset.topologies) {
+      coarse_data.push_back(squish::downsample_majority(t, 4));
+    }
+    fine = std::make_unique<diffusion::TabularDenoiser>(
+        diffusion::fit_tabular(schedule, tc, {dataset.topologies}, 9));
+    coarse = std::make_unique<diffusion::TabularDenoiser>(
+        diffusion::fit_tabular(schedule, tc, {coarse_data}, 10));
+    sampler = std::make_unique<diffusion::CascadeSampler>(schedule, *coarse, *fine,
+                                                          diffusion::CascadeConfig{});
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_Squish2048Window(benchmark::State& state) {
+  Fixture& f = fixture();
+  const geometry::Rect window{512, 512, 2560, 2560};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(squish::squish(f.map, window));
+  }
+}
+BENCHMARK(BM_Squish2048Window);
+
+void BM_Unsquish(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto pattern = squish::squish(f.map, geometry::Rect{512, 512, 2560, 2560});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(squish::unsquish(pattern));
+  }
+}
+BENCHMARK(BM_Unsquish);
+
+void BM_NormalizeTo128(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto pattern = squish::squish(f.map, geometry::Rect{512, 512, 2560, 2560});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(squish::normalize_to(pattern, 128));
+  }
+}
+BENCHMARK(BM_NormalizeTo128);
+
+void BM_DrcCheck128(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto res = f.legalizer.legalize(f.dataset.topologies[0], 2048, 2048);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drc::check(*res.pattern, f.legalizer.rules()));
+  }
+}
+BENCHMARK(BM_DrcCheck128);
+
+void BM_Legalize128(benchmark::State& state) {
+  Fixture& f = fixture();
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.legalizer.legalize(f.dataset.topologies[i++ % f.dataset.topologies.size()], 2048,
+                             2048));
+  }
+}
+BENCHMARK(BM_Legalize128);
+
+void BM_RequiredWidthDiagnostic(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.legalizer.required_width_nm(f.dataset.topologies[0]));
+  }
+}
+BENCHMARK(BM_RequiredWidthDiagnostic);
+
+void BM_TabularPredict128(benchmark::State& state) {
+  Fixture& f = fixture();
+  util::Rng rng(3);
+  const auto xk = diffusion::forward_noise(f.dataset.topologies[0], f.schedule, 30, rng);
+  diffusion::ProbGrid p0;
+  for (auto _ : state) {
+    f.fine->predict_x0(xk, 30, 0, p0);
+    benchmark::DoNotOptimize(p0);
+  }
+}
+BENCHMARK(BM_TabularPredict128);
+
+void BM_ReverseStepSequential128(benchmark::State& state) {
+  Fixture& f = fixture();
+  diffusion::DiffusionSampler s(f.schedule, *f.fine);
+  util::Rng rng(4);
+  const auto xk = diffusion::forward_noise(f.dataset.topologies[0], f.schedule, 30, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.reverse_step(xk, 30, 25, 0, rng));
+  }
+}
+BENCHMARK(BM_ReverseStepSequential128);
+
+void BM_CascadeSample128(benchmark::State& state) {
+  Fixture& f = fixture();
+  util::Rng rng(5);
+  diffusion::SampleConfig sc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sampler->sample(sc, rng));
+  }
+}
+BENCHMARK(BM_CascadeSample128);
+
+void BM_ForwardNoise128(benchmark::State& state) {
+  Fixture& f = fixture();
+  util::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        diffusion::forward_noise(f.dataset.topologies[0], f.schedule, 500, rng));
+  }
+}
+BENCHMARK(BM_ForwardNoise128);
+
+void BM_ComplexityMetric(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.dataset.topologies[0].complexity());
+  }
+}
+BENCHMARK(BM_ComplexityMetric);
+
+}  // namespace
+
+BENCHMARK_MAIN();

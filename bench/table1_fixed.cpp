@@ -1,0 +1,196 @@
+// Table 1 (upper block): fixed-size 128x128 pattern generation.
+//
+// Reproduces the Legality / Diversity comparison on Layer-10001, Layer-10003
+// and the combined set for: CAE+LegalGAN, VCAE+LegalGAN, LayouTransformer
+// (all trained on Layer-10001 only, as in the paper), DiffPattern (one
+// single-layer model per layer) and ChatPattern (one conditional model on
+// the union dataset), plus the Real Patterns reference row.
+
+#include "baselines/cae.h"
+#include "baselines/layoutransformer.h"
+#include "baselines/legalgan.h"
+#include "bench/common.h"
+#include "metrics/metrics.h"
+
+using namespace cp;
+
+namespace {
+
+struct CellResult {
+  double legality_pct = 0.0;
+  double diversity = 0.0;
+  int legal = 0;
+};
+
+CellResult evaluate(const bench::Env& env, const std::vector<squish::Topology>& topologies,
+                    int style) {
+  CellResult out;
+  std::vector<squish::Topology> legal;
+  const geometry::Coord phys = bench::physical_for(env, 128);
+  for (const auto& t : topologies) {
+    const auto res = env.legalizer(style).legalize(t, phys, phys);
+    if (res.ok() && drc::check(*res.pattern, env.legalizer(style).rules()).clean()) {
+      legal.push_back(t);
+    }
+  }
+  out.legal = static_cast<int>(legal.size());
+  out.legality_pct =
+      topologies.empty() ? 0.0 : 100.0 * static_cast<double>(legal.size()) / topologies.size();
+  out.diversity = metrics::diversity(legal);
+  return out;
+}
+
+/// Combined-set evaluation: legality over the union, diversity over all
+/// legal topologies together (the paper's "Total" column).
+CellResult evaluate_total(const bench::Env& env,
+                          const std::vector<squish::Topology>& layer0,
+                          const std::vector<squish::Topology>& layer1) {
+  CellResult out;
+  std::vector<squish::Topology> legal;
+  const geometry::Coord phys = bench::physical_for(env, 128);
+  long long total = 0;
+  for (int style = 0; style < 2; ++style) {
+    const auto& set = style == 0 ? layer0 : layer1;
+    total += static_cast<long long>(set.size());
+    for (const auto& t : set) {
+      const auto res = env.legalizer(style).legalize(t, phys, phys);
+      if (res.ok() && drc::check(*res.pattern, env.legalizer(style).rules()).clean()) {
+        legal.push_back(t);
+      }
+    }
+  }
+  out.legal = static_cast<int>(legal.size());
+  out.legality_pct = total == 0 ? 0.0 : 100.0 * static_cast<double>(legal.size()) / total;
+  out.diversity = metrics::diversity(legal);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Env env = bench::make_env(argc, argv, /*default_samples=*/80);
+  const int n = static_cast<int>(env.samples);
+  std::printf("\n== Table 1 (fixed-size 128^2), %d samples per cell ==\n\n", n);
+  bench::print_header();
+
+  // ---- Real Patterns reference ----
+  {
+    const auto& l0 = env.chat->training_set(0).topologies;
+    const auto& l1 = env.chat->training_set(1).topologies;
+    std::vector<squish::Topology> both = l0;
+    both.insert(both.end(), l1.begin(), l1.end());
+    bench::print_row("128^2", "Real Patterns", "/", "Layer-10001", 0,
+                     metrics::diversity(l0), false);
+    bench::print_row("128^2", "Real Patterns", "/", "Layer-10003", 0,
+                     metrics::diversity(l1), false);
+    bench::print_row("128^2", "Real Patterns", "/", "Total", 0, metrics::diversity(both),
+                     false);
+  }
+
+  util::Rng rng(env.seed + 1000);
+  const auto& train0 = env.chat->training_set(0).topologies;
+  const auto& train1 = env.chat->training_set(1).topologies;
+
+  // ---- CAE + LegalGAN (trained on Layer-10001) ----
+  {
+    baselines::CaeBaseline cae(128, 12, rng);
+    cae.train(train0, 2500, 1e-3f);
+    std::vector<squish::Topology> gen;
+    baselines::LegalGanConfig lg;
+    for (int i = 0; i < n; ++i) {
+      gen.push_back(baselines::legalgan_cleanup(cae.generate(rng, 0.05f), lg));
+    }
+    const CellResult r = evaluate(env, gen, 0);
+    bench::print_row("128^2", "CAE+LegalGAN", "Layer-10001", "Layer-10001", r.legality_pct,
+                     r.diversity);
+    bench::csv_row(env, util::format("fixed,cae,10001,%.4f,%.4f", r.legality_pct, r.diversity));
+  }
+
+  // ---- VCAE + LegalGAN (trained on Layer-10001) ----
+  {
+    baselines::VcaeBaseline vcae(128, 12, rng);
+    vcae.train(train0, 2500, 1e-3f);
+    vcae.fit_latent_distribution();
+    std::vector<squish::Topology> gen;
+    baselines::LegalGanConfig lg;
+    lg.min_run_cells = 3;  // the "LegalGAN" cleanup is stronger for VCAE,
+    lg.iterations = 3;     // whose free latent draws decode noisier patterns
+    for (int i = 0; i < n; ++i) {
+      gen.push_back(baselines::legalgan_cleanup(vcae.generate_variational(rng), lg));
+    }
+    const CellResult r = evaluate(env, gen, 0);
+    bench::print_row("128^2", "VCAE+LegalGAN", "Layer-10001", "Layer-10001", r.legality_pct,
+                     r.diversity);
+    bench::csv_row(env, util::format("fixed,vcae,10001,%.4f,%.4f", r.legality_pct, r.diversity));
+  }
+
+  // ---- LayouTransformer (trained on Layer-10001) ----
+  {
+    baselines::LayoutTransformerBaseline lt;
+    lt.fit(train0);
+    std::vector<squish::Topology> gen;
+    for (int i = 0; i < n; ++i) gen.push_back(lt.generate(128, 128, rng));
+    const CellResult r = evaluate(env, gen, 0);
+    bench::print_row("128^2", "LayouTransformer", "Layer-10001", "Layer-10001", r.legality_pct,
+                     r.diversity);
+    bench::csv_row(env, util::format("fixed,layoutransformer,10001,%.4f,%.4f", r.legality_pct,
+                                     r.diversity));
+  }
+
+  // ---- DiffPattern: one single-layer diffusion model per layer ----
+  {
+    std::vector<std::vector<squish::Topology>> per_layer_gen(2);
+    for (int style = 0; style < 2; ++style) {
+      const auto& data = style == 0 ? train0 : train1;
+      diffusion::TabularConfig tc;
+      tc.conditions = 1;
+      tc.draws_per_bucket = env.config.draws_per_bucket;
+      std::vector<squish::Topology> coarse;
+      for (const auto& t : data) coarse.push_back(squish::downsample_majority(t, 4));
+      const auto fine = diffusion::fit_tabular(env.chat->schedule(), tc, {data}, env.seed + 21);
+      const auto coarse_den =
+          diffusion::fit_tabular(env.chat->schedule(), tc, {coarse}, env.seed + 22);
+      diffusion::CascadeSampler sampler(env.chat->schedule(), coarse_den, fine,
+                                        diffusion::CascadeConfig{});
+      diffusion::SampleConfig sc;
+      for (int i = 0; i < n; ++i) per_layer_gen[style].push_back(sampler.sample(sc, rng));
+    }
+    const CellResult r0 = evaluate(env, per_layer_gen[0], 0);
+    const CellResult r1 = evaluate(env, per_layer_gen[1], 1);
+    const CellResult rt = evaluate_total(env, per_layer_gen[0], per_layer_gen[1]);
+    bench::print_row("128^2", "DiffPattern", "Layer-10001", "Layer-10001", r0.legality_pct,
+                     r0.diversity);
+    bench::print_row("128^2", "DiffPattern", "Layer-10003", "Layer-10003", r1.legality_pct,
+                     r1.diversity);
+    bench::print_row("128^2", "DiffPattern", "per-layer", "Total", rt.legality_pct,
+                     rt.diversity);
+    bench::csv_row(env, util::format("fixed,diffpattern,total,%.4f,%.4f", rt.legality_pct,
+                                     rt.diversity));
+  }
+
+  // ---- ChatPattern: conditional model on the union dataset ----
+  {
+    std::vector<std::vector<squish::Topology>> gen(2);
+    for (int style = 0; style < 2; ++style) {
+      diffusion::SampleConfig sc;
+      sc.condition = style;
+      for (int i = 0; i < n; ++i) gen[style].push_back(env.chat->sampler().sample(sc, rng));
+    }
+    const CellResult r0 = evaluate(env, gen[0], 0);
+    const CellResult r1 = evaluate(env, gen[1], 1);
+    const CellResult rt = evaluate_total(env, gen[0], gen[1]);
+    bench::print_row("128^2", "ChatPattern", "union (cond.)", "Layer-10001", r0.legality_pct,
+                     r0.diversity);
+    bench::print_row("128^2", "ChatPattern", "union (cond.)", "Layer-10003", r1.legality_pct,
+                     r1.diversity);
+    bench::print_row("128^2", "ChatPattern", "union (cond.)", "Total", rt.legality_pct,
+                     rt.diversity);
+    bench::csv_row(env, util::format("fixed,chatpattern,total,%.4f,%.4f", rt.legality_pct,
+                                     rt.diversity));
+  }
+
+  std::printf(
+      "\nExpected shape (paper): CAE << VCAE < LayouTransformer < DiffPattern <= ChatPattern\n"
+      "in legality, with ChatPattern ~matching DiffPattern per layer and winning on Total.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Scenario: Section 4.2's "Unseen Mistake-processing" as a runnable demo.
+// A topology with a pathological region is planted in the pattern store;
+// legalization fails twice; the agent reads the failure log, in-paints the
+// reported region with the same style and retries — the exact transcript
+// shape the paper shows.
+//
+//   build/examples/mistake_recovery [--seed S]
+
+#include <cstdio>
+
+#include "core/chatpattern.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  cp::util::CliFlags flags(argc, argv);
+  cp::core::ChatPatternConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 4));
+  cp::core::ChatPattern chat(config);
+
+  // Sample a healthy Layer-10001 topology, then vandalise a region with a
+  // checkerboard — locally far denser than any legal layout.
+  cp::util::Rng rng(config.seed + 7);
+  cp::diffusion::SampleConfig sc;
+  sc.condition = 0;
+  cp::squish::Topology topo = chat.sampler().sample(sc, rng);
+  for (int r = 40; r < 80; ++r) {
+    for (int c = 40; c < 80; ++c) topo.set(r, c, (r + c) % 2);
+  }
+  const std::string id = chat.store().put_topology(topo);
+  std::printf("planted defective topology %s (checkerboard in rows/cols 40..80)\n\n",
+              id.c_str());
+
+  const long long phys = 2048;
+  cp::util::Json legalize;
+  legalize["topology_id"] = id;
+  legalize["width_nm"] = phys;
+  legalize["height_nm"] = phys;
+  legalize["style"] = "Layer-10001";
+
+  std::string current = id;
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    cp::util::Json args = legalize;
+    args["topology_id"] = current;
+    const cp::agent::ToolResult res = chat.tools().call("topology_legalization", args);
+    if (res.ok) {
+      std::printf("Attempt %d: legalization succeeded -> %s\n", attempt,
+                  res.payload.get_string("pattern_id", "").c_str());
+      return 0;
+    }
+    std::printf("Attempt %d: %s\n", attempt, res.payload.get_string("log", "").c_str());
+    const cp::util::Json& region = res.payload.at("region");
+
+    // The paper's transcript, verbatim in shape:
+    std::printf(
+        "\nThought: Since legalization has failed %s in the same region, I will try to "
+        "in-paint that specific area with the same style and then attempt legalization "
+        "again.\n",
+        attempt >= 2 ? "twice" : "once");
+    cp::util::Json mod;
+    mod["topology_id"] = current;
+    mod["upper"] = region.get_int("upper", 0);
+    mod["left"] = region.get_int("left", 0);
+    mod["bottom"] = region.get_int("bottom", 128);
+    mod["right"] = region.get_int("right", 128);
+    mod["style"] = "Layer-10001";
+    mod["seed"] = 42 + attempt;
+    std::printf("Action: Topology_Modification\nAction Input: %s\n\n", mod.dump().c_str());
+    const cp::agent::ToolResult repaired = chat.tools().call("topology_modification", mod);
+    if (!repaired.ok) {
+      std::printf("modification failed: %s\n", repaired.payload.get_string("error", "").c_str());
+      return 1;
+    }
+    current = repaired.payload.get_string("topology_id", "");
+    std::printf("%% Continue Processing (new topology %s)\n\n", current.c_str());
+  }
+  std::printf("recovery did not converge within 4 attempts\n");
+  return 1;
+}

@@ -1,0 +1,106 @@
+#include "agent/chat_session.h"
+
+#include "util/strings.h"
+
+namespace cp::agent {
+
+long long SessionReport::total_produced() const {
+  long long n = 0;
+  for (const SubtaskReport& s : subtasks) n += s.execution.stats.produced;
+  return n;
+}
+
+long long SessionReport::total_requested() const {
+  long long n = 0;
+  for (const SubtaskReport& s : subtasks) n += s.execution.stats.requested;
+  return n;
+}
+
+ChatSession::ChatSession(const ToolRegistry* tools, std::unique_ptr<AgentBrain> brain,
+                         PatternStore* store, ExperienceStore* experience, int window)
+    : tools_(tools),
+      brain_(std::move(brain)),
+      store_(store),
+      experience_(experience),
+      documents_(make_default_documents()),
+      window_(window) {}
+
+SessionReport ChatSession::handle(const std::string& user_request) {
+  SessionReport report;
+  std::string& t = report.transcript;
+  t += "User Request:\n  " + user_request + "\n\n";
+
+  // Requirement auto-formatting.
+  std::vector<std::string> notes;
+  std::vector<RequirementList> subtasks = brain_->format_requirements(user_request, &notes);
+  t += util::format("[%s] Requirement Auto-Formatting -> %zu sub-task(s)\n", brain_->name(),
+                    subtasks.size());
+  for (const std::string& n : notes) t += "  note: " + n + "\n";
+  t += "\n";
+
+  // Conversational follow-up: "N more of those", "do that again", ... — the
+  // request carries no full specification but refers to the previous one.
+  if (subtasks.empty() && !last_requirements_.empty()) {
+    const std::string lower = util::to_lower(user_request);
+    const bool follow_up = lower.find("more") != std::string::npos ||
+                           lower.find("again") != std::string::npos ||
+                           lower.find("another") != std::string::npos ||
+                           lower.find("same") != std::string::npos;
+    if (follow_up) {
+      long long count = 0;
+      for (const std::string& tok : util::split_ws(lower)) {
+        if (auto q = util::parse_quantity(tok); q && *q > 0) count = *q;
+      }
+      subtasks = last_requirements_;
+      ++follow_up_salt_;
+      for (RequirementList& req : subtasks) {
+        if (count > 0) req.count = count;
+        // Fresh seeds so the follow-up batch is new material.
+        req.seed = (req.seed != 0 ? req.seed : 0x5eedULL) + follow_up_salt_ * 7919ULL;
+      }
+      t += util::format("Follow-up detected: repeating the previous %zu sub-task(s)%s.\n\n",
+                        subtasks.size(),
+                        count > 0 ? util::format(" with count %lld", count).c_str() : "");
+    }
+  }
+
+  int index = 0;
+  for (const RequirementList& req : subtasks) {
+    ++index;
+    SubtaskReport sub;
+    sub.requirement = req;
+    t += req.to_text(index) + "\n";
+
+    const std::string problem = validate(req);
+    if (!problem.empty()) {
+      t += "  !! rejected: " + problem + "\n\n";
+      report.subtasks.push_back(std::move(sub));
+      continue;
+    }
+
+    // Task planning.
+    sub.plan = plan_tasks(req, window_, window_ / 2, experience_);
+    t += "Task Plan:\n" + sub.plan.to_text() + "\n";
+
+    // Execution.
+    Executor executor(tools_, brain_.get(), store_, experience_, window_);
+    sub.execution = executor.run(req);
+    for (const std::string& line : sub.execution.transcript) t += line + "\n";
+    const ExecutionStats& st = sub.execution.stats;
+    t += util::format(
+        "Sub-task %d summary: %lld/%lld produced, %lld dropped, %lld regenerations, "
+        "%lld modifications, %lld tool calls, %.2f s%s\n\n",
+        index, st.produced, st.requested, st.dropped, st.regenerations, st.modifications,
+        st.tool_calls, st.elapsed_s, st.time_limit_hit ? " (time limit hit)" : "");
+    report.subtasks.push_back(std::move(sub));
+  }
+
+  if (subtasks.empty()) {
+    t += "No actionable sub-task found in the request; nothing to do.\n";
+  } else {
+    last_requirements_ = subtasks;
+  }
+  return report;
+}
+
+}  // namespace cp::agent

@@ -1,0 +1,57 @@
+#pragma once
+// The conversational front door of ChatPattern (Figure 1 / Figure 4): a
+// session takes a natural-language request, has the brain auto-format it
+// into requirement lists, displays the task plan, executes every sub-task
+// through the tool registry, and returns both the produced pattern ids and
+// a full human-readable transcript.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/executor.h"
+#include "agent/planner.h"
+
+namespace cp::agent {
+
+struct SubtaskReport {
+  RequirementList requirement;
+  TaskPlan plan;
+  ExecutionResult execution;
+};
+
+struct SessionReport {
+  std::vector<SubtaskReport> subtasks;
+  std::string transcript;  // the full rendered conversation
+
+  long long total_produced() const;
+  long long total_requested() const;
+};
+
+class ChatSession {
+ public:
+  /// Non-owning tool registry/store; owning brain. `experience` may be null.
+  ChatSession(const ToolRegistry* tools, std::unique_ptr<AgentBrain> brain, PatternStore* store,
+              ExperienceStore* experience, int window = 128);
+
+  /// Process one user request end to end.
+  SessionReport handle(const std::string& user_request);
+
+  ExperienceStore* experience() { return experience_; }
+  const DocumentStore& documents() const { return documents_; }
+
+  /// Requirements of the most recent successful request (follow-up context).
+  const std::vector<RequirementList>& last_requirements() const { return last_requirements_; }
+
+ private:
+  const ToolRegistry* tools_;
+  std::unique_ptr<AgentBrain> brain_;
+  PatternStore* store_;
+  ExperienceStore* experience_;
+  DocumentStore documents_;
+  int window_;
+  std::vector<RequirementList> last_requirements_;
+  std::uint64_t follow_up_salt_ = 0;
+};
+
+}  // namespace cp::agent

@@ -1,0 +1,162 @@
+#include "agent/executor.h"
+
+#include <cctype>
+#include <chrono>
+
+#include "util/strings.h"
+
+namespace cp::agent {
+
+namespace {
+
+std::string pretty_action(const std::string& tool) {
+  // Render registry names in the paper's transcript style
+  // ("topology_modification" -> "Topology_Modification").
+  std::string out = tool;
+  bool upper_next = true;
+  for (char& c : out) {
+    if (c == '_') {
+      upper_next = true;
+    } else if (upper_next) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      upper_next = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ExecutionResult Executor::run(const RequirementList& requirement) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  ExecutionResult result;
+  result.stats.requested = requirement.count;
+  const std::uint64_t base_seed = requirement.seed != 0 ? requirement.seed : 0x9e3779b9ULL;
+  // The extension method actually used, for experience accounting.
+  const bool fits = requirement.topo_rows <= window_ && requirement.topo_cols <= window_;
+  const int target = std::max(requirement.topo_rows, requirement.topo_cols);
+
+  for (long long item = 0; item < requirement.count; ++item) {
+    if (requirement.time_limit_s > 0.0 && elapsed() > requirement.time_limit_s) {
+      result.stats.time_limit_hit = true;
+      result.transcript.push_back(util::format(
+          "%% Time limit reached after %lld/%lld patterns; stopping early.", item,
+          requirement.count));
+      break;
+    }
+    AgentContext ctx;
+    ctx.requirement = requirement;
+    ctx.window = window_;
+    // Keep per-item seeds in 31 bits: they travel through JSON tool
+    // arguments, whose numbers are doubles.
+    ctx.item_seed =
+        (base_seed + static_cast<std::uint64_t>(item) * 1000003ULL) & 0x7fffffffULL;
+    ctx.experience = experience_;
+    std::string used_method;  // "Out"/"In" when extension was used
+
+    bool item_done = false;
+    for (int step = 0; step < max_steps_per_item_ && !item_done; ++step) {
+      const AgentAction action = brain_->decide(ctx);
+      result.transcript.push_back("Thought: " + action.thought);
+
+      if (action.action == "drop") {
+        result.transcript.push_back("Action: Drop_Topology");
+        ++result.stats.dropped;
+        if (!ctx.current_topology_id.empty()) store_->erase_topology(ctx.current_topology_id);
+        if (experience_ != nullptr && !used_method.empty()) {
+          experience_->record(used_method, requirement.style, target, false);
+        }
+        item_done = true;
+        continue;
+      }
+      if (action.action == "give_up") {
+        result.transcript.push_back("Action: Give_Up");
+        ++result.stats.gave_up;
+        item_done = true;
+        continue;
+      }
+      if (action.action == "regenerate") {
+        result.transcript.push_back("Action: Regenerate (new initial state)");
+        ++result.stats.regenerations;
+        ++ctx.regenerations;
+        if (!ctx.current_topology_id.empty()) store_->erase_topology(ctx.current_topology_id);
+        ctx.current_topology_id.clear();
+        ctx.last_error_log.clear();
+        ctx.last_error_region = util::Json();
+        continue;
+      }
+
+      // A real tool call.
+      result.transcript.push_back("Action: " + pretty_action(action.action));
+      result.transcript.push_back("Action Input: " + action.input.dump());
+      const ToolResult tr = tools_->call(action.action, action.input);
+      ++result.stats.tool_calls;
+      result.transcript.push_back("Observation: " + tr.payload.dump());
+
+      if (action.action == "topology_generation" || action.action == "topology_extension") {
+        if (tr.ok) {
+          ctx.current_topology_id = tr.payload.get_string("topology_id", "");
+          ctx.last_error_log.clear();
+          ctx.last_error_region = util::Json();
+          if (action.action == "topology_extension") {
+            used_method =
+                util::to_lower(tr.payload.get_string("method", "Out")) == "in-painting" ? "In"
+                                                                                        : "Out";
+          }
+        } else {
+          ctx.last_error_log = tr.payload.get_string("error", "generation failed");
+        }
+        continue;
+      }
+      if (action.action == "topology_modification") {
+        ++result.stats.modifications;
+        ++ctx.modifications;
+        if (tr.ok) {
+          if (!ctx.current_topology_id.empty()) store_->erase_topology(ctx.current_topology_id);
+          ctx.current_topology_id = tr.payload.get_string("topology_id", "");
+          ctx.last_error_log.clear();
+          ctx.last_error_region = util::Json();
+        } else {
+          ctx.last_error_log = tr.payload.get_string("error", "modification failed");
+        }
+        continue;
+      }
+      if (action.action == "topology_legalization") {
+        if (tr.ok) {
+          result.pattern_ids.push_back(tr.payload.get_string("pattern_id", ""));
+          ++result.stats.produced;
+          if (experience_ != nullptr && !used_method.empty()) {
+            experience_->record(used_method, requirement.style, target, true);
+          }
+          item_done = true;
+        } else {
+          ++result.stats.legalization_failures;
+          ++ctx.legalization_failures;
+          ctx.last_error_log = tr.payload.get_string("log", "legalization failed");
+          ctx.last_error_region =
+              tr.payload.contains("region") ? tr.payload.at("region") : util::Json();
+        }
+        continue;
+      }
+      // Unknown action from the brain: surface it and stop this item.
+      result.transcript.push_back(util::format(
+          "%% Executor: unknown action '%s'; abandoning this item.", action.action.c_str()));
+      ++result.stats.gave_up;
+      item_done = true;
+    }
+    if (!item_done) {
+      result.transcript.push_back("% Executor: step budget exhausted for this item.");
+      ++result.stats.gave_up;
+      (void)fits;
+    }
+  }
+  result.stats.elapsed_s = elapsed();
+  return result;
+}
+
+}  // namespace cp::agent

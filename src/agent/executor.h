@@ -1,0 +1,61 @@
+#pragma once
+// Task execution (Section 3.1, "Task Planning and Execution").
+//
+// The Executor owns the agent's ReAct loop: for every requested pattern it
+// repeatedly asks the brain for the next action, invokes the corresponding
+// tool, and feeds the observation (including legalization failure logs and
+// regions) back into the context. This is where the paper's
+// feedback-driven recovery lives: the executor itself has no repair policy —
+// it faithfully executes whatever the brain decides, records outcomes into
+// the experience store, and keeps a full Thought/Action/Action-Input/
+// Observation transcript.
+
+#include <string>
+#include <vector>
+
+#include "agent/llm_client.h"
+#include "agent/tools.h"
+
+namespace cp::agent {
+
+struct ExecutionStats {
+  long long requested = 0;
+  long long produced = 0;   // legal patterns delivered
+  long long dropped = 0;
+  long long gave_up = 0;
+  long long regenerations = 0;
+  long long modifications = 0;
+  long long tool_calls = 0;
+  long long legalization_failures = 0;
+  double elapsed_s = 0.0;
+  bool time_limit_hit = false;
+};
+
+struct ExecutionResult {
+  std::vector<std::string> pattern_ids;  // ids of delivered legal patterns
+  ExecutionStats stats;
+  std::vector<std::string> transcript;   // ReAct log lines
+};
+
+class Executor {
+ public:
+  Executor(const ToolRegistry* tools, AgentBrain* brain, PatternStore* store,
+           ExperienceStore* experience, int window = 128)
+      : tools_(tools), brain_(brain), store_(store), experience_(experience), window_(window) {}
+
+  /// Run one requirement list to completion (or its time limit).
+  ExecutionResult run(const RequirementList& requirement);
+
+  /// Cap on brain decisions per item, guarding against policy loops.
+  void set_max_steps_per_item(int n) { max_steps_per_item_ = n; }
+
+ private:
+  const ToolRegistry* tools_;
+  AgentBrain* brain_;
+  PatternStore* store_;
+  ExperienceStore* experience_;
+  int window_;
+  int max_steps_per_item_ = 24;
+};
+
+}  // namespace cp::agent

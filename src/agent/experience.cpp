@@ -1,0 +1,117 @@
+#include "agent/experience.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cp::agent {
+
+const std::string& DocumentStore::get(const std::string& name) const {
+  auto it = docs_.find(name);
+  if (it == docs_.end()) throw std::out_of_range("DocumentStore: no document " + name);
+  return it->second;
+}
+
+std::vector<std::string> DocumentStore::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, text] : docs_) out.push_back(name);
+  return out;
+}
+
+DocumentStore make_default_documents() {
+  DocumentStore docs;
+  docs.add("pipeline",
+           "Standard operating pipeline for a pattern-library request:\n"
+           "1. Auto-format the request into one requirement list per sub-task.\n"
+           "2. For each sub-task: if the target topology fits the model window,\n"
+           "   call topology_generation; otherwise call topology_extension\n"
+           "   (choose the method from experience; the default is Out).\n"
+           "3. Call topology_legalization with the target physical size.\n"
+           "4. If legalization fails, prefer topology_modification on the\n"
+           "   reported region over regeneration for large topologies; retry\n"
+           "   with a new seed for small ones; drop only when allowed.\n");
+  docs.add("extension_notes",
+           "Statistical insight from past extension runs (cf. Figure 10):\n"
+           "out-painting typically yields better legality, while in-painting\n"
+           "excels in diversity under certain conditions. Prefer Out when the\n"
+           "request does not pin a method.\n");
+  docs.add("design_rules",
+           "Design rules are style-specific (space/width/area/pitch); see\n"
+           "drc::rules_for_style. Legalization failures report the offending\n"
+           "cell region so it can be repaired in place.\n");
+  return docs;
+}
+
+int ExperienceStore::bucket_of(int target_size) {
+  int bucket = 128;
+  while (bucket < target_size && bucket < (1 << 20)) bucket *= 2;
+  return bucket;
+}
+
+namespace {
+std::string key_of(const std::string& method, const std::string& style, int bucket) {
+  return method + "|" + style + "|" + std::to_string(bucket);
+}
+}  // namespace
+
+void ExperienceStore::record(const std::string& method, const std::string& style,
+                             int target_size, bool success) {
+  ExperienceEntry& e = entries_[key_of(method, style, bucket_of(target_size))];
+  ++e.attempts;
+  if (success) ++e.successes;
+}
+
+void ExperienceStore::record_diversity(const std::string& method, const std::string& style,
+                                       int target_size, double diversity) {
+  ExperienceEntry& e = entries_[key_of(method, style, bucket_of(target_size))];
+  e.diversity_sum += diversity;
+  ++e.diversity_count;
+}
+
+const ExperienceEntry& ExperienceStore::entry(const std::string& method,
+                                              const std::string& style, int target_size) const {
+  static const ExperienceEntry kEmpty;
+  auto it = entries_.find(key_of(method, style, bucket_of(target_size)));
+  return it == entries_.end() ? kEmpty : it->second;
+}
+
+double ExperienceStore::success_rate(const std::string& method, const std::string& style,
+                                     int target_size) const {
+  const ExperienceEntry& e = entry(method, style, target_size);
+  return (static_cast<double>(e.successes) + 1.0) / (static_cast<double>(e.attempts) + 2.0);
+}
+
+std::string ExperienceStore::best_method(const std::string& style, int target_size) const {
+  const double out_rate = success_rate("Out", style, target_size);
+  const double in_rate = success_rate("In", style, target_size);
+  // Documented default is Out; require strict evidence to switch.
+  return in_rate > out_rate ? "In" : "Out";
+}
+
+util::Json ExperienceStore::to_json() const {
+  util::JsonObject obj;
+  for (const auto& [key, e] : entries_) {
+    util::Json j;
+    j["attempts"] = e.attempts;
+    j["successes"] = e.successes;
+    j["diversity_sum"] = e.diversity_sum;
+    j["diversity_count"] = e.diversity_count;
+    obj[key] = std::move(j);
+  }
+  return util::Json(std::move(obj));
+}
+
+ExperienceStore ExperienceStore::from_json(const util::Json& j) {
+  ExperienceStore store;
+  for (const auto& [key, value] : j.as_object()) {
+    ExperienceEntry e;
+    e.attempts = value.get_int("attempts", 0);
+    e.successes = value.get_int("successes", 0);
+    e.diversity_sum = value.get_number("diversity_sum", 0.0);
+    e.diversity_count = value.get_int("diversity_count", 0);
+    store.entries_[key] = e;
+  }
+  return store;
+}
+
+}  // namespace cp::agent

@@ -1,0 +1,81 @@
+#pragma once
+// "Learning from Documents and Experience" (Section 3.1).
+//
+// The DocumentStore holds the high-level knowledge the agent is initialised
+// with (the standard operating pipeline, design-rule summaries, tool
+// documentation). The ExperienceStore accumulates per-(method, style,
+// size-bucket) outcome statistics of past runs — the statistical data behind
+// Figure 10 — and answers the algorithm-selection query ("which extension
+// method for this style and size?") that the paper's agent makes before
+// planning. Both serialise to JSON so a library builder's experience
+// persists across sessions.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace cp::agent {
+
+class DocumentStore {
+ public:
+  void add(const std::string& name, const std::string& text) { docs_[name] = text; }
+  bool has(const std::string& name) const { return docs_.count(name) > 0; }
+  const std::string& get(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::string> docs_;
+};
+
+/// Built-in documents every fresh agent starts with.
+DocumentStore make_default_documents();
+
+struct ExperienceEntry {
+  long long attempts = 0;
+  long long successes = 0;
+  double diversity_sum = 0.0;
+  long long diversity_count = 0;
+
+  double success_rate() const {
+    return attempts == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(attempts);
+  }
+  double mean_diversity() const {
+    return diversity_count == 0 ? 0.0 : diversity_sum / static_cast<double>(diversity_count);
+  }
+};
+
+class ExperienceStore {
+ public:
+  /// Record one attempt of `method` ("Out"/"In"/"Direct") for a style at a
+  /// target size (max dimension, bucketed to powers of two internally).
+  void record(const std::string& method, const std::string& style, int target_size,
+              bool success);
+  void record_diversity(const std::string& method, const std::string& style, int target_size,
+                        double diversity);
+
+  const ExperienceEntry& entry(const std::string& method, const std::string& style,
+                               int target_size) const;
+
+  /// Best extension method by observed success rate; falls back to the
+  /// documented default ("Out") when there is no or tied evidence.
+  std::string best_method(const std::string& style, int target_size) const;
+
+  /// Laplace-smoothed success-rate estimate (prior 0.5 with weight 2).
+  double success_rate(const std::string& method, const std::string& style,
+                      int target_size) const;
+
+  util::Json to_json() const;
+  static ExperienceStore from_json(const util::Json& j);
+
+  std::size_t size() const { return entries_.size(); }
+
+  static int bucket_of(int target_size);
+
+ private:
+  // key: method|style|bucket
+  std::map<std::string, ExperienceEntry> entries_;
+};
+
+}  // namespace cp::agent

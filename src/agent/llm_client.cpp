@@ -1,0 +1,124 @@
+#include "agent/llm_client.h"
+
+#include "agent/nl_parser.h"
+#include "util/strings.h"
+
+namespace cp::agent {
+
+std::vector<RequirementList> ScriptedBrain::format_requirements(const std::string& request,
+                                                                std::vector<std::string>* notes) {
+  ParsedRequest parsed = parse_request(request);
+  if (notes != nullptr) *notes = parsed.notes;
+  return parsed.subtasks;
+}
+
+AgentAction ScriptedBrain::decide(const AgentContext& ctx) {
+  const RequirementList& req = ctx.requirement;
+  const bool fits_window = req.topo_rows <= ctx.window && req.topo_cols <= ctx.window;
+  AgentAction act;
+
+  // No topology yet for this item: produce one.
+  if (ctx.current_topology_id.empty()) {
+    if (fits_window) {
+      act.thought = util::format(
+          "The target topology %dx%d fits the model window %d, so I can sample it directly "
+          "with the conditional diffusion model.",
+          req.topo_rows, req.topo_cols, ctx.window);
+      act.action = "topology_generation";
+      act.input["style"] = req.style;
+      act.input["rows"] = req.topo_rows;
+      act.input["cols"] = req.topo_cols;
+      act.input["steps"] = req.sample_steps;
+      act.input["seed"] = static_cast<long long>(
+          (ctx.item_seed + ctx.regenerations * 7919ULL) & 0x7fffffffULL);
+      return act;
+    }
+    std::string method = req.extension_method;
+    const int target = std::max(req.topo_rows, req.topo_cols);
+    if (util::to_lower(method) == "out" && ctx.experience != nullptr) {
+      // "Out" is the documented default; consult experience before keeping it.
+      method = ctx.experience->best_method(req.style, target);
+    }
+    act.thought = util::format(
+        "The target %dx%d exceeds the window %d; I will grow it with %s-painting "
+        "(selected from the extension documentation and past experience).",
+        req.topo_rows, req.topo_cols, ctx.window, util::to_lower(method) == "in" ? "in" : "out");
+    act.action = "topology_extension";
+    act.input["style"] = req.style;
+    act.input["target_rows"] = req.topo_rows;
+    act.input["target_cols"] = req.topo_cols;
+    act.input["method"] = method;
+    act.input["steps"] = req.sample_steps;
+    act.input["seed"] =
+        static_cast<long long>((ctx.item_seed + ctx.regenerations * 7919ULL) & 0x7fffffffULL);
+    return act;
+  }
+
+  // We have a topology and no outstanding failure: legalize it.
+  if (ctx.last_error_log.empty()) {
+    act.thought = util::format(
+        "Topology %s is ready; legalizing it to %lld x %lld nm under the %s design rules.",
+        ctx.current_topology_id.c_str(), static_cast<long long>(req.phys_w_nm),
+        static_cast<long long>(req.phys_h_nm), req.style.c_str());
+    act.action = "topology_legalization";
+    act.input["topology_id"] = ctx.current_topology_id;
+    act.input["width_nm"] = static_cast<long long>(req.phys_w_nm);
+    act.input["height_nm"] = static_cast<long long>(req.phys_h_nm);
+    act.input["style"] = req.style;
+    return act;
+  }
+
+  // Legalization failed. Recovery ladder.
+  const bool have_region = ctx.last_error_region.is_object();
+  // For large topologies regeneration wastes all extension work, so repair
+  // is preferred (when the policy says so); for window-sized ones a fresh
+  // seed is cheaper than repair and is tried first.
+  const bool prefer_repair = !fits_window && policy_.prefer_modification_for_large;
+
+  if (!prefer_repair && ctx.regenerations < policy_.max_regenerations) {
+    act.thought =
+        "Legalization failed; for a window-sized topology the cheapest recovery is to "
+        "resample with a different initial state.";
+    act.action = "regenerate";
+    return act;
+  }
+
+  if (have_region && ctx.modifications < policy_.max_modifications) {
+    act.thought = util::format(
+        "Since legalization has failed %s in the same region, I will try to in-paint that "
+        "specific area with the same style and then attempt legalization again.",
+        ctx.legalization_failures >= 2 ? "twice" : "once");
+    act.action = "topology_modification";
+    act.input["topology_id"] = ctx.current_topology_id;
+    act.input["upper"] = ctx.last_error_region.get_int("upper", 0);
+    act.input["left"] = ctx.last_error_region.get_int("left", 0);
+    act.input["bottom"] = ctx.last_error_region.get_int("bottom", 0);
+    act.input["right"] = ctx.last_error_region.get_int("right", 0);
+    act.input["style"] = req.style;
+    act.input["steps"] = req.sample_steps;
+    act.input["seed"] =
+        static_cast<long long>((ctx.item_seed + 42 + ctx.modifications * 104729ULL) &
+                               0x7fffffffULL);
+    return act;
+  }
+
+  if (req.drop_allowed) {
+    act.thought = "Recovery attempts are exhausted and dropping is allowed; discarding this "
+                  "topology to guarantee the legality of the final library.";
+    act.action = "drop";
+    return act;
+  }
+
+  if (ctx.regenerations < policy_.max_regenerations + 2) {
+    act.thought = "Dropping is forbidden; trying a different initial state instead.";
+    act.action = "regenerate";
+    return act;
+  }
+
+  act.thought = "All recovery options are exhausted and drops are forbidden; giving up on "
+                "this item and reporting the failure.";
+  act.action = "give_up";
+  return act;
+}
+
+}  // namespace cp::agent

@@ -1,0 +1,92 @@
+#pragma once
+// The agent "brain" interface and its deterministic implementation
+// (substitution S3).
+//
+// AgentBrain is the decision seam of ChatPattern: given the user's text it
+// produces structured requirement lists (Requirement Auto-Formatting), and
+// during execution it is consulted whenever a decision is needed — what tool
+// to call next and with what arguments, in the ReAct Thought/Action/Action-
+// Input shape shown in Section 4.2. An LLM-backed brain would implement
+// exactly this interface by prompting a model with the tool documentation
+// and the current context; the shipped ScriptedBrain implements the same
+// contract as a deterministic policy, which keeps the whole framework —
+// tool registry, executor, recovery behaviour, experience store — fully
+// exercised and testable offline.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/experience.h"
+#include "agent/requirement.h"
+#include "util/json.h"
+
+namespace cp::agent {
+
+/// What the executor tells the brain before each decision.
+struct AgentContext {
+  RequirementList requirement;
+  int window = 128;                 // model window L
+  std::string current_topology_id;  // empty if no topology yet for this item
+  int legalization_failures = 0;    // failures so far on this item
+  int modifications = 0;            // modification repairs tried on this item
+  int regenerations = 0;            // fresh-seed restarts tried on this item
+  std::string last_error_log;       // most recent tool failure log ("" if none)
+  util::Json last_error_region;     // region object from the failure, or null
+  std::uint64_t item_seed = 1;      // deterministic per-item seed
+  const ExperienceStore* experience = nullptr;
+  const DocumentStore* documents = nullptr;
+};
+
+/// A ReAct-style step: reasoning, tool name, JSON arguments. The special
+/// actions "drop" and "give_up" carry no tool call.
+struct AgentAction {
+  std::string thought;
+  std::string action;  // tool name, or "drop" / "give_up"
+  util::Json input;
+};
+
+class AgentBrain {
+ public:
+  virtual ~AgentBrain() = default;
+
+  /// Requirement Auto-Formatting: free text -> structured sub-tasks.
+  virtual std::vector<RequirementList> format_requirements(const std::string& request,
+                                                           std::vector<std::string>* notes) = 0;
+
+  /// Decide the next step for the current work item.
+  virtual AgentAction decide(const AgentContext& context) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Deterministic rule policy mirroring the paper's agent behaviour:
+///   * direct generation when the target fits the window, extension
+///     otherwise (method from the requirement, or the experience store when
+///     the requirement leaves the default);
+///   * legalize once a topology exists;
+///   * on legalization failure: first retry with a fresh seed (cheap for
+///     window-sized topologies), then in-paint the reported failing region
+///     (cheap for large topologies — the paper's "unseen mistake" recovery),
+///     then drop if allowed, else keep repairing up to a cap.
+class ScriptedBrain : public AgentBrain {
+ public:
+  struct Policy {
+    int max_regenerations = 1;   // fresh seeds before switching to repair
+    int max_modifications = 2;   // region repairs before dropping
+    bool prefer_modification_for_large = true;
+  };
+
+  ScriptedBrain() = default;
+  explicit ScriptedBrain(Policy policy) : policy_(policy) {}
+
+  std::vector<RequirementList> format_requirements(const std::string& request,
+                                                   std::vector<std::string>* notes) override;
+  AgentAction decide(const AgentContext& context) override;
+  const char* name() const override { return "ScriptedBrain"; }
+
+ private:
+  Policy policy_;
+};
+
+}  // namespace cp::agent

@@ -1,0 +1,304 @@
+#include "agent/nl_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "dataset/style.h"
+#include "util/strings.h"
+
+namespace cp::agent {
+
+namespace detail {
+
+std::vector<std::string> split_clauses(const std::string& text) {
+  // Normalise separators, then split on sentence boundaries and sequencing
+  // words. Decimal points and thousands separators are protected because we
+  // only split on '.' followed by whitespace/end.
+  std::string t = text;
+  for (const char* seq : {" then ", " afterwards ", " after that ", " also "}) {
+    t = util::replace_all(t, seq, " . ");
+  }
+  std::vector<std::string> clauses;
+  std::string current;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const char c = t[i];
+    const bool sentence_end =
+        (c == ';' || c == '\n') ||
+        (c == '.' && (i + 1 == t.size() || std::isspace(static_cast<unsigned char>(t[i + 1]))));
+    if (sentence_end) {
+      if (!util::trim(current).empty()) clauses.push_back(util::trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!util::trim(current).empty()) clauses.push_back(util::trim(current));
+  return clauses;
+}
+
+bool parse_size_pair(const std::string& token, long long* a, long long* b) {
+  // Accept "200x200", "200X200", "200*200".
+  for (char sep : {'x', 'X', '*'}) {
+    const auto pos = token.find(sep);
+    if (pos == std::string::npos || pos == 0 || pos + 1 == token.size()) continue;
+    const auto lhs = util::parse_quantity(token.substr(0, pos));
+    const auto rhs = util::parse_quantity(token.substr(pos + 1));
+    if (lhs && rhs) {
+      *a = *lhs;
+      *b = *rhs;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Strip trailing punctuation that clings to tokens ("patterns," "nm²." ...)
+std::string clean_token(const std::string& raw) {
+  std::string s = raw;
+  while (!s.empty() && (s.back() == ',' || s.back() == '.' || s.back() == ')' ||
+                        s.back() == ':' || s.back() == '?')) {
+    s.pop_back();
+  }
+  while (!s.empty() && (s.front() == '(' || s.front() == '[')) s.erase(s.begin());
+  return s;
+}
+
+bool is_count_noun(const std::string& t) {
+  return t == "pattern" || t == "patterns" || t == "sample" || t == "samples" ||
+         t == "layout" || t == "layouts" || t == "clip" || t == "clips" || t == "topology" ||
+         t == "topologies" || t == "matrices" || t == "instances";
+}
+
+bool is_generate_verb(const std::string& t) {
+  return t == "generate" || t == "create" || t == "make" || t == "synthesize" ||
+         t == "synthesise" || t == "produce" || t == "build" || t == "need" || t == "want" ||
+         t == "give" || t == "prepare" || t == "extend";
+}
+
+bool mentions_nm(const std::vector<std::string>& tokens, std::size_t i, std::size_t window) {
+  for (std::size_t j = i + 1; j < tokens.size() && j <= i + window; ++j) {
+    const std::string& t = tokens[j];
+    if (t == "nm" || t == "nm2" || t == "nm^2" || t == "nanometer" || t == "nanometers" ||
+        t == "nanometre" || t == "nanometres") {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct ClauseParse {
+  RequirementList req;
+  bool has_count = false;
+  bool has_topo = false;
+  bool has_phys = false;
+  bool has_style = false;
+  bool has_verb = false;
+  bool both_styles = false;
+  std::vector<std::string> notes;
+};
+
+ClauseParse parse_clause(const std::string& clause) {
+  ClauseParse out;
+  const std::string lower = util::to_lower(clause);
+  std::vector<std::string> tokens;
+  for (const std::string& raw : util::split_ws(lower)) tokens.push_back(clean_token(raw));
+
+  int styles_seen = 0;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.empty()) continue;
+
+    if (is_generate_verb(tok)) out.has_verb = true;
+
+    // --- style ---
+    if (dataset::style_index(tok) >= 0) {
+      const int idx = dataset::style_index(tok);
+      if (!out.has_style) {
+        out.req.style = dataset::style_name(idx);
+        out.has_style = true;
+      } else if (dataset::style_name(idx) != out.req.style) {
+        out.both_styles = true;
+      }
+      ++styles_seen;
+      continue;
+    }
+    // "layer 10001" as two tokens.
+    if ((tok == "layer" || tok == "style") && i + 1 < tokens.size() &&
+        dataset::style_index(tokens[i + 1]) >= 0) {
+      const int idx = dataset::style_index(tokens[i + 1]);
+      if (!out.has_style) {
+        out.req.style = dataset::style_name(idx);
+        out.has_style = true;
+      } else if (dataset::style_name(idx) != out.req.style) {
+        out.both_styles = true;
+      }
+      ++styles_seen;
+      ++i;
+      continue;
+    }
+    // Unknown layer names are preserved verbatim so that validation rejects
+    // the sub-task loudly instead of silently substituting a default style.
+    if (!out.has_style && util::starts_with(tok, "layer-")) {
+      out.req.style = tok;
+      out.has_style = true;
+      out.notes.push_back("unrecognised style '" + tok + "'");
+      continue;
+    }
+    if ((tok == "both" || tok == "each" || tok == "every") && i + 1 < tokens.size() &&
+        (tokens[i + 1] == "styles" || tokens[i + 1] == "style" || tokens[i + 1] == "layers" ||
+         tokens[i + 1] == "layer" || tokens[i + 1] == "classes" || tokens[i + 1] == "class")) {
+      out.both_styles = true;
+      continue;
+    }
+
+    // --- size pairs ---
+    long long a = 0, b = 0;
+    if (detail::parse_size_pair(tok, &a, &b) ||
+        (i + 2 < tokens.size() && (tokens[i + 1] == "x" || tokens[i + 1] == "by") &&
+         util::parse_quantity(tok) && util::parse_quantity(tokens[i + 2]) &&
+         (a = *util::parse_quantity(tok), b = *util::parse_quantity(tokens[i + 2]), true))) {
+      const bool nm = mentions_nm(tokens, i, 3);
+      if (nm) {
+        out.req.phys_w_nm = a;
+        out.req.phys_h_nm = b;
+        out.has_phys = true;
+        out.notes.push_back(util::format("physical size %lldx%lld nm", a, b));
+      } else {
+        out.req.topo_rows = static_cast<int>(b);
+        out.req.topo_cols = static_cast<int>(a);
+        out.has_topo = true;
+        out.notes.push_back(util::format("topology size %lldx%lld", a, b));
+      }
+      continue;
+    }
+
+    // --- single size: "2048 nm" / "size 256" ---
+    if (auto q = util::parse_quantity(tok); q && *q > 0) {
+      if (mentions_nm(tokens, i, 1)) {
+        out.req.phys_w_nm = *q;
+        out.req.phys_h_nm = *q;
+        out.has_phys = true;
+        out.notes.push_back(util::format("physical size %lld nm square", *q));
+        continue;
+      }
+      // count if a count noun follows within 2 tokens, or "count:" precedes
+      bool is_count = false;
+      for (std::size_t j = i + 1; j < tokens.size() && j <= i + 2; ++j) {
+        if (is_count_noun(tokens[j])) is_count = true;
+      }
+      if (i > 0 && (tokens[i - 1] == "count" || tokens[i - 1] == "count:")) is_count = true;
+      if (is_count) {
+        out.req.count = *q;
+        out.has_count = true;
+        out.notes.push_back(util::format("count %lld", *q));
+        continue;
+      }
+      // bare "size 256" style topology hints
+      if (i > 0 && (tokens[i - 1] == "size" || tokens[i - 1] == "sized" ||
+                    tokens[i - 1] == "resolution")) {
+        out.req.topo_rows = static_cast<int>(*q);
+        out.req.topo_cols = static_cast<int>(*q);
+        out.has_topo = true;
+        out.notes.push_back(util::format("topology size %lld square", *q));
+        continue;
+      }
+      // "seed 42"
+      if (i > 0 && tokens[i - 1] == "seed") {
+        out.req.seed = static_cast<std::uint64_t>(*q);
+        continue;
+      }
+      // time limits: "within 10 minutes"
+      if (i + 1 < tokens.size()) {
+        const std::string& unit = tokens[i + 1];
+        double mult = 0.0;
+        if (unit == "second" || unit == "seconds" || unit == "s") mult = 1.0;
+        if (unit == "minute" || unit == "minutes" || unit == "min" || unit == "mins") mult = 60.0;
+        if (unit == "hour" || unit == "hours" || unit == "h") mult = 3600.0;
+        if (mult > 0.0) {
+          out.req.time_limit_s = static_cast<double>(*q) * mult;
+          out.notes.push_back(util::format("time limit %.0f s", out.req.time_limit_s));
+          ++i;
+          continue;
+        }
+      }
+    }
+
+    // --- extension method ---
+    if (tok == "out-painting" || tok == "outpainting" || tok == "out-paint" ||
+        tok == "outpaint" || (tok == "out" && i + 1 < tokens.size() &&
+                              (tokens[i + 1] == "painting" || tokens[i + 1] == "paint"))) {
+      out.req.extension_method = "Out";
+      out.notes.push_back("extension method Out");
+      continue;
+    }
+    if (tok == "in-painting" || tok == "inpainting" || tok == "in-paint" || tok == "inpaint" ||
+        (tok == "in" && i + 1 < tokens.size() &&
+         (tokens[i + 1] == "painting" || tokens[i + 1] == "paint"))) {
+      out.req.extension_method = "In";
+      out.notes.push_back("extension method In");
+      continue;
+    }
+
+    // --- drop policy ---
+    if (tok == "drop" || tok == "dropping" || tok == "drops") {
+      bool negated = false;
+      for (std::size_t j = (i >= 3 ? i - 3 : 0); j < i; ++j) {
+        if (tokens[j] == "no" || tokens[j] == "not" || tokens[j] == "don't" ||
+            tokens[j] == "never" || tokens[j] == "without" || tokens[j] == "avoid") {
+          negated = true;
+        }
+      }
+      out.req.drop_allowed = !negated;
+      out.notes.push_back(negated ? "drops forbidden" : "drops allowed");
+      continue;
+    }
+  }
+  (void)styles_seen;
+  return out;
+}
+
+}  // namespace
+
+ParsedRequest parse_request(const std::string& text) {
+  ParsedRequest out;
+  int index = 0;
+  for (const std::string& clause : detail::split_clauses(text)) {
+    ClauseParse cp = parse_clause(clause);
+    // A clause is a generation sub-task if it asks for something concrete.
+    if (!cp.has_count && !cp.has_topo && !cp.has_phys && !cp.has_verb) {
+      out.notes.push_back("ignored clause: \"" + clause + "\"");
+      continue;
+    }
+    // Fill derived defaults: 16 nm of physical extent per topology cell is
+    // the dataset's native scale.
+    constexpr long long kNmPerCell = 16;
+    if (cp.has_topo && !cp.has_phys) {
+      cp.req.phys_w_nm = static_cast<geometry::Coord>(cp.req.topo_cols) * kNmPerCell;
+      cp.req.phys_h_nm = static_cast<geometry::Coord>(cp.req.topo_rows) * kNmPerCell;
+    } else if (cp.has_phys && !cp.has_topo) {
+      cp.req.topo_cols = static_cast<int>(cp.req.phys_w_nm / kNmPerCell);
+      cp.req.topo_rows = static_cast<int>(cp.req.phys_h_nm / kNmPerCell);
+    }
+    ++index;
+    for (const std::string& n : cp.notes) {
+      out.notes.push_back(util::format("subtask %d: %s", index, n.c_str()));
+    }
+    if (cp.both_styles) {
+      for (int s = 0; s < dataset::kStyleCount; ++s) {
+        RequirementList r = cp.req;
+        r.style = dataset::style_name(s);
+        out.subtasks.push_back(std::move(r));
+      }
+      out.notes.push_back(util::format("subtask %d: expanded over both styles", index));
+    } else {
+      out.subtasks.push_back(cp.req);
+    }
+  }
+  return out;
+}
+
+}  // namespace cp::agent

@@ -1,0 +1,37 @@
+#pragma once
+// Rule-based natural-language requirement parser (part of substitution S3).
+//
+// This is the deterministic stand-in for the LLM's "Requirement
+// Auto-Formatting" step: it decomposes a free-form request into clauses,
+// extracts the slots of each RequirementList (counts, topology and physical
+// sizes, style, extension method, drop policy, time limit, seed) and fills
+// the documented defaults. It handles the paper's running example and a
+// broad family of paraphrases (see tests/agent/nl_parser_test.cpp); a real
+// LLM brain would produce the same structures from wilder text.
+
+#include <string>
+#include <vector>
+
+#include "agent/requirement.h"
+
+namespace cp::agent {
+
+struct ParsedRequest {
+  std::vector<RequirementList> subtasks;
+  /// One parse-trace line per decision, for transcripts and debugging.
+  std::vector<std::string> notes;
+};
+
+ParsedRequest parse_request(const std::string& text);
+
+/// Exposed pieces for targeted testing.
+namespace detail {
+/// Split a request into sub-task clauses (sentences, semicolons, "then",
+/// numbered items).
+std::vector<std::string> split_clauses(const std::string& text);
+
+/// Parse "NxM" / "N x M" / "N by M" pairs; returns true on success.
+bool parse_size_pair(const std::string& token, long long* a, long long* b);
+}  // namespace detail
+
+}  // namespace cp::agent

@@ -1,0 +1,56 @@
+#include "agent/planner.h"
+
+#include <algorithm>
+
+#include "extension/planner.h"
+#include "util/strings.h"
+
+namespace cp::agent {
+
+std::string TaskPlan::to_text() const {
+  std::string out;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    out += util::format("%zu. %s\n", i + 1, steps[i].c_str());
+  }
+  return out;
+}
+
+TaskPlan plan_tasks(const RequirementList& req, int window, int stride,
+                    const ExperienceStore* experience) {
+  TaskPlan plan;
+  const bool fits = req.topo_rows <= window && req.topo_cols <= window;
+  if (fits) {
+    plan.samples_per_pattern = 1;
+    plan.steps.push_back(util::format(
+        "Generate %lld topology matrices of size %dx%d with the conditional diffusion model "
+        "(style %s).",
+        req.count, req.topo_rows, req.topo_cols, req.style.c_str()));
+  } else {
+    std::string method = req.extension_method;
+    const int target = std::max(req.topo_rows, req.topo_cols);
+    if (util::to_lower(method) == "out" && experience != nullptr) {
+      method = experience->best_method(req.style, target);
+    }
+    plan.method = method;
+    const extension::Method m = extension::method_from_string(method);
+    plan.samples_per_pattern =
+        extension::expected_samples(m, req.topo_cols, req.topo_rows, window, stride);
+    plan.steps.push_back(util::format(
+        "Extend to %dx%d topologies via %s (style %s, ~%lld window samples per pattern, "
+        "%lld patterns).",
+        req.topo_rows, req.topo_cols, extension::to_string(m), req.style.c_str(),
+        plan.samples_per_pattern, req.count));
+  }
+  plan.steps.push_back(util::format(
+      "Legalize each topology to %lld x %lld nm under the %s design rules.",
+      static_cast<long long>(req.phys_w_nm), static_cast<long long>(req.phys_h_nm),
+      req.style.c_str()));
+  plan.steps.push_back(util::format(
+      "On legalization failure: %s; drop policy: %s.",
+      fits ? "resample with a new seed, then repair the reported region"
+           : "repair the reported region in place (regeneration would waste the extension work)",
+      req.drop_allowed ? "drops allowed" : "drops forbidden"));
+  return plan;
+}
+
+}  // namespace cp::agent

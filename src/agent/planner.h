@@ -1,0 +1,33 @@
+#pragma once
+// Task planning (Section 3.1, Figure 4): turn a requirement list into the
+// ordered series of structured tasks that the executor will schedule. The
+// plan is what the agent displays before doing the work; the executor pairs
+// it with the brain's step-by-step decisions (which handle recovery paths
+// the static plan only sketches).
+
+#include <string>
+#include <vector>
+
+#include "agent/experience.h"
+#include "agent/requirement.h"
+
+namespace cp::agent {
+
+struct TaskPlan {
+  std::vector<std::string> steps;
+  /// Estimated model window samples per produced pattern (1 for direct
+  /// generation; the N_in / N_out formula for extension).
+  long long samples_per_pattern = 1;
+  /// The extension method the plan commits to ("", "Out" or "In").
+  std::string method;
+
+  std::string to_text() const;
+};
+
+/// Build the plan for one requirement list. `window` is the model size L;
+/// `experience` (optional) drives the extension-method choice exactly as the
+/// brain's decide() does, so plan and execution agree.
+TaskPlan plan_tasks(const RequirementList& req, int window, int stride,
+                    const ExperienceStore* experience);
+
+}  // namespace cp::agent

@@ -1,0 +1,70 @@
+#include "agent/requirement.h"
+
+#include "dataset/style.h"
+#include "util/strings.h"
+
+namespace cp::agent {
+
+std::string RequirementList::to_text(int subtask_index) const {
+  std::string out;
+  out += util::format("# Requirement - subtask %d\n", subtask_index);
+  out += "## Basic Part:\n";
+  out += util::format("Topology Size: [%d, %d],\n", topo_rows, topo_cols);
+  out += util::format("Physical Size: [%lld, %lld] nm,\n", static_cast<long long>(phys_w_nm),
+                      static_cast<long long>(phys_h_nm));
+  out += util::format("Style: %s,\n", style.c_str());
+  out += util::format("Count: %lld,\n", count);
+  out += "## Advanced Part:\n";
+  out += util::format("Extension Method: %s (Default: Out),\n", extension_method.c_str());
+  out += util::format("Drop Allowed: %s (Default: True),\n", drop_allowed ? "True" : "False");
+  if (time_limit_s > 0.0) {
+    out += util::format("Time Limitation: %.0f s (Default: None).\n", time_limit_s);
+  } else {
+    out += "Time Limitation: None (Default: None).\n";
+  }
+  return out;
+}
+
+util::Json RequirementList::to_json() const {
+  util::Json j;
+  j["topo_rows"] = topo_rows;
+  j["topo_cols"] = topo_cols;
+  j["phys_w_nm"] = static_cast<long long>(phys_w_nm);
+  j["phys_h_nm"] = static_cast<long long>(phys_h_nm);
+  j["style"] = style;
+  j["count"] = count;
+  j["extension_method"] = extension_method;
+  j["drop_allowed"] = drop_allowed;
+  j["time_limit_s"] = time_limit_s;
+  j["sample_steps"] = sample_steps;
+  j["seed"] = static_cast<long long>(seed);
+  return j;
+}
+
+RequirementList RequirementList::from_json(const util::Json& j) {
+  RequirementList r;
+  r.topo_rows = static_cast<int>(j.get_int("topo_rows", r.topo_rows));
+  r.topo_cols = static_cast<int>(j.get_int("topo_cols", r.topo_cols));
+  r.phys_w_nm = j.get_int("phys_w_nm", r.phys_w_nm);
+  r.phys_h_nm = j.get_int("phys_h_nm", r.phys_h_nm);
+  r.style = j.get_string("style", r.style);
+  r.count = j.get_int("count", r.count);
+  r.extension_method = j.get_string("extension_method", r.extension_method);
+  r.drop_allowed = j.get_bool("drop_allowed", r.drop_allowed);
+  r.time_limit_s = j.get_number("time_limit_s", r.time_limit_s);
+  r.sample_steps = static_cast<int>(j.get_int("sample_steps", r.sample_steps));
+  r.seed = static_cast<std::uint64_t>(j.get_int("seed", 0));
+  return r;
+}
+
+std::string validate(const RequirementList& req) {
+  if (req.topo_rows < 8 || req.topo_cols < 8) return "topology size too small";
+  if (req.phys_w_nm <= 0 || req.phys_h_nm <= 0) return "physical size must be positive";
+  if (req.count < 1) return "count must be at least 1";
+  if (dataset::style_index(req.style) < 0) return "unknown style '" + req.style + "'";
+  const std::string m = util::to_lower(req.extension_method);
+  if (m != "out" && m != "in") return "unknown extension method '" + req.extension_method + "'";
+  return "";
+}
+
+}  // namespace cp::agent

@@ -1,0 +1,46 @@
+#pragma once
+// The structured requirement list of Section 3.1 / Section 4.2
+// ("Requirement Auto-Formatting"). A free-form user request is decomposed by
+// the agent into one RequirementList per sub-task; the list's Basic Part
+// fixes what must be produced and the Advanced Part carries the optional
+// fine-grained controls with their documented defaults.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "util/json.h"
+
+namespace cp::agent {
+
+struct RequirementList {
+  // ---- Basic part ----
+  int topo_rows = 128;
+  int topo_cols = 128;
+  geometry::Coord phys_w_nm = 2048;
+  geometry::Coord phys_h_nm = 2048;
+  std::string style = "Layer-10001";
+  long long count = 1;
+
+  // ---- Advanced part (defaults match the paper's example) ----
+  std::string extension_method = "Out";  // "Out" | "In" (Default: Out)
+  bool drop_allowed = true;              // (Default: True)
+  double time_limit_s = 0.0;             // 0 = None (Default: None)
+  int sample_steps = 16;                 // reverse-chain stride (CPU default)
+  std::uint64_t seed = 0;                // 0 = auto
+
+  /// Render in the paper's requirement-list format (Section 4.2).
+  std::string to_text(int subtask_index) const;
+
+  util::Json to_json() const;
+  static RequirementList from_json(const util::Json& j);
+
+  bool operator==(const RequirementList&) const = default;
+};
+
+/// Validation: positive sizes/counts, known style and method. Returns an
+/// empty string if valid, else a human-readable problem description.
+std::string validate(const RequirementList& req);
+
+}  // namespace cp::agent

@@ -1,0 +1,94 @@
+#pragma once
+// The design-tool layer the agent operates (Section 3.1, "Tool Function
+// Learning and Application").
+//
+// Tools exchange JSON arguments and JSON results — the exact wire shape of
+// an LLM function-calling API — and, crucially, never hand the raw 0/1
+// matrix to the agent: topologies and patterns live in the PatternStore and
+// are referred to by id, while tool results carry only high-level
+// characteristics (sizes, complexity, density, error locations). This is
+// the paper's token-limit-driven design point.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "diffusion/sampler.h"
+#include "extension/planner.h"
+#include "legalize/legalizer.h"
+#include "util/json.h"
+
+namespace cp::agent {
+
+/// In-memory object store: id -> topology / legalized pattern.
+class PatternStore {
+ public:
+  std::string put_topology(squish::Topology t);
+  std::string put_pattern(squish::SquishPattern p);
+
+  bool has_topology(const std::string& id) const { return topologies_.count(id) > 0; }
+  bool has_pattern(const std::string& id) const { return patterns_.count(id) > 0; }
+
+  const squish::Topology& topology(const std::string& id) const;
+  squish::Topology& topology(const std::string& id);
+  const squish::SquishPattern& pattern(const std::string& id) const;
+
+  std::size_t topology_count() const { return topologies_.size(); }
+  std::size_t pattern_count() const { return patterns_.size(); }
+  void erase_topology(const std::string& id) { topologies_.erase(id); }
+
+ private:
+  std::map<std::string, squish::Topology> topologies_;
+  std::map<std::string, squish::SquishPattern> patterns_;
+  long long next_id_ = 0;
+};
+
+/// Everything the tools need to do real work: one sampler (conditional over
+/// all styles) and a per-style legalizer. Non-owning views; the owner (the
+/// ChatPattern facade or a test fixture) outlives the registry.
+struct GeneratorBackend {
+  const diffusion::TopologyGenerator* sampler = nullptr;
+  /// Legalizers indexed by style/condition index.
+  std::vector<const legalize::Legalizer*> legalizers;
+  PatternStore* store = nullptr;
+  int window = 128;          // the model's native size L
+  int default_stride = 64;   // out-painting stride S
+  std::uint64_t seed_mix = 0x5eedULL;
+};
+
+struct ToolResult {
+  bool ok = false;
+  util::Json payload;  // result fields, or {error, log, region...} on failure
+};
+
+using ToolFn = std::function<ToolResult(const util::Json& args)>;
+
+struct ToolSpec {
+  std::string name;
+  std::string documentation;  // what the agent "reads" to learn the tool
+  ToolFn fn;
+};
+
+class ToolRegistry {
+ public:
+  void register_tool(ToolSpec spec);
+  bool has(const std::string& name) const { return tools_.count(name) > 0; }
+  const ToolSpec& spec(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Invoke a tool; unknown names yield an error ToolResult (the agent sees
+  /// the same failure shape as any other tool error).
+  ToolResult call(const std::string& name, const util::Json& args) const;
+
+ private:
+  std::map<std::string, ToolSpec> tools_;
+};
+
+/// Build the standard tool set over a backend:
+///   topology_generation, topology_legalization, topology_extension,
+///   topology_modification, topology_analysis.
+ToolRegistry make_standard_tools(GeneratorBackend backend);
+
+}  // namespace cp::agent

@@ -1,0 +1,101 @@
+#include "baselines/cae.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cp::baselines {
+
+namespace {
+util::Rng& shared_init_rng(util::Rng& rng) { return rng; }
+}  // namespace
+
+CaeBaseline::CaeBaseline(int side, int latent_dim, util::Rng& rng)
+    : side_(side),
+      latent_dim_(latent_dim),
+      encoder_(side * side, latent_dim, shared_init_rng(rng)),
+      decoder_(latent_dim, side * side, rng) {}
+
+nn::Tensor CaeBaseline::encode(const squish::Topology& t) {
+  nn::Tensor x({1, side_ * side_});
+  for (std::size_t i = 0; i < t.size(); ++i) x[i] = t.data()[i] ? 1.0f : 0.0f;
+  return encoder_.forward(x);
+}
+
+squish::Topology CaeBaseline::decode_to_topology(const nn::Tensor& latent) {
+  const nn::Tensor recon = decoder_.forward(latent);
+  squish::Topology out(side_, side_);
+  for (int r = 0; r < side_; ++r) {
+    for (int c = 0; c < side_; ++c) {
+      out.set(r, c, recon[static_cast<std::size_t>(r) * side_ + c] > 0.5f ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+void CaeBaseline::train(const std::vector<squish::Topology>& data, int iterations, float lr) {
+  if (data.empty()) throw std::invalid_argument("CaeBaseline::train: empty data");
+  util::Rng rng(42);
+  std::vector<nn::Param*> params{&encoder_.weight(), &encoder_.bias(), &decoder_.weight(),
+                                 &decoder_.bias()};
+  nn::Adam opt(params, lr);
+  for (int iter = 0; iter < iterations; ++iter) {
+    const squish::Topology& t =
+        data[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(data.size()) - 1))];
+    nn::Tensor x({1, side_ * side_});
+    for (std::size_t i = 0; i < t.size(); ++i) x[i] = t.data()[i] ? 1.0f : 0.0f;
+    for (nn::Param* p : params) p->grad.fill(0.0f);
+    const nn::Tensor z = encoder_.forward(x);
+    const nn::Tensor recon = decoder_.forward(z);
+    nn::Tensor grad;
+    nn::mse_loss(recon, x, grad);
+    encoder_.backward(decoder_.backward(grad));
+    opt.step();
+  }
+  // Cache latents for generation.
+  train_latents_.clear();
+  train_latents_.reserve(data.size());
+  for (const squish::Topology& t : data) train_latents_.push_back(encode(t));
+}
+
+squish::Topology CaeBaseline::generate(util::Rng& rng, float latent_noise) {
+  if (train_latents_.empty()) throw std::runtime_error("CaeBaseline: train() first");
+  nn::Tensor z = train_latents_[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(train_latents_.size()) - 1))];
+  for (std::size_t i = 0; i < z.numel(); ++i) {
+    z[i] += static_cast<float>(rng.normal(0.0, latent_noise));
+  }
+  return decode_to_topology(z);
+}
+
+void VcaeBaseline::fit_latent_distribution() {
+  if (train_latents_.empty()) throw std::runtime_error("VcaeBaseline: train() first");
+  const std::size_t d = train_latents_.front().numel();
+  latent_mean_.assign(d, 0.0f);
+  latent_std_.assign(d, 0.0f);
+  for (const nn::Tensor& z : train_latents_) {
+    for (std::size_t i = 0; i < d; ++i) latent_mean_[i] += z[i];
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    latent_mean_[i] /= static_cast<float>(train_latents_.size());
+  }
+  for (const nn::Tensor& z : train_latents_) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const float dmean = z[i] - latent_mean_[i];
+      latent_std_[i] += dmean * dmean;
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    latent_std_[i] = std::sqrt(latent_std_[i] / static_cast<float>(train_latents_.size()));
+  }
+}
+
+squish::Topology VcaeBaseline::generate_variational(util::Rng& rng) {
+  if (latent_mean_.empty()) throw std::runtime_error("VcaeBaseline: fit_latent_distribution() first");
+  nn::Tensor z({1, static_cast<int>(latent_mean_.size())});
+  for (std::size_t i = 0; i < latent_mean_.size(); ++i) {
+    z[i] = latent_mean_[i] + latent_std_[i] * static_cast<float>(rng.normal());
+  }
+  return decode_to_topology(z);
+}
+
+}  // namespace cp::baselines

@@ -1,0 +1,60 @@
+#pragma once
+// CAE baseline (DeePattern-style convolutional auto-encoder, substitution
+// S4): a linear auto-encoder trained on flattened topologies with MSE
+// reconstruction. Generation decodes a mildly perturbed training latent and
+// thresholds — deterministic decoding of a blurry reconstruction, which is
+// precisely the mechanism behind the original CAE's poor legality and
+// diversity in Table 1.
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "squish/topology.h"
+#include "util/rng.h"
+
+namespace cp::baselines {
+
+class CaeBaseline {
+ public:
+  CaeBaseline(int side, int latent_dim, util::Rng& rng);
+
+  /// Train with Adam on MSE reconstruction; caches training latents for
+  /// generation afterwards.
+  void train(const std::vector<squish::Topology>& data, int iterations, float lr);
+
+  /// Decode a perturbed latent of a random training pattern.
+  squish::Topology generate(util::Rng& rng, float latent_noise = 0.1f);
+
+  int side() const { return side_; }
+
+ protected:
+  squish::Topology decode_to_topology(const nn::Tensor& latent);
+  nn::Tensor encode(const squish::Topology& t);
+
+  int side_;
+  int latent_dim_;
+  nn::Linear encoder_;
+  nn::Linear decoder_;
+  std::vector<nn::Tensor> train_latents_;
+};
+
+/// VCAE baseline: same auto-encoder, but generation samples the latent from
+/// a Gaussian fitted to the training-latent cloud (the variational
+/// mechanism collapsed to its moment-matched equivalent) — more diverse
+/// samples at the cost of decoding latents never seen in training.
+class VcaeBaseline : public CaeBaseline {
+ public:
+  VcaeBaseline(int side, int latent_dim, util::Rng& rng) : CaeBaseline(side, latent_dim, rng) {}
+
+  /// Must be called after train(): fits the latent Gaussian.
+  void fit_latent_distribution();
+
+  squish::Topology generate_variational(util::Rng& rng);
+
+ private:
+  std::vector<float> latent_mean_;
+  std::vector<float> latent_std_;
+};
+
+}  // namespace cp::baselines

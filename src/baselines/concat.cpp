@@ -1,0 +1,41 @@
+#include "baselines/concat.h"
+
+#include <stdexcept>
+
+namespace cp::baselines {
+
+squish::SquishPattern concat_grid(const std::vector<squish::SquishPattern>& tiles, int k_rows,
+                                  int k_cols) {
+  if (k_rows < 1 || k_cols < 1 ||
+      tiles.size() != static_cast<std::size_t>(k_rows) * static_cast<std::size_t>(k_cols)) {
+    throw std::invalid_argument("concat_grid: tile count mismatch");
+  }
+  const geometry::Coord tile_w = tiles.front().width_nm();
+  const geometry::Coord tile_h = tiles.front().height_nm();
+  for (const auto& t : tiles) {
+    if (t.width_nm() != tile_w || t.height_nm() != tile_h) {
+      throw std::invalid_argument("concat_grid: tile physical dims mismatch");
+    }
+  }
+
+  // Stitch in physical space: reconstruct each tile's rectangles, translate
+  // onto the grid, and squish the union. This is the exact squish pattern of
+  // the naive patchwork layout — each tile keeps its own frozen geometry and
+  // seam conflicts surface faithfully in the DRC check.
+  std::vector<geometry::Rect> all;
+  for (int i = 0; i < k_rows; ++i) {
+    for (int j = 0; j < k_cols; ++j) {
+      const auto& tile = tiles[static_cast<std::size_t>(i) * k_cols + j];
+      const geometry::Coord ox = static_cast<geometry::Coord>(j) * tile_w;
+      const geometry::Coord oy = static_cast<geometry::Coord>(i) * tile_h;
+      for (const geometry::Rect& r : squish::unsquish(tile)) {
+        all.push_back(geometry::Rect{r.x0 + ox, r.y0 + oy, r.x1 + ox, r.y1 + oy});
+      }
+    }
+  }
+  const geometry::Rect window{0, 0, static_cast<geometry::Coord>(k_cols) * tile_w,
+                              static_cast<geometry::Coord>(k_rows) * tile_h};
+  return squish::squish(all, window);
+}
+
+}  // namespace cp::baselines

@@ -1,0 +1,22 @@
+#pragma once
+// "DiffPattern w/ Concatenation": the paper's free-size baseline. Fixed-size
+// patterns are generated and legalized *independently* and the resulting
+// physical patches are stitched into a larger pattern. The delta vectors of
+// each tile are frozen before stitching, so any design-rule conflict created
+// at a seam (thin merged shapes, sub-minimum spacing between features of
+// adjacent tiles) cannot be repaired — which is exactly why this baseline's
+// legality collapses at 512^2 and above in Table 1.
+
+#include <vector>
+
+#include "squish/squish.h"
+
+namespace cp::baselines {
+
+/// Stitch a k_rows x k_cols grid of equally-sized legalized patterns
+/// (row-major order) into one squish pattern by concatenating topologies and
+/// delta vectors. Throws if the grid is incomplete or tile dims mismatch.
+squish::SquishPattern concat_grid(const std::vector<squish::SquishPattern>& tiles, int k_rows,
+                                  int k_cols);
+
+}  // namespace cp::baselines

@@ -1,0 +1,67 @@
+#include "baselines/layoutransformer.h"
+
+#include <algorithm>
+
+namespace cp::baselines {
+
+LayoutTransformerBaseline::LayoutTransformerBaseline()
+    : ones_(kContexts, 0), totals_(kContexts, 0) {}
+
+int LayoutTransformerBaseline::context_of(const squish::Topology& t, int r, int c,
+                                          int run_len) const {
+  auto cell = [&](int rr, int cc) -> int {
+    if (rr < 0 || cc < 0 || cc >= t.cols()) return 0;
+    return t.at(rr, cc);
+  };
+  const int west = cell(r, c - 1);
+  const int north = cell(r - 1, c);
+  const int nw = cell(r - 1, c - 1);
+  const int ne = cell(r - 1, c + 1);
+  const int run = std::min(run_len, kRunCap);
+  return (((west * 2 + north) * 2 + nw) * 2 + ne) * (kRunCap + 1) + run;
+}
+
+void LayoutTransformerBaseline::fit(const std::vector<squish::Topology>& data) {
+  double num = 0.0, den = 0.0;
+  for (const squish::Topology& t : data) {
+    num += static_cast<double>(t.popcount());
+    den += static_cast<double>(t.size());
+    for (int r = 0; r < t.rows(); ++r) {
+      int run_len = 0;
+      for (int c = 0; c < t.cols(); ++c) {
+        const int ctx = context_of(t, r, c, run_len);
+        ones_[static_cast<std::size_t>(ctx)] += t.at(r, c);
+        ++totals_[static_cast<std::size_t>(ctx)];
+        // Track the length of the current same-value run ending at c.
+        if (c > 0 && t.at(r, c) == t.at(r, c - 1)) {
+          ++run_len;
+        } else {
+          run_len = 0;
+        }
+      }
+    }
+  }
+  if (den > 0.0) density_ = num / den;
+}
+
+squish::Topology LayoutTransformerBaseline::generate(int rows, int cols, util::Rng& rng) const {
+  squish::Topology t(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    int run_len = 0;
+    for (int c = 0; c < cols; ++c) {
+      const int ctx = context_of(t, r, c, run_len);
+      const double n1 = ones_[static_cast<std::size_t>(ctx)];
+      const double n = totals_[static_cast<std::size_t>(ctx)];
+      const double p = (n1 + 2.0 * density_) / (n + 2.0);
+      t.set(r, c, rng.bernoulli(p) ? 1 : 0);
+      if (c > 0 && t.at(r, c) == t.at(r, c - 1)) {
+        ++run_len;
+      } else {
+        run_len = 0;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace cp::baselines

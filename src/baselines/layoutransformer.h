@@ -1,0 +1,37 @@
+#pragma once
+// LayouTransformer stand-in (substitution S4): the original generates layout
+// patterns autoregressively as a token sequence. The stand-in keeps the
+// sequential-generation mechanism: a raster-scan autoregressive model whose
+// per-cell context is the north/north-west/north-east neighbours, the west
+// neighbour, and the capped run length of the current horizontal run —
+// i.e. a learned run-length process, which is what sequence models capture
+// about squish topologies. Fitted by counting, sampled cell by cell.
+
+#include <cstdint>
+#include <vector>
+
+#include "squish/topology.h"
+#include "util/rng.h"
+
+namespace cp::baselines {
+
+class LayoutTransformerBaseline {
+ public:
+  LayoutTransformerBaseline();
+
+  void fit(const std::vector<squish::Topology>& data);
+
+  squish::Topology generate(int rows, int cols, util::Rng& rng) const;
+
+ private:
+  static constexpr int kRunCap = 15;  // capped run-length feature
+  static constexpr int kContexts = 2 * 2 * 2 * 2 * (kRunCap + 1);
+
+  int context_of(const squish::Topology& t, int r, int c, int run_len) const;
+
+  std::vector<std::uint32_t> ones_;
+  std::vector<std::uint32_t> totals_;
+  double density_ = 0.5;
+};
+
+}  // namespace cp::baselines

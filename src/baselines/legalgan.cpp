@@ -1,0 +1,65 @@
+#include "baselines/legalgan.h"
+
+#include "drc/checker.h"
+
+namespace cp::baselines {
+
+namespace {
+
+squish::Topology majority_filter(const squish::Topology& t) {
+  squish::Topology out(t.rows(), t.cols());
+  for (int r = 0; r < t.rows(); ++r) {
+    for (int c = 0; c < t.cols(); ++c) {
+      int ones = 0, total = 0;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          const int rr = r + dr, cc = c + dc;
+          if (rr < 0 || rr >= t.rows() || cc < 0 || cc >= t.cols()) continue;
+          ones += t.at(rr, cc);
+          ++total;
+        }
+      }
+      out.set(r, c, 2 * ones > total ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+/// Remove value-runs shorter than min_run along rows (set them to 1-value).
+void fix_short_row_runs(squish::Topology& t, std::uint8_t value, int min_run) {
+  for (int r = 0; r < t.rows(); ++r) {
+    for (const auto& [b, e] : drc::row_runs(t, r, value)) {
+      if (b == 0 || e == t.cols()) continue;  // border runs are exempt
+      if (e - b < min_run) {
+        for (int c = b; c < e; ++c) t.set(r, c, value ? 0 : 1);
+      }
+    }
+  }
+}
+
+void fix_short_col_runs(squish::Topology& t, std::uint8_t value, int min_run) {
+  for (int c = 0; c < t.cols(); ++c) {
+    for (const auto& [b, e] : drc::col_runs(t, c, value)) {
+      if (b == 0 || e == t.rows()) continue;
+      if (e - b < min_run) {
+        for (int r = b; r < e; ++r) t.set(r, c, value ? 0 : 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+squish::Topology legalgan_cleanup(const squish::Topology& t, const LegalGanConfig& config) {
+  squish::Topology out = config.majority_first ? majority_filter(t) : t;
+  for (int i = 0; i < config.iterations; ++i) {
+    // Fill pinhole gaps first, then drop slivers; both axes.
+    fix_short_row_runs(out, 0, config.min_run_cells);
+    fix_short_col_runs(out, 0, config.min_run_cells);
+    fix_short_row_runs(out, 1, config.min_run_cells);
+    fix_short_col_runs(out, 1, config.min_run_cells);
+  }
+  return out;
+}
+
+}  // namespace cp::baselines

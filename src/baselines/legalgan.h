@@ -1,0 +1,21 @@
+#pragma once
+// LegalGAN stand-in (substitution S4): the original is a learned network
+// that nudges generated topologies toward the legal manifold. The mechanism
+// it learns on squish topologies is morphological — suppress sub-resolution
+// features and bridge sub-resolution gaps — so the stand-in applies exactly
+// that: a majority smoothing pass, then iterative removal of 1-runs and
+// filling of 0-runs shorter than a minimum cell run, along both axes.
+
+#include "squish/topology.h"
+
+namespace cp::baselines {
+
+struct LegalGanConfig {
+  int min_run_cells = 2;   // shortest surviving run, in cells
+  int iterations = 2;      // row/col passes
+  bool majority_first = true;
+};
+
+squish::Topology legalgan_cleanup(const squish::Topology& t, const LegalGanConfig& config);
+
+}  // namespace cp::baselines

@@ -1,0 +1,112 @@
+#include "core/chatpattern.h"
+
+#include <fstream>
+
+#include "dataset/style.h"
+#include "util/logging.h"
+
+namespace cp::core {
+
+ChatPattern::ChatPattern(const ChatPatternConfig& config) : config_(config) {
+  // 1. Datasets: one per style, normalised to the model window.
+  for (int s = 0; s < dataset::kStyleCount; ++s) {
+    dataset::DatasetConfig dc;
+    dc.style = s;
+    dc.window_nm = config.window_nm;
+    dc.topo_size = config.window;
+    dc.count = config.train_clips_per_class;
+    dc.seed = config.seed + static_cast<std::uint64_t>(s) * 101;
+    training_sets_.push_back(dataset::build_dataset(dc));
+    CP_LOG_INFO << "ChatPattern: dataset " << dataset::style_name(s) << " built ("
+                << training_sets_.back().topologies.size() << " clips, "
+                << training_sets_.back().rejected << " rejected)";
+  }
+
+  // 2. Diffusion model: schedule + conditional tabular denoiser.
+  diffusion::ScheduleConfig sc;
+  sc.steps = config.diffusion_steps;
+  schedule_ = std::make_unique<diffusion::NoiseSchedule>(sc);
+  diffusion::TabularConfig tc;
+  tc.conditions = dataset::kStyleCount;
+  tc.time_buckets = config.time_buckets;
+  tc.draws_per_bucket = config.draws_per_bucket;
+  std::vector<std::vector<squish::Topology>> per_class;
+  std::vector<std::vector<squish::Topology>> per_class_coarse;
+  for (const auto& ds : training_sets_) {
+    per_class.push_back(ds.topologies);
+    std::vector<squish::Topology> coarse;
+    coarse.reserve(ds.topologies.size());
+    for (const auto& t : ds.topologies) {
+      coarse.push_back(squish::downsample_majority(t, config.cascade.factor));
+    }
+    per_class_coarse.push_back(std::move(coarse));
+  }
+  bool loaded = false;
+  if (!config.model_cache_path.empty()) {
+    std::ifstream is(config.model_cache_path, std::ios::binary);
+    if (is) {
+      try {
+        denoiser_ = std::make_unique<diffusion::TabularDenoiser>(*schedule_, tc);
+        coarse_denoiser_ = std::make_unique<diffusion::TabularDenoiser>(*schedule_, tc);
+        denoiser_->load(is);
+        coarse_denoiser_->load(is);
+        loaded = true;
+        CP_LOG_INFO << "ChatPattern: loaded denoisers from " << config.model_cache_path;
+      } catch (const std::exception& e) {
+        CP_LOG_WARN << "ChatPattern: cache load failed (" << e.what() << "); re-fitting";
+        loaded = false;
+      }
+    }
+  }
+  if (!loaded) {
+    denoiser_ = std::make_unique<diffusion::TabularDenoiser>(
+        diffusion::fit_tabular(*schedule_, tc, per_class, config.seed + 7));
+    coarse_denoiser_ = std::make_unique<diffusion::TabularDenoiser>(
+        diffusion::fit_tabular(*schedule_, tc, per_class_coarse, config.seed + 11));
+    if (!config.model_cache_path.empty()) {
+      std::ofstream os(config.model_cache_path, std::ios::binary);
+      if (os) {
+        denoiser_->save(os);
+        coarse_denoiser_->save(os);
+        CP_LOG_INFO << "ChatPattern: cached denoisers to " << config.model_cache_path;
+      }
+    }
+  }
+  sampler_ = std::make_unique<diffusion::CascadeSampler>(*schedule_, *coarse_denoiser_,
+                                                         *denoiser_, config.cascade);
+
+  // 3. Per-style legalizers.
+  for (int s = 0; s < dataset::kStyleCount; ++s) {
+    legalizers_.push_back(
+        std::make_unique<legalize::Legalizer>(drc::rules_for_style(dataset::style_name(s))));
+  }
+
+  // 4. Agent stack: store, tools, experience, session.
+  store_ = std::make_unique<agent::PatternStore>();
+  experience_ = std::make_unique<agent::ExperienceStore>();
+  agent::GeneratorBackend backend;
+  backend.sampler = sampler_.get();
+  for (const auto& l : legalizers_) backend.legalizers.push_back(l.get());
+  backend.store = store_.get();
+  backend.window = config.window;
+  backend.default_stride = config.window / 2;
+  backend.seed_mix = config.seed * 0x9e3779b97f4a7c15ULL;
+  tools_ = std::make_unique<agent::ToolRegistry>(agent::make_standard_tools(backend));
+  session_ = std::make_unique<agent::ChatSession>(
+      tools_.get(), std::make_unique<agent::ScriptedBrain>(), store_.get(), experience_.get(),
+      config.window);
+}
+
+agent::SessionReport ChatPattern::customize(const std::string& request) {
+  return session_->handle(request);
+}
+
+PatternLibrary ChatPattern::library_of(const agent::SubtaskReport& subtask) const {
+  PatternLibrary lib(subtask.requirement.style);
+  for (const std::string& id : subtask.execution.pattern_ids) {
+    if (store_->has_pattern(id)) lib.add(store_->pattern(id));
+  }
+  return lib;
+}
+
+}  // namespace cp::core

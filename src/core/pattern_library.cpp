@@ -1,0 +1,52 @@
+#include "core/pattern_library.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "io/gds.h"
+#include "util/strings.h"
+
+namespace cp::core {
+
+metrics::LegalityResult PatternLibrary::legality(const drc::DesignRules& rules) const {
+  return metrics::legality(patterns_, rules);
+}
+
+double PatternLibrary::diversity() const {
+  std::vector<squish::Topology> topos;
+  topos.reserve(patterns_.size());
+  for (const auto& p : patterns_) topos.push_back(p.topology);
+  return metrics::diversity(topos);
+}
+
+int PatternLibrary::export_pbm(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  std::ofstream manifest(dir + "/manifest.txt");
+  manifest << "style " << style_ << "\ncount " << patterns_.size() << "\n";
+  int written = 0;
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    const std::string name = util::format("pattern_%05zu.pbm", i);
+    std::ofstream out(dir + "/" + name);
+    out << patterns_[i].topology.to_pbm();
+    manifest << name << " " << patterns_[i].width_nm() << "x" << patterns_[i].height_nm()
+             << " nm\n";
+    ++written;
+  }
+  return written + 1;
+}
+
+int PatternLibrary::export_gds(const std::string& path, int layer) const {
+  io::GdsLibrary lib;
+  lib.name = "CHATPATTERN_" + style_;
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    io::GdsStructure str;
+    str.name = util::format("PATTERN_%05zu", i);
+    str.layer = layer;
+    str.rects = squish::unsquish(patterns_[i]);
+    lib.structures.push_back(std::move(str));
+  }
+  io::write_gds(path, lib);
+  return static_cast<int>(lib.structures.size());
+}
+
+}  // namespace cp::core

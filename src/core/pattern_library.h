@@ -1,0 +1,46 @@
+#pragma once
+// A pattern library: the deliverable of a ChatPattern request. Bundles the
+// legalized patterns of one style with metric helpers and disk export.
+
+#include <string>
+#include <vector>
+
+#include "drc/rules.h"
+#include "metrics/metrics.h"
+#include "squish/squish.h"
+
+namespace cp::core {
+
+class PatternLibrary {
+ public:
+  PatternLibrary() = default;
+  explicit PatternLibrary(std::string style) : style_(std::move(style)) {}
+
+  void add(squish::SquishPattern pattern) { patterns_.push_back(std::move(pattern)); }
+  std::size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+  const std::string& style() const { return style_; }
+  const std::vector<squish::SquishPattern>& patterns() const { return patterns_; }
+  const squish::SquishPattern& at(std::size_t i) const { return patterns_[i]; }
+
+  /// Re-checked legality under `rules` (Definition 1).
+  metrics::LegalityResult legality(const drc::DesignRules& rules) const;
+
+  /// Diversity of the topologies (Definition 2).
+  double diversity() const;
+
+  /// Write every pattern as a PBM image plus a manifest.txt into `dir`
+  /// (created if missing). Returns the number of files written.
+  int export_pbm(const std::string& dir) const;
+
+  /// Write the library as a GDSII stream file (one structure per pattern,
+  /// coordinates in nm on the given layer). Loads into standard layout
+  /// viewers. Returns the number of structures written.
+  int export_gds(const std::string& path, int layer = 1) const;
+
+ private:
+  std::string style_;
+  std::vector<squish::SquishPattern> patterns_;
+};
+
+}  // namespace cp::core

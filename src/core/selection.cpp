@@ -1,0 +1,23 @@
+#include "core/selection.h"
+
+namespace cp::core {
+
+SelectionResult select_legal(const diffusion::TopologyGenerator& generator,
+                             const legalize::Legalizer& legalizer,
+                             const diffusion::SampleConfig& sample_config,
+                             geometry::Coord width_nm, geometry::Coord height_nm, int count,
+                             util::Rng& rng, long long max_attempts) {
+  SelectionResult result;
+  if (max_attempts <= 0) max_attempts = 16LL * count + 64;
+  while (static_cast<int>(result.patterns.size()) < count &&
+         result.attempts < max_attempts) {
+    ++result.attempts;
+    const squish::Topology t = generator.sample(sample_config, rng);
+    legalize::LegalizeResult res = legalizer.legalize(t, width_nm, height_nm);
+    if (res.ok()) result.patterns.push_back(std::move(*res.pattern));
+  }
+  result.complete = static_cast<int>(result.patterns.size()) == count;
+  return result;
+}
+
+}  // namespace cp::core

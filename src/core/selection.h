@@ -1,0 +1,29 @@
+#pragma once
+// Topology selection (Section 4.1): "every squish-pattern-based method can
+// reach 100% legality via selection" — generate surplus topologies and keep
+// only those that legalize. The paper *removes* this step when comparing
+// models (and so do the benches); it is provided here because a production
+// library builder wants it, and bench/ablation_sampler quantifies its cost.
+
+#include <vector>
+
+#include "diffusion/sampler.h"
+#include "legalize/legalizer.h"
+
+namespace cp::core {
+
+struct SelectionResult {
+  std::vector<squish::SquishPattern> patterns;  // exactly `count` on success
+  long long attempts = 0;                       // topologies sampled in total
+  bool complete = false;                        // false if the budget ran out
+};
+
+/// Sample until `count` legal patterns exist (or the attempt budget runs
+/// out). Every returned pattern is DRC-clean by construction.
+SelectionResult select_legal(const diffusion::TopologyGenerator& generator,
+                             const legalize::Legalizer& legalizer,
+                             const diffusion::SampleConfig& sample_config,
+                             geometry::Coord width_nm, geometry::Coord height_nm, int count,
+                             util::Rng& rng, long long max_attempts = 0);
+
+}  // namespace cp::core

@@ -1,0 +1,65 @@
+#include "dataset/builder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cp::dataset {
+
+using geometry::Coord;
+using geometry::Rect;
+
+Dataset build_dataset(const DatasetConfig& config) {
+  Dataset out;
+  out.config = config;
+  const StyleParams style = style_params(config.style);
+  util::Rng rng(config.seed);
+
+  // Auto map size: comfortably larger than the window so many decorrelated
+  // clips exist, but bounded so map generation stays cheap.
+  const Coord map_nm =
+      config.map_nm > 0 ? config.map_nm : std::max<Coord>(4 * config.window_nm, 8192);
+  // Keep clips away from the map border where construction-rule exemptions
+  // (clipped tails) live.
+  const Coord inset = std::max<Coord>(style.rules.min_space_nm * 4, 256);
+
+  std::vector<Rect> map = generate_map(style, map_nm, rng);
+  int windows_from_current_map = 0;
+  const int max_windows_per_map =
+      std::max(8, static_cast<int>((map_nm / config.window_nm) * (map_nm / config.window_nm)) * 4);
+
+  int guard = 0;
+  while (static_cast<int>(out.topologies.size()) < config.count) {
+    if (++guard > config.count * 64 + 1024) {
+      CP_LOG_WARN << "build_dataset: giving up after too many rejected windows ("
+                  << out.rejected << " rejected, " << out.topologies.size() << " kept)";
+      break;
+    }
+    if (windows_from_current_map >= max_windows_per_map) {
+      map = generate_map(style, map_nm, rng);
+      windows_from_current_map = 0;
+    }
+    ++windows_from_current_map;
+    const Coord x0 = inset + static_cast<Coord>(rng.uniform_int(
+                                 0, static_cast<int>(map_nm - config.window_nm - 2 * inset)));
+    const Coord y0 = inset + static_cast<Coord>(rng.uniform_int(
+                                 0, static_cast<int>(map_nm - config.window_nm - 2 * inset)));
+    const Rect window{x0, y0, x0 + config.window_nm, y0 + config.window_nm};
+    const squish::SquishPattern clip = squish::squish(map, window);
+    auto normalised = squish::normalize_to(clip, config.topo_size);
+    if (!normalised) {
+      ++out.rejected;
+      continue;
+    }
+    out.topologies.push_back(std::move(normalised->topology));
+  }
+  return out;
+}
+
+Dataset build_reference_library(const DatasetConfig& config) {
+  // The reference library is built the same way; the distinction is semantic
+  // (it is used as the "Real Patterns" row, never for training).
+  return build_dataset(config);
+}
+
+}  // namespace cp::dataset

@@ -1,0 +1,41 @@
+#pragma once
+// Dataset construction: clip windows from synthetic layout maps, squish,
+// normalise to the model size, and assemble topology libraries. This is the
+// C++ equivalent of the paper's preprocessing of the ICCAD-2014 maps
+// ("splitting the layout map ... with overlap").
+
+#include <vector>
+
+#include "dataset/mapgen.h"
+#include "squish/normalize.h"
+
+namespace cp::dataset {
+
+struct DatasetConfig {
+  int style = 0;                        // condition index
+  geometry::Coord window_nm = 2048;     // physical clip size (square)
+  int topo_size = 128;                  // normalised topology size (square)
+  int count = 256;                      // number of clips to keep
+  std::uint64_t seed = 1;
+  geometry::Coord map_nm = 0;           // 0 = auto (a few windows across)
+};
+
+struct Dataset {
+  DatasetConfig config;
+  /// Normalised topo_size x topo_size topologies.
+  std::vector<squish::Topology> topologies;
+  /// Number of windows rejected because their minimal squish form exceeded
+  /// topo_size (too complex for the model window) — paper-style filtering.
+  int rejected = 0;
+};
+
+/// Build a dataset of normalised topologies for one style.
+Dataset build_dataset(const DatasetConfig& config);
+
+/// Reference ("Real Patterns") library: un-normalised complexities are what
+/// the diversity metric consumes, so the library stores the clips' minimal
+/// squish topologies padded to topo_size only when needed downstream.
+/// Here we keep the normalised form for uniformity.
+Dataset build_reference_library(const DatasetConfig& config);
+
+}  // namespace cp::dataset

@@ -1,0 +1,144 @@
+#include "dataset/mapgen.h"
+
+#include <algorithm>
+
+namespace cp::dataset {
+
+using geometry::Coord;
+using geometry::Rect;
+
+namespace {
+
+struct Track {
+  Coord x0 = 0, x1 = 0;
+  // Segment y-extents, ascending and separated by at least min_space.
+  std::vector<std::pair<Coord, Coord>> segments;
+};
+
+Coord rand_coord(util::Rng& rng, Coord lo, Coord hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<Coord>(rng.uniform_int(0, static_cast<int>(hi - lo)));
+}
+
+/// Random multiple of `snap` in [lo, hi]; returns the smallest legal
+/// multiple when the interval contains none above lo.
+Coord rand_snapped(util::Rng& rng, Coord lo, Coord hi, Coord snap) {
+  const Coord lo_q = (lo + snap - 1) / snap;
+  const Coord hi_q = hi / snap;
+  if (hi_q <= lo_q) return lo_q * snap;
+  return static_cast<Coord>(rng.uniform_int(static_cast<int>(lo_q), static_cast<int>(hi_q))) *
+         snap;
+}
+
+Coord snap_up(Coord v, Coord snap) { return (v + snap - 1) / snap * snap; }
+
+}  // namespace
+
+std::vector<Rect> generate_routing_map(const StyleParams& style, Coord size_nm, util::Rng& rng) {
+  const drc::DesignRules& rules = style.rules;
+  const Coord snap = style.snap_nm;
+  std::vector<Track> tracks;
+
+  // Lay vertical tracks left to right with rule-respecting gaps. Track x
+  // positions are not snapped (each track contributes exactly two x scan
+  // lines regardless); y edges are snapped to the routing grid so that scan
+  // lines are shared across tracks, as in real layouts.
+  Coord x = rand_coord(rng, 0, style.track_gap_max);
+  while (true) {
+    const Coord w = rand_coord(rng, style.track_width_min, style.track_width_max);
+    if (x + w > size_nm) break;
+    Track t;
+    t.x0 = x;
+    t.x1 = x + w;
+    const Coord len_floor = snap_up(
+        std::max({style.segment_len_min, rules.min_width_nm, (rules.min_area_nm2 + w - 1) / w}),
+        snap);
+    const Coord gap_floor = snap_up(std::max(style.segment_gap_min, rules.min_space_nm), snap);
+    const Coord gap_ceil = std::max(gap_floor, snap_up(style.segment_gap_max, snap));
+    Coord y = rng.bernoulli(0.5) ? 0 : rand_snapped(rng, 0, style.segment_gap_max, snap);
+    while (y < size_nm) {
+      Coord len = rand_snapped(rng, len_floor, std::max(len_floor, style.segment_len_max), snap);
+      if (y + len > size_nm) len = size_nm - y;
+      // Drop clipped tails that fall below the legal floor; windows are
+      // sampled away from the map border, so a short tail would otherwise
+      // appear as an interior width violation.
+      if (len < len_floor) break;
+      t.segments.emplace_back(y, y + len);
+      y += len + rand_snapped(rng, gap_floor, gap_ceil, snap);
+    }
+    x = t.x1 + rand_coord(rng, std::max(style.track_gap_min, rules.min_space_nm),
+                          std::max(style.track_gap_max, rules.min_space_nm));
+    tracks.push_back(std::move(t));
+  }
+
+  std::vector<Rect> rects;
+  for (const Track& t : tracks) {
+    for (const auto& [y0, y1] : t.segments) rects.push_back(Rect{t.x0, y0, t.x1, y1});
+  }
+
+  // Straps: connect vertically overlapping segments of adjacent tracks.
+  // Straps within one gap keep min_space vertical separation (segment
+  // ordering already guarantees it across different segment pairs).
+  const Coord strap_h_floor = snap_up(rules.min_width_nm, snap);
+  for (std::size_t i = 0; i + 1 < tracks.size(); ++i) {
+    const Track& a = tracks[i];
+    const Track& b = tracks[i + 1];
+    Coord last_strap_end = -(1 << 30);
+    for (const auto& [ay0, ay1] : a.segments) {
+      for (const auto& [by0, by1] : b.segments) {
+        const Coord lo = std::max(ay0, by0);
+        const Coord hi = std::min(ay1, by1);
+        if (hi - lo < strap_h_floor) continue;
+        if (!rng.bernoulli(style.strap_probability)) continue;
+        const Coord h = std::min<Coord>(hi - lo, strap_h_floor + (rng.bernoulli(0.3) ? snap : 0));
+        const Coord y0 = rand_snapped(rng, lo, hi - h, snap);
+        if (y0 + h > hi || y0 < lo) continue;
+        if (y0 < last_strap_end + rules.min_space_nm) continue;
+        rects.push_back(Rect{a.x0, y0, b.x1, y0 + h});
+        last_strap_end = y0 + h;
+      }
+    }
+  }
+  return rects;
+}
+
+std::vector<Rect> generate_block_map(const StyleParams& style, Coord size_nm, util::Rng& rng) {
+  const drc::DesignRules& rules = style.rules;
+  const Coord snap = style.snap_nm;
+  std::vector<Rect> rects;
+  const Coord cell = style.block_cell;
+  const Coord margin = snap_up((rules.min_space_nm + 1) / 2 + 1, snap);
+  for (Coord cy = 0; cy + cell <= size_nm; cy += cell) {
+    for (Coord cx = 0; cx + cell <= size_nm; cx += cell) {
+      if (!rng.bernoulli(style.block_probability)) continue;
+      const Coord avail = cell - 2 * margin;
+      const Coord wmin = snap_up(std::max(style.block_min, rules.min_width_nm), snap);
+      if (avail < wmin) continue;
+      const Coord wmax = std::min(style.block_max, avail);
+      const Coord w = rand_snapped(rng, wmin, std::max(wmin, wmax), snap);
+      const Coord h = rand_snapped(rng, wmin, std::max(wmin, wmax), snap);
+      if (w > avail || h > avail) continue;
+      const Coord x0 = cx + margin + rand_snapped(rng, 0, avail - w, snap);
+      const Coord y0 = cy + margin + rand_snapped(rng, 0, avail - h, snap);
+      rects.push_back(Rect{x0, y0, x0 + w, y0 + h});
+      if (rng.bernoulli(style.lshape_probability) && w >= 2 * wmin) {
+        // Grow an L by attaching a leg below the block's left half, staying
+        // inside the cell margins so neighbours keep their spacing.
+        const Coord leg_w = snap_up(std::max(wmin, w / 2), snap);
+        const Coord leg_room = (cy + cell - margin) - (y0 + h);
+        const Coord leg_h = std::min(snap_up(std::max(wmin, h / 2), snap), leg_room / snap * snap);
+        if (leg_h >= wmin && leg_w <= w) {
+          rects.push_back(Rect{x0, y0 + h, x0 + leg_w, y0 + h + leg_h});
+        }
+      }
+    }
+  }
+  return rects;
+}
+
+std::vector<Rect> generate_map(const StyleParams& style, Coord size_nm, util::Rng& rng) {
+  return style.routing_style ? generate_routing_map(style, size_nm, rng)
+                             : generate_block_map(style, size_nm, rng);
+}
+
+}  // namespace cp::dataset

@@ -1,0 +1,34 @@
+#pragma once
+// Synthetic layout-map generation (substitution S1 in DESIGN.md).
+//
+// The paper obtains training clips by splitting the ICCAD-2014 contest layout
+// maps. That data is unavailable offline, so we synthesise large DRC-clean
+// layout maps with the same role: a big rect soup from which overlapping
+// windows are clipped, squished and normalised. The generators are
+// correct-by-construction with respect to the style's design rules (verified
+// by tests that DRC-check random windows).
+
+#include <vector>
+
+#include "dataset/style.h"
+#include "geometry/polygon.h"
+#include "util/rng.h"
+
+namespace cp::dataset {
+
+/// Generate a `size_nm` x `size_nm` layout map in the given style.
+/// The returned rects may overlap only where they intentionally form one
+/// polygon (straps/L-shapes); the squish step rasterises the union.
+std::vector<geometry::Rect> generate_map(const StyleParams& style, geometry::Coord size_nm,
+                                         util::Rng& rng);
+
+/// Routing-style map (vertical tracks, segment breaks, straps). Exposed for
+/// targeted tests; generate_map dispatches on style.routing_style.
+std::vector<geometry::Rect> generate_routing_map(const StyleParams& style,
+                                                 geometry::Coord size_nm, util::Rng& rng);
+
+/// Block-style map (random blocks and L-shapes on a coarse grid).
+std::vector<geometry::Rect> generate_block_map(const StyleParams& style, geometry::Coord size_nm,
+                                               util::Rng& rng);
+
+}  // namespace cp::dataset

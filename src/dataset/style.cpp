@@ -1,0 +1,43 @@
+#include "dataset/style.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cp::dataset {
+
+int style_index(const std::string& name) {
+  const std::string s = util::to_lower(name);
+  if (s == "layer-10001" || s == "10001" || s == "layer10001" || s == "layer_10001") return 0;
+  if (s == "layer-10003" || s == "10003" || s == "layer10003" || s == "layer_10003") return 1;
+  return -1;
+}
+
+std::string style_name(int index) {
+  if (index < 0 || index >= kStyleCount) {
+    throw std::out_of_range("style_name: bad index " + std::to_string(index));
+  }
+  return kStyleNames[index];
+}
+
+StyleParams style_params(int index) {
+  StyleParams p;
+  p.name = style_name(index);
+  p.rules = drc::rules_for_style(p.name);
+  if (index == 0) {
+    p.routing_style = true;
+    p.snap_nm = 64;
+    // Remaining defaults in the header are the Layer-10001 routing numbers.
+  } else {
+    p.routing_style = false;
+    p.snap_nm = 80;
+    p.block_cell = 560;
+    p.block_min = 160;
+    p.block_max = 400;
+    p.block_probability = 0.62;
+    p.lshape_probability = 0.35;
+  }
+  return p;
+}
+
+}  // namespace cp::dataset

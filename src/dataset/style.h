@@ -1,0 +1,62 @@
+#pragma once
+// Layout style definitions. A style bundles the design rules with the
+// parameters of the synthetic map generator that mimics that layer's look:
+// Layer-10001 is a dense thin-wire routing layer (vertical tracks with
+// segment breaks, jogs and inter-track straps); Layer-10003 is a sparser
+// wide-feature layer (blocks and L-shapes on a coarse grid).
+//
+// The two styles have visibly different local statistics — exactly what the
+// paper's conditional generation experiment needs (the condition c selects
+// the style distribution).
+
+#include <string>
+#include <vector>
+
+#include "drc/rules.h"
+
+namespace cp::dataset {
+
+/// Condition labels used across the library. The condition embedding of the
+/// diffusion model is the index into this list.
+inline constexpr int kStyleCount = 2;
+inline constexpr const char* kStyleNames[kStyleCount] = {"Layer-10001", "Layer-10003"};
+
+/// Map a style name (any capitalisation, with or without the "Layer-" prefix)
+/// to its condition index; returns -1 if unknown.
+int style_index(const std::string& name);
+
+/// Inverse of style_index.
+std::string style_name(int index);
+
+struct StyleParams {
+  std::string name;
+  drc::DesignRules rules;
+
+  /// Placement grid for shape edges along y (routing style) or both axes
+  /// (block style). Real layouts snap edges to a routing/placement grid,
+  /// which is what keeps the scan-line count of large clips bounded; without
+  /// it a 1024x1024-topology window would exceed its own scan-line budget.
+  geometry::Coord snap_nm = 64;
+
+  // Routing-style parameters (Layer-10001). The layer runs close to its
+  // design-rule capacity (requirement/budget ~ 0.85 per clip), like a dense
+  // production metal layer — this is what makes very large extensions of
+  // this style progressively harder (Table 1, 1024^2 row).
+  bool routing_style = true;
+  geometry::Coord track_width_min = 48, track_width_max = 64;
+  geometry::Coord track_gap_min = 48, track_gap_max = 76;
+  geometry::Coord segment_len_min = 160, segment_len_max = 900;
+  geometry::Coord segment_gap_min = 48, segment_gap_max = 280;
+  double strap_probability = 0.3;  // chance of a strap in a given gap slot
+
+  // Block-style parameters (Layer-10003).
+  geometry::Coord block_cell = 560;  // coarse placement grid
+  geometry::Coord block_min = 96, block_max = 420;
+  double block_probability = 0.62;
+  double lshape_probability = 0.35;
+};
+
+/// Built-in parameter sets for the two evaluation styles.
+StyleParams style_params(int index);
+
+}  // namespace cp::dataset

@@ -1,0 +1,23 @@
+#include "diffusion/denoiser.h"
+
+#include <stdexcept>
+
+namespace cp::diffusion {
+
+float Denoiser::predict_x0_pixel(const squish::Topology& xk, int r, int c, int k,
+                                 int condition) const {
+  ProbGrid p0;
+  predict_x0(xk, k, condition, p0);
+  return p0[static_cast<std::size_t>(r) * xk.cols() + c];
+}
+
+void UniformDenoiser::predict_x0(const squish::Topology& xk, int k, int condition,
+                                 ProbGrid& p0) const {
+  (void)k;
+  if (condition < 0 || condition >= conditions()) {
+    throw std::out_of_range("UniformDenoiser: bad condition");
+  }
+  p0.assign(xk.size(), density_[static_cast<std::size_t>(condition)]);
+}
+
+}  // namespace cp::diffusion

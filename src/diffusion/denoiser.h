@@ -1,0 +1,75 @@
+#pragma once
+// Denoiser interface: the learned component of the diffusion model.
+//
+// A Denoiser estimates p_theta(x_0 | x_k, c) — for every pixel, the
+// probability that the clean topology has a 1 there, given the noisy
+// topology x_k, the timestep k and the condition (style class) c. The
+// sampler, trainer, modification and extension code are all written against
+// this interface (substitution S2 in DESIGN.md): the paper's U-Net is one
+// possible implementation; this repo ships a counting-based tabular
+// estimator (fast, used by the benches) and an MLP trained with Adam (the
+// neural path), plus a prior-only control.
+
+#include <vector>
+
+#include "squish/topology.h"
+
+namespace cp::diffusion {
+
+/// Per-pixel probabilities, row-major, same dims as the topology.
+using ProbGrid = std::vector<float>;
+
+class Denoiser {
+ public:
+  virtual ~Denoiser() = default;
+
+  /// Fill `p0` (resized by the callee) with P(x0=1 | xk, k, condition).
+  virtual void predict_x0(const squish::Topology& xk, int k, int condition,
+                          ProbGrid& p0) const = 0;
+
+  /// P(x0=1) for a single pixel. Local-receptive-field denoisers override
+  /// this with an O(1) evaluation; it powers the sequential (Gibbs-style)
+  /// reverse sampler, which re-queries the model as the grid is being
+  /// updated. The default falls back to a full-grid prediction and is only
+  /// acceptable for tests.
+  virtual float predict_x0_pixel(const squish::Topology& xk, int r, int c, int k,
+                                 int condition) const;
+
+  /// Number of conditions (style classes) the denoiser was trained with.
+  virtual int conditions() const = 0;
+
+  /// Marginal fill density of the training data for a condition, or a
+  /// negative value when unknown. Drives the sampler's mean-matching
+  /// guidance (see DiffusionSampler).
+  virtual double prior_density(int condition) const {
+    (void)condition;
+    return -1.0;
+  }
+
+  virtual const char* name() const = 0;
+};
+
+/// Prior-only control: predicts the class marginal density everywhere,
+/// ignoring x_k. Used in ablations as the "no learning" floor.
+class UniformDenoiser : public Denoiser {
+ public:
+  explicit UniformDenoiser(std::vector<float> class_density)
+      : density_(std::move(class_density)) {}
+  void predict_x0(const squish::Topology& xk, int k, int condition,
+                  ProbGrid& p0) const override;
+  float predict_x0_pixel(const squish::Topology& xk, int r, int c, int k,
+                         int condition) const override {
+    (void)xk;
+    (void)r;
+    (void)c;
+    (void)k;
+    return density_[static_cast<std::size_t>(condition)];
+  }
+  int conditions() const override { return static_cast<int>(density_.size()); }
+  const char* name() const override { return "UniformDenoiser"; }
+
+ private:
+  std::vector<float> density_;
+};
+
+}  // namespace cp::diffusion

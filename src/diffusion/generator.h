@@ -1,0 +1,29 @@
+#pragma once
+// Generator interface: what the rest of the system (extension algorithms,
+// agent tools, benches) needs from a generative model — conditional
+// sampling and masked modification. DiffusionSampler implements it
+// directly; CascadeSampler implements it with a coarse-to-fine pipeline.
+
+#include "diffusion/denoiser.h"
+#include "util/rng.h"
+
+namespace cp::diffusion {
+
+struct SampleConfig;
+struct ModifyConfig;
+
+class TopologyGenerator {
+ public:
+  virtual ~TopologyGenerator() = default;
+
+  virtual squish::Topology sample(const SampleConfig& config, util::Rng& rng) const = 0;
+
+  /// Regenerate the zero-mask region of `known`, keeping mask==1 cells.
+  virtual squish::Topology modify(const squish::Topology& known,
+                                  const squish::Topology& keep_mask, const ModifyConfig& config,
+                                  util::Rng& rng) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace cp::diffusion

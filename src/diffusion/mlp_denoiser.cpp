@@ -1,0 +1,93 @@
+#include "diffusion/mlp_denoiser.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cp::diffusion {
+
+namespace {
+constexpr int kTimeFeatures = 4;
+
+constexpr int kOffsets[TabularDenoiser::kNeighbors][2] = {
+    {0, 0},  {-1, 0}, {1, 0},  {0, -1}, {0, 1},  {-1, -1}, {-1, 1},  {1, -1}, {1, 1},
+    {-2, 0}, {2, 0},  {0, -2}, {0, 2},  {-4, 0}, {4, 0},   {0, -4},  {0, 4},
+};
+
+inline int mirror(int i, int n) {
+  if (i < 0) return -i;
+  if (i >= n) return 2 * n - 2 - i;
+  return i;
+}
+}  // namespace
+
+MlpDenoiser::MlpDenoiser(const NoiseSchedule& schedule, const MlpConfig& config, util::Rng& rng)
+    : schedule_(&schedule), config_(config) {
+  if (config.conditions < 1 || config.hidden < 1 || config.layers < 1) {
+    throw std::invalid_argument("MlpDenoiser: bad config");
+  }
+  int in = feature_dim();
+  for (int i = 0; i < config.layers; ++i) {
+    net_.add(std::make_unique<nn::Linear>(in, config.hidden, rng));
+    net_.add(std::make_unique<nn::SiLU>());
+    in = config.hidden;
+  }
+  net_.add(std::make_unique<nn::Linear>(in, 1, rng));
+}
+
+int MlpDenoiser::feature_dim() const {
+  return TabularDenoiser::kNeighbors + kTimeFeatures + config_.conditions;
+}
+
+void MlpDenoiser::pixel_features(const squish::Topology& xk, int r, int c, int k, int condition,
+                                 float* out) const {
+  int idx = 0;
+  for (int i = 0; i < TabularDenoiser::kNeighbors; ++i) {
+    const int rr = mirror(r + kOffsets[i][0], xk.rows());
+    const int cc = mirror(c + kOffsets[i][1], xk.cols());
+    out[idx++] = xk.at(rr, cc) ? 1.0f : -1.0f;
+  }
+  const double t = static_cast<double>(k) / static_cast<double>(schedule_->steps());
+  out[idx++] = static_cast<float>(t);
+  out[idx++] = static_cast<float>(std::sin(2.0 * std::numbers::pi * t));
+  out[idx++] = static_cast<float>(std::cos(2.0 * std::numbers::pi * t));
+  out[idx++] = static_cast<float>(schedule_->cumulative_flip(k));
+  for (int s = 0; s < config_.conditions; ++s) out[idx++] = (s == condition) ? 1.0f : 0.0f;
+}
+
+nn::Tensor MlpDenoiser::build_features(const squish::Topology& xk, int k, int condition) const {
+  const int n = xk.rows() * xk.cols();
+  nn::Tensor features({n, feature_dim()});
+  int row = 0;
+  for (int r = 0; r < xk.rows(); ++r) {
+    for (int c = 0; c < xk.cols(); ++c) {
+      pixel_features(xk, r, c, k, condition,
+                     features.data() + static_cast<std::size_t>(row) * feature_dim());
+      ++row;
+    }
+  }
+  return features;
+}
+
+float MlpDenoiser::predict_x0_pixel(const squish::Topology& xk, int r, int c, int k,
+                                    int condition) const {
+  nn::Tensor features({1, feature_dim()});
+  pixel_features(xk, r, c, k, condition, features.data());
+  const nn::Tensor logits = net_.forward(features);
+  return 1.0f / (1.0f + std::exp(-logits[0]));
+}
+
+void MlpDenoiser::predict_x0(const squish::Topology& xk, int k, int condition,
+                             ProbGrid& p0) const {
+  if (condition < 0 || condition >= config_.conditions) {
+    throw std::out_of_range("MlpDenoiser::predict_x0: bad condition");
+  }
+  const nn::Tensor features = build_features(xk, k, condition);
+  const nn::Tensor logits = net_.forward(features);
+  p0.resize(xk.size());
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    p0[i] = 1.0f / (1.0f + std::exp(-logits[i]));
+  }
+}
+
+}  // namespace cp::diffusion

@@ -1,0 +1,58 @@
+#pragma once
+// Neural denoiser: a receptive-field MLP trained with Adam on the BCE
+// objective (the cross-entropy term of Equation (10); see trainer.h for the
+// full loss discussion). Slower than the tabular estimator but exercises the
+// from-scratch NN stack end to end; used by tests, examples and the
+// denoiser ablation bench.
+//
+// Features per pixel: the same 13-cell neighbourhood as the tabular
+// denoiser (values ±1), a 4-dim sinusoidal timestep embedding, and the
+// class condition one-hot — the "condition embedding added to the time
+// embedding" design of the paper collapsed to input features, appropriate
+// for an MLP.
+
+#include <memory>
+
+#include "diffusion/denoiser.h"
+#include "diffusion/schedule.h"
+#include "diffusion/tabular_denoiser.h"
+#include "nn/layers.h"
+
+namespace cp::diffusion {
+
+struct MlpConfig {
+  int conditions = 2;
+  int hidden = 64;
+  int layers = 2;  // hidden layers
+};
+
+class MlpDenoiser : public Denoiser {
+ public:
+  MlpDenoiser(const NoiseSchedule& schedule, const MlpConfig& config, util::Rng& rng);
+
+  void predict_x0(const squish::Topology& xk, int k, int condition,
+                  ProbGrid& p0) const override;
+  float predict_x0_pixel(const squish::Topology& xk, int r, int c, int k,
+                         int condition) const override;
+  int conditions() const override { return config_.conditions; }
+  const char* name() const override { return "MlpDenoiser"; }
+
+  int feature_dim() const;
+
+  /// Features for every pixel of `xk`: tensor [rows*cols, feature_dim].
+  nn::Tensor build_features(const squish::Topology& xk, int k, int condition) const;
+
+  /// Features for a single pixel (used by the minibatch trainer).
+  void pixel_features(const squish::Topology& xk, int r, int c, int k, int condition,
+                      float* out) const;
+
+  nn::Sequential& net() { return net_; }
+  const NoiseSchedule& schedule() const { return *schedule_; }
+
+ private:
+  const NoiseSchedule* schedule_;
+  MlpConfig config_;
+  mutable nn::Sequential net_;  // forward() caches per batch; logically const
+};
+
+}  // namespace cp::diffusion

@@ -1,0 +1,207 @@
+#include "diffusion/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cp::diffusion {
+
+std::vector<int> DiffusionSampler::make_timesteps(int count) const {
+  return make_timesteps_from(schedule_->steps(), count);
+}
+
+std::vector<int> DiffusionSampler::make_timesteps_from(int k_start, int count) const {
+  const int k_max = std::clamp(k_start, 1, schedule_->steps());
+  if (count <= 0 || count >= k_max) {
+    std::vector<int> steps(static_cast<std::size_t>(k_max) + 1);
+    for (int i = 0; i <= k_max; ++i) steps[static_cast<std::size_t>(i)] = k_max - i;
+    return steps;
+  }
+  // Noise-uniform spacing: with the paper's linear beta schedule the chain
+  // is essentially fully mixed beyond small k (cumulative flip saturates at
+  // 0.5), so uniform-in-k striding would waste almost every step. Instead
+  // the visited steps are chosen so the *cumulative flip probability*
+  // decreases in equal increments — an annealing schedule that spends the
+  // step budget where structure actually forms.
+  std::vector<int> steps{k_max};
+  const double top = schedule_->cumulative_flip(k_max);
+  for (int i = 1; i < count; ++i) {
+    const double target = top * (1.0 - static_cast<double>(i) / count);
+    const int k = schedule_->step_for_flip(target);
+    if (k >= 1 && k < steps.back()) steps.push_back(k);
+  }
+  if (steps.back() != 1) steps.push_back(1);
+  steps.push_back(0);
+  return steps;
+}
+
+squish::Topology DiffusionSampler::reverse_step(const squish::Topology& xk, int k_from, int k_to,
+                                                int condition, util::Rng& rng) const {
+  if (k_to >= k_from) throw std::invalid_argument("reverse_step: k_to must be < k_from");
+  return sequential_ ? reverse_step_sequential(xk, k_from, k_to, condition, rng)
+                     : reverse_step_factorized(xk, k_from, k_to, condition, rng);
+}
+
+namespace {
+
+constexpr double kProbEps = 1e-6;
+
+inline double shifted_prob(double p, double lambda) {
+  if (lambda == 0.0) return p;
+  const double pc = std::clamp(p, kProbEps, 1.0 - kProbEps);
+  const double logit = std::log(pc / (1.0 - pc)) + lambda;
+  return 1.0 / (1.0 + std::exp(-logit));
+}
+
+}  // namespace
+
+double DiffusionSampler::guidance_shift(const squish::Topology& xk, int k_from,
+                                        int condition) const {
+  if (!guidance_) return 0.0;
+  const double target = denoiser_->prior_density(condition);
+  if (target <= 0.0 || target >= 1.0) return 0.0;
+  ProbGrid p0;
+  denoiser_->predict_x0(xk, k_from, condition, p0);
+  // Bisection on the uniform logit shift.
+  double lo = -8.0, hi = 8.0;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    double mean = 0.0;
+    for (float p : p0) mean += shifted_prob(p, mid);
+    mean /= static_cast<double>(p0.size());
+    if (mean < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+squish::Topology DiffusionSampler::reverse_step_factorized(const squish::Topology& xk,
+                                                           int k_from, int k_to, int condition,
+                                                           util::Rng& rng) const {
+  ProbGrid p0;
+  denoiser_->predict_x0(xk, k_from, condition, p0);
+  const double lambda = guidance_shift(xk, k_from, condition);
+  const double flip_0j = schedule_->cumulative_flip(k_to);
+  const double flip_jk = schedule_->flip_between(k_to, k_from);
+  squish::Topology out(xk.rows(), xk.cols());
+  std::size_t i = 0;
+  for (int r = 0; r < xk.rows(); ++r) {
+    for (int c = 0; c < xk.cols(); ++c, ++i) {
+      const double p1 = reverse_p1(xk.at(r, c), shifted_prob(p0[i], lambda), flip_0j, flip_jk);
+      out.set(r, c, rng.bernoulli(p1) ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+squish::Topology DiffusionSampler::reverse_step_sequential(const squish::Topology& xk,
+                                                           int k_from, int k_to, int condition,
+                                                           util::Rng& rng) const {
+  const double flip_0j = schedule_->cumulative_flip(k_to);
+  const double flip_jk = schedule_->flip_between(k_to, k_from);
+  const double lambda = guidance_shift(xk, k_from, condition);
+  // Update the grid in place: pixels already visited carry their k_to
+  // values, pixels ahead still carry k_from values, and the denoiser is
+  // re-queried on the evolving grid. A serpentine scan whose start corner
+  // alternates with k_from removes the directional bias a fixed raster
+  // order would imprint.
+  squish::Topology x = xk;
+  const bool flip_rows = (k_from % 2) == 0;
+  for (int rr = 0; rr < x.rows(); ++rr) {
+    const int r = flip_rows ? x.rows() - 1 - rr : rr;
+    const bool reverse_cols = (rr % 2) == 1;
+    for (int cc = 0; cc < x.cols(); ++cc) {
+      const int c = reverse_cols ? x.cols() - 1 - cc : cc;
+      const std::uint8_t old = x.at(r, c);
+      const float p0 = denoiser_->predict_x0_pixel(x, r, c, k_from, condition);
+      const double p1 = reverse_p1(old, shifted_prob(p0, lambda), flip_0j, flip_jk);
+      x.set(r, c, rng.bernoulli(p1) ? 1 : 0);
+    }
+  }
+  return x;
+}
+
+squish::Topology DiffusionSampler::map_polish(squish::Topology x, int k, int condition,
+                                              const squish::Topology& keep_mask) const {
+  const int kk = std::clamp(k, 1, schedule_->steps());
+  // Treat the current pattern as if it sat at noise level kk and take the
+  // most probable clean value per pixel, sequentially (serpentine).
+  const double flip_jk = schedule_->cumulative_flip(kk);
+  // Guidance for an argmax sweep must match the *fraction of pixels that
+  // end up above threshold* to the prior density, not the mean probability
+  // (mean-matching overshoots under argmax and oscillates). The shift is
+  // chosen so the (1 - density)-quantile of the predictions lands at the
+  // decision boundary implied by the hysteresis of the reverse kernel.
+  double lambda = 0.0;
+  if (guidance_) {
+    const double target = denoiser_->prior_density(condition);
+    if (target > 0.0 && target < 1.0) {
+      ProbGrid p0;
+      denoiser_->predict_x0(x, kk, condition, p0);
+      std::vector<float> sorted(p0.begin(), p0.end());
+      std::sort(sorted.begin(), sorted.end());
+      const std::size_t idx = static_cast<std::size_t>(
+          std::clamp((1.0 - target) * static_cast<double>(sorted.size() - 1), 0.0,
+                     static_cast<double>(sorted.size() - 1)));
+      const double q = std::clamp(static_cast<double>(sorted[idx]), kProbEps, 1.0 - kProbEps);
+      // Move the density-matching quantile to p = 0.5.
+      lambda = -std::log(q / (1.0 - q));
+      // Keep the correction gentle; the kernel's hysteresis does the rest.
+      lambda = std::clamp(lambda, -2.0, 2.0);
+    }
+  }
+  for (int rr = 0; rr < x.rows(); ++rr) {
+    const int r = (kk % 2 == 0) ? x.rows() - 1 - rr : rr;
+    const bool reverse_cols = (rr % 2) == 1;
+    for (int cc = 0; cc < x.cols(); ++cc) {
+      const int c = reverse_cols ? x.cols() - 1 - cc : cc;
+      if (!keep_mask.empty() && keep_mask.at(r, c)) continue;
+      const std::uint8_t old = x.at(r, c);
+      const float p0 = denoiser_->predict_x0_pixel(x, r, c, kk, condition);
+      // Reverse distribution straight to level 0 (flip_0j = 0).
+      const double p1 = reverse_p1(old, shifted_prob(p0, lambda), 0.0, flip_jk);
+      x.set(r, c, p1 > 0.5 ? 1 : 0);
+    }
+  }
+  return x;
+}
+
+squish::Topology DiffusionSampler::sample(const SampleConfig& config, util::Rng& rng) const {
+  squish::Topology x(config.rows, config.cols);
+  for (int r = 0; r < x.rows(); ++r) {
+    for (int c = 0; c < x.cols(); ++c) x.set(r, c, rng.bernoulli(0.5) ? 1 : 0);
+  }
+  x = sample_from(std::move(x), make_timesteps(config.sample_steps), config.condition, rng);
+  for (int round = 0; round < config.polish_rounds; ++round) {
+    x = polish(std::move(x), config.polish_k, config.condition, rng);
+  }
+  return x;
+}
+
+squish::Topology DiffusionSampler::polish(squish::Topology x0, int polish_k, int condition,
+                                          util::Rng& rng) const {
+  const int k = std::clamp(polish_k, 1, schedule_->steps());
+  squish::Topology xk = forward_noise(x0, *schedule_, k, rng);
+  // Descend geometrically from k to 0.
+  std::vector<int> steps;
+  for (int j = k; j >= 1; j = j / 2) steps.push_back(j);
+  steps.push_back(0);
+  return sample_from(std::move(xk), steps, condition, rng);
+}
+
+squish::Topology DiffusionSampler::sample_from(squish::Topology x,
+                                               const std::vector<int>& timesteps, int condition,
+                                               util::Rng& rng) const {
+  if (timesteps.size() < 2 || timesteps.back() != 0) {
+    throw std::invalid_argument("sample_from: timestep list must descend to 0");
+  }
+  for (std::size_t i = 0; i + 1 < timesteps.size(); ++i) {
+    x = reverse_step(x, timesteps[i], timesteps[i + 1], condition, rng);
+  }
+  return x;
+}
+
+}  // namespace cp::diffusion

@@ -1,0 +1,50 @@
+#include "diffusion/schedule.h"
+
+#include <stdexcept>
+
+namespace cp::diffusion {
+
+NoiseSchedule::NoiseSchedule(const ScheduleConfig& config) : steps_(config.steps) {
+  if (config.steps < 1) throw std::invalid_argument("NoiseSchedule: steps must be >= 1");
+  if (config.beta_start < 0.0 || config.beta_end > 0.5 || config.beta_start > config.beta_end) {
+    throw std::invalid_argument("NoiseSchedule: betas must satisfy 0 <= b1 <= bK <= 0.5");
+  }
+  beta_.assign(static_cast<std::size_t>(steps_) + 1, 0.0);
+  bbar_.assign(static_cast<std::size_t>(steps_) + 1, 0.0);
+  for (int k = 1; k <= steps_; ++k) {
+    // Equation (4): linear interpolation from beta_1 to beta_K.
+    const double t = steps_ == 1 ? 0.0
+                                 : static_cast<double>(k - 1) / static_cast<double>(steps_ - 1);
+    beta_[static_cast<std::size_t>(k)] =
+        config.beta_start + t * (config.beta_end - config.beta_start);
+    const double prev = bbar_[static_cast<std::size_t>(k - 1)];
+    const double b = beta_[static_cast<std::size_t>(k)];
+    bbar_[static_cast<std::size_t>(k)] = prev * (1.0 - b) + (1.0 - prev) * b;
+  }
+}
+
+int NoiseSchedule::step_for_flip(double flip) const {
+  // bbar_ is non-decreasing; binary search for the first index >= flip.
+  int lo = 0, hi = steps_;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (bbar_[static_cast<std::size_t>(mid)] >= flip) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double NoiseSchedule::flip_between(int j, int k) const {
+  if (j < 0 || k > steps_ || j > k) throw std::out_of_range("flip_between: bad step pair");
+  // Compose: bbar_k = bbar_j (1 - f) + (1 - bbar_j) f  =>  solve for f.
+  const double bj = cumulative_flip(j);
+  const double bk = cumulative_flip(k);
+  const double denom = 1.0 - 2.0 * bj;
+  if (denom <= 1e-12) return 0.5;  // already fully mixed
+  return (bk - bj) / denom;
+}
+
+}  // namespace cp::diffusion

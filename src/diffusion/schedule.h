@@ -1,0 +1,51 @@
+#pragma once
+// Noise schedule of the binary discrete diffusion model (D3PM, Austin et al.
+// 2021), Equations (1)-(4) of the paper.
+//
+// With two states, every transition matrix Q_k is the symmetric bit-flip
+// channel with flip probability beta_k, so products of Q matrices stay
+// bit-flip channels. The schedule therefore precomputes, in closed form,
+// the cumulative flip probability
+//     bbar_k = P(x_k != x_0)
+// via the composition rule  bbar_k = bbar_{k-1} (1 - beta_k) + (1 - bbar_{k-1}) beta_k.
+// The paper's defaults: K = 1000, beta linearly increased from 0.01 to 0.5.
+// beta_K = 0.5 makes the terminal distribution exactly uniform, which is why
+// sampling starts from iid fair coin flips.
+
+#include <vector>
+
+namespace cp::diffusion {
+
+struct ScheduleConfig {
+  int steps = 1000;      // K
+  double beta_start = 0.01;  // beta_1
+  double beta_end = 0.5;     // beta_K
+};
+
+class NoiseSchedule {
+ public:
+  explicit NoiseSchedule(const ScheduleConfig& config);
+
+  int steps() const { return steps_; }
+
+  /// beta_k, the single-step flip probability; k in [1, K].
+  double beta(int k) const { return beta_[static_cast<std::size_t>(k)]; }
+
+  /// Cumulative flip probability P(x_k != x_0); k in [0, K] (bbar_0 = 0).
+  double cumulative_flip(int k) const { return bbar_[static_cast<std::size_t>(k)]; }
+
+  /// Flip probability of the composed channel from step j to step k (j < k):
+  /// P(x_k != x_j). Used for strided (jumpy) reverse sampling.
+  double flip_between(int j, int k) const;
+
+  /// Smallest k whose cumulative flip reaches `flip` (clamped to [0, K]).
+  /// Inverse of cumulative_flip; used to build noise-uniform timestep lists.
+  int step_for_flip(double flip) const;
+
+ private:
+  int steps_;
+  std::vector<double> beta_;  // index 1..K (index 0 unused)
+  std::vector<double> bbar_;  // index 0..K
+};
+
+}  // namespace cp::diffusion

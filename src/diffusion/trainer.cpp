@@ -1,0 +1,152 @@
+#include "diffusion/trainer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "diffusion/transition.h"
+#include "nn/optim.h"
+#include "util/logging.h"
+
+namespace cp::diffusion {
+
+namespace {
+
+constexpr double kProbFloor = 1e-6;
+
+double clamp_prob(double p) {
+  return p < kProbFloor ? kProbFloor : (p > 1.0 - kProbFloor ? 1.0 - kProbFloor : p);
+}
+
+/// Hybrid loss and d(loss)/d(p0) for one pixel.
+/// q1: true posterior P(x_{k-1}=1 | x_k, x_0); A/B: posterior under x0=1/0.
+struct PixelLoss {
+  double loss = 0.0;
+  double dloss_dp0 = 0.0;
+};
+
+PixelLoss hybrid_pixel_loss(int x0, int xk, double p0, double flip_0j, double flip_jk,
+                            double lambda) {
+  const double A = posterior_p1(xk, 1, flip_0j, flip_jk);
+  const double B = posterior_p1(xk, 0, flip_0j, flip_jk);
+  const double q1 = x0 == 1 ? A : B;
+  const double p1 = clamp_prob(p0 * A + (1.0 - p0) * B);
+  const double q1c = clamp_prob(q1);
+  PixelLoss out;
+  // KL(q || p) over the two-state distribution.
+  out.loss = q1c * std::log(q1c / p1) + (1.0 - q1c) * std::log((1.0 - q1c) / (1.0 - p1));
+  const double dkl_dp1 = -q1c / p1 + (1.0 - q1c) / (1.0 - p1);
+  out.dloss_dp0 = dkl_dp1 * (A - B);
+  // CE term: -log p_theta(x0 | x_k).
+  const double p0c = clamp_prob(p0);
+  out.loss += lambda * -(x0 == 1 ? std::log(p0c) : std::log(1.0 - p0c));
+  out.dloss_dp0 += lambda * (x0 == 1 ? -1.0 / p0c : 1.0 / (1.0 - p0c));
+  return out;
+}
+
+}  // namespace
+
+TrainStats train_mlp(MlpDenoiser& model,
+                     const std::vector<std::vector<squish::Topology>>& per_class,
+                     const TrainConfig& config) {
+  if (per_class.empty()) throw std::invalid_argument("train_mlp: no data");
+  const NoiseSchedule& schedule = model.schedule();
+  util::Rng rng(config.seed);
+  nn::Adam opt(model.net().params(), config.lr);
+  TrainStats stats;
+
+  const int fdim = model.feature_dim();
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // One noised image per minibatch; random pixels from it.
+    const int cond = rng.uniform_int(0, static_cast<int>(per_class.size()) - 1);
+    const auto& pool = per_class[static_cast<std::size_t>(cond)];
+    if (pool.empty()) continue;
+    const squish::Topology& x0 =
+        pool[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(pool.size()) - 1))];
+    const int k = rng.uniform_int(1, schedule.steps());
+    const squish::Topology xk = forward_noise(x0, schedule, k, rng);
+    const double flip_0j = schedule.cumulative_flip(k - 1);
+    const double flip_jk = schedule.beta(k);
+
+    const int batch = config.batch_pixels;
+    nn::Tensor features({batch, fdim});
+    std::vector<int> targets(static_cast<std::size_t>(batch));
+    std::vector<int> noisy(static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      const int r = rng.uniform_int(0, x0.rows() - 1);
+      const int c = rng.uniform_int(0, x0.cols() - 1);
+      model.pixel_features(xk, r, c, k, cond,
+                           features.data() + static_cast<std::size_t>(i) * fdim);
+      targets[static_cast<std::size_t>(i)] = x0.at(r, c);
+      noisy[static_cast<std::size_t>(i)] = xk.at(r, c);
+    }
+
+    model.net().zero_grad();
+    const nn::Tensor logits = model.net().forward(features);
+    nn::Tensor grad({batch, 1});
+    double loss = 0.0;
+    for (int i = 0; i < batch; ++i) {
+      const double p0 = 1.0 / (1.0 + std::exp(-static_cast<double>(logits[i])));
+      const PixelLoss pl =
+          hybrid_pixel_loss(targets[static_cast<std::size_t>(i)],
+                            noisy[static_cast<std::size_t>(i)], p0, flip_0j, flip_jk,
+                            config.lambda);
+      loss += pl.loss;
+      // Chain through the sigmoid: dp0/dlogit = p0 (1 - p0).
+      grad[static_cast<std::size_t>(i)] =
+          static_cast<float>(pl.dloss_dp0 * p0 * (1.0 - p0) / batch);
+    }
+    loss /= batch;
+    model.net().backward(grad);
+    opt.clip_grad_norm(config.grad_clip);
+    opt.step();
+
+    if (config.log_every > 0 && iter % config.log_every == 0) {
+      stats.losses.push_back(static_cast<float>(loss));
+      CP_LOG_INFO << "train_mlp iter " << iter << " loss " << loss;
+    }
+    stats.final_loss = static_cast<float>(loss);
+  }
+  return stats;
+}
+
+TabularDenoiser fit_tabular(const NoiseSchedule& schedule, const TabularConfig& config,
+                            const std::vector<std::vector<squish::Topology>>& per_class,
+                            std::uint64_t seed) {
+  TabularDenoiser model(schedule, config);
+  util::Rng rng(seed);
+  for (std::size_t cond = 0; cond < per_class.size(); ++cond) {
+    model.fit(per_class[cond], static_cast<int>(cond), rng);
+  }
+  return model;
+}
+
+double evaluate_hybrid_loss(const Denoiser& model, const NoiseSchedule& schedule,
+                            const std::vector<std::vector<squish::Topology>>& per_class,
+                            float lambda, int draws, std::uint64_t seed) {
+  util::Rng rng(seed);
+  double total = 0.0;
+  long long count = 0;
+  ProbGrid p0;
+  for (std::size_t cond = 0; cond < per_class.size(); ++cond) {
+    for (const squish::Topology& x0 : per_class[cond]) {
+      for (int d = 0; d < draws; ++d) {
+        const int k = rng.uniform_int(1, schedule.steps());
+        const squish::Topology xk = forward_noise(x0, schedule, k, rng);
+        const double flip_0j = schedule.cumulative_flip(k - 1);
+        const double flip_jk = schedule.beta(k);
+        model.predict_x0(xk, k, static_cast<int>(cond), p0);
+        std::size_t i = 0;
+        for (int r = 0; r < x0.rows(); ++r) {
+          for (int c = 0; c < x0.cols(); ++c, ++i) {
+            total += hybrid_pixel_loss(x0.at(r, c), xk.at(r, c), p0[i], flip_0j, flip_jk, lambda)
+                         .loss;
+            ++count;
+          }
+        }
+      }
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace cp::diffusion

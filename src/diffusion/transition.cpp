@@ -1,0 +1,36 @@
+#include "diffusion/transition.h"
+
+namespace cp::diffusion {
+
+squish::Topology forward_noise(const squish::Topology& x0, const NoiseSchedule& schedule, int k,
+                               util::Rng& rng) {
+  const double flip = schedule.cumulative_flip(k);
+  squish::Topology xk = x0;
+  for (int r = 0; r < xk.rows(); ++r) {
+    for (int c = 0; c < xk.cols(); ++c) {
+      if (rng.bernoulli(flip)) xk.set(r, c, static_cast<std::uint8_t>(1 - xk.at(r, c)));
+    }
+  }
+  return xk;
+}
+
+double posterior_p1(int xk, int x0, double flip_0j, double flip_jk) {
+  // P(x_j = v | x_k, x_0) ∝ P(x_k | x_j = v) P(x_j = v | x_0).
+  const double like1 = xk == 1 ? 1.0 - flip_jk : flip_jk;   // P(x_k | x_j = 1)
+  const double like0 = xk == 1 ? flip_jk : 1.0 - flip_jk;   // P(x_k | x_j = 0)
+  const double prior1 = flip_channel_p1(x0, flip_0j);
+  const double prior0 = 1.0 - prior1;
+  const double w1 = like1 * prior1;
+  const double w0 = like0 * prior0;
+  const double z = w0 + w1;
+  return z <= 0.0 ? 0.5 : w1 / z;
+}
+
+double reverse_p1(int xk, double p0, double flip_0j, double flip_jk) {
+  // Equation (5)/(9): marginalise the two possible x0 values against the
+  // model belief p0 = P(x0 = 1).
+  return p0 * posterior_p1(xk, 1, flip_0j, flip_jk) +
+         (1.0 - p0) * posterior_p1(xk, 0, flip_0j, flip_jk);
+}
+
+}  // namespace cp::diffusion

@@ -1,0 +1,32 @@
+#pragma once
+// Exact two-state transition algebra for the binary discrete diffusion
+// model: forward noising, the posterior q(x_{k-1} | x_k, x_0) and the
+// model-marginalised reverse kernel of Equations (5)/(9). With binary
+// pixels all sums over the latent x0 have two terms and are evaluated in
+// closed form — no approximation.
+
+#include "diffusion/schedule.h"
+#include "squish/topology.h"
+#include "util/rng.h"
+
+namespace cp::diffusion {
+
+/// P(flip) channel applied to a single bit: returns P(out = 1 | in).
+inline double flip_channel_p1(int in, double flip_prob) {
+  return in == 1 ? 1.0 - flip_prob : flip_prob;
+}
+
+/// Sample x_k from x_0 under the cumulative channel (Equation 2).
+squish::Topology forward_noise(const squish::Topology& x0, const NoiseSchedule& schedule, int k,
+                               util::Rng& rng);
+
+/// Exact posterior P(x_j = 1 | x_k, x_0) for a single pixel, where the
+/// channel x_0 -> x_j has flip probability `flip_0j` and x_j -> x_k has
+/// `flip_jk` (Bayes over the two-state chain).
+double posterior_p1(int xk, int x0, double flip_0j, double flip_jk);
+
+/// Reverse kernel with the latent x0 marginalised against the model belief
+/// p0 = P(x_0 = 1 | x_k, c): Equation (5)/(9) for one pixel.
+double reverse_p1(int xk, double p0, double flip_0j, double flip_jk);
+
+}  // namespace cp::diffusion

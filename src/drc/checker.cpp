@@ -1,0 +1,172 @@
+#include "drc/checker.h"
+
+#include <algorithm>
+
+#include "geometry/extract.h"
+#include "util/strings.h"
+
+namespace cp::drc {
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kWidth: return "width";
+    case ViolationKind::kSpace: return "space";
+    case ViolationKind::kArea: return "area";
+    case ViolationKind::kPitch: return "pitch";
+  }
+  return "?";
+}
+
+geometry::Rect DrcReport::violating_region_cells() const {
+  if (violations.empty()) return geometry::Rect{};
+  geometry::Rect region{1 << 30, 1 << 30, -(1 << 30), -(1 << 30)};
+  for (const Violation& v : violations) {
+    region.x0 = std::min<geometry::Coord>(region.x0, v.col0);
+    region.y0 = std::min<geometry::Coord>(region.y0, v.row0);
+    region.x1 = std::max<geometry::Coord>(region.x1, v.col1);
+    region.y1 = std::max<geometry::Coord>(region.y1, v.row1);
+  }
+  return region;
+}
+
+std::vector<std::pair<int, int>> row_runs(const squish::Topology& t, int r, std::uint8_t value) {
+  std::vector<std::pair<int, int>> runs;
+  int c = 0;
+  while (c < t.cols()) {
+    if (t.at(r, c) != value) {
+      ++c;
+      continue;
+    }
+    const int start = c;
+    while (c < t.cols() && t.at(r, c) == value) ++c;
+    runs.emplace_back(start, c);
+  }
+  return runs;
+}
+
+std::vector<std::pair<int, int>> col_runs(const squish::Topology& t, int c, std::uint8_t value) {
+  std::vector<std::pair<int, int>> runs;
+  int r = 0;
+  while (r < t.rows()) {
+    if (t.at(r, c) != value) {
+      ++r;
+      continue;
+    }
+    const int start = r;
+    while (r < t.rows() && t.at(r, c) == value) ++r;
+    runs.emplace_back(start, r);
+  }
+  return runs;
+}
+
+namespace {
+
+Coord span_sum(const squish::DeltaVec& deltas, int begin, int end) {
+  Coord s = 0;
+  for (int i = begin; i < end; ++i) s += deltas[static_cast<std::size_t>(i)];
+  return s;
+}
+
+void add_violation(DrcReport& report, ViolationKind kind, int row0, int col0, int row1, int col1,
+                   Coord required, Coord actual) {
+  Violation v;
+  v.kind = kind;
+  v.row0 = row0;
+  v.col0 = col0;
+  v.row1 = row1;
+  v.col1 = col1;
+  v.required_nm = required;
+  v.actual_nm = actual;
+  v.message = util::format("%s violation at rows[%d,%d) cols[%d,%d): need %lld, have %lld",
+                           to_string(kind), row0, row1, col0, col1,
+                           static_cast<long long>(required), static_cast<long long>(actual));
+  report.violations.push_back(std::move(v));
+}
+
+}  // namespace
+
+DrcReport check(const squish::SquishPattern& pattern, const DesignRules& rules) {
+  DrcReport report;
+  const squish::Topology& t = pattern.topology;
+  const int rows = t.rows();
+  const int cols = t.cols();
+
+  // Pitch: every scan-line interval must be at least the grid pitch.
+  for (int c = 0; c < cols; ++c) {
+    if (pattern.dx[static_cast<std::size_t>(c)] < rules.pitch_nm) {
+      add_violation(report, ViolationKind::kPitch, 0, c, rows, c + 1, rules.pitch_nm,
+                    pattern.dx[static_cast<std::size_t>(c)]);
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    if (pattern.dy[static_cast<std::size_t>(r)] < rules.pitch_nm) {
+      add_violation(report, ViolationKind::kPitch, r, 0, r + 1, cols, rules.pitch_nm,
+                    pattern.dy[static_cast<std::size_t>(r)]);
+    }
+  }
+
+  // Width and space along rows (x direction).
+  for (int r = 0; r < rows; ++r) {
+    const auto ones = row_runs(t, r, 1);
+    for (const auto& [b, e] : ones) {
+      if (b == 0 || e == cols) continue;  // run continues outside the clip
+      const Coord w = span_sum(pattern.dx, b, e);
+      if (w < rules.min_width_nm) {
+        add_violation(report, ViolationKind::kWidth, r, b, r + 1, e, rules.min_width_nm, w);
+      }
+    }
+    // Spaces are 0-runs strictly between two 1-runs.
+    for (std::size_t i = 0; i + 1 < ones.size(); ++i) {
+      const int b = ones[i].second;
+      const int e = ones[i + 1].first;
+      const Coord s = span_sum(pattern.dx, b, e);
+      if (s < rules.min_space_nm) {
+        add_violation(report, ViolationKind::kSpace, r, b, r + 1, e, rules.min_space_nm, s);
+      }
+    }
+  }
+
+  // Width and space along columns (y direction).
+  for (int c = 0; c < cols; ++c) {
+    const auto ones = col_runs(t, c, 1);
+    for (const auto& [b, e] : ones) {
+      if (b == 0 || e == rows) continue;  // run continues outside the clip
+      const Coord h = span_sum(pattern.dy, b, e);
+      if (h < rules.min_width_nm) {
+        add_violation(report, ViolationKind::kWidth, b, c, e, c + 1, rules.min_width_nm, h);
+      }
+    }
+    for (std::size_t i = 0; i + 1 < ones.size(); ++i) {
+      const int b = ones[i].second;
+      const int e = ones[i + 1].first;
+      const Coord s = span_sum(pattern.dy, b, e);
+      if (s < rules.min_space_nm) {
+        add_violation(report, ViolationKind::kSpace, b, c, e, c + 1, rules.min_space_nm, s);
+      }
+    }
+  }
+
+  // Area per polygon (connected component).
+  std::vector<Coord> px(static_cast<std::size_t>(cols) + 1, 0);
+  std::vector<Coord> py(static_cast<std::size_t>(rows) + 1, 0);
+  for (int c = 0; c < cols; ++c) px[c + 1] = px[c] + pattern.dx[static_cast<std::size_t>(c)];
+  for (int r = 0; r < rows; ++r) py[r + 1] = py[r] + pattern.dy[static_cast<std::size_t>(r)];
+  for (const auto& comp : geometry::connected_components(t.data(), rows, cols)) {
+    Coord area = 0;
+    for (const geometry::Point& cell : comp.cells) {
+      area += pattern.dx[static_cast<std::size_t>(cell.x)] *
+              pattern.dy[static_cast<std::size_t>(cell.y)];
+    }
+    // Components touching the window border are exempt: their true extent is
+    // unknown (the shape continues outside the clip).
+    const bool on_border = comp.min_row == 0 || comp.min_col == 0 || comp.max_row + 1 == rows ||
+                           comp.max_col + 1 == cols;
+    if (!on_border && area < rules.min_area_nm2) {
+      add_violation(report, ViolationKind::kArea, comp.min_row, comp.min_col, comp.max_row + 1,
+                    comp.max_col + 1, rules.min_area_nm2, area);
+    }
+  }
+  return report;
+}
+
+}  // namespace cp::drc

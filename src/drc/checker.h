@@ -1,0 +1,56 @@
+#pragma once
+// Design-rule checker over squish patterns.
+//
+// Because a squish pattern already encodes all polygon edges as scan lines,
+// the width/space rules reduce to constraints on contiguous runs of the
+// topology matrix:
+//   - every maximal run of 1s in a row (horizontal arm of a shape) must span
+//     at least min_width in physical x; similarly for columns in y;
+//   - every maximal run of 0s strictly between two 1-runs in a row is a
+//     space and must span at least min_space; similarly for columns;
+//   - every 4-connected component (polygon) must have physical area at least
+//     min_area.
+// Runs touching the pattern border are exempt from the space rule (the clip
+// continues beyond the window), matching standard DRC windowing practice.
+//
+// Violations carry the offending cell region — the "explainable" failure
+// localisation that the legalizer and the LLM agent rely on (Section 3.2).
+
+#include <string>
+#include <vector>
+
+#include "drc/rules.h"
+#include "squish/squish.h"
+
+namespace cp::drc {
+
+enum class ViolationKind { kWidth, kSpace, kArea, kPitch };
+
+const char* to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kWidth;
+  /// Offending cell region, half-open: rows [row0,row1), cols [col0,col1).
+  int row0 = 0, col0 = 0, row1 = 0, col1 = 0;
+  Coord required_nm = 0;  // rule value (nm, or nm^2 for area)
+  Coord actual_nm = 0;    // measured value
+  std::string message;    // human-readable log line for the agent
+};
+
+struct DrcReport {
+  std::vector<Violation> violations;
+  bool clean() const { return violations.empty(); }
+  /// Merge all violation regions into one bounding cell region (the "failed
+  /// region" the agent repairs); zero-size if clean.
+  geometry::Rect violating_region_cells() const;
+};
+
+/// Check a full squish pattern (topology + geometry) against the rules.
+DrcReport check(const squish::SquishPattern& pattern, const DesignRules& rules);
+
+/// Maximal runs of `value` cells in row `r` of the topology as
+/// (begin_col, end_col) half-open pairs. Exposed for the legalizer.
+std::vector<std::pair<int, int>> row_runs(const squish::Topology& t, int r, std::uint8_t value);
+std::vector<std::pair<int, int>> col_runs(const squish::Topology& t, int c, std::uint8_t value);
+
+}  // namespace cp::drc

@@ -1,0 +1,40 @@
+#include "drc/rules.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cp::drc {
+
+DesignRules rules_for_style(const std::string& style) {
+  const std::string s = util::to_lower(style);
+  if (s == "layer-10001" || s == "10001" || s == "layer10001") {
+    // Dense thin-wire routing layer.
+    DesignRules r;
+    r.min_space_nm = 48;
+    r.min_width_nm = 48;
+    r.min_area_nm2 = 48 * 96;
+    r.pitch_nm = 1;
+    return r;
+  }
+  if (s == "layer-10003" || s == "10003" || s == "layer10003") {
+    // Sparser wide-feature layer.
+    DesignRules r;
+    r.min_space_nm = 64;
+    r.min_width_nm = 80;
+    r.min_area_nm2 = 80 * 160;
+    r.pitch_nm = 1;
+    return r;
+  }
+  throw std::invalid_argument("rules_for_style: unknown style '" + style + "'");
+}
+
+std::string describe(const DesignRules& rules) {
+  return util::format("space>=%lldnm width>=%lldnm area>=%lldnm^2 pitch=%lldnm",
+                      static_cast<long long>(rules.min_space_nm),
+                      static_cast<long long>(rules.min_width_nm),
+                      static_cast<long long>(rules.min_area_nm2),
+                      static_cast<long long>(rules.pitch_nm));
+}
+
+}  // namespace cp::drc

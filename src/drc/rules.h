@@ -1,0 +1,33 @@
+#pragma once
+// Design rules for layout patterns (Figure 3 of the paper): minimum space
+// between adjacent polygons, minimum width of a shape in either direction,
+// and minimum polygon area. A grid pitch gives the smallest physically
+// meaningful scan-line interval.
+
+#include <string>
+
+#include "geometry/polygon.h"
+
+namespace cp::drc {
+
+using geometry::Coord;
+
+struct DesignRules {
+  Coord min_space_nm = 48;   // space between adjacent polygons
+  Coord min_width_nm = 48;   // smallest dimension of any shape
+  Coord min_area_nm2 = 4608; // smallest polygon area (e.g. width * 2*width)
+  Coord pitch_nm = 1;        // smallest legal scan-line interval
+
+  bool operator==(const DesignRules&) const = default;
+};
+
+/// Rules for the two dataset styles used throughout the paper's evaluation.
+/// Layer-10001 mimics a dense thin-wire metal layer; Layer-10003 a sparser
+/// wide-feature layer. The absolute values are representative 45-nm-class
+/// numbers; only their ratios matter for the reproduction.
+DesignRules rules_for_style(const std::string& style);
+
+/// Human-readable one-line summary (used in agent documentation).
+std::string describe(const DesignRules& rules);
+
+}  // namespace cp::drc

@@ -1,0 +1,21 @@
+#pragma once
+// In-painting pattern extension (Figure 7, left): tile the target with
+// independently sampled windows, then repair every tile border and corner by
+// regenerating a band across the seam while keeping the tile interiors.
+// The half-step window grid gives the paper's sample-count formula
+//     N_in = (2*ceil(W/L) - 1) * (2*ceil(H/L) - 1).
+
+#include "extension/outpaint.h"
+
+namespace cp::extension {
+
+/// Paper formula for the number of window samples.
+long long expected_samples_inpaint(int target_w, int target_h, int window);
+
+/// Build a rows x cols topology by tiling + seam in-painting. If `seed` is
+/// non-empty it becomes the top-left tile.
+ExtensionResult extend_inpaint(const diffusion::TopologyGenerator& generator,
+                               const squish::Topology& seed, int rows, int cols,
+                               const ExtensionConfig& config, util::Rng& rng);
+
+}  // namespace cp::extension

@@ -1,0 +1,33 @@
+#include "extension/masks.h"
+
+namespace cp::extension {
+
+squish::Topology full_mask(int rows, int cols, std::uint8_t value) {
+  return squish::Topology(rows, cols, value);
+}
+
+squish::Topology keep_except_row_band(int rows, int cols, int band_r0, int band_r1) {
+  squish::Topology m(rows, cols, 1);
+  for (int r = band_r0; r < band_r1 && r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m.set(r, c, 0);
+  }
+  return m;
+}
+
+squish::Topology keep_except_col_band(int rows, int cols, int band_c0, int band_c1) {
+  squish::Topology m(rows, cols, 1);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = band_c0; c < band_c1 && c < cols; ++c) m.set(r, c, 0);
+  }
+  return m;
+}
+
+squish::Topology keep_except_box(int rows, int cols, int r0, int c0, int r1, int c1) {
+  squish::Topology m(rows, cols, 1);
+  for (int r = r0; r < r1 && r < rows; ++r) {
+    for (int c = c0; c < c1 && c < cols; ++c) m.set(r, c, 0);
+  }
+  return m;
+}
+
+}  // namespace cp::extension

@@ -1,0 +1,21 @@
+#pragma once
+// Keep-mask builders for the extension algorithms. A keep mask has the same
+// dims as the model window; 1 = preserve the pixel, 0 = regenerate.
+
+#include "squish/topology.h"
+
+namespace cp::extension {
+
+/// All-zero (regenerate everything) / all-one masks.
+squish::Topology full_mask(int rows, int cols, std::uint8_t value);
+
+/// Keep everything except the horizontal band rows [band_r0, band_r1).
+squish::Topology keep_except_row_band(int rows, int cols, int band_r0, int band_r1);
+
+/// Keep everything except the vertical band cols [band_c0, band_c1).
+squish::Topology keep_except_col_band(int rows, int cols, int band_c0, int band_c1);
+
+/// Keep everything except the central box rows [r0,r1) x cols [c0,c1).
+squish::Topology keep_except_box(int rows, int cols, int r0, int c0, int r1, int c1);
+
+}  // namespace cp::extension

@@ -1,0 +1,79 @@
+#include "extension/outpaint.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cp::extension {
+
+namespace {
+
+/// Window origin positions along one axis: 0, S, 2S, ..., with the last
+/// clamped so the final window ends exactly at the target edge.
+std::vector<int> axis_positions(int target, int window, int stride) {
+  std::vector<int> pos{0};
+  while (pos.back() + window < target) {
+    pos.push_back(std::min(pos.back() + stride, target - window));
+  }
+  return pos;
+}
+
+}  // namespace
+
+long long expected_samples_outpaint(int target_w, int target_h, int window, int stride) {
+  auto per_axis = [&](int target) {
+    return (target - window + stride - 1) / stride + 1;
+  };
+  return static_cast<long long>(per_axis(target_w)) * per_axis(target_h);
+}
+
+ExtensionResult extend_outpaint(const diffusion::TopologyGenerator& generator,
+                                const squish::Topology& seed, int rows, int cols,
+                                const ExtensionConfig& config, util::Rng& rng) {
+  const int L = config.window;
+  if (rows < L || cols < L) throw std::invalid_argument("extend_outpaint: target smaller than window");
+  if (config.stride < 1 || config.stride > L) {
+    throw std::invalid_argument("extend_outpaint: stride must be in [1, window]");
+  }
+
+  ExtensionResult result;
+  result.topology = squish::Topology(rows, cols);
+  squish::Topology known(rows, cols);  // 1 = already generated
+
+  // Starting tile.
+  squish::Topology start = seed;
+  if (start.empty()) {
+    diffusion::SampleConfig sc;
+    sc.rows = L;
+    sc.cols = L;
+    sc.condition = config.condition;
+    sc.sample_steps = config.sample_steps;
+    start = generator.sample(sc, rng);
+    ++result.model_calls;
+  }
+  if (start.rows() != L || start.cols() != L) {
+    throw std::invalid_argument("extend_outpaint: seed must be window-sized");
+  }
+  result.topology.paste(start, 0, 0);
+  known.paste(squish::Topology(L, L, 1), 0, 0);
+
+  diffusion::ModifyConfig mc;
+  mc.condition = config.condition;
+  mc.sample_steps = config.sample_steps;
+  mc.resample_rounds = config.resample_rounds;
+
+  for (int r0 : axis_positions(rows, L, config.stride)) {
+    for (int c0 : axis_positions(cols, L, config.stride)) {
+      // Skip windows that are already fully known (the seed window).
+      const squish::Topology keep = known.window(r0, c0, r0 + L, c0 + L);
+      if (keep.popcount() == keep.size()) continue;
+      const squish::Topology content = result.topology.window(r0, c0, r0 + L, c0 + L);
+      squish::Topology filled = generator.modify(content, keep, mc, rng);
+      ++result.model_calls;
+      result.topology.paste(filled, r0, c0);
+      known.paste(squish::Topology(L, L, 1), r0, c0);
+    }
+  }
+  return result;
+}
+
+}  // namespace cp::extension

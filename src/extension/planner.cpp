@@ -1,0 +1,40 @@
+#include "extension/planner.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace cp::extension {
+
+const char* to_string(Method method) {
+  return method == Method::kOutPainting ? "Out-Painting" : "In-Painting";
+}
+
+Method method_from_string(const std::string& name) {
+  const std::string s = util::to_lower(name);
+  if (s == "out" || s == "outpaint" || s == "outpainting" || s == "out-painting" ||
+      s == "out_painting") {
+    return Method::kOutPainting;
+  }
+  if (s == "in" || s == "inpaint" || s == "inpainting" || s == "in-painting" ||
+      s == "in_painting") {
+    return Method::kInPainting;
+  }
+  throw std::invalid_argument("method_from_string: unknown extension method '" + name + "'");
+}
+
+long long expected_samples(Method method, int target_w, int target_h, int window, int stride) {
+  return method == Method::kOutPainting
+             ? expected_samples_outpaint(target_w, target_h, window, stride)
+             : expected_samples_inpaint(target_w, target_h, window);
+}
+
+ExtensionResult extend(const diffusion::TopologyGenerator& generator, Method method,
+                       const squish::Topology& seed, int rows, int cols,
+                       const ExtensionConfig& config, util::Rng& rng) {
+  return method == Method::kOutPainting
+             ? extend_outpaint(generator, seed, rows, cols, config, rng)
+             : extend_inpaint(generator, seed, rows, cols, config, rng);
+}
+
+}  // namespace cp::extension

@@ -1,0 +1,28 @@
+#pragma once
+// Free-size extension front door: dispatches between the two algorithms and
+// exposes the sample-count formulas. The *choice* of algorithm for a given
+// request is made by the agent (using its experience store, Section 3.1
+// "Learning from Documents and Experience"); this module only executes.
+
+#include <string>
+
+#include "extension/inpaint.h"
+#include "extension/outpaint.h"
+
+namespace cp::extension {
+
+enum class Method { kOutPainting, kInPainting };
+
+const char* to_string(Method method);
+/// Parses "out"/"outpaint"/"out-painting" etc.; throws on unknown names.
+Method method_from_string(const std::string& name);
+
+/// Number of model window samples the method will use.
+long long expected_samples(Method method, int target_w, int target_h, int window, int stride);
+
+/// Extend `seed` (may be empty) to rows x cols with the chosen method.
+ExtensionResult extend(const diffusion::TopologyGenerator& generator, Method method,
+                       const squish::Topology& seed, int rows, int cols,
+                       const ExtensionConfig& config, util::Rng& rng);
+
+}  // namespace cp::extension

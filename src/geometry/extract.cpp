@@ -1,0 +1,127 @@
+#include "geometry/extract.h"
+
+#include <algorithm>
+
+namespace cp::geometry {
+
+std::vector<GridComponent> connected_components(const std::uint8_t* data, int rows, int cols) {
+  std::vector<int> label(static_cast<std::size_t>(rows) * cols, -1);
+  std::vector<GridComponent> components;
+  std::vector<int> stack;
+  auto idx = [cols](int r, int c) { return static_cast<std::size_t>(r) * cols + c; };
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (data[idx(r, c)] == 0 || label[idx(r, c)] >= 0) continue;
+      const int id = static_cast<int>(components.size());
+      components.emplace_back();
+      GridComponent& comp = components.back();
+      comp.min_row = comp.max_row = r;
+      comp.min_col = comp.max_col = c;
+      stack.push_back(static_cast<int>(idx(r, c)));
+      label[idx(r, c)] = id;
+      while (!stack.empty()) {
+        const int cell = stack.back();
+        stack.pop_back();
+        const int cr = cell / cols;
+        const int cc = cell % cols;
+        comp.cells.push_back(Point{cc, cr});
+        comp.min_row = std::min(comp.min_row, cr);
+        comp.max_row = std::max(comp.max_row, cr);
+        comp.min_col = std::min(comp.min_col, cc);
+        comp.max_col = std::max(comp.max_col, cc);
+        const int dr[4] = {-1, 1, 0, 0};
+        const int dc[4] = {0, 0, -1, 1};
+        for (int d = 0; d < 4; ++d) {
+          const int nr = cr + dr[d];
+          const int nc = cc + dc[d];
+          if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+          if (data[idx(nr, nc)] == 0 || label[idx(nr, nc)] >= 0) continue;
+          label[idx(nr, nc)] = id;
+          stack.push_back(static_cast<int>(idx(nr, nc)));
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::vector<Rect> component_to_cell_rects(const GridComponent& component, const std::uint8_t* data,
+                                          int rows, int cols) {
+  (void)rows;
+  // Build per-row horizontal runs restricted to this component's cells, then
+  // merge runs with identical column extents across consecutive rows.
+  std::vector<std::vector<std::pair<int, int>>> runs_by_row(
+      static_cast<std::size_t>(component.max_row - component.min_row + 1));
+  // Mark membership into a local bitmap for run extraction.
+  const int width = component.max_col - component.min_col + 1;
+  std::vector<std::uint8_t> local(runs_by_row.size() * static_cast<std::size_t>(width), 0);
+  for (const Point& p : component.cells) {
+    const int lr = static_cast<int>(p.y) - component.min_row;
+    const int lc = static_cast<int>(p.x) - component.min_col;
+    local[static_cast<std::size_t>(lr) * width + lc] = 1;
+  }
+  (void)data;
+  (void)cols;
+  for (std::size_t lr = 0; lr < runs_by_row.size(); ++lr) {
+    int c = 0;
+    while (c < width) {
+      if (local[lr * width + c] == 0) {
+        ++c;
+        continue;
+      }
+      int start = c;
+      while (c < width && local[lr * width + c] != 0) ++c;
+      runs_by_row[lr].emplace_back(start, c);  // half-open [start, c)
+    }
+  }
+  std::vector<Rect> rects;
+  // Active rects from the previous row: (col0, col1, start_row).
+  struct Active {
+    int col0, col1, row0;
+  };
+  std::vector<Active> active;
+  for (std::size_t lr = 0; lr <= runs_by_row.size(); ++lr) {
+    std::vector<Active> next;
+    const auto* runs = lr < runs_by_row.size() ? &runs_by_row[lr] : nullptr;
+    std::vector<bool> matched(runs != nullptr ? runs->size() : 0, false);
+    for (const Active& a : active) {
+      bool extended = false;
+      if (runs != nullptr) {
+        for (std::size_t i = 0; i < runs->size(); ++i) {
+          if (!matched[i] && (*runs)[i].first == a.col0 && (*runs)[i].second == a.col1) {
+            matched[i] = true;
+            next.push_back(a);
+            extended = true;
+            break;
+          }
+        }
+      }
+      if (!extended) {
+        rects.push_back(Rect{component.min_col + a.col0, component.min_row + a.row0,
+                             component.min_col + a.col1,
+                             component.min_row + static_cast<int>(lr)});
+      }
+    }
+    if (runs != nullptr) {
+      for (std::size_t i = 0; i < runs->size(); ++i) {
+        if (!matched[i]) {
+          next.push_back(Active{(*runs)[i].first, (*runs)[i].second, static_cast<int>(lr)});
+        }
+      }
+    }
+    active = std::move(next);
+  }
+  return rects;
+}
+
+std::vector<Rect> grid_to_cell_rects(const std::uint8_t* data, int rows, int cols) {
+  std::vector<Rect> all;
+  for (const GridComponent& comp : connected_components(data, rows, cols)) {
+    auto rects = component_to_cell_rects(comp, data, rows, cols);
+    all.insert(all.end(), rects.begin(), rects.end());
+  }
+  return all;
+}
+
+}  // namespace cp::geometry

@@ -1,0 +1,35 @@
+#pragma once
+// Extraction of polygon structure from binary occupancy grids.
+//
+// The squish-pattern topology matrix is such a grid; this module provides the
+// grid-side analyses (connected components, per-component cell rectangles)
+// that the DRC checker and the unsquish step build on. It is deliberately
+// independent of the squish module to keep the dependency graph acyclic:
+// callers pass raw row-major data.
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace cp::geometry {
+
+/// One connected component of filled grid cells (4-connectivity).
+struct GridComponent {
+  std::vector<Point> cells;  // (x=column, y=row) of each member cell
+  int min_row = 0, max_row = 0, min_col = 0, max_col = 0;
+};
+
+/// Label 4-connected components of the `rows x cols` row-major binary grid.
+std::vector<GridComponent> connected_components(const std::uint8_t* data, int rows, int cols);
+
+/// Decompose one component into maximal horizontal cell-run rectangles merged
+/// vertically (a standard rectilinear decomposition): the result rects are in
+/// *cell* coordinates (col0, row0, col1, row1), half-open.
+std::vector<Rect> component_to_cell_rects(const GridComponent& component, const std::uint8_t* data,
+                                          int rows, int cols);
+
+/// Convenience: full grid -> cell-coordinate rects of all filled regions.
+std::vector<Rect> grid_to_cell_rects(const std::uint8_t* data, int rows, int cols);
+
+}  // namespace cp::geometry

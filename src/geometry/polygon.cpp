@@ -1,0 +1,96 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace cp::geometry {
+
+Rect Rect::clipped_to(const Rect& o) const {
+  Rect r;
+  r.x0 = std::max(x0, o.x0);
+  r.y0 = std::max(y0, o.y0);
+  r.x1 = std::min(x1, o.x1);
+  r.y1 = std::min(y1, o.y1);
+  if (r.empty()) return Rect{};
+  return r;
+}
+
+Rect bounding_box(const std::vector<Rect>& rects) {
+  if (rects.empty()) return Rect{};
+  Rect b{std::numeric_limits<Coord>::max(), std::numeric_limits<Coord>::max(),
+         std::numeric_limits<Coord>::min(), std::numeric_limits<Coord>::min()};
+  for (const Rect& r : rects) {
+    b.x0 = std::min(b.x0, r.x0);
+    b.y0 = std::min(b.y0, r.y0);
+    b.x1 = std::max(b.x1, r.x1);
+    b.y1 = std::max(b.y1, r.y1);
+  }
+  return b;
+}
+
+Coord Polygon::area() const {
+  Coord a = 0;
+  for (const Rect& r : rects) a += r.area();
+  return a;
+}
+
+Rect Polygon::bbox() const { return bounding_box(rects); }
+
+Coord Polygon::min_feature() const {
+  Coord m = std::numeric_limits<Coord>::max();
+  for (const Rect& r : rects) m = std::min(m, std::min(r.width(), r.height()));
+  return rects.empty() ? 0 : m;
+}
+
+namespace {
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+}  // namespace
+
+std::vector<Polygon> group_into_polygons(const std::vector<Rect>& rects) {
+  const std::size_t n = rects.size();
+  UnionFind uf(n);
+  // Sweep by x to avoid the full quadratic pass on large patterns: sort by
+  // x0 and only compare against rects whose x-interval can still touch.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return rects[a].x0 < rects[b].x0; });
+  for (std::size_t i = 0; i < n; ++i) {
+    const Rect& a = rects[order[i]];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Rect& b = rects[order[j]];
+      if (b.x0 > a.x1) break;  // no later rect can touch `a`
+      if (a.touches(b)) uf.unite(order[i], order[j]);
+    }
+  }
+  std::vector<Polygon> polys;
+  std::vector<long long> root_to_poly(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = uf.find(i);
+    if (root_to_poly[root] < 0) {
+      root_to_poly[root] = static_cast<long long>(polys.size());
+      polys.emplace_back();
+    }
+    polys[static_cast<std::size_t>(root_to_poly[root])].rects.push_back(rects[i]);
+  }
+  return polys;
+}
+
+}  // namespace cp::geometry

@@ -1,0 +1,68 @@
+#pragma once
+// Integer rectilinear geometry primitives. All coordinates are in nanometres.
+//
+// Layout patterns are sets of axis-aligned, non-overlapping rectilinear
+// polygons; internally we manipulate them as rectangle sets (every
+// rectilinear polygon decomposes into rectangles) plus explicit vertex loops
+// where the true polygon boundary is needed.
+
+#include <cstdint>
+#include <vector>
+
+namespace cp::geometry {
+
+using Coord = std::int64_t;  // nanometres
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+  bool operator==(const Point&) const = default;
+};
+
+/// Half-open axis-aligned rectangle: [x0, x1) x [y0, y1).
+struct Rect {
+  Coord x0 = 0;
+  Coord y0 = 0;
+  Coord x1 = 0;
+  Coord y1 = 0;
+
+  Coord width() const { return x1 - x0; }
+  Coord height() const { return y1 - y0; }
+  Coord area() const { return width() * height(); }
+  bool empty() const { return x1 <= x0 || y1 <= y0; }
+  bool contains(Point p) const { return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1; }
+  bool intersects(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+  /// Intersection (possibly empty).
+  Rect clipped_to(const Rect& o) const;
+  /// True if the rects share area or touch along an edge (used to merge
+  /// abutting rects into one polygon component).
+  bool touches(const Rect& o) const {
+    return x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1 && !(x0 == o.x1 && y0 == o.y1) &&
+           !(x1 == o.x0 && y1 == o.y0) && !(x0 == o.x1 && y1 == o.y0) && !(x1 == o.x0 && y0 == o.y1);
+  }
+  bool operator==(const Rect&) const = default;
+};
+
+/// Bounding box of a rect set; returns an empty Rect for an empty input.
+Rect bounding_box(const std::vector<Rect>& rects);
+
+/// A rectilinear polygon: a rectangle decomposition plus cached metrics.
+/// Rects within one polygon are non-overlapping and edge-connected.
+struct Polygon {
+  std::vector<Rect> rects;
+
+  Coord area() const;
+  Rect bbox() const;
+  /// Smallest dimension over the decomposition rows/columns — used as the
+  /// polygon "width" in the min-width design rule sense (a conservative
+  /// per-rect lower bound; the DRC checker applies the exact run-based rule).
+  Coord min_feature() const;
+};
+
+/// Group a set of non-overlapping rects into edge-connected polygons
+/// (union-find over the touch relation).
+std::vector<Polygon> group_into_polygons(const std::vector<Rect>& rects);
+
+}  // namespace cp::geometry

@@ -1,0 +1,328 @@
+#include "io/gds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "geometry/extract.h"
+#include "util/strings.h"
+
+namespace cp::io {
+
+namespace {
+
+// GDSII record ids (record type << 8 | data type).
+constexpr std::uint16_t kHeader = 0x0002;
+constexpr std::uint16_t kBgnLib = 0x0102;
+constexpr std::uint16_t kLibName = 0x0206;
+constexpr std::uint16_t kUnits = 0x0305;
+constexpr std::uint16_t kEndLib = 0x0400;
+constexpr std::uint16_t kBgnStr = 0x0502;
+constexpr std::uint16_t kStrName = 0x0606;
+constexpr std::uint16_t kEndStr = 0x0700;
+constexpr std::uint16_t kBoundary = 0x0800;
+constexpr std::uint16_t kLayer = 0x0D02;
+constexpr std::uint16_t kDatatype = 0x0E02;
+constexpr std::uint16_t kXy = 0x1003;
+constexpr std::uint16_t kEndEl = 0x1100;
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  const std::uint32_t u = static_cast<std::uint32_t>(v);
+  out.push_back(static_cast<char>(u >> 24));
+  out.push_back(static_cast<char>((u >> 16) & 0xff));
+  out.push_back(static_cast<char>((u >> 8) & 0xff));
+  out.push_back(static_cast<char>(u & 0xff));
+}
+
+/// GDSII 8-byte real: sign bit, 7-bit excess-64 base-16 exponent, 56-bit
+/// mantissa in [1/16, 1).
+void put_real8(std::string& out, double value) {
+  std::uint64_t bits = 0;
+  if (value != 0.0) {
+    const bool negative = value < 0.0;
+    double mag = std::fabs(value);
+    int exponent = 64;
+    while (mag >= 1.0) {
+      mag /= 16.0;
+      ++exponent;
+    }
+    while (mag < 1.0 / 16.0) {
+      mag *= 16.0;
+      --exponent;
+    }
+    const std::uint64_t mantissa = static_cast<std::uint64_t>(std::llround(mag * 72057594037927936.0));  // 2^56
+    bits = (static_cast<std::uint64_t>(negative) << 63) |
+           (static_cast<std::uint64_t>(exponent & 0x7f) << 56) |
+           (mantissa & 0x00ffffffffffffffULL);
+  }
+  for (int i = 7; i >= 0; --i) out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+}
+
+double get_real8(const unsigned char* p) {
+  const bool negative = (p[0] & 0x80) != 0;
+  const int exponent = (p[0] & 0x7f) - 64;
+  std::uint64_t mantissa = 0;
+  for (int i = 1; i < 8; ++i) mantissa = (mantissa << 8) | p[i];
+  const double value =
+      static_cast<double>(mantissa) / 72057594037927936.0 * std::pow(16.0, exponent);
+  return negative ? -value : value;
+}
+
+void put_record(std::string& out, std::uint16_t id, const std::string& payload) {
+  if (payload.size() + 4 > 0xffff) throw std::runtime_error("gds: record too long");
+  put_u16(out, static_cast<std::uint16_t>(payload.size() + 4));
+  put_u16(out, id);
+  out += payload;
+}
+
+std::string ascii_payload(const std::string& s) {
+  std::string p = s;
+  if (p.size() % 2) p.push_back('\0');  // records are word-aligned
+  return p;
+}
+
+std::string timestamp_payload() {
+  // 12 int16 fields twice (creation/modification); fixed epoch for
+  // reproducible byte-identical output.
+  std::string p;
+  for (int rep = 0; rep < 2; ++rep) {
+    const std::int16_t fields[6] = {2024, 1, 1, 0, 0, 0};
+    for (std::int16_t f : fields) put_u16(p, static_cast<std::uint16_t>(f));
+  }
+  return p;
+}
+
+}  // namespace
+
+void write_gds(const std::string& path, const GdsLibrary& library) {
+  std::string out;
+  {
+    std::string p;
+    put_u16(p, 600);  // stream version 6
+    put_record(out, kHeader, p);
+  }
+  put_record(out, kBgnLib, timestamp_payload());
+  put_record(out, kLibName, ascii_payload(library.name));
+  {
+    std::string p;
+    put_real8(p, library.dbu_per_user_unit);
+    put_real8(p, library.dbu_in_meter);
+    put_record(out, kUnits, p);
+  }
+  for (const GdsStructure& str : library.structures) {
+    put_record(out, kBgnStr, timestamp_payload());
+    put_record(out, kStrName, ascii_payload(str.name));
+    for (const geometry::Rect& r : str.rects) {
+      put_record(out, kBoundary, "");
+      {
+        std::string p;
+        put_u16(p, static_cast<std::uint16_t>(str.layer));
+        put_record(out, kLayer, p);
+      }
+      {
+        std::string p;
+        put_u16(p, static_cast<std::uint16_t>(str.datatype));
+        put_record(out, kDatatype, p);
+      }
+      {
+        std::string p;  // closed loop: 5 points
+        const std::int32_t xs[5] = {static_cast<std::int32_t>(r.x0),
+                                    static_cast<std::int32_t>(r.x1),
+                                    static_cast<std::int32_t>(r.x1),
+                                    static_cast<std::int32_t>(r.x0),
+                                    static_cast<std::int32_t>(r.x0)};
+        const std::int32_t ys[5] = {static_cast<std::int32_t>(r.y0),
+                                    static_cast<std::int32_t>(r.y0),
+                                    static_cast<std::int32_t>(r.y1),
+                                    static_cast<std::int32_t>(r.y1),
+                                    static_cast<std::int32_t>(r.y0)};
+        for (int i = 0; i < 5; ++i) {
+          put_i32(p, xs[i]);
+          put_i32(p, ys[i]);
+        }
+        put_record(out, kXy, p);
+      }
+      put_record(out, kEndEl, "");
+    }
+    put_record(out, kEndStr, "");
+  }
+  put_record(out, kEndLib, "");
+
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("gds: cannot open " + path + " for writing");
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!os) throw std::runtime_error("gds: write failed for " + path);
+}
+
+namespace {
+
+struct Record {
+  std::uint16_t id = 0;
+  std::string payload;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("gds: cannot open " + path);
+    data_.assign(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+  }
+
+  bool next(Record& record) {
+    if (pos_ + 4 > data_.size()) return false;
+    const std::size_t len = (static_cast<unsigned char>(data_[pos_]) << 8) |
+                            static_cast<unsigned char>(data_[pos_ + 1]);
+    if (len < 4 || pos_ + len > data_.size()) {
+      throw std::runtime_error("gds: corrupt record length");
+    }
+    record.id = static_cast<std::uint16_t>((static_cast<unsigned char>(data_[pos_ + 2]) << 8) |
+                                           static_cast<unsigned char>(data_[pos_ + 3]));
+    record.payload.assign(data_.begin() + static_cast<long>(pos_) + 4,
+                          data_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  std::string data_;
+  std::size_t pos_ = 0;
+};
+
+std::int32_t get_i32(const std::string& p, std::size_t i) {
+  return static_cast<std::int32_t>((static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+                                    << 24) |
+                                   (static_cast<unsigned char>(p[i + 1]) << 16) |
+                                   (static_cast<unsigned char>(p[i + 2]) << 8) |
+                                   static_cast<unsigned char>(p[i + 3]));
+}
+
+std::string trim_nul(const std::string& s) {
+  std::string out = s;
+  while (!out.empty() && out.back() == '\0') out.pop_back();
+  return out;
+}
+
+/// Decompose a closed rectilinear loop into rects (even-odd fill over the
+/// scan-line grid).
+std::vector<geometry::Rect> loop_to_rects(const std::vector<geometry::Point>& loop) {
+  if (loop.size() < 4) throw std::runtime_error("gds: degenerate boundary");
+  std::vector<geometry::Coord> xs, ys;
+  for (const auto& p : loop) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  const int cols = static_cast<int>(xs.size()) - 1;
+  const int rows = static_cast<int>(ys.size()) - 1;
+  if (cols <= 0 || rows <= 0) throw std::runtime_error("gds: empty boundary");
+
+  std::vector<std::uint8_t> grid(static_cast<std::size_t>(rows) * cols, 0);
+  for (int r = 0; r < rows; ++r) {
+    const double cy = 0.5 * (static_cast<double>(ys[r]) + static_cast<double>(ys[r + 1]));
+    for (int c = 0; c < cols; ++c) {
+      const double cx = 0.5 * (static_cast<double>(xs[c]) + static_cast<double>(xs[c + 1]));
+      // Even-odd ray cast to +x over the loop's vertical edges.
+      int crossings = 0;
+      for (std::size_t i = 0; i + 1 < loop.size(); ++i) {
+        const auto& a = loop[i];
+        const auto& b = loop[i + 1];
+        if (a.x != b.x) continue;  // horizontal edge
+        const double lo = static_cast<double>(std::min(a.y, b.y));
+        const double hi = static_cast<double>(std::max(a.y, b.y));
+        if (cy > lo && cy < hi && static_cast<double>(a.x) > cx) ++crossings;
+      }
+      grid[static_cast<std::size_t>(r) * cols + c] = crossings % 2;
+    }
+  }
+  std::vector<geometry::Rect> rects;
+  for (const geometry::Rect& cell : geometry::grid_to_cell_rects(grid.data(), rows, cols)) {
+    rects.push_back(geometry::Rect{xs[cell.x0], ys[cell.y0], xs[cell.x1], ys[cell.y1]});
+  }
+  return rects;
+}
+
+}  // namespace
+
+GdsLibrary read_gds(const std::string& path) {
+  Reader reader(path);
+  GdsLibrary lib;
+  lib.structures.clear();
+  Record rec;
+  GdsStructure* current = nullptr;
+  bool in_boundary = false;
+  int layer = 1, datatype = 0;
+  std::vector<geometry::Point> loop;
+
+  while (reader.next(rec)) {
+    switch (rec.id) {
+      case kHeader:
+      case kBgnLib:
+      case kBgnStr:
+      case kEndEl:
+        break;
+      case kLibName:
+        lib.name = trim_nul(rec.payload);
+        break;
+      case kUnits:
+        if (rec.payload.size() != 16) throw std::runtime_error("gds: bad UNITS");
+        lib.dbu_per_user_unit =
+            get_real8(reinterpret_cast<const unsigned char*>(rec.payload.data()));
+        lib.dbu_in_meter =
+            get_real8(reinterpret_cast<const unsigned char*>(rec.payload.data()) + 8);
+        break;
+      case kStrName:
+        lib.structures.emplace_back();
+        current = &lib.structures.back();
+        current->name = trim_nul(rec.payload);
+        break;
+      case kBoundary:
+        in_boundary = true;
+        loop.clear();
+        break;
+      case kLayer:
+        layer = (static_cast<unsigned char>(rec.payload[0]) << 8) |
+                static_cast<unsigned char>(rec.payload[1]);
+        break;
+      case kDatatype:
+        datatype = (static_cast<unsigned char>(rec.payload[0]) << 8) |
+                   static_cast<unsigned char>(rec.payload[1]);
+        break;
+      case kXy: {
+        if (!in_boundary) break;  // ignore paths etc.
+        loop.clear();
+        for (std::size_t i = 0; i + 8 <= rec.payload.size(); i += 8) {
+          loop.push_back(geometry::Point{get_i32(rec.payload, i), get_i32(rec.payload, i + 4)});
+        }
+        if (current == nullptr) throw std::runtime_error("gds: XY outside structure");
+        current->layer = layer;
+        current->datatype = datatype;
+        for (const geometry::Rect& r : loop_to_rects(loop)) current->rects.push_back(r);
+        in_boundary = false;
+        break;
+      }
+      case kEndStr:
+        current = nullptr;
+        break;
+      case kEndLib:
+        return lib;
+      default:
+        throw std::runtime_error(
+            util::format("gds: unsupported record 0x%04x", rec.id));
+    }
+  }
+  throw std::runtime_error("gds: missing ENDLIB");
+}
+
+}  // namespace cp::io

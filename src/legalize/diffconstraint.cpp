@@ -1,0 +1,154 @@
+#include "legalize/diffconstraint.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace cp::legalize {
+
+DiffConstraintSystem::DiffConstraintSystem(int n) : n_(n) {
+  if (n < 0) throw std::invalid_argument("DiffConstraintSystem: negative size");
+}
+
+void DiffConstraintSystem::add(int begin, int end, Coord min_length_nm) {
+  if (begin < 0 || end > n_ || begin >= end) {
+    throw std::invalid_argument("DiffConstraintSystem::add: bad interval");
+  }
+  constraints_.push_back(IntervalConstraint{begin, end, min_length_nm});
+}
+
+Coord DiffConstraintSystem::minimum_total(Coord pitch_nm) const {
+  std::vector<Coord> f(static_cast<std::size_t>(n_) + 1, 0);
+  std::vector<std::vector<std::pair<int, Coord>>> out_edges(static_cast<std::size_t>(n_) + 1);
+  for (const IntervalConstraint& c : constraints_) {
+    out_edges[static_cast<std::size_t>(c.begin)].emplace_back(c.end, c.min_length_nm);
+  }
+  for (int i = 0; i < n_; ++i) {
+    f[i + 1] = std::max(f[i + 1], f[i] + pitch_nm);
+    for (const auto& [to, bound] : out_edges[static_cast<std::size_t>(i)]) {
+      f[static_cast<std::size_t>(to)] = std::max(f[static_cast<std::size_t>(to)], f[i] + bound);
+    }
+  }
+  return f[static_cast<std::size_t>(n_)];
+}
+
+SolveResult DiffConstraintSystem::solve(Coord total_nm, Coord pitch_nm,
+                                        int balance_sweeps) const {
+  if (n_ == 0) {
+    SolveResult result;
+    if (total_nm == 0) {
+      result.deltas = std::vector<Coord>{};
+    } else {
+      result.failure = SolveFailure{0, 0, 0, total_nm};
+    }
+    return result;
+  }
+  // Deduplicate constraints, keeping the strongest bound per interval, and
+  // bucket edges by source node for the forward longest-path sweep.
+  std::map<std::pair<int, int>, Coord> strongest;
+  for (const IntervalConstraint& c : constraints_) {
+    auto key = std::make_pair(c.begin, c.end);
+    auto it = strongest.find(key);
+    if (it == strongest.end() || it->second < c.min_length_nm) strongest[key] = c.min_length_nm;
+  }
+  std::vector<std::vector<std::pair<int, Coord>>> out_edges(static_cast<std::size_t>(n_) + 1);
+  std::vector<std::vector<std::pair<int, Coord>>> in_edges(static_cast<std::size_t>(n_) + 1);
+  for (const auto& [key, bound] : strongest) {
+    out_edges[static_cast<std::size_t>(key.first)].emplace_back(key.second, bound);
+    in_edges[static_cast<std::size_t>(key.second)].emplace_back(key.first, bound);
+  }
+
+  // Forward longest path f(i) = longest 0 -> i, with predecessor tracking
+  // for critical-path extraction. Pitch edges are marked so the reported
+  // failure region spans only the *constraint* edges of the critical path —
+  // that localisation is what the agent repairs.
+  std::vector<Coord> f(static_cast<std::size_t>(n_) + 1, 0);
+  std::vector<int> pred(static_cast<std::size_t>(n_) + 1, -1);
+  std::vector<char> pred_is_constraint(static_cast<std::size_t>(n_) + 1, 0);
+  for (int i = 0; i < n_; ++i) {
+    if (f[i] + pitch_nm > f[i + 1]) {
+      f[i + 1] = f[i] + pitch_nm;
+      pred[i + 1] = i;
+      pred_is_constraint[i + 1] = 0;
+    }
+    for (const auto& [to, bound] : out_edges[static_cast<std::size_t>(i)]) {
+      if (f[i] + bound > f[to]) {
+        f[static_cast<std::size_t>(to)] = f[i] + bound;
+        pred[static_cast<std::size_t>(to)] = i;
+        pred_is_constraint[static_cast<std::size_t>(to)] = 1;
+      }
+    }
+  }
+
+  SolveResult result;
+  if (f[static_cast<std::size_t>(n_)] > total_nm) {
+    // Infeasible: walk the critical path back from n; the reported region
+    // is the extent of its constraint edges (the whole axis if the path is
+    // pure pitch, which only happens when the budget is below n * pitch).
+    int lo = n_, hi = 0;
+    for (int node = n_; node > 0 && pred[static_cast<std::size_t>(node)] >= 0;
+         node = pred[static_cast<std::size_t>(node)]) {
+      if (pred_is_constraint[static_cast<std::size_t>(node)]) {
+        hi = std::max(hi, node);
+        lo = std::min(lo, pred[static_cast<std::size_t>(node)]);
+      }
+    }
+    if (hi == 0) {  // no constraint edge on the path
+      lo = 0;
+      hi = n_;
+    }
+    SolveFailure failure;
+    failure.begin = lo;
+    failure.end = hi;
+    failure.required_nm = f[static_cast<std::size_t>(n_)];
+    failure.available_nm = total_nm;
+    result.failure = failure;
+    return result;
+  }
+
+  // Backward longest path g(i) = longest i -> n.
+  std::vector<Coord> g(static_cast<std::size_t>(n_) + 1, 0);
+  for (int i = n_ - 1; i >= 0; --i) {
+    g[i] = g[i + 1] + pitch_nm;
+    for (const auto& [to, bound] : out_edges[static_cast<std::size_t>(i)]) {
+      g[i] = std::max(g[static_cast<std::size_t>(i)], g[static_cast<std::size_t>(to)] + bound);
+    }
+  }
+
+  // Feasible prefix-sum assignment: the "latest schedule"
+  // s_i = max(f(i), W - g(i)) with the boundary values pinned. Feasibility of
+  // every difference constraint follows from f(e) >= f(b) + L and
+  // g(b) >= g(e) + L (see DESIGN.md section 4).
+  std::vector<Coord> s(static_cast<std::size_t>(n_) + 1, 0);
+  s[0] = 0;
+  s[static_cast<std::size_t>(n_)] = total_nm;
+  for (int i = 1; i < n_; ++i) {
+    s[i] = std::max(f[i], total_nm - g[i]);
+  }
+
+  // Balance sweeps: nudge each interior prefix toward the uniform schedule
+  // while staying within the bounds imposed by its incident constraints.
+  for (int sweep = 0; sweep < balance_sweeps; ++sweep) {
+    for (int i = 1; i < n_; ++i) {
+      Coord lo = s[i - 1] + pitch_nm;
+      Coord hi = s[i + 1] - pitch_nm;
+      for (const auto& [from, bound] : in_edges[static_cast<std::size_t>(i)]) {
+        lo = std::max(lo, s[static_cast<std::size_t>(from)] + bound);
+      }
+      for (const auto& [to, bound] : out_edges[static_cast<std::size_t>(i)]) {
+        hi = std::min(hi, s[static_cast<std::size_t>(to)] - bound);
+      }
+      // Also respect constraints that merely *cross* i — they bound the pair
+      // (s_b, s_e), not s_i, so they are already satisfied and unaffected.
+      const Coord target = (total_nm * i) / n_;
+      s[i] = std::clamp(target, lo, hi);
+    }
+  }
+
+  std::vector<Coord> deltas(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) deltas[static_cast<std::size_t>(i)] = s[i + 1] - s[i];
+  result.deltas = std::move(deltas);
+  return result;
+}
+
+}  // namespace cp::legalize

@@ -1,0 +1,72 @@
+#pragma once
+// Difference-constraint solver used by the legalizer.
+//
+// The DiffPattern-style non-linear legalization f_R(F, T) assigns physical
+// lengths to scan-line intervals. Every design-rule run constraint
+// ("columns [b, e) must span at least L nm") becomes a lower bound on a
+// contiguous sum of deltas, i.e. a difference constraint s_e - s_b >= L on
+// the prefix sums s. Together with the per-interval pitch bound and the
+// fixed total s_n = W, feasibility is a longest-path computation on a DAG
+// whose nodes are the n+1 scan lines. The longest (critical) path both
+// decides feasibility and, when infeasible, localises the offending interval
+// — the explainable-failure feature the paper's agent consumes.
+
+#include <optional>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace cp::legalize {
+
+using geometry::Coord;
+
+struct IntervalConstraint {
+  int begin = 0;  // scan-line index
+  int end = 0;    // scan-line index, > begin
+  Coord min_length_nm = 0;
+};
+
+struct SolveFailure {
+  /// Tightest over-constrained interval (scan-line indices of the critical
+  /// path's extent).
+  int begin = 0;
+  int end = 0;
+  Coord required_nm = 0;   // longest-path length
+  Coord available_nm = 0;  // the budget W
+};
+
+struct SolveResult {
+  /// Interval lengths (deltas), size n; present iff feasible.
+  std::optional<std::vector<Coord>> deltas;
+  std::optional<SolveFailure> failure;
+  bool ok() const { return deltas.has_value(); }
+};
+
+class DiffConstraintSystem {
+ public:
+  /// A system over n intervals (n+1 scan lines).
+  explicit DiffConstraintSystem(int n);
+
+  /// Require sum of deltas[begin..end) >= min_length_nm.
+  /// Duplicate intervals keep the strongest bound.
+  void add(int begin, int end, Coord min_length_nm);
+
+  int interval_count() const { return n_; }
+
+  /// Solve for total budget W with per-delta lower bound `pitch`.
+  /// On success the returned deltas satisfy every constraint, sum to exactly
+  /// W, and slack is spread by `balance_sweeps` relaxation passes so the
+  /// solution is smooth rather than front/back-loaded.
+  SolveResult solve(Coord total_nm, Coord pitch_nm, int balance_sweeps = 3) const;
+
+  /// The smallest total budget any feasible assignment needs (the longest
+  /// constraint-chain path from scan line 0 to n).
+  Coord minimum_total(Coord pitch_nm) const;
+
+ private:
+  int n_;
+  // Edge list keyed by (begin, end) keeping the max bound.
+  std::vector<IntervalConstraint> constraints_;
+};
+
+}  // namespace cp::legalize

@@ -1,0 +1,162 @@
+#include "legalize/legalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/extract.h"
+#include "util/strings.h"
+
+namespace cp::legalize {
+
+namespace {
+
+LegalizeFailure make_failure(char axis, int row0, int col0, int row1, int col1, Coord required,
+                             Coord available) {
+  LegalizeFailure f;
+  f.axis = axis;
+  f.row0 = row0;
+  f.col0 = col0;
+  f.row1 = row1;
+  f.col1 = col1;
+  f.required_nm = required;
+  f.available_nm = available;
+  f.message = util::format(
+      "legalization failed (%c-axis): region rows[%d,%d) cols[%d,%d) requires %lld nm but only "
+      "%lld nm available",
+      axis, row0, row1, col0, col1, static_cast<long long>(required),
+      static_cast<long long>(available));
+  return f;
+}
+
+}  // namespace
+
+DiffConstraintSystem Legalizer::build_x_system(const squish::Topology& t) const {
+  DiffConstraintSystem sys(t.cols());
+  for (int r = 0; r < t.rows(); ++r) {
+    const auto ones = drc::row_runs(t, r, 1);
+    for (const auto& [b, e] : ones) {
+      if (b == 0 || e == t.cols()) continue;  // border-exempt, as in the checker
+      sys.add(b, e, rules_.min_width_nm);
+    }
+    for (std::size_t i = 0; i + 1 < ones.size(); ++i) {
+      sys.add(ones[i].second, ones[i + 1].first, rules_.min_space_nm);
+    }
+  }
+  return sys;
+}
+
+DiffConstraintSystem Legalizer::build_y_system(const squish::Topology& t) const {
+  DiffConstraintSystem sys(t.rows());
+  for (int c = 0; c < t.cols(); ++c) {
+    const auto ones = drc::col_runs(t, c, 1);
+    for (const auto& [b, e] : ones) {
+      if (b == 0 || e == t.rows()) continue;
+      sys.add(b, e, rules_.min_width_nm);
+    }
+    for (std::size_t i = 0; i + 1 < ones.size(); ++i) {
+      sys.add(ones[i].second, ones[i + 1].first, rules_.min_space_nm);
+    }
+  }
+  return sys;
+}
+
+Coord Legalizer::required_width_nm(const squish::Topology& topology) const {
+  return build_x_system(topology).minimum_total(rules_.pitch_nm);
+}
+
+Coord Legalizer::required_height_nm(const squish::Topology& topology) const {
+  return build_y_system(topology).minimum_total(rules_.pitch_nm);
+}
+
+LegalizeResult Legalizer::legalize(const squish::Topology& topology, Coord width_nm,
+                                   Coord height_nm) const {
+  LegalizeResult result;
+  if (topology.empty()) {
+    result.failure = make_failure('x', 0, 0, 0, 0, 0, width_nm);
+    result.failure->message = "legalization failed: empty topology";
+    return result;
+  }
+
+  DiffConstraintSystem xsys = build_x_system(topology);
+  DiffConstraintSystem ysys = build_y_system(topology);
+
+  // Area-repair loop: solve both axes, check polygon areas, convert any
+  // shortfall into extra extent constraints and re-solve.
+  constexpr int kMaxAreaRounds = 4;
+  for (int round = 0; round < kMaxAreaRounds; ++round) {
+    const SolveResult xres = xsys.solve(width_nm, rules_.pitch_nm);
+    if (!xres.ok()) {
+      const SolveFailure& sf = *xres.failure;
+      result.failure = make_failure('x', 0, sf.begin, topology.rows(), sf.end, sf.required_nm,
+                                    sf.available_nm);
+      return result;
+    }
+    const SolveResult yres = ysys.solve(height_nm, rules_.pitch_nm);
+    if (!yres.ok()) {
+      const SolveFailure& sf = *yres.failure;
+      result.failure = make_failure('y', sf.begin, 0, sf.end, topology.cols(), sf.required_nm,
+                                    sf.available_nm);
+      return result;
+    }
+
+    squish::SquishPattern pattern;
+    pattern.topology = topology;
+    pattern.dx = *xres.deltas;
+    pattern.dy = *yres.deltas;
+
+    // Area check on the candidate assignment.
+    bool area_clean = true;
+    for (const auto& comp :
+         geometry::connected_components(topology.data(), topology.rows(), topology.cols())) {
+      const bool on_border = comp.min_row == 0 || comp.min_col == 0 ||
+                             comp.max_row + 1 == topology.rows() ||
+                             comp.max_col + 1 == topology.cols();
+      if (on_border) continue;
+      Coord area = 0;
+      for (const geometry::Point& cell : comp.cells) {
+        area += pattern.dx[static_cast<std::size_t>(cell.x)] *
+                pattern.dy[static_cast<std::size_t>(cell.y)];
+      }
+      if (area >= rules_.min_area_nm2) continue;
+      area_clean = false;
+      if (round + 1 == kMaxAreaRounds) {
+        result.failure = make_failure('a', comp.min_row, comp.min_col, comp.max_row + 1,
+                                      comp.max_col + 1, rules_.min_area_nm2, area);
+        return result;
+      }
+      // Ask both axes to grow the component's bounding extent: if each
+      // direction reaches sqrt(min_area * current aspect), the cell-covered
+      // area (>= half the bbox for connected rectilinear shapes we generate)
+      // comfortably exceeds the rule after one or two rounds.
+      const Coord cur_w = [&] {
+        Coord w = 0;
+        for (int c = comp.min_col; c <= comp.max_col; ++c) {
+          w += pattern.dx[static_cast<std::size_t>(c)];
+        }
+        return w;
+      }();
+      const Coord cur_h = [&] {
+        Coord h = 0;
+        for (int r = comp.min_row; r <= comp.max_row; ++r) {
+          h += pattern.dy[static_cast<std::size_t>(r)];
+        }
+        return h;
+      }();
+      const double grow = std::sqrt(static_cast<double>(rules_.min_area_nm2) /
+                                    std::max<double>(1.0, static_cast<double>(area)));
+      xsys.add(comp.min_col, comp.max_col + 1,
+               static_cast<Coord>(std::ceil(static_cast<double>(cur_w) * grow)));
+      ysys.add(comp.min_row, comp.max_row + 1,
+               static_cast<Coord>(std::ceil(static_cast<double>(cur_h) * grow)));
+    }
+    if (area_clean) {
+      result.pattern = std::move(pattern);
+      return result;
+    }
+  }
+  // Unreachable: the loop either returns a pattern or a failure.
+  result.failure = make_failure('a', 0, 0, topology.rows(), topology.cols(), rules_.min_area_nm2, 0);
+  return result;
+}
+
+}  // namespace cp::legalize

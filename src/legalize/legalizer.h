@@ -1,0 +1,63 @@
+#pragma once
+// Topology legalization: f_R(F, T) from DiffPattern (Equation 13 of the
+// paper). Given a generated topology matrix T, a target physical size
+// F = (W, H) nm and a set of design rules R, find geometry vectors Dx, Dy so
+// that the resulting squish pattern is DRC-clean, or report the offending
+// region when no such vectors exist.
+//
+// The width/space rules are linear lower bounds on contiguous delta sums and
+// are solved exactly per axis via DiffConstraintSystem. The polygon area
+// rule couples the axes non-linearly; it is handled by an iterative
+// repair loop that converts an area shortfall into additional extent
+// constraints and re-solves (a small fixed number of rounds, then fail).
+
+#include <optional>
+#include <string>
+
+#include "drc/checker.h"
+#include "legalize/diffconstraint.h"
+#include "squish/squish.h"
+
+namespace cp::legalize {
+
+struct LegalizeFailure {
+  /// Offending cell region: rows [row0,row1) x cols [col0,col1).
+  int row0 = 0, col0 = 0, row1 = 0, col1 = 0;
+  char axis = 'x';  // 'x', 'y', or 'a' (area)
+  Coord required_nm = 0;
+  Coord available_nm = 0;
+  std::string message;  // log line handed to the agent
+};
+
+struct LegalizeResult {
+  std::optional<squish::SquishPattern> pattern;
+  std::optional<LegalizeFailure> failure;
+  bool ok() const { return pattern.has_value(); }
+};
+
+class Legalizer {
+ public:
+  explicit Legalizer(drc::DesignRules rules) : rules_(rules) {}
+
+  /// Legalize `topology` into a W x H nm pattern.
+  LegalizeResult legalize(const squish::Topology& topology, Coord width_nm,
+                          Coord height_nm) const;
+
+  const drc::DesignRules& rules() const { return rules_; }
+
+  /// Diagnostics: the minimum physical width/height (nm) any legal
+  /// assignment needs — the longest constraint-chain path. Legalization at
+  /// (W, H) succeeds (up to the non-linear area rule) iff W/H are at or
+  /// above these. Used by benches to characterise topology difficulty.
+  Coord required_width_nm(const squish::Topology& topology) const;
+  Coord required_height_nm(const squish::Topology& topology) const;
+
+ private:
+  /// Build the per-axis constraint system from run structure.
+  DiffConstraintSystem build_x_system(const squish::Topology& t) const;
+  DiffConstraintSystem build_y_system(const squish::Topology& t) const;
+
+  drc::DesignRules rules_;
+};
+
+}  // namespace cp::legalize

@@ -1,0 +1,45 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+namespace cp::metrics {
+
+std::map<std::pair<int, int>, int> complexity_histogram(
+    const std::vector<squish::Topology>& library) {
+  std::map<std::pair<int, int>, int> hist;
+  for (const squish::Topology& t : library) ++hist[t.complexity()];
+  return hist;
+}
+
+double diversity(const std::vector<squish::Topology>& library) {
+  if (library.empty()) return 0.0;
+  const auto hist = complexity_histogram(library);
+  const double n = static_cast<double>(library.size());
+  double h = 0.0;
+  for (const auto& [key, count] : hist) {
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+LegalityResult legality(const std::vector<squish::SquishPattern>& patterns,
+                        const drc::DesignRules& rules) {
+  LegalityResult result;
+  result.total = static_cast<int>(patterns.size());
+  for (const squish::SquishPattern& p : patterns) {
+    if (drc::check(p, rules).clean()) ++result.legal;
+  }
+  return result;
+}
+
+double diversity_of_legal(const std::vector<squish::SquishPattern>& patterns,
+                          const drc::DesignRules& rules) {
+  std::vector<squish::Topology> legal;
+  for (const squish::SquishPattern& p : patterns) {
+    if (drc::check(p, rules).clean()) legal.push_back(p.topology);
+  }
+  return diversity(legal);
+}
+
+}  // namespace cp::metrics

@@ -1,0 +1,44 @@
+#pragma once
+// Evaluation metrics from Section 2 of the paper:
+//   Legality  (Definition 1, Eq. 7): fraction of generated patterns that are
+//             DRC-clean under the style's design rules.
+//   Diversity (Definition 2, Eq. 8): Shannon entropy of the joint
+//             distribution of pattern complexities (c_x, c_y).
+//
+// Note on the entropy base: the paper does not state it; we report bits
+// (log2), matching the scale of the DeePattern-line of work. Comparisons
+// between methods are base-invariant.
+
+#include <map>
+#include <vector>
+
+#include "drc/checker.h"
+#include "squish/squish.h"
+
+namespace cp::metrics {
+
+/// Shannon entropy (natural log) of the (c_x, c_y) complexity histogram of a
+/// topology library (Definition 2).
+double diversity(const std::vector<squish::Topology>& library);
+
+/// Complexity histogram itself, exposed for the experience store and plots.
+std::map<std::pair<int, int>, int> complexity_histogram(
+    const std::vector<squish::Topology>& library);
+
+struct LegalityResult {
+  int total = 0;
+  int legal = 0;
+  double ratio() const { return total == 0 ? 0.0 : static_cast<double>(legal) / total; }
+};
+
+/// Legality of already-legalized patterns: re-checks each against the rules.
+LegalityResult legality(const std::vector<squish::SquishPattern>& patterns,
+                        const drc::DesignRules& rules);
+
+/// Aggregate helper used by the benches: diversity over the topologies of
+/// the *legal* patterns only, as Table 1 reports "Diversity on legal
+/// patterns".
+double diversity_of_legal(const std::vector<squish::SquishPattern>& patterns,
+                          const drc::DesignRules& rules);
+
+}  // namespace cp::metrics

@@ -1,0 +1,223 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cp::nn {
+
+Linear::Linear(int in_features, int out_features, util::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+  weight_.value = Tensor::randn({out_features, in_features}, rng, stddev);
+  weight_.grad = Tensor::zeros({out_features, in_features});
+  bias_.value = Tensor::zeros({out_features});
+  bias_.grad = Tensor::zeros({out_features});
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  input_ = x;
+  return linear_forward(x, weight_.value, bias_.value);
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const int n = input_.dim(0);
+  const int in = input_.dim(1);
+  const int out = weight_.value.dim(0);
+  // dW += g^T x ; db += sum g ; dx = g W
+  for (int i = 0; i < n; ++i) {
+    const float* xi = input_.data() + static_cast<std::size_t>(i) * in;
+    const float* gi = grad_out.data() + static_cast<std::size_t>(i) * out;
+    for (int o = 0; o < out; ++o) {
+      float* wo = weight_.grad.data() + static_cast<std::size_t>(o) * in;
+      const float g = gi[o];
+      for (int k = 0; k < in; ++k) wo[k] += g * xi[k];
+      bias_.grad[static_cast<std::size_t>(o)] += g;
+    }
+  }
+  Tensor grad_in({n, in});
+  for (int i = 0; i < n; ++i) {
+    const float* gi = grad_out.data() + static_cast<std::size_t>(i) * out;
+    float* di = grad_in.data() + static_cast<std::size_t>(i) * in;
+    for (int o = 0; o < out; ++o) {
+      const float* wo = weight_.value.data() + static_cast<std::size_t>(o) * in;
+      const float g = gi[o];
+      for (int k = 0; k < in; ++k) di[k] += g * wo[k];
+    }
+  }
+  return grad_in;
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = y[i] > 0 ? y[i] : 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    if (input_[i] <= 0) g[i] = 0.0f;
+  }
+  return g;
+}
+
+namespace {
+inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+Tensor SiLU::forward(const Tensor& x) {
+  input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = x[i] * sigmoidf(x[i]);
+  return y;
+}
+
+Tensor SiLU::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    const float s = sigmoidf(input_[i]);
+    g[i] *= s * (1.0f + input_[i] * (1.0f - s));
+  }
+  return g;
+}
+
+Tensor Sigmoid::forward(const Tensor& x) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = sigmoidf(y[i]);
+  output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) g[i] *= output_[i] * (1.0f - output_[i]);
+  return g;
+}
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, util::Rng& rng)
+    : in_ch_(in_channels), out_ch_(out_channels), k_(kernel) {
+  if (kernel % 2 == 0) throw std::invalid_argument("Conv2d: kernel must be odd");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_channels * kernel * kernel));
+  weight_.value = Tensor::randn({out_channels, in_channels, kernel, kernel}, rng, stddev);
+  weight_.grad = Tensor::zeros({out_channels, in_channels, kernel, kernel});
+  bias_.value = Tensor::zeros({out_channels});
+  bias_.grad = Tensor::zeros({out_channels});
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != in_ch_) throw std::invalid_argument("Conv2d: bad input");
+  input_ = x;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int pad = k_ / 2;
+  Tensor y({n, out_ch_, h, w});
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      for (int r = 0; r < h; ++r) {
+        for (int c = 0; c < w; ++c) {
+          float acc = bias_.value[static_cast<std::size_t>(oc)];
+          for (int ic = 0; ic < in_ch_; ++ic) {
+            for (int kr = 0; kr < k_; ++kr) {
+              const int rr = r + kr - pad;
+              if (rr < 0 || rr >= h) continue;
+              for (int kc = 0; kc < k_; ++kc) {
+                const int cc = c + kc - pad;
+                if (cc < 0 || cc >= w) continue;
+                acc += x.at4(b, ic, rr, cc) *
+                       weight_.value[((static_cast<std::size_t>(oc) * in_ch_ + ic) * k_ + kr) *
+                                         k_ +
+                                     kc];
+              }
+            }
+          }
+          y.at4(b, oc, r, c) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const int n = input_.dim(0), h = input_.dim(2), w = input_.dim(3);
+  const int pad = k_ / 2;
+  Tensor grad_in({n, in_ch_, h, w});
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      for (int r = 0; r < h; ++r) {
+        for (int c = 0; c < w; ++c) {
+          const float g = grad_out.at4(b, oc, r, c);
+          bias_.grad[static_cast<std::size_t>(oc)] += g;
+          for (int ic = 0; ic < in_ch_; ++ic) {
+            for (int kr = 0; kr < k_; ++kr) {
+              const int rr = r + kr - pad;
+              if (rr < 0 || rr >= h) continue;
+              for (int kc = 0; kc < k_; ++kc) {
+                const int cc = c + kc - pad;
+                if (cc < 0 || cc >= w) continue;
+                const std::size_t widx =
+                    ((static_cast<std::size_t>(oc) * in_ch_ + ic) * k_ + kr) * k_ + kc;
+                weight_.grad[widx] += g * input_.at4(b, ic, rr, cc);
+                grad_in.at4(b, ic, rr, cc) += g * weight_.value[widx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+void Sequential::zero_grad() {
+  for (Param* p : params()) p->grad.fill(0.0f);
+}
+
+float bce_with_logits(const Tensor& logits, const Tensor& targets, Tensor& grad) {
+  if (!logits.same_shape(targets)) throw std::invalid_argument("bce_with_logits: shape mismatch");
+  grad = Tensor::zeros(logits.shape());
+  const std::size_t n = logits.numel();
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = logits[i];
+    const float t = targets[i];
+    // Stable: max(x,0) - x t + log(1 + exp(-|x|)).
+    loss += std::max(x, 0.0f) - x * t + std::log1p(std::exp(-std::fabs(x)));
+    grad[i] = (sigmoidf(x) - t) / static_cast<float>(n);
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  if (!pred.same_shape(target)) throw std::invalid_argument("mse_loss: shape mismatch");
+  grad = Tensor::zeros(pred.shape());
+  const std::size_t n = pred.numel();
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred[i] - target[i];
+    loss += d * d;
+    grad[i] = 2.0f * d / static_cast<float>(n);
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+}  // namespace cp::nn

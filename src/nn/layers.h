@@ -1,0 +1,123 @@
+#pragma once
+// Neural-network layers with explicit forward/backward passes.
+//
+// The Layer interface is stateful per batch: forward() caches whatever the
+// corresponding backward() needs. Parameters are exposed as (value, grad)
+// pairs for the optimizer. This is all the machinery the MLP denoiser and
+// the autoencoder baselines need; Conv2d is provided for the convolutional
+// variants and tested against finite differences.
+
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace cp::nn {
+
+struct Param {
+  Tensor value;
+  Tensor grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual std::vector<Param*> params() { return {}; }
+  virtual const char* name() const = 0;
+};
+
+/// Fully connected: y = x W^T + b.
+class Linear : public Layer {
+ public:
+  Linear(int in_features, int out_features, util::Rng& rng);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  const char* name() const override { return "Linear"; }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  int in_features() const { return weight_.value.dim(1); }
+  int out_features() const { return weight_.value.dim(0); }
+
+ private:
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor input_;  // cached for backward
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  const char* name() const override { return "ReLU"; }
+
+ private:
+  Tensor input_;
+};
+
+/// SiLU (x * sigmoid(x)) — the activation of the paper's U-Net backbone.
+class SiLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  const char* name() const override { return "SiLU"; }
+
+ private:
+  Tensor input_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  const char* name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor output_;
+};
+
+/// Same-padded 2-D convolution on NCHW tensors (odd kernel).
+class Conv2d : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, util::Rng& rng);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  const char* name() const override { return "Conv2d"; }
+
+ private:
+  int in_ch_, out_ch_, k_;
+  Param weight_;  // [out, in, k, k]
+  Param bias_;    // [out]
+  Tensor input_;
+};
+
+/// A simple sequential container.
+class Sequential {
+ public:
+  Sequential() = default;
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  Tensor forward(const Tensor& x);
+  /// Propagate the loss gradient back through all layers (accumulates
+  /// parameter grads; call zero_grad() between steps).
+  Tensor backward(const Tensor& grad_out);
+  std::vector<Param*> params();
+  void zero_grad();
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Binary cross-entropy with logits; returns mean loss and writes
+/// d(loss)/d(logits) into grad (same shape). targets in {0,1} (or soft).
+float bce_with_logits(const Tensor& logits, const Tensor& targets, Tensor& grad);
+
+/// Mean squared error; returns mean loss and writes gradient.
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor& grad);
+
+}  // namespace cp::nn

@@ -1,0 +1,59 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace cp::nn {
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2, float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.push_back(Tensor::zeros(p->value.shape()));
+    v_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+float Adam::clip_grad_norm(float max_norm) {
+  double sq = 0.0;
+  for (Param* p : params_) {
+    for (std::size_t i = 0; i < p->grad.numel(); ++i) {
+      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Param* p : params_) {
+      for (std::size_t i = 0; i < p->grad.numel(); ++i) p->grad[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t j = 0; j < params_.size(); ++j) {
+    Param* p = params_[j];
+    Tensor& m = m_[j];
+    Tensor& v = v_[j];
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Sgd::step() {
+  for (Param* p : params_) {
+    for (std::size_t i = 0; i < p->value.numel(); ++i) p->value[i] -= lr_ * p->grad[i];
+  }
+}
+
+}  // namespace cp::nn

@@ -1,0 +1,46 @@
+#pragma once
+// Optimizers. Adam with the paper's training hyper-parameters as defaults
+// (lr 2e-4, standard betas) plus gradient-norm clipping (the paper clips at
+// 1.0).
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace cp::nn {
+
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, float lr = 2e-4f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f);
+
+  /// Apply one update from the accumulated grads (then caller zero_grads).
+  void step();
+
+  /// Global-norm gradient clipping; call before step(). Returns the norm.
+  float clip_grad_norm(float max_norm);
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  long long steps() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  float lr_, beta1_, beta2_, eps_;
+  long long t_ = 0;
+};
+
+/// Plain SGD, used by the linear-autoencoder baseline.
+class Sgd {
+ public:
+  explicit Sgd(std::vector<Param*> params, float lr = 1e-2f) : params_(std::move(params)), lr_(lr) {}
+  void step();
+
+ private:
+  std::vector<Param*> params_;
+  float lr_;
+};
+
+}  // namespace cp::nn

@@ -1,0 +1,75 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace cp::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x43504e4e;  // "CPNN"
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  const std::uint32_t rank = static_cast<std::uint32_t>(t.rank());
+  os.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int i = 0; i < t.rank(); ++i) {
+    const std::int32_t d = t.dim(i);
+    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  std::uint32_t rank = 0;
+  is.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!is || rank > 8) throw std::runtime_error("read_tensor: corrupt header");
+  std::vector<int> shape(rank);
+  for (auto& d : shape) {
+    std::int32_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!is || v < 0) throw std::runtime_error("read_tensor: corrupt shape");
+    d = v;
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw std::runtime_error("read_tensor: truncated data");
+  return t;
+}
+
+void save_params(std::ostream& os, const std::vector<Param*>& params) {
+  os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Param* p : params) write_tensor(os, p->value);
+}
+
+void load_params(std::istream& is, const std::vector<Param*>& params) {
+  std::uint32_t magic = 0, count = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is || magic != kMagic) throw std::runtime_error("load_params: bad magic");
+  if (count != params.size()) throw std::runtime_error("load_params: parameter count mismatch");
+  for (Param* p : params) {
+    Tensor t = read_tensor(is);
+    if (!t.same_shape(p->value)) throw std::runtime_error("load_params: shape mismatch");
+    p->value = std::move(t);
+  }
+}
+
+void save_params_file(const std::string& path, const std::vector<Param*>& params) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_params_file: cannot open " + path);
+  save_params(os, params);
+}
+
+bool load_params_file(const std::string& path, const std::vector<Param*>& params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  load_params(is, params);
+  return true;
+}
+
+}  // namespace cp::nn

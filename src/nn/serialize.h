@@ -1,0 +1,25 @@
+#pragma once
+// Binary (de)serialisation of tensors and parameter sets, so trained
+// denoisers can be cached between runs of the bench harness.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace cp::nn {
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+/// Save/load all parameter values of a model (shapes must already match on
+/// load; throws std::runtime_error otherwise).
+void save_params(std::ostream& os, const std::vector<Param*>& params);
+void load_params(std::istream& is, const std::vector<Param*>& params);
+
+void save_params_file(const std::string& path, const std::vector<Param*>& params);
+/// Returns false if the file does not exist; throws on corrupt content.
+bool load_params_file(const std::string& path, const std::vector<Param*>& params);
+
+}  // namespace cp::nn

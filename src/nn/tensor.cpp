@@ -1,0 +1,74 @@
+#include "nn/tensor.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace cp::nn {
+
+Tensor::Tensor(std::vector<int> shape, float fill) : shape_(std::move(shape)) {
+  std::size_t n = 1;
+  for (int d : shape_) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  data_.assign(n, fill);
+}
+
+Tensor Tensor::randn(std::vector<int> shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+float& Tensor::at4(int n, int c, int h, int w) {
+  return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(int n, int c, int h, int w) const {
+  return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add_scaled(const Tensor& other, float scale) {
+  if (!same_shape(other)) throw std::invalid_argument("Tensor::add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ',';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
+  if (x.rank() != 2 || w.rank() != 2 || b.rank() != 1) {
+    throw std::invalid_argument("linear_forward: bad ranks");
+  }
+  const int n = x.dim(0);
+  const int in = x.dim(1);
+  const int out = w.dim(0);
+  if (w.dim(1) != in || b.dim(0) != out) {
+    throw std::invalid_argument("linear_forward: shape mismatch");
+  }
+  Tensor y({n, out});
+  for (int i = 0; i < n; ++i) {
+    const float* xi = x.data() + static_cast<std::size_t>(i) * in;
+    float* yi = y.data() + static_cast<std::size_t>(i) * out;
+    for (int o = 0; o < out; ++o) {
+      const float* wo = w.data() + static_cast<std::size_t>(o) * in;
+      float acc = b[static_cast<std::size_t>(o)];
+      for (int k = 0; k < in; ++k) acc += xi[k] * wo[k];
+      yi[o] = acc;
+    }
+  }
+  return y;
+}
+
+}  // namespace cp::nn

@@ -1,0 +1,58 @@
+#pragma once
+// Minimal dense float tensor for the from-scratch neural-network library.
+// Row-major, shapes up to rank 4 (NCHW for the conv layer). No autograd —
+// layers implement explicit backward passes, which keeps the library small,
+// debuggable and fast enough for CPU training of the denoisers.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cp::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape), 0.0f); }
+  /// He/Kaiming-style normal init with the given stddev.
+  static Tensor randn(std::vector<int> shape, util::Rng& rng, float stddev = 1.0f);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::size_t numel() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D access for [rows, cols] tensors.
+  float& at(int r, int c) { return data_[static_cast<std::size_t>(r) * shape_[1] + c]; }
+  float at(int r, int c) const { return data_[static_cast<std::size_t>(r) * shape_[1] + c]; }
+
+  /// 4-D access for [n, c, h, w] tensors.
+  float& at4(int n, int c, int h, int w);
+  float at4(int n, int c, int h, int w) const;
+
+  void fill(float v);
+  void add_scaled(const Tensor& other, float scale);  // this += scale * other
+
+  std::string shape_string() const;
+
+  /// True if shapes match exactly.
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// y = x @ w^T + b, x:[n,in], w:[out,in], b:[out] -> y:[n,out].
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b);
+
+}  // namespace cp::nn

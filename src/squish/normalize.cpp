@@ -1,0 +1,173 @@
+#include "squish/normalize.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cp::squish {
+
+namespace {
+
+bool rows_equal(const Topology& t, int a, int b) {
+  for (int c = 0; c < t.cols(); ++c) {
+    if (t.at(a, c) != t.at(b, c)) return false;
+  }
+  return true;
+}
+
+bool cols_equal(const Topology& t, int a, int b) {
+  for (int r = 0; r < t.rows(); ++r) {
+    if (t.at(r, a) != t.at(r, b)) return false;
+  }
+  return true;
+}
+
+/// Rebuild a pattern keeping `keep` rows (merging the delta mass of dropped
+/// duplicates into the kept representative).
+SquishPattern merge_rows(const SquishPattern& p) {
+  const int rows = p.topology.rows();
+  std::vector<int> rep;  // representative row per group
+  DeltaVec dy;
+  for (int r = 0; r < rows; ++r) {
+    if (!rep.empty() && rows_equal(p.topology, r, rep.back())) {
+      dy.back() += p.dy[static_cast<std::size_t>(r)];
+    } else {
+      rep.push_back(r);
+      dy.push_back(p.dy[static_cast<std::size_t>(r)]);
+    }
+  }
+  SquishPattern out;
+  out.topology = Topology(static_cast<int>(rep.size()), p.topology.cols());
+  for (std::size_t r = 0; r < rep.size(); ++r) {
+    for (int c = 0; c < p.topology.cols(); ++c) {
+      out.topology.set(static_cast<int>(r), c, p.topology.at(rep[r], c));
+    }
+  }
+  out.dy = std::move(dy);
+  out.dx = p.dx;
+  return out;
+}
+
+SquishPattern merge_cols(const SquishPattern& p) {
+  const int cols = p.topology.cols();
+  std::vector<int> rep;
+  DeltaVec dx;
+  for (int c = 0; c < cols; ++c) {
+    if (!rep.empty() && cols_equal(p.topology, c, rep.back())) {
+      dx.back() += p.dx[static_cast<std::size_t>(c)];
+    } else {
+      rep.push_back(c);
+      dx.push_back(p.dx[static_cast<std::size_t>(c)]);
+    }
+  }
+  SquishPattern out;
+  out.topology = Topology(p.topology.rows(), static_cast<int>(rep.size()));
+  for (int r = 0; r < p.topology.rows(); ++r) {
+    for (std::size_t c = 0; c < rep.size(); ++c) {
+      out.topology.set(r, static_cast<int>(c), p.topology.at(r, rep[c]));
+    }
+  }
+  out.dx = std::move(dx);
+  out.dy = p.dy;
+  return out;
+}
+
+/// Split the row with the largest delta until `target` rows are reached.
+void pad_rows(SquishPattern& p, int target) {
+  while (p.topology.rows() < target) {
+    // Find the largest splittable (delta >= 2) row.
+    int best = -1;
+    for (int r = 0; r < p.topology.rows(); ++r) {
+      if (p.dy[static_cast<std::size_t>(r)] < 2) continue;
+      if (best < 0 || p.dy[static_cast<std::size_t>(r)] > p.dy[static_cast<std::size_t>(best)]) {
+        best = r;
+      }
+    }
+    if (best < 0) throw std::runtime_error("normalize: cannot pad rows, all deltas are 1 nm");
+    const Coord d = p.dy[static_cast<std::size_t>(best)];
+    Topology t(p.topology.rows() + 1, p.topology.cols());
+    DeltaVec dy;
+    dy.reserve(p.dy.size() + 1);
+    int out_r = 0;
+    for (int r = 0; r < p.topology.rows(); ++r) {
+      for (int c = 0; c < p.topology.cols(); ++c) t.set(out_r, c, p.topology.at(r, c));
+      if (r == best) {
+        dy.push_back(d / 2);
+        ++out_r;
+        for (int c = 0; c < p.topology.cols(); ++c) t.set(out_r, c, p.topology.at(r, c));
+        dy.push_back(d - d / 2);
+      } else {
+        dy.push_back(p.dy[static_cast<std::size_t>(r)]);
+      }
+      ++out_r;
+    }
+    p.topology = std::move(t);
+    p.dy = std::move(dy);
+  }
+}
+
+void pad_cols(SquishPattern& p, int target) {
+  // Transpose-free mirror of pad_rows.
+  while (p.topology.cols() < target) {
+    int best = -1;
+    for (int c = 0; c < p.topology.cols(); ++c) {
+      if (p.dx[static_cast<std::size_t>(c)] < 2) continue;
+      if (best < 0 || p.dx[static_cast<std::size_t>(c)] > p.dx[static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    if (best < 0) throw std::runtime_error("normalize: cannot pad cols, all deltas are 1 nm");
+    const Coord d = p.dx[static_cast<std::size_t>(best)];
+    Topology t(p.topology.rows(), p.topology.cols() + 1);
+    DeltaVec dx;
+    dx.reserve(p.dx.size() + 1);
+    for (int r = 0; r < p.topology.rows(); ++r) {
+      int out_c = 0;
+      for (int c = 0; c < p.topology.cols(); ++c) {
+        t.set(r, out_c, p.topology.at(r, c));
+        if (c == best) {
+          ++out_c;
+          t.set(r, out_c, p.topology.at(r, c));
+        }
+        ++out_c;
+      }
+    }
+    for (int c = 0; c < p.topology.cols(); ++c) {
+      if (c == best) {
+        dx.push_back(d / 2);
+        dx.push_back(d - d / 2);
+      } else {
+        dx.push_back(p.dx[static_cast<std::size_t>(c)]);
+      }
+    }
+    p.topology = std::move(t);
+    p.dx = std::move(dx);
+  }
+}
+
+}  // namespace
+
+SquishPattern merge_redundant_lines(const SquishPattern& pattern) {
+  return merge_cols(merge_rows(pattern));
+}
+
+std::optional<SquishPattern> normalize_to(const SquishPattern& pattern, int n) {
+  SquishPattern merged = merge_redundant_lines(pattern);
+  if (merged.topology.rows() > n || merged.topology.cols() > n) return std::nullopt;
+  pad_rows(merged, n);
+  pad_cols(merged, n);
+  return merged;
+}
+
+std::optional<Topology> pad_topology_to(const Topology& topology, int n) {
+  if (topology.rows() > n || topology.cols() > n) return std::nullopt;
+  SquishPattern p;
+  p.topology = topology;
+  // Give every line generous synthetic mass so padding can always split.
+  p.dx = DeltaVec(static_cast<std::size_t>(topology.cols()), 1 << 20);
+  p.dy = DeltaVec(static_cast<std::size_t>(topology.rows()), 1 << 20);
+  pad_rows(p, n);
+  pad_cols(p, n);
+  return p.topology;
+}
+
+}  // namespace cp::squish

@@ -1,0 +1,35 @@
+#pragma once
+// Adaptive squish-pattern normalisation (Yang et al., "Adaptive squish
+// patterns", DAC'19): every training topology is brought to a fixed NxN
+// square so a single generative model can consume patterns of any scan-line
+// complexity.
+//
+//   - merge step: adjacent identical rows/columns are fused (their deltas
+//     summed) — the minimal squish form;
+//   - pad step: while the matrix is smaller than NxN, the row/column with the
+//     largest delta is split in two (the topology row/column is duplicated,
+//     the delta halved). Splitting never changes the physical pattern.
+//
+// Normalisation fails if the minimal form is already larger than NxN (the
+// clip is too complex for the model window); such clips are dropped by the
+// dataset builder, mirroring the paper's preprocessing.
+
+#include <optional>
+
+#include "squish/squish.h"
+
+namespace cp::squish {
+
+/// Minimal squish form: deduplicate rows/columns, summing merged deltas.
+SquishPattern merge_redundant_lines(const SquishPattern& pattern);
+
+/// Normalise to an n x n matrix (merge, then pad). Returns std::nullopt if
+/// the merged pattern exceeds n in either dimension.
+std::optional<SquishPattern> normalize_to(const SquishPattern& pattern, int n);
+
+/// Pad a bare topology (no geometry) to n x n by duplicating rows/columns as
+/// evenly as possible; used for reference libraries where only the topology
+/// statistics matter. Requires pattern dims <= n.
+std::optional<Topology> pad_topology_to(const Topology& topology, int n);
+
+}  // namespace cp::squish

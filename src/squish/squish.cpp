@@ -1,0 +1,107 @@
+#include "squish/squish.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geometry/extract.h"
+
+namespace cp::squish {
+
+Coord SquishPattern::width_nm() const {
+  Coord w = 0;
+  for (Coord d : dx) w += d;
+  return w;
+}
+
+Coord SquishPattern::height_nm() const {
+  Coord h = 0;
+  for (Coord d : dy) h += d;
+  return h;
+}
+
+bool SquishPattern::well_formed() const {
+  if (static_cast<int>(dx.size()) != topology.cols()) return false;
+  if (static_cast<int>(dy.size()) != topology.rows()) return false;
+  for (Coord d : dx) {
+    if (d <= 0) return false;
+  }
+  for (Coord d : dy) {
+    if (d <= 0) return false;
+  }
+  return true;
+}
+
+SquishPattern squish(const std::vector<Rect>& rects, const Rect& window) {
+  if (window.empty()) throw std::invalid_argument("squish: empty window");
+
+  std::vector<Coord> xs{window.x0, window.x1};
+  std::vector<Coord> ys{window.y0, window.y1};
+  std::vector<Rect> clipped;
+  clipped.reserve(rects.size());
+  for (const Rect& r : rects) {
+    const Rect c = r.clipped_to(window);
+    if (c.empty()) continue;
+    clipped.push_back(c);
+    xs.push_back(c.x0);
+    xs.push_back(c.x1);
+    ys.push_back(c.y0);
+    ys.push_back(c.y1);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  const int cols = static_cast<int>(xs.size()) - 1;
+  const int rows = static_cast<int>(ys.size()) - 1;
+  SquishPattern out;
+  out.topology = Topology(rows, cols);
+  out.dx.resize(cols);
+  out.dy.resize(rows);
+  for (int c = 0; c < cols; ++c) out.dx[c] = xs[c + 1] - xs[c];
+  for (int r = 0; r < rows; ++r) out.dy[r] = ys[r + 1] - ys[r];
+
+  for (const Rect& r : clipped) {
+    const int c0 = static_cast<int>(std::lower_bound(xs.begin(), xs.end(), r.x0) - xs.begin());
+    const int c1 = static_cast<int>(std::lower_bound(xs.begin(), xs.end(), r.x1) - xs.begin());
+    const int r0 = static_cast<int>(std::lower_bound(ys.begin(), ys.end(), r.y0) - ys.begin());
+    const int r1 = static_cast<int>(std::lower_bound(ys.begin(), ys.end(), r.y1) - ys.begin());
+    for (int rr = r0; rr < r1; ++rr) {
+      for (int cc = c0; cc < c1; ++cc) out.topology.set(rr, cc, 1);
+    }
+  }
+  return out;
+}
+
+std::vector<Rect> unsquish(const SquishPattern& pattern) {
+  if (!pattern.well_formed()) throw std::invalid_argument("unsquish: malformed pattern");
+  const int rows = pattern.topology.rows();
+  const int cols = pattern.topology.cols();
+  std::vector<Coord> px(cols + 1, 0);
+  std::vector<Coord> py(rows + 1, 0);
+  for (int c = 0; c < cols; ++c) px[c + 1] = px[c] + pattern.dx[c];
+  for (int r = 0; r < rows; ++r) py[r + 1] = py[r] + pattern.dy[r];
+
+  std::vector<Rect> out;
+  for (const Rect& cell_rect :
+       geometry::grid_to_cell_rects(pattern.topology.data(), rows, cols)) {
+    out.push_back(Rect{px[cell_rect.x0], py[cell_rect.y0], px[cell_rect.x1], py[cell_rect.y1]});
+  }
+  return out;
+}
+
+DeltaVec uniform_deltas(int n, Coord total_nm) {
+  if (n <= 0) return {};
+  DeltaVec d(static_cast<std::size_t>(n));
+  const Coord base = std::max<Coord>(1, total_nm / n);
+  Coord remaining = total_nm;
+  for (int i = 0; i < n; ++i) {
+    Coord v = (i + 1 == n) ? remaining : base;
+    if (v < 1) v = 1;
+    d[static_cast<std::size_t>(i)] = v;
+    remaining -= v;
+  }
+  return d;
+}
+
+}  // namespace cp::squish

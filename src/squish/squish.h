@@ -1,0 +1,52 @@
+#pragma once
+// Squish pattern = (topology matrix T, geometry vectors Δx, Δy).
+//
+// squish() converts a physical layout clip (a set of non-overlapping rects in
+// nm within a window) into the exact minimal squish pattern: scan lines are
+// placed on every polygon edge, the Δ vectors store the interval lengths, and
+// T marks which grid cells are covered (Figure 2 of the paper).
+// unsquish() reconstructs the physical rect set; squish∘unsquish is the
+// identity on the pattern geometry.
+
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "squish/topology.h"
+
+namespace cp::squish {
+
+using geometry::Coord;
+using geometry::Rect;
+
+/// Interval lengths between adjacent scan lines, in nm.
+using DeltaVec = std::vector<Coord>;
+
+struct SquishPattern {
+  Topology topology;
+  DeltaVec dx;  // size == topology.cols()
+  DeltaVec dy;  // size == topology.rows()
+
+  /// Physical extent (sum of deltas).
+  Coord width_nm() const;
+  Coord height_nm() const;
+
+  /// True if the delta vectors are consistent with the topology dimensions
+  /// and strictly positive.
+  bool well_formed() const;
+};
+
+/// Build the squish pattern of `rects` clipped to `window`.
+/// Rects fully outside the window are ignored; partially covered rects are
+/// clipped. Throws std::invalid_argument if the window is empty.
+SquishPattern squish(const std::vector<Rect>& rects, const Rect& window);
+
+/// Reconstruct the physical rectangles (in nm, window-relative origin at 0,0)
+/// from a squish pattern. Output rects are a maximal rectilinear
+/// decomposition of each polygon.
+std::vector<Rect> unsquish(const SquishPattern& pattern);
+
+/// Uniform delta vector helper: n intervals summing (as closely as integer
+/// division allows) to `total_nm`, each >= 1.
+DeltaVec uniform_deltas(int n, Coord total_nm);
+
+}  // namespace cp::squish

@@ -1,0 +1,157 @@
+#include "squish/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cp::squish {
+
+Topology::Topology(int rows, int cols, std::uint8_t fill)
+    : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill ? 1 : 0) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Topology: negative dimensions");
+}
+
+std::size_t Topology::popcount() const {
+  std::size_t n = 0;
+  for (std::uint8_t v : data_) n += v;
+  return n;
+}
+
+double Topology::density() const {
+  return data_.empty() ? 0.0 : static_cast<double>(popcount()) / static_cast<double>(data_.size());
+}
+
+Topology Topology::window(int r0, int c0, int r1, int c1) const {
+  if (r0 < 0 || c0 < 0 || r1 > rows_ || c1 > cols_ || r0 > r1 || c0 > c1) {
+    throw std::out_of_range("Topology::window: bad bounds");
+  }
+  Topology out(r1 - r0, c1 - c0);
+  for (int r = r0; r < r1; ++r) {
+    std::copy(data_.begin() + index(r, c0), data_.begin() + index(r, c1),
+              out.data_.begin() + out.index(r - r0, 0));
+  }
+  return out;
+}
+
+void Topology::paste(const Topology& tile, int r0, int c0) {
+  const int r_begin = std::max(0, r0);
+  const int c_begin = std::max(0, c0);
+  const int r_end = std::min(rows_, r0 + tile.rows());
+  const int c_end = std::min(cols_, c0 + tile.cols());
+  for (int r = r_begin; r < r_end; ++r) {
+    for (int c = c_begin; c < c_end; ++c) {
+      data_[index(r, c)] = tile.at(r - r0, c - c0);
+    }
+  }
+}
+
+Topology Topology::transposed() const {
+  Topology out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out.set(c, r, at(r, c));
+  }
+  return out;
+}
+
+Topology Topology::flipped_horizontal() const {
+  Topology out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out.set(r, cols_ - 1 - c, at(r, c));
+  }
+  return out;
+}
+
+Topology Topology::flipped_vertical() const {
+  Topology out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out.set(rows_ - 1 - r, c, at(r, c));
+  }
+  return out;
+}
+
+namespace {
+bool rows_equal(const Topology& t, int a, int b) {
+  for (int c = 0; c < t.cols(); ++c) {
+    if (t.at(a, c) != t.at(b, c)) return false;
+  }
+  return true;
+}
+bool cols_equal(const Topology& t, int a, int b) {
+  for (int r = 0; r < t.rows(); ++r) {
+    if (t.at(r, a) != t.at(r, b)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+Topology Topology::deduplicated() const {
+  if (empty()) return Topology();
+  std::vector<int> keep_rows{0};
+  for (int r = 1; r < rows_; ++r) {
+    if (!rows_equal(*this, r, keep_rows.back())) keep_rows.push_back(r);
+  }
+  std::vector<int> keep_cols{0};
+  for (int c = 1; c < cols_; ++c) {
+    if (!cols_equal(*this, c, keep_cols.back())) keep_cols.push_back(c);
+  }
+  Topology out(static_cast<int>(keep_rows.size()), static_cast<int>(keep_cols.size()));
+  for (std::size_t r = 0; r < keep_rows.size(); ++r) {
+    for (std::size_t c = 0; c < keep_cols.size(); ++c) {
+      out.set(static_cast<int>(r), static_cast<int>(c), at(keep_rows[r], keep_cols[c]));
+    }
+  }
+  return out;
+}
+
+std::pair<int, int> Topology::complexity() const {
+  const Topology d = deduplicated();
+  return {d.cols(), d.rows()};
+}
+
+std::string Topology::to_ascii() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows_) * (cols_ + 1));
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out += at(r, c) ? '#' : '.';
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Topology::to_pbm() const {
+  std::string out = "P1\n" + std::to_string(cols_) + " " + std::to_string(rows_) + "\n";
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      out += at(r, c) ? '1' : '0';
+      out += (c + 1 == cols_) ? '\n' : ' ';
+    }
+  }
+  return out;
+}
+
+Topology downsample_majority(const Topology& t, int factor) {
+  if (factor < 1 || t.rows() % factor != 0 || t.cols() % factor != 0) {
+    throw std::invalid_argument("downsample_majority: dims must divide by factor");
+  }
+  Topology out(t.rows() / factor, t.cols() / factor);
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      int ones = 0;
+      for (int dr = 0; dr < factor; ++dr) {
+        for (int dc = 0; dc < factor; ++dc) ones += t.at(r * factor + dr, c * factor + dc);
+      }
+      out.set(r, c, 2 * ones >= factor * factor ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+Topology upsample_nearest(const Topology& t, int factor) {
+  if (factor < 1) throw std::invalid_argument("upsample_nearest: bad factor");
+  Topology out(t.rows() * factor, t.cols() * factor);
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.set(r, c, t.at(r / factor, c / factor));
+  }
+  return out;
+}
+
+}  // namespace cp::squish

@@ -1,0 +1,86 @@
+#pragma once
+// The binary topology matrix T of the squish pattern representation
+// (Gennari & Lai, "Topology design using squish patterns").
+//
+// A Topology is a dense row-major {0,1} matrix. Row index grows downward
+// (y direction), column index rightward (x direction). All generative-model
+// state in this library is a Topology; geometry only re-enters through the
+// delta vectors of SquishPattern.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cp::squish {
+
+class Topology {
+ public:
+  Topology() = default;
+  Topology(int rows, int cols, std::uint8_t fill = 0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::uint8_t at(int r, int c) const { return data_[index(r, c)]; }
+  void set(int r, int c, std::uint8_t v) { data_[index(r, c)] = v ? 1 : 0; }
+
+  const std::uint8_t* data() const { return data_.data(); }
+  std::uint8_t* data() { return data_.data(); }
+
+  /// Number of filled cells.
+  std::size_t popcount() const;
+
+  /// Fraction of filled cells in [0,1].
+  double density() const;
+
+  /// Extract the half-open cell window [r0,r1) x [c0,c1) as a new Topology.
+  Topology window(int r0, int c0, int r1, int c1) const;
+
+  /// Paste `tile` with its top-left cell at (r0, c0); clips at the border.
+  void paste(const Topology& tile, int r0, int c0);
+
+  /// Transforms used by the rule-based augmentation baseline.
+  Topology transposed() const;
+  Topology flipped_horizontal() const;
+  Topology flipped_vertical() const;
+
+  /// Remove adjacent duplicate rows and columns — the inverse of the
+  /// pad-normalisation. The result is the minimal "squished" matrix whose
+  /// scan-line structure matches this topology.
+  Topology deduplicated() const;
+
+  /// Complexity (c_x, c_y): the number of scan lines minus one along each
+  /// axis of the deduplicated matrix (Definition 2 in the paper), i.e. the
+  /// deduplicated column/row counts.
+  std::pair<int, int> complexity() const;
+
+  /// Multi-line '.'/'#' art (for figures and debugging).
+  std::string to_ascii() const;
+
+  /// PBM (P1) image text, viewable by common tools.
+  std::string to_pbm() const;
+
+  bool operator==(const Topology&) const = default;
+
+  friend Topology downsample_majority(const Topology& t, int factor);
+  friend Topology upsample_nearest(const Topology& t, int factor);
+
+ private:
+  std::size_t index(int r, int c) const { return static_cast<std::size_t>(r) * cols_ + c; }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Majority pooling: each factor x factor block becomes one cell (1 iff at
+/// least half the block is filled). Dimensions must divide evenly.
+Topology downsample_majority(const Topology& t, int factor);
+
+/// Nearest-neighbour upsampling: each cell expands to a factor x factor
+/// block. Exact inverse of downsample for block-constant topologies.
+Topology upsample_nearest(const Topology& t, int factor);
+
+}  // namespace cp::squish

@@ -1,0 +1,60 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace cp::util {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (starts_with(arg, "--")) {
+      std::string body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        flags_[body] = argv[++i];
+      } else {
+        flags_[body] = "true";
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string CliFlags::get(const std::string& name, const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long long CliFlags::get_int(const std::string& name, long long fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  auto parsed = parse_quantity(it->second);
+  return parsed ? *parsed : fallback;
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string v = to_lower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace cp::util

@@ -1,0 +1,32 @@
+#pragma once
+// Tiny command-line flag parser for the bench harnesses and examples.
+// Supports --name value and --name=value forms plus boolean switches.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cp::util {
+
+class CliFlags {
+ public:
+  /// Parse argv. Unknown positional arguments are collected separately.
+  CliFlags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cp::util

@@ -1,0 +1,374 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cp::util {
+
+namespace {
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  throw std::runtime_error(std::string("Json: expected ") + want + ", got type " +
+                           std::to_string(static_cast<int>(got)));
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return number_;
+}
+
+long long Json::as_int() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return static_cast<long long>(std::llround(number_));
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const JsonArray& Json::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+JsonArray& Json::as_array() {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const JsonObject& Json::as_object() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+JsonObject& Json::as_object() {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  if (it == obj.end()) throw std::runtime_error("Json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return type_ == Type::kObject && object_.count(key) > 0;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_[key];
+}
+
+double Json::get_number(const std::string& key, double fallback) const {
+  if (!contains(key) || !at(key).is_number()) return fallback;
+  return at(key).as_number();
+}
+
+long long Json::get_int(const std::string& key, long long fallback) const {
+  if (!contains(key) || !at(key).is_number()) return fallback;
+  return at(key).as_int();
+}
+
+bool Json::get_bool(const std::string& key, bool fallback) const {
+  if (!contains(key) || !at(key).is_bool()) return fallback;
+  return at(key).as_bool();
+}
+
+std::string Json::get_string(const std::string& key, const std::string& fallback) const {
+  if (!contains(key) || !at(key).is_string()) return fallback;
+  return at(key).as_string();
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return number_ == other.number_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+namespace {
+
+void escape_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kNumber: append_number(out, number_); return;
+    case Type::kString: escape_string(out, string_); return;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += indent < 0 ? "," : ", ";
+        newline_indent(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += indent < 0 ? "," : ",";
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        escape_string(out, key);
+        out += indent < 0 ? ":" : ": ";
+        value.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* why) {
+    throw std::runtime_error("Json parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json(nullptr);
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit");
+            }
+            // Encode as UTF-8 (basic multilingual plane only).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool any = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+      any = true;
+    }
+    if (!any) fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number");
+    return Json(v);
+  }
+
+  Json parse_array() {
+    ++pos_;  // consume '['
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Json(std::move(arr));
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  Json parse_object() {
+    ++pos_;  // consume '{'
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      if (peek() != ':') fail("expected ':'");
+      ++pos_;
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Json(std::move(obj));
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace cp::util

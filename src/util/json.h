@@ -1,0 +1,89 @@
+#pragma once
+// A small JSON value type with parser and printer.
+//
+// The agent subsystem exchanges tool arguments and tool results as JSON, the
+// same wire format an actual LLM function-calling API would use; keeping the
+// boundary in JSON means a real LLM client can be dropped in without touching
+// the tool implementations.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cp::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;  // ordered for stable printing
+
+/// JSON value: null, bool, number (double), string, array, or object.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kNumber), number_(v) {}
+  Json(long long v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(std::size_t v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(double v) : type_(Type::kNumber), number_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  long long as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object field access. `at` throws if absent; `get` returns nullopt-style
+  /// defaults; operator[] inserts (object must already be an object or null).
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  Json& operator[](const std::string& key);
+
+  /// Convenience getters with defaults for optional tool arguments.
+  double get_number(const std::string& key, double fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+
+  /// Serialise. `indent` < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Parse; throws std::runtime_error with position info on malformed input.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace cp::util

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal leveled logger used across the library and by the agent to record
+// tool-call transcripts. Thread safety is not required (single-threaded
+// library), but output is line-buffered for readability.
+
+#include <sstream>
+#include <string>
+
+namespace cp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (with level prefix) to stderr if enabled.
+void log_line(LogLevel level, const std::string& message);
+
+/// Stream-style helper: LogStream(kInfo) << "x=" << x;  emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cp::util
+
+#define CP_LOG_DEBUG ::cp::util::LogStream(::cp::util::LogLevel::kDebug)
+#define CP_LOG_INFO ::cp::util::LogStream(::cp::util::LogLevel::kInfo)
+#define CP_LOG_WARN ::cp::util::LogStream(::cp::util::LogLevel::kWarn)
+#define CP_LOG_ERROR ::cp::util::LogStream(::cp::util::LogLevel::kError)

@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// All randomness in the library flows through util::Rng so that every
+// experiment is reproducible from a single --seed flag. The engine is
+// xoshiro256** (public-domain algorithm by Blackman & Vigna), seeded via
+// SplitMix64 so that nearby seeds yield decorrelated streams.
+
+#include <cstdint>
+#include <vector>
+
+namespace cp::util {
+
+/// SplitMix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** pseudo-random generator with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Sample an index from a (not necessarily normalised) weight vector.
+  /// Returns weights.size()-1 if the weights sum to zero.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fork an independent generator (stream-split) from this one.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace cp::util

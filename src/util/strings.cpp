@@ -1,0 +1,125 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+
+namespace cp::util {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += s.substr(pos);
+      return out;
+    }
+    out += s.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+}
+
+std::optional<long long> parse_quantity(std::string_view token) {
+  std::string cleaned;
+  cleaned.reserve(token.size());
+  double multiplier = 1.0;
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    const char c = token[i];
+    if (c == ',' || c == '_') continue;
+    if (i + 1 == token.size() && (c == 'k' || c == 'K')) {
+      multiplier = 1e3;
+      continue;
+    }
+    if (i + 1 == token.size() && (c == 'm' || c == 'M')) {
+      multiplier = 1e6;
+      continue;
+    }
+    cleaned += c;
+  }
+  if (cleaned.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(cleaned.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  const double scaled = value * multiplier;
+  if (std::abs(scaled - std::llround(scaled)) > 1e-6) return std::nullopt;
+  return std::llround(scaled);
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args2);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace cp::util

@@ -1,0 +1,41 @@
+#pragma once
+// Small string helpers shared by the NL parser, the JSON printer and the
+// bench harnesses.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cp::util {
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Split on a single character, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on any whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to);
+
+/// Parse an integer that may carry thousands separators or a k/m suffix:
+/// "50,000" -> 50000, "50k" -> 50000, "1.5M" -> 1500000.
+std::optional<long long> parse_quantity(std::string_view token);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cp::util

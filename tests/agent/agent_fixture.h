@@ -1,0 +1,107 @@
+#pragma once
+// Shared fixture for agent-layer tests: a small trained generator (32-cell
+// window, stripe data for condition 0, transposed stripes for condition 1),
+// relaxed design rules, and the standard tool registry over them.
+
+#include <gtest/gtest.h>
+
+#include "agent/tools.h"
+#include "diffusion/cascade.h"
+#include "diffusion/tabular_denoiser.h"
+
+namespace cp::agent::testing {
+
+inline squish::Topology stripes(int n, int period, int phase = 0) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, ((c + phase) / period) % 2);
+  }
+  return t;
+}
+
+class AgentFixture : public ::testing::Test {
+ protected:
+  static constexpr int kWindow = 32;
+
+  AgentFixture()
+      : schedule_(diffusion::ScheduleConfig{}),
+        denoiser_(make_denoiser()),
+        coarse_denoiser_(make_coarse_denoiser()),
+        sampler_(schedule_, coarse_denoiser_, denoiser_, fixture_cascade_config()),
+        legal0_(relaxed_rules()),
+        legal1_(relaxed_rules()) {
+    GeneratorBackend backend;
+    backend.sampler = &sampler_;
+    backend.legalizers = {&legal0_, &legal1_};
+    backend.store = &store_;
+    backend.window = kWindow;
+    backend.default_stride = kWindow / 2;
+    tools_ = make_standard_tools(backend);
+  }
+
+  /// Factor 2 (16x16 coarse grid): an 8x8 coarse stage is too small for the
+  /// 17-cell receptive field to learn anything from two training clips.
+  static diffusion::CascadeConfig fixture_cascade_config() {
+    diffusion::CascadeConfig cfg;
+    cfg.factor = 2;
+    return cfg;
+  }
+
+  static drc::DesignRules relaxed_rules() {
+    drc::DesignRules r;
+    r.min_space_nm = 30;
+    r.min_width_nm = 30;
+    r.min_area_nm2 = 900;
+    return r;
+  }
+
+  diffusion::TabularDenoiser make_denoiser() {
+    diffusion::TabularConfig cfg;
+    cfg.conditions = 2;
+    cfg.draws_per_bucket = 3;
+    diffusion::TabularDenoiser d(schedule_, cfg);
+    util::Rng rng(1);
+    std::vector<squish::Topology> a, b;
+    for (int p = 6; p <= 8; p += 2) {
+      for (int phase = 0; phase < 2 * p; ++phase) {
+        a.push_back(stripes(kWindow, p, phase));
+        b.push_back(stripes(kWindow, p, phase).transposed());
+      }
+    }
+    d.fit(a, 0, rng);
+    d.fit(b, 1, rng);
+    return d;
+  }
+
+  diffusion::TabularDenoiser make_coarse_denoiser() {
+    diffusion::TabularConfig cfg;
+    cfg.conditions = 2;
+    cfg.draws_per_bucket = 3;
+    diffusion::TabularDenoiser d(schedule_, cfg);
+    util::Rng rng(2);
+    std::vector<squish::Topology> a, b;
+    for (int p = 6; p <= 8; p += 2) {
+      for (int phase = 0; phase < 2 * p; ++phase) {
+        a.push_back(squish::downsample_majority(stripes(kWindow, p, phase), 2));
+        b.push_back(squish::downsample_majority(stripes(kWindow, p, phase).transposed(), 2));
+      }
+    }
+    d.fit(a, 0, rng);
+    d.fit(b, 1, rng);
+    return d;
+  }
+
+  /// A generous physical budget for kWindow-sized stripe topologies.
+  static constexpr long long kBudgetNm = 4000;
+
+  diffusion::NoiseSchedule schedule_;
+  diffusion::TabularDenoiser denoiser_;
+  diffusion::TabularDenoiser coarse_denoiser_;
+  diffusion::CascadeSampler sampler_;
+  legalize::Legalizer legal0_;
+  legalize::Legalizer legal1_;
+  PatternStore store_;
+  ToolRegistry tools_;
+};
+
+}  // namespace cp::agent::testing

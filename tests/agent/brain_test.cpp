@@ -1,0 +1,180 @@
+#include "agent/llm_client.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::agent {
+namespace {
+
+AgentContext base_context() {
+  AgentContext ctx;
+  ctx.requirement.topo_rows = 128;
+  ctx.requirement.topo_cols = 128;
+  ctx.requirement.style = "Layer-10001";
+  ctx.window = 128;
+  ctx.item_seed = 5;
+  return ctx;
+}
+
+TEST(ScriptedBrainTest, DirectGenerationWhenFitsWindow) {
+  ScriptedBrain brain;
+  const AgentAction act = brain.decide(base_context());
+  EXPECT_EQ(act.action, "topology_generation");
+  EXPECT_EQ(act.input.get_int("rows", 0), 128);
+  EXPECT_EQ(act.input.get_string("style", ""), "Layer-10001");
+  EXPECT_FALSE(act.thought.empty());
+}
+
+TEST(ScriptedBrainTest, ExtensionWhenTargetExceedsWindow) {
+  ScriptedBrain brain;
+  AgentContext ctx = base_context();
+  ctx.requirement.topo_rows = 512;
+  ctx.requirement.topo_cols = 512;
+  const AgentAction act = brain.decide(ctx);
+  EXPECT_EQ(act.action, "topology_extension");
+  EXPECT_EQ(act.input.get_int("target_rows", 0), 512);
+  EXPECT_EQ(act.input.get_string("method", ""), "Out") << "documented default";
+}
+
+TEST(ScriptedBrainTest, ExtensionMethodFromRequirement) {
+  ScriptedBrain brain;
+  AgentContext ctx = base_context();
+  ctx.requirement.topo_rows = 256;
+  ctx.requirement.topo_cols = 256;
+  ctx.requirement.extension_method = "In";
+  const AgentAction act = brain.decide(ctx);
+  EXPECT_EQ(act.input.get_string("method", ""), "In");
+}
+
+TEST(ScriptedBrainTest, ExtensionMethodFromExperience) {
+  ScriptedBrain brain;
+  ExperienceStore exp;
+  // Teach the store that In works far better at 256 for this style.
+  for (int i = 0; i < 20; ++i) {
+    exp.record("In", "Layer-10001", 256, true);
+    exp.record("Out", "Layer-10001", 256, i < 2);
+  }
+  AgentContext ctx = base_context();
+  ctx.requirement.topo_rows = 256;
+  ctx.requirement.topo_cols = 256;
+  ctx.experience = &exp;
+  const AgentAction act = brain.decide(ctx);
+  EXPECT_EQ(act.input.get_string("method", ""), "In");
+}
+
+TEST(ScriptedBrainTest, LegalizeOnceTopologyExists) {
+  ScriptedBrain brain;
+  AgentContext ctx = base_context();
+  ctx.current_topology_id = "topo-1";
+  const AgentAction act = brain.decide(ctx);
+  EXPECT_EQ(act.action, "topology_legalization");
+  EXPECT_EQ(act.input.get_string("topology_id", ""), "topo-1");
+  EXPECT_EQ(act.input.get_int("width_nm", 0), 2048);
+}
+
+TEST(ScriptedBrainTest, SmallTopologyFailureRegeneratesFirst) {
+  ScriptedBrain brain;
+  AgentContext ctx = base_context();
+  ctx.current_topology_id = "topo-1";
+  ctx.legalization_failures = 1;
+  ctx.last_error_log = "legalization failed";
+  util::Json region;
+  region["upper"] = 1;
+  region["left"] = 2;
+  region["bottom"] = 5;
+  region["right"] = 9;
+  ctx.last_error_region = region;
+  const AgentAction act = brain.decide(ctx);
+  EXPECT_EQ(act.action, "regenerate");
+}
+
+TEST(ScriptedBrainTest, RepeatedFailureRepairsRegion) {
+  ScriptedBrain brain;
+  AgentContext ctx = base_context();
+  ctx.current_topology_id = "topo-1";
+  ctx.legalization_failures = 2;
+  ctx.regenerations = 1;  // regeneration budget used
+  ctx.last_error_log = "legalization failed";
+  util::Json region;
+  region["upper"] = 1;
+  region["left"] = 2;
+  region["bottom"] = 5;
+  region["right"] = 9;
+  ctx.last_error_region = region;
+  const AgentAction act = brain.decide(ctx);
+  EXPECT_EQ(act.action, "topology_modification");
+  EXPECT_EQ(act.input.get_int("upper", -1), 1);
+  EXPECT_EQ(act.input.get_int("right", -1), 9);
+  EXPECT_EQ(act.input.get_string("style", ""), "Layer-10001");
+  // The paper's transcript: in-paint the failed region after repeat failure.
+  EXPECT_NE(act.thought.find("in-paint"), std::string::npos);
+}
+
+TEST(ScriptedBrainTest, LargeTopologyPrefersRepairOverRegeneration) {
+  ScriptedBrain brain;
+  AgentContext ctx = base_context();
+  ctx.requirement.topo_rows = 512;
+  ctx.requirement.topo_cols = 512;
+  ctx.current_topology_id = "topo-1";
+  ctx.legalization_failures = 1;
+  ctx.last_error_log = "legalization failed";
+  util::Json region;
+  region["upper"] = 10;
+  region["left"] = 20;
+  region["bottom"] = 40;
+  region["right"] = 60;
+  ctx.last_error_region = region;
+  const AgentAction act = brain.decide(ctx);
+  EXPECT_EQ(act.action, "topology_modification")
+      << "regenerating a 512^2 extension wastes all extension work";
+}
+
+TEST(ScriptedBrainTest, DropsWhenAllowedAndExhausted) {
+  ScriptedBrain brain;
+  AgentContext ctx = base_context();
+  ctx.current_topology_id = "topo-1";
+  ctx.legalization_failures = 4;
+  ctx.regenerations = 1;
+  ctx.modifications = 2;  // repair budget exhausted
+  ctx.last_error_log = "legalization failed";
+  const AgentAction act = brain.decide(ctx);
+  EXPECT_EQ(act.action, "drop");
+}
+
+TEST(ScriptedBrainTest, NoDropMeansKeepTryingThenGiveUp) {
+  ScriptedBrain brain;
+  AgentContext ctx = base_context();
+  ctx.requirement.drop_allowed = false;
+  ctx.current_topology_id = "topo-1";
+  ctx.legalization_failures = 4;
+  ctx.regenerations = 1;
+  ctx.modifications = 2;
+  ctx.last_error_log = "legalization failed";
+  const AgentAction first = brain.decide(ctx);
+  EXPECT_EQ(first.action, "regenerate");
+  ctx.regenerations = 5;
+  const AgentAction second = brain.decide(ctx);
+  EXPECT_EQ(second.action, "give_up");
+}
+
+TEST(ScriptedBrainTest, FormatRequirementsDelegatesToParser) {
+  ScriptedBrain brain;
+  std::vector<std::string> notes;
+  const auto reqs =
+      brain.format_requirements("Generate 10 patterns of 128x128 in Layer-10003 style.", &notes);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].count, 10);
+  EXPECT_EQ(reqs[0].style, "Layer-10003");
+  EXPECT_FALSE(notes.empty());
+}
+
+TEST(ScriptedBrainTest, SeedsVaryAcrossRegenerations) {
+  ScriptedBrain brain;
+  AgentContext ctx = base_context();
+  const long long seed0 = brain.decide(ctx).input.get_int("seed", -1);
+  ctx.regenerations = 1;
+  const long long seed1 = brain.decide(ctx).input.get_int("seed", -1);
+  EXPECT_NE(seed0, seed1);
+}
+
+}  // namespace
+}  // namespace cp::agent

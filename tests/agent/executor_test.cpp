@@ -1,0 +1,160 @@
+#include "agent/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/agent/agent_fixture.h"
+
+namespace cp::agent {
+namespace {
+
+using testing::AgentFixture;
+
+class ExecutorTest : public AgentFixture {
+ protected:
+  RequirementList easy_requirement(long long count) {
+    RequirementList req;
+    req.topo_rows = kWindow;
+    req.topo_cols = kWindow;
+    req.phys_w_nm = kBudgetNm;
+    req.phys_h_nm = kBudgetNm;
+    req.style = "Layer-10001";
+    req.count = count;
+    req.sample_steps = 8;
+    req.seed = 11;
+    return req;
+  }
+};
+
+TEST_F(ExecutorTest, ProducesRequestedPatterns) {
+  ScriptedBrain brain;
+  ExperienceStore exp;
+  Executor executor(&tools_, &brain, &store_, &exp, kWindow);
+  const ExecutionResult res = executor.run(easy_requirement(3));
+  EXPECT_EQ(res.stats.requested, 3);
+  EXPECT_EQ(res.stats.produced, 3);
+  EXPECT_EQ(res.pattern_ids.size(), 3u);
+  for (const auto& id : res.pattern_ids) EXPECT_TRUE(store_.has_pattern(id));
+  EXPECT_GT(res.stats.tool_calls, 0);
+}
+
+TEST_F(ExecutorTest, TranscriptHasReActShape) {
+  ScriptedBrain brain;
+  Executor executor(&tools_, &brain, &store_, nullptr, kWindow);
+  const ExecutionResult res = executor.run(easy_requirement(1));
+  bool thought = false, action = false, input = false, observation = false;
+  for (const auto& line : res.transcript) {
+    thought |= line.rfind("Thought: ", 0) == 0;
+    action |= line.rfind("Action: ", 0) == 0;
+    input |= line.rfind("Action Input: ", 0) == 0;
+    observation |= line.rfind("Observation: ", 0) == 0;
+  }
+  EXPECT_TRUE(thought && action && input && observation);
+}
+
+TEST_F(ExecutorTest, ActionNamesRenderedInPaperStyle) {
+  ScriptedBrain brain;
+  Executor executor(&tools_, &brain, &store_, nullptr, kWindow);
+  const ExecutionResult res = executor.run(easy_requirement(1));
+  bool pretty = false;
+  for (const auto& line : res.transcript) {
+    pretty |= line.find("Topology_Generation") != std::string::npos;
+  }
+  EXPECT_TRUE(pretty);
+}
+
+TEST_F(ExecutorTest, ImpossibleBudgetDropsWhenAllowed) {
+  ScriptedBrain brain;
+  RequirementList req = easy_requirement(2);
+  req.phys_w_nm = 20;  // below the pitch floor: no topology can fit
+  req.phys_h_nm = 20;
+  Executor executor(&tools_, &brain, &store_, nullptr, kWindow);
+  const ExecutionResult res = executor.run(req);
+  EXPECT_EQ(res.stats.produced, 0);
+  EXPECT_EQ(res.stats.dropped, 2);
+  EXPECT_GT(res.stats.legalization_failures, 0);
+  EXPECT_GT(res.stats.modifications + res.stats.regenerations, 0)
+      << "recovery must be attempted before dropping";
+}
+
+TEST_F(ExecutorTest, ImpossibleBudgetGivesUpWhenDropsForbidden) {
+  ScriptedBrain brain;
+  RequirementList req = easy_requirement(1);
+  req.phys_w_nm = 20;
+  req.phys_h_nm = 20;
+  req.drop_allowed = false;
+  Executor executor(&tools_, &brain, &store_, nullptr, kWindow);
+  const ExecutionResult res = executor.run(req);
+  EXPECT_EQ(res.stats.produced, 0);
+  EXPECT_EQ(res.stats.dropped, 0);
+  EXPECT_EQ(res.stats.gave_up, 1);
+}
+
+TEST_F(ExecutorTest, RecoveryViaModificationIsVisibleInTranscript) {
+  ScriptedBrain brain(ScriptedBrain::Policy{0, 2, true});  // no regenerations
+  RequirementList req = easy_requirement(1);
+  req.phys_w_nm = 20;
+  req.phys_h_nm = 20;
+  Executor executor(&tools_, &brain, &store_, nullptr, kWindow);
+  const ExecutionResult res = executor.run(req);
+  bool modification_logged = false;
+  for (const auto& line : res.transcript) {
+    modification_logged |= line.find("Topology_Modification") != std::string::npos;
+  }
+  EXPECT_TRUE(modification_logged);
+  EXPECT_GT(res.stats.modifications, 0);
+}
+
+TEST_F(ExecutorTest, ExtensionTaskRecordsExperience) {
+  ScriptedBrain brain;
+  ExperienceStore exp;
+  RequirementList req = easy_requirement(1);
+  req.topo_rows = kWindow * 2;
+  req.topo_cols = kWindow * 2;
+  req.phys_w_nm = kBudgetNm * 2;
+  req.phys_h_nm = kBudgetNm * 2;
+  Executor executor(&tools_, &brain, &store_, &exp, kWindow);
+  const ExecutionResult res = executor.run(req);
+  EXPECT_EQ(res.stats.produced, 1);
+  const ExperienceEntry& e = exp.entry("Out", req.style, kWindow * 2);
+  EXPECT_EQ(e.attempts, 1);
+  EXPECT_EQ(e.successes, 1);
+}
+
+TEST_F(ExecutorTest, TimeLimitStopsEarly) {
+  ScriptedBrain brain;
+  RequirementList req = easy_requirement(1000000);
+  req.time_limit_s = 0.05;
+  Executor executor(&tools_, &brain, &store_, nullptr, kWindow);
+  const ExecutionResult res = executor.run(req);
+  EXPECT_TRUE(res.stats.time_limit_hit);
+  EXPECT_LT(res.stats.produced, 1000000);
+}
+
+TEST_F(ExecutorTest, StepBudgetGuardsAgainstLoops) {
+  ScriptedBrain brain(ScriptedBrain::Policy{100, 100, true});  // never give up
+  RequirementList req = easy_requirement(1);
+  req.phys_w_nm = 20;
+  req.phys_h_nm = 20;
+  req.drop_allowed = false;
+  Executor executor(&tools_, &brain, &store_, nullptr, kWindow);
+  executor.set_max_steps_per_item(6);
+  const ExecutionResult res = executor.run(req);
+  EXPECT_EQ(res.stats.produced, 0);
+  EXPECT_EQ(res.stats.gave_up, 1);
+}
+
+TEST_F(ExecutorTest, DroppedTopologiesAreReclaimed) {
+  ScriptedBrain brain;
+  RequirementList req = easy_requirement(2);
+  req.phys_w_nm = 20;
+  req.phys_h_nm = 20;
+  Executor executor(&tools_, &brain, &store_, nullptr, kWindow);
+  const std::size_t before = store_.topology_count();
+  executor.run(req);
+  // Dropped items must not leak topologies (modified intermediates are
+  // erased as they are superseded; the final drop erases the last one).
+  EXPECT_LE(store_.topology_count(), before + 2);
+}
+
+}  // namespace
+}  // namespace cp::agent

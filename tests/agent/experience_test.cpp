@@ -1,0 +1,123 @@
+#include "agent/experience.h"
+
+#include <gtest/gtest.h>
+
+#include "agent/planner.h"
+
+namespace cp::agent {
+namespace {
+
+TEST(DocumentStoreTest, DefaultsContainPipelineKnowledge) {
+  const DocumentStore docs = make_default_documents();
+  EXPECT_TRUE(docs.has("pipeline"));
+  EXPECT_TRUE(docs.has("extension_notes"));
+  EXPECT_TRUE(docs.has("design_rules"));
+  EXPECT_NE(docs.get("extension_notes").find("out-painting"), std::string::npos);
+  EXPECT_THROW(docs.get("nonexistent"), std::out_of_range);
+  EXPECT_EQ(docs.names().size(), 3u);
+}
+
+TEST(ExperienceTest, RecordsAndAggregates) {
+  ExperienceStore store;
+  store.record("Out", "Layer-10001", 256, true);
+  store.record("Out", "Layer-10001", 256, true);
+  store.record("Out", "Layer-10001", 256, false);
+  const ExperienceEntry& e = store.entry("Out", "Layer-10001", 256);
+  EXPECT_EQ(e.attempts, 3);
+  EXPECT_EQ(e.successes, 2);
+  EXPECT_NEAR(e.success_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ExperienceTest, BucketsByPowerOfTwo) {
+  EXPECT_EQ(ExperienceStore::bucket_of(128), 128);
+  EXPECT_EQ(ExperienceStore::bucket_of(129), 256);
+  EXPECT_EQ(ExperienceStore::bucket_of(256), 256);
+  EXPECT_EQ(ExperienceStore::bucket_of(1000), 1024);
+  // Entries at 250 and 256 share a bucket.
+  ExperienceStore store;
+  store.record("Out", "S", 250, true);
+  EXPECT_EQ(store.entry("Out", "S", 256).attempts, 1);
+}
+
+TEST(ExperienceTest, DefaultMethodIsOutWithoutEvidence) {
+  const ExperienceStore store;
+  EXPECT_EQ(store.best_method("Layer-10001", 512), "Out");
+}
+
+TEST(ExperienceTest, SwitchesToInOnStrongEvidence) {
+  ExperienceStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.record("In", "Layer-10001", 512, true);
+    store.record("Out", "Layer-10001", 512, false);
+  }
+  EXPECT_EQ(store.best_method("Layer-10001", 512), "In");
+  // Other styles/sizes unaffected.
+  EXPECT_EQ(store.best_method("Layer-10003", 512), "Out");
+  EXPECT_EQ(store.best_method("Layer-10001", 128), "Out");
+}
+
+TEST(ExperienceTest, SmoothedRateHasPrior) {
+  const ExperienceStore store;
+  EXPECT_NEAR(store.success_rate("Out", "S", 128), 0.5, 1e-12);
+}
+
+TEST(ExperienceTest, DiversityTracking) {
+  ExperienceStore store;
+  store.record_diversity("In", "S", 256, 10.0);
+  store.record_diversity("In", "S", 256, 12.0);
+  EXPECT_NEAR(store.entry("In", "S", 256).mean_diversity(), 11.0, 1e-12);
+}
+
+TEST(ExperienceTest, JsonRoundTrip) {
+  ExperienceStore store;
+  store.record("Out", "Layer-10001", 256, true);
+  store.record("In", "Layer-10003", 512, false);
+  store.record_diversity("In", "Layer-10003", 512, 9.5);
+  const ExperienceStore back = ExperienceStore::from_json(store.to_json());
+  EXPECT_EQ(back.size(), store.size());
+  EXPECT_EQ(back.entry("Out", "Layer-10001", 256).successes, 1);
+  EXPECT_NEAR(back.entry("In", "Layer-10003", 512).mean_diversity(), 9.5, 1e-12);
+}
+
+TEST(PlannerTest, DirectPlanForWindowSizedTargets) {
+  RequirementList req;
+  req.count = 10;
+  const TaskPlan plan = plan_tasks(req, 128, 64, nullptr);
+  ASSERT_GE(plan.steps.size(), 3u);
+  EXPECT_EQ(plan.samples_per_pattern, 1);
+  EXPECT_NE(plan.steps[0].find("diffusion"), std::string::npos);
+  EXPECT_NE(plan.to_text().find("1. "), std::string::npos);
+}
+
+TEST(PlannerTest, ExtensionPlanUsesFormulas) {
+  RequirementList req;
+  req.topo_rows = 512;
+  req.topo_cols = 512;
+  const TaskPlan plan = plan_tasks(req, 128, 64, nullptr);
+  EXPECT_EQ(plan.method, "Out");
+  EXPECT_EQ(plan.samples_per_pattern, 49);  // (ceil(384/64)+1)^2
+}
+
+TEST(PlannerTest, ExtensionPlanConsultsExperience) {
+  ExperienceStore exp;
+  for (int i = 0; i < 10; ++i) {
+    exp.record("In", "Layer-10001", 256, true);
+    exp.record("Out", "Layer-10001", 256, false);
+  }
+  RequirementList req;
+  req.topo_rows = 256;
+  req.topo_cols = 256;
+  const TaskPlan plan = plan_tasks(req, 128, 64, &exp);
+  EXPECT_EQ(plan.method, "In");
+  EXPECT_EQ(plan.samples_per_pattern, 9);  // (2*2-1)^2
+}
+
+TEST(PlannerTest, PlanMentionsDropPolicy) {
+  RequirementList req;
+  req.drop_allowed = false;
+  const TaskPlan plan = plan_tasks(req, 128, 64, nullptr);
+  EXPECT_NE(plan.to_text().find("drops forbidden"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cp::agent

@@ -1,0 +1,150 @@
+#include "agent/nl_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::agent {
+namespace {
+
+TEST(NlParserTest, PaperRunningExample) {
+  // The running example of Figure 4 / Section 4.2.
+  const ParsedRequest parsed = parse_request(
+      "Please generate 50,000 patterns with topology size 200x200 and physical size "
+      "1500x1500 nm in Layer-10001 style using out-painting.");
+  ASSERT_EQ(parsed.subtasks.size(), 1u);
+  const RequirementList& req = parsed.subtasks[0];
+  EXPECT_EQ(req.count, 50000);
+  EXPECT_EQ(req.topo_rows, 200);
+  EXPECT_EQ(req.topo_cols, 200);
+  EXPECT_EQ(req.phys_w_nm, 1500);
+  EXPECT_EQ(req.phys_h_nm, 1500);
+  EXPECT_EQ(req.style, "Layer-10001");
+  EXPECT_EQ(req.extension_method, "Out");
+  EXPECT_TRUE(req.drop_allowed);
+}
+
+TEST(NlParserTest, TwoSentencesTwoSubtasks) {
+  const ParsedRequest parsed = parse_request(
+      "Generate 100 patterns of 128x128 in Layer-10001 style. "
+      "Then create 50 samples of 256x256 in Layer-10003 style with in-painting.");
+  ASSERT_EQ(parsed.subtasks.size(), 2u);
+  EXPECT_EQ(parsed.subtasks[0].count, 100);
+  EXPECT_EQ(parsed.subtasks[0].style, "Layer-10001");
+  EXPECT_EQ(parsed.subtasks[1].count, 50);
+  EXPECT_EQ(parsed.subtasks[1].topo_rows, 256);
+  EXPECT_EQ(parsed.subtasks[1].style, "Layer-10003");
+  EXPECT_EQ(parsed.subtasks[1].extension_method, "In");
+}
+
+TEST(NlParserTest, BothStylesExpands) {
+  const ParsedRequest parsed =
+      parse_request("I need 10,000 layouts of size 512 for both styles.");
+  ASSERT_EQ(parsed.subtasks.size(), 2u);
+  EXPECT_EQ(parsed.subtasks[0].count, 10000);
+  EXPECT_EQ(parsed.subtasks[1].count, 10000);
+  EXPECT_NE(parsed.subtasks[0].style, parsed.subtasks[1].style);
+  EXPECT_EQ(parsed.subtasks[0].topo_rows, 512);
+}
+
+TEST(NlParserTest, QuantitySuffixes) {
+  const ParsedRequest parsed = parse_request("make 50k patterns in layer 10003");
+  ASSERT_EQ(parsed.subtasks.size(), 1u);
+  EXPECT_EQ(parsed.subtasks[0].count, 50000);
+  EXPECT_EQ(parsed.subtasks[0].style, "Layer-10003");
+}
+
+TEST(NlParserTest, PhysicalOnlyDerivesTopology) {
+  const ParsedRequest parsed = parse_request("Generate 5 patterns of 2048x2048 nm.");
+  ASSERT_EQ(parsed.subtasks.size(), 1u);
+  EXPECT_EQ(parsed.subtasks[0].phys_w_nm, 2048);
+  EXPECT_EQ(parsed.subtasks[0].topo_cols, 128);  // 16 nm per cell
+}
+
+TEST(NlParserTest, TopologyOnlyDerivesPhysical) {
+  const ParsedRequest parsed = parse_request("Generate 5 patterns of 256x256.");
+  ASSERT_EQ(parsed.subtasks.size(), 1u);
+  EXPECT_EQ(parsed.subtasks[0].topo_rows, 256);
+  EXPECT_EQ(parsed.subtasks[0].phys_w_nm, 256 * 16);
+}
+
+TEST(NlParserTest, DropPolicyNegation) {
+  const ParsedRequest a = parse_request("Generate 5 patterns of 128x128, do not drop any.");
+  ASSERT_EQ(a.subtasks.size(), 1u);
+  EXPECT_FALSE(a.subtasks[0].drop_allowed);
+  const ParsedRequest b = parse_request("Generate 5 patterns of 128x128, dropping is fine.");
+  ASSERT_EQ(b.subtasks.size(), 1u);
+  EXPECT_TRUE(b.subtasks[0].drop_allowed);
+  const ParsedRequest c = parse_request("Generate 5 patterns of 128x128 without drops.");
+  ASSERT_EQ(c.subtasks.size(), 1u);
+  EXPECT_FALSE(c.subtasks[0].drop_allowed);
+}
+
+TEST(NlParserTest, TimeLimit) {
+  const ParsedRequest parsed =
+      parse_request("Generate 1000 patterns of 128x128 within 10 minutes.");
+  ASSERT_EQ(parsed.subtasks.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.subtasks[0].time_limit_s, 600.0);
+}
+
+TEST(NlParserTest, SeedExtraction) {
+  const ParsedRequest parsed = parse_request("Generate 3 patterns of 128x128 with seed 42.");
+  ASSERT_EQ(parsed.subtasks.size(), 1u);
+  EXPECT_EQ(parsed.subtasks[0].seed, 42u);
+}
+
+TEST(NlParserTest, IgnoresChitchat) {
+  const ParsedRequest parsed = parse_request("Hello! How are you today?");
+  EXPECT_TRUE(parsed.subtasks.empty());
+  EXPECT_FALSE(parsed.notes.empty());
+}
+
+TEST(NlParserTest, NumbersWithCommasNotSplit) {
+  // "1,500" must parse as one quantity, and the '.' in "1.5M" as a decimal.
+  const ParsedRequest parsed = parse_request("Create 1,500 samples sized 128.");
+  ASSERT_EQ(parsed.subtasks.size(), 1u);
+  EXPECT_EQ(parsed.subtasks[0].count, 1500);
+}
+
+TEST(NlParserTest, SizeWithSpacedX) {
+  const ParsedRequest parsed = parse_request("Generate 7 patterns, 192 x 192 topology.");
+  ASSERT_EQ(parsed.subtasks.size(), 1u);
+  EXPECT_EQ(parsed.subtasks[0].topo_rows, 192);
+}
+
+TEST(NlParserTest, SplitClauses) {
+  const auto clauses = detail::split_clauses("Do A. Then do B; also C\nand D.");
+  ASSERT_EQ(clauses.size(), 4u);
+  EXPECT_EQ(clauses[0], "Do A");
+}
+
+TEST(NlParserTest, ParseSizePairVariants) {
+  long long a = 0, b = 0;
+  EXPECT_TRUE(detail::parse_size_pair("200x200", &a, &b));
+  EXPECT_EQ(a, 200);
+  EXPECT_TRUE(detail::parse_size_pair("1024X512", &a, &b));
+  EXPECT_EQ(b, 512);
+  EXPECT_TRUE(detail::parse_size_pair("64*32", &a, &b));
+  EXPECT_FALSE(detail::parse_size_pair("axb", &a, &b));
+  EXPECT_FALSE(detail::parse_size_pair("200", &a, &b));
+}
+
+TEST(NlParserTest, OutPaintingSpelledVariants) {
+  for (const char* phrase :
+       {"use outpainting", "use out-painting", "use outpaint", "use out painting"}) {
+    const ParsedRequest parsed =
+        parse_request(std::string("Generate 2 patterns of 256x256, ") + phrase + ".");
+    ASSERT_EQ(parsed.subtasks.size(), 1u) << phrase;
+    EXPECT_EQ(parsed.subtasks[0].extension_method, "Out") << phrase;
+  }
+}
+
+TEST(NlParserTest, NotesExplainDecisions) {
+  const ParsedRequest parsed = parse_request("Generate 10 patterns of 128x128.");
+  bool count_note = false;
+  for (const auto& n : parsed.notes) {
+    if (n.find("count 10") != std::string::npos) count_note = true;
+  }
+  EXPECT_TRUE(count_note);
+}
+
+}  // namespace
+}  // namespace cp::agent

@@ -1,0 +1,73 @@
+#include "agent/requirement.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::agent {
+namespace {
+
+TEST(RequirementTest, DefaultsAreValid) {
+  RequirementList req;
+  EXPECT_EQ(validate(req), "");
+}
+
+TEST(RequirementTest, TextRenderingMatchesPaperFormat) {
+  RequirementList req;
+  req.topo_rows = 200;
+  req.topo_cols = 200;
+  req.phys_w_nm = 1500;
+  req.phys_h_nm = 1500;
+  req.style = "Layer-10001";
+  req.count = 50000;
+  const std::string text = req.to_text(1);
+  EXPECT_NE(text.find("# Requirement - subtask 1"), std::string::npos);
+  EXPECT_NE(text.find("Topology Size: [200, 200]"), std::string::npos);
+  EXPECT_NE(text.find("Physical Size: [1500, 1500] nm"), std::string::npos);
+  EXPECT_NE(text.find("Style: Layer-10001"), std::string::npos);
+  EXPECT_NE(text.find("Count: 50000"), std::string::npos);
+  EXPECT_NE(text.find("Extension Method: Out (Default: Out)"), std::string::npos);
+  EXPECT_NE(text.find("Drop Allowed: True (Default: True)"), std::string::npos);
+  EXPECT_NE(text.find("Time Limitation: None (Default: None)"), std::string::npos);
+}
+
+TEST(RequirementTest, JsonRoundTrip) {
+  RequirementList req;
+  req.topo_rows = 256;
+  req.topo_cols = 512;
+  req.phys_w_nm = 8192;
+  req.phys_h_nm = 4096;
+  req.style = "Layer-10003";
+  req.count = 77;
+  req.extension_method = "In";
+  req.drop_allowed = false;
+  req.time_limit_s = 12.5;
+  req.sample_steps = 9;
+  req.seed = 1234;
+  EXPECT_EQ(RequirementList::from_json(req.to_json()), req);
+}
+
+TEST(RequirementTest, ValidationCatchesBadFields) {
+  RequirementList req;
+  req.topo_rows = 2;
+  EXPECT_NE(validate(req), "");
+  req = RequirementList();
+  req.count = 0;
+  EXPECT_NE(validate(req), "");
+  req = RequirementList();
+  req.style = "Layer-1234";
+  EXPECT_NE(validate(req), "");
+  req = RequirementList();
+  req.extension_method = "Sideways";
+  EXPECT_NE(validate(req), "");
+  req = RequirementList();
+  req.phys_w_nm = -5;
+  EXPECT_NE(validate(req), "");
+}
+
+TEST(RequirementTest, TimeLimitRendered) {
+  RequirementList req;
+  req.time_limit_s = 120;
+  EXPECT_NE(req.to_text(2).find("Time Limitation: 120 s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cp::agent

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cae.h"
+#include "baselines/concat.h"
+#include "baselines/layoutransformer.h"
+#include "baselines/legalgan.h"
+#include "drc/checker.h"
+
+namespace cp::baselines {
+namespace {
+
+squish::Topology stripes(int n, int period) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, (c / period) % 2);
+  }
+  return t;
+}
+
+std::vector<squish::Topology> stripe_data(int n) {
+  std::vector<squish::Topology> data;
+  for (int p = 2; p <= 5; ++p) data.push_back(stripes(n, p));
+  return data;
+}
+
+TEST(CaeTest, ReconstructsTrainingDataApproximately) {
+  util::Rng rng(1);
+  CaeBaseline cae(16, 8, rng);
+  const auto data = stripe_data(16);
+  cae.train(data, 800, 0.05f);
+  // Generation with zero latent noise decodes a training latent: should be
+  // close to some training pattern.
+  const squish::Topology g = cae.generate(rng, 0.0f);
+  int best_diff = 1 << 30;
+  for (const auto& t : data) {
+    int diff = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) diff += t.data()[i] != g.data()[i];
+    best_diff = std::min(best_diff, diff);
+  }
+  EXPECT_LT(best_diff, static_cast<int>(g.size()) / 4);
+}
+
+TEST(CaeTest, GenerateBeforeTrainThrows) {
+  util::Rng rng(1);
+  CaeBaseline cae(8, 4, rng);
+  EXPECT_THROW(cae.generate(rng), std::runtime_error);
+}
+
+TEST(CaeTest, TrainRejectsEmptyData) {
+  util::Rng rng(1);
+  CaeBaseline cae(8, 4, rng);
+  EXPECT_THROW(cae.train({}, 10, 0.1f), std::invalid_argument);
+}
+
+TEST(VcaeTest, VariationalSamplingIsMoreDiverse) {
+  util::Rng rng(2);
+  VcaeBaseline vcae(16, 6, rng);
+  const auto data = stripe_data(16);
+  vcae.train(data, 600, 0.05f);
+  vcae.fit_latent_distribution();
+  // Draws must not all be identical.
+  const squish::Topology a = vcae.generate_variational(rng);
+  bool any_diff = false;
+  for (int i = 0; i < 8 && !any_diff; ++i) {
+    any_diff = !(vcae.generate_variational(rng) == a);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(VcaeTest, FitBeforeTrainThrows) {
+  util::Rng rng(2);
+  VcaeBaseline vcae(8, 4, rng);
+  EXPECT_THROW(vcae.fit_latent_distribution(), std::runtime_error);
+  EXPECT_THROW(vcae.generate_variational(rng), std::runtime_error);
+}
+
+TEST(LegalGanTest, RemovesIsolatedSpeckle) {
+  squish::Topology t = stripes(16, 4);
+  t.set(8, 1, t.at(8, 1) ? 0 : 1);  // lone flip inside a stripe region
+  LegalGanConfig cfg;
+  const squish::Topology cleaned = legalgan_cleanup(t, cfg);
+  // The cleaned pattern should match the unperturbed stripes better.
+  const squish::Topology ref = legalgan_cleanup(stripes(16, 4), cfg);
+  int diff = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) diff += ref.data()[i] != cleaned.data()[i];
+  EXPECT_LE(diff, 2);
+}
+
+TEST(LegalGanTest, RemovesShortInteriorRuns) {
+  squish::Topology t(8, 8);
+  t.set(4, 4, 1);  // single-cell interior shape
+  LegalGanConfig cfg;
+  cfg.min_run_cells = 2;
+  cfg.majority_first = false;
+  const squish::Topology cleaned = legalgan_cleanup(t, cfg);
+  EXPECT_EQ(cleaned.popcount(), 0u);
+}
+
+TEST(LegalGanTest, PreservesLargeStructures) {
+  const squish::Topology t = stripes(16, 4);
+  LegalGanConfig cfg;
+  cfg.majority_first = false;
+  EXPECT_EQ(legalgan_cleanup(t, cfg), t);
+}
+
+TEST(LayoutTransformerTest, LearnsRunStatistics) {
+  LayoutTransformerBaseline model;
+  model.fit(stripe_data(32));
+  util::Rng rng(3);
+  const squish::Topology g = model.generate(32, 32, rng);
+  EXPECT_EQ(g.rows(), 32);
+  // Density should be near the training density (0.5 for stripes).
+  EXPECT_NEAR(g.density(), 0.5, 0.15);
+}
+
+TEST(LayoutTransformerTest, UntrainedFallsBackToPrior) {
+  LayoutTransformerBaseline model;
+  util::Rng rng(4);
+  const squish::Topology g = model.generate(16, 16, rng);
+  EXPECT_NEAR(g.density(), 0.5, 0.25);
+}
+
+TEST(ConcatTest, GridDimsAndStructure) {
+  squish::SquishPattern tile;
+  tile.topology = squish::Topology(2, 2);
+  tile.topology.set(0, 0, 1);
+  tile.dx = {50, 50};
+  tile.dy = {50, 50};
+  const auto stitched = concat_grid({tile, tile, tile, tile}, 2, 2);
+  EXPECT_EQ(stitched.width_nm(), 200);
+  EXPECT_EQ(stitched.height_nm(), 200);
+  // Four copies of the corner shape.
+  const auto rects = squish::unsquish(stitched);
+  EXPECT_EQ(rects.size(), 4u);
+}
+
+TEST(ConcatTest, SeamViolationSurfaces) {
+  // Each tile is individually DRC-clean (its shape is 10 nm from the tile
+  // edge — border-exempt inside the tile), but stitching A's right shape
+  // against B's left shape leaves a 20 nm gap at the seam, below min_space.
+  squish::SquishPattern a;
+  a.topology = squish::Topology(3, 3);
+  a.topology.set(1, 1, 1);
+  a.dx = {140, 50, 10};
+  a.dy = {60, 80, 60};
+  squish::SquishPattern b;
+  b.topology = squish::Topology(3, 3);
+  b.topology.set(1, 1, 1);
+  b.dx = {10, 50, 140};
+  b.dy = {60, 80, 60};
+  drc::DesignRules rules;
+  rules.min_space_nm = 40;
+  rules.min_width_nm = 40;
+  rules.min_area_nm2 = 100;
+  EXPECT_TRUE(drc::check(a, rules).clean());
+  EXPECT_TRUE(drc::check(b, rules).clean());
+  const auto stitched = concat_grid({a, b}, 1, 2);
+  const auto report = drc::check(stitched, rules);
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations[0].kind, drc::ViolationKind::kSpace);
+  EXPECT_EQ(report.violations[0].actual_nm, 20);
+}
+
+TEST(ConcatTest, MismatchedTilesThrow) {
+  squish::SquishPattern a;
+  a.topology = squish::Topology(1, 1);
+  a.dx = {100};
+  a.dy = {100};
+  squish::SquishPattern b = a;
+  b.dx = {200};
+  EXPECT_THROW(concat_grid({a, b}, 1, 2), std::invalid_argument);
+  EXPECT_THROW(concat_grid({a}, 1, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cp::baselines

@@ -1,0 +1,107 @@
+// Core-module tests that don't need the full trained facade: topology
+// selection, GDS export of a PatternLibrary, and the session follow-up
+// mechanism on the lightweight agent fixture.
+
+#include <gtest/gtest.h>
+
+#include "agent/chat_session.h"
+#include "core/pattern_library.h"
+#include "core/selection.h"
+#include "io/gds.h"
+#include "util/strings.h"
+#include "tests/agent/agent_fixture.h"
+
+namespace cp::core {
+namespace {
+
+class CoreTest : public agent::testing::AgentFixture {};
+
+TEST_F(CoreTest, SelectionReaches100PercentLegality) {
+  diffusion::SampleConfig sc;
+  sc.rows = kWindow;
+  sc.cols = kWindow;
+  sc.condition = 0;
+  sc.sample_steps = 8;
+  util::Rng rng(3);
+  const SelectionResult res =
+      select_legal(sampler_, legal0_, sc, kBudgetNm, kBudgetNm, 5, rng);
+  EXPECT_TRUE(res.complete);
+  ASSERT_EQ(res.patterns.size(), 5u);
+  EXPECT_GE(res.attempts, 5);
+  for (const auto& p : res.patterns) {
+    EXPECT_TRUE(drc::check(p, legal0_.rules()).clean());
+  }
+}
+
+TEST_F(CoreTest, SelectionRespectsAttemptBudget) {
+  diffusion::SampleConfig sc;
+  sc.rows = kWindow;
+  sc.cols = kWindow;
+  sc.sample_steps = 8;
+  util::Rng rng(3);
+  // 20 nm budget is below the pitch floor: nothing ever legalizes.
+  const SelectionResult res = select_legal(sampler_, legal0_, sc, 20, 20, 3, rng, 6);
+  EXPECT_FALSE(res.complete);
+  EXPECT_TRUE(res.patterns.empty());
+  EXPECT_EQ(res.attempts, 6);
+}
+
+TEST_F(CoreTest, LibraryGdsExportRoundTrips) {
+  PatternLibrary lib("Layer-10001");
+  squish::SquishPattern p;
+  p.topology = squish::Topology(2, 2);
+  p.topology.set(0, 0, 1);
+  p.dx = {100, 60};
+  p.dy = {80, 50};
+  lib.add(p);
+  lib.add(p);
+  const std::string path = ::testing::TempDir() + "/library.gds";
+  EXPECT_EQ(lib.export_gds(path, 3), 2);
+  const io::GdsLibrary back = io::read_gds(path);
+  ASSERT_EQ(back.structures.size(), 2u);
+  EXPECT_EQ(back.structures[0].layer, 3);
+  ASSERT_EQ(back.structures[0].rects.size(), 1u);
+  EXPECT_EQ(back.structures[0].rects[0], (geometry::Rect{0, 0, 100, 80}));
+}
+
+TEST_F(CoreTest, SessionFollowUpRepeatsLastRequest) {
+  agent::ExperienceStore exp;
+  agent::ChatSession session(&tools_, std::make_unique<agent::ScriptedBrain>(), &store_, &exp,
+                             kWindow);
+  agent::SessionReport first = session.handle(util::format(
+      "Generate 2 patterns of %dx%d with physical size %lldx%lld nm in Layer-10001 style "
+      "with seed 5.",
+      kWindow, kWindow, kBudgetNm, kBudgetNm));
+  ASSERT_EQ(first.total_produced(), 2) << first.transcript;
+
+  agent::SessionReport more = session.handle("3 more please");
+  ASSERT_EQ(more.subtasks.size(), 1u) << more.transcript;
+  EXPECT_EQ(more.subtasks[0].requirement.count, 3);
+  EXPECT_EQ(more.subtasks[0].requirement.style, "Layer-10001");
+  EXPECT_EQ(more.total_produced(), 3) << more.transcript;
+  EXPECT_NE(more.transcript.find("Follow-up detected"), std::string::npos);
+  // Fresh seeds: the follow-up batch differs from the first.
+  EXPECT_NE(more.subtasks[0].requirement.seed, first.subtasks[0].requirement.seed);
+}
+
+TEST_F(CoreTest, FollowUpWithoutHistoryDoesNothing) {
+  agent::ExperienceStore exp;
+  agent::ChatSession session(&tools_, std::make_unique<agent::ScriptedBrain>(), &store_, &exp,
+                             kWindow);
+  agent::SessionReport report = session.handle("again, more of the same");
+  EXPECT_TRUE(report.subtasks.empty());
+}
+
+TEST_F(CoreTest, NonFollowUpChitchatStillIgnored) {
+  agent::ExperienceStore exp;
+  agent::ChatSession session(&tools_, std::make_unique<agent::ScriptedBrain>(), &store_, &exp,
+                             kWindow);
+  session.handle(util::format(
+      "Generate 1 patterns of %dx%d with physical size %lldx%lld nm in Layer-10001 style.",
+      kWindow, kWindow, kBudgetNm, kBudgetNm));
+  agent::SessionReport report = session.handle("thanks, that is lovely");
+  EXPECT_TRUE(report.subtasks.empty());
+}
+
+}  // namespace
+}  // namespace cp::core

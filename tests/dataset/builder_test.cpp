@@ -1,0 +1,91 @@
+#include "dataset/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace cp::dataset {
+namespace {
+
+TEST(BuilderTest, BuildsRequestedCount) {
+  DatasetConfig dc;
+  dc.style = 0;
+  dc.count = 24;
+  dc.seed = 1;
+  const Dataset ds = build_dataset(dc);
+  EXPECT_EQ(ds.topologies.size(), 24u);
+  for (const auto& t : ds.topologies) {
+    EXPECT_EQ(t.rows(), dc.topo_size);
+    EXPECT_EQ(t.cols(), dc.topo_size);
+    EXPECT_GT(t.popcount(), 0u);
+  }
+}
+
+TEST(BuilderTest, DeterministicForSeed) {
+  DatasetConfig dc;
+  dc.style = 1;
+  dc.count = 8;
+  dc.seed = 42;
+  const Dataset a = build_dataset(dc);
+  const Dataset b = build_dataset(dc);
+  ASSERT_EQ(a.topologies.size(), b.topologies.size());
+  for (std::size_t i = 0; i < a.topologies.size(); ++i) {
+    EXPECT_EQ(a.topologies[i], b.topologies[i]);
+  }
+}
+
+TEST(BuilderTest, DifferentSeedsDiffer) {
+  DatasetConfig dc;
+  dc.style = 0;
+  dc.count = 4;
+  dc.seed = 1;
+  const Dataset a = build_dataset(dc);
+  dc.seed = 2;
+  const Dataset b = build_dataset(dc);
+  int equal = 0;
+  for (std::size_t i = 0; i < a.topologies.size(); ++i) {
+    equal += a.topologies[i] == b.topologies[i];
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(BuilderTest, LargerWindowsBuild) {
+  DatasetConfig dc;
+  dc.style = 1;
+  dc.count = 4;
+  dc.window_nm = 4096;
+  dc.topo_size = 256;
+  dc.seed = 3;
+  const Dataset ds = build_dataset(dc);
+  EXPECT_EQ(ds.topologies.size(), 4u);
+  EXPECT_EQ(ds.topologies[0].rows(), 256);
+}
+
+TEST(BuilderTest, DatasetHasDiversity) {
+  DatasetConfig dc;
+  dc.style = 0;
+  dc.count = 48;
+  dc.seed = 5;
+  const Dataset ds = build_dataset(dc);
+  EXPECT_GT(metrics::diversity(ds.topologies), 1.5)
+      << "clips should not all share one complexity";
+}
+
+TEST(BuilderTest, StylesProduceDifferentStatistics) {
+  DatasetConfig dc;
+  dc.count = 24;
+  dc.seed = 6;
+  dc.style = 0;
+  const Dataset routing = build_dataset(dc);
+  dc.style = 1;
+  const Dataset blocks = build_dataset(dc);
+  double d0 = 0, d1 = 0;
+  for (const auto& t : routing.topologies) d0 += t.density();
+  for (const auto& t : blocks.topologies) d1 += t.density();
+  d0 /= static_cast<double>(routing.topologies.size());
+  d1 /= static_cast<double>(blocks.topologies.size());
+  EXPECT_GT(d0, d1 + 0.1);
+}
+
+}  // namespace
+}  // namespace cp::dataset

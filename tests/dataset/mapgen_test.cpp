@@ -1,0 +1,101 @@
+#include "dataset/mapgen.h"
+
+#include <gtest/gtest.h>
+
+#include "drc/checker.h"
+#include "squish/squish.h"
+
+namespace cp::dataset {
+namespace {
+
+using geometry::Rect;
+
+/// DRC-check a window clipped from the interior of a generated map.
+void expect_window_clean(const StyleParams& style, const std::vector<Rect>& map,
+                         geometry::Coord map_nm) {
+  const geometry::Coord inset = 300;
+  const geometry::Coord win = 2048;
+  for (geometry::Coord y = inset; y + win + inset <= map_nm; y += win) {
+    for (geometry::Coord x = inset; x + win + inset <= map_nm; x += win) {
+      const squish::SquishPattern clip = squish::squish(map, Rect{x, y, x + win, y + win});
+      const drc::DrcReport report = drc::check(clip, style.rules);
+      EXPECT_TRUE(report.clean())
+          << style.name << " window at (" << x << "," << y
+          << "): " << (report.violations.empty() ? "" : report.violations[0].message);
+    }
+  }
+}
+
+TEST(MapgenTest, RoutingMapIsDrcCleanByConstruction) {
+  const StyleParams style = style_params(0);
+  util::Rng rng(101);
+  const geometry::Coord map_nm = 8192;
+  expect_window_clean(style, generate_routing_map(style, map_nm, rng), map_nm);
+}
+
+TEST(MapgenTest, BlockMapIsDrcCleanByConstruction) {
+  const StyleParams style = style_params(1);
+  util::Rng rng(202);
+  const geometry::Coord map_nm = 8192;
+  expect_window_clean(style, generate_block_map(style, map_nm, rng), map_nm);
+}
+
+TEST(MapgenTest, MapsAreNonTrivial) {
+  for (int s = 0; s < kStyleCount; ++s) {
+    const StyleParams style = style_params(s);
+    util::Rng rng(7 + s);
+    const auto map = generate_map(style, 8192, rng);
+    EXPECT_GT(map.size(), 20u) << style.name;
+    // All rects inside the map and non-empty.
+    for (const Rect& r : map) {
+      EXPECT_FALSE(r.empty());
+      EXPECT_GE(r.x0, 0);
+      EXPECT_LE(r.x1, 8192);
+    }
+  }
+}
+
+TEST(MapgenTest, StylesHaveDistinctDensity) {
+  util::Rng rng(5);
+  const auto routing = generate_map(style_params(0), 8192, rng);
+  const auto blocks = generate_map(style_params(1), 8192, rng);
+  auto density = [](const std::vector<Rect>& rects) {
+    const squish::SquishPattern p = squish::squish(rects, Rect{256, 256, 8192 - 256, 8192 - 256});
+    double filled = 0, total = 0;
+    for (int r = 0; r < p.topology.rows(); ++r) {
+      for (int c = 0; c < p.topology.cols(); ++c) {
+        const double cell = static_cast<double>(p.dx[c]) * static_cast<double>(p.dy[r]);
+        total += cell;
+        if (p.topology.at(r, c)) filled += cell;
+      }
+    }
+    return filled / total;
+  };
+  const double d0 = density(routing);
+  const double d1 = density(blocks);
+  EXPECT_GT(d0, d1 * 1.5) << "routing layer should be clearly denser";
+  EXPECT_GT(d1, 0.02);
+}
+
+TEST(MapgenTest, EdgesAreSnapped) {
+  // Every y edge of a routing map must be a multiple of the snap grid
+  // (x edges of tracks are free; straps span track x extents).
+  const StyleParams style = style_params(0);
+  util::Rng rng(33);
+  for (const Rect& r : generate_routing_map(style, 4096, rng)) {
+    EXPECT_EQ(r.y0 % style.snap_nm, 0);
+    EXPECT_EQ(r.y1 % style.snap_nm, 0);
+  }
+}
+
+TEST(MapgenTest, DeterministicForSeed) {
+  const StyleParams style = style_params(0);
+  util::Rng a(9), b(9);
+  const auto m1 = generate_map(style, 4096, a);
+  const auto m2 = generate_map(style, 4096, b);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (std::size_t i = 0; i < m1.size(); ++i) EXPECT_EQ(m1[i], m2[i]);
+}
+
+}  // namespace
+}  // namespace cp::dataset

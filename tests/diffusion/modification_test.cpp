@@ -1,0 +1,175 @@
+#include "diffusion/modification.h"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/cascade.h"
+#include "diffusion/tabular_denoiser.h"
+
+namespace cp::diffusion {
+namespace {
+
+squish::Topology stripes(int n, int period) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, (c / period) % 2);
+  }
+  return t;
+}
+
+class ModificationTest : public ::testing::Test {
+ protected:
+  ModificationTest() : schedule_(ScheduleConfig{}), denoiser_(make_denoiser()) {}
+
+  TabularDenoiser make_denoiser() {
+    TabularConfig cfg;
+    cfg.conditions = 1;
+    cfg.draws_per_bucket = 3;
+    TabularDenoiser d(schedule_, cfg);
+    util::Rng rng(1);
+    std::vector<squish::Topology> data;
+    for (int p = 2; p <= 4; ++p) data.push_back(stripes(32, p));
+    d.fit(data, 0, rng);
+    return d;
+  }
+
+  NoiseSchedule schedule_;
+  TabularDenoiser denoiser_;
+};
+
+TEST_F(ModificationTest, KeptRegionIsExactlyPreserved) {
+  DiffusionSampler s(schedule_, denoiser_);
+  const squish::Topology known = stripes(32, 2);
+  squish::Topology keep(32, 32, 1);
+  for (int r = 8; r < 24; ++r) {
+    for (int c = 8; c < 24; ++c) keep.set(r, c, 0);
+  }
+  ModifyConfig cfg;
+  cfg.sample_steps = 8;
+  util::Rng rng(3);
+  const squish::Topology out = modify(s, known, keep, cfg, rng);
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      if (keep.at(r, c)) {
+        ASSERT_EQ(out.at(r, c), known.at(r, c)) << "kept cell changed at " << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST_F(ModificationTest, RegeneratedRegionPlausible) {
+  DiffusionSampler s(schedule_, denoiser_);
+  const squish::Topology known = stripes(32, 2);
+  squish::Topology keep(32, 32, 1);
+  for (int r = 8; r < 24; ++r) {
+    for (int c = 8; c < 24; ++c) keep.set(r, c, 0);
+  }
+  ModifyConfig cfg;
+  cfg.sample_steps = 12;
+  util::Rng rng(4);
+  const squish::Topology out = modify(s, known, keep, cfg, rng);
+  // The hole must not stay empty or become full.
+  int filled = 0;
+  for (int r = 8; r < 24; ++r) {
+    for (int c = 8; c < 24; ++c) filled += out.at(r, c);
+  }
+  EXPECT_GT(filled, 16);
+  EXPECT_LT(filled, 256 - 16);
+}
+
+TEST_F(ModificationTest, MaskDimensionMismatchThrows) {
+  DiffusionSampler s(schedule_, denoiser_);
+  ModifyConfig cfg;
+  util::Rng rng(1);
+  EXPECT_THROW(modify(s, squish::Topology(8, 8), squish::Topology(4, 4), cfg, rng),
+               std::invalid_argument);
+}
+
+TEST_F(ModificationTest, FullKeepMaskIsIdentity) {
+  DiffusionSampler s(schedule_, denoiser_);
+  const squish::Topology known = stripes(16, 2);
+  ModifyConfig cfg;
+  cfg.sample_steps = 6;
+  util::Rng rng(5);
+  EXPECT_EQ(modify(s, known, squish::Topology(16, 16, 1), cfg, rng), known);
+}
+
+TEST_F(ModificationTest, ResampleRoundsSupported) {
+  DiffusionSampler s(schedule_, denoiser_);
+  const squish::Topology known = stripes(16, 2);
+  squish::Topology keep(16, 16, 1);
+  keep.set(8, 8, 0);
+  ModifyConfig cfg;
+  cfg.sample_steps = 6;
+  cfg.resample_rounds = 3;
+  util::Rng rng(6);
+  const squish::Topology out = modify(s, known, keep, cfg, rng);
+  EXPECT_EQ(out.rows(), 16);
+}
+
+TEST_F(ModificationTest, ModifyFromIntermediateState) {
+  DiffusionSampler s(schedule_, denoiser_);
+  const squish::Topology known = stripes(16, 2);
+  squish::Topology keep(16, 16, 1);
+  for (int r = 4; r < 12; ++r) keep.set(r, 7, 0);
+  ModifyConfig cfg;
+  cfg.sample_steps = 4;
+  util::Rng rng(7);
+  const squish::Topology out =
+      modify_from(s, known, keep, known, /*k_start=*/20, cfg, rng);
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) {
+      if (keep.at(r, c)) ASSERT_EQ(out.at(r, c), known.at(r, c));
+    }
+  }
+}
+
+TEST_F(ModificationTest, CascadeModifyPreservesKeptRegion) {
+  TabularConfig ccfg;
+  ccfg.conditions = 1;
+  TabularDenoiser coarse(schedule_, ccfg);
+  util::Rng fit_rng(2);
+  std::vector<squish::Topology> coarse_data;
+  for (int p = 2; p <= 4; ++p) {
+    coarse_data.push_back(squish::downsample_majority(stripes(32, p), 4));
+  }
+  coarse.fit(coarse_data, 0, fit_rng);
+  CascadeConfig cas_cfg;
+  CascadeSampler cas(schedule_, coarse, denoiser_, cas_cfg);
+
+  const squish::Topology known = stripes(32, 2);
+  squish::Topology keep(32, 32, 1);
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 16; c < 32; ++c) keep.set(r, c, 0);
+  }
+  ModifyConfig cfg;
+  cfg.sample_steps = 8;
+  util::Rng rng(8);
+  const squish::Topology out = cas.modify(known, keep, cfg, rng);
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 16; ++c) ASSERT_EQ(out.at(r, c), known.at(r, c));
+  }
+}
+
+TEST_F(ModificationTest, CascadeSampleShapeAndFactorCheck) {
+  TabularConfig ccfg;
+  ccfg.conditions = 1;
+  TabularDenoiser coarse(schedule_, ccfg);
+  util::Rng fit_rng(2);
+  coarse.fit({squish::downsample_majority(stripes(32, 4), 4)}, 0, fit_rng);
+  CascadeConfig cas_cfg;
+  CascadeSampler cas(schedule_, coarse, denoiser_, cas_cfg);
+  SampleConfig sc;
+  sc.rows = 32;
+  sc.cols = 32;
+  util::Rng rng(3);
+  EXPECT_EQ(cas.sample(sc, rng).rows(), 32);
+  sc.rows = 30;  // not divisible by 4: padded to the cascade grid, cropped
+  const squish::Topology odd = cas.sample(sc, rng);
+  EXPECT_EQ(odd.rows(), 30);
+  EXPECT_EQ(odd.cols(), 32);
+  sc.rows = 0;
+  EXPECT_THROW(cas.sample(sc, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cp::diffusion

@@ -1,0 +1,92 @@
+#include "diffusion/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::diffusion {
+namespace {
+
+TEST(ScheduleTest, PaperDefaultsShape) {
+  const NoiseSchedule s{ScheduleConfig{}};
+  EXPECT_EQ(s.steps(), 1000);
+  EXPECT_NEAR(s.beta(1), 0.01, 1e-12);
+  EXPECT_NEAR(s.beta(1000), 0.5, 1e-12);
+  // Linear interpolation (Equation 4).
+  EXPECT_NEAR(s.beta(500), 0.01 + 499.0 / 999.0 * 0.49, 1e-12);
+}
+
+TEST(ScheduleTest, CumulativeFlipMonotoneAndBounded) {
+  const NoiseSchedule s{ScheduleConfig{}};
+  EXPECT_DOUBLE_EQ(s.cumulative_flip(0), 0.0);
+  double prev = 0.0;
+  for (int k = 1; k <= s.steps(); ++k) {
+    const double b = s.cumulative_flip(k);
+    EXPECT_GE(b, prev - 1e-12);  // saturation-level float noise allowed
+    EXPECT_LE(b, 0.5 + 1e-12);
+    prev = b;
+  }
+  // The terminal distribution is (essentially) uniform.
+  EXPECT_NEAR(s.cumulative_flip(s.steps()), 0.5, 1e-9);
+}
+
+TEST(ScheduleTest, CompositionIdentity) {
+  // bbar_k must equal the closed-form composition of single-step betas.
+  const NoiseSchedule s{ScheduleConfig{100, 0.01, 0.3}};
+  double manual = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    manual = manual * (1.0 - s.beta(k)) + (1.0 - manual) * s.beta(k);
+    EXPECT_NEAR(s.cumulative_flip(k), manual, 1e-12);
+  }
+}
+
+TEST(ScheduleTest, FlipBetweenComposes) {
+  const NoiseSchedule s{ScheduleConfig{200, 0.01, 0.4}};
+  // For any j < k: bbar_k == bbar_j (1-f) + (1-bbar_j) f  with f = flip_between.
+  for (int j : {0, 5, 50, 120}) {
+    for (int k : {6, 60, 150, 200}) {
+      if (j >= k) continue;
+      const double f = s.flip_between(j, k);
+      const double bj = s.cumulative_flip(j);
+      EXPECT_NEAR(s.cumulative_flip(k), bj * (1 - f) + (1 - bj) * f, 1e-10);
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 0.5 + 1e-12);
+    }
+  }
+}
+
+TEST(ScheduleTest, FlipBetweenIdentityAtSameStep) {
+  const NoiseSchedule s{ScheduleConfig{50, 0.02, 0.5}};
+  EXPECT_NEAR(s.flip_between(10, 10), 0.0, 1e-12);
+}
+
+TEST(ScheduleTest, StepForFlipIsInverse) {
+  const NoiseSchedule s{ScheduleConfig{}};
+  for (double f : {0.0, 0.05, 0.2, 0.4, 0.49}) {
+    const int k = s.step_for_flip(f);
+    EXPECT_GE(s.cumulative_flip(k), f);
+    if (k > 0) EXPECT_LT(s.cumulative_flip(k - 1), f);
+  }
+  EXPECT_EQ(s.step_for_flip(0.0), 0);
+}
+
+TEST(ScheduleTest, ValidationRejectsBadConfigs) {
+  EXPECT_THROW(NoiseSchedule(ScheduleConfig{0, 0.01, 0.5}), std::invalid_argument);
+  EXPECT_THROW(NoiseSchedule(ScheduleConfig{10, -0.1, 0.5}), std::invalid_argument);
+  EXPECT_THROW(NoiseSchedule(ScheduleConfig{10, 0.4, 0.2}), std::invalid_argument);
+  EXPECT_THROW(NoiseSchedule(ScheduleConfig{10, 0.1, 0.7}), std::invalid_argument);
+}
+
+TEST(ScheduleTest, SingleStepSchedule) {
+  const NoiseSchedule s{ScheduleConfig{1, 0.3, 0.3}};
+  EXPECT_NEAR(s.beta(1), 0.3, 1e-12);
+  EXPECT_NEAR(s.cumulative_flip(1), 0.3, 1e-12);
+}
+
+TEST(ScheduleTest, FlipBetweenBadRangeThrows) {
+  const NoiseSchedule s{ScheduleConfig{10, 0.01, 0.5}};
+  EXPECT_THROW(s.flip_between(5, 3), std::out_of_range);
+  EXPECT_THROW(s.flip_between(-1, 3), std::out_of_range);
+  EXPECT_THROW(s.flip_between(0, 11), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cp::diffusion

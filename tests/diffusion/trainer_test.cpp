@@ -1,0 +1,106 @@
+#include "diffusion/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cp::diffusion {
+namespace {
+
+squish::Topology stripes(int n, int period) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, (c / period) % 2);
+  }
+  return t;
+}
+
+std::vector<std::vector<squish::Topology>> stripe_classes() {
+  std::vector<std::vector<squish::Topology>> per_class(2);
+  for (int p = 2; p <= 4; ++p) {
+    per_class[0].push_back(stripes(24, p));
+    per_class[1].push_back(stripes(24, p).transposed());
+  }
+  return per_class;
+}
+
+TEST(TrainerTest, MlpTrainingReducesLoss) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  util::Rng rng(1);
+  MlpDenoiser model(schedule, MlpConfig{2, 24, 2}, rng);
+  const auto data = stripe_classes();
+
+  const double before = evaluate_hybrid_loss(model, schedule, data, 1e-3f, 2, 99);
+  TrainConfig cfg;
+  cfg.iterations = 400;
+  cfg.batch_pixels = 128;
+  cfg.lr = 3e-3f;
+  cfg.seed = 5;
+  const TrainStats stats = train_mlp(model, data, cfg);
+  const double after = evaluate_hybrid_loss(model, schedule, data, 1e-3f, 2, 99);
+  EXPECT_LT(after, before) << "training must reduce the hybrid loss";
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+}
+
+TEST(TrainerTest, TrainedMlpBeatsUniformControl) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  util::Rng rng(2);
+  MlpDenoiser model(schedule, MlpConfig{2, 24, 2}, rng);
+  const auto data = stripe_classes();
+  TrainConfig cfg;
+  cfg.iterations = 800;
+  cfg.batch_pixels = 128;
+  cfg.lr = 3e-3f;
+  cfg.seed = 3;
+  train_mlp(model, data, cfg);
+
+  const UniformDenoiser control({0.5f, 0.5f});
+  const double model_loss = evaluate_hybrid_loss(model, schedule, data, 1e-3f, 2, 7);
+  const double control_loss = evaluate_hybrid_loss(control, schedule, data, 1e-3f, 2, 7);
+  EXPECT_LT(model_loss, control_loss);
+}
+
+TEST(TrainerTest, FitTabularBeatsUniformControl) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  TabularConfig cfg;
+  cfg.conditions = 2;
+  cfg.draws_per_bucket = 3;
+  const auto data = stripe_classes();
+  const TabularDenoiser model = fit_tabular(schedule, cfg, data, 11);
+  const UniformDenoiser control({0.5f, 0.5f});
+  EXPECT_LT(evaluate_hybrid_loss(model, schedule, data, 1e-3f, 2, 7),
+            evaluate_hybrid_loss(control, schedule, data, 1e-3f, 2, 7));
+}
+
+TEST(TrainerTest, EmptyDataThrows) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  util::Rng rng(1);
+  MlpDenoiser model(schedule, MlpConfig{1, 8, 1}, rng);
+  TrainConfig cfg;
+  EXPECT_THROW(train_mlp(model, {}, cfg), std::invalid_argument);
+}
+
+TEST(TrainerTest, TrainingIsDeterministicForSeed) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  const auto data = stripe_classes();
+  auto run = [&](std::uint64_t seed) {
+    util::Rng rng(9);
+    MlpDenoiser model(schedule, MlpConfig{2, 12, 1}, rng);
+    TrainConfig cfg;
+    cfg.iterations = 50;
+    cfg.seed = seed;
+    train_mlp(model, data, cfg);
+    ProbGrid p0;
+    model.predict_x0(stripes(24, 2), 10, 0, p0);
+    return p0;
+  };
+  const ProbGrid a = run(7), b = run(7), c = run(8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) differs |= a[i] != c[i];
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace cp::diffusion

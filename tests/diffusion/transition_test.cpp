@@ -1,0 +1,94 @@
+#include "diffusion/transition.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::diffusion {
+namespace {
+
+TEST(TransitionTest, FlipChannel) {
+  EXPECT_DOUBLE_EQ(flip_channel_p1(1, 0.1), 0.9);
+  EXPECT_DOUBLE_EQ(flip_channel_p1(0, 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(flip_channel_p1(1, 0.0), 1.0);
+}
+
+TEST(TransitionTest, ForwardNoiseFlipFraction) {
+  const NoiseSchedule s{ScheduleConfig{}};
+  util::Rng rng(3);
+  squish::Topology x0(64, 64);  // all zeros
+  const int k = s.step_for_flip(0.25);
+  const squish::Topology xk = forward_noise(x0, s, k, rng);
+  EXPECT_NEAR(xk.density(), s.cumulative_flip(k), 0.03);
+}
+
+TEST(TransitionTest, ForwardNoiseAtZeroIsIdentityDistribution) {
+  const NoiseSchedule s{ScheduleConfig{}};
+  util::Rng rng(3);
+  squish::Topology x0(16, 16, 1);
+  EXPECT_EQ(forward_noise(x0, s, 0, rng), x0);
+}
+
+TEST(TransitionTest, PosteriorNormalizes) {
+  // P(x_j=1|...) + P(x_j=0|...) = 1 holds by construction; check symmetry
+  // and edge behaviours instead.
+  for (int xk : {0, 1}) {
+    for (int x0 : {0, 1}) {
+      const double p = posterior_p1(xk, x0, 0.2, 0.1);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(TransitionTest, PosteriorNoNoiseIsDeterministic) {
+  // flip_0j = 0: x_j must equal x_0 regardless of x_k.
+  EXPECT_DOUBLE_EQ(posterior_p1(0, 1, 0.0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(posterior_p1(1, 0, 0.0, 0.3), 0.0);
+}
+
+TEST(TransitionTest, PosteriorPureLikelihood) {
+  // flip_0j = 0.5: prior uninformative, posterior follows the likelihood.
+  const double p = posterior_p1(1, 0, 0.5, 0.1);
+  // P(x_j=1|x_k=1) ∝ 0.9 * 0.5 vs P(x_j=0) ∝ 0.1 * 0.5.
+  EXPECT_NEAR(p, 0.9, 1e-12);
+}
+
+TEST(TransitionTest, PosteriorBayesAgainstBruteForce) {
+  // Brute-force the joint over (x_j, x_k) given x_0 and compare.
+  for (int x0 : {0, 1}) {
+    for (int xk : {0, 1}) {
+      for (double f0j : {0.05, 0.3, 0.45}) {
+        for (double fjk : {0.05, 0.2, 0.4}) {
+          double num = 0.0, den = 0.0;
+          for (int xj : {0, 1}) {
+            const double p_xj = xj == 1 ? flip_channel_p1(x0, f0j) : 1 - flip_channel_p1(x0, f0j);
+            const double p_xk = xk == 1 ? flip_channel_p1(xj, fjk) : 1 - flip_channel_p1(xj, fjk);
+            den += p_xj * p_xk;
+            if (xj == 1) num += p_xj * p_xk;
+          }
+          EXPECT_NEAR(posterior_p1(xk, x0, f0j, fjk), num / den, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(TransitionTest, ReverseP1IsMixtureOfPosteriors) {
+  const double a = posterior_p1(1, 1, 0.2, 0.1);
+  const double b = posterior_p1(1, 0, 0.2, 0.1);
+  EXPECT_NEAR(reverse_p1(1, 0.7, 0.2, 0.1), 0.7 * a + 0.3 * b, 1e-12);
+  EXPECT_NEAR(reverse_p1(1, 1.0, 0.2, 0.1), a, 1e-12);
+  EXPECT_NEAR(reverse_p1(1, 0.0, 0.2, 0.1), b, 1e-12);
+}
+
+TEST(TransitionTest, ReverseMonotoneInBelief) {
+  // Higher belief in x0=1 must never lower P(x_{k-1}=1).
+  double prev = -1.0;
+  for (double p0 = 0.0; p0 <= 1.0; p0 += 0.1) {
+    const double p = reverse_p1(0, p0, 0.3, 0.2);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace cp::diffusion

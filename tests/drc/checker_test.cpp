@@ -1,0 +1,171 @@
+#include "drc/checker.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::drc {
+namespace {
+
+using squish::DeltaVec;
+using squish::SquishPattern;
+using squish::Topology;
+
+DesignRules test_rules() {
+  DesignRules r;
+  r.min_space_nm = 40;
+  r.min_width_nm = 40;
+  r.min_area_nm2 = 1600;
+  r.pitch_nm = 1;
+  return r;
+}
+
+/// Pattern with an interior shape of the given physical width/height inside
+/// a 5x5 grid (shape occupies the centre cell).
+SquishPattern centered_shape(geometry::Coord w, geometry::Coord h) {
+  SquishPattern p;
+  p.topology = Topology(3, 3);
+  p.topology.set(1, 1, 1);
+  p.dx = {100, w, 100};
+  p.dy = {100, h, 100};
+  return p;
+}
+
+TEST(CheckerTest, CleanPattern) {
+  const DrcReport report = check(centered_shape(50, 60), test_rules());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(CheckerTest, WidthViolationX) {
+  const DrcReport report = check(centered_shape(30, 60), test_rules());
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kWidth);
+  EXPECT_EQ(report.violations[0].required_nm, 40);
+  EXPECT_EQ(report.violations[0].actual_nm, 30);
+}
+
+TEST(CheckerTest, WidthViolationY) {
+  const DrcReport report = check(centered_shape(60, 25), test_rules());
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kWidth);
+}
+
+TEST(CheckerTest, AreaViolation) {
+  // 40x40 = 1600 passes exactly; shrink area rule boundary via a taller rule.
+  DesignRules r = test_rules();
+  r.min_area_nm2 = 2000;
+  const DrcReport report = check(centered_shape(40, 40), r);
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kArea);
+  EXPECT_EQ(report.violations[0].actual_nm, 1600);
+}
+
+TEST(CheckerTest, SpaceViolation) {
+  // Two shapes in one row separated by a 20 nm gap.
+  SquishPattern p;
+  p.topology = Topology(3, 5);
+  p.topology.set(1, 1, 1);
+  p.topology.set(1, 3, 1);
+  p.dx = {100, 50, 20, 50, 100};
+  p.dy = {100, 50, 100};
+  const DrcReport report = check(p, test_rules());
+  ASSERT_FALSE(report.clean());
+  bool found_space = false;
+  for (const auto& v : report.violations) {
+    if (v.kind == ViolationKind::kSpace) {
+      found_space = true;
+      EXPECT_EQ(v.actual_nm, 20);
+    }
+  }
+  EXPECT_TRUE(found_space);
+}
+
+TEST(CheckerTest, BorderShapesExemptFromWidthAndArea) {
+  // A thin sliver touching the left border: clipped shape, exempt.
+  SquishPattern p;
+  p.topology = Topology(3, 3);
+  p.topology.set(1, 0, 1);
+  p.dx = {10, 100, 100};
+  p.dy = {100, 100, 100};
+  EXPECT_TRUE(check(p, test_rules()).clean());
+}
+
+TEST(CheckerTest, BorderGapNotASpaceViolation) {
+  // A 0-run touching the border is not between two shapes.
+  SquishPattern p;
+  p.topology = Topology(1, 2);
+  p.topology.set(0, 1, 1);
+  p.dx = {5, 200};
+  p.dy = {200};
+  EXPECT_TRUE(check(p, test_rules()).clean());
+}
+
+TEST(CheckerTest, PitchViolation) {
+  DesignRules r = test_rules();
+  r.pitch_nm = 8;
+  SquishPattern p;
+  p.topology = Topology(1, 2, 1);
+  p.dx = {4, 200};
+  p.dy = {200};
+  const DrcReport report = check(p, r);
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::kPitch);
+}
+
+TEST(CheckerTest, ViolatingRegionBoundsAllViolations) {
+  const DrcReport report = check(centered_shape(30, 25), test_rules());
+  ASSERT_FALSE(report.clean());
+  const geometry::Rect region = report.violating_region_cells();
+  EXPECT_EQ(region.x0, 1);
+  EXPECT_EQ(region.y0, 1);
+  EXPECT_EQ(region.x1, 2);
+  EXPECT_EQ(region.y1, 2);
+}
+
+TEST(CheckerTest, ViolationMessagesAreInformative) {
+  const DrcReport report = check(centered_shape(30, 60), test_rules());
+  ASSERT_FALSE(report.clean());
+  const std::string& msg = report.violations[0].message;
+  EXPECT_NE(msg.find("width"), std::string::npos);
+  EXPECT_NE(msg.find("40"), std::string::npos);
+  EXPECT_NE(msg.find("30"), std::string::npos);
+}
+
+TEST(CheckerTest, RowRunsExtraction) {
+  Topology t(1, 6);
+  t.set(0, 1, 1);
+  t.set(0, 2, 1);
+  t.set(0, 4, 1);
+  const auto ones = row_runs(t, 0, 1);
+  ASSERT_EQ(ones.size(), 2u);
+  EXPECT_EQ(ones[0], std::make_pair(1, 3));
+  EXPECT_EQ(ones[1], std::make_pair(4, 5));
+  const auto zeros = row_runs(t, 0, 0);
+  ASSERT_EQ(zeros.size(), 3u);
+}
+
+TEST(CheckerTest, ColRunsExtraction) {
+  Topology t(5, 1);
+  t.set(1, 0, 1);
+  t.set(2, 0, 1);
+  const auto ones = col_runs(t, 0, 1);
+  ASSERT_EQ(ones.size(), 1u);
+  EXPECT_EQ(ones[0], std::make_pair(1, 3));
+}
+
+TEST(CheckerTest, MultipleViolationsAllReported) {
+  // Two thin interior shapes -> at least two width violations.
+  SquishPattern p;
+  p.topology = Topology(3, 5);
+  p.topology.set(1, 1, 1);
+  p.topology.set(1, 3, 1);
+  p.dx = {100, 10, 100, 10, 100};
+  p.dy = {100, 50, 100};
+  const DrcReport report = check(p, test_rules());
+  int width_violations = 0;
+  for (const auto& v : report.violations) {
+    width_violations += v.kind == ViolationKind::kWidth;
+  }
+  EXPECT_GE(width_violations, 2);
+}
+
+}  // namespace
+}  // namespace cp::drc

@@ -1,0 +1,36 @@
+#include "drc/rules.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::drc {
+namespace {
+
+TEST(RulesTest, KnownStyles) {
+  const DesignRules a = rules_for_style("Layer-10001");
+  EXPECT_GT(a.min_space_nm, 0);
+  EXPECT_GT(a.min_width_nm, 0);
+  EXPECT_GT(a.min_area_nm2, 0);
+  const DesignRules b = rules_for_style("Layer-10003");
+  EXPECT_NE(a, b);
+  EXPECT_GT(b.min_width_nm, a.min_width_nm) << "Layer-10003 is the wide-feature layer";
+}
+
+TEST(RulesTest, NameVariantsAccepted) {
+  EXPECT_EQ(rules_for_style("layer-10001"), rules_for_style("10001"));
+  EXPECT_EQ(rules_for_style("LAYER10003"), rules_for_style("Layer-10003"));
+}
+
+TEST(RulesTest, UnknownStyleThrows) {
+  EXPECT_THROW(rules_for_style("Layer-99999"), std::invalid_argument);
+  EXPECT_THROW(rules_for_style(""), std::invalid_argument);
+}
+
+TEST(RulesTest, DescribeMentionsAllRules) {
+  const std::string d = describe(rules_for_style("Layer-10001"));
+  EXPECT_NE(d.find("space"), std::string::npos);
+  EXPECT_NE(d.find("width"), std::string::npos);
+  EXPECT_NE(d.find("area"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cp::drc

@@ -1,0 +1,178 @@
+#include "extension/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/tabular_denoiser.h"
+
+namespace cp::extension {
+namespace {
+
+using diffusion::DiffusionSampler;
+using diffusion::NoiseSchedule;
+using diffusion::ScheduleConfig;
+using diffusion::TabularConfig;
+using diffusion::TabularDenoiser;
+
+squish::Topology stripes(int n, int period) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, (c / period) % 2);
+  }
+  return t;
+}
+
+class ExtensionTest : public ::testing::Test {
+ protected:
+  ExtensionTest() : schedule_(ScheduleConfig{}), denoiser_(make_denoiser()) {}
+
+  TabularDenoiser make_denoiser() {
+    TabularConfig cfg;
+    cfg.conditions = 1;
+    cfg.draws_per_bucket = 3;
+    TabularDenoiser d(schedule_, cfg);
+    util::Rng rng(1);
+    std::vector<squish::Topology> data;
+    for (int p = 2; p <= 4; ++p) data.push_back(stripes(32, p));
+    d.fit(data, 0, rng);
+    return d;
+  }
+
+  ExtensionConfig config() {
+    ExtensionConfig ec;
+    ec.window = 32;
+    ec.stride = 16;
+    ec.sample_steps = 8;
+    return ec;
+  }
+
+  NoiseSchedule schedule_;
+  TabularDenoiser denoiser_;
+};
+
+TEST(ExtensionFormulas, OutPaintMatchesPaper) {
+  // N_out = (ceil((W-L)/S)+1)(ceil((H-L)/S)+1)
+  EXPECT_EQ(expected_samples_outpaint(256, 256, 128, 64), (2 + 1) * (2 + 1));
+  EXPECT_EQ(expected_samples_outpaint(512, 512, 128, 64), (6 + 1) * (6 + 1));
+  EXPECT_EQ(expected_samples_outpaint(128, 128, 128, 64), 1);
+  EXPECT_EQ(expected_samples_outpaint(300, 128, 128, 100), (2 + 1) * 1);
+}
+
+TEST(ExtensionFormulas, InPaintMatchesPaper) {
+  // N_in = (2 ceil(W/L) - 1)(2 ceil(H/L) - 1)
+  EXPECT_EQ(expected_samples_inpaint(256, 256, 128), 3 * 3);
+  EXPECT_EQ(expected_samples_inpaint(512, 512, 128), 7 * 7);
+  EXPECT_EQ(expected_samples_inpaint(128, 128, 128), 1);
+  EXPECT_EQ(expected_samples_inpaint(1024, 1024, 128), 15 * 15);
+  EXPECT_EQ(expected_samples_inpaint(300, 128, 128), 5 * 1);
+}
+
+TEST(ExtensionFormulas, MethodParsing) {
+  EXPECT_EQ(method_from_string("out"), Method::kOutPainting);
+  EXPECT_EQ(method_from_string("Out-Painting"), Method::kOutPainting);
+  EXPECT_EQ(method_from_string("inpaint"), Method::kInPainting);
+  EXPECT_EQ(method_from_string("IN"), Method::kInPainting);
+  EXPECT_THROW(method_from_string("sideways"), std::invalid_argument);
+  EXPECT_STREQ(to_string(Method::kOutPainting), "Out-Painting");
+}
+
+TEST_F(ExtensionTest, OutPaintProducesTargetSize) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::Rng rng(3);
+  const ExtensionResult res = extend_outpaint(s, squish::Topology(), 64, 96, config(), rng);
+  EXPECT_EQ(res.topology.rows(), 64);
+  EXPECT_EQ(res.topology.cols(), 96);
+  EXPECT_GT(res.model_calls, 1);
+  EXPECT_GT(res.topology.popcount(), 0u);
+}
+
+TEST_F(ExtensionTest, OutPaintPreservesSeed) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::Rng rng(4);
+  const squish::Topology seed = stripes(32, 2);
+  const ExtensionResult res = extend_outpaint(s, seed, 64, 64, config(), rng);
+  // The seed occupies the top-left window and out-painting keeps known
+  // regions: the top-left window must still be the seed.
+  EXPECT_EQ(res.topology.window(0, 0, 32, 32), seed);
+}
+
+TEST_F(ExtensionTest, InPaintProducesTargetSize) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::Rng rng(5);
+  const ExtensionResult res = extend_inpaint(s, squish::Topology(), 64, 64, config(), rng);
+  EXPECT_EQ(res.topology.rows(), 64);
+  EXPECT_EQ(res.topology.cols(), 64);
+  // tiles (4) + vertical seams (2) + horizontal seams (2) + corners (1) = 9
+  EXPECT_EQ(res.model_calls, 9);
+}
+
+TEST_F(ExtensionTest, ModelCallsMatchFormulaOnAlignedTargets) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::Rng rng(6);
+  const ExtensionConfig ec = config();
+  const ExtensionResult out = extend_outpaint(s, squish::Topology(), 64, 64, ec, rng);
+  EXPECT_EQ(out.model_calls, expected_samples_outpaint(64, 64, ec.window, ec.stride));
+  const ExtensionResult in = extend_inpaint(s, squish::Topology(), 96, 64, ec, rng);
+  EXPECT_EQ(in.model_calls, expected_samples_inpaint(96, 64, ec.window));
+}
+
+TEST_F(ExtensionTest, RejectsTargetsSmallerThanWindow) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::Rng rng(7);
+  EXPECT_THROW(extend_outpaint(s, squish::Topology(), 16, 64, config(), rng),
+               std::invalid_argument);
+  EXPECT_THROW(extend_inpaint(s, squish::Topology(), 64, 16, config(), rng),
+               std::invalid_argument);
+}
+
+TEST_F(ExtensionTest, RejectsBadSeedSize) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::Rng rng(8);
+  EXPECT_THROW(extend_outpaint(s, stripes(16, 2), 64, 64, config(), rng),
+               std::invalid_argument);
+}
+
+TEST_F(ExtensionTest, RejectsBadStride) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::Rng rng(9);
+  ExtensionConfig ec = config();
+  ec.stride = 0;
+  EXPECT_THROW(extend_outpaint(s, squish::Topology(), 64, 64, ec, rng), std::invalid_argument);
+  ec.stride = 64;
+  EXPECT_THROW(extend_outpaint(s, squish::Topology(), 64, 64, ec, rng), std::invalid_argument);
+}
+
+TEST_F(ExtensionTest, PlannerDispatch) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::Rng rng(10);
+  ExtensionConfig ec = config();
+  ec.stride = 8;  // makes N_out (25) differ from N_in (9) at this size
+  const ExtensionResult out =
+      extend(s, Method::kOutPainting, squish::Topology(), 64, 64, ec, rng);
+  const ExtensionResult in =
+      extend(s, Method::kInPainting, squish::Topology(), 64, 64, ec, rng);
+  EXPECT_EQ(out.topology.rows(), 64);
+  EXPECT_EQ(in.topology.rows(), 64);
+  EXPECT_EQ(out.model_calls, 25);
+  EXPECT_EQ(in.model_calls, 9);
+}
+
+TEST_F(ExtensionTest, NonAlignedTargetsHandled) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::Rng rng(11);
+  const ExtensionResult res = extend_outpaint(s, squish::Topology(), 70, 50, config(), rng);
+  EXPECT_EQ(res.topology.rows(), 70);
+  EXPECT_EQ(res.topology.cols(), 50);
+  const ExtensionResult in = extend_inpaint(s, squish::Topology(), 50, 70, config(), rng);
+  EXPECT_EQ(in.topology.rows(), 50);
+  EXPECT_EQ(in.topology.cols(), 70);
+}
+
+TEST_F(ExtensionTest, ExtendedDensityTracksData) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::Rng rng(12);
+  const ExtensionResult res = extend_outpaint(s, squish::Topology(), 96, 96, config(), rng);
+  EXPECT_NEAR(res.topology.density(), 0.5, 0.15);
+}
+
+}  // namespace
+}  // namespace cp::extension

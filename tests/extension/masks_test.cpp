@@ -1,0 +1,47 @@
+#include "extension/masks.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::extension {
+namespace {
+
+TEST(MasksTest, FullMask) {
+  EXPECT_EQ(full_mask(3, 4, 1).popcount(), 12u);
+  EXPECT_EQ(full_mask(3, 4, 0).popcount(), 0u);
+}
+
+TEST(MasksTest, RowBand) {
+  const auto m = keep_except_row_band(8, 8, 3, 5);
+  EXPECT_EQ(m.popcount(), 64u - 16u);
+  EXPECT_EQ(m.at(2, 0), 1);
+  EXPECT_EQ(m.at(3, 0), 0);
+  EXPECT_EQ(m.at(4, 7), 0);
+  EXPECT_EQ(m.at(5, 0), 1);
+}
+
+TEST(MasksTest, ColBand) {
+  const auto m = keep_except_col_band(8, 8, 0, 2);
+  EXPECT_EQ(m.popcount(), 64u - 16u);
+  EXPECT_EQ(m.at(0, 0), 0);
+  EXPECT_EQ(m.at(7, 1), 0);
+  EXPECT_EQ(m.at(0, 2), 1);
+}
+
+TEST(MasksTest, Box) {
+  const auto m = keep_except_box(8, 8, 2, 2, 6, 6);
+  EXPECT_EQ(m.popcount(), 64u - 16u);
+  EXPECT_EQ(m.at(2, 2), 0);
+  EXPECT_EQ(m.at(5, 5), 0);
+  EXPECT_EQ(m.at(6, 6), 1);
+  EXPECT_EQ(m.at(1, 2), 1);
+}
+
+TEST(MasksTest, BandsClampToBounds) {
+  const auto m = keep_except_row_band(4, 4, 2, 99);
+  EXPECT_EQ(m.popcount(), 8u);
+  const auto b = keep_except_box(4, 4, -0, 0, 99, 99);
+  EXPECT_EQ(b.popcount(), 0u);
+}
+
+}  // namespace
+}  // namespace cp::extension

@@ -1,0 +1,98 @@
+#include "geometry/extract.h"
+
+#include <gtest/gtest.h>
+
+#include "squish/topology.h"
+
+namespace cp::geometry {
+namespace {
+
+using cp::squish::Topology;
+
+TEST(ExtractTest, SingleComponent) {
+  Topology t(4, 4);
+  t.set(1, 1, 1);
+  t.set(1, 2, 1);
+  t.set(2, 1, 1);
+  const auto comps = connected_components(t.data(), 4, 4);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].cells.size(), 3u);
+  EXPECT_EQ(comps[0].min_row, 1);
+  EXPECT_EQ(comps[0].max_row, 2);
+  EXPECT_EQ(comps[0].min_col, 1);
+  EXPECT_EQ(comps[0].max_col, 2);
+}
+
+TEST(ExtractTest, DiagonalCellsAreSeparate) {
+  Topology t(3, 3);
+  t.set(0, 0, 1);
+  t.set(1, 1, 1);
+  t.set(2, 2, 1);
+  EXPECT_EQ(connected_components(t.data(), 3, 3).size(), 3u);
+}
+
+TEST(ExtractTest, EmptyGridNoComponents) {
+  Topology t(5, 5);
+  EXPECT_TRUE(connected_components(t.data(), 5, 5).empty());
+}
+
+TEST(ExtractTest, FullGridOneComponent) {
+  Topology t(6, 7, 1);
+  const auto comps = connected_components(t.data(), 6, 7);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].cells.size(), 42u);
+}
+
+TEST(ExtractTest, RectDecompositionOfRectangle) {
+  Topology t(6, 6);
+  for (int r = 1; r < 4; ++r) {
+    for (int c = 2; c < 5; ++c) t.set(r, c, 1);
+  }
+  const auto rects = grid_to_cell_rects(t.data(), 6, 6);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (Rect{2, 1, 5, 4}));
+}
+
+TEST(ExtractTest, RectDecompositionOfLShape) {
+  // Rows 0-1: cols 0-3; rows 2-3: cols 0-1 (an L).
+  Topology t(4, 4);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 4; ++c) t.set(r, c, 1);
+  for (int r = 2; r < 4; ++r)
+    for (int c = 0; c < 2; ++c) t.set(r, c, 1);
+  const auto rects = grid_to_cell_rects(t.data(), 4, 4);
+  // The decomposition is 2 rects; total covered area must match.
+  Coord area = 0;
+  for (const Rect& r : rects) area += r.area();
+  EXPECT_EQ(area, 8 + 4);
+  EXPECT_EQ(rects.size(), 2u);
+}
+
+TEST(ExtractTest, DecompositionCoversExactly) {
+  // Random-ish blob: verify exact cover (no overlap, no gap).
+  Topology t(8, 8);
+  const int cells[][2] = {{1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 2}, {3, 3}, {4, 3}};
+  for (auto& rc : cells) t.set(rc[0], rc[1], 1);
+  const auto rects = grid_to_cell_rects(t.data(), 8, 8);
+  Topology cover(8, 8);
+  for (const Rect& r : rects) {
+    for (Coord y = r.y0; y < r.y1; ++y) {
+      for (Coord x = r.x0; x < r.x1; ++x) {
+        EXPECT_EQ(cover.at(static_cast<int>(y), static_cast<int>(x)), 0) << "overlap";
+        cover.set(static_cast<int>(y), static_cast<int>(x), 1);
+      }
+    }
+  }
+  EXPECT_EQ(cover, t);
+}
+
+TEST(ExtractTest, MultipleComponentsEachDecomposed) {
+  Topology t(5, 9);
+  t.set(0, 0, 1);
+  for (int c = 4; c < 7; ++c) t.set(2, c, 1);
+  const auto rects = grid_to_cell_rects(t.data(), 5, 9);
+  ASSERT_EQ(rects.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cp::geometry

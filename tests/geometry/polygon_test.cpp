@@ -1,0 +1,94 @@
+#include "geometry/polygon.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::geometry {
+namespace {
+
+TEST(RectTest, BasicMetrics) {
+  const Rect r{0, 0, 10, 4};
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 4);
+  EXPECT_EQ(r.area(), 40);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((Rect{5, 5, 5, 9}).empty());
+  EXPECT_TRUE((Rect{5, 5, 3, 9}).empty());
+}
+
+TEST(RectTest, ContainsHalfOpen) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{9, 9}));
+  EXPECT_FALSE(r.contains(Point{10, 5}));
+  EXPECT_FALSE(r.contains(Point{5, 10}));
+}
+
+TEST(RectTest, Intersects) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.intersects(Rect{5, 5, 15, 15}));
+  EXPECT_FALSE(a.intersects(Rect{10, 0, 20, 10}));  // edge touch is not overlap
+  EXPECT_FALSE(a.intersects(Rect{11, 0, 20, 10}));
+}
+
+TEST(RectTest, ClippedTo) {
+  const Rect a{0, 0, 10, 10};
+  const Rect c = a.clipped_to(Rect{5, -5, 20, 5});
+  EXPECT_EQ(c, (Rect{5, 0, 10, 5}));
+  EXPECT_TRUE(a.clipped_to(Rect{20, 20, 30, 30}).empty());
+}
+
+TEST(RectTest, TouchesIncludesEdgesExcludesCorners) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.touches(Rect{10, 0, 20, 10}));   // shared edge
+  EXPECT_TRUE(a.touches(Rect{5, 5, 7, 7}));      // overlap
+  EXPECT_FALSE(a.touches(Rect{10, 10, 20, 20})); // corner point only
+  EXPECT_FALSE(a.touches(Rect{11, 0, 20, 10}));  // gap
+}
+
+TEST(BoundingBoxTest, OfSet) {
+  const Rect b = bounding_box({{0, 0, 2, 2}, {5, -3, 7, 1}});
+  EXPECT_EQ(b, (Rect{0, -3, 7, 2}));
+  EXPECT_TRUE(bounding_box({}).empty());
+}
+
+TEST(PolygonTest, AreaAndMinFeature) {
+  Polygon p;
+  p.rects = {{0, 0, 10, 4}, {0, 4, 4, 12}};  // L shape
+  EXPECT_EQ(p.area(), 40 + 32);
+  EXPECT_EQ(p.bbox(), (Rect{0, 0, 10, 12}));
+  EXPECT_EQ(p.min_feature(), 4);
+}
+
+TEST(GroupTest, GroupsTouchingRects) {
+  // Two rects abutting on an edge + one isolated.
+  const auto polys = group_into_polygons({{0, 0, 4, 4}, {4, 0, 8, 4}, {20, 20, 24, 24}});
+  ASSERT_EQ(polys.size(), 2u);
+  const std::size_t big = polys[0].rects.size() == 2 ? 0 : 1;
+  EXPECT_EQ(polys[big].rects.size(), 2u);
+  EXPECT_EQ(polys[1 - big].rects.size(), 1u);
+}
+
+TEST(GroupTest, CornerTouchDoesNotGroup) {
+  const auto polys = group_into_polygons({{0, 0, 4, 4}, {4, 4, 8, 8}});
+  EXPECT_EQ(polys.size(), 2u);
+}
+
+TEST(GroupTest, OverlappingRectsGroup) {
+  const auto polys = group_into_polygons({{0, 0, 6, 6}, {4, 4, 10, 10}});
+  EXPECT_EQ(polys.size(), 1u);
+}
+
+TEST(GroupTest, ChainGroupsTransitively) {
+  std::vector<Rect> rects;
+  for (int i = 0; i < 10; ++i) rects.push_back(Rect{i * 4, 0, i * 4 + 4, 4});
+  const auto polys = group_into_polygons(rects);
+  ASSERT_EQ(polys.size(), 1u);
+  EXPECT_EQ(polys[0].rects.size(), 10u);
+}
+
+TEST(GroupTest, EmptyInput) {
+  EXPECT_TRUE(group_into_polygons({}).empty());
+}
+
+}  // namespace
+}  // namespace cp::geometry

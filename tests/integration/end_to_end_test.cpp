@@ -1,0 +1,110 @@
+// End-to-end integration: the ChatPattern facade driven purely through its
+// natural-language front door, as a downstream user would.
+
+#include <gtest/gtest.h>
+
+#include "core/chatpattern.h"
+
+namespace cp::core {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static ChatPattern& chat() {
+    // Built once: training the backend takes a few seconds.
+    static ChatPattern* instance = [] {
+      ChatPatternConfig cfg;
+      cfg.train_clips_per_class = 48;
+      cfg.draws_per_bucket = 2;
+      cfg.seed = 9;
+      return new ChatPattern(cfg);
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(EndToEndTest, TrainingSetsAreBuilt) {
+  EXPECT_EQ(chat().training_set(0).topologies.size(), 48u);
+  EXPECT_EQ(chat().training_set(1).topologies.size(), 48u);
+  EXPECT_EQ(chat().nm_per_cell(), 16);
+}
+
+TEST_F(EndToEndTest, CustomizeSimpleRequestProducesLegalLibrary) {
+  agent::SessionReport report =
+      chat().customize("Generate 4 patterns of 128x128 in Layer-10001 style with seed 3.");
+  ASSERT_EQ(report.subtasks.size(), 1u);
+  EXPECT_EQ(report.total_requested(), 4);
+  EXPECT_EQ(report.total_produced(), 4) << report.transcript;
+
+  const PatternLibrary lib = chat().library_of(report.subtasks[0]);
+  ASSERT_EQ(lib.size(), 4u);
+  const auto legality = lib.legality(chat().legalizer(0).rules());
+  EXPECT_EQ(legality.legal, 4);
+  EXPECT_EQ(lib.style(), "Layer-10001");
+}
+
+TEST_F(EndToEndTest, TranscriptShowsRequirementListAndPlan) {
+  agent::SessionReport report =
+      chat().customize("Generate 2 patterns of 128x128 in Layer-10003 style with seed 5.");
+  EXPECT_NE(report.transcript.find("# Requirement - subtask 1"), std::string::npos);
+  EXPECT_NE(report.transcript.find("Task Plan:"), std::string::npos);
+  EXPECT_NE(report.transcript.find("Thought: "), std::string::npos);
+  EXPECT_NE(report.transcript.find("Style: Layer-10003"), std::string::npos);
+}
+
+TEST_F(EndToEndTest, MultiSubtaskRequest) {
+  agent::SessionReport report = chat().customize(
+      "Generate 2 patterns of 128x128 in Layer-10001 style with seed 7. "
+      "Then generate 2 patterns of 128x128 in Layer-10003 style with seed 8.");
+  ASSERT_EQ(report.subtasks.size(), 2u);
+  EXPECT_EQ(report.total_produced(), 4) << report.transcript;
+  EXPECT_EQ(report.subtasks[0].requirement.style, "Layer-10001");
+  EXPECT_EQ(report.subtasks[1].requirement.style, "Layer-10003");
+}
+
+TEST_F(EndToEndTest, FreeSizeRequestUsesExtension) {
+  agent::SessionReport report =
+      chat().customize("Generate 1 pattern of 256x256 in Layer-10003 style with seed 4.");
+  ASSERT_EQ(report.subtasks.size(), 1u);
+  EXPECT_EQ(report.total_produced(), 1) << report.transcript;
+  EXPECT_NE(report.transcript.find("Topology_Extension"), std::string::npos);
+  const PatternLibrary lib = chat().library_of(report.subtasks[0]);
+  ASSERT_EQ(lib.size(), 1u);
+  EXPECT_EQ(lib.at(0).topology.rows(), 256);
+  EXPECT_EQ(lib.at(0).width_nm(), 256 * 16);
+  EXPECT_EQ(lib.legality(chat().legalizer(1).rules()).legal, 1);
+}
+
+TEST_F(EndToEndTest, InvalidRequirementRejectedGracefully) {
+  agent::SessionReport report = chat().customize("Generate 3 patterns in Layer-31337 style.");
+  // Unknown style: either no subtask parsed or the subtask is rejected.
+  EXPECT_EQ(report.total_produced(), 0);
+}
+
+TEST_F(EndToEndTest, EmptyRequestNoWork) {
+  agent::SessionReport report = chat().customize("What a nice day.");
+  EXPECT_TRUE(report.subtasks.empty());
+  EXPECT_NE(report.transcript.find("No actionable sub-task"), std::string::npos);
+}
+
+TEST_F(EndToEndTest, LibraryExport) {
+  agent::SessionReport report =
+      chat().customize("Generate 2 patterns of 128x128 in Layer-10001 style with seed 12.");
+  ASSERT_EQ(report.subtasks.size(), 1u);
+  const PatternLibrary lib = chat().library_of(report.subtasks[0]);
+  const std::string dir = ::testing::TempDir() + "/cp_export_test";
+  const int files = lib.export_pbm(dir);
+  EXPECT_EQ(files, static_cast<int>(lib.size()) + 1);  // patterns + manifest
+}
+
+TEST_F(EndToEndTest, DiversityAcrossSamplesNonZero) {
+  agent::SessionReport report =
+      chat().customize("Generate 8 patterns of 128x128 in Layer-10001 style with seed 21.");
+  ASSERT_EQ(report.subtasks.size(), 1u);
+  const PatternLibrary lib = chat().library_of(report.subtasks[0]);
+  ASSERT_GE(lib.size(), 6u);
+  EXPECT_GT(lib.diversity(), 0.5) << "samples must not all share one complexity";
+}
+
+}  // namespace
+}  // namespace cp::core

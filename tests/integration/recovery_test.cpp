@@ -1,0 +1,144 @@
+// Integration tests for the agent's failure-recovery behaviour — the
+// "Unseen Mistake-processing" capability of Section 4.2: legalization
+// failures are fed back, the agent repairs the reported region in place and
+// retries, dropping only as a last resort.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "agent/chat_session.h"
+#include "tests/agent/agent_fixture.h"
+
+namespace cp::agent {
+namespace {
+
+using testing::AgentFixture;
+
+class RecoveryTest : public AgentFixture {};
+
+TEST_F(RecoveryTest, SessionRecoveryTranscriptMatchesPaperShape) {
+  // A physically tight budget forces legalization failures; the session
+  // transcript must show the Thought -> Action: Topology_Modification ->
+  // Action Input with the failing region, exactly the paper's example shape.
+  ExperienceStore exp;
+  ChatSession session(&tools_,
+                      std::make_unique<ScriptedBrain>(ScriptedBrain::Policy{0, 3, true}),
+                      &store_, &exp, kWindow);
+  // Budget below the requirement of any stripe sample, above the pitch
+  // floor, so every legalization attempt fails and recovery is exercised.
+  SessionReport report = session.handle(
+      "Generate 2 patterns of 32x32 with physical size 40x40 nm in Layer-10001 style "
+      "with seed 9.");
+  ASSERT_EQ(report.subtasks.size(), 1u);
+  const std::string& t = report.transcript;
+  EXPECT_NE(t.find("Action: Topology_Modification"), std::string::npos) << t;
+  EXPECT_NE(t.find("\"upper\""), std::string::npos);
+  EXPECT_NE(t.find("\"style\""), std::string::npos);
+  EXPECT_GT(report.subtasks[0].execution.stats.legalization_failures, 0);
+}
+
+TEST_F(RecoveryTest, ModificationTargetsReportedRegion) {
+  // Drive the loop manually to verify the repair uses the observed region.
+  // A stored stripe topology has deterministic interior constraints, so the
+  // 40 nm budget is guaranteed to fail with a localized region.
+  ScriptedBrain brain(ScriptedBrain::Policy{0, 2, true});
+  const std::string stored_id = store_.put_topology(testing::stripes(kWindow, 6));
+
+  util::Json legalize_args;
+  legalize_args["topology_id"] = stored_id;
+  legalize_args["width_nm"] = 40;  // below any structured requirement, above pitch
+  legalize_args["height_nm"] = 4000;
+  legalize_args["style"] = "Layer-10001";
+  const ToolResult failed = tools_.call("topology_legalization", legalize_args);
+  ASSERT_FALSE(failed.ok);
+
+  AgentContext ctx;
+  ctx.requirement.topo_rows = kWindow;
+  ctx.requirement.topo_cols = kWindow;
+  ctx.requirement.style = "Layer-10001";
+  ctx.window = kWindow;
+  ctx.current_topology_id = stored_id;
+  ctx.legalization_failures = 1;
+  ctx.last_error_log = failed.payload.get_string("log", "");
+  ctx.last_error_region = failed.payload.at("region");
+  const AgentAction act = brain.decide(ctx);
+  ASSERT_EQ(act.action, "topology_modification");
+  EXPECT_EQ(act.input.get_int("upper", -1), failed.payload.at("region").get_int("upper", -2));
+  EXPECT_EQ(act.input.get_int("right", -1), failed.payload.at("region").get_int("right", -2));
+
+  // The modification tool must accept exactly these arguments.
+  const ToolResult repaired = tools_.call(act.action, act.input);
+  EXPECT_TRUE(repaired.ok) << repaired.payload.dump();
+}
+
+TEST_F(RecoveryTest, ModificationRepairsInjectedDefect) {
+  // The paper's core recovery claim: a topology that fails legalization
+  // because of one pathological region can be fixed by re-generating just
+  // that region (instead of discarding the whole pattern). Build a clean
+  // period-4 stripe pattern (requirement ~ 500 nm under the 30/30 rules),
+  // inject a checkerboard blob whose alternating runs push the x-chain past
+  // the budget, and verify the agent's repair pipeline restores legality.
+  squish::Topology t = testing::stripes(kWindow, 4);
+  for (int r = 0; r < kWindow; ++r) {
+    for (int c = 8; c < 24; ++c) t.set(r, c, c % 2);
+  }
+  const geometry::Coord budget = 460;
+  const std::string id = store_.put_topology(t);
+
+  util::Json legalize_args;
+  legalize_args["topology_id"] = id;
+  legalize_args["width_nm"] = static_cast<long long>(budget);
+  legalize_args["height_nm"] = static_cast<long long>(budget);
+  legalize_args["style"] = "Layer-10001";
+  const ToolResult failed = tools_.call("topology_legalization", legalize_args);
+  ASSERT_FALSE(failed.ok) << "the checkerboard must overflow the budget";
+  const util::Json& region = failed.payload.at("region");
+  // The reported region must overlap the injected defect columns.
+  EXPECT_LT(region.get_int("left", 99), 24);
+  EXPECT_GT(region.get_int("right", -1), 8);
+
+  // Repair the reported region with the model, retrying seeds as the agent
+  // would; the repaired pattern must legalize within a few attempts.
+  bool fixed = false;
+  std::string current = id;
+  for (int attempt = 0; attempt < 6 && !fixed; ++attempt) {
+    util::Json mod;
+    mod["topology_id"] = current;
+    mod["upper"] = region.get_int("upper", 0);
+    mod["left"] = region.get_int("left", 0);
+    mod["bottom"] = region.get_int("bottom", kWindow);
+    mod["right"] = region.get_int("right", kWindow);
+    mod["style"] = "Layer-10001";
+    mod["seed"] = 42 + attempt;
+    mod["steps"] = 8;
+    const ToolResult repaired = tools_.call("topology_modification", mod);
+    ASSERT_TRUE(repaired.ok) << repaired.payload.dump();
+    current = repaired.payload.get_string("topology_id", "");
+    util::Json again = legalize_args;
+    again["topology_id"] = current;
+    fixed = tools_.call("topology_legalization", again).ok;
+  }
+  EXPECT_TRUE(fixed) << "in-painting the failed region must restore legality";
+}
+
+TEST_F(RecoveryTest, SessionAccumulatesExperience) {
+  ExperienceStore exp;
+  ChatSession session(&tools_, std::make_unique<ScriptedBrain>(), &store_, &exp, kWindow);
+  SessionReport report = session.handle(
+      "Generate 2 patterns of 64x64 with physical size 8000x8000 nm in Layer-10001 style "
+      "with seed 13.");
+  ASSERT_EQ(report.subtasks.size(), 1u);
+  ASSERT_GT(report.total_produced(), 0) << report.transcript;
+  EXPECT_GT(exp.entry("Out", "Layer-10001", 64).attempts, 0)
+      << "extension outcomes must be recorded";
+}
+
+TEST_F(RecoveryTest, DocumentsAvailableToSession) {
+  ExperienceStore exp;
+  ChatSession session(&tools_, std::make_unique<ScriptedBrain>(), &store_, &exp, kWindow);
+  EXPECT_TRUE(session.documents().has("pipeline"));
+}
+
+}  // namespace
+}  // namespace cp::agent

@@ -1,0 +1,148 @@
+#include "legalize/diffconstraint.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cp::legalize {
+namespace {
+
+Coord interval_sum(const std::vector<Coord>& deltas, int b, int e) {
+  Coord s = 0;
+  for (int i = b; i < e; ++i) s += deltas[static_cast<std::size_t>(i)];
+  return s;
+}
+
+TEST(DiffConstraintTest, UnconstrainedSolvesToTotal) {
+  DiffConstraintSystem sys(4);
+  const SolveResult res = sys.solve(100, 1);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(interval_sum(*res.deltas, 0, 4), 100);
+  for (Coord d : *res.deltas) EXPECT_GE(d, 1);
+}
+
+TEST(DiffConstraintTest, SlackIsBalanced) {
+  DiffConstraintSystem sys(10);
+  const SolveResult res = sys.solve(1000, 1);
+  ASSERT_TRUE(res.ok());
+  for (Coord d : *res.deltas) EXPECT_NEAR(static_cast<double>(d), 100.0, 1.0);
+}
+
+TEST(DiffConstraintTest, SatisfiesIntervalBounds) {
+  DiffConstraintSystem sys(6);
+  sys.add(0, 2, 50);
+  sys.add(2, 4, 80);
+  sys.add(1, 5, 120);
+  const SolveResult res = sys.solve(300, 1);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GE(interval_sum(*res.deltas, 0, 2), 50);
+  EXPECT_GE(interval_sum(*res.deltas, 2, 4), 80);
+  EXPECT_GE(interval_sum(*res.deltas, 1, 5), 120);
+  EXPECT_EQ(interval_sum(*res.deltas, 0, 6), 300);
+}
+
+TEST(DiffConstraintTest, TightChainExactlyFeasible) {
+  DiffConstraintSystem sys(4);
+  sys.add(0, 1, 25);
+  sys.add(1, 2, 25);
+  sys.add(2, 3, 25);
+  sys.add(3, 4, 25);
+  const SolveResult res = sys.solve(100, 1);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ((*res.deltas)[0], 25);
+  EXPECT_EQ((*res.deltas)[3], 25);
+}
+
+TEST(DiffConstraintTest, InfeasibleReportsCriticalInterval) {
+  DiffConstraintSystem sys(4);
+  sys.add(1, 3, 500);
+  const SolveResult res = sys.solve(100, 1);
+  ASSERT_FALSE(res.ok());
+  const SolveFailure& f = *res.failure;
+  EXPECT_GE(f.required_nm, 500);
+  EXPECT_EQ(f.available_nm, 100);
+  EXPECT_EQ(f.begin, 1) << "region should start at the violated constraint";
+  EXPECT_EQ(f.end, 3) << "region should end at the violated constraint";
+}
+
+TEST(DiffConstraintTest, PitchAloneCanBeInfeasible) {
+  DiffConstraintSystem sys(10);
+  const SolveResult res = sys.solve(5, 1);  // 10 intervals of >= 1 need >= 10
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.failure->required_nm, 10);
+}
+
+TEST(DiffConstraintTest, DuplicateConstraintsKeepStrongest) {
+  DiffConstraintSystem sys(2);
+  sys.add(0, 2, 10);
+  sys.add(0, 2, 90);
+  sys.add(0, 2, 40);
+  const SolveResult res = sys.solve(100, 1);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(sys.minimum_total(1), 90);
+}
+
+TEST(DiffConstraintTest, MinimumTotalMatchesChain) {
+  DiffConstraintSystem sys(6);
+  sys.add(0, 2, 50);  // chain: [0,2) then [2,5) then [5,6) pitch
+  sys.add(2, 5, 70);
+  EXPECT_EQ(sys.minimum_total(1), 50 + 70 + 1);
+}
+
+TEST(DiffConstraintTest, OverlappingConstraintsNotAdditive) {
+  DiffConstraintSystem sys(4);
+  sys.add(0, 3, 60);
+  sys.add(1, 4, 60);  // overlaps; longest path takes pitch + max structure
+  const Coord need = sys.minimum_total(1);
+  // Chain 0->1 (pitch 1) -> [1,4) 60 = 61, or [0,3) 60 -> 3->4 pitch = 61.
+  EXPECT_EQ(need, 61);
+}
+
+TEST(DiffConstraintTest, ZeroIntervalsEdgeCases) {
+  DiffConstraintSystem sys(0);
+  EXPECT_TRUE(sys.solve(0, 1).ok());
+  EXPECT_FALSE(sys.solve(10, 1).ok());
+}
+
+TEST(DiffConstraintTest, BadIntervalThrows) {
+  DiffConstraintSystem sys(4);
+  EXPECT_THROW(sys.add(2, 2, 10), std::invalid_argument);
+  EXPECT_THROW(sys.add(-1, 2, 10), std::invalid_argument);
+  EXPECT_THROW(sys.add(0, 5, 10), std::invalid_argument);
+}
+
+TEST(DiffConstraintTest, RandomizedFeasibilityOracle) {
+  // Property: solve() succeeds iff total >= minimum_total, and when it
+  // succeeds every constraint holds and the deltas sum exactly to total.
+  util::Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = rng.uniform_int(3, 12);
+    DiffConstraintSystem sys(n);
+    const int m = rng.uniform_int(0, 10);
+    std::vector<IntervalConstraint> cons;
+    for (int i = 0; i < m; ++i) {
+      const int b = rng.uniform_int(0, n - 1);
+      const int e = rng.uniform_int(b + 1, n);
+      const Coord bound = rng.uniform_int(1, 120);
+      sys.add(b, e, bound);
+      cons.push_back(IntervalConstraint{b, e, bound});
+    }
+    const Coord need = sys.minimum_total(2);
+    for (const Coord total : {need - 1, need, need + 37}) {
+      const SolveResult res = sys.solve(total, 2);
+      if (total < need) {
+        EXPECT_FALSE(res.ok());
+        continue;
+      }
+      ASSERT_TRUE(res.ok()) << "total=" << total << " need=" << need;
+      EXPECT_EQ(interval_sum(*res.deltas, 0, n), total);
+      for (Coord d : *res.deltas) EXPECT_GE(d, 2);
+      for (const auto& c : cons) {
+        EXPECT_GE(interval_sum(*res.deltas, c.begin, c.end), c.min_length_nm);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cp::legalize

@@ -1,0 +1,145 @@
+#include "legalize/legalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/builder.h"
+#include "util/rng.h"
+
+namespace cp::legalize {
+namespace {
+
+using squish::Topology;
+
+drc::DesignRules test_rules() {
+  drc::DesignRules r;
+  r.min_space_nm = 40;
+  r.min_width_nm = 40;
+  r.min_area_nm2 = 1600;
+  r.pitch_nm = 1;
+  return r;
+}
+
+Topology stripes(int rows, int cols, int period) {
+  Topology t(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) t.set(r, c, (c / period) % 2);
+  }
+  return t;
+}
+
+TEST(LegalizerTest, LegalizesSimpleStripes) {
+  const Legalizer legalizer(test_rules());
+  const LegalizeResult res = legalizer.legalize(stripes(8, 8, 2), 800, 800);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(drc::check(*res.pattern, legalizer.rules()).clean());
+  EXPECT_EQ(res.pattern->width_nm(), 800);
+  EXPECT_EQ(res.pattern->height_nm(), 800);
+}
+
+TEST(LegalizerTest, ResultIsDrcCleanAcrossShapes) {
+  const Legalizer legalizer(test_rules());
+  util::Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    // Random block pattern on an 8x8 coarse grid, upsampled: legal-izable
+    // structures with moderate complexity.
+    Topology coarse(8, 8);
+    for (int r = 1; r < 7; ++r) {
+      for (int c = 1; c < 7; ++c) coarse.set(r, c, rng.bernoulli(0.3));
+    }
+    const Topology t = squish::upsample_nearest(coarse, 2);
+    const LegalizeResult res = legalizer.legalize(t, 2000, 2000);
+    ASSERT_TRUE(res.ok()) << res.failure->message;
+    EXPECT_TRUE(drc::check(*res.pattern, legalizer.rules()).clean());
+  }
+}
+
+TEST(LegalizerTest, InfeasibleBudgetFails) {
+  const Legalizer legalizer(test_rules());
+  // 4 interior stripes + spaces need ~ 8*40; budget 200 is impossible.
+  const LegalizeResult res = legalizer.legalize(stripes(8, 16, 2), 200, 200);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.failure->axis, 'x');
+  EXPECT_GT(res.failure->required_nm, 200);
+  EXPECT_FALSE(res.failure->message.empty());
+}
+
+TEST(LegalizerTest, FailureRegionIsMeaningful) {
+  const Legalizer legalizer(test_rules());
+  const LegalizeResult res = legalizer.legalize(stripes(8, 16, 2), 200, 2000);
+  ASSERT_FALSE(res.ok());
+  EXPECT_LE(res.failure->col0, res.failure->col1);
+  EXPECT_GE(res.failure->col1 - res.failure->col0, 1);
+}
+
+TEST(LegalizerTest, EmptyTopologyFails) {
+  const Legalizer legalizer(test_rules());
+  EXPECT_FALSE(legalizer.legalize(Topology(), 100, 100).ok());
+}
+
+TEST(LegalizerTest, AllEmptyCellsLegalizes) {
+  const Legalizer legalizer(test_rules());
+  const LegalizeResult res = legalizer.legalize(Topology(4, 4), 400, 400);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(drc::check(*res.pattern, legalizer.rules()).clean());
+}
+
+TEST(LegalizerTest, AreaRepairGrowsSmallShapes) {
+  // One interior 1-cell shape; width constraints force >= 40x40 = 1600,
+  // and a stricter area rule forces the repair loop to stretch further.
+  drc::DesignRules r = test_rules();
+  r.min_area_nm2 = 3200;
+  const Legalizer legalizer(r);
+  Topology t(3, 3);
+  t.set(1, 1, 1);
+  const LegalizeResult res = legalizer.legalize(t, 1000, 1000);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(drc::check(*res.pattern, r).clean());
+  // The shape cell area must now meet the rule.
+  EXPECT_GE(res.pattern->dx[1] * res.pattern->dy[1], 3200);
+}
+
+TEST(LegalizerTest, RequiredDiagnosticsMatchSolvability) {
+  const Legalizer legalizer(test_rules());
+  const Topology t = stripes(8, 16, 2);
+  const geometry::Coord need_w = legalizer.required_width_nm(t);
+  const geometry::Coord need_h = legalizer.required_height_nm(t);
+  EXPECT_TRUE(legalizer.legalize(t, need_w, std::max<geometry::Coord>(need_h, 16)).ok());
+  EXPECT_FALSE(legalizer.legalize(t, need_w - 1, std::max<geometry::Coord>(need_h, 16)).ok());
+}
+
+TEST(LegalizerTest, RealDatasetClipsLegalize) {
+  // End-to-end: clips produced by the dataset builder must legalize at their
+  // native physical size under their own style rules.
+  for (int style = 0; style < 2; ++style) {
+    dataset::DatasetConfig dc;
+    dc.style = style;
+    dc.count = 12;
+    dc.seed = 77 + style;
+    const dataset::Dataset ds = dataset::build_dataset(dc);
+    const Legalizer legalizer(drc::rules_for_style(dataset::style_name(style)));
+    for (const Topology& t : ds.topologies) {
+      const LegalizeResult res = legalizer.legalize(t, dc.window_nm, dc.window_nm);
+      ASSERT_TRUE(res.ok()) << "style " << style << ": " << res.failure->message;
+      EXPECT_TRUE(drc::check(*res.pattern, legalizer.rules()).clean());
+    }
+  }
+}
+
+class LegalizerBudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LegalizerBudgetSweep, MonotoneInBudget) {
+  // Property: if a budget W legalizes, every larger budget must too.
+  const Legalizer legalizer(test_rules());
+  const Topology t = stripes(6, GetParam(), 2);
+  const geometry::Coord need = legalizer.required_width_nm(t);
+  const geometry::Coord h = std::max<geometry::Coord>(legalizer.required_height_nm(t), 6);
+  EXPECT_FALSE(legalizer.legalize(t, need - 1, h).ok());
+  for (geometry::Coord w : {need, need + 100, need * 2}) {
+    EXPECT_TRUE(legalizer.legalize(t, w, h).ok()) << "w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LegalizerBudgetSweep, ::testing::Values(4, 8, 12, 20));
+
+}  // namespace
+}  // namespace cp::legalize

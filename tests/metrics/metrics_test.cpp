@@ -1,0 +1,104 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cp::metrics {
+namespace {
+
+using squish::SquishPattern;
+using squish::Topology;
+
+Topology with_complexity(int cx, int cy) {
+  // cx vertical stripe groups, cy horizontal groups on a 64x64 canvas.
+  Topology t(64, 64);
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < 64; ++c) {
+      t.set(r, c, ((c * cx / 64) + (r * cy / 64)) % 2);
+    }
+  }
+  return t;
+}
+
+TEST(DiversityTest, EmptyLibraryZero) {
+  EXPECT_DOUBLE_EQ(diversity({}), 0.0);
+}
+
+TEST(DiversityTest, IdenticalPatternsZero) {
+  std::vector<Topology> lib(10, with_complexity(4, 4));
+  EXPECT_DOUBLE_EQ(diversity(lib), 0.0);
+}
+
+TEST(DiversityTest, UniformOverNBinsIsLog2N) {
+  std::vector<Topology> lib;
+  for (int i = 1; i <= 8; ++i) lib.push_back(with_complexity(2 * i, 4));
+  // All 8 complexities distinct and equally frequent -> H = 3 bits.
+  EXPECT_NEAR(diversity(lib), 3.0, 1e-9);
+}
+
+TEST(DiversityTest, SkewedDistributionLowerThanUniform) {
+  std::vector<Topology> uniform, skewed;
+  for (int i = 0; i < 8; ++i) {
+    uniform.push_back(with_complexity(2 + 2 * (i % 4), 4));
+    skewed.push_back(with_complexity(i < 6 ? 2 : 2 + 2 * (i % 4), 4));
+  }
+  EXPECT_GT(diversity(uniform), diversity(skewed));
+}
+
+TEST(DiversityTest, HistogramCountsComplexities) {
+  std::vector<Topology> lib{with_complexity(4, 4), with_complexity(4, 4),
+                            with_complexity(8, 4)};
+  const auto hist = complexity_histogram(lib);
+  EXPECT_EQ(hist.size(), 2u);
+  int total = 0;
+  for (const auto& [key, count] : hist) total += count;
+  EXPECT_EQ(total, 3);
+}
+
+SquishPattern legal_pattern() {
+  SquishPattern p;
+  p.topology = Topology(3, 3);
+  p.topology.set(1, 1, 1);
+  p.dx = {100, 80, 100};
+  p.dy = {100, 80, 100};
+  return p;
+}
+
+SquishPattern illegal_pattern() {
+  SquishPattern p = legal_pattern();
+  p.dx[1] = 10;  // width violation
+  return p;
+}
+
+drc::DesignRules rules() {
+  drc::DesignRules r;
+  r.min_space_nm = 40;
+  r.min_width_nm = 40;
+  r.min_area_nm2 = 1600;
+  return r;
+}
+
+TEST(LegalityTest, CountsLegalFraction) {
+  const LegalityResult res = legality({legal_pattern(), illegal_pattern(), legal_pattern()},
+                                      rules());
+  EXPECT_EQ(res.total, 3);
+  EXPECT_EQ(res.legal, 2);
+  EXPECT_NEAR(res.ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(LegalityTest, EmptyLibrary) {
+  const LegalityResult res = legality({}, rules());
+  EXPECT_EQ(res.total, 0);
+  EXPECT_DOUBLE_EQ(res.ratio(), 0.0);
+}
+
+TEST(LegalityTest, DiversityOfLegalIgnoresIllegal) {
+  // One legal pattern plus many illegal with different complexity: the
+  // diversity over legal patterns must be 0 (single bin).
+  std::vector<SquishPattern> lib{legal_pattern(), illegal_pattern(), illegal_pattern()};
+  EXPECT_DOUBLE_EQ(diversity_of_legal(lib, rules()), 0.0);
+}
+
+}  // namespace
+}  // namespace cp::metrics

@@ -1,0 +1,89 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cp::nn {
+namespace {
+
+TEST(SerializeTest, TensorRoundTrip) {
+  util::Rng rng(1);
+  const Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const Tensor back = read_tensor(ss);
+  ASSERT_TRUE(back.same_shape(t));
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(back[i], t[i]);
+}
+
+TEST(SerializeTest, ParamsRoundTrip) {
+  util::Rng rng(2);
+  Param a, b;
+  a.value = Tensor::randn({4, 4}, rng);
+  b.value = Tensor::randn({4}, rng);
+  std::stringstream ss;
+  save_params(ss, {&a, &b});
+
+  Param a2, b2;
+  a2.value = Tensor({4, 4});
+  b2.value = Tensor({4});
+  load_params(ss, {&a2, &b2});
+  for (std::size_t i = 0; i < a.value.numel(); ++i) EXPECT_FLOAT_EQ(a2.value[i], a.value[i]);
+  for (std::size_t i = 0; i < b.value.numel(); ++i) EXPECT_FLOAT_EQ(b2.value[i], b.value[i]);
+}
+
+TEST(SerializeTest, BadMagicThrows) {
+  std::stringstream ss("garbage data here");
+  Param p;
+  p.value = Tensor({1});
+  EXPECT_THROW(load_params(ss, {&p}), std::runtime_error);
+}
+
+TEST(SerializeTest, ShapeMismatchThrows) {
+  util::Rng rng(3);
+  Param a;
+  a.value = Tensor::randn({2, 2}, rng);
+  std::stringstream ss;
+  save_params(ss, {&a});
+  Param wrong;
+  wrong.value = Tensor({3, 3});
+  EXPECT_THROW(load_params(ss, {&wrong}), std::runtime_error);
+}
+
+TEST(SerializeTest, CountMismatchThrows) {
+  Param a;
+  a.value = Tensor({1});
+  std::stringstream ss;
+  save_params(ss, {&a});
+  Param b, c;
+  b.value = Tensor({1});
+  c.value = Tensor({1});
+  EXPECT_THROW(load_params(ss, {&b, &c}), std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedDataThrows) {
+  util::Rng rng(4);
+  const Tensor t = Tensor::randn({8, 8}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_tensor(truncated), std::runtime_error);
+}
+
+TEST(SerializeTest, FileHelpers) {
+  util::Rng rng(5);
+  Param p;
+  p.value = Tensor::randn({6}, rng);
+  const std::string path = ::testing::TempDir() + "/cp_params_test.bin";
+  save_params_file(path, {&p});
+  Param q;
+  q.value = Tensor({6});
+  ASSERT_TRUE(load_params_file(path, {&q}));
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(q.value[i], p.value[i]);
+  EXPECT_FALSE(load_params_file(path + ".does-not-exist", {&q}));
+}
+
+}  // namespace
+}  // namespace cp::nn

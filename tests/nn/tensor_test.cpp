@@ -1,0 +1,82 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::nn {
+namespace {
+
+TEST(TensorTest, ShapeAndFill) {
+  Tensor t({2, 3}, 1.5f);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_FLOAT_EQ(t[5], 1.5f);
+  t.fill(0.0f);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t.shape_string(), "[2,3]");
+}
+
+TEST(TensorTest, At2D) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(t[5], 7.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(TensorTest, At4D) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_FLOAT_EQ(t[t.numel() - 1], 9.0f);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  util::Rng rng(1);
+  Tensor t = Tensor::randn({100, 100}, rng, 2.0f);
+  double sum = 0, sq = 0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  EXPECT_NEAR(sum / t.numel(), 0.0, 0.05);
+  EXPECT_NEAR(sq / t.numel(), 4.0, 0.2);
+}
+
+TEST(TensorTest, AddScaled) {
+  Tensor a({2, 2}, 1.0f);
+  Tensor b({2, 2}, 3.0f);
+  a.add_scaled(b, 2.0f);
+  EXPECT_FLOAT_EQ(a[0], 7.0f);
+  Tensor c({3});
+  EXPECT_THROW(a.add_scaled(c, 1.0f), std::invalid_argument);
+}
+
+TEST(TensorTest, NegativeDimThrows) {
+  EXPECT_THROW(Tensor({-1, 3}), std::invalid_argument);
+}
+
+TEST(TensorTest, LinearForwardMatchesManual) {
+  // y = x W^T + b with known numbers.
+  Tensor x({1, 2});
+  x[0] = 1.0f;
+  x[1] = 2.0f;
+  Tensor w({2, 2});  // out=2, in=2
+  w[0] = 1.0f;  // w[0][0]
+  w[1] = 0.5f;  // w[0][1]
+  w[2] = -1.0f; // w[1][0]
+  w[3] = 2.0f;  // w[1][1]
+  Tensor b({2});
+  b[0] = 0.25f;
+  b[1] = -0.5f;
+  const Tensor y = linear_forward(x, w, b);
+  EXPECT_FLOAT_EQ(y[0], 1.0f * 1.0f + 2.0f * 0.5f + 0.25f);
+  EXPECT_FLOAT_EQ(y[1], 1.0f * -1.0f + 2.0f * 2.0f - 0.5f);
+}
+
+TEST(TensorTest, LinearForwardShapeChecks) {
+  Tensor x({1, 3});
+  Tensor w({2, 2});
+  Tensor b({2});
+  EXPECT_THROW(linear_forward(x, w, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cp::nn

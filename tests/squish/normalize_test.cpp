@@ -1,0 +1,125 @@
+#include "squish/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cp::squish {
+namespace {
+
+using geometry::Rect;
+
+SquishPattern sample_pattern() {
+  return squish({{20, 30, 60, 70}, {100, 30, 140, 130}}, Rect{0, 0, 200, 150});
+}
+
+TEST(NormalizeTest, MergeInvertsPadding) {
+  const SquishPattern original = sample_pattern();
+  const auto padded = normalize_to(original, 16);
+  ASSERT_TRUE(padded.has_value());
+  const SquishPattern merged = merge_redundant_lines(*padded);
+  EXPECT_EQ(merged.topology, original.topology);
+  EXPECT_EQ(merged.dx, original.dx);
+  EXPECT_EQ(merged.dy, original.dy);
+}
+
+TEST(NormalizeTest, PadsToExactSize) {
+  const auto p = normalize_to(sample_pattern(), 32);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->topology.rows(), 32);
+  EXPECT_EQ(p->topology.cols(), 32);
+  EXPECT_TRUE(p->well_formed());
+}
+
+TEST(NormalizeTest, PreservesPhysicalExtent) {
+  const SquishPattern original = sample_pattern();
+  const auto p = normalize_to(original, 24);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->width_nm(), original.width_nm());
+  EXPECT_EQ(p->height_nm(), original.height_nm());
+}
+
+TEST(NormalizeTest, PreservesGeometryExactly) {
+  const SquishPattern original = sample_pattern();
+  const auto p = normalize_to(original, 40);
+  ASSERT_TRUE(p.has_value());
+  // The physical rects must be identical after normalisation.
+  auto canon = [](std::vector<Rect> v) {
+    std::sort(v.begin(), v.end(), [](const Rect& a, const Rect& b) {
+      return std::tie(a.y0, a.x0) < std::tie(b.y0, b.x0);
+    });
+    return v;
+  };
+  EXPECT_EQ(canon(unsquish(*p)), canon(unsquish(original)));
+}
+
+TEST(NormalizeTest, RejectsTooComplexPattern) {
+  // 20 distinct stripes -> minimal form is 40+ columns; target 16 fails.
+  std::vector<Rect> rects;
+  for (int i = 0; i < 20; ++i) rects.push_back(Rect{i * 100, 0, i * 100 + 40, 1000});
+  const SquishPattern p = squish(rects, Rect{0, 0, 2000, 1000});
+  EXPECT_FALSE(normalize_to(p, 16).has_value());
+  EXPECT_TRUE(normalize_to(p, 64).has_value());
+}
+
+TEST(NormalizeTest, ComplexityInvariantUnderNormalization) {
+  const SquishPattern original = sample_pattern();
+  const auto [cx0, cy0] = original.topology.complexity();
+  const auto p = normalize_to(original, 32);
+  ASSERT_TRUE(p.has_value());
+  const auto [cx1, cy1] = p->topology.complexity();
+  EXPECT_EQ(cx0, cx1);
+  EXPECT_EQ(cy0, cy1);
+}
+
+TEST(NormalizeTest, MergeIsIdempotent) {
+  const SquishPattern merged = merge_redundant_lines(sample_pattern());
+  const SquishPattern again = merge_redundant_lines(merged);
+  EXPECT_EQ(again.topology, merged.topology);
+  EXPECT_EQ(again.dx, merged.dx);
+  EXPECT_EQ(again.dy, merged.dy);
+}
+
+TEST(NormalizeTest, PadTopologyToBareGrid) {
+  Topology t(3, 5);
+  t.set(1, 2, 1);
+  const auto padded = pad_topology_to(t, 10);
+  ASSERT_TRUE(padded.has_value());
+  EXPECT_EQ(padded->rows(), 10);
+  EXPECT_EQ(padded->cols(), 10);
+  // Dedup recovers the original structure.
+  EXPECT_EQ(padded->deduplicated(), t.deduplicated());
+}
+
+TEST(NormalizeTest, PadTopologyRejectsOversize) {
+  Topology t(20, 20);
+  EXPECT_FALSE(pad_topology_to(t, 10).has_value());
+}
+
+class NormalizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizeSweep, RandomPatternsRoundTrip) {
+  const int target = GetParam();
+  util::Rng rng(target);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Rect> rects;
+    for (int i = 0; i < 5; ++i) {
+      const geometry::Coord x = rng.uniform_int(0, 6) * 120;
+      const geometry::Coord y = rng.uniform_int(0, 6) * 120;
+      rects.push_back(Rect{x, y, x + 80, y + 80});
+    }
+    const SquishPattern p = squish(rects, Rect{0, 0, 840, 840});
+    const auto normalized = normalize_to(p, target);
+    ASSERT_TRUE(normalized.has_value());
+    EXPECT_EQ(normalized->topology.rows(), target);
+    EXPECT_EQ(normalized->topology.cols(), target);
+    EXPECT_EQ(normalized->width_nm(), p.width_nm());
+    const SquishPattern merged = merge_redundant_lines(*normalized);
+    EXPECT_EQ(merged.topology, merge_redundant_lines(p).topology);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NormalizeSweep, ::testing::Values(16, 24, 32, 64, 128));
+
+}  // namespace
+}  // namespace cp::squish

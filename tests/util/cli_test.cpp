@@ -1,0 +1,61 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cp::util {
+namespace {
+
+CliFlags make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return CliFlags(static_cast<int>(args.size()),
+                  const_cast<char**>(const_cast<const char**>(args.data())));
+}
+
+TEST(CliTest, SeparateValueForm) {
+  const CliFlags f = make({"--samples", "200", "--seed", "7"});
+  EXPECT_EQ(f.get_int("samples", 0), 200);
+  EXPECT_EQ(f.get_int("seed", 0), 7);
+}
+
+TEST(CliTest, EqualsForm) {
+  const CliFlags f = make({"--samples=300", "--name=t1"});
+  EXPECT_EQ(f.get_int("samples", 0), 300);
+  EXPECT_EQ(f.get("name", ""), "t1");
+}
+
+TEST(CliTest, BooleanSwitch) {
+  const CliFlags f = make({"--csv", "--verbose=false"});
+  EXPECT_TRUE(f.get_bool("csv", false));
+  EXPECT_FALSE(f.get_bool("verbose", true));
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(CliTest, Positional) {
+  const CliFlags f = make({"input.txt", "--k", "3", "out.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "out.txt");
+}
+
+TEST(CliTest, QuantitySuffixInInt) {
+  const CliFlags f = make({"--samples", "10k"});
+  EXPECT_EQ(f.get_int("samples", 0), 10000);
+}
+
+TEST(CliTest, DoubleFlag) {
+  const CliFlags f = make({"--ratio", "0.25"});
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0), 0.25);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+}
+
+TEST(CliTest, MissingFallbacks) {
+  const CliFlags f = make({});
+  EXPECT_FALSE(f.has("x"));
+  EXPECT_EQ(f.get("x", "fb"), "fb");
+  EXPECT_EQ(f.get_int("x", 42), 42);
+}
+
+}  // namespace
+}  // namespace cp::util

@@ -1,0 +1,100 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::util {
+namespace {
+
+TEST(JsonTest, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.5").as_number(), 3.5);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonTest, ParseNested) {
+  const Json j = Json::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  EXPECT_EQ(j.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(j.at("a").as_array()[2].at("b").as_bool());
+  EXPECT_EQ(j.at("c").as_string(), "x");
+}
+
+TEST(JsonTest, ParseEscapes) {
+  const Json j = Json::parse(R"("line\nbreak \"quoted\" A")");
+  EXPECT_EQ(j.as_string(), "line\nbreak \"quoted\" A");
+}
+
+TEST(JsonTest, RoundTripCompact) {
+  const std::string text = R"({"arr":[1,2,3],"b":false,"name":"x","nested":{"y":2}})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+TEST(JsonTest, DumpEscapesControlCharacters) {
+  Json j(std::string("a\tb\n"));
+  EXPECT_EQ(j.dump(), "\"a\\tb\\n\"");
+}
+
+TEST(JsonTest, IntegersPrintWithoutExponent) {
+  Json j(1000000LL);
+  EXPECT_EQ(j.dump(), "1000000");
+}
+
+TEST(JsonTest, ParseErrorsThrow) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]2"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse(R"({"a" 1})"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 2"), std::runtime_error);
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  const Json j = Json::parse("[1]");
+  EXPECT_THROW(j.as_object(), std::runtime_error);
+  EXPECT_THROW(j.as_string(), std::runtime_error);
+  EXPECT_THROW(j.at("missing"), std::runtime_error);
+}
+
+TEST(JsonTest, ObjectBuilderOperator) {
+  Json j;
+  j["count"] = 5;
+  j["style"] = "Layer-10001";
+  j["flag"] = true;
+  EXPECT_EQ(j.at("count").as_int(), 5);
+  EXPECT_TRUE(j.contains("style"));
+  EXPECT_FALSE(j.contains("other"));
+}
+
+TEST(JsonTest, GettersWithDefaults) {
+  Json j;
+  j["n"] = 7;
+  j["s"] = "v";
+  EXPECT_EQ(j.get_int("n", 0), 7);
+  EXPECT_EQ(j.get_int("missing", -1), -1);
+  EXPECT_EQ(j.get_string("s", "d"), "v");
+  EXPECT_EQ(j.get_string("n", "d"), "d");  // wrong type -> fallback
+  EXPECT_TRUE(j.get_bool("missing", true));
+  EXPECT_DOUBLE_EQ(j.get_number("missing", 2.5), 2.5);
+}
+
+TEST(JsonTest, MissingKeyAtThrowsWithName) {
+  Json j;
+  j["x"] = 1;
+  try {
+    j.at("region");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("region"), std::string::npos);
+  }
+}
+
+TEST(JsonTest, PrettyPrintIsReparsable) {
+  const Json j = Json::parse(R"({"a":[1,{"b":[2,3]}],"c":null})");
+  EXPECT_EQ(Json::parse(j.dump(2)), j);
+}
+
+}  // namespace
+}  // namespace cp::util

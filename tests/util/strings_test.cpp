@@ -1,0 +1,86 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace cp::util {
+namespace {
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("Layer-10001 ABC"), "layer-10001 abc");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  one \t two\nthree ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[2], "three");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("topology_generation", "topology"));
+  EXPECT_FALSE(starts_with("top", "topology"));
+  EXPECT_TRUE(ends_with("pattern.pbm", ".pbm"));
+  EXPECT_FALSE(ends_with("pbm", ".pbm"));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(replace_all("a then b then c", " then ", " . "), "a . b . c");
+  EXPECT_EQ(replace_all("aaa", "a", "aa"), "aaaaaa");
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+}
+
+TEST(StringsTest, ParseQuantityPlain) {
+  EXPECT_EQ(parse_quantity("12345").value(), 12345);
+  EXPECT_EQ(parse_quantity("0").value(), 0);
+}
+
+TEST(StringsTest, ParseQuantityThousandsSeparators) {
+  EXPECT_EQ(parse_quantity("50,000").value(), 50000);
+  EXPECT_EQ(parse_quantity("1,000,000").value(), 1000000);
+}
+
+TEST(StringsTest, ParseQuantitySuffixes) {
+  EXPECT_EQ(parse_quantity("50k").value(), 50000);
+  EXPECT_EQ(parse_quantity("50K").value(), 50000);
+  EXPECT_EQ(parse_quantity("2M").value(), 2000000);
+  EXPECT_EQ(parse_quantity("1.5m").value(), 1500000);
+}
+
+TEST(StringsTest, ParseQuantityRejectsJunk) {
+  EXPECT_FALSE(parse_quantity("abc").has_value());
+  EXPECT_FALSE(parse_quantity("").has_value());
+  EXPECT_FALSE(parse_quantity("12x7").has_value());
+  // Non-integer results are rejected (0.5 patterns makes no sense).
+  EXPECT_FALSE(parse_quantity("0.5").has_value());
+}
+
+TEST(StringsTest, FormatBasic) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%lld", 1234567890123LL), "1234567890123");
+}
+
+}  // namespace
+}  // namespace cp::util
