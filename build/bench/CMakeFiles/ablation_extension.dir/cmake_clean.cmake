@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extension.dir/ablation_extension.cpp.o"
+  "CMakeFiles/ablation_extension.dir/ablation_extension.cpp.o.d"
+  "ablation_extension"
+  "ablation_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

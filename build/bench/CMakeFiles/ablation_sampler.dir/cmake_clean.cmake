@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sampler.dir/ablation_sampler.cpp.o"
+  "CMakeFiles/ablation_sampler.dir/ablation_sampler.cpp.o.d"
+  "ablation_sampler"
+  "ablation_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

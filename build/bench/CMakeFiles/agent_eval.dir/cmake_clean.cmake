@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_eval.dir/agent_eval.cpp.o"
+  "CMakeFiles/agent_eval.dir/agent_eval.cpp.o.d"
+  "agent_eval"
+  "agent_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

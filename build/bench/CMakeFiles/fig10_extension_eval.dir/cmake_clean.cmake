@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_extension_eval.dir/fig10_extension_eval.cpp.o"
+  "CMakeFiles/fig10_extension_eval.dir/fig10_extension_eval.cpp.o.d"
+  "fig10_extension_eval"
+  "fig10_extension_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_extension_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_inpaint_showcase.dir/fig8_inpaint_showcase.cpp.o"
+  "CMakeFiles/fig8_inpaint_showcase.dir/fig8_inpaint_showcase.cpp.o.d"
+  "fig8_inpaint_showcase"
+  "fig8_inpaint_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_inpaint_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

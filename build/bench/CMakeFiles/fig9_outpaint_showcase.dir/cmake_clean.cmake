@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_outpaint_showcase.dir/fig9_outpaint_showcase.cpp.o"
+  "CMakeFiles/fig9_outpaint_showcase.dir/fig9_outpaint_showcase.cpp.o.d"
+  "fig9_outpaint_showcase"
+  "fig9_outpaint_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_outpaint_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

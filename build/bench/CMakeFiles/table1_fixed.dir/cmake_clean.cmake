@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fixed.dir/table1_fixed.cpp.o"
+  "CMakeFiles/table1_fixed.dir/table1_fixed.cpp.o.d"
+  "table1_fixed"
+  "table1_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_free.dir/table1_free.cpp.o"
+  "CMakeFiles/table1_free.dir/table1_free.cpp.o.d"
+  "table1_free"
+  "table1_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

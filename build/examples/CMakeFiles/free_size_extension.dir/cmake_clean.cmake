@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/free_size_extension.dir/free_size_extension.cpp.o"
+  "CMakeFiles/free_size_extension.dir/free_size_extension.cpp.o.d"
+  "free_size_extension"
+  "free_size_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_size_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_builder.dir/library_builder.cpp.o"
+  "CMakeFiles/library_builder.dir/library_builder.cpp.o.d"
+  "library_builder"
+  "library_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistake_recovery.dir/mistake_recovery.cpp.o"
+  "CMakeFiles/mistake_recovery.dir/mistake_recovery.cpp.o.d"
+  "mistake_recovery"
+  "mistake_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistake_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/chat_session.cpp" "src/CMakeFiles/cp_agent.dir/agent/chat_session.cpp.o" "gcc" "src/CMakeFiles/cp_agent.dir/agent/chat_session.cpp.o.d"
+  "/root/repo/src/agent/executor.cpp" "src/CMakeFiles/cp_agent.dir/agent/executor.cpp.o" "gcc" "src/CMakeFiles/cp_agent.dir/agent/executor.cpp.o.d"
+  "/root/repo/src/agent/experience.cpp" "src/CMakeFiles/cp_agent.dir/agent/experience.cpp.o" "gcc" "src/CMakeFiles/cp_agent.dir/agent/experience.cpp.o.d"
+  "/root/repo/src/agent/llm_client.cpp" "src/CMakeFiles/cp_agent.dir/agent/llm_client.cpp.o" "gcc" "src/CMakeFiles/cp_agent.dir/agent/llm_client.cpp.o.d"
+  "/root/repo/src/agent/nl_parser.cpp" "src/CMakeFiles/cp_agent.dir/agent/nl_parser.cpp.o" "gcc" "src/CMakeFiles/cp_agent.dir/agent/nl_parser.cpp.o.d"
+  "/root/repo/src/agent/planner.cpp" "src/CMakeFiles/cp_agent.dir/agent/planner.cpp.o" "gcc" "src/CMakeFiles/cp_agent.dir/agent/planner.cpp.o.d"
+  "/root/repo/src/agent/requirement.cpp" "src/CMakeFiles/cp_agent.dir/agent/requirement.cpp.o" "gcc" "src/CMakeFiles/cp_agent.dir/agent/requirement.cpp.o.d"
+  "/root/repo/src/agent/tools.cpp" "src/CMakeFiles/cp_agent.dir/agent/tools.cpp.o" "gcc" "src/CMakeFiles/cp_agent.dir/agent/tools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cp_extension.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_legalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_squish.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_agent.dir/agent/chat_session.cpp.o"
+  "CMakeFiles/cp_agent.dir/agent/chat_session.cpp.o.d"
+  "CMakeFiles/cp_agent.dir/agent/executor.cpp.o"
+  "CMakeFiles/cp_agent.dir/agent/executor.cpp.o.d"
+  "CMakeFiles/cp_agent.dir/agent/experience.cpp.o"
+  "CMakeFiles/cp_agent.dir/agent/experience.cpp.o.d"
+  "CMakeFiles/cp_agent.dir/agent/llm_client.cpp.o"
+  "CMakeFiles/cp_agent.dir/agent/llm_client.cpp.o.d"
+  "CMakeFiles/cp_agent.dir/agent/nl_parser.cpp.o"
+  "CMakeFiles/cp_agent.dir/agent/nl_parser.cpp.o.d"
+  "CMakeFiles/cp_agent.dir/agent/planner.cpp.o"
+  "CMakeFiles/cp_agent.dir/agent/planner.cpp.o.d"
+  "CMakeFiles/cp_agent.dir/agent/requirement.cpp.o"
+  "CMakeFiles/cp_agent.dir/agent/requirement.cpp.o.d"
+  "CMakeFiles/cp_agent.dir/agent/tools.cpp.o"
+  "CMakeFiles/cp_agent.dir/agent/tools.cpp.o.d"
+  "libcp_agent.a"
+  "libcp_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

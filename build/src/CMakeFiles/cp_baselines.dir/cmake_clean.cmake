@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_baselines.dir/baselines/cae.cpp.o"
+  "CMakeFiles/cp_baselines.dir/baselines/cae.cpp.o.d"
+  "CMakeFiles/cp_baselines.dir/baselines/concat.cpp.o"
+  "CMakeFiles/cp_baselines.dir/baselines/concat.cpp.o.d"
+  "CMakeFiles/cp_baselines.dir/baselines/layoutransformer.cpp.o"
+  "CMakeFiles/cp_baselines.dir/baselines/layoutransformer.cpp.o.d"
+  "CMakeFiles/cp_baselines.dir/baselines/legalgan.cpp.o"
+  "CMakeFiles/cp_baselines.dir/baselines/legalgan.cpp.o.d"
+  "libcp_baselines.a"
+  "libcp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_core.dir/core/chatpattern.cpp.o"
+  "CMakeFiles/cp_core.dir/core/chatpattern.cpp.o.d"
+  "CMakeFiles/cp_core.dir/core/pattern_library.cpp.o"
+  "CMakeFiles/cp_core.dir/core/pattern_library.cpp.o.d"
+  "CMakeFiles/cp_core.dir/core/selection.cpp.o"
+  "CMakeFiles/cp_core.dir/core/selection.cpp.o.d"
+  "libcp_core.a"
+  "libcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

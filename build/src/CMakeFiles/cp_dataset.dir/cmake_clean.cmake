@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_dataset.dir/dataset/builder.cpp.o"
+  "CMakeFiles/cp_dataset.dir/dataset/builder.cpp.o.d"
+  "CMakeFiles/cp_dataset.dir/dataset/mapgen.cpp.o"
+  "CMakeFiles/cp_dataset.dir/dataset/mapgen.cpp.o.d"
+  "CMakeFiles/cp_dataset.dir/dataset/style.cpp.o"
+  "CMakeFiles/cp_dataset.dir/dataset/style.cpp.o.d"
+  "libcp_dataset.a"
+  "libcp_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

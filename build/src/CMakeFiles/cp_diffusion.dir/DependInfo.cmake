@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diffusion/cascade.cpp" "src/CMakeFiles/cp_diffusion.dir/diffusion/cascade.cpp.o" "gcc" "src/CMakeFiles/cp_diffusion.dir/diffusion/cascade.cpp.o.d"
+  "/root/repo/src/diffusion/denoiser.cpp" "src/CMakeFiles/cp_diffusion.dir/diffusion/denoiser.cpp.o" "gcc" "src/CMakeFiles/cp_diffusion.dir/diffusion/denoiser.cpp.o.d"
+  "/root/repo/src/diffusion/mlp_denoiser.cpp" "src/CMakeFiles/cp_diffusion.dir/diffusion/mlp_denoiser.cpp.o" "gcc" "src/CMakeFiles/cp_diffusion.dir/diffusion/mlp_denoiser.cpp.o.d"
+  "/root/repo/src/diffusion/modification.cpp" "src/CMakeFiles/cp_diffusion.dir/diffusion/modification.cpp.o" "gcc" "src/CMakeFiles/cp_diffusion.dir/diffusion/modification.cpp.o.d"
+  "/root/repo/src/diffusion/sampler.cpp" "src/CMakeFiles/cp_diffusion.dir/diffusion/sampler.cpp.o" "gcc" "src/CMakeFiles/cp_diffusion.dir/diffusion/sampler.cpp.o.d"
+  "/root/repo/src/diffusion/schedule.cpp" "src/CMakeFiles/cp_diffusion.dir/diffusion/schedule.cpp.o" "gcc" "src/CMakeFiles/cp_diffusion.dir/diffusion/schedule.cpp.o.d"
+  "/root/repo/src/diffusion/tabular_denoiser.cpp" "src/CMakeFiles/cp_diffusion.dir/diffusion/tabular_denoiser.cpp.o" "gcc" "src/CMakeFiles/cp_diffusion.dir/diffusion/tabular_denoiser.cpp.o.d"
+  "/root/repo/src/diffusion/trainer.cpp" "src/CMakeFiles/cp_diffusion.dir/diffusion/trainer.cpp.o" "gcc" "src/CMakeFiles/cp_diffusion.dir/diffusion/trainer.cpp.o.d"
+  "/root/repo/src/diffusion/transition.cpp" "src/CMakeFiles/cp_diffusion.dir/diffusion/transition.cpp.o" "gcc" "src/CMakeFiles/cp_diffusion.dir/diffusion/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cp_squish.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_diffusion.dir/diffusion/cascade.cpp.o"
+  "CMakeFiles/cp_diffusion.dir/diffusion/cascade.cpp.o.d"
+  "CMakeFiles/cp_diffusion.dir/diffusion/denoiser.cpp.o"
+  "CMakeFiles/cp_diffusion.dir/diffusion/denoiser.cpp.o.d"
+  "CMakeFiles/cp_diffusion.dir/diffusion/mlp_denoiser.cpp.o"
+  "CMakeFiles/cp_diffusion.dir/diffusion/mlp_denoiser.cpp.o.d"
+  "CMakeFiles/cp_diffusion.dir/diffusion/modification.cpp.o"
+  "CMakeFiles/cp_diffusion.dir/diffusion/modification.cpp.o.d"
+  "CMakeFiles/cp_diffusion.dir/diffusion/sampler.cpp.o"
+  "CMakeFiles/cp_diffusion.dir/diffusion/sampler.cpp.o.d"
+  "CMakeFiles/cp_diffusion.dir/diffusion/schedule.cpp.o"
+  "CMakeFiles/cp_diffusion.dir/diffusion/schedule.cpp.o.d"
+  "CMakeFiles/cp_diffusion.dir/diffusion/tabular_denoiser.cpp.o"
+  "CMakeFiles/cp_diffusion.dir/diffusion/tabular_denoiser.cpp.o.d"
+  "CMakeFiles/cp_diffusion.dir/diffusion/trainer.cpp.o"
+  "CMakeFiles/cp_diffusion.dir/diffusion/trainer.cpp.o.d"
+  "CMakeFiles/cp_diffusion.dir/diffusion/transition.cpp.o"
+  "CMakeFiles/cp_diffusion.dir/diffusion/transition.cpp.o.d"
+  "libcp_diffusion.a"
+  "libcp_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_drc.dir/drc/checker.cpp.o"
+  "CMakeFiles/cp_drc.dir/drc/checker.cpp.o.d"
+  "CMakeFiles/cp_drc.dir/drc/rules.cpp.o"
+  "CMakeFiles/cp_drc.dir/drc/rules.cpp.o.d"
+  "libcp_drc.a"
+  "libcp_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extension/inpaint.cpp" "src/CMakeFiles/cp_extension.dir/extension/inpaint.cpp.o" "gcc" "src/CMakeFiles/cp_extension.dir/extension/inpaint.cpp.o.d"
+  "/root/repo/src/extension/masks.cpp" "src/CMakeFiles/cp_extension.dir/extension/masks.cpp.o" "gcc" "src/CMakeFiles/cp_extension.dir/extension/masks.cpp.o.d"
+  "/root/repo/src/extension/outpaint.cpp" "src/CMakeFiles/cp_extension.dir/extension/outpaint.cpp.o" "gcc" "src/CMakeFiles/cp_extension.dir/extension/outpaint.cpp.o.d"
+  "/root/repo/src/extension/planner.cpp" "src/CMakeFiles/cp_extension.dir/extension/planner.cpp.o" "gcc" "src/CMakeFiles/cp_extension.dir/extension/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cp_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_squish.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

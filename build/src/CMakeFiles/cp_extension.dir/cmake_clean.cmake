@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_extension.dir/extension/inpaint.cpp.o"
+  "CMakeFiles/cp_extension.dir/extension/inpaint.cpp.o.d"
+  "CMakeFiles/cp_extension.dir/extension/masks.cpp.o"
+  "CMakeFiles/cp_extension.dir/extension/masks.cpp.o.d"
+  "CMakeFiles/cp_extension.dir/extension/outpaint.cpp.o"
+  "CMakeFiles/cp_extension.dir/extension/outpaint.cpp.o.d"
+  "CMakeFiles/cp_extension.dir/extension/planner.cpp.o"
+  "CMakeFiles/cp_extension.dir/extension/planner.cpp.o.d"
+  "libcp_extension.a"
+  "libcp_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_geometry.dir/geometry/extract.cpp.o"
+  "CMakeFiles/cp_geometry.dir/geometry/extract.cpp.o.d"
+  "CMakeFiles/cp_geometry.dir/geometry/polygon.cpp.o"
+  "CMakeFiles/cp_geometry.dir/geometry/polygon.cpp.o.d"
+  "libcp_geometry.a"
+  "libcp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

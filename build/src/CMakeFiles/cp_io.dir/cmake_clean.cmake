@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_io.dir/io/gds.cpp.o"
+  "CMakeFiles/cp_io.dir/io/gds.cpp.o.d"
+  "libcp_io.a"
+  "libcp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

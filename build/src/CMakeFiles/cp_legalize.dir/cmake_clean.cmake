@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_legalize.dir/legalize/diffconstraint.cpp.o"
+  "CMakeFiles/cp_legalize.dir/legalize/diffconstraint.cpp.o.d"
+  "CMakeFiles/cp_legalize.dir/legalize/legalizer.cpp.o"
+  "CMakeFiles/cp_legalize.dir/legalize/legalizer.cpp.o.d"
+  "libcp_legalize.a"
+  "libcp_legalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_legalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_metrics.dir/metrics/metrics.cpp.o"
+  "CMakeFiles/cp_metrics.dir/metrics/metrics.cpp.o.d"
+  "libcp_metrics.a"
+  "libcp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

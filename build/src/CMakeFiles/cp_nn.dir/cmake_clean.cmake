@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_nn.dir/nn/layers.cpp.o"
+  "CMakeFiles/cp_nn.dir/nn/layers.cpp.o.d"
+  "CMakeFiles/cp_nn.dir/nn/optim.cpp.o"
+  "CMakeFiles/cp_nn.dir/nn/optim.cpp.o.d"
+  "CMakeFiles/cp_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/cp_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/cp_nn.dir/nn/tensor.cpp.o"
+  "CMakeFiles/cp_nn.dir/nn/tensor.cpp.o.d"
+  "libcp_nn.a"
+  "libcp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

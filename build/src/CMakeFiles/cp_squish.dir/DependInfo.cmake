@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/squish/normalize.cpp" "src/CMakeFiles/cp_squish.dir/squish/normalize.cpp.o" "gcc" "src/CMakeFiles/cp_squish.dir/squish/normalize.cpp.o.d"
+  "/root/repo/src/squish/squish.cpp" "src/CMakeFiles/cp_squish.dir/squish/squish.cpp.o" "gcc" "src/CMakeFiles/cp_squish.dir/squish/squish.cpp.o.d"
+  "/root/repo/src/squish/topology.cpp" "src/CMakeFiles/cp_squish.dir/squish/topology.cpp.o" "gcc" "src/CMakeFiles/cp_squish.dir/squish/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_squish.dir/squish/normalize.cpp.o"
+  "CMakeFiles/cp_squish.dir/squish/normalize.cpp.o.d"
+  "CMakeFiles/cp_squish.dir/squish/squish.cpp.o"
+  "CMakeFiles/cp_squish.dir/squish/squish.cpp.o.d"
+  "CMakeFiles/cp_squish.dir/squish/topology.cpp.o"
+  "CMakeFiles/cp_squish.dir/squish/topology.cpp.o.d"
+  "libcp_squish.a"
+  "libcp_squish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_squish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

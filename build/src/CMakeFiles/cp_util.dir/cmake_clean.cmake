@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_util.dir/util/cli.cpp.o"
+  "CMakeFiles/cp_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/cp_util.dir/util/json.cpp.o"
+  "CMakeFiles/cp_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/cp_util.dir/util/logging.cpp.o"
+  "CMakeFiles/cp_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/cp_util.dir/util/rng.cpp.o"
+  "CMakeFiles/cp_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/cp_util.dir/util/strings.cpp.o"
+  "CMakeFiles/cp_util.dir/util/strings.cpp.o.d"
+  "libcp_util.a"
+  "libcp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

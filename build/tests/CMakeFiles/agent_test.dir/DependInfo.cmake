@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/agent/brain_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/brain_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/brain_test.cpp.o.d"
+  "/root/repo/tests/agent/executor_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/executor_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/executor_test.cpp.o.d"
+  "/root/repo/tests/agent/experience_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/experience_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/experience_test.cpp.o.d"
+  "/root/repo/tests/agent/nl_parser_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/nl_parser_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/nl_parser_test.cpp.o.d"
+  "/root/repo/tests/agent/requirement_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/requirement_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/requirement_test.cpp.o.d"
+  "/root/repo/tests/agent/tools_test.cpp" "tests/CMakeFiles/agent_test.dir/agent/tools_test.cpp.o" "gcc" "tests/CMakeFiles/agent_test.dir/agent/tools_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_extension.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_legalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_squish.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_test.dir/agent/brain_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/brain_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/executor_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/executor_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/experience_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/experience_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/nl_parser_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/nl_parser_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/requirement_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/requirement_test.cpp.o.d"
+  "CMakeFiles/agent_test.dir/agent/tools_test.cpp.o"
+  "CMakeFiles/agent_test.dir/agent/tools_test.cpp.o.d"
+  "agent_test"
+  "agent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_test.dir/dataset/builder_test.cpp.o"
+  "CMakeFiles/dataset_test.dir/dataset/builder_test.cpp.o.d"
+  "CMakeFiles/dataset_test.dir/dataset/mapgen_test.cpp.o"
+  "CMakeFiles/dataset_test.dir/dataset/mapgen_test.cpp.o.d"
+  "dataset_test"
+  "dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

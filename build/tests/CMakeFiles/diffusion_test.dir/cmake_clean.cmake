@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_test.dir/diffusion/denoiser_test.cpp.o"
+  "CMakeFiles/diffusion_test.dir/diffusion/denoiser_test.cpp.o.d"
+  "CMakeFiles/diffusion_test.dir/diffusion/modification_test.cpp.o"
+  "CMakeFiles/diffusion_test.dir/diffusion/modification_test.cpp.o.d"
+  "CMakeFiles/diffusion_test.dir/diffusion/sampler_test.cpp.o"
+  "CMakeFiles/diffusion_test.dir/diffusion/sampler_test.cpp.o.d"
+  "CMakeFiles/diffusion_test.dir/diffusion/schedule_test.cpp.o"
+  "CMakeFiles/diffusion_test.dir/diffusion/schedule_test.cpp.o.d"
+  "CMakeFiles/diffusion_test.dir/diffusion/trainer_test.cpp.o"
+  "CMakeFiles/diffusion_test.dir/diffusion/trainer_test.cpp.o.d"
+  "CMakeFiles/diffusion_test.dir/diffusion/transition_test.cpp.o"
+  "CMakeFiles/diffusion_test.dir/diffusion/transition_test.cpp.o.d"
+  "diffusion_test"
+  "diffusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

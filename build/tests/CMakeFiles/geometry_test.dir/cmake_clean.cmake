@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_test.dir/geometry/extract_test.cpp.o"
+  "CMakeFiles/geometry_test.dir/geometry/extract_test.cpp.o.d"
+  "CMakeFiles/geometry_test.dir/geometry/polygon_test.cpp.o"
+  "CMakeFiles/geometry_test.dir/geometry/polygon_test.cpp.o.d"
+  "geometry_test"
+  "geometry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legalize_test.dir/legalize/diffconstraint_test.cpp.o"
+  "CMakeFiles/legalize_test.dir/legalize/diffconstraint_test.cpp.o.d"
+  "CMakeFiles/legalize_test.dir/legalize/legalizer_test.cpp.o"
+  "CMakeFiles/legalize_test.dir/legalize/legalizer_test.cpp.o.d"
+  "legalize_test"
+  "legalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squish_test.dir/squish/normalize_test.cpp.o"
+  "CMakeFiles/squish_test.dir/squish/normalize_test.cpp.o.d"
+  "CMakeFiles/squish_test.dir/squish/squish_test.cpp.o"
+  "CMakeFiles/squish_test.dir/squish/squish_test.cpp.o.d"
+  "CMakeFiles/squish_test.dir/squish/topology_test.cpp.o"
+  "CMakeFiles/squish_test.dir/squish/topology_test.cpp.o.d"
+  "squish_test"
+  "squish_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
