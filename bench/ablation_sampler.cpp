@@ -10,7 +10,9 @@
 
 #include "bench/common.h"
 #include "core/selection.h"
+#include "diffusion/batch_sampler.h"
 #include "metrics/metrics.h"
+#include "util/thread_pool.h"
 
 using namespace cp;
 
@@ -26,15 +28,16 @@ struct Row {
 
 Row run_config(const bench::Env& env, const char* name,
                const diffusion::TopologyGenerator& gen, int style, long long n,
-               util::Rng& rng) {
-  std::vector<squish::Topology> topos;
+               util::Rng& rng, util::ThreadPool* pool) {
+  diffusion::SampleConfig sc;
+  sc.condition = style;
+  sc.sample_steps = 16;  // the CPU default; 0 would run the full K-step chain
+  const diffusion::BatchSampler batch(gen, pool);
   const auto t0 = std::chrono::steady_clock::now();
-  for (long long i = 0; i < n; ++i) {
-    diffusion::SampleConfig sc;
-    sc.condition = style;
-    sc.sample_steps = 16;  // the CPU default; 0 would run the full K-step chain
-    topos.push_back(gen.sample(sc, rng));
-  }
+  // One fork(i) stream per sample: the row is reproducible from the bench
+  // seed alone and identical for any --threads value.
+  const std::vector<squish::Topology> topos =
+      batch.sample_batch(sc, static_cast<int>(n), rng.fork());
   const double sec =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() /
       static_cast<double>(n);
@@ -56,6 +59,10 @@ int main(int argc, char** argv) {
   bench::Env env = bench::make_env(argc, argv, /*default_samples=*/24);
   const long long n = env.samples;
   util::Rng rng(env.seed + 6000);
+  // --threads N fans each row's batch across a pool (output unchanged).
+  const int threads = static_cast<int>(util::CliFlags(argc, argv).get_int("threads", 1));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
 
   // Rebuild the denoisers so single-resolution variants can be constructed.
   std::vector<std::vector<squish::Topology>> fine_data, coarse_data;
@@ -88,32 +95,32 @@ int main(int argc, char** argv) {
   {
     diffusion::CascadeSampler cascade(env.chat->schedule(), coarse, fine,
                                       diffusion::CascadeConfig{});
-    rows.push_back(run_config(env, "cascade (default)", cascade, 0, n, rng));
+    rows.push_back(run_config(env, "cascade (default)", cascade, 0, n, rng, pool.get()));
   }
   {
     diffusion::CascadeConfig cc;
     cc.refine_flip = 0.05;  // stochastic fine refinement enabled
     diffusion::CascadeSampler cascade(env.chat->schedule(), coarse, fine, cc);
-    rows.push_back(run_config(env, "cascade + stochastic refine", cascade, 0, n, rng));
+    rows.push_back(run_config(env, "cascade + stochastic refine", cascade, 0, n, rng, pool.get()));
   }
   {
     diffusion::CascadeConfig cc;
     cc.polish_rounds = 0;
     diffusion::CascadeSampler cascade(env.chat->schedule(), coarse, fine, cc);
-    rows.push_back(run_config(env, "cascade, no MAP polish", cascade, 0, n, rng));
+    rows.push_back(run_config(env, "cascade, no MAP polish", cascade, 0, n, rng, pool.get()));
   }
   {
     diffusion::DiffusionSampler flat(env.chat->schedule(), fine, /*sequential=*/true);
-    rows.push_back(run_config(env, "single-res sequential", flat, 0, n, rng));
+    rows.push_back(run_config(env, "single-res sequential", flat, 0, n, rng, pool.get()));
   }
   {
     diffusion::DiffusionSampler flat(env.chat->schedule(), fine, /*sequential=*/false);
-    rows.push_back(run_config(env, "single-res factorized", flat, 0, n, rng));
+    rows.push_back(run_config(env, "single-res factorized", flat, 0, n, rng, pool.get()));
   }
   {
     diffusion::DiffusionSampler flat(env.chat->schedule(), fine, /*sequential=*/true);
     flat.set_guidance(false);
-    rows.push_back(run_config(env, "single-res, no guidance", flat, 0, n, rng));
+    rows.push_back(run_config(env, "single-res, no guidance", flat, 0, n, rng, pool.get()));
   }
 
   // Topology selection (the step the paper removes for fair comparison):

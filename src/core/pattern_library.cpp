@@ -1,5 +1,6 @@
 #include "core/pattern_library.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -7,6 +8,68 @@
 #include "util/strings.h"
 
 namespace cp::core {
+
+PopulateStats PatternLibrary::populate(const diffusion::TopologyGenerator& generator,
+                                       const legalize::Legalizer& legalizer,
+                                       const diffusion::SampleConfig& sample_config,
+                                       geometry::Coord width_nm, geometry::Coord height_nm,
+                                       int count, std::uint64_t seed, util::ThreadPool* pool,
+                                       long long max_attempts) {
+  PopulateStats stats;
+  if (count <= 0) {
+    stats.complete = true;
+    return stats;
+  }
+  if (max_attempts <= 0) max_attempts = 16LL * count + 64;
+  const util::Rng root(seed);
+  const diffusion::BatchSampler batch(generator, pool);
+
+  int accepted = 0;
+  std::uint64_t next_stream = 0;
+  while (accepted < count && stats.attempts < max_attempts) {
+    // Oversample by the observed rejection rate (at least 2x the remaining
+    // need) so most libraries fill in one or two rounds, clipped to the
+    // attempt budget.
+    const int remaining = count - accepted;
+    const double yield = stats.attempts == 0
+                             ? 0.5
+                             : std::max(0.05, static_cast<double>(accepted) /
+                                                  static_cast<double>(stats.attempts));
+    const long long want = std::min<long long>(
+        max_attempts - stats.attempts,
+        std::max<long long>(remaining * 2, static_cast<long long>(remaining / yield) + 1));
+    ++stats.rounds;
+
+    const std::vector<squish::Topology> candidates =
+        batch.sample_batch(sample_config, static_cast<int>(want), root, next_stream);
+    next_stream += static_cast<std::uint64_t>(want);
+
+    // Legalization is independent per candidate: fan it out into slots,
+    // then accept in stream order until the library is full.
+    std::vector<legalize::LegalizeResult> results(candidates.size());
+    auto legalize_one = [&](long long i) {
+      results[static_cast<std::size_t>(i)] =
+          legalizer.legalize(candidates[static_cast<std::size_t>(i)], width_nm, height_nm);
+    };
+    const long long n = static_cast<long long>(candidates.size());
+    if (pool != nullptr && pool->size() > 1) {
+      pool->parallel_for(n, legalize_one);
+    } else {
+      for (long long i = 0; i < n; ++i) legalize_one(i);
+    }
+
+    for (long long i = 0; i < n && accepted < count; ++i) {
+      ++stats.attempts;
+      legalize::LegalizeResult& res = results[static_cast<std::size_t>(i)];
+      if (res.ok()) {
+        patterns_.push_back(std::move(*res.pattern));
+        ++accepted;
+      }
+    }
+  }
+  stats.complete = accepted == count;
+  return stats;
+}
 
 metrics::LegalityResult PatternLibrary::legality(const drc::DesignRules& rules) const {
   return metrics::legality(patterns_, rules);

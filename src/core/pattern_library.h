@@ -5,11 +5,21 @@
 #include <string>
 #include <vector>
 
+#include "diffusion/batch_sampler.h"
 #include "drc/rules.h"
+#include "legalize/legalizer.h"
 #include "metrics/metrics.h"
 #include "squish/squish.h"
+#include "util/thread_pool.h"
 
 namespace cp::core {
+
+/// Outcome of PatternLibrary::populate.
+struct PopulateStats {
+  long long attempts = 0;  // topologies sampled in total
+  bool complete = false;   // false if the attempt budget ran out
+  int rounds = 0;          // generation rounds used
+};
 
 class PatternLibrary {
  public:
@@ -17,6 +27,20 @@ class PatternLibrary {
   explicit PatternLibrary(std::string style) : style_(std::move(style)) {}
 
   void add(squish::SquishPattern pattern) { patterns_.push_back(std::move(pattern)); }
+
+  /// Batch population: append `count` DRC-clean patterns by sampling and
+  /// legalizing candidates in parallel rounds on `pool` (null = serial).
+  /// Candidate (round, i) always consumes Rng stream fork-derived from
+  /// (seed, round, i) and candidates are accepted in stream order, so the
+  /// resulting library is bit-identical for every thread count. The
+  /// parallel analogue of core::select_legal (see selection.h); benches use
+  /// that serial form, a production library builder uses this.
+  PopulateStats populate(const diffusion::TopologyGenerator& generator,
+                         const legalize::Legalizer& legalizer,
+                         const diffusion::SampleConfig& sample_config,
+                         geometry::Coord width_nm, geometry::Coord height_nm, int count,
+                         std::uint64_t seed, util::ThreadPool* pool = nullptr,
+                         long long max_attempts = 0);
   std::size_t size() const { return patterns_.size(); }
   bool empty() const { return patterns_.empty(); }
   const std::string& style() const { return style_; }

@@ -1,0 +1,49 @@
+#include "diffusion/batch_sampler.h"
+
+#include <stdexcept>
+
+namespace cp::diffusion {
+
+bool BatchSampler::parallel() const {
+  return pool_ != nullptr && pool_->size() > 1 && generator_->thread_safe();
+}
+
+std::vector<squish::Topology> BatchSampler::sample_batch(const SampleConfig& config, int count,
+                                                         const util::Rng& root,
+                                                         std::uint64_t first_stream) const {
+  if (count < 0) throw std::invalid_argument("sample_batch: negative count");
+  std::vector<squish::Topology> out(static_cast<std::size_t>(count));
+  auto one = [&](long long i) {
+    util::Rng rng = root.fork(first_stream + static_cast<std::uint64_t>(i));
+    out[static_cast<std::size_t>(i)] = generator_->sample(config, rng);
+  };
+  if (parallel()) {
+    pool_->parallel_for(count, one);
+  } else {
+    for (long long i = 0; i < count; ++i) one(i);
+  }
+  return out;
+}
+
+std::vector<squish::Topology> BatchSampler::modify_batch(
+    const std::vector<squish::Topology>& known, const std::vector<squish::Topology>& keep_masks,
+    const ModifyConfig& config, const util::Rng& root) const {
+  if (known.size() != keep_masks.size()) {
+    throw std::invalid_argument("modify_batch: known/keep_masks size mismatch");
+  }
+  std::vector<squish::Topology> out(known.size());
+  auto one = [&](long long i) {
+    const auto idx = static_cast<std::size_t>(i);
+    util::Rng rng = root.fork(static_cast<std::uint64_t>(i));
+    out[idx] = generator_->modify(known[idx], keep_masks[idx], config, rng);
+  };
+  const long long n = static_cast<long long>(known.size());
+  if (parallel()) {
+    pool_->parallel_for(n, one);
+  } else {
+    for (long long i = 0; i < n; ++i) one(i);
+  }
+  return out;
+}
+
+}  // namespace cp::diffusion

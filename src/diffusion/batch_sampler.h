@@ -1,0 +1,71 @@
+#pragma once
+// Parallel batch generation with deterministic per-sample RNG streams.
+//
+// The evaluation harness (Table 1, Figures 8-10) draws thousands of
+// diffusion samples per run; each draw is independent, so the batch is an
+// embarrassingly parallel fan-out. BatchSampler spreads
+// TopologyGenerator::sample / modify calls across a util::ThreadPool under
+// one invariant:
+//
+//     sample i always consumes Rng stream root.fork(i) and writes only
+//     slot i of the output vector,
+//
+// which makes the batch output *bit-identical for every thread count*
+// (including the no-pool serial path). Thread scheduling decides only who
+// computes a slot, never what the slot contains. tests/diffusion/
+// batch_sampler_test.cpp locks this property in.
+//
+// If the generator reports !thread_safe() (e.g. the MLP denoiser's cached
+// forward pass), the batch silently degrades to the serial path — same
+// output, no races.
+
+#include <vector>
+
+#include "diffusion/generator.h"
+#include "diffusion/modification.h"
+#include "diffusion/sampler.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cp::diffusion {
+
+class BatchSampler {
+ public:
+  /// `pool` may be null (serial). The pool is borrowed, not owned, so one
+  /// pool can serve trainer, sampler and extension fan-outs.
+  explicit BatchSampler(const TopologyGenerator& generator, util::ThreadPool* pool = nullptr)
+      : generator_(&generator), pool_(pool) {}
+
+  const TopologyGenerator& generator() const { return *generator_; }
+  util::ThreadPool* pool() const { return pool_; }
+
+  /// True if sampling will actually fan out (pool present, > 1 worker, and
+  /// the generator is race-free).
+  bool parallel() const;
+
+  /// Draw `count` samples; sample i uses stream root.fork(first_stream + i).
+  /// `first_stream` lets callers that generate in rounds (e.g. legal-pattern
+  /// selection) keep one global stream numbering across calls.
+  std::vector<squish::Topology> sample_batch(const SampleConfig& config, int count,
+                                             const util::Rng& root,
+                                             std::uint64_t first_stream = 0) const;
+
+  /// Convenience overload seeding the root stream directly.
+  std::vector<squish::Topology> sample_batch(const SampleConfig& config, int count,
+                                             std::uint64_t root_seed) const {
+    return sample_batch(config, count, util::Rng(root_seed));
+  }
+
+  /// Masked modification fan-out: result i = modify(known[i], keep_mask[i])
+  /// under stream root.fork(i). The two spans must have equal length.
+  std::vector<squish::Topology> modify_batch(const std::vector<squish::Topology>& known,
+                                             const std::vector<squish::Topology>& keep_masks,
+                                             const ModifyConfig& config,
+                                             const util::Rng& root) const;
+
+ private:
+  const TopologyGenerator* generator_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace cp::diffusion

@@ -51,6 +51,10 @@ class CascadeSampler : public TopologyGenerator {
 
   const char* name() const override { return "CascadeSampler"; }
 
+  bool thread_safe() const override {
+    return coarse_.thread_safe() && fine_.thread_safe();
+  }
+
   const DiffusionSampler& coarse_sampler() const { return coarse_; }
   const DiffusionSampler& fine_sampler() const { return fine_; }
   const CascadeConfig& cascade_config() const { return config_; }

@@ -46,6 +46,13 @@ class Denoiser {
     return -1.0;
   }
 
+  /// True if concurrent predict_x0/predict_x0_pixel calls on one instance
+  /// are race-free. The tabular and uniform denoisers are pure lookups and
+  /// return true; the MLP denoiser caches forward activations and returns
+  /// the conservative default. diffusion::BatchSampler consults this to
+  /// decide whether it may fan sampling out across a thread pool.
+  virtual bool thread_safe_inference() const { return false; }
+
   virtual const char* name() const = 0;
 };
 
@@ -66,6 +73,7 @@ class UniformDenoiser : public Denoiser {
     return density_[static_cast<std::size_t>(condition)];
   }
   int conditions() const override { return static_cast<int>(density_.size()); }
+  bool thread_safe_inference() const override { return true; }
   const char* name() const override { return "UniformDenoiser"; }
 
  private:

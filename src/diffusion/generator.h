@@ -24,6 +24,11 @@ class TopologyGenerator {
                                   util::Rng& rng) const = 0;
 
   virtual const char* name() const = 0;
+
+  /// True if concurrent sample()/modify() calls on one instance are
+  /// race-free (every instance still needs its own Rng per call). Samplers
+  /// delegate to Denoiser::thread_safe_inference.
+  virtual bool thread_safe() const { return false; }
 };
 
 }  // namespace cp::diffusion

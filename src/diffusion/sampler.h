@@ -84,6 +84,10 @@ class DiffusionSampler : public TopologyGenerator {
 
   const char* name() const override { return "DiffusionSampler"; }
 
+  /// Sampling mutates no sampler state; safe to fan out iff the denoiser's
+  /// inference is.
+  bool thread_safe() const override { return denoiser_->thread_safe_inference(); }
+
   /// Run the reverse chain from a given noisy state at timestep
   /// `timesteps.front()` down the provided descending list (must end at 0).
   squish::Topology sample_from(squish::Topology x, const std::vector<int>& timesteps,

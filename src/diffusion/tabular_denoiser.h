@@ -51,6 +51,9 @@ class TabularDenoiser : public Denoiser {
                          int condition) const override;
   int conditions() const override { return config_.conditions; }
   double prior_density(int condition) const override { return class_density(condition); }
+  /// Inference is a pure table lookup over immutable counts; fit() must not
+  /// run concurrently with prediction.
+  bool thread_safe_inference() const override { return true; }
   const char* name() const override { return "TabularDenoiser"; }
 
   /// Empirical class density (fraction of 1s seen in training data).

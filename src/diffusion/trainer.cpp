@@ -3,9 +3,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <memory>
+
 #include "diffusion/transition.h"
 #include "nn/optim.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace cp::diffusion {
 
@@ -54,6 +57,22 @@ TrainStats train_mlp(MlpDenoiser& model,
   nn::Adam opt(model.net().params(), config.lr);
   TrainStats stats;
 
+  // Optional worker pool: feature extraction and the per-pixel loss/grad
+  // evaluation are embarrassingly parallel (pixel i writes feature row i,
+  // grad slot i and loss slot i), while every RNG draw and the network
+  // forward/backward stay on this thread. The loss reduction below runs in
+  // pixel-index order, so the whole training trajectory is bit-identical
+  // for any thread count.
+  std::unique_ptr<util::ThreadPool> workers;
+  if (config.threads > 1) workers = std::make_unique<util::ThreadPool>(config.threads);
+  auto for_each_pixel = [&](int n, auto&& fn) {
+    if (workers) {
+      workers->parallel_for(n, fn);
+    } else {
+      for (long long i = 0; i < n; ++i) fn(i);
+    }
+  };
+
   const int fdim = model.feature_dim();
   for (int iter = 0; iter < config.iterations; ++iter) {
     // One noised image per minibatch; random pixels from it.
@@ -71,30 +90,35 @@ TrainStats train_mlp(MlpDenoiser& model,
     nn::Tensor features({batch, fdim});
     std::vector<int> targets(static_cast<std::size_t>(batch));
     std::vector<int> noisy(static_cast<std::size_t>(batch));
+    std::vector<int> pick_r(static_cast<std::size_t>(batch));
+    std::vector<int> pick_c(static_cast<std::size_t>(batch));
     for (int i = 0; i < batch; ++i) {
-      const int r = rng.uniform_int(0, x0.rows() - 1);
-      const int c = rng.uniform_int(0, x0.cols() - 1);
-      model.pixel_features(xk, r, c, k, cond,
-                           features.data() + static_cast<std::size_t>(i) * fdim);
-      targets[static_cast<std::size_t>(i)] = x0.at(r, c);
-      noisy[static_cast<std::size_t>(i)] = xk.at(r, c);
+      pick_r[static_cast<std::size_t>(i)] = rng.uniform_int(0, x0.rows() - 1);
+      pick_c[static_cast<std::size_t>(i)] = rng.uniform_int(0, x0.cols() - 1);
     }
+    for_each_pixel(batch, [&](long long i) {
+      const auto idx = static_cast<std::size_t>(i);
+      model.pixel_features(xk, pick_r[idx], pick_c[idx], k, cond,
+                           features.data() + idx * static_cast<std::size_t>(fdim));
+      targets[idx] = x0.at(pick_r[idx], pick_c[idx]);
+      noisy[idx] = xk.at(pick_r[idx], pick_c[idx]);
+    });
 
     model.net().zero_grad();
     const nn::Tensor logits = model.net().forward(features);
     nn::Tensor grad({batch, 1});
-    double loss = 0.0;
-    for (int i = 0; i < batch; ++i) {
-      const double p0 = 1.0 / (1.0 + std::exp(-static_cast<double>(logits[i])));
+    std::vector<double> pixel_losses(static_cast<std::size_t>(batch));
+    for_each_pixel(batch, [&](long long i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const double p0 = 1.0 / (1.0 + std::exp(-static_cast<double>(logits[idx])));
       const PixelLoss pl =
-          hybrid_pixel_loss(targets[static_cast<std::size_t>(i)],
-                            noisy[static_cast<std::size_t>(i)], p0, flip_0j, flip_jk,
-                            config.lambda);
-      loss += pl.loss;
+          hybrid_pixel_loss(targets[idx], noisy[idx], p0, flip_0j, flip_jk, config.lambda);
+      pixel_losses[idx] = pl.loss;
       // Chain through the sigmoid: dp0/dlogit = p0 (1 - p0).
-      grad[static_cast<std::size_t>(i)] =
-          static_cast<float>(pl.dloss_dp0 * p0 * (1.0 - p0) / batch);
-    }
+      grad[idx] = static_cast<float>(pl.dloss_dp0 * p0 * (1.0 - p0) / batch);
+    });
+    double loss = 0.0;
+    for (double pl : pixel_losses) loss += pl;  // index order: deterministic
     loss /= batch;
     model.net().backward(grad);
     opt.clip_grad_norm(config.grad_clip);
@@ -122,29 +146,63 @@ TabularDenoiser fit_tabular(const NoiseSchedule& schedule, const TabularConfig& 
 
 double evaluate_hybrid_loss(const Denoiser& model, const NoiseSchedule& schedule,
                             const std::vector<std::vector<squish::Topology>>& per_class,
-                            float lambda, int draws, std::uint64_t seed) {
+                            float lambda, int draws, std::uint64_t seed, int threads) {
+  // Pre-generate every noise draw serially so the RNG consumption order is
+  // fixed, then evaluate draws in parallel into per-draw slots and reduce
+  // in draw-index order — identical result for any thread count.
+  struct Draw {
+    const squish::Topology* x0;
+    squish::Topology xk;
+    int k;
+    int cond;
+  };
   util::Rng rng(seed);
-  double total = 0.0;
-  long long count = 0;
-  ProbGrid p0;
+  std::vector<Draw> items;
   for (std::size_t cond = 0; cond < per_class.size(); ++cond) {
     for (const squish::Topology& x0 : per_class[cond]) {
       for (int d = 0; d < draws; ++d) {
         const int k = rng.uniform_int(1, schedule.steps());
-        const squish::Topology xk = forward_noise(x0, schedule, k, rng);
-        const double flip_0j = schedule.cumulative_flip(k - 1);
-        const double flip_jk = schedule.beta(k);
-        model.predict_x0(xk, k, static_cast<int>(cond), p0);
-        std::size_t i = 0;
-        for (int r = 0; r < x0.rows(); ++r) {
-          for (int c = 0; c < x0.cols(); ++c, ++i) {
-            total += hybrid_pixel_loss(x0.at(r, c), xk.at(r, c), p0[i], flip_0j, flip_jk, lambda)
-                         .loss;
-            ++count;
-          }
-        }
+        items.push_back(Draw{&x0, forward_noise(x0, schedule, k, rng), k,
+                             static_cast<int>(cond)});
       }
     }
+  }
+
+  std::vector<double> totals(items.size(), 0.0);
+  std::vector<long long> counts(items.size(), 0);
+  auto eval_one = [&](long long i) {
+    const Draw& draw = items[static_cast<std::size_t>(i)];
+    const double flip_0j = schedule.cumulative_flip(draw.k - 1);
+    const double flip_jk = schedule.beta(draw.k);
+    ProbGrid p0;
+    model.predict_x0(draw.xk, draw.k, draw.cond, p0);
+    double total = 0.0;
+    long long count = 0;
+    std::size_t px = 0;
+    for (int r = 0; r < draw.x0->rows(); ++r) {
+      for (int c = 0; c < draw.x0->cols(); ++c, ++px) {
+        total += hybrid_pixel_loss(draw.x0->at(r, c), draw.xk.at(r, c), p0[px], flip_0j,
+                                   flip_jk, lambda)
+                     .loss;
+        ++count;
+      }
+    }
+    totals[static_cast<std::size_t>(i)] = total;
+    counts[static_cast<std::size_t>(i)] = count;
+  };
+  const long long n = static_cast<long long>(items.size());
+  if (threads > 1 && model.thread_safe_inference()) {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(n, eval_one);
+  } else {
+    for (long long i = 0; i < n; ++i) eval_one(i);
+  }
+
+  double total = 0.0;
+  long long count = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    total += totals[i];
+    count += counts[i];
   }
   return count == 0 ? 0.0 : total / static_cast<double>(count);
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "extension/masks.h"
+#include "extension/tile_schedule.h"
 
 namespace cp::extension {
 
@@ -29,59 +30,47 @@ long long expected_samples_inpaint(int target_w, int target_h, int window) {
 
 ExtensionResult extend_inpaint(const diffusion::TopologyGenerator& generator,
                                const squish::Topology& seed, int rows, int cols,
-                               const ExtensionConfig& config, util::Rng& rng) {
+                               const ExtensionConfig& config, util::Rng& rng,
+                               util::ThreadPool* pool) {
   const int L = config.window;
   if (rows < L || cols < L) throw std::invalid_argument("extend_inpaint: target smaller than window");
+  if (!seed.empty() && (seed.rows() != L || seed.cols() != L)) {
+    throw std::invalid_argument("extend_inpaint: seed must be window-sized");
+  }
 
   ExtensionResult result;
   result.topology = squish::Topology(rows, cols);
 
-  diffusion::SampleConfig sc;
-  sc.rows = L;
-  sc.cols = L;
-  sc.condition = config.condition;
-  sc.sample_steps = config.sample_steps;
+  // Every phase is a list of window jobs whose keep masks are pure
+  // geometry, so the whole sweep is planned upfront and handed to the wave
+  // scheduler: phase-1 tiles are pairwise disjoint (one wave, full
+  // fan-out), seam and corner repairs overlap their neighbours and land in
+  // later waves automatically.
+  std::vector<TileJob> jobs;
 
   // Phase 1: independent tiles (the concatenation).
   const std::vector<int> rpos = tile_positions(rows, L);
   const std::vector<int> cpos = tile_positions(cols, L);
   for (std::size_t i = 0; i < rpos.size(); ++i) {
     for (std::size_t j = 0; j < cpos.size(); ++j) {
-      squish::Topology tile;
       if (i == 0 && j == 0 && !seed.empty()) {
-        if (seed.rows() != L || seed.cols() != L) {
-          throw std::invalid_argument("extend_inpaint: seed must be window-sized");
-        }
-        tile = seed;
-      } else {
-        tile = generator.sample(sc, rng);
-        ++result.model_calls;
+        result.topology.paste(seed, 0, 0);
+        continue;
       }
-      result.topology.paste(tile, rpos[i], cpos[j]);
+      jobs.push_back(TileJob{rpos[i], cpos[j], squish::Topology()});  // fresh sample
     }
   }
 
-  diffusion::ModifyConfig mc;
-  mc.condition = config.condition;
-  mc.sample_steps = config.sample_steps;
-  mc.resample_rounds = config.resample_rounds;
   const int band = L / 2;
-
-  auto repair = [&](int r0, int c0, const squish::Topology& keep) {
-    const squish::Topology content = result.topology.window(r0, c0, r0 + L, c0 + L);
-    squish::Topology filled = generator.modify(content, keep, mc, rng);
-    ++result.model_calls;
-    result.topology.paste(filled, r0, c0);
-  };
-
   // Phase 2: vertical seams (windows straddling tile column boundaries).
   // Interior boundaries are at the *start* of every tile except the first.
   for (std::size_t j = 1; j < cpos.size(); ++j) {
     const int boundary = cpos[j];
     const int c0 = std::clamp(boundary - L / 2, 0, cols - L);
     for (int r0 : rpos) {
-      repair(r0, c0,
-             keep_except_col_band(L, L, boundary - c0 - band / 2, boundary - c0 + band / 2));
+      jobs.push_back(TileJob{
+          r0, c0,
+          keep_except_col_band(L, L, boundary - c0 - band / 2, boundary - c0 + band / 2)});
     }
   }
   // Phase 3: horizontal seams.
@@ -89,8 +78,9 @@ ExtensionResult extend_inpaint(const diffusion::TopologyGenerator& generator,
     const int boundary = rpos[i];
     const int r0 = std::clamp(boundary - L / 2, 0, rows - L);
     for (int c0 : cpos) {
-      repair(r0, c0,
-             keep_except_row_band(L, L, boundary - r0 - band / 2, boundary - r0 + band / 2));
+      jobs.push_back(TileJob{
+          r0, c0,
+          keep_except_row_band(L, L, boundary - r0 - band / 2, boundary - r0 + band / 2)});
     }
   }
   // Phase 4: corners (both boundaries cross).
@@ -100,11 +90,24 @@ ExtensionResult extend_inpaint(const diffusion::TopologyGenerator& generator,
       const int cb = cpos[j];
       const int r0 = std::clamp(rb - L / 2, 0, rows - L);
       const int c0 = std::clamp(cb - L / 2, 0, cols - L);
-      repair(r0, c0,
-             keep_except_box(L, L, rb - r0 - band / 2, cb - c0 - band / 2,
-                             rb - r0 + band / 2, cb - c0 + band / 2));
+      jobs.push_back(TileJob{r0, c0,
+                             keep_except_box(L, L, rb - r0 - band / 2, cb - c0 - band / 2,
+                                             rb - r0 + band / 2, cb - c0 + band / 2)});
     }
   }
+
+  diffusion::SampleConfig sc;
+  sc.rows = L;
+  sc.cols = L;
+  sc.condition = config.condition;
+  sc.sample_steps = config.sample_steps;
+  diffusion::ModifyConfig mc;
+  mc.condition = config.condition;
+  mc.sample_steps = config.sample_steps;
+  mc.resample_rounds = config.resample_rounds;
+
+  result.model_calls = run_tile_jobs(generator, result.topology, jobs, L, sc, mc, rng.fork(),
+                                     pool, &result.waves);
   return result;
 }
 

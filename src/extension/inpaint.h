@@ -13,9 +13,13 @@ namespace cp::extension {
 long long expected_samples_inpaint(int target_w, int target_h, int window);
 
 /// Build a rows x cols topology by tiling + seam in-painting. If `seed` is
-/// non-empty it becomes the top-left tile.
+/// non-empty it becomes the top-left tile. With a `pool`, phase-1 tiles
+/// (fully independent) and non-adjacent seam repairs fan out concurrently;
+/// per-window fork(i) RNG streams keep the result bit-identical for any
+/// thread count.
 ExtensionResult extend_inpaint(const diffusion::TopologyGenerator& generator,
                                const squish::Topology& seed, int rows, int cols,
-                               const ExtensionConfig& config, util::Rng& rng);
+                               const ExtensionConfig& config, util::Rng& rng,
+                               util::ThreadPool* pool = nullptr);
 
 }  // namespace cp::extension

@@ -6,6 +6,7 @@
 //     N_out = (ceil((W-L)/S)+1) * (ceil((H-L)/S)+1).
 
 #include "diffusion/modification.h"
+#include "util/thread_pool.h"
 
 namespace cp::extension {
 
@@ -20,6 +21,9 @@ struct ExtensionConfig {
 struct ExtensionResult {
   squish::Topology topology;
   int model_calls = 0;
+  /// Number of scheduling waves the window sweep decomposed into (see
+  /// extension/tile_schedule.h); model_calls / waves is the mean fan-out.
+  int waves = 0;
 };
 
 /// Paper formula for the number of window samples.
@@ -27,9 +31,12 @@ long long expected_samples_outpaint(int target_w, int target_h, int window, int 
 
 /// Extend to rows x cols (each >= window). If `seed` is non-empty it is
 /// placed at the top-left as the starting window content; otherwise a fresh
-/// window is sampled.
+/// window is sampled. With a `pool`, windows whose regions are independent
+/// are denoised concurrently (per-window fork(i) RNG streams keep the
+/// result bit-identical for any thread count).
 ExtensionResult extend_outpaint(const diffusion::TopologyGenerator& generator,
                                 const squish::Topology& seed, int rows, int cols,
-                                const ExtensionConfig& config, util::Rng& rng);
+                                const ExtensionConfig& config, util::Rng& rng,
+                                util::ThreadPool* pool = nullptr);
 
 }  // namespace cp::extension

@@ -1,0 +1,60 @@
+#include "extension/tile_schedule.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cp::extension {
+
+std::vector<std::vector<int>> tile_waves(const std::vector<TileJob>& jobs, int window) {
+  const int n = static_cast<int>(jobs.size());
+  std::vector<int> wave_of(static_cast<std::size_t>(n), 0);
+  int wave_count = 0;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < j; ++i) {
+      const bool overlap = std::abs(jobs[i].r0 - jobs[j].r0) < window &&
+                           std::abs(jobs[i].c0 - jobs[j].c0) < window;
+      if (overlap) {
+        wave_of[static_cast<std::size_t>(j)] =
+            std::max(wave_of[static_cast<std::size_t>(j)], wave_of[static_cast<std::size_t>(i)] + 1);
+      }
+    }
+    wave_count = std::max(wave_count, wave_of[static_cast<std::size_t>(j)] + 1);
+  }
+  std::vector<std::vector<int>> waves(static_cast<std::size_t>(wave_count));
+  for (int j = 0; j < n; ++j) waves[static_cast<std::size_t>(wave_of[static_cast<std::size_t>(j)])].push_back(j);
+  return waves;
+}
+
+int run_tile_jobs(const diffusion::TopologyGenerator& generator, squish::Topology& canvas,
+                  const std::vector<TileJob>& jobs, int window,
+                  const diffusion::SampleConfig& sc, const diffusion::ModifyConfig& mc,
+                  const util::Rng& root, util::ThreadPool* pool, int* waves_out) {
+  const std::vector<std::vector<int>> waves = tile_waves(jobs, window);
+  const bool fan_out = pool != nullptr && pool->size() > 1 && generator.thread_safe();
+  for (const std::vector<int>& wave : waves) {
+    auto run_one = [&](long long wi) {
+      const int j = wave[static_cast<std::size_t>(wi)];
+      const TileJob& job = jobs[static_cast<std::size_t>(j)];
+      util::Rng rng = root.fork(static_cast<std::uint64_t>(j));
+      squish::Topology tile;
+      if (job.keep.empty()) {
+        tile = generator.sample(sc, rng);
+      } else {
+        const squish::Topology content =
+            canvas.window(job.r0, job.c0, job.r0 + window, job.c0 + window);
+        tile = generator.modify(content, job.keep, mc, rng);
+      }
+      canvas.paste(tile, job.r0, job.c0);
+    };
+    const long long wn = static_cast<long long>(wave.size());
+    if (fan_out) {
+      pool->parallel_for(wn, run_one);
+    } else {
+      for (long long wi = 0; wi < wn; ++wi) run_one(wi);
+    }
+  }
+  if (waves_out != nullptr) *waves_out = static_cast<int>(waves.size());
+  return static_cast<int>(jobs.size());
+}
+
+}  // namespace cp::extension

@@ -1,0 +1,60 @@
+#pragma once
+// Dependency-respecting parallel execution of window (tile) jobs.
+//
+// Both extension algorithms are sweeps of window-sized model calls over a
+// larger canvas: in-painting first fills independent tiles and then repairs
+// seams, out-painting slides an overlapping window. Each job reads and
+// writes only its own window, and its input content depends exactly on the
+// earlier jobs whose windows overlap it. That gives a natural parallel
+// schedule:
+//
+//   * job j is placed in the first wave strictly after every earlier-index
+//     job whose window overlaps j's window;
+//   * within a wave all windows are therefore pairwise disjoint, so the
+//     jobs of one wave run concurrently without touching shared cells;
+//   * job j always consumes Rng stream root.fork(j).
+//
+// Running the waves in order reproduces the serial per-ordinal sweep
+// bit-for-bit: when job j starts, every earlier overlapping job has
+// completed (earlier wave) and no other job can have modified j's window.
+// Thread count changes only the wall clock, never the canvas. For
+// non-overlapping tilings (in-painting phase 1, out-painting with
+// stride == window) the whole phase collapses into one wave — the
+// "independent tile denoising fan-out"; with stride < window the schedule
+// degrades gracefully toward serial, exactly mirroring the true data
+// dependencies.
+
+#include <vector>
+
+#include "diffusion/generator.h"
+#include "diffusion/modification.h"
+#include "diffusion/sampler.h"
+#include "squish/topology.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cp::extension {
+
+struct TileJob {
+  int r0 = 0, c0 = 0;     // window origin on the canvas
+  squish::Topology keep;  // window-sized keep mask; empty => fresh sample
+};
+
+/// Wave partition of `jobs` (windows are `window` x `window`): result[w] is
+/// the list of job indices in wave w; every job appears exactly once, waves
+/// preserve index order, and overlapping jobs never share a wave.
+std::vector<std::vector<int>> tile_waves(const std::vector<TileJob>& jobs, int window);
+
+/// Execute the jobs on `canvas` wave by wave. Sample jobs (empty keep) draw
+/// a fresh window via `sc`; repair jobs regenerate the zero-mask cells of
+/// their current window content via `mc`. Job j uses root.fork(j). Fans out
+/// across `pool` when it is non-null, has > 1 worker and the generator is
+/// thread-safe; otherwise runs serially with identical output. Returns the
+/// number of model calls (== jobs.size()); if `waves_out` is non-null it
+/// receives the number of waves (a parallelism diagnostic).
+int run_tile_jobs(const diffusion::TopologyGenerator& generator, squish::Topology& canvas,
+                  const std::vector<TileJob>& jobs, int window,
+                  const diffusion::SampleConfig& sc, const diffusion::ModifyConfig& mc,
+                  const util::Rng& root, util::ThreadPool* pool, int* waves_out = nullptr);
+
+}  // namespace cp::extension

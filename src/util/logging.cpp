@@ -1,11 +1,14 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace cp::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;  // serialises whole-line emission across threads
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +22,12 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
   std::cerr << "[" << level_name(level) << "] " << message << '\n';
 }
 

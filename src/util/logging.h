@@ -1,7 +1,9 @@
 #pragma once
 // Minimal leveled logger used across the library and by the agent to record
-// tool-call transcripts. Thread safety is not required (single-threaded
-// library), but output is line-buffered for readability.
+// tool-call transcripts. Thread-safe: the level is atomic and line emission
+// is serialised under a mutex, so log lines from pool workers (see
+// util/thread_pool.h) never interleave mid-line. Each LogStream buffers its
+// message thread-locally and emits one complete line on destruction.
 
 #include <sstream>
 #include <string>

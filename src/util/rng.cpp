@@ -19,7 +19,7 @@ inline std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);
 }
@@ -84,5 +84,16 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Child seed = SplitMix64 hash of (root seed, stream index). Two rounds:
+  // the first mixes the index into the seed, the second avalanches the
+  // result so that consecutive indices yield decorrelated child states
+  // (the Rng constructor adds further SplitMix64 rounds per state word).
+  std::uint64_t sm = seed_ ^ (0xbf58476d1ce4e5b9ULL * (stream + 1));
+  const std::uint64_t mixed = splitmix64(sm);
+  sm = mixed;
+  return Rng(splitmix64(sm));
+}
 
 }  // namespace cp::util

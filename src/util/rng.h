@@ -5,6 +5,12 @@
 // experiment is reproducible from a single --seed flag. The engine is
 // xoshiro256** (public-domain algorithm by Blackman & Vigna), seeded via
 // SplitMix64 so that nearby seeds yield decorrelated streams.
+//
+// Thread-safety: an Rng instance is NOT thread-safe and is never shared
+// across threads. Parallel code derives one independent stream per work
+// item with fork(i) — a stateless SplitMix-style split from the root seed —
+// so batch output is bit-identical regardless of thread count or the order
+// in which streams are consumed (see DESIGN.md "Threading model").
 
 #include <cstdint>
 #include <vector>
@@ -44,10 +50,23 @@ class Rng {
   /// Returns weights.size()-1 if the weights sum to zero.
   std::size_t categorical(const std::vector<double>& weights);
 
-  /// Fork an independent generator (stream-split) from this one.
+  /// Fork an independent generator (stream-split) from this one. Stateful:
+  /// advances this generator, so successive calls yield distinct children.
   Rng fork();
 
+  /// Stateless stream split: the child generator for stream index `stream`,
+  /// derived from this generator's *root seed* only. fork(i) returns the
+  /// same child no matter how much this generator has been used, which is
+  /// what makes N-thread batch runs bit-identical to 1-thread runs: work
+  /// item i always consumes stream i. Children of distinct indices are
+  /// pairwise decorrelated (SplitMix64 avalanche on seed and index).
+  Rng fork(std::uint64_t stream) const;
+
+  /// The seed this generator was constructed from (root of fork(i) streams).
+  std::uint64_t seed() const { return seed_; }
+
  private:
+  std::uint64_t seed_;
   std::uint64_t s_[4];
   bool has_spare_normal_ = false;
   double spare_normal_ = 0.0;

@@ -1,0 +1,62 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace cp::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads > 0 ? threads : hardware_threads();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain-on-destruction: keep executing queued work after stop_ so
+      // futures from submit() always complete.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace cp::util

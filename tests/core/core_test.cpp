@@ -46,6 +46,58 @@ TEST_F(CoreTest, SelectionRespectsAttemptBudget) {
   EXPECT_EQ(res.attempts, 6);
 }
 
+TEST_F(CoreTest, PopulateFillsLibraryWithCleanPatterns) {
+  diffusion::SampleConfig sc;
+  sc.rows = kWindow;
+  sc.cols = kWindow;
+  sc.condition = 0;
+  sc.sample_steps = 8;
+  PatternLibrary lib("Layer-10001");
+  const PopulateStats stats =
+      lib.populate(sampler_, legal0_, sc, kBudgetNm, kBudgetNm, 5, /*seed=*/11);
+  EXPECT_TRUE(stats.complete);
+  EXPECT_GE(stats.attempts, 5);
+  ASSERT_EQ(lib.size(), 5u);
+  for (const auto& p : lib.patterns()) {
+    EXPECT_TRUE(drc::check(p, legal0_.rules()).clean());
+  }
+}
+
+TEST_F(CoreTest, PopulateBitIdenticalAcrossThreadCounts) {
+  diffusion::SampleConfig sc;
+  sc.rows = kWindow;
+  sc.cols = kWindow;
+  sc.sample_steps = 8;
+  PatternLibrary serial("Layer-10001"), pooled("Layer-10001");
+  const PopulateStats a =
+      serial.populate(sampler_, legal0_, sc, kBudgetNm, kBudgetNm, 4, /*seed=*/11);
+  util::ThreadPool pool(4);
+  const PopulateStats b =
+      pooled.populate(sampler_, legal0_, sc, kBudgetNm, kBudgetNm, 4, /*seed=*/11, &pool);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.rounds, b.rounds);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.at(i).topology, pooled.at(i).topology) << "pattern " << i;
+    EXPECT_EQ(serial.at(i).dx, pooled.at(i).dx) << "pattern " << i;
+    EXPECT_EQ(serial.at(i).dy, pooled.at(i).dy) << "pattern " << i;
+  }
+}
+
+TEST_F(CoreTest, PopulateRespectsAttemptBudget) {
+  diffusion::SampleConfig sc;
+  sc.rows = kWindow;
+  sc.cols = kWindow;
+  sc.sample_steps = 8;
+  PatternLibrary lib("Layer-10001");
+  // 20 nm budget is below the pitch floor: nothing ever legalizes.
+  const PopulateStats stats = lib.populate(sampler_, legal0_, sc, 20, 20, 3, /*seed=*/11,
+                                           /*pool=*/nullptr, /*max_attempts=*/6);
+  EXPECT_FALSE(stats.complete);
+  EXPECT_TRUE(lib.empty());
+  EXPECT_EQ(stats.attempts, 6);
+}
+
 TEST_F(CoreTest, LibraryGdsExportRoundTrips) {
   PatternLibrary lib("Layer-10001");
   squish::SquishPattern p;

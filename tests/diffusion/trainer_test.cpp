@@ -102,5 +102,45 @@ TEST(TrainerTest, TrainingIsDeterministicForSeed) {
   EXPECT_TRUE(differs);
 }
 
+TEST(TrainerTest, TrainedWeightsInvariantToThreadCount) {
+  // TrainConfig::threads changes who evaluates a pixel's loss, never which
+  // pixels are drawn or in what order gradients are summed — weights must be
+  // bit-identical for any thread count.
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  const auto data = stripe_classes();
+  auto run = [&](int threads) {
+    util::Rng rng(9);
+    MlpDenoiser model(schedule, MlpConfig{2, 12, 1}, rng);
+    TrainConfig cfg;
+    cfg.iterations = 50;
+    cfg.seed = 7;
+    cfg.threads = threads;
+    train_mlp(model, data, cfg);
+    ProbGrid p0;
+    model.predict_x0(stripes(24, 2), 10, 0, p0);
+    return p0;
+  };
+  const ProbGrid serial = run(1), pooled = run(4);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], pooled[i]) << "pixel " << i;
+  }
+}
+
+TEST(TrainerTest, HybridLossInvariantToThreadCount) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  const auto data = stripe_classes();
+  // The tabular denoiser advertises thread-safe inference, so the parallel
+  // evaluation path actually engages.
+  TabularConfig tc;
+  tc.conditions = 2;
+  tc.draws_per_bucket = 3;
+  const TabularDenoiser tabular = fit_tabular(schedule, tc, data, 21);
+  ASSERT_TRUE(tabular.thread_safe_inference());
+  const double serial = evaluate_hybrid_loss(tabular, schedule, data, 1e-3f, 2, 99, 1);
+  const double pooled = evaluate_hybrid_loss(tabular, schedule, data, 1e-3f, 2, 99, 4);
+  EXPECT_EQ(serial, pooled);
+}
+
 }  // namespace
 }  // namespace cp::diffusion

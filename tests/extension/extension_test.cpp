@@ -174,5 +174,50 @@ TEST_F(ExtensionTest, ExtendedDensityTracksData) {
   EXPECT_NEAR(res.topology.density(), 0.5, 0.15);
 }
 
+TEST_F(ExtensionTest, ParallelExtensionBitIdenticalToSerial) {
+  // The tile wave scheduler must make pooled extension reproduce the serial
+  // sweep exactly, for both methods (see extension/tile_schedule.h).
+  DiffusionSampler s(schedule_, denoiser_);
+  ASSERT_TRUE(s.thread_safe());
+  util::ThreadPool pool(4);
+  ExtensionConfig ec = config();
+  ec.stride = 16;
+  for (int dims : {64, 70}) {
+    util::Rng serial_rng(42), pooled_rng(42);
+    const ExtensionResult serial =
+        extend_outpaint(s, squish::Topology(), dims, dims, ec, serial_rng);
+    const ExtensionResult pooled =
+        extend_outpaint(s, squish::Topology(), dims, dims, ec, pooled_rng, &pool);
+    EXPECT_EQ(serial.topology, pooled.topology) << "outpaint " << dims;
+    EXPECT_EQ(serial.model_calls, pooled.model_calls);
+  }
+  {
+    util::Rng serial_rng(43), pooled_rng(43);
+    const ExtensionResult serial =
+        extend_inpaint(s, squish::Topology(), 64, 64, ec, serial_rng);
+    const ExtensionResult pooled =
+        extend_inpaint(s, squish::Topology(), 64, 64, ec, pooled_rng, &pool);
+    EXPECT_EQ(serial.topology, pooled.topology) << "inpaint";
+    EXPECT_EQ(serial.model_calls, pooled.model_calls);
+  }
+}
+
+TEST_F(ExtensionTest, SeededExtensionParallelAlsoDeterministic) {
+  DiffusionSampler s(schedule_, denoiser_);
+  util::ThreadPool pool(3);
+  const squish::Topology seed = stripes(32, 4);
+  util::Rng serial_rng(7), pooled_rng(7);
+  const ExtensionResult serial = extend_outpaint(s, seed, 96, 96, config(), serial_rng);
+  const ExtensionResult pooled =
+      extend_outpaint(s, seed, 96, 96, config(), pooled_rng, &pool);
+  EXPECT_EQ(serial.topology, pooled.topology);
+  // The seed occupies the top-left window and must survive extension intact.
+  for (int r = 0; r < 32; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      ASSERT_EQ(pooled.topology.at(r, c), seed.at(r, c));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cp::extension

@@ -1,0 +1,213 @@
+// Golden-file regression suite for the legalizer and the DRC checker.
+//
+// Each test renders a deterministic textual report of the module's output on
+// fixed inputs and compares it byte-for-byte against a committed file under
+// tests/golden/. Any behaviour change — constraint tightening, different
+// failure localisation, message rewording — shows up as a readable diff.
+//
+// To regenerate after an intentional change:
+//   CP_UPDATE_GOLDEN=1 ./build/tests/golden_test
+// then review the diff of tests/golden/*.txt and commit it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "drc/checker.h"
+#include "drc/rules.h"
+#include "legalize/legalizer.h"
+#include "squish/squish.h"
+#include "util/rng.h"
+
+#ifndef CP_GOLDEN_DIR
+#error "CP_GOLDEN_DIR must point at the committed golden files"
+#endif
+
+namespace cp {
+namespace {
+
+void golden_compare(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(CP_GOLDEN_DIR) + "/" + name;
+  if (std::getenv("CP_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with CP_UPDATE_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(actual, buffer.str())
+      << "output drifted from " << path
+      << "; if the change is intentional, regenerate with CP_UPDATE_GOLDEN=1";
+}
+
+// ---- deterministic fixture inputs ---------------------------------------
+
+squish::Topology stripes(int n, int period) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, (c / period) % 2);
+  }
+  return t;
+}
+
+squish::Topology checker_board(int n) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, (r + c) % 2);
+  }
+  return t;
+}
+
+squish::Topology random_blob(int n, std::uint64_t seed, double fill) {
+  util::Rng rng(seed);
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, rng.bernoulli(fill) ? 1 : 0);
+  }
+  return t;
+}
+
+// ---- report rendering ----------------------------------------------------
+
+void dump_topology(std::ostream& os, const squish::Topology& t) {
+  for (int r = 0; r < t.rows(); ++r) {
+    for (int c = 0; c < t.cols(); ++c) os << (t.at(r, c) ? '#' : '.');
+    os << "\n";
+  }
+}
+
+void dump_deltas(std::ostream& os, const char* label, const squish::DeltaVec& d) {
+  os << label << " =";
+  for (geometry::Coord v : d) os << " " << v;
+  os << "\n";
+}
+
+void dump_legalize(std::ostream& os, const char* name, const legalize::Legalizer& legalizer,
+                   const squish::Topology& t, geometry::Coord w, geometry::Coord h) {
+  os << "== " << name << " (" << t.rows() << "x" << t.cols() << " -> " << w << "x" << h
+     << " nm) ==\n";
+  dump_topology(os, t);
+  os << "required_width_nm = " << legalizer.required_width_nm(t) << "\n";
+  os << "required_height_nm = " << legalizer.required_height_nm(t) << "\n";
+  const legalize::LegalizeResult res = legalizer.legalize(t, w, h);
+  if (res.ok()) {
+    os << "status = LEGAL\n";
+    dump_deltas(os, "dx", res.pattern->dx);
+    dump_deltas(os, "dy", res.pattern->dy);
+    os << "width_nm = " << res.pattern->width_nm()
+       << " height_nm = " << res.pattern->height_nm() << "\n";
+    const drc::DrcReport report = drc::check(*res.pattern, legalizer.rules());
+    os << "drc_clean = " << (report.clean() ? "yes" : "NO") << "\n";
+  } else {
+    const legalize::LegalizeFailure& f = *res.failure;
+    os << "status = FAIL axis=" << f.axis << " region=[" << f.row0 << "," << f.row1 << ")x["
+       << f.col0 << "," << f.col1 << ")"
+       << " required=" << f.required_nm << " available=" << f.available_nm << "\n";
+    os << "message = " << f.message << "\n";
+  }
+  os << "\n";
+}
+
+void dump_drc(std::ostream& os, const char* name, const squish::SquishPattern& p,
+              const drc::DesignRules& rules) {
+  os << "== " << name << " ==\n";
+  dump_topology(os, p.topology);
+  dump_deltas(os, "dx", p.dx);
+  dump_deltas(os, "dy", p.dy);
+  const drc::DrcReport report = drc::check(p, rules);
+  os << "violations = " << report.violations.size() << "\n";
+  for (const drc::Violation& v : report.violations) {
+    os << "  " << drc::to_string(v.kind) << " region=[" << v.row0 << "," << v.row1 << ")x["
+       << v.col0 << "," << v.col1 << ") required=" << v.required_nm
+       << " actual=" << v.actual_nm << " :: " << v.message << "\n";
+  }
+  const geometry::Rect region = report.violating_region_cells();
+  os << "merged_region = [" << region.y0 << "," << region.y1 << ")x[" << region.x0 << ","
+     << region.x1 << ")\n\n";
+}
+
+// ---- tests ---------------------------------------------------------------
+
+TEST(GoldenTest, LegalizerLayer10001) {
+  const legalize::Legalizer legalizer(drc::rules_for_style("Layer-10001"));
+  std::stringstream ss;
+  ss << "rules: " << drc::describe(legalizer.rules()) << "\n\n";
+  dump_legalize(ss, "stripes-8x8-p2", legalizer, stripes(8, 2), 2048, 2048);
+  dump_legalize(ss, "stripes-8x8-p3", legalizer, stripes(8, 3), 2048, 2048);
+  dump_legalize(ss, "blob-12x12-seed9", legalizer, random_blob(12, 9, 0.45), 4096, 4096);
+  dump_legalize(ss, "empty-4x4", legalizer, squish::Topology(4, 4), 512, 512);
+  dump_legalize(ss, "full-4x4", legalizer, squish::Topology(4, 4, 1), 512, 512);
+  // Too small a window: must fail with an explained region.
+  dump_legalize(ss, "stripes-8x8-p2-toosmall", legalizer, stripes(8, 2), 96, 96);
+  dump_legalize(ss, "checker-6x6-toosmall", legalizer, checker_board(6), 200, 200);
+  golden_compare("legalizer_layer10001.txt", ss.str());
+}
+
+TEST(GoldenTest, LegalizerLayer10003) {
+  const legalize::Legalizer legalizer(drc::rules_for_style("Layer-10003"));
+  std::stringstream ss;
+  ss << "rules: " << drc::describe(legalizer.rules()) << "\n\n";
+  dump_legalize(ss, "stripes-8x8-p2", legalizer, stripes(8, 2), 4096, 4096);
+  dump_legalize(ss, "blob-10x10-seed4", legalizer, random_blob(10, 4, 0.4), 4096, 4096);
+  dump_legalize(ss, "blob-10x10-seed4-toosmall", legalizer, random_blob(10, 4, 0.4), 128, 128);
+  golden_compare("legalizer_layer10003.txt", ss.str());
+}
+
+TEST(GoldenTest, DrcChecker) {
+  const drc::DesignRules rules = drc::rules_for_style("Layer-10001");
+  std::stringstream ss;
+  ss << "rules: " << drc::describe(rules) << "\n\n";
+
+  {  // Clean pattern: wide bars, wide spaces.
+    squish::SquishPattern p;
+    p.topology = stripes(4, 2);
+    p.dx = squish::uniform_deltas(4, 512);
+    p.dy = squish::uniform_deltas(4, 512);
+    dump_drc(ss, "clean-stripes", p, rules);
+  }
+  {  // Width violation: one skinny column of metal.
+    squish::SquishPattern p;
+    p.topology = squish::Topology(3, 3);
+    for (int r = 0; r < 3; ++r) p.topology.set(r, 1, 1);
+    p.dx = {100, 10, 100};  // 10 nm wide arm < min_width
+    p.dy = {100, 100, 100};
+    dump_drc(ss, "skinny-column", p, rules);
+  }
+  {  // Space violation: two bars separated by a sliver.
+    squish::SquishPattern p;
+    p.topology = squish::Topology(3, 3);
+    for (int r = 0; r < 3; ++r) {
+      p.topology.set(r, 0, 1);
+      p.topology.set(r, 2, 1);
+    }
+    p.dx = {200, 8, 200};  // 8 nm gap < min_space
+    p.dy = {100, 100, 100};
+    dump_drc(ss, "sliver-space", p, rules);
+  }
+  {  // Area violation: one tiny isolated square.
+    squish::SquishPattern p;
+    p.topology = squish::Topology(3, 3);
+    p.topology.set(1, 1, 1);
+    p.dx = {500, 60, 500};
+    p.dy = {500, 60, 500};  // 60x60 = 3600 nm^2 < min_area
+    dump_drc(ss, "tiny-island", p, rules);
+  }
+  {  // Compound: checkerboard sliver grid violating everything at once.
+    squish::SquishPattern p;
+    p.topology = checker_board(4);
+    p.dx = {20, 20, 20, 20};
+    p.dy = {20, 20, 20, 20};
+    dump_drc(ss, "checkerboard-slivers", p, rules);
+  }
+  golden_compare("drc_layer10001.txt", ss.str());
+}
+
+}  // namespace
+}  // namespace cp

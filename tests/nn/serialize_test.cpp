@@ -72,6 +72,55 @@ TEST(SerializeTest, TruncatedDataThrows) {
   EXPECT_THROW(read_tensor(truncated), std::runtime_error);
 }
 
+TEST(SerializeTest, RandomizedTensorRoundTrips) {
+  // Property check: any tensor of any rank survives write/read bit-for-bit.
+  util::Rng rng(0xBEEF);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int rank = rng.uniform_int(1, 4);
+    std::vector<int> shape;
+    for (int d = 0; d < rank; ++d) shape.push_back(rng.uniform_int(1, 6));
+    const Tensor t = Tensor::randn(shape, rng);
+    std::stringstream ss;
+    write_tensor(ss, t);
+    const Tensor back = read_tensor(ss);
+    ASSERT_TRUE(back.same_shape(t)) << "trial " << trial;
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+      ASSERT_EQ(back[i], t[i]) << "trial " << trial << " element " << i;
+    }
+  }
+}
+
+TEST(SerializeTest, RandomizedParamSetRoundTrips) {
+  // Random models: 1..8 params of random matrix/vector shapes, saved and
+  // loaded into a same-shaped skeleton.
+  util::Rng rng(0xF00D);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = rng.uniform_int(1, 8);
+    std::vector<Param> source(static_cast<std::size_t>(n));
+    std::vector<Param> target(static_cast<std::size_t>(n));
+    std::vector<Param*> src_ptrs, dst_ptrs;
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> shape{rng.uniform_int(1, 10)};
+      if (rng.bernoulli(0.5)) shape.push_back(rng.uniform_int(1, 10));
+      source[static_cast<std::size_t>(i)].value = Tensor::randn(shape, rng);
+      target[static_cast<std::size_t>(i)].value = Tensor(shape);
+      src_ptrs.push_back(&source[static_cast<std::size_t>(i)]);
+      dst_ptrs.push_back(&target[static_cast<std::size_t>(i)]);
+    }
+    std::stringstream ss;
+    save_params(ss, src_ptrs);
+    load_params(ss, dst_ptrs);
+    for (int i = 0; i < n; ++i) {
+      const Tensor& a = source[static_cast<std::size_t>(i)].value;
+      const Tensor& b = target[static_cast<std::size_t>(i)].value;
+      ASSERT_TRUE(b.same_shape(a)) << "trial " << trial << " param " << i;
+      for (std::size_t j = 0; j < a.numel(); ++j) {
+        ASSERT_EQ(b[j], a[j]) << "trial " << trial << " param " << i;
+      }
+    }
+  }
+}
+
 TEST(SerializeTest, FileHelpers) {
   util::Rng rng(5);
   Param p;

@@ -1,0 +1,131 @@
+// Property-based round-trip suite for the squish codec: 500 randomized
+// rectilinear layouts, each checked for the invariants the rest of the
+// pipeline relies on (squish -> unsquish -> squish is the identity, area is
+// preserved, the pattern is well-formed and spans the window).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "squish/squish.h"
+#include "util/rng.h"
+
+namespace cp::squish {
+namespace {
+
+using geometry::Coord;
+using geometry::Rect;
+
+std::vector<Rect> canon(std::vector<Rect> rects) {
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    return std::tie(a.y0, a.x0, a.y1, a.x1) < std::tie(b.y0, b.x0, b.y1, b.x1);
+  });
+  return rects;
+}
+
+/// A random set of non-overlapping rects: pick distinct cells of a coarse
+/// grid and place one inset rect per cell, with randomized size/offset so
+/// the scan lines land on irregular coordinates.
+std::vector<Rect> random_rects(util::Rng& rng, int grid, Coord cell, int count) {
+  std::vector<Rect> rects;
+  std::set<std::pair<int, int>> used;
+  for (int i = 0; i < count; ++i) {
+    const int cx = rng.uniform_int(0, grid - 1);
+    const int cy = rng.uniform_int(0, grid - 1);
+    if (!used.insert({cx, cy}).second) continue;
+    const Coord max_span = cell - 2;
+    const Coord w = rng.uniform_int(1, static_cast<int>(max_span));
+    const Coord h = rng.uniform_int(1, static_cast<int>(max_span));
+    const Coord ox = rng.uniform_int(1, static_cast<int>(cell - 1 - w));
+    const Coord oy = rng.uniform_int(1, static_cast<int>(cell - 1 - h));
+    const Coord x0 = cx * cell + ox;
+    const Coord y0 = cy * cell + oy;
+    rects.push_back(Rect{x0, y0, x0 + w, y0 + h});
+  }
+  return rects;
+}
+
+TEST(SquishPropertyTest, RoundTrip500RandomLayouts) {
+  util::Rng rng(0xC0DEC);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int grid = rng.uniform_int(2, 6);
+    const Coord cell = rng.uniform_int(20, 120);
+    const int count = rng.uniform_int(0, grid * grid);
+    const std::vector<Rect> rects = random_rects(rng, grid, cell, count);
+    const Rect window{0, 0, grid * cell, grid * cell};
+
+    const SquishPattern p = squish(rects, window);
+    ASSERT_TRUE(p.well_formed()) << "trial " << trial;
+    ASSERT_EQ(p.width_nm(), window.width()) << "trial " << trial;
+    ASSERT_EQ(p.height_nm(), window.height()) << "trial " << trial;
+
+    // Exact geometry round-trip: the reconstruction is the same rect set
+    // (the generator never produces touching/overlapping rects, so the
+    // maximal decomposition is unique up to ordering).
+    const std::vector<Rect> rebuilt = unsquish(p);
+    ASSERT_EQ(canon(rebuilt), canon(rects)) << "trial " << trial;
+
+    // Codec idempotence: squishing the reconstruction reproduces the
+    // pattern bit-for-bit.
+    const SquishPattern p2 = squish(rebuilt, window);
+    ASSERT_EQ(p2.topology, p.topology) << "trial " << trial;
+    ASSERT_EQ(p2.dx, p.dx) << "trial " << trial;
+    ASSERT_EQ(p2.dy, p.dy) << "trial " << trial;
+
+    // Area conservation, cross-checked against the delta vectors.
+    Coord area_in = 0;
+    for (const Rect& r : rects) area_in += r.area();
+    Coord area_cells = 0;
+    for (int r = 0; r < p.topology.rows(); ++r) {
+      for (int c = 0; c < p.topology.cols(); ++c) {
+        if (p.topology.at(r, c)) {
+          area_cells += p.dy[static_cast<std::size_t>(r)] * p.dx[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+    ASSERT_EQ(area_cells, area_in) << "trial " << trial;
+  }
+}
+
+TEST(SquishPropertyTest, TouchingRectsMergeButPreserveArea) {
+  // Abutting rects form one polygon; the decomposition may differ from the
+  // input rect list, but coverage (area) and idempotence must still hold.
+  util::Rng rng(0xFACADE);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Rect> rects;
+    Coord x = 0;
+    const Coord y0 = rng.uniform_int(0, 40);
+    const Coord y1 = y0 + rng.uniform_int(10, 60);
+    const int segments = rng.uniform_int(2, 5);
+    for (int s = 0; s < segments; ++s) {
+      const Coord w = rng.uniform_int(5, 50);
+      rects.push_back(Rect{x, y0, x + w, y1});  // horizontally abutting strip
+      x += w;
+    }
+    const Rect window{0, 0, x + 10, 120};
+    const SquishPattern p = squish(rects, window);
+    Coord area_in = 0;
+    for (const Rect& r : rects) area_in += r.area();
+    Coord area_out = 0;
+    for (const Rect& r : unsquish(p)) area_out += r.area();
+    ASSERT_EQ(area_out, area_in) << "trial " << trial;
+    // The input rect list carries scan lines at internal abutting edges, so
+    // the first squish is not minimal; one round-trip reaches the fixed
+    // point (unsquish merges the strips into one polygon).
+    const SquishPattern p2 = squish(unsquish(p), window);
+    EXPECT_LE(p2.topology.cols(), p.topology.cols()) << "trial " << trial;
+    const SquishPattern p3 = squish(unsquish(p2), window);
+    ASSERT_EQ(p3.topology, p2.topology) << "trial " << trial;
+    ASSERT_EQ(p3.dx, p2.dx) << "trial " << trial;
+    ASSERT_EQ(p3.dy, p2.dy) << "trial " << trial;
+    Coord area_min = 0;
+    for (const Rect& r : unsquish(p2)) area_min += r.area();
+    ASSERT_EQ(area_min, area_in) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cp::squish
