@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
               "ModelCalls", "s/sample");
   std::printf("%s\n", std::string(75, '-').c_str());
 
+  util::JsonArray manifest_rows;
   auto run = [&](const char* name, extension::Method method, int stride, int resample) {
     long long legal = 0, calls = 0;
     std::vector<squish::Topology> legal_topos;
@@ -50,6 +51,13 @@ int main(int argc, char** argv) {
                    util::format("ablation_extension,%s,%.4f,%.4f,%lld", name,
                                 100.0 * static_cast<double>(legal) / static_cast<double>(n),
                                 metrics::diversity(legal_topos), calls / n));
+    util::JsonObject mr;
+    mr["configuration"] = name;
+    mr["legality_pct"] = 100.0 * static_cast<double>(legal) / static_cast<double>(n);
+    mr["diversity"] = metrics::diversity(legal_topos);
+    mr["model_calls_per_sample"] = calls / n;
+    mr["sec_per_sample"] = sec;
+    manifest_rows.push_back(util::Json(std::move(mr)));
   };
 
   run("out, stride 32 (75% overlap)", extension::Method::kOutPainting, 32, 1);
@@ -64,5 +72,7 @@ int main(int argc, char** argv) {
       "\nExpected: larger strides cost fewer model calls but weaken seam context\n"
       "(stride 128 degenerates to concatenation-with-fresh-borders); extra RePaint\n"
       "rounds harmonise seams at proportional cost.\n");
+  env.manifest.metrics["rows"] = util::Json(std::move(manifest_rows));
+  bench::write_manifest(env);
   return 0;
 }

@@ -146,17 +146,27 @@ int main(int argc, char** argv) {
     std::printf("(selection used %lld attempts for %lld kept patterns)\n", sel.attempts, n);
   }
 
+  util::JsonArray manifest_rows;
   for (const Row& r : rows) {
     std::printf("%-34s | %7.2f%% | %7.3f | %7.3f | %8.3f\n", r.name, r.legality_pct,
                 r.diversity, r.density, r.sec_per_sample);
     bench::csv_row(env, util::format("ablation_sampler,%s,%.4f,%.4f,%.4f,%.5f", r.name,
                                      r.legality_pct, r.diversity, r.density, r.sec_per_sample));
+    util::JsonObject mr;
+    mr["configuration"] = r.name;
+    mr["legality_pct"] = r.legality_pct;
+    mr["diversity"] = r.diversity;
+    mr["density"] = r.density;
+    mr["sec_per_sample"] = r.sec_per_sample;
+    manifest_rows.push_back(util::Json(std::move(mr)));
   }
+  env.manifest.metrics["rows"] = util::Json(std::move(manifest_rows));
   std::printf("\n(data density for reference: %.3f)\n", data_density);
   std::printf(
       "Expected: the cascade variants dominate single-resolution sampling on legality;\n"
       "removing guidance collapses density toward the empty pattern; skipping the MAP\n"
       "polish locks complexity to the coarse grid (diversity collapses); stochastic\n"
       "refinement buys complexity diversity at a density-accuracy and runtime cost.\n");
+  bench::write_manifest(env);
   return 0;
 }

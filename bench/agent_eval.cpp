@@ -105,6 +105,9 @@ int main(int argc, char** argv) {
     // Experience accumulated during the session is the agent's "learning
     // from experience" state.
     std::printf("experience: %s\n", env.chat->experience().to_json().dump().c_str());
+    env.manifest.metrics["produced"] = report.total_produced();
+    env.manifest.metrics["requested"] = report.total_requested();
   }
+  bench::write_manifest(env);
   return 0;
 }

@@ -1,21 +1,35 @@
 #pragma once
 // Shared setup and reporting helpers for the evaluation harness. Every bench
 // binary runs standalone with sensible defaults and accepts:
-//   --samples N   samples per table cell (default per bench)
-//   --seed S      global seed
-//   --train N     training clips per class
-//   --csv FILE    also append machine-readable rows to FILE
+//   --samples N       samples per table cell (default per bench)
+//   --seed S          global seed
+//   --train N         training clips per class
+//   --csv FILE        also append machine-readable rows to FILE
+//   --outdir DIR      directory for output artifacts (PBM/JSON; default ".")
+//   --manifest FILE   enable observability and write a JSON run manifest
+//                     (config, git describe, seeds, per-stage span timings,
+//                     counters, result metrics) to FILE on exit — see
+//                     docs/OBSERVABILITY.md
+//
+// Output-path policy (all benches): parent directories of any output file
+// are created on demand; if a path cannot be created or opened the bench
+// fails immediately with a clear message instead of silently writing
+// nothing (bench::open_output / bench::require_dir).
 //
 // Absolute numbers are sample-count limited on one CPU core (see DESIGN.md
 // S5); the orderings and gaps are what reproduces the paper.
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/chatpattern.h"
 #include "dataset/style.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
 #include "util/cli.h"
 #include "util/strings.h"
 
@@ -27,30 +41,110 @@ struct Env {
   std::uint64_t seed = 1;
   long long samples = 0;
   std::string csv_path;
+  std::string outdir = ".";
+  std::string manifest_path;      // empty = no manifest
+  obs::RunManifest manifest;      // tool/args/config filled by make_env
 
   const legalize::Legalizer& legalizer(int style) const { return chat->legalizer(style); }
 };
+
+/// Create `dir` (and parents) or die with a clear message.
+inline void require_dir(const std::string& dir) {
+  if (dir.empty() || dir == ".") return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec || !std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "error: output directory '%s' cannot be created: %s\n", dir.c_str(),
+                 ec ? ec.message().c_str() : "path exists and is not a directory");
+    std::exit(2);
+  }
+}
+
+/// Resolve an artifact name against --outdir (absolute paths pass through).
+inline std::string out_path(const Env& env, const std::string& name) {
+  if (name.empty() || name.front() == '/' || env.outdir.empty() || env.outdir == ".") {
+    return name;
+  }
+  return env.outdir + "/" + name;
+}
+
+/// Open `path` for writing, creating parent directories. Exits with a clear
+/// message on failure — a bench that cannot write its artifacts must not
+/// pretend the run succeeded.
+inline std::ofstream open_output(const std::string& path,
+                                 std::ios::openmode mode = std::ios::out) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) {
+      std::fprintf(stderr, "error: cannot create directory '%s' for output '%s': %s\n",
+                   target.parent_path().c_str(), path.c_str(), ec.message().c_str());
+      std::exit(2);
+    }
+  }
+  std::ofstream out(path, mode);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open output file '%s' for writing\n", path.c_str());
+    std::exit(2);
+  }
+  return out;
+}
 
 inline Env make_env(int argc, char** argv, long long default_samples) {
   util::CliFlags flags(argc, argv);
   Env env;
   env.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   env.samples = flags.get_int("samples", default_samples);
+  env.outdir = flags.get("outdir", ".");
+  require_dir(env.outdir);
+  // Relative artifact paths land in --outdir like every other output.
   env.csv_path = flags.get("csv", "");
+  if (!env.csv_path.empty()) env.csv_path = out_path(env, env.csv_path);
+  env.manifest_path = flags.get("manifest", "");
+  if (!env.manifest_path.empty()) env.manifest_path = out_path(env, env.manifest_path);
   env.config.seed = env.seed;
   env.config.train_clips_per_class = static_cast<int>(flags.get_int("train", 160));
   env.config.draws_per_bucket = static_cast<int>(flags.get_int("draws", 3));
+
+  // Manifest bookkeeping: record the run inputs up front; metrics are added
+  // by the bench as it goes and flushed by write_manifest.
+  env.manifest.tool = std::filesystem::path(flags.program()).filename().string();
+  for (int i = 1; i < argc; ++i) env.manifest.args.push_back(argv[i]);
+  env.manifest.config["seed"] = static_cast<long long>(env.seed);
+  env.manifest.config["samples"] = env.samples;
+  env.manifest.config["train_clips_per_class"] = env.config.train_clips_per_class;
+  env.manifest.config["draws_per_bucket"] = env.config.draws_per_bucket;
+  env.manifest.config["outdir"] = env.outdir;
+  if (!env.manifest_path.empty()) obs::Registry::global().set_enabled(true);
+
   std::printf("[setup] training backend (%d clips/class, seed %llu)...\n",
               env.config.train_clips_per_class,
               static_cast<unsigned long long>(env.seed));
   std::fflush(stdout);
-  env.chat = std::make_unique<core::ChatPattern>(env.config);
+  {
+    const obs::Span span = obs::trace_scope("bench/setup");
+    env.chat = std::make_unique<core::ChatPattern>(env.config);
+  }
   return env;
+}
+
+/// Write the run manifest when --manifest was given; no-op otherwise. Call
+/// once at the end of main (extra metrics can be merged in beforehand via
+/// env.manifest.metrics). Exits non-zero if the manifest cannot be written.
+inline void write_manifest(Env& env) {
+  if (env.manifest_path.empty()) return;
+  std::string error;
+  if (!env.manifest.write(env.manifest_path, obs::Registry::global(), &error)) {
+    std::fprintf(stderr, "error: manifest: %s\n", error.c_str());
+    std::exit(2);
+  }
+  std::printf("[manifest] wrote %s\n", env.manifest_path.c_str());
 }
 
 inline void csv_row(const Env& env, const std::string& line) {
   if (env.csv_path.empty()) return;
-  std::ofstream out(env.csv_path, std::ios::app);
+  std::ofstream out = open_output(env.csv_path, std::ios::app);
   out << line << "\n";
 }
 

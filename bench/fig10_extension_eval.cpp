@@ -63,7 +63,11 @@ int main(int argc, char** argv) {
     for (int size : {256, 512, 768}) {
       std::printf("best method for %s @ %d: %s\n", dataset::style_name(style).c_str(), size,
                   experience.best_method(dataset::style_name(style), size).c_str());
+      env.manifest.metrics[util::format("best_method_style%d_%d", style, size)] =
+          experience.best_method(dataset::style_name(style), size);
     }
   }
+  env.manifest.metrics["experience"] = experience.to_json();
+  bench::write_manifest(env);
   return 0;
 }

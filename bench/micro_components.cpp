@@ -5,10 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "dataset/builder.h"
 #include "diffusion/cascade.h"
 #include "diffusion/trainer.h"
 #include "legalize/legalizer.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
 #include "squish/normalize.h"
 
 namespace {
@@ -162,4 +169,47 @@ BENCHMARK(BM_ComplexityMetric);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags it
+// does not know, so the shared --manifest/--outdir options are stripped from
+// argv before benchmark::Initialize sees them. With --manifest the global
+// observability registry is enabled for the run and a JSON run manifest
+// (instrumented spans/counters from the exercised components) is written on
+// exit — see docs/OBSERVABILITY.md.
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string outdir;
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    auto take_value = [&](const char* flag, std::string* out) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 < argc) *out = argv[++i];
+      return true;
+    };
+    if (take_value("--manifest", &manifest_path) || take_value("--outdir", &outdir)) continue;
+    bench_argv.push_back(argv[i]);
+  }
+  if (!manifest_path.empty()) cp::obs::Registry::global().set_enabled(true);
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!manifest_path.empty()) {
+    if (!outdir.empty() && outdir != "." && manifest_path.front() != '/') {
+      manifest_path = outdir + "/" + manifest_path;
+    }
+    cp::obs::RunManifest manifest;
+    manifest.tool = "micro_components";
+    for (int i = 1; i < argc; ++i) manifest.args.push_back(argv[i]);
+    std::string error;
+    if (!manifest.write(manifest_path, cp::obs::Registry::global(), &error)) {
+      std::fprintf(stderr, "error: manifest: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("[manifest] wrote %s\n", manifest_path.c_str());
+  }
+  return 0;
+}

@@ -42,7 +42,7 @@ std::uint64_t batch_hash(const std::vector<squish::Topology>& batch) {
 int main(int argc, char** argv) {
   bench::Env env = bench::make_env(argc, argv, /*default_samples=*/8);
   util::CliFlags flags(argc, argv);
-  const std::string json_path = flags.get("json", "BENCH_parallel.json");
+  const std::string json_path = bench::out_path(env, flags.get("json", "BENCH_parallel.json"));
   const int max_threads = static_cast<int>(flags.get_int("maxthreads", 8));
   const int n = static_cast<int>(env.samples);
 
@@ -109,6 +109,9 @@ int main(int argc, char** argv) {
     rows.push_back(util::Json(std::move(row)));
   }
 
+  env.manifest.metrics["deterministic_across_thread_counts"] = deterministic;
+  env.manifest.metrics["rows"] = util::Json(rows);
+
   util::JsonObject report;
   report["bench"] = "parallel_scaling";
   report["workload"] = "cascade sampler, 128x128, 16 visited steps, style Layer-10001";
@@ -117,9 +120,10 @@ int main(int argc, char** argv) {
   report["hardware_threads"] = util::ThreadPool::hardware_threads();
   report["deterministic_across_thread_counts"] = deterministic;
   report["rows"] = util::Json(std::move(rows));
-  std::ofstream out(json_path);
+  std::ofstream out = bench::open_output(json_path);
   out << util::Json(std::move(report)).dump(2) << "\n";
   std::printf("\ndeterministic across thread counts: %s\nreport: %s\n",
               deterministic ? "yes" : "NO", json_path.c_str());
+  bench::write_manifest(env);
   return deterministic ? 0 : 1;
 }

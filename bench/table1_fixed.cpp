@@ -166,6 +166,8 @@ int main(int argc, char** argv) {
                      rt.diversity);
     bench::csv_row(env, util::format("fixed,diffpattern,total,%.4f,%.4f", rt.legality_pct,
                                      rt.diversity));
+    env.manifest.metrics["diffpattern_total_legality_pct"] = rt.legality_pct;
+    env.manifest.metrics["diffpattern_total_diversity"] = rt.diversity;
   }
 
   // ---- ChatPattern: conditional model on the union dataset ----
@@ -187,10 +189,13 @@ int main(int argc, char** argv) {
                      rt.diversity);
     bench::csv_row(env, util::format("fixed,chatpattern,total,%.4f,%.4f", rt.legality_pct,
                                      rt.diversity));
+    env.manifest.metrics["chatpattern_total_legality_pct"] = rt.legality_pct;
+    env.manifest.metrics["chatpattern_total_diversity"] = rt.diversity;
   }
 
   std::printf(
       "\nExpected shape (paper): CAE << VCAE < LayouTransformer < DiffPattern <= ChatPattern\n"
       "in legality, with ChatPattern ~matching DiffPattern per layer and winning on Total.\n");
+  bench::write_manifest(env);
   return 0;
 }

@@ -9,19 +9,6 @@
 
 using namespace cp;
 
-namespace {
-
-struct CellResult {
-  double legality_pct = 0.0;
-  double diversity = 0.0;
-};
-
-void accumulate_total(CellResult& total, const CellResult& cell, int cells) {
-  total.legality_pct += cell.legality_pct / cells;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   bench::Env env = bench::make_env(argc, argv, /*default_samples=*/0);
   util::CliFlags flags(argc, argv);
@@ -134,6 +121,10 @@ int main(int argc, char** argv) {
       both.insert(both.end(), legal[1].begin(), legal[1].end());
       bench::print_row(task, "ChatPattern", "Layer-10001/3", "Total", legality_sum / 2.0,
                        metrics::diversity(both));
+      env.manifest.metrics[util::format("chatpattern_%d_legality_pct", size)] =
+          legality_sum / 2.0;
+      env.manifest.metrics[util::format("chatpattern_%d_diversity", size)] =
+          metrics::diversity(both);
     }
     std::printf("%s\n", std::string(95, '-').c_str());
   }
@@ -142,5 +133,6 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper): concatenation legality collapses as size grows (seam\n"
       "violations compound multiplicatively with the seam count) while ChatPattern's\n"
       "extension stays far ahead at 256^2 and above.\n");
+  bench::write_manifest(env);
   return 0;
 }

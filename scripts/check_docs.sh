@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Docs/source cross-check, wired as a ctest (see tests/CMakeLists.txt).
+#
+# Verifies that the documentation cannot silently drift from the source tree:
+#   1. every src/<module> directory is mentioned in DESIGN.md;
+#   2. every bench binary (add_cp_bench + add_executable targets in
+#      bench/CMakeLists.txt) is mentioned in EXPERIMENTS.md;
+#   3. the documents cross-referenced from DESIGN.md/EXPERIMENTS.md exist.
+#
+# Usage: check_docs.sh [repo-root]   (defaults to the script's parent dir)
+
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+fail=0
+
+err() {
+  echo "check_docs: $*" >&2
+  fail=1
+}
+
+[ -f "$root/DESIGN.md" ] || { echo "check_docs: $root/DESIGN.md not found" >&2; exit 1; }
+[ -f "$root/EXPERIMENTS.md" ] || { echo "check_docs: $root/EXPERIMENTS.md not found" >&2; exit 1; }
+
+# 1. Every src/<module> must appear (as "src/<module>") in DESIGN.md.
+for dir in "$root"/src/*/; do
+  module="$(basename "$dir")"
+  grep -q "src/$module" "$root/DESIGN.md" ||
+    err "DESIGN.md does not mention src/$module"
+done
+
+# 2. Every bench target must appear in EXPERIMENTS.md.
+benches="$(sed -n 's/^add_cp_bench(\([a-z0-9_]*\).*/\1/p;s/^add_executable(\([a-z0-9_]*\).*/\1/p' \
+  "$root/bench/CMakeLists.txt")"
+[ -n "$benches" ] || err "no bench targets parsed from bench/CMakeLists.txt"
+for b in $benches; do
+  grep -q "$b" "$root/EXPERIMENTS.md" ||
+    err "EXPERIMENTS.md does not mention bench binary $b"
+done
+
+# 3. Cross-referenced documents must exist.
+for doc in docs/OBSERVABILITY.md ROADMAP.md README.md; do
+  [ -f "$root/$doc" ] || err "referenced document $doc is missing"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED — update the docs alongside the source tree" >&2
+  exit 1
+fi
+echo "check_docs: OK ($(echo "$benches" | wc -w) benches, $(ls -d "$root"/src/*/ | wc -l) modules)"

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <chrono>
 
+#include "obs/registry.h"
 #include "util/strings.h"
 
 namespace cp::agent {
@@ -28,6 +29,7 @@ std::string pretty_action(const std::string& tool) {
 }  // namespace
 
 ExecutionResult Executor::run(const RequirementList& requirement) {
+  const obs::Span run_span = obs::trace_scope("agent/execute");
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
   auto elapsed = [&] {
@@ -91,10 +93,18 @@ ExecutionResult Executor::run(const RequirementList& requirement) {
         continue;
       }
 
-      // A real tool call.
+      // A real tool call. One span per invocation, keyed by tool name, so
+      // the manifest breaks agent time down per tool ("agent/execute/tool/
+      // topology_legalization", ...).
       result.transcript.push_back("Action: " + pretty_action(action.action));
       result.transcript.push_back("Action Input: " + action.input.dump());
-      const ToolResult tr = tools_->call(action.action, action.input);
+      ToolResult tr;
+      {
+        const obs::Span tool_span = obs::trace_scope("tool/" + action.action);
+        tr = tools_->call(action.action, action.input);
+      }
+      obs::count("agent/tool_calls");
+      obs::count((tr.ok ? "agent/tool_ok/" : "agent/tool_error/") + action.action);
       ++result.stats.tool_calls;
       result.transcript.push_back("Observation: " + tr.payload.dump());
 
@@ -156,6 +166,14 @@ ExecutionResult Executor::run(const RequirementList& requirement) {
     }
   }
   result.stats.elapsed_s = elapsed();
+  obs::count("agent/items_requested", result.stats.requested);
+  obs::count("agent/produced", result.stats.produced);
+  obs::count("agent/dropped", result.stats.dropped);
+  obs::count("agent/gave_up", result.stats.gave_up);
+  obs::count("agent/regenerations", result.stats.regenerations);
+  obs::count("agent/modifications", result.stats.modifications);
+  obs::count("agent/legalization_failures", result.stats.legalization_failures);
+  if (result.stats.time_limit_hit) obs::count("agent/time_limit_hits");
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "agent/planner.h"
 
+#include "obs/registry.h"
+
 #include <algorithm>
 
 #include "extension/planner.h"
@@ -17,6 +19,8 @@ std::string TaskPlan::to_text() const {
 
 TaskPlan plan_tasks(const RequirementList& req, int window, int stride,
                     const ExperienceStore* experience) {
+  const obs::Span span = obs::trace_scope("agent/plan");
+  obs::count("agent/plans");
   TaskPlan plan;
   const bool fits = req.topo_rows <= window && req.topo_cols <= window;
   if (fits) {

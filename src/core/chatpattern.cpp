@@ -3,11 +3,13 @@
 #include <fstream>
 
 #include "dataset/style.h"
+#include "obs/registry.h"
 #include "util/logging.h"
 
 namespace cp::core {
 
 ChatPattern::ChatPattern(const ChatPatternConfig& config) : config_(config) {
+  const obs::Span span = obs::trace_scope("core/build_backend");
   // 1. Datasets: one per style, normalised to the model window.
   for (int s = 0; s < dataset::kStyleCount; ++s) {
     dataset::DatasetConfig dc;

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "io/gds.h"
+#include "obs/registry.h"
 #include "util/strings.h"
 
 namespace cp::core {
@@ -15,6 +16,7 @@ PopulateStats PatternLibrary::populate(const diffusion::TopologyGenerator& gener
                                        geometry::Coord width_nm, geometry::Coord height_nm,
                                        int count, std::uint64_t seed, util::ThreadPool* pool,
                                        long long max_attempts) {
+  const obs::Span span = obs::trace_scope("library/populate");
   PopulateStats stats;
   if (count <= 0) {
     stats.complete = true;
@@ -39,6 +41,8 @@ PopulateStats PatternLibrary::populate(const diffusion::TopologyGenerator& gener
         max_attempts - stats.attempts,
         std::max<long long>(remaining * 2, static_cast<long long>(remaining / yield) + 1));
     ++stats.rounds;
+    obs::count("library/rounds");
+    const obs::Span round_span = obs::trace_scope("round");
 
     const std::vector<squish::Topology> candidates =
         batch.sample_batch(sample_config, static_cast<int>(want), root, next_stream);
@@ -46,6 +50,7 @@ PopulateStats PatternLibrary::populate(const diffusion::TopologyGenerator& gener
 
     // Legalization is independent per candidate: fan it out into slots,
     // then accept in stream order until the library is full.
+    const obs::Span legalize_span = obs::trace_scope("legalize_batch");
     std::vector<legalize::LegalizeResult> results(candidates.size());
     auto legalize_one = [&](long long i) {
       results[static_cast<std::size_t>(i)] =
@@ -68,6 +73,9 @@ PopulateStats PatternLibrary::populate(const diffusion::TopologyGenerator& gener
     }
   }
   stats.complete = accepted == count;
+  obs::count("library/attempts", stats.attempts);
+  obs::count("library/accepted", accepted);
+  if (!stats.complete) obs::count("library/incomplete_populates");
   return stats;
 }
 

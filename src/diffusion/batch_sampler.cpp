@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace cp::diffusion {
 
 bool BatchSampler::parallel() const {
@@ -12,6 +14,8 @@ std::vector<squish::Topology> BatchSampler::sample_batch(const SampleConfig& con
                                                          const util::Rng& root,
                                                          std::uint64_t first_stream) const {
   if (count < 0) throw std::invalid_argument("sample_batch: negative count");
+  const obs::Span span = obs::trace_scope("sampler/batch_sample");
+  obs::count("sampler/batch_samples", count);
   std::vector<squish::Topology> out(static_cast<std::size_t>(count));
   auto one = [&](long long i) {
     util::Rng rng = root.fork(first_stream + static_cast<std::uint64_t>(i));
@@ -31,6 +35,8 @@ std::vector<squish::Topology> BatchSampler::modify_batch(
   if (known.size() != keep_masks.size()) {
     throw std::invalid_argument("modify_batch: known/keep_masks size mismatch");
   }
+  const obs::Span span = obs::trace_scope("sampler/batch_modify");
+  obs::count("sampler/batch_modifies", static_cast<long long>(known.size()));
   std::vector<squish::Topology> out(known.size());
   auto one = [&](long long i) {
     const auto idx = static_cast<std::size_t>(i);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace cp::diffusion {
 
 CascadeSampler::CascadeSampler(const NoiseSchedule& schedule, const Denoiser& coarse,
@@ -14,6 +16,7 @@ squish::Topology CascadeSampler::refine(const squish::Topology& coarse_up,
                                         const squish::Topology& known,
                                         const squish::Topology& keep_mask, int condition,
                                         int steps, util::Rng& rng) const {
+  const obs::Span span = obs::trace_scope("refine");
   squish::Topology x = coarse_up;
 
   if (config_.refine_flip > 0.0) {
@@ -60,6 +63,8 @@ squish::Topology CascadeSampler::sample(const SampleConfig& config, util::Rng& r
     padded.cols = (config.cols + config_.factor - 1) / config_.factor * config_.factor;
     return sample(padded, rng).window(0, 0, config.rows, config.cols);
   }
+  const obs::Span span = obs::trace_scope("sampler/cascade_sample");
+  obs::count("sampler/cascade_samples");
   SampleConfig coarse_cfg;
   coarse_cfg.rows = config.rows / config_.factor;
   coarse_cfg.cols = config.cols / config_.factor;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace cp::diffusion {
 
 std::vector<int> DiffusionSampler::make_timesteps(int count) const {
@@ -38,6 +40,10 @@ std::vector<int> DiffusionSampler::make_timesteps_from(int k_start, int count) c
 squish::Topology DiffusionSampler::reverse_step(const squish::Topology& xk, int k_from, int k_to,
                                                 int condition, util::Rng& rng) const {
   if (k_to >= k_from) throw std::invalid_argument("reverse_step: k_to must be < k_from");
+  // Per-step granularity: one span per reverse jump, never per pixel (the
+  // pixel loop is the hot path; see docs/OBSERVABILITY.md "Overhead").
+  const obs::Span span = obs::trace_scope("denoise_step");
+  obs::count("sampler/denoise_steps");
   return sequential_ ? reverse_step_sequential(xk, k_from, k_to, condition, rng)
                      : reverse_step_factorized(xk, k_from, k_to, condition, rng);
 }
@@ -126,6 +132,8 @@ squish::Topology DiffusionSampler::reverse_step_sequential(const squish::Topolog
 
 squish::Topology DiffusionSampler::map_polish(squish::Topology x, int k, int condition,
                                               const squish::Topology& keep_mask) const {
+  const obs::Span span = obs::trace_scope("map_polish");
+  obs::count("sampler/map_polish_calls");
   const int kk = std::clamp(k, 1, schedule_->steps());
   // Treat the current pattern as if it sat at noise level kk and take the
   // most probable clean value per pixel, sequentially (serpentine).
@@ -170,6 +178,8 @@ squish::Topology DiffusionSampler::map_polish(squish::Topology x, int k, int con
 }
 
 squish::Topology DiffusionSampler::sample(const SampleConfig& config, util::Rng& rng) const {
+  const obs::Span span = obs::trace_scope("sampler/sample");
+  obs::count("sampler/samples");
   squish::Topology x(config.rows, config.cols);
   for (int r = 0; r < x.rows(); ++r) {
     for (int c = 0; c < x.cols(); ++c) x.set(r, c, rng.bernoulli(0.5) ? 1 : 0);
@@ -183,6 +193,8 @@ squish::Topology DiffusionSampler::sample(const SampleConfig& config, util::Rng&
 
 squish::Topology DiffusionSampler::polish(squish::Topology x0, int polish_k, int condition,
                                           util::Rng& rng) const {
+  const obs::Span span = obs::trace_scope("polish");
+  obs::count("sampler/polish_rounds");
   const int k = std::clamp(polish_k, 1, schedule_->steps());
   squish::Topology xk = forward_noise(x0, *schedule_, k, rng);
   // Descend geometrically from k to 0.

@@ -7,6 +7,7 @@
 
 #include "diffusion/transition.h"
 #include "nn/optim.h"
+#include "obs/registry.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -52,6 +53,7 @@ TrainStats train_mlp(MlpDenoiser& model,
                      const std::vector<std::vector<squish::Topology>>& per_class,
                      const TrainConfig& config) {
   if (per_class.empty()) throw std::invalid_argument("train_mlp: no data");
+  const obs::Span train_span = obs::trace_scope("trainer/train_mlp");
   const NoiseSchedule& schedule = model.schedule();
   util::Rng rng(config.seed);
   nn::Adam opt(model.net().params(), config.lr);
@@ -86,6 +88,8 @@ TrainStats train_mlp(MlpDenoiser& model,
     const double flip_0j = schedule.cumulative_flip(k - 1);
     const double flip_jk = schedule.beta(k);
 
+    const obs::Span iter_span = obs::trace_scope("iteration");
+    obs::count("trainer/iterations");
     const int batch = config.batch_pixels;
     nn::Tensor features({batch, fdim});
     std::vector<int> targets(static_cast<std::size_t>(batch));
@@ -96,14 +100,18 @@ TrainStats train_mlp(MlpDenoiser& model,
       pick_r[static_cast<std::size_t>(i)] = rng.uniform_int(0, x0.rows() - 1);
       pick_c[static_cast<std::size_t>(i)] = rng.uniform_int(0, x0.cols() - 1);
     }
-    for_each_pixel(batch, [&](long long i) {
-      const auto idx = static_cast<std::size_t>(i);
-      model.pixel_features(xk, pick_r[idx], pick_c[idx], k, cond,
-                           features.data() + idx * static_cast<std::size_t>(fdim));
-      targets[idx] = x0.at(pick_r[idx], pick_c[idx]);
-      noisy[idx] = xk.at(pick_r[idx], pick_c[idx]);
-    });
+    {
+      const obs::Span features_span = obs::trace_scope("features");
+      for_each_pixel(batch, [&](long long i) {
+        const auto idx = static_cast<std::size_t>(i);
+        model.pixel_features(xk, pick_r[idx], pick_c[idx], k, cond,
+                             features.data() + idx * static_cast<std::size_t>(fdim));
+        targets[idx] = x0.at(pick_r[idx], pick_c[idx]);
+        noisy[idx] = xk.at(pick_r[idx], pick_c[idx]);
+      });
+    }
 
+    const obs::Span grad_span = obs::trace_scope("grad");
     model.net().zero_grad();
     const nn::Tensor logits = model.net().forward(features);
     nn::Tensor grad({batch, 1});
@@ -124,18 +132,21 @@ TrainStats train_mlp(MlpDenoiser& model,
     opt.clip_grad_norm(config.grad_clip);
     opt.step();
 
+    obs::observe("trainer/loss", loss);
     if (config.log_every > 0 && iter % config.log_every == 0) {
       stats.losses.push_back(static_cast<float>(loss));
       CP_LOG_INFO << "train_mlp iter " << iter << " loss " << loss;
     }
     stats.final_loss = static_cast<float>(loss);
   }
+  obs::gauge("trainer/final_loss", static_cast<double>(stats.final_loss));
   return stats;
 }
 
 TabularDenoiser fit_tabular(const NoiseSchedule& schedule, const TabularConfig& config,
                             const std::vector<std::vector<squish::Topology>>& per_class,
                             std::uint64_t seed) {
+  const obs::Span span = obs::trace_scope("trainer/fit_tabular");
   TabularDenoiser model(schedule, config);
   util::Rng rng(seed);
   for (std::size_t cond = 0; cond < per_class.size(); ++cond) {
@@ -156,6 +167,7 @@ double evaluate_hybrid_loss(const Denoiser& model, const NoiseSchedule& schedule
     int k;
     int cond;
   };
+  const obs::Span span = obs::trace_scope("trainer/eval_hybrid_loss");
   util::Rng rng(seed);
   std::vector<Draw> items;
   for (std::size_t cond = 0; cond < per_class.size(); ++cond) {

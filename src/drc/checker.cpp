@@ -1,5 +1,7 @@
 #include "drc/checker.h"
 
+#include "obs/registry.h"
+
 #include <algorithm>
 
 #include "geometry/extract.h"
@@ -86,6 +88,8 @@ void add_violation(DrcReport& report, ViolationKind kind, int row0, int col0, in
 }  // namespace
 
 DrcReport check(const squish::SquishPattern& pattern, const DesignRules& rules) {
+  const obs::Span span = obs::trace_scope("drc/check");
+  obs::count("drc/checks");
   DrcReport report;
   const squish::Topology& t = pattern.topology;
   const int rows = t.rows();
@@ -164,6 +168,18 @@ DrcReport check(const squish::SquishPattern& pattern, const DesignRules& rules) 
     if (!on_border && area < rules.min_area_nm2) {
       add_violation(report, ViolationKind::kArea, comp.min_row, comp.min_col, comp.max_row + 1,
                     comp.max_col + 1, rules.min_area_nm2, area);
+    }
+  }
+  // Violation histogram (count per check) plus per-kind counters: the
+  // manifest's "where does quality go" view of a run.
+  obs::observe("drc/violations_per_check", static_cast<double>(report.violations.size()));
+  if (!report.clean()) obs::count("drc/dirty_checks");
+  for (const Violation& v : report.violations) {
+    switch (v.kind) {
+      case ViolationKind::kWidth: obs::count("drc/violation_width"); break;
+      case ViolationKind::kSpace: obs::count("drc/violation_space"); break;
+      case ViolationKind::kArea: obs::count("drc/violation_area"); break;
+      case ViolationKind::kPitch: obs::count("drc/violation_pitch"); break;
     }
   }
   return report;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/registry.h"
+
 namespace cp::extension {
 
 std::vector<std::vector<int>> tile_waves(const std::vector<TileJob>& jobs, int window) {
@@ -29,9 +31,16 @@ int run_tile_jobs(const diffusion::TopologyGenerator& generator, squish::Topolog
                   const std::vector<TileJob>& jobs, int window,
                   const diffusion::SampleConfig& sc, const diffusion::ModifyConfig& mc,
                   const util::Rng& root, util::ThreadPool* pool, int* waves_out) {
+  const obs::Span all_waves = obs::trace_scope("extension/tile_jobs");
+  obs::count("extension/tile_jobs", static_cast<long long>(jobs.size()));
   const std::vector<std::vector<int>> waves = tile_waves(jobs, window);
+  obs::count("extension/waves", static_cast<long long>(waves.size()));
   const bool fan_out = pool != nullptr && pool->size() > 1 && generator.thread_safe();
   for (const std::vector<int>& wave : waves) {
+    // Per-wave wall time: waves are the parallelism quanta of the tile
+    // scheduler, so their durations are the useful timing granularity.
+    const obs::Span wave_span = obs::trace_scope("wave");
+    obs::observe("extension/jobs_per_wave", static_cast<double>(wave.size()));
     auto run_one = [&](long long wi) {
       const int j = wave[static_cast<std::size_t>(wi)];
       const TileJob& job = jobs[static_cast<std::size_t>(j)];

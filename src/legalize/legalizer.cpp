@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geometry/extract.h"
+#include "obs/registry.h"
 #include "util/strings.h"
 
 namespace cp::legalize {
@@ -70,6 +71,9 @@ Coord Legalizer::required_height_nm(const squish::Topology& topology) const {
 
 LegalizeResult Legalizer::legalize(const squish::Topology& topology, Coord width_nm,
                                    Coord height_nm) const {
+  const obs::Span span = obs::trace_scope("legalize/attempt");
+  obs::count("legalize/attempts");
+  LegalizeResult result = [&]() -> LegalizeResult {
   LegalizeResult result;
   if (topology.empty()) {
     result.failure = make_failure('x', 0, 0, 0, 0, 0, width_nm);
@@ -156,6 +160,17 @@ LegalizeResult Legalizer::legalize(const squish::Topology& topology, Coord width
   }
   // Unreachable: the loop either returns a pattern or a failure.
   result.failure = make_failure('a', 0, 0, topology.rows(), topology.cols(), rules_.min_area_nm2, 0);
+  return result;
+  }();
+  if (result.ok()) {
+    obs::count("legalize/ok");
+  } else {
+    obs::count("legalize/fail");
+    const char axis = result.failure.has_value() ? result.failure->axis : '?';
+    obs::count(axis == 'x'   ? "legalize/fail_axis_x"
+               : axis == 'y' ? "legalize/fail_axis_y"
+                             : "legalize/fail_area");
+  }
   return result;
 }
 

@@ -1,0 +1,85 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace cp::obs {
+
+std::string git_describe() {
+  // Best-effort: the manifest is still valid without version info (e.g.
+  // when a bench runs from an installed tree). popen keeps this dependency-
+  // free; stderr is dropped so a missing repo stays silent.
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "";
+  char buffer[256];
+  std::string out;
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out += buffer;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+util::Json RunManifest::to_json(const Registry& registry) const {
+  util::JsonObject root;
+  root["schema_version"] = 1;
+  root["tool"] = tool;
+  util::JsonArray arg_array;
+  for (const std::string& arg : args) arg_array.push_back(util::Json(arg));
+  root["args"] = util::Json(std::move(arg_array));
+  root["timestamp_utc"] = utc_timestamp();
+
+  util::JsonObject environment;
+  environment["git_describe"] = git_describe();
+  environment["hardware_threads"] =
+      static_cast<long long>(std::thread::hardware_concurrency());
+  environment["obs_compiled_in"] = kCompiledIn;
+  environment["obs_enabled"] = registry.enabled();
+  root["environment"] = util::Json(std::move(environment));
+
+  root["config"] = util::Json(config);
+  root["metrics"] = util::Json(metrics);
+  root["observability"] = registry.snapshot().to_json();
+  return util::Json(std::move(root));
+}
+
+bool RunManifest::write(const std::string& path, const Registry& registry,
+                        std::string* error) const {
+  const std::filesystem::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) {
+      if (error != nullptr) {
+        *error = "cannot create directory '" + target.parent_path().string() +
+                 "': " + ec.message();
+      }
+      return false;
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << to_json(registry).dump(2) << "\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cp::obs

@@ -1,0 +1,43 @@
+#pragma once
+// JSON run manifests: one self-describing artifact per run that captures
+// what was run (tool + argv), how (config: seeds, thread counts, flags),
+// where (environment: git describe, hardware), what happened (result
+// metrics) and where the time went (the registry snapshot: counters,
+// gauges, histograms and the span tree). Every bench binary writes one via
+// the shared --manifest flag (bench/common.h); see docs/OBSERVABILITY.md
+// for the schema and how to read it.
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "util/json.h"
+
+namespace cp::obs {
+
+/// Best-effort `git describe --always --dirty` of the working directory;
+/// empty when git or the repository is unavailable. Never throws.
+std::string git_describe();
+
+/// UTC wall-clock timestamp "YYYY-MM-DDTHH:MM:SSZ".
+std::string utc_timestamp();
+
+struct RunManifest {
+  std::string tool;               // binary / harness name
+  std::vector<std::string> args;  // raw argv echo (argv[1..])
+  util::JsonObject config;        // seeds, thread counts, parsed flags
+  util::JsonObject metrics;       // final result metrics of the run
+
+  /// Assemble the full manifest: {schema_version, tool, args, timestamp_utc,
+  /// environment: {git_describe, hardware_threads, obs_compiled_in,
+  /// obs_enabled}, config, metrics, observability: <registry snapshot>}.
+  util::Json to_json(const Registry& registry = Registry::global()) const;
+
+  /// Serialise to `path` (pretty-printed), creating parent directories as
+  /// needed. Returns false and fills `error` (if non-null) on failure —
+  /// callers decide whether that is fatal.
+  bool write(const std::string& path, const Registry& registry = Registry::global(),
+             std::string* error = nullptr) const;
+};
+
+}  // namespace cp::obs

@@ -1,0 +1,204 @@
+#include "obs/registry.h"
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace cp::obs {
+
+namespace {
+
+/// Current '/'-joined span path of this thread. Registry-independent: it
+/// tracks call nesting, which is a property of the thread, not the sink.
+thread_local std::string t_span_path;
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: see header
+  return *instance;
+}
+
+Registry::Shard& Registry::local_shard() {
+  thread_local const std::size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shards_[index];
+}
+
+void Registry::add(std::string_view name, long long delta) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.counters[std::string(name)] += delta;
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.gauges[std::string(name)] = value;
+}
+
+void Registry::observe(std::string_view name, double value) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.histograms[std::string(name)].add(value);
+}
+
+void Registry::record_span(std::string_view path, double seconds) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.spans[std::string(path)].add(seconds);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, value] : shard.counters) out.counters[name] += value;
+    // Gauges are last-write-wins per shard; across shards the merge picks an
+    // arbitrary-but-stable winner (highest shard index). Gauges are meant
+    // for run-level scalars written once, so cross-thread races don't occur
+    // in practice.
+    for (const auto& [name, value] : shard.gauges) out.gauges[name] = value;
+    for (const auto& [path, stat] : shard.spans) out.spans[path].merge(stat);
+    for (const auto& [name, stat] : shard.histograms) out.histograms[name].merge(stat);
+  }
+  return out;
+}
+
+void Registry::reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.counters.clear();
+    shard.gauges.clear();
+    shard.spans.clear();
+    shard.histograms.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Span
+
+#ifndef CP_OBS_DISABLED
+
+Span::Span(std::string_view name, Registry* registry) {
+  Registry* target = registry != nullptr ? registry : &Registry::global();
+  if (!target->enabled()) return;  // stays inactive for its whole lifetime
+  registry_ = target;
+  prev_len_ = t_span_path.size();
+  if (!t_span_path.empty()) t_span_path += '/';
+  t_span_path += name;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (registry_ == nullptr) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  registry_->record_span(t_span_path, seconds);
+  t_span_path.resize(prev_len_);
+}
+
+#else  // CP_OBS_DISABLED: fully inert
+
+Span::Span(std::string_view, Registry*) {}
+Span::~Span() {}
+
+#endif
+
+// ---------------------------------------------------------------------------
+// Snapshot rendering
+
+namespace {
+
+util::Json timer_json(const TimerStat& stat) {
+  util::JsonObject o;
+  o["count"] = stat.count;
+  o["total_s"] = stat.total_s;
+  o["mean_s"] = stat.count == 0 ? 0.0 : stat.total_s / static_cast<double>(stat.count);
+  o["min_s"] = stat.min_s;
+  o["max_s"] = stat.max_s;
+  return util::Json(std::move(o));
+}
+
+util::Json value_json(const ValueStat& stat) {
+  util::JsonObject o;
+  o["count"] = stat.count;
+  o["sum"] = stat.sum;
+  o["mean"] = stat.count == 0 ? 0.0 : stat.sum / static_cast<double>(stat.count);
+  o["min"] = stat.min;
+  o["max"] = stat.max;
+  util::JsonArray buckets;
+  double upper = 1.0;
+  for (int i = 0; i < ValueStat::kBuckets; ++i, upper *= 2.0) {
+    const long long n = stat.buckets[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    util::JsonObject b;
+    b["le"] = upper;
+    b["count"] = n;
+    buckets.push_back(util::Json(std::move(b)));
+  }
+  o["buckets"] = util::Json(std::move(buckets));
+  return util::Json(std::move(o));
+}
+
+/// Split a '/'-joined span path into components.
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    const std::size_t slash = path.find('/', begin);
+    if (slash == std::string::npos) {
+      parts.push_back(path.substr(begin));
+      break;
+    }
+    parts.push_back(path.substr(begin, slash - begin));
+    begin = slash + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+util::Json Snapshot::to_json() const {
+  util::JsonObject root;
+
+  util::JsonObject counters_obj;
+  for (const auto& [name, value] : counters) counters_obj[name] = value;
+  root["counters"] = util::Json(std::move(counters_obj));
+
+  util::JsonObject gauges_obj;
+  for (const auto& [name, value] : gauges) gauges_obj[name] = value;
+  root["gauges"] = util::Json(std::move(gauges_obj));
+
+  util::JsonObject spans_obj;
+  for (const auto& [path, stat] : spans) spans_obj[path] = timer_json(stat);
+  root["spans"] = util::Json(std::move(spans_obj));
+
+  // Nested rendering of the same data: node = {<stats>, "children": {...}}.
+  // Intermediate path components that never closed a span of their own
+  // appear with children only.
+  util::Json tree{util::JsonObject{}};
+  for (const auto& [path, stat] : spans) {
+    util::Json* node = &tree;
+    for (const std::string& part : split_path(path)) {
+      util::Json& children = (*node)["children"];
+      node = &children[part];
+    }
+    const util::Json rendered = timer_json(stat);
+    for (const auto& [key, value] : rendered.as_object()) (*node)[key] = value;
+  }
+  root["span_tree"] =
+      tree.is_object() && tree.contains("children") ? tree.at("children") : util::Json(util::JsonObject{});
+
+  util::JsonObject histograms_obj;
+  for (const auto& [name, stat] : histograms) histograms_obj[name] = value_json(stat);
+  root["histograms"] = util::Json(std::move(histograms_obj));
+
+  return util::Json(std::move(root));
+}
+
+}  // namespace cp::obs

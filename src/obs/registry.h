@@ -1,0 +1,212 @@
+#pragma once
+// Observability substrate: process-wide counters, gauges, value histograms
+// and hierarchical span timers (see docs/OBSERVABILITY.md).
+//
+// Design:
+//   * Recording goes through free functions (obs::count / obs::gauge /
+//     obs::observe) and the RAII obs::Span returned by obs::trace_scope.
+//     All of them are no-ops unless the registry is enabled at runtime
+//     (one relaxed atomic load on the fast path), and compile to nothing
+//     when the library is built with -DCHATPATTERN_OBS=OFF.
+//   * Storage is sharded by thread: a writer locks the shard owned by its
+//     thread-id hash, so the mutex is effectively uncontended per-thread
+//     accumulation. snapshot() merges every shard into one Snapshot — the
+//     "merge on flush". All merge operations (sums, min/max, bucket adds)
+//     are commutative and associative, so the merged totals are identical
+//     for every thread count and interleaving.
+//   * Span paths are hierarchical per thread: nested Spans join their names
+//     with '/' ("sampler/sample/denoise_step"). The path stack is
+//     thread-local, so work fanned out to a pool roots a fresh path on the
+//     worker thread; identical work is still aggregated because equal paths
+//     merge (see docs/OBSERVABILITY.md "Span paths and threads").
+//   * util::Rng is untouched: the registry never draws randomness, so
+//     instrumentation cannot perturb any deterministic output.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace cp::obs {
+
+/// True when instrumentation is compiled in (CHATPATTERN_OBS=ON, default).
+inline constexpr bool kCompiledIn =
+#ifdef CP_OBS_DISABLED
+    false;
+#else
+    true;
+#endif
+
+/// Aggregate of one span path: invocation count + wall-time statistics.
+struct TimerStat {
+  long long count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+
+  void add(double seconds) {
+    if (count == 0 || seconds < min_s) min_s = seconds;
+    if (count == 0 || seconds > max_s) max_s = seconds;
+    ++count;
+    total_s += seconds;
+  }
+  void merge(const TimerStat& other) {
+    if (other.count == 0) return;
+    if (count == 0 || other.min_s < min_s) min_s = other.min_s;
+    if (count == 0 || other.max_s > max_s) max_s = other.max_s;
+    count += other.count;
+    total_s += other.total_s;
+  }
+};
+
+/// Aggregate of one observed value stream: moments plus a power-of-two
+/// histogram. Bucket i counts observations with value <= 2^i (bucket 0
+/// additionally holds everything <= 1, including zero and negatives); the
+/// last bucket is a catch-all.
+struct ValueStat {
+  static constexpr int kBuckets = 32;
+
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<long long, kBuckets> buckets{};
+
+  static int bucket_for(double value) {
+    double upper = 1.0;
+    int index = 0;
+    while (value > upper && index < kBuckets - 1) {
+      upper *= 2.0;
+      ++index;
+    }
+    return index;
+  }
+  void add(double value) {
+    if (count == 0 || value < min) min = value;
+    if (count == 0 || value > max) max = value;
+    ++count;
+    sum += value;
+    ++buckets[static_cast<std::size_t>(bucket_for(value))];
+  }
+  void merge(const ValueStat& other) {
+    if (other.count == 0) return;
+    if (count == 0 || other.min < min) min = other.min;
+    if (count == 0 || other.max > max) max = other.max;
+    count += other.count;
+    sum += other.sum;
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets[static_cast<std::size_t>(i)] += other.buckets[static_cast<std::size_t>(i)];
+    }
+  }
+};
+
+/// A merged, immutable view of everything the registry has accumulated.
+/// Ordered maps so the JSON rendering is stable.
+struct Snapshot {
+  std::map<std::string, long long> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStat> spans;      // key = '/'-joined span path
+  std::map<std::string, ValueStat> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "spans": {path: {count, total_s,
+  /// mean_s, min_s, max_s}}, "span_tree": nested-by-path, "histograms":
+  /// {name: {count, sum, mean, min, max, buckets: [{le, count}, ...]}}}.
+  util::Json to_json() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every instrumentation site records into.
+  /// Never destroyed (intentionally leaked) so worker threads may record
+  /// during static destruction without ordering hazards.
+  static Registry& global();
+
+  /// Runtime switch; disabled by default so uninstrumented runs pay only
+  /// the atomic check. Enabling mid-run is safe.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Monotonic counter `name` += delta.
+  void add(std::string_view name, long long delta = 1);
+  /// Last-write-wins gauge.
+  void set_gauge(std::string_view name, double value);
+  /// One observation of a value histogram.
+  void observe(std::string_view name, double value);
+  /// One completed span at `path` lasting `seconds`.
+  void record_span(std::string_view path, double seconds);
+
+  /// Merge every shard into one view ("flush"). Safe concurrently with
+  /// writers; writers racing the flush land in the next snapshot.
+  Snapshot snapshot() const;
+
+  /// Drop everything recorded so far (the enabled flag is unchanged).
+  void reset();
+
+ private:
+  // One shard per thread-id hash bucket: writers from distinct threads
+  // almost never share a shard, so the per-record lock is uncontended.
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, long long> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, TimerStat> spans;
+    std::map<std::string, ValueStat> histograms;
+  };
+  Shard& local_shard();
+
+  std::atomic<bool> enabled_{false};
+  std::array<Shard, kShards> shards_;
+};
+
+/// RAII hierarchical timer. Construction pushes `name` onto the calling
+/// thread's span path; destruction records the elapsed wall time for the
+/// full '/'-joined path and pops. Inert when the registry is disabled (the
+/// decision is taken at construction) or when instrumentation is compiled
+/// out.
+class Span {
+ public:
+  explicit Span(std::string_view name, Registry* registry = nullptr);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&&) = delete;
+  Span& operator=(Span&&) = delete;
+
+ private:
+#ifndef CP_OBS_DISABLED
+  Registry* registry_ = nullptr;  // null => inactive
+  std::size_t prev_len_ = 0;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+/// `const obs::Span span = obs::trace_scope("sampler/sample");`
+/// (guaranteed copy elision; the Span never moves).
+inline Span trace_scope(std::string_view name, Registry* registry = nullptr) {
+  return Span(name, registry);
+}
+
+/// Convenience recorders against the global registry; compile to nothing
+/// with CHATPATTERN_OBS=OFF and to one relaxed load when disabled.
+inline void count(std::string_view name, long long delta = 1) {
+  if constexpr (kCompiledIn) Registry::global().add(name, delta);
+}
+inline void gauge(std::string_view name, double value) {
+  if constexpr (kCompiledIn) Registry::global().set_gauge(name, value);
+}
+inline void observe(std::string_view name, double value) {
+  if constexpr (kCompiledIn) Registry::global().observe(name, value);
+}
+
+}  // namespace cp::obs

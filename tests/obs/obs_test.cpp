@@ -1,0 +1,239 @@
+// Unit tests for the observability substrate: counters/gauges/histograms,
+// nested span trees, thread-merge determinism and the run-manifest JSON
+// round-trip. The concurrent stress suite lives in obs_stress_test.cpp so
+// the TSAN build can target it (ctest -R 'thread_pool|batch|obs_stress').
+
+#include "obs/manifest.h"
+#include "obs/registry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace cp::obs {
+namespace {
+
+TEST(RegistryTest, CountersAndGauges) {
+  Registry r;
+  r.set_enabled(true);
+  r.add("items");
+  r.add("items", 4);
+  r.add("other", 2);
+  r.set_gauge("loss", 0.5);
+  r.set_gauge("loss", 0.25);  // last write wins
+
+  const Snapshot snap = r.snapshot();
+  EXPECT_EQ(snap.counters.at("items"), 5);
+  EXPECT_EQ(snap.counters.at("other"), 2);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("loss"), 0.25);
+}
+
+TEST(RegistryTest, DisabledRecordsNothing) {
+  Registry r;  // disabled by default
+  r.add("items");
+  r.set_gauge("g", 1.0);
+  r.observe("h", 2.0);
+  r.record_span("s", 0.1);
+  { const Span span = trace_scope("s", &r); }
+
+  const Snapshot snap = r.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.spans.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(RegistryTest, ResetClearsDataButKeepsEnabled) {
+  Registry r;
+  r.set_enabled(true);
+  r.add("items");
+  r.reset();
+  EXPECT_TRUE(r.enabled());
+  EXPECT_TRUE(r.snapshot().counters.empty());
+  r.add("items", 3);
+  EXPECT_EQ(r.snapshot().counters.at("items"), 3);
+}
+
+TEST(RegistryTest, HistogramStatsAndBuckets) {
+  EXPECT_EQ(ValueStat::bucket_for(0.0), 0);
+  EXPECT_EQ(ValueStat::bucket_for(1.0), 0);
+  EXPECT_EQ(ValueStat::bucket_for(1.5), 1);
+  EXPECT_EQ(ValueStat::bucket_for(2.0), 1);
+  EXPECT_EQ(ValueStat::bucket_for(3.0), 2);
+  EXPECT_EQ(ValueStat::bucket_for(1e30), ValueStat::kBuckets - 1);
+
+  Registry r;
+  r.set_enabled(true);
+  r.observe("v", 1.0);
+  r.observe("v", 3.0);
+  r.observe("v", 8.0);
+  const Snapshot snap = r.snapshot();
+  const ValueStat& stat = snap.histograms.at("v");
+  EXPECT_EQ(stat.count, 3);
+  EXPECT_DOUBLE_EQ(stat.sum, 12.0);
+  EXPECT_DOUBLE_EQ(stat.min, 1.0);
+  EXPECT_DOUBLE_EQ(stat.max, 8.0);
+  EXPECT_EQ(stat.buckets[0], 1);  // 1.0
+  EXPECT_EQ(stat.buckets[2], 1);  // 3.0 <= 4
+  EXPECT_EQ(stat.buckets[3], 1);  // 8.0 <= 8
+}
+
+TEST(SpanTest, NestedSpansRecordHierarchicalPaths) {
+  if (!kCompiledIn) GTEST_SKIP() << "instrumentation compiled out";
+  Registry r;
+  r.set_enabled(true);
+  {
+    const Span outer = trace_scope("outer", &r);
+    { const Span inner = trace_scope("inner", &r); }
+    { const Span inner = trace_scope("inner", &r); }
+  }
+  { const Span outer = trace_scope("outer", &r); }
+
+  const Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.spans.size(), 2u);
+  EXPECT_EQ(snap.spans.at("outer").count, 2);
+  EXPECT_EQ(snap.spans.at("outer/inner").count, 2);
+  EXPECT_GE(snap.spans.at("outer").min_s, 0.0);
+  // The parent's total covers its children's.
+  EXPECT_GE(snap.spans.at("outer").total_s, snap.spans.at("outer/inner").total_s);
+}
+
+TEST(SpanTest, InactiveSpanDoesNotPerturbTheThreadPath) {
+  if (!kCompiledIn) GTEST_SKIP() << "instrumentation compiled out";
+  Registry enabled;
+  enabled.set_enabled(true);
+  Registry disabled;
+  {
+    const Span outer = trace_scope("outer", &enabled);
+    const Span skip = trace_scope("skip", &disabled);  // inert
+    const Span inner = trace_scope("inner", &enabled);
+  }
+  const Snapshot snap = enabled.snapshot();
+  EXPECT_EQ(snap.spans.count("outer/inner"), 1u);
+  EXPECT_EQ(snap.spans.count("outer/skip/inner"), 0u);
+}
+
+TEST(SpanTest, SpanTreeJsonNestsByPath) {
+  if (!kCompiledIn) GTEST_SKIP() << "instrumentation compiled out";
+  Registry r;
+  r.set_enabled(true);
+  {
+    const Span a = trace_scope("a", &r);
+    { const Span b = trace_scope("b", &r); }
+  }
+  const util::Json json = r.snapshot().to_json();
+  const util::Json& tree = json.at("span_tree");
+  ASSERT_TRUE(tree.contains("a"));
+  EXPECT_EQ(tree.at("a").at("count").as_int(), 1);
+  ASSERT_TRUE(tree.at("a").contains("children"));
+  EXPECT_EQ(tree.at("a").at("children").at("b").at("count").as_int(), 1);
+  // Flat view carries the same data under the joined path.
+  EXPECT_EQ(json.at("spans").at("a/b").at("count").as_int(), 1);
+}
+
+TEST(RegistryTest, GlobalFreeFunctionsRecordWhenEnabled) {
+  if (!kCompiledIn) GTEST_SKIP() << "instrumentation compiled out";
+  Registry& g = Registry::global();
+  g.reset();
+  g.set_enabled(true);
+  count("free/items", 2);
+  gauge("free/gauge", 7.0);
+  observe("free/hist", 3.0);
+  { const Span span = trace_scope("free/span"); }
+  const Snapshot snap = g.snapshot();
+  g.set_enabled(false);
+  g.reset();
+  EXPECT_EQ(snap.counters.at("free/items"), 2);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("free/gauge"), 7.0);
+  EXPECT_EQ(snap.histograms.at("free/hist").count, 1);
+  EXPECT_EQ(snap.spans.at("free/span").count, 1);
+}
+
+// The merge is commutative and associative, so the merged totals must be
+// identical for every thread count — the same invariant the generation
+// stack guarantees for its outputs.
+TEST(RegistryTest, ThreadMergeIsDeterministicAcrossThreadCounts) {
+  constexpr long long kItems = 200;
+  Snapshot reference;
+  for (const int threads : {1, 2, 4}) {
+    Registry r;
+    r.set_enabled(true);
+    util::ThreadPool pool(threads);
+    pool.parallel_for(kItems, [&](long long i) {
+      r.add("items");
+      r.add("weighted", i % 5);
+      r.observe("value", static_cast<double>(i % 9));
+      r.record_span("work", 0.001);
+    });
+    const Snapshot snap = r.snapshot();
+    EXPECT_EQ(snap.counters.at("items"), kItems);
+    if (threads == 1) {
+      reference = snap;
+      continue;
+    }
+    EXPECT_EQ(snap.counters, reference.counters);
+    EXPECT_EQ(snap.spans.at("work").count, reference.spans.at("work").count);
+    EXPECT_EQ(snap.histograms.at("value").count, reference.histograms.at("value").count);
+    EXPECT_DOUBLE_EQ(snap.histograms.at("value").sum, reference.histograms.at("value").sum);
+    EXPECT_EQ(snap.histograms.at("value").buckets, reference.histograms.at("value").buckets);
+  }
+}
+
+TEST(ManifestTest, JsonRoundTripThroughFile) {
+  Registry r;
+  r.set_enabled(true);
+  r.add("manifest/items", 3);
+  r.set_gauge("manifest/loss", 0.125);
+
+  RunManifest m;
+  m.tool = "obs_test";
+  m.args = {"--samples", "3"};
+  m.config["seed"] = 7LL;
+  m.metrics["legality_pct"] = 98.5;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "cp_obs_test" / "nested";
+  std::filesystem::remove_all(dir.parent_path());
+  const std::filesystem::path path = dir / "run_manifest.json";
+  std::string error;
+  ASSERT_TRUE(m.write(path.string(), r, &error)) << error;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const util::Json parsed = util::Json::parse(buffer.str());
+
+  EXPECT_EQ(parsed.at("schema_version").as_int(), 1);
+  EXPECT_EQ(parsed.at("tool").as_string(), "obs_test");
+  EXPECT_EQ(parsed.at("args").as_array().size(), 2u);
+  EXPECT_EQ(parsed.at("config").at("seed").as_int(), 7);
+  EXPECT_DOUBLE_EQ(parsed.at("metrics").at("legality_pct").as_number(), 98.5);
+  EXPECT_EQ(parsed.at("environment").at("obs_compiled_in").as_bool(), kCompiledIn);
+  const util::Json& counters = parsed.at("observability").at("counters");
+  EXPECT_EQ(counters.at("manifest/items").as_int(), 3);
+  EXPECT_DOUBLE_EQ(parsed.at("observability").at("gauges").at("manifest/loss").as_number(),
+                   0.125);
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(ManifestTest, WriteReportsUnwritablePath) {
+  RunManifest m;
+  m.tool = "obs_test";
+  std::string error;
+  // A path whose parent is a *file* cannot be created.
+  const std::filesystem::path file =
+      std::filesystem::temp_directory_path() / "cp_obs_test_blocker";
+  std::ofstream(file) << "x";
+  EXPECT_FALSE(m.write((file / "sub" / "m.json").string(), Registry::global(), &error));
+  EXPECT_FALSE(error.empty());
+  std::filesystem::remove(file);
+}
+
+}  // namespace
+}  // namespace cp::obs
