@@ -1,0 +1,273 @@
+// Neural-denoiser inference throughput: before/after the blocked-GEMM +
+// stateless-infer rewrite (nn/gemm.h, nn::Workspace), serial and parallel.
+//
+// The "legacy" path reconstructs the pre-rewrite cost model faithfully: the
+// naive triple-loop kernel, a freshly allocated tensor per layer, a fresh
+// feature tensor per call, and per-pixel time/condition feature recompute —
+// exactly what Sequential::forward + the old linear_forward did. Because the
+// blocked kernels preserve accumulation order, legacy and new outputs must
+// be bit-identical; the bench verifies that and fails otherwise.
+//
+// Writes BENCH_denoiser.json (override --json FILE) with single-thread
+// grid/pixel speedups and BatchSampler scaling rows (hardware_threads
+// recorded, like parallel_scaling — on a 1-core container every scaling row
+// measures ~1x).
+//
+// Flags: --seed S --grid N --reps N --pixelreps N --maxthreads N
+//        --json FILE --outdir DIR --manifest FILE
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "diffusion/batch_sampler.h"
+#include "diffusion/mlp_denoiser.h"
+#include "diffusion/transition.h"
+#include "nn/gemm.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+using namespace cp;
+
+namespace {
+
+squish::Topology stripes(int n, int period) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, (c / period) % 2);
+  }
+  return t;
+}
+
+inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+/// The pre-rewrite Sequential::forward: naive GEMM, a fresh allocation per
+/// layer, and — like the old trainable Layer::forward — a copy of every
+/// layer's input into its activation cache (`input_ = x`), the state that
+/// made inference non-thread-safe. `cache` stands in for those persistent
+/// per-layer members (copy-assigned each call, exactly like the originals).
+nn::Tensor legacy_forward(nn::Sequential& net, const nn::Tensor& x,
+                          std::vector<nn::Tensor>& cache) {
+  cache.resize(net.size());
+  nn::Tensor h = x;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    if (auto* lin = dynamic_cast<nn::Linear*>(&layer)) {
+      cache[i] = h;  // Linear::forward: input_ = x
+      const int n = h.dim(0), in = h.dim(1), out = lin->out_features();
+      nn::Tensor y({n, out});
+      nn::gemm::forward_naive(n, in, out, h.data(), lin->weight().value.data(),
+                              lin->bias().value.data(), y.data());
+      h = std::move(y);
+    } else if (std::strcmp(layer.name(), "SiLU") == 0) {
+      cache[i] = h;  // SiLU::forward: input_ = x
+      nn::Tensor y = h;
+      for (std::size_t j = 0; j < y.numel(); ++j) y[j] = h[j] * sigmoidf(h[j]);
+      h = std::move(y);
+    } else {
+      h = layer.forward(h);
+    }
+  }
+  return h;
+}
+
+/// Pre-rewrite predict_x0: fresh feature tensor (per-pixel tail recompute
+/// inside build_features) + legacy forward.
+void legacy_predict_x0(diffusion::MlpDenoiser& d, const squish::Topology& xk, int k, int cond,
+                       std::vector<nn::Tensor>& cache, diffusion::ProbGrid& p0) {
+  const nn::Tensor features = d.build_features(xk, k, cond);
+  const nn::Tensor logits = legacy_forward(d.net(), features, cache);
+  p0.resize(xk.size());
+  for (std::size_t i = 0; i < p0.size(); ++i) p0[i] = sigmoidf(logits[i]);
+}
+
+/// Pre-rewrite predict_x0_pixel: one tensor allocation + full forward per
+/// pixel.
+float legacy_predict_pixel(diffusion::MlpDenoiser& d, const squish::Topology& xk, int r, int c,
+                           int k, int cond, std::vector<nn::Tensor>& cache) {
+  nn::Tensor features({1, d.feature_dim()});
+  d.pixel_features(xk, r, c, k, cond, features.data());
+  const nn::Tensor logits = legacy_forward(d.net(), features, cache);
+  return sigmoidf(logits[0]);
+}
+
+/// Best mean-per-call over three passes: the minimum discards scheduler noise
+/// (this runs on shared 1-core containers) symmetrically for both paths.
+template <typename F>
+double seconds_per_call(int reps, F&& f) {
+  f(0);  // warm up caches / workspaces outside the timed region
+  const int per_pass = reps < 3 ? reps : reps / 3;
+  double best = 0.0;
+  int i = 0;
+  for (int pass = 0; pass * per_pass < reps; ++pass) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int j = 0; j < per_pass; ++j) f(i++);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() / per_pass;
+    if (pass == 0 || sec < best) best = sec;
+  }
+  return best;
+}
+
+std::uint64_t batch_hash(const std::vector<squish::Topology>& batch) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& t : batch) {
+    mix(static_cast<std::uint64_t>(t.rows()));
+    mix(static_cast<std::uint64_t>(t.cols()));
+    for (std::size_t i = 0; i < t.size(); ++i) mix(t.data()[i]);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int grid_n = static_cast<int>(flags.get_int("grid", 64));
+  const int reps = static_cast<int>(flags.get_int("reps", 20));
+  const int pixel_reps = static_cast<int>(flags.get_int("pixelreps", 20000));
+  const int max_threads = static_cast<int>(flags.get_int("maxthreads", 8));
+  const std::string outdir = flags.get("outdir", ".");
+  bench::require_dir(outdir);
+  auto resolve = [&](std::string name) {
+    if (name.empty() || name.front() == '/' || outdir.empty() || outdir == ".") return name;
+    return outdir + "/" + name;
+  };
+  const std::string json_path = resolve(flags.get("json", "BENCH_denoiser.json"));
+  const std::string manifest_path = resolve(flags.get("manifest", ""));
+  if (!manifest_path.empty()) obs::Registry::global().set_enabled(true);
+
+  // The MLP the kernels were tuned for: feature_dim 23 -> 64 -> 64 -> 1.
+  const diffusion::NoiseSchedule schedule{diffusion::ScheduleConfig{}};
+  util::Rng rng(seed);
+  diffusion::MlpDenoiser d(schedule, diffusion::MlpConfig{2, 64, 2}, rng);
+  const squish::Topology x0 = stripes(grid_n, 3);
+  util::Rng noise_rng(seed + 1);
+  const squish::Topology xk = diffusion::forward_noise(x0, schedule, 40, noise_rng);
+
+  std::printf("== Denoiser inference (MLP %d-dim features, grid %dx%d) ==\n", d.feature_dim(),
+              grid_n, grid_n);
+  std::printf("hardware threads: %d\n\n", util::ThreadPool::hardware_threads());
+
+  // --- Single-thread grid forward: legacy vs new, plus bit-identity audit.
+  std::vector<nn::Tensor> legacy_cache;  // the old layers' persistent input_ members
+  diffusion::ProbGrid p_legacy, p_new;
+  legacy_predict_x0(d, xk, 40, 0, legacy_cache, p_legacy);
+  d.predict_x0(xk, 40, 0, p_new);
+  bool bit_identical = p_legacy.size() == p_new.size();
+  for (std::size_t i = 0; bit_identical && i < p_legacy.size(); ++i) {
+    bit_identical = p_legacy[i] == p_new[i];
+  }
+
+  const double grid_legacy = seconds_per_call(
+      reps, [&](int i) { legacy_predict_x0(d, xk, 40, i % 2, legacy_cache, p_legacy); });
+  const double grid_new =
+      seconds_per_call(reps, [&](int i) { d.predict_x0(xk, 40, i % 2, p_new); });
+  const double grid_speedup = grid_legacy / grid_new;
+
+  // --- Single-thread pixel path (the sequential reverse sampler's hot loop:
+  // serpentine scan re-querying one pixel at a time at a fixed step).
+  double sink = 0.0;
+  const double pixel_legacy = seconds_per_call(pixel_reps, [&](int i) {
+    sink += legacy_predict_pixel(d, xk, i % grid_n, (i / grid_n) % grid_n, 40, 0, legacy_cache);
+  });
+  const double pixel_new = seconds_per_call(pixel_reps, [&](int i) {
+    sink += d.predict_x0_pixel(xk, i % grid_n, (i / grid_n) % grid_n, 40, 0);
+  });
+  const double pixel_speedup = pixel_legacy / pixel_new;
+
+  std::printf("grid forward : legacy %8.3f ms  new %8.3f ms  speedup %5.2fx\n",
+              grid_legacy * 1e3, grid_new * 1e3, grid_speedup);
+  std::printf("pixel query  : legacy %8.2f us  new %8.2f us  speedup %5.2fx\n",
+              pixel_legacy * 1e6, pixel_new * 1e6, pixel_speedup);
+  std::printf("legacy vs new bit-identical: %s   (checksum %.6f)\n\n",
+              bit_identical ? "yes" : "NO", sink);
+
+  // --- BatchSampler scaling: the MLP now fans out; verify bit-identity per
+  // thread count and record the speedup curve.
+  const diffusion::DiffusionSampler sampler(schedule, d);
+  diffusion::SampleConfig sc;
+  sc.rows = grid_n;
+  sc.cols = grid_n;
+  sc.sample_steps = 8;
+  sc.polish_rounds = 1;
+  const int count = static_cast<int>(flags.get_int("samples", 8));
+  const util::Rng root(seed + 7000);
+
+  std::printf("%8s | %9s | %8s | %s\n", "threads", "seconds", "speedup", "batch hash");
+  std::printf("%s\n", std::string(48, '-').c_str());
+  util::JsonArray rows;
+  double base_sec = 0.0;
+  std::uint64_t base_hash = 0;
+  bool deterministic = true;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+    const diffusion::BatchSampler batch(sampler, pool.get());
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<squish::Topology> out = batch.sample_batch(sc, count, root);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const std::uint64_t h = batch_hash(out);
+    if (threads == 1) {
+      base_sec = sec;
+      base_hash = h;
+    }
+    deterministic = deterministic && h == base_hash;
+    std::printf("%8d | %9.3f | %7.2fx | %016llx%s\n", threads, sec, base_sec / sec,
+                static_cast<unsigned long long>(h), h == base_hash ? "" : "  << MISMATCH");
+    util::JsonObject row;
+    row["threads"] = threads;
+    row["seconds"] = sec;
+    row["speedup_vs_1"] = base_sec / sec;
+    row["bit_identical_to_1_thread"] = h == base_hash;
+    rows.push_back(util::Json(std::move(row)));
+  }
+
+  util::JsonObject single;
+  single["grid_legacy_ms"] = grid_legacy * 1e3;
+  single["grid_new_ms"] = grid_new * 1e3;
+  single["grid_speedup"] = grid_speedup;
+  single["pixel_legacy_us"] = pixel_legacy * 1e6;
+  single["pixel_new_us"] = pixel_new * 1e6;
+  single["pixel_speedup"] = pixel_speedup;
+  single["legacy_vs_new_bit_identical"] = bit_identical;
+
+  util::JsonObject report;
+  report["bench"] = "denoiser_inference";
+  report["workload"] = "MLP denoiser, 23->64->64->1, SiLU, grid forward + pixel query";
+  report["grid"] = grid_n;
+  report["seed"] = static_cast<long long>(seed);
+  report["hardware_threads"] = util::ThreadPool::hardware_threads();
+  report["single_thread"] = util::Json(std::move(single));
+  report["batch_samples"] = count;
+  report["batch_deterministic_across_thread_counts"] = deterministic;
+  report["batch_rows"] = util::Json(std::move(rows));
+  std::ofstream out = bench::open_output(json_path);
+  out << util::Json(std::move(report)).dump(2) << "\n";
+  std::printf("\nreport: %s\n", json_path.c_str());
+
+  if (!manifest_path.empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = "denoiser_inference";
+    for (int i = 1; i < argc; ++i) manifest.args.push_back(argv[i]);
+    manifest.metrics["grid_speedup"] = grid_speedup;
+    manifest.metrics["pixel_speedup"] = pixel_speedup;
+    std::string error;
+    if (!manifest.write(manifest_path, obs::Registry::global(), &error)) {
+      std::fprintf(stderr, "error: manifest: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("[manifest] wrote %s\n", manifest_path.c_str());
+  }
+  return (bit_identical && deterministic) ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 #include "diffusion/cascade.h"
 #include "diffusion/trainer.h"
 #include "legalize/legalizer.h"
+#include "nn/gemm.h"
 #include "obs/manifest.h"
 #include "obs/registry.h"
 #include "squish/normalize.h"
@@ -166,6 +167,94 @@ void BM_ComplexityMetric(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ComplexityMetric);
+
+// ---- nn/gemm kernels (the MLP denoiser's hidden-layer shape) --------------
+
+struct GemmFixture {
+  static constexpr int kN = 4096, kIn = 64, kOut = 64;
+  std::vector<float> x, w, wt, b, y;
+  GemmFixture()
+      : x(static_cast<std::size_t>(kN) * kIn),
+        w(static_cast<std::size_t>(kOut) * kIn),
+        wt(w.size()),
+        b(kOut),
+        y(static_cast<std::size_t>(kN) * kOut) {
+    util::Rng rng(8);
+    for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 1.0));
+    for (auto& v : w) v = static_cast<float>(rng.normal(0.0, 1.0));
+    for (auto& v : b) v = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+};
+
+GemmFixture& gemm_fixture() {
+  static GemmFixture f;
+  return f;
+}
+
+void BM_GemmNaive4096x64x64(benchmark::State& state) {
+  GemmFixture& f = gemm_fixture();
+  for (auto _ : state) {
+    nn::gemm::forward_naive(GemmFixture::kN, GemmFixture::kIn, GemmFixture::kOut, f.x.data(),
+                            f.w.data(), f.b.data(), f.y.data());
+    benchmark::DoNotOptimize(f.y.data());
+  }
+}
+BENCHMARK(BM_GemmNaive4096x64x64);
+
+void BM_GemmPacked4096x64x64(benchmark::State& state) {
+  GemmFixture& f = gemm_fixture();
+  nn::gemm::pack_wt(GemmFixture::kIn, GemmFixture::kOut, f.w.data(), f.wt.data());
+  for (auto _ : state) {
+    nn::gemm::forward_packed(GemmFixture::kN, GemmFixture::kIn, GemmFixture::kOut, f.x.data(),
+                             f.wt.data(), f.b.data(), f.y.data());
+    benchmark::DoNotOptimize(f.y.data());
+  }
+}
+BENCHMARK(BM_GemmPacked4096x64x64);
+
+// ---- MLP denoiser inference (stateless infer path, warm workspace) --------
+
+struct MlpFixture {
+  diffusion::NoiseSchedule schedule{diffusion::ScheduleConfig{}};
+  std::unique_ptr<diffusion::MlpDenoiser> denoiser;
+  squish::Topology xk{1, 1};
+  MlpFixture() {
+    util::Rng rng(9);
+    denoiser =
+        std::make_unique<diffusion::MlpDenoiser>(schedule, diffusion::MlpConfig{2, 64, 2}, rng);
+    squish::Topology x0(64, 64);
+    for (int r = 0; r < 64; ++r) {
+      for (int c = 0; c < 64; ++c) x0.set(r, c, (c / 3) % 2);
+    }
+    util::Rng noise(10);
+    xk = diffusion::forward_noise(x0, schedule, 40, noise);
+  }
+};
+
+MlpFixture& mlp_fixture() {
+  static MlpFixture f;
+  return f;
+}
+
+void BM_MlpPredictX0Grid64(benchmark::State& state) {
+  MlpFixture& f = mlp_fixture();
+  diffusion::ProbGrid p0;
+  for (auto _ : state) {
+    f.denoiser->predict_x0(f.xk, 40, 0, p0);
+    benchmark::DoNotOptimize(p0);
+  }
+}
+BENCHMARK(BM_MlpPredictX0Grid64);
+
+void BM_MlpPredictX0Pixel(benchmark::State& state) {
+  MlpFixture& f = mlp_fixture();
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.denoiser->predict_x0_pixel(f.xk, i % 64, (i / 64) % 64, 40, 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_MlpPredictX0Pixel);
 
 }  // namespace
 

@@ -3,8 +3,27 @@
 #include <stdexcept>
 
 #include "obs/registry.h"
+#include "util/logging.h"
 
 namespace cp::diffusion {
+
+namespace {
+
+/// Count (and log) the case where a pool was provided but the generator is
+/// not race-free, so the batch runs serially. Silent before; now visible in
+/// run manifests as `batch_sampler/serial_fallback`.
+void note_serial_fallback(const BatchSampler& sampler, const char* what) {
+  if (sampler.pool() != nullptr && sampler.pool()->size() > 1 &&
+      !sampler.generator().thread_safe()) {
+    obs::count("batch_sampler/serial_fallback", 1);
+    CP_LOG_WARN << "BatchSampler::" << what << ": generator '"
+                << sampler.generator().name() << "' is not thread-safe; "
+                << "running serially despite a " << sampler.pool()->size()
+                << "-worker pool";
+  }
+}
+
+}  // namespace
 
 bool BatchSampler::parallel() const {
   return pool_ != nullptr && pool_->size() > 1 && generator_->thread_safe();
@@ -24,6 +43,7 @@ std::vector<squish::Topology> BatchSampler::sample_batch(const SampleConfig& con
   if (parallel()) {
     pool_->parallel_for(count, one);
   } else {
+    note_serial_fallback(*this, "sample_batch");
     for (long long i = 0; i < count; ++i) one(i);
   }
   return out;
@@ -47,6 +67,7 @@ std::vector<squish::Topology> BatchSampler::modify_batch(
   if (parallel()) {
     pool_->parallel_for(n, one);
   } else {
+    note_serial_fallback(*this, "modify_batch");
     for (long long i = 0; i < n; ++i) one(i);
   }
   return out;

@@ -15,9 +15,11 @@
 // computes a slot, never what the slot contains. tests/diffusion/
 // batch_sampler_test.cpp locks this property in.
 //
-// If the generator reports !thread_safe() (e.g. the MLP denoiser's cached
-// forward pass), the batch silently degrades to the serial path — same
-// output, no races.
+// If the generator reports !thread_safe(), the batch degrades to the serial
+// path — same output, no races — and the degradation is recorded via the
+// `batch_sampler/serial_fallback` counter plus a warn-level log line. All
+// shipped denoisers (tabular, uniform, MLP) are thread-safe for inference,
+// so in practice this only fires for custom generators.
 
 #include <vector>
 

@@ -47,10 +47,11 @@ class Denoiser {
   }
 
   /// True if concurrent predict_x0/predict_x0_pixel calls on one instance
-  /// are race-free. The tabular and uniform denoisers are pure lookups and
-  /// return true; the MLP denoiser caches forward activations and returns
-  /// the conservative default. diffusion::BatchSampler consults this to
-  /// decide whether it may fan sampling out across a thread pool.
+  /// are race-free. The tabular and uniform denoisers are pure lookups; the
+  /// MLP denoiser routes inference through the stateless nn::Layer::infer
+  /// path with per-thread workspaces, so all shipped denoisers return true.
+  /// diffusion::BatchSampler consults this to decide whether it may fan
+  /// sampling out across a thread pool.
   virtual bool thread_safe_inference() const { return false; }
 
   virtual const char* name() const = 0;

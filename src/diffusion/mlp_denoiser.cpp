@@ -1,8 +1,10 @@
 #include "diffusion/mlp_denoiser.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <vector>
 
 namespace cp::diffusion {
 
@@ -19,6 +21,73 @@ inline int mirror(int i, int n) {
   if (i >= n) return 2 * n - 2 - i;
   return i;
 }
+
+inline void neighbor_features(const squish::Topology& xk, int r, int c, float* out) {
+  for (int i = 0; i < TabularDenoiser::kNeighbors; ++i) {
+    const int rr = mirror(r + kOffsets[i][0], xk.rows());
+    const int cc = mirror(c + kOffsets[i][1], xk.cols());
+    out[i] = xk.at(rr, cc) ? 1.0f : -1.0f;
+  }
+}
+
+/// Largest |offset| in kOffsets: pixels at least this far from every border
+/// need no mirror reflection and can gather neighbors with precomputed
+/// linear deltas. Values are identical to neighbor_features (same cells
+/// loaded), just without the per-neighbor branch pair.
+constexpr int kNeighborMargin = 4;
+
+inline void neighbor_features_interior(const std::uint8_t* center, const int* lin,
+                                       float* out) {
+  for (int i = 0; i < TabularDenoiser::kNeighbors; ++i) {
+    out[i] = center[lin[i]] ? 1.0f : -1.0f;
+  }
+}
+
+/// Per-thread inference scratch. One instance per thread regardless of how
+/// many denoisers exist: the workspace keys its packed-weight cache by
+/// (Param address, version) and the feature tail is keyed by the scalar
+/// values it is computed from, so sharing across instances is safe.
+struct InferCtx {
+  nn::Workspace ws;
+  nn::Tensor features;
+  // Timestep + condition feature tail, identical for every pixel of a
+  // diffusion step. Cached on the values that fully determine it.
+  std::vector<float> tail;
+  bool tail_valid = false;
+  double tail_t = 0.0;
+  float tail_flip = 0.0f;
+  int tail_conditions = -1;
+  int tail_cond = -1;
+};
+
+InferCtx& infer_ctx() {
+  static thread_local InferCtx ctx;
+  return ctx;
+}
+
+/// The tail is a pure function of (t, flip, conditions, cond); recompute
+/// only when one of those changes (i.e. once per diffusion step, not once
+/// per pixel). Bit-identical to the inline computation in pixel_features.
+const float* cached_tail(InferCtx& ctx, double t, float flip, int conditions, int cond) {
+  if (!ctx.tail_valid || ctx.tail_t != t || ctx.tail_flip != flip ||
+      ctx.tail_conditions != conditions || ctx.tail_cond != cond) {
+    ctx.tail.resize(static_cast<std::size_t>(kTimeFeatures + conditions));
+    ctx.tail[0] = static_cast<float>(t);
+    ctx.tail[1] = static_cast<float>(std::sin(2.0 * std::numbers::pi * t));
+    ctx.tail[2] = static_cast<float>(std::cos(2.0 * std::numbers::pi * t));
+    ctx.tail[3] = flip;
+    for (int s = 0; s < conditions; ++s) {
+      ctx.tail[static_cast<std::size_t>(kTimeFeatures + s)] = (s == cond) ? 1.0f : 0.0f;
+    }
+    ctx.tail_valid = true;
+    ctx.tail_t = t;
+    ctx.tail_flip = flip;
+    ctx.tail_conditions = conditions;
+    ctx.tail_cond = cond;
+  }
+  return ctx.tail.data();
+}
+
 }  // namespace
 
 MlpDenoiser::MlpDenoiser(const NoiseSchedule& schedule, const MlpConfig& config, util::Rng& rng)
@@ -41,12 +110,8 @@ int MlpDenoiser::feature_dim() const {
 
 void MlpDenoiser::pixel_features(const squish::Topology& xk, int r, int c, int k, int condition,
                                  float* out) const {
-  int idx = 0;
-  for (int i = 0; i < TabularDenoiser::kNeighbors; ++i) {
-    const int rr = mirror(r + kOffsets[i][0], xk.rows());
-    const int cc = mirror(c + kOffsets[i][1], xk.cols());
-    out[idx++] = xk.at(rr, cc) ? 1.0f : -1.0f;
-  }
+  neighbor_features(xk, r, c, out);
+  int idx = TabularDenoiser::kNeighbors;
   const double t = static_cast<double>(k) / static_cast<double>(schedule_->steps());
   out[idx++] = static_cast<float>(t);
   out[idx++] = static_cast<float>(std::sin(2.0 * std::numbers::pi * t));
@@ -71,9 +136,16 @@ nn::Tensor MlpDenoiser::build_features(const squish::Topology& xk, int k, int co
 
 float MlpDenoiser::predict_x0_pixel(const squish::Topology& xk, int r, int c, int k,
                                     int condition) const {
-  nn::Tensor features({1, feature_dim()});
-  pixel_features(xk, r, c, k, condition, features.data());
-  const nn::Tensor logits = net_.forward(features);
+  InferCtx& ctx = infer_ctx();
+  ctx.features.resize(1, feature_dim());
+  float* row = ctx.features.data();
+  neighbor_features(xk, r, c, row);
+  const double t = static_cast<double>(k) / static_cast<double>(schedule_->steps());
+  const float flip = static_cast<float>(schedule_->cumulative_flip(k));
+  const float* tail = cached_tail(ctx, t, flip, config_.conditions, condition);
+  std::copy(tail, tail + kTimeFeatures + config_.conditions,
+            row + TabularDenoiser::kNeighbors);
+  const nn::Tensor& logits = net_.infer(ctx.features, ctx.ws);
   return 1.0f / (1.0f + std::exp(-logits[0]));
 }
 
@@ -82,8 +154,33 @@ void MlpDenoiser::predict_x0(const squish::Topology& xk, int k, int condition,
   if (condition < 0 || condition >= config_.conditions) {
     throw std::out_of_range("MlpDenoiser::predict_x0: bad condition");
   }
-  const nn::Tensor features = build_features(xk, k, condition);
-  const nn::Tensor logits = net_.forward(features);
+  InferCtx& ctx = infer_ctx();
+  const int n = xk.rows() * xk.cols();
+  const int dim = feature_dim();
+  ctx.features.resize(n, dim);
+  const double t = static_cast<double>(k) / static_cast<double>(schedule_->steps());
+  const float flip = static_cast<float>(schedule_->cumulative_flip(k));
+  const float* tail = cached_tail(ctx, t, flip, config_.conditions, condition);
+  const int tail_len = kTimeFeatures + config_.conditions;
+  int lin[TabularDenoiser::kNeighbors];
+  for (int i = 0; i < TabularDenoiser::kNeighbors; ++i) {
+    lin[i] = kOffsets[i][0] * xk.cols() + kOffsets[i][1];
+  }
+  const std::uint8_t* grid = xk.data();
+  float* row = ctx.features.data();
+  for (int r = 0; r < xk.rows(); ++r) {
+    const bool r_interior = r >= kNeighborMargin && r < xk.rows() - kNeighborMargin;
+    for (int c = 0; c < xk.cols(); ++c, row += dim) {
+      if (r_interior && c >= kNeighborMargin && c < xk.cols() - kNeighborMargin) {
+        neighbor_features_interior(grid + static_cast<std::size_t>(r) * xk.cols() + c, lin,
+                                   row);
+      } else {
+        neighbor_features(xk, r, c, row);
+      }
+      std::copy(tail, tail + tail_len, row + TabularDenoiser::kNeighbors);
+    }
+  }
+  const nn::Tensor& logits = net_.infer(ctx.features, ctx.ws);
   p0.resize(xk.size());
   for (std::size_t i = 0; i < p0.size(); ++i) {
     p0[i] = 1.0f / (1.0f + std::exp(-logits[i]));

@@ -10,6 +10,14 @@
 // class condition one-hot — the "condition embedding added to the time
 // embedding" design of the paper collapsed to input features, appropriate
 // for an MLP.
+//
+// Inference is stateless and thread-safe: predict_x0 / predict_x0_pixel run
+// through nn::Sequential::infer with a thread-local workspace (packed
+// weights cached per Param version, feature/logit buffers reused, and the
+// timestep+condition feature tail computed once per diffusion step instead
+// of once per pixel). Concurrent calls on one instance never race, so
+// thread_safe_inference() returns true and BatchSampler / extension tile
+// waves fan out for the MLP. Training still uses the stateful forward().
 
 #include <memory>
 
@@ -35,6 +43,9 @@ class MlpDenoiser : public Denoiser {
   float predict_x0_pixel(const squish::Topology& xk, int r, int c, int k,
                          int condition) const override;
   int conditions() const override { return config_.conditions; }
+  /// Inference runs the stateless nn::Layer::infer path with thread-local
+  /// scratch — concurrent calls are race-free.
+  bool thread_safe_inference() const override { return true; }
   const char* name() const override { return "MlpDenoiser"; }
 
   int feature_dim() const;
@@ -52,7 +63,9 @@ class MlpDenoiser : public Denoiser {
  private:
   const NoiseSchedule* schedule_;
   MlpConfig config_;
-  mutable nn::Sequential net_;  // forward() caches per batch; logically const
+  // Inference uses the const, stateless infer() path; only the trainer
+  // (via net()) runs the stateful forward()/backward().
+  nn::Sequential net_;
 };
 
 }  // namespace cp::diffusion

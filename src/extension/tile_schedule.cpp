@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/registry.h"
+#include "util/logging.h"
 
 namespace cp::extension {
 
@@ -36,6 +37,12 @@ int run_tile_jobs(const diffusion::TopologyGenerator& generator, squish::Topolog
   const std::vector<std::vector<int>> waves = tile_waves(jobs, window);
   obs::count("extension/waves", static_cast<long long>(waves.size()));
   const bool fan_out = pool != nullptr && pool->size() > 1 && generator.thread_safe();
+  if (!fan_out && pool != nullptr && pool->size() > 1) {
+    obs::count("extension/serial_fallback", 1);
+    CP_LOG_WARN << "run_tile_jobs: generator '" << generator.name()
+                << "' is not thread-safe; running tile waves serially despite a "
+                << pool->size() << "-worker pool";
+  }
   for (const std::vector<int>& wave : waves) {
     // Per-wave wall time: waves are the parallelism quanta of the tile
     // scheduler, so their durations are the useful timing granularity.

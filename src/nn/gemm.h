@@ -1,0 +1,54 @@
+#pragma once
+// Blocked, compiler-vectorizable GEMM kernels for the NN hot paths.
+//
+// Every kernel here preserves the *per-element accumulation order* of the
+// original naive triple loops: each output element is a sum over its
+// contraction index taken strictly in ascending order, one float rounding
+// per multiply-add. Vectorization only runs independent output elements in
+// lockstep, so results are bit-identical to the naive reference for every
+// shape — the determinism contract the golden files and the
+// parallel-vs-serial suites rely on (enforced by tests/nn/gemm_test.cpp).
+//
+// The forward kernel needs the weight matrix transposed ("packed") so the
+// inner loop walks contiguous output elements: with wt[k][o] the k-loop
+// broadcasts one input value and does a fixed-width fused axpy over o, which
+// GCC/Clang vectorize at -O2 (the fixed 8-wide chunk sidesteps the
+// very-cheap cost model's refusal of runtime trip counts). nn::Workspace
+// caches the packed transpose per Param across inference calls.
+//
+// Shapes (row-major): x [n, in] · w [out, in] (+ b [out]) -> y [n, out].
+
+#include <cstdint>
+
+namespace cp::nn::gemm {
+
+/// Minimum output width for the packed vector path to win; below this the
+/// naive kernel is used (a dot-product column cannot be vectorized without
+/// reordering the sum).
+inline constexpr int kVecMinOut = 8;
+
+/// Pack w [out, in] into wt [in, out] (transpose) for forward_packed.
+void pack_wt(int in, int out, const float* w, float* wt);
+
+/// Reference kernel: y = x w^T + b, plain triple loop. This is the exact
+/// pre-blocking `linear_forward` loop; the vector kernels are tested
+/// bit-identical against it.
+void forward_naive(int n, int in, int out, const float* x, const float* w, const float* b,
+                   float* y);
+
+/// Vector kernel: y = x wt + b with wt = w^T packed by pack_wt. Requires
+/// out >= 1; fastest when out >= kVecMinOut.
+void forward_packed(int n, int in, int out, const float* x, const float* wt, const float* b,
+                    float* y);
+
+/// dx = g · w (g [n, out], w [out, in]); overwrites dx. Per-element sum runs
+/// over o ascending — the legacy Linear::backward order.
+void backward_dx(int n, int in, int out, const float* g, const float* w, float* dx);
+
+/// dw += g^T · x and db += column sums of g (the parameter-gradient
+/// accumulation of Linear::backward). Per-element sums run over the batch
+/// index ascending — the legacy order.
+void backward_accum(int n, int in, int out, const float* g, const float* x, float* dw,
+                    float* db);
+
+}  // namespace cp::nn::gemm

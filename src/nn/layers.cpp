@@ -1,9 +1,41 @@
 #include "nn/layers.h"
 
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/gemm.h"
+
 namespace cp::nn {
+
+std::uint64_t next_param_version() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+const Tensor& Workspace::packed_wt(const Param& p) {
+  PackEntry* entry = nullptr;
+  for (auto& e : packs_) {
+    if (e.param == &p) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    packs_.emplace_back();
+    entry = &packs_.back();
+    entry->param = &p;
+    entry->version = 0;  // differs from any live Param version (they start at 1)
+  }
+  if (entry->version != p.version) {
+    const int out = p.value.dim(0);
+    const int in = static_cast<int>(p.value.numel()) / (out > 0 ? out : 1);
+    entry->wt.resize(in, out);
+    gemm::pack_wt(in, out, p.value.data(), entry->wt.data());
+    entry->version = p.version;
+  }
+  return entry->wt;
+}
 
 Linear::Linear(int in_features, int out_features, util::Rng& rng) {
   const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
@@ -22,28 +54,31 @@ Tensor Linear::backward(const Tensor& grad_out) {
   const int n = input_.dim(0);
   const int in = input_.dim(1);
   const int out = weight_.value.dim(0);
-  // dW += g^T x ; db += sum g ; dx = g W
-  for (int i = 0; i < n; ++i) {
-    const float* xi = input_.data() + static_cast<std::size_t>(i) * in;
-    const float* gi = grad_out.data() + static_cast<std::size_t>(i) * out;
-    for (int o = 0; o < out; ++o) {
-      float* wo = weight_.grad.data() + static_cast<std::size_t>(o) * in;
-      const float g = gi[o];
-      for (int k = 0; k < in; ++k) wo[k] += g * xi[k];
-      bias_.grad[static_cast<std::size_t>(o)] += g;
-    }
-  }
+  // dW += g^T x ; db += sum g ; dx = g W — same per-element accumulation
+  // order as the original loops (see nn/gemm.h), so training trajectories
+  // are bit-unchanged.
+  gemm::backward_accum(n, in, out, grad_out.data(), input_.data(), weight_.grad.data(),
+                       bias_.grad.data());
   Tensor grad_in({n, in});
-  for (int i = 0; i < n; ++i) {
-    const float* gi = grad_out.data() + static_cast<std::size_t>(i) * out;
-    float* di = grad_in.data() + static_cast<std::size_t>(i) * in;
-    for (int o = 0; o < out; ++o) {
-      const float* wo = weight_.value.data() + static_cast<std::size_t>(o) * in;
-      const float g = gi[o];
-      for (int k = 0; k < in; ++k) di[k] += g * wo[k];
-    }
-  }
+  gemm::backward_dx(n, in, out, grad_out.data(), weight_.value.data(), grad_in.data());
   return grad_in;
+}
+
+void Linear::infer(const Tensor& x, Tensor& y, Workspace& ws) const {
+  if (x.rank() != 2 || x.dim(1) != weight_.value.dim(1)) {
+    throw std::invalid_argument("Linear::infer: bad input");
+  }
+  const int n = x.dim(0);
+  const int in = x.dim(1);
+  const int out = weight_.value.dim(0);
+  y.resize(n, out);
+  if (out >= gemm::kVecMinOut) {
+    const Tensor& wt = ws.packed_wt(weight_);
+    gemm::forward_packed(n, in, out, x.data(), wt.data(), bias_.value.data(), y.data());
+  } else {
+    gemm::forward_naive(n, in, out, x.data(), weight_.value.data(), bias_.value.data(),
+                        y.data());
+  }
 }
 
 Tensor ReLU::forward(const Tensor& x) {
@@ -59,6 +94,13 @@ Tensor ReLU::backward(const Tensor& grad_out) {
     if (input_[i] <= 0) g[i] = 0.0f;
   }
   return g;
+}
+
+void ReLU::infer(const Tensor& x, Tensor& y, Workspace&) const {
+  y.resize_like(x);
+  const float* xd = x.data();
+  float* yd = y.data();
+  for (std::size_t i = 0; i < x.numel(); ++i) yd[i] = xd[i] > 0 ? xd[i] : 0.0f;
 }
 
 namespace {
@@ -81,6 +123,13 @@ Tensor SiLU::backward(const Tensor& grad_out) {
   return g;
 }
 
+void SiLU::infer(const Tensor& x, Tensor& y, Workspace&) const {
+  y.resize_like(x);
+  const float* xd = x.data();
+  float* yd = y.data();
+  for (std::size_t i = 0; i < x.numel(); ++i) yd[i] = xd[i] * sigmoidf(xd[i]);
+}
+
 Tensor Sigmoid::forward(const Tensor& x) {
   Tensor y = x;
   for (std::size_t i = 0; i < y.numel(); ++i) y[i] = sigmoidf(y[i]);
@@ -93,6 +142,74 @@ Tensor Sigmoid::backward(const Tensor& grad_out) {
   for (std::size_t i = 0; i < g.numel(); ++i) g[i] *= output_[i] * (1.0f - output_[i]);
   return g;
 }
+
+void Sigmoid::infer(const Tensor& x, Tensor& y, Workspace&) const {
+  y.resize_like(x);
+  const float* xd = x.data();
+  float* yd = y.data();
+  for (std::size_t i = 0; i < x.numel(); ++i) yd[i] = sigmoidf(xd[i]);
+}
+
+namespace {
+
+/// Lower NCHW input to im2col columns: row p = (b*h + r)*w + c holds the
+/// receptive field of output pixel (b, r, c), column k = (ic*kk + kr)*kk + kc
+/// — the flattened weight layout, so the GEMM contraction index runs in the
+/// same order as the legacy loop nest (padding taps contribute exact zeros).
+void im2col(const Tensor& x, int kk, Tensor& cols) {
+  const int n = x.dim(0), in_ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int pad = kk / 2;
+  const int cols_k = in_ch * kk * kk;
+  cols.resize(n * h * w, cols_k);
+  float* row = cols.data();
+  for (int b = 0; b < n; ++b) {
+    for (int r = 0; r < h; ++r) {
+      for (int c = 0; c < w; ++c) {
+        for (int ic = 0; ic < in_ch; ++ic) {
+          for (int kr = 0; kr < kk; ++kr) {
+            const int rr = r + kr - pad;
+            for (int kc = 0; kc < kk; ++kc) {
+              const int cc = c + kc - pad;
+              *row++ = (rr >= 0 && rr < h && cc >= 0 && cc < w) ? x.at4(b, ic, rr, cc) : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// ymat [P, out_ch] = cols · W^T + b with the same vector/naive dispatch as
+/// Linear, so forward() and infer() hit the identical kernel.
+void conv_matmul(const Tensor& cols, const Param& weight, const Tensor& bias, Workspace& ws,
+                 Tensor& ymat) {
+  const int p = cols.dim(0);
+  const int k = cols.dim(1);
+  const int out_ch = weight.value.dim(0);
+  ymat.resize(p, out_ch);
+  if (out_ch >= gemm::kVecMinOut) {
+    const Tensor& wt = ws.packed_wt(weight);
+    gemm::forward_packed(p, k, out_ch, cols.data(), wt.data(), bias.data(), ymat.data());
+  } else {
+    gemm::forward_naive(p, k, out_ch, cols.data(), weight.value.data(), bias.data(),
+                        ymat.data());
+  }
+}
+
+/// Transpose ymat [P, out_ch] back to NCHW.
+void scatter_nchw(const Tensor& ymat, int n, int out_ch, int h, int w, Tensor& y) {
+  for (int b = 0; b < n; ++b) {
+    for (int r = 0; r < h; ++r) {
+      for (int c = 0; c < w; ++c) {
+        const int p = (b * h + r) * w + c;
+        const float* row = ymat.data() + static_cast<std::size_t>(p) * out_ch;
+        for (int oc = 0; oc < out_ch; ++oc) y.at4(b, oc, r, c) = row[oc];
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv2d::Conv2d(int in_channels, int out_channels, int kernel, util::Rng& rng)
     : in_ch_(in_channels), out_ch_(out_channels), k_(kernel) {
@@ -108,57 +225,56 @@ Tensor Conv2d::forward(const Tensor& x) {
   if (x.rank() != 4 || x.dim(1) != in_ch_) throw std::invalid_argument("Conv2d: bad input");
   input_ = x;
   const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
-  const int pad = k_ / 2;
+  Tensor& cols = train_ws_.scratch(0);
+  im2col(x, k_, cols);
+  Tensor& ymat = train_ws_.scratch(1);
+  conv_matmul(cols, weight_, bias_.value, train_ws_, ymat);
   Tensor y({n, out_ch_, h, w});
-  for (int b = 0; b < n; ++b) {
-    for (int oc = 0; oc < out_ch_; ++oc) {
-      for (int r = 0; r < h; ++r) {
-        for (int c = 0; c < w; ++c) {
-          float acc = bias_.value[static_cast<std::size_t>(oc)];
-          for (int ic = 0; ic < in_ch_; ++ic) {
-            for (int kr = 0; kr < k_; ++kr) {
-              const int rr = r + kr - pad;
-              if (rr < 0 || rr >= h) continue;
-              for (int kc = 0; kc < k_; ++kc) {
-                const int cc = c + kc - pad;
-                if (cc < 0 || cc >= w) continue;
-                acc += x.at4(b, ic, rr, cc) *
-                       weight_.value[((static_cast<std::size_t>(oc) * in_ch_ + ic) * k_ + kr) *
-                                         k_ +
-                                     kc];
-              }
-            }
-          }
-          y.at4(b, oc, r, c) = acc;
-        }
-      }
-    }
-  }
+  scatter_nchw(ymat, n, out_ch_, h, w, y);
   return y;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
   const int n = input_.dim(0), h = input_.dim(2), w = input_.dim(3);
+  const int np = n * h * w;
+  const int nk = in_ch_ * k_ * k_;
   const int pad = k_ / 2;
+  // Re-lower the cached input (cheap next to the GEMMs, and correct even if
+  // another layer's forward ran in between and touched shared scratch).
+  Tensor& cols = train_ws_.scratch(0);
+  im2col(input_, k_, cols);
+  // Gather grad_out into [P, out_ch] to match the im2col row order.
+  Tensor& gmat = train_ws_.scratch(2);
+  gmat.resize(np, out_ch_);
+  for (int b = 0; b < n; ++b) {
+    for (int r = 0; r < h; ++r) {
+      for (int c = 0; c < w; ++c) {
+        const int p = (b * h + r) * w + c;
+        float* row = gmat.data() + static_cast<std::size_t>(p) * out_ch_;
+        for (int oc = 0; oc < out_ch_; ++oc) row[oc] = grad_out.at4(b, oc, r, c);
+      }
+    }
+  }
+  gemm::backward_accum(np, nk, out_ch_, gmat.data(), cols.data(), weight_.grad.data(),
+                       bias_.grad.data());
+  Tensor& dcols = train_ws_.scratch(3);
+  dcols.resize(np, nk);
+  gemm::backward_dx(np, nk, out_ch_, gmat.data(), weight_.value.data(), dcols.data());
+  // col2im: scatter-add the column gradients back onto the input grid.
   Tensor grad_in({n, in_ch_, h, w});
   for (int b = 0; b < n; ++b) {
-    for (int oc = 0; oc < out_ch_; ++oc) {
-      for (int r = 0; r < h; ++r) {
-        for (int c = 0; c < w; ++c) {
-          const float g = grad_out.at4(b, oc, r, c);
-          bias_.grad[static_cast<std::size_t>(oc)] += g;
-          for (int ic = 0; ic < in_ch_; ++ic) {
-            for (int kr = 0; kr < k_; ++kr) {
-              const int rr = r + kr - pad;
-              if (rr < 0 || rr >= h) continue;
-              for (int kc = 0; kc < k_; ++kc) {
-                const int cc = c + kc - pad;
-                if (cc < 0 || cc >= w) continue;
-                const std::size_t widx =
-                    ((static_cast<std::size_t>(oc) * in_ch_ + ic) * k_ + kr) * k_ + kc;
-                weight_.grad[widx] += g * input_.at4(b, ic, rr, cc);
-                grad_in.at4(b, ic, rr, cc) += g * weight_.value[widx];
-              }
+    for (int r = 0; r < h; ++r) {
+      for (int c = 0; c < w; ++c) {
+        const int p = (b * h + r) * w + c;
+        const float* row = dcols.data() + static_cast<std::size_t>(p) * nk;
+        int k = 0;
+        for (int ic = 0; ic < in_ch_; ++ic) {
+          for (int kr = 0; kr < k_; ++kr) {
+            const int rr = r + kr - pad;
+            for (int kc = 0; kc < k_; ++kc, ++k) {
+              const int cc = c + kc - pad;
+              if (rr < 0 || rr >= h || cc < 0 || cc >= w) continue;
+              grad_in.at4(b, ic, rr, cc) += row[k];
             }
           }
         }
@@ -166,6 +282,17 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     }
   }
   return grad_in;
+}
+
+void Conv2d::infer(const Tensor& x, Tensor& y, Workspace& ws) const {
+  if (x.rank() != 4 || x.dim(1) != in_ch_) throw std::invalid_argument("Conv2d::infer: bad input");
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  Tensor& cols = ws.scratch(0);
+  im2col(x, k_, cols);
+  Tensor& ymat = ws.scratch(1);
+  conv_matmul(cols, weight_, bias_.value, ws, ymat);
+  y.resize({n, out_ch_, h, w});
+  scatter_nchw(ymat, n, out_ch_, h, w, y);
 }
 
 Tensor Sequential::forward(const Tensor& x) {
@@ -180,12 +307,33 @@ Tensor Sequential::backward(const Tensor& grad_out) {
   return g;
 }
 
-std::vector<Param*> Sequential::params() {
-  std::vector<Param*> all;
-  for (auto& layer : layers_) {
-    for (Param* p : layer->params()) all.push_back(p);
+const Tensor& Sequential::infer(const Tensor& x, Workspace& ws) const {
+  Tensor& a0 = ws.activation(0);
+  Tensor& a1 = ws.activation(1);
+  const Tensor* cur = &x;
+  bool flip = false;
+  for (const auto& layer : layers_) {
+    Tensor& out = flip ? a1 : a0;
+    layer->infer(*cur, out, ws);
+    cur = &out;
+    flip = !flip;
   }
-  return all;
+  if (cur == &x) {
+    a0 = x;  // empty network: identity, but still return workspace-owned storage
+    return a0;
+  }
+  return *cur;
+}
+
+const std::vector<Param*>& Sequential::params() {
+  if (params_dirty_) {
+    params_cache_.clear();
+    for (auto& layer : layers_) {
+      for (Param* p : layer->params()) params_cache_.push_back(p);
+    }
+    params_dirty_ = false;
+  }
+  return params_cache_;
 }
 
 void Sequential::zero_grad() {

@@ -1,12 +1,25 @@
 #pragma once
 // Neural-network layers with explicit forward/backward passes.
 //
-// The Layer interface is stateful per batch: forward() caches whatever the
-// corresponding backward() needs. Parameters are exposed as (value, grad)
-// pairs for the optimizer. This is all the machinery the MLP denoiser and
-// the autoencoder baselines need; Conv2d is provided for the convolutional
-// variants and tested against finite differences.
+// Two execution paths share the same parameters:
+//
+//  * Training: `forward()` is stateful per batch — it caches whatever the
+//    corresponding `backward()` needs. Parameters are exposed as
+//    (value, grad) pairs for the optimizer.
+//  * Inference: `infer()` is `const` and stateless. All scratch lives in a
+//    caller-owned Workspace, so concurrent callers with per-thread
+//    workspaces can share one network with no locks and no allocations on
+//    the hot loop (buffers are reused via Tensor::resize once warm).
+//
+// Both paths produce bit-identical outputs: the blocked kernels in nn/gemm.h
+// preserve the per-element accumulation order of the naive loops.
+//
+// This is all the machinery the MLP denoiser and the autoencoder baselines
+// need; Conv2d is provided for the convolutional variants and tested against
+// finite differences.
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -14,9 +27,55 @@
 
 namespace cp::nn {
 
+/// Monotonic process-wide stamp; every Param construction or mutation draws
+/// a fresh value, so a (pointer, version) pair uniquely identifies weight
+/// *contents* even across address reuse. Thread-safe (atomic counter).
+std::uint64_t next_param_version();
+
 struct Param {
   Tensor value;
   Tensor grad;
+  /// Bumped by the optimizers and the serializer whenever `value` changes;
+  /// keys Workspace's packed-weight cache.
+  std::uint64_t version = next_param_version();
+
+  void bump_version() { version = next_param_version(); }
+};
+
+/// Caller-owned scratch for the stateless inference path. One workspace per
+/// thread; never shared concurrently. Pools:
+///  * activation(i): ping-pong output buffers used by Sequential::infer.
+///  * scratch(i):    layer-internal temporaries (im2col columns, matmul
+///                   staging) — valid only within a single infer() call.
+///  * packed_wt(p):  transposed weight cache for the vector GEMM kernel,
+///                   invalidated automatically via Param::version.
+/// All buffers grow on demand and are reused via Tensor::resize, so steady
+/// state inference performs zero heap allocations.
+class Workspace {
+ public:
+  Tensor& activation(std::size_t i) { return slot(activations_, i); }
+  Tensor& scratch(std::size_t i) { return slot(scratch_, i); }
+
+  /// The packed transpose of `p.value` (flattened to 2-D, [in, out]) for
+  /// gemm::forward_packed. Re-packed only when `p.version` changes.
+  const Tensor& packed_wt(const Param& p);
+
+ private:
+  // Deques so references handed out stay valid as pools grow on demand.
+  static Tensor& slot(std::deque<Tensor>& pool, std::size_t i) {
+    while (pool.size() <= i) pool.emplace_back();
+    return pool[i];
+  }
+
+  struct PackEntry {
+    const Param* param = nullptr;
+    std::uint64_t version = 0;
+    Tensor wt;
+  };
+
+  std::deque<Tensor> activations_;
+  std::deque<Tensor> scratch_;
+  std::deque<PackEntry> packs_;
 };
 
 class Layer {
@@ -24,6 +83,9 @@ class Layer {
   virtual ~Layer() = default;
   virtual Tensor forward(const Tensor& x) = 0;
   virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// Stateless forward: writes the result into `y` (resized as needed),
+  /// touching only `ws` for scratch. Must match forward() bit-for-bit.
+  virtual void infer(const Tensor& x, Tensor& y, Workspace& ws) const = 0;
   virtual std::vector<Param*> params() { return {}; }
   virtual const char* name() const = 0;
 };
@@ -34,6 +96,7 @@ class Linear : public Layer {
   Linear(int in_features, int out_features, util::Rng& rng);
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  void infer(const Tensor& x, Tensor& y, Workspace& ws) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   const char* name() const override { return "Linear"; }
 
@@ -52,6 +115,7 @@ class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  void infer(const Tensor& x, Tensor& y, Workspace& ws) const override;
   const char* name() const override { return "ReLU"; }
 
  private:
@@ -63,6 +127,7 @@ class SiLU : public Layer {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  void infer(const Tensor& x, Tensor& y, Workspace& ws) const override;
   const char* name() const override { return "SiLU"; }
 
  private:
@@ -73,18 +138,22 @@ class Sigmoid : public Layer {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  void infer(const Tensor& x, Tensor& y, Workspace& ws) const override;
   const char* name() const override { return "Sigmoid"; }
 
  private:
   Tensor output_;
 };
 
-/// Same-padded 2-D convolution on NCHW tensors (odd kernel).
+/// Same-padded 2-D convolution on NCHW tensors (odd kernel), lowered to the
+/// blocked GEMM via im2col. The flattened weight [out_ch, in_ch*k*k] matches
+/// the im2col column order, so the kernels in nn/gemm.h apply directly.
 class Conv2d : public Layer {
  public:
   Conv2d(int in_channels, int out_channels, int kernel, util::Rng& rng);
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  void infer(const Tensor& x, Tensor& y, Workspace& ws) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   const char* name() const override { return "Conv2d"; }
 
@@ -93,24 +162,37 @@ class Conv2d : public Layer {
   Param weight_;  // [out, in, k, k]
   Param bias_;    // [out]
   Tensor input_;
+  Workspace train_ws_;  // training-path scratch: im2col columns reused by backward
 };
 
 /// A simple sequential container.
 class Sequential {
  public:
   Sequential() = default;
-  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  void add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    params_dirty_ = true;
+  }
   Tensor forward(const Tensor& x);
   /// Propagate the loss gradient back through all layers (accumulates
   /// parameter grads; call zero_grad() between steps).
   Tensor backward(const Tensor& grad_out);
-  std::vector<Param*> params();
+  /// Stateless forward through all layers, ping-ponging between the
+  /// workspace's activation buffers. Returns a reference into `ws`, valid
+  /// until the next infer() with the same workspace. Bit-identical to
+  /// forward(); safe to call concurrently with per-thread workspaces.
+  const Tensor& infer(const Tensor& x, Workspace& ws) const;
+  /// Flattened parameter list; cached (rebuilt only after add()).
+  const std::vector<Param*>& params();
   void zero_grad();
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Param*> params_cache_;
+  bool params_dirty_ = true;
 };
 
 /// Binary cross-entropy with logits; returns mean loss and writes

@@ -47,12 +47,14 @@ void Adam::step() {
       const float vhat = v[i] / bc2;
       p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
+    p->bump_version();  // invalidate packed-weight caches
   }
 }
 
 void Sgd::step() {
   for (Param* p : params_) {
     for (std::size_t i = 0; i < p->value.numel(); ++i) p->value[i] -= lr_ * p->grad[i];
+    p->bump_version();  // invalidate packed-weight caches
   }
 }
 

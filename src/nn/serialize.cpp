@@ -56,6 +56,7 @@ void load_params(std::istream& is, const std::vector<Param*>& params) {
     Tensor t = read_tensor(is);
     if (!t.same_shape(p->value)) throw std::runtime_error("load_params: shape mismatch");
     p->value = std::move(t);
+    p->bump_version();  // invalidate packed-weight caches
   }
 }
 

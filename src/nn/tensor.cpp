@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/gemm.h"
+
 namespace cp::nn {
 
 Tensor::Tensor(std::vector<int> shape, float fill) : shape_(std::move(shape)) {
@@ -30,6 +32,32 @@ float Tensor::at4(int n, int c, int h, int w) const {
 }
 
 void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::resize(std::vector<int> shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor::resize: negative dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  shape_ = std::move(shape);
+  data_.resize(n);
+}
+
+void Tensor::resize(int rows, int cols) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Tensor::resize: negative dimension");
+  if (shape_.size() == 2) {
+    shape_[0] = rows;
+    shape_[1] = cols;
+  } else {
+    shape_.assign({rows, cols});
+  }
+  data_.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+}
+
+void Tensor::resize_like(const Tensor& other) {
+  if (shape_ != other.shape_) shape_ = other.shape_;
+  data_.resize(other.data_.size());
+}
 
 void Tensor::add_scaled(const Tensor& other, float scale) {
   if (!same_shape(other)) throw std::invalid_argument("Tensor::add_scaled: shape mismatch");
@@ -58,15 +86,12 @@ Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
     throw std::invalid_argument("linear_forward: shape mismatch");
   }
   Tensor y({n, out});
-  for (int i = 0; i < n; ++i) {
-    const float* xi = x.data() + static_cast<std::size_t>(i) * in;
-    float* yi = y.data() + static_cast<std::size_t>(i) * out;
-    for (int o = 0; o < out; ++o) {
-      const float* wo = w.data() + static_cast<std::size_t>(o) * in;
-      float acc = b[static_cast<std::size_t>(o)];
-      for (int k = 0; k < in; ++k) acc += xi[k] * wo[k];
-      yi[o] = acc;
-    }
+  if (out >= gemm::kVecMinOut) {
+    std::vector<float> wt(static_cast<std::size_t>(in) * out);
+    gemm::pack_wt(in, out, w.data(), wt.data());
+    gemm::forward_packed(n, in, out, x.data(), wt.data(), b.data(), y.data());
+  } else {
+    gemm::forward_naive(n, in, out, x.data(), w.data(), b.data(), y.data());
   }
   return y;
 }

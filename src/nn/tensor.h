@@ -42,6 +42,17 @@ class Tensor {
   void fill(float v);
   void add_scaled(const Tensor& other, float scale);  // this += scale * other
 
+  /// Reshape to `shape`, reusing the existing allocation when capacity
+  /// permits (std::vector never shrinks). Existing element values are not
+  /// meaningful afterwards; callers overwrite. This is what keeps the
+  /// inference workspaces allocation-free once warm.
+  void resize(std::vector<int> shape);
+  /// 2-D fast path for resize: no shape-vector construction on the caller
+  /// side, so steady-state calls are allocation-free.
+  void resize(int rows, int cols);
+  /// Match `other`'s shape (allocation-free once capacity suffices).
+  void resize_like(const Tensor& other);
+
   std::string shape_string() const;
 
   /// True if shapes match exactly.
@@ -53,6 +64,8 @@ class Tensor {
 };
 
 /// y = x @ w^T + b, x:[n,in], w:[out,in], b:[out] -> y:[n,out].
+/// Dispatches to the blocked vector kernel in nn/gemm.h when the shape
+/// profits; bit-identical to the naive loop for every shape.
 Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b);
 
 }  // namespace cp::nn

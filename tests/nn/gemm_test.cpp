@@ -1,0 +1,147 @@
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace cp::nn {
+namespace {
+
+// The kernels' contract is *bit*-identity with the naive loops (the goldens
+// and the parallel-vs-serial determinism suites depend on it), so every
+// comparison here is exact equality, never a tolerance.
+
+struct Shape {
+  int n, in, out;
+};
+
+// Odd, prime-ish and chunk-straddling shapes: below/at/above the vector
+// dispatch threshold and the 8-wide chunk boundary, plus a large odd case.
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 7, 5},    {2, 3, 8},    {3, 8, 9},     {4, 16, 16},
+    {5, 23, 64}, {7, 13, 31},  {1, 64, 1},   {9, 17, 257},  {257, 129, 33},
+};
+
+std::vector<float> randn(std::size_t n, util::Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, 1.0));
+  return v;
+}
+
+TEST(GemmTest, PackedForwardBitIdenticalToNaive) {
+  util::Rng rng(11);
+  for (const Shape& s : kShapes) {
+    const auto x = randn(static_cast<std::size_t>(s.n) * s.in, rng);
+    const auto w = randn(static_cast<std::size_t>(s.out) * s.in, rng);
+    const auto b = randn(static_cast<std::size_t>(s.out), rng);
+    std::vector<float> wt(static_cast<std::size_t>(s.in) * s.out);
+    gemm::pack_wt(s.in, s.out, w.data(), wt.data());
+
+    std::vector<float> y_naive(static_cast<std::size_t>(s.n) * s.out);
+    std::vector<float> y_packed(y_naive.size());
+    gemm::forward_naive(s.n, s.in, s.out, x.data(), w.data(), b.data(), y_naive.data());
+    gemm::forward_packed(s.n, s.in, s.out, x.data(), wt.data(), b.data(), y_packed.data());
+    for (std::size_t i = 0; i < y_naive.size(); ++i) {
+      ASSERT_EQ(y_naive[i], y_packed[i])
+          << "n=" << s.n << " in=" << s.in << " out=" << s.out << " at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, BackwardDxMatchesReferenceLoopExactly) {
+  util::Rng rng(12);
+  for (const Shape& s : kShapes) {
+    const auto g = randn(static_cast<std::size_t>(s.n) * s.out, rng);
+    const auto w = randn(static_cast<std::size_t>(s.out) * s.in, rng);
+
+    // The pre-blocking Linear::backward input-gradient loop, verbatim.
+    std::vector<float> ref(static_cast<std::size_t>(s.n) * s.in, 0.0f);
+    for (int i = 0; i < s.n; ++i) {
+      const float* gi = g.data() + static_cast<std::size_t>(i) * s.out;
+      float* di = ref.data() + static_cast<std::size_t>(i) * s.in;
+      for (int o = 0; o < s.out; ++o) {
+        const float* wo = w.data() + static_cast<std::size_t>(o) * s.in;
+        for (int k = 0; k < s.in; ++k) di[k] += gi[o] * wo[k];
+      }
+    }
+
+    std::vector<float> dx(ref.size());
+    gemm::backward_dx(s.n, s.in, s.out, g.data(), w.data(), dx.data());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(ref[i], dx[i])
+          << "n=" << s.n << " in=" << s.in << " out=" << s.out << " at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, BackwardAccumMatchesReferenceLoopExactly) {
+  util::Rng rng(13);
+  for (const Shape& s : kShapes) {
+    const auto g = randn(static_cast<std::size_t>(s.n) * s.out, rng);
+    const auto x = randn(static_cast<std::size_t>(s.n) * s.in, rng);
+    // Accumulation must *add* to existing gradients; start from a nonzero
+    // state to check that too.
+    const auto seed = randn(static_cast<std::size_t>(s.out) * s.in, rng);
+    const auto bseed = randn(static_cast<std::size_t>(s.out), rng);
+
+    // The pre-blocking Linear::backward parameter-gradient loop, verbatim.
+    std::vector<float> dw_ref = seed;
+    std::vector<float> db_ref = bseed;
+    for (int i = 0; i < s.n; ++i) {
+      const float* xi = x.data() + static_cast<std::size_t>(i) * s.in;
+      const float* gi = g.data() + static_cast<std::size_t>(i) * s.out;
+      for (int o = 0; o < s.out; ++o) {
+        float* wo = dw_ref.data() + static_cast<std::size_t>(o) * s.in;
+        for (int k = 0; k < s.in; ++k) wo[k] += gi[o] * xi[k];
+        db_ref[static_cast<std::size_t>(o)] += gi[o];
+      }
+    }
+
+    std::vector<float> dw = seed;
+    std::vector<float> db = bseed;
+    gemm::backward_accum(s.n, s.in, s.out, g.data(), x.data(), dw.data(), db.data());
+    for (std::size_t i = 0; i < dw_ref.size(); ++i) {
+      ASSERT_EQ(dw_ref[i], dw[i]) << "dw mismatch at " << i;
+    }
+    for (std::size_t i = 0; i < db_ref.size(); ++i) {
+      ASSERT_EQ(db_ref[i], db[i]) << "db mismatch at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, LinearForwardDispatchesBitIdenticallyForAllShapes) {
+  util::Rng rng(14);
+  for (const Shape& s : kShapes) {
+    Tensor x = Tensor::randn({s.n, s.in}, rng);
+    Tensor w = Tensor::randn({s.out, s.in}, rng);
+    Tensor b = Tensor::randn({s.out}, rng);
+    const Tensor y = linear_forward(x, w, b);
+    std::vector<float> ref(static_cast<std::size_t>(s.n) * s.out);
+    gemm::forward_naive(s.n, s.in, s.out, x.data(), w.data(), b.data(), ref.data());
+    ASSERT_EQ(y.numel(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(ref[i], y[i])
+          << "n=" << s.n << " in=" << s.in << " out=" << s.out << " at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, PackWtIsTranspose) {
+  util::Rng rng(15);
+  const int in = 5, out = 9;
+  const auto w = randn(static_cast<std::size_t>(out) * in, rng);
+  std::vector<float> wt(w.size());
+  gemm::pack_wt(in, out, w.data(), wt.data());
+  for (int o = 0; o < out; ++o) {
+    for (int k = 0; k < in; ++k) {
+      EXPECT_EQ(w[static_cast<std::size_t>(o) * in + k],
+                wt[static_cast<std::size_t>(k) * out + o]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cp::nn

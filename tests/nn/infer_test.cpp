@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/optim.h"
+
+namespace cp::nn {
+namespace {
+
+// The stateless infer() path must match the stateful forward() path
+// bit-for-bit — that is what lets the MLP denoiser advertise thread-safe
+// inference without changing a single sampled pattern.
+
+void expect_bit_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what << ": shape " << a.shape_string() << " vs "
+                               << b.shape_string();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " differs at " << i;
+  }
+}
+
+void check_infer_matches_forward(Layer& layer, const Tensor& x, const char* what) {
+  Workspace ws;
+  const Tensor y_forward = layer.forward(x);
+  Tensor y_infer;
+  layer.infer(x, y_infer, ws);
+  expect_bit_equal(y_forward, y_infer, what);
+  // Second call with the warm workspace: buffers are reused, result unchanged.
+  layer.infer(x, y_infer, ws);
+  expect_bit_equal(y_forward, y_infer, what);
+}
+
+TEST(InferTest, LinearVectorPath) {
+  util::Rng rng(21);
+  Linear layer(23, 64, rng);  // out >= kVecMinOut: packed kernel
+  check_infer_matches_forward(layer, Tensor::randn({5, 23}, rng), "Linear(23,64)");
+}
+
+TEST(InferTest, LinearNaivePath) {
+  util::Rng rng(22);
+  Linear layer(16, 3, rng);  // out < kVecMinOut: naive kernel
+  check_infer_matches_forward(layer, Tensor::randn({4, 16}, rng), "Linear(16,3)");
+}
+
+TEST(InferTest, Activations) {
+  util::Rng rng(23);
+  const Tensor x = Tensor::randn({3, 17}, rng);
+  ReLU relu;
+  check_infer_matches_forward(relu, x, "ReLU");
+  SiLU silu;
+  check_infer_matches_forward(silu, x, "SiLU");
+  Sigmoid sigmoid;
+  check_infer_matches_forward(sigmoid, x, "Sigmoid");
+}
+
+TEST(InferTest, Conv2d) {
+  util::Rng rng(24);
+  Conv2d conv(2, 9, 3, rng);
+  check_infer_matches_forward(conv, Tensor::randn({2, 2, 6, 7}, rng), "Conv2d(2,9,3)");
+  Conv2d small(3, 4, 5, rng);  // out_ch < kVecMinOut
+  check_infer_matches_forward(small, Tensor::randn({1, 3, 8, 5}, rng), "Conv2d(3,4,5)");
+}
+
+Sequential make_mlp(util::Rng& rng) {
+  Sequential net;
+  net.add(std::make_unique<Linear>(23, 64, rng));
+  net.add(std::make_unique<SiLU>());
+  net.add(std::make_unique<Linear>(64, 64, rng));
+  net.add(std::make_unique<SiLU>());
+  net.add(std::make_unique<Linear>(64, 1, rng));
+  return net;
+}
+
+TEST(InferTest, SequentialMatchesForward) {
+  util::Rng rng(25);
+  Sequential net = make_mlp(rng);
+  for (int n : {1, 4, 33}) {
+    const Tensor x = Tensor::randn({n, 23}, rng);
+    const Tensor y_forward = net.forward(x);
+    Workspace ws;
+    expect_bit_equal(y_forward, net.infer(x, ws), "Sequential");
+  }
+}
+
+TEST(InferTest, WorkspaceReuseAcrossBatchSizesIsSafe) {
+  util::Rng rng(26);
+  Sequential net = make_mlp(rng);
+  Workspace ws;
+  // Shrinking and growing batch sizes through one workspace must keep
+  // producing forward()-exact results (buffers resize, never stale).
+  for (int n : {16, 1, 7, 16, 2}) {
+    const Tensor x = Tensor::randn({n, 23}, rng);
+    expect_bit_equal(net.forward(x), net.infer(x, ws), "Sequential reuse");
+  }
+}
+
+TEST(InferTest, PackedWeightCacheInvalidatesAfterOptimizerStep) {
+  util::Rng rng(27);
+  Sequential net = make_mlp(rng);
+  Workspace ws;
+  const Tensor x = Tensor::randn({3, 23}, rng);
+  expect_bit_equal(net.forward(x), net.infer(x, ws), "before step");
+
+  // Fabricate a gradient and take an optimizer step: every Param's version
+  // bumps, so the workspace must repack and track the new weights.
+  net.zero_grad();
+  Tensor g({3, 1}, 1.0f);
+  net.backward(g);
+  Adam opt(net.params(), 0.05f);
+  opt.step();
+
+  expect_bit_equal(net.forward(x), net.infer(x, ws), "after Adam step");
+
+  // And after loading weights via Param assignment + bump (the serializer
+  // path): mutate one weight directly and bump its version.
+  Param* p = net.params().front();
+  p->value[0] += 1.0f;
+  p->bump_version();
+  expect_bit_equal(net.forward(x), net.infer(x, ws), "after manual bump");
+}
+
+TEST(InferTest, SequentialParamsCacheTracksAdd) {
+  util::Rng rng(28);
+  Sequential net;
+  net.add(std::make_unique<Linear>(4, 8, rng));
+  EXPECT_EQ(net.params().size(), 2u);
+  net.add(std::make_unique<SiLU>());
+  net.add(std::make_unique<Linear>(8, 2, rng));
+  EXPECT_EQ(net.params().size(), 4u);
+  // Same vector object back (cached), not a fresh copy per call.
+  EXPECT_EQ(&net.params(), &net.params());
+}
+
+TEST(InferTest, EmptySequentialIsIdentity) {
+  util::Rng rng(29);
+  Sequential net;
+  Workspace ws;
+  const Tensor x = Tensor::randn({2, 3}, rng);
+  expect_bit_equal(x, net.infer(x, ws), "empty Sequential");
+}
+
+}  // namespace
+}  // namespace cp::nn
