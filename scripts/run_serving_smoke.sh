@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Serving-layer smoke test: generate a 50-request NDJSON trace (with
+# duplicate contents and a malformed line), replay it through the
+# chatpattern_serve binary, and assert (1) exit code 0, (2) one result line
+# per trace line, (3) the replay is bit-identical between 1 worker and 4
+# workers — the serving determinism contract (docs/SERVING.md).
+#
+# Usage: run_serving_smoke.sh <chatpattern_serve-binary> [workdir]
+# Wired into ctest as `serving_smoke` (tests/CMakeLists.txt).
+set -euo pipefail
+
+SERVE_BIN=${1:?usage: run_serving_smoke.sh <chatpattern_serve-binary> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+TRACE="$WORKDIR/trace.ndjson"
+
+# 50 lines: 48 valid requests over 12 distinct contents (heavy cache/dedup
+# traffic), one raw-topology request, one malformed line.
+: > "$TRACE"
+for i in $(seq 0 47); do
+  seed=$((100 + i % 12))
+  style=$([ $((i % 2)) -eq 0 ] && echo Layer-10001 || echo Layer-10003)
+  echo "{\"id\":\"s$i\",\"style\":\"$style\",\"count\":1,\"rows\":32,\"cols\":32,\"steps\":6,\"polish\":1,\"width_nm\":2048,\"height_nm\":2048,\"seed\":$seed}" >> "$TRACE"
+done
+echo '{"id":"raw","legalize":false,"rows":16,"cols":16,"steps":4,"polish":0,"seed":9}' >> "$TRACE"
+echo 'this line is not json' >> "$TRACE"
+
+run() {
+  local workers=$1 out=$2
+  "$SERVE_BIN" --trace "$TRACE" --out "$out" --train 24 --workers "$workers" \
+    2> "$WORKDIR/stderr_w$workers.log"
+}
+
+run 1 "$WORKDIR/out_w1.ndjson"
+run 4 "$WORKDIR/out_w4.ndjson"
+
+lines=$(wc -l < "$TRACE")
+for w in 1 4; do
+  results=$(wc -l < "$WORKDIR/out_w$w.ndjson")
+  if [ "$results" -ne "$lines" ]; then
+    echo "FAIL: workers=$w produced $results result lines for $lines trace lines" >&2
+    exit 1
+  fi
+done
+
+# Determinism: identical per-request library hashes regardless of workers.
+hash_of() { grep -o '"library_hash":"[0-9a-f]*"' "$1" | sort; }
+if ! diff <(hash_of "$WORKDIR/out_w1.ndjson") <(hash_of "$WORKDIR/out_w4.ndjson") > /dev/null; then
+  echo "FAIL: 1-worker and 4-worker replays produced different libraries" >&2
+  exit 1
+fi
+
+# The malformed line must surface as a rejected result, not abort the run.
+if ! grep -q '"status":"rejected"' "$WORKDIR/out_w1.ndjson"; then
+  echo "FAIL: malformed trace line did not produce a rejected result" >&2
+  exit 1
+fi
+
+echo "OK: replayed $lines lines, results deterministic across 1 and 4 workers"

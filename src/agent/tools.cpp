@@ -118,7 +118,40 @@ ToolRegistry make_standard_tools(GeneratorBackend backend) {
               sc.rows, sc.cols, shared->window);
           return r;
         }
-        util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)) ^ shared->seed_mix);
+        const std::uint64_t seed =
+            static_cast<std::uint64_t>(args.get_int("seed", 1)) ^ shared->seed_mix;
+        if (shared->server != nullptr) {
+          // Serving path: the request lifecycle (queue, batching, cache)
+          // wraps the diffusion call. Repeated generation with the same
+          // arguments is a cache hit and skips diffusion entirely.
+          serve::GenerationRequest req;
+          req.id = "tool-gen-" + std::to_string(shared->store->topology_count()) + "-" +
+                   std::to_string(seed);
+          req.style = args.get_string("style", "Layer-10001");
+          req.count = 1;
+          req.rows = sc.rows;
+          req.cols = sc.cols;
+          req.sample_steps = sc.sample_steps;
+          req.polish_rounds = sc.polish_rounds;
+          req.seed = seed;
+          req.legalize = false;  // this tool delivers a raw topology
+          serve::Server::Submitted submitted = shared->server->submit(std::move(req));
+          serve::GenerationResult res = submitted.result.get();
+          if (res.payload == nullptr || res.payload->topologies.empty()) {
+            r.payload["error"] = "serving layer returned no topology (" +
+                                 std::string(serve::to_string(res.status)) +
+                                 (res.reason.empty() ? "" : ": " + res.reason) + ")";
+            return r;
+          }
+          squish::Topology t = res.payload->topologies.front();
+          r.payload = topology_summary(t);
+          r.payload["topology_id"] = shared->store->put_topology(std::move(t));
+          r.payload["served"] = true;
+          r.payload["cache_hit"] = res.cache_hit;
+          r.ok = true;
+          return r;
+        }
+        util::Rng rng(seed);
         squish::Topology t = shared->sampler->sample(sc, rng);
         r.payload = topology_summary(t);
         r.payload["topology_id"] = shared->store->put_topology(std::move(t));

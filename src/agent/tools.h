@@ -18,6 +18,7 @@
 #include "diffusion/sampler.h"
 #include "extension/planner.h"
 #include "legalize/legalizer.h"
+#include "serve/server.h"
 #include "util/json.h"
 
 namespace cp::agent {
@@ -56,6 +57,13 @@ struct GeneratorBackend {
   int window = 128;          // the model's native size L
   int default_stride = 64;   // out-painting stride S
   std::uint64_t seed_mix = 0x5eedULL;
+  /// Optional serving layer (docs/SERVING.md). When set, topology_generation
+  /// routes through the server instead of calling the sampler inline, so
+  /// repeated agent queries hit the result cache and overlapping sessions
+  /// share its batching. Changes the RNG stream (request streams instead of
+  /// the inline tool stream), so attach it for serving deployments, not for
+  /// reproducing the inline-tool baselines.
+  serve::Server* server = nullptr;
 };
 
 struct ToolResult {

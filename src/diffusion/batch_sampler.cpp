@@ -49,6 +49,26 @@ std::vector<squish::Topology> BatchSampler::sample_batch(const SampleConfig& con
   return out;
 }
 
+std::vector<squish::Topology> BatchSampler::sample_jobs(
+    const std::vector<SampleJob>& jobs) const {
+  const obs::Span span = obs::trace_scope("sampler/batch_jobs");
+  obs::count("sampler/batch_job_samples", static_cast<long long>(jobs.size()));
+  std::vector<squish::Topology> out(jobs.size());
+  auto one = [&](long long i) {
+    const auto idx = static_cast<std::size_t>(i);
+    util::Rng rng = jobs[idx].root.fork(jobs[idx].stream);
+    out[idx] = generator_->sample(jobs[idx].config, rng);
+  };
+  const long long n = static_cast<long long>(jobs.size());
+  if (parallel()) {
+    pool_->parallel_for(n, one);
+  } else {
+    note_serial_fallback(*this, "sample_jobs");
+    for (long long i = 0; i < n; ++i) one(i);
+  }
+  return out;
+}
+
 std::vector<squish::Topology> BatchSampler::modify_batch(
     const std::vector<squish::Topology>& known, const std::vector<squish::Topology>& keep_masks,
     const ModifyConfig& config, const util::Rng& root) const {

@@ -65,6 +65,22 @@ class BatchSampler {
                                              const ModifyConfig& config,
                                              const util::Rng& root) const;
 
+  /// One heterogeneous fan-out job: sample `config` under stream
+  /// root.fork(stream). Jobs from *different* logical requests (different
+  /// root seeds) can share one sample_jobs invocation — this is what lets a
+  /// serving-layer batcher coalesce queued requests into a single fan-out
+  /// while each request keeps its own deterministic stream numbering.
+  struct SampleJob {
+    SampleConfig config;
+    util::Rng root;
+    std::uint64_t stream = 0;
+  };
+
+  /// Run every job (slot i holds the result of jobs[i]) across the pool.
+  /// Output depends only on each job's (config, root seed, stream), never on
+  /// thread count or batch composition.
+  std::vector<squish::Topology> sample_jobs(const std::vector<SampleJob>& jobs) const;
+
  private:
   const TopologyGenerator* generator_;
   util::ThreadPool* pool_;

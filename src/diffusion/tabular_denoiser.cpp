@@ -18,10 +18,17 @@ constexpr int kOffsets[TabularDenoiser::kNeighbors][2] = {
     {-2, 0}, {2, 0},  {0, -2}, {0, 2},  {-4, 0}, {4, 0},   {0, -4},  {0, 4},
 };
 
+// Reflect-101 boundary padding. A single reflection (-i / 2n-2-i) is only
+// valid while |i - clamp| < n; the cascade's coarse stage runs on grids as
+// small as rows/factor, where the distance-4 neighbourhood offsets overshoot
+// a whole period and a single reflection lands out of bounds. Fold into the
+// 2n-2 period first so any offset maps inside [0, n).
 inline int mirror(int i, int n) {
-  if (i < 0) return -i;
-  if (i >= n) return 2 * n - 2 - i;
-  return i;
+  if (i >= 0 && i < n) return i;
+  if (n == 1) return 0;
+  const int period = 2 * n - 2;
+  i = ((i % period) + period) % period;
+  return i < n ? i : period - i;
 }
 }  // namespace
 

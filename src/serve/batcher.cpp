@@ -1,0 +1,22 @@
+#include "serve/batcher.h"
+
+#include "obs/registry.h"
+
+namespace cp::serve {
+
+std::vector<PendingRequest> Batcher::next_batch() {
+  std::vector<PendingRequest> batch = queue_->pop_batch(
+      policy_.max_batch_requests, std::chrono::microseconds(policy_.max_wait_us));
+  if (!batch.empty()) {
+    obs::count("serve/batches");
+    obs::observe("serve/batch_requests", static_cast<double>(batch.size()));
+    const auto now = Clock::now();
+    for (const auto& p : batch) {
+      obs::observe("serve/queue_wait_s",
+                   std::chrono::duration<double>(now - p.admitted_at).count());
+    }
+  }
+  return batch;
+}
+
+}  // namespace cp::serve

@@ -1,0 +1,47 @@
+#pragma once
+// Microbatching policy: turn a stream of queued requests into coalesced
+// batches for single BatchSampler invocations.
+//
+// Classic dynamic-batching tradeoff: a bigger batch amortizes fan-out and
+// keeps every worker busy, but waiting for it to fill adds latency to the
+// requests already queued. The policy is the standard two-knob cut:
+//
+//     take a batch when  (a) max_batch_requests compatible requests are
+//     pending, or (b) max_wait_us has elapsed since the consumer started
+//     assembling one — whichever comes first.
+//
+// "Compatible" = equal serve::BatchKey (same condition/size/steps), so the
+// coalesced requests can share one SampleConfig per sample_jobs call while
+// keeping per-request seeds (see request.h). Batch composition affects only
+// scheduling; every request's payload is stream-determined.
+
+#include <chrono>
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace cp::serve {
+
+struct BatchPolicy {
+  int max_batch_requests = 8;  // cut at this many coalesced requests
+  long long max_wait_us = 2000;  // ... or after this long assembling
+};
+
+class Batcher {
+ public:
+  Batcher(RequestQueue* queue, BatchPolicy policy) : queue_(queue), policy_(policy) {}
+
+  const BatchPolicy& policy() const { return policy_; }
+
+  /// Next coalesced batch, blocking until work arrives. Empty means the
+  /// queue is closed and fully drained — the consumer's shutdown signal.
+  /// Records the `serve/batch_requests` histogram and each request's
+  /// queue-wait (`serve/queue_wait_s`).
+  std::vector<PendingRequest> next_batch();
+
+ private:
+  RequestQueue* queue_;
+  BatchPolicy policy_;
+};
+
+}  // namespace cp::serve

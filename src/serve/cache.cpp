@@ -1,0 +1,46 @@
+#include "serve/cache.h"
+
+#include "obs/registry.h"
+
+namespace cp::serve {
+
+std::shared_ptr<const GenerationPayload> PatternCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve/cache_miss");
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("serve/cache_hit");
+  return it->second->payload;
+}
+
+void PatternCache::insert(std::uint64_t key,
+                          std::shared_ptr<const GenerationPayload> payload) {
+  if (capacity_ == 0 || payload == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->payload = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(payload)});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve/cache_evict");
+  }
+}
+
+std::size_t PatternCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace cp::serve

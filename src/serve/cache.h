@@ -1,0 +1,61 @@
+#pragma once
+// LRU result cache keyed by GenerationRequest::content_hash().
+//
+// Agent sessions and library builders re-issue many identical small
+// generation requests (same style/size/seed defaults); a hit returns the
+// previously computed payload and skips the diffusion chain entirely —
+// the dominant serving cost. Entries are shared_ptr<const GenerationPayload>
+// so a hit is a pointer copy, never a deep copy, and a payload handed to a
+// client stays valid after eviction.
+//
+// Thread-safe: one mutex around the map+list (lookup/insert are pointer
+// operations, so the critical sections are tiny next to a diffusion call).
+// Hits/misses are counted both locally (hits()/misses(), for tests) and in
+// the obs registry (`serve/cache_hit`, `serve/cache_miss`).
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/request.h"
+
+namespace cp::serve {
+
+class PatternCache {
+ public:
+  /// `capacity` = max entries; 0 disables the cache (every lookup misses,
+  /// inserts are dropped).
+  explicit PatternCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Payload for `key`, or null on miss. A hit refreshes recency.
+  std::shared_ptr<const GenerationPayload> lookup(std::uint64_t key);
+
+  /// Insert (or refresh) `key`; evicts the least-recently-used entry when
+  /// over capacity.
+  void insert(std::uint64_t key, std::shared_ptr<const GenerationPayload> payload);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  long long hits() const { return hits_.load(std::memory_order_relaxed); }
+  long long misses() const { return misses_.load(std::memory_order_relaxed); }
+  long long evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const GenerationPayload> payload;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+  std::atomic<long long> evictions_{0};
+};
+
+}  // namespace cp::serve

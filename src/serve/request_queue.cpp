@@ -1,0 +1,211 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+
+#include "obs/registry.h"
+
+namespace cp::serve {
+
+namespace {
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+void complete_without_payload(PendingRequest& p, RequestStatus status, std::string reason,
+                              Clock::time_point now) {
+  GenerationResult result;
+  result.id = p.request.id;
+  result.status = status;
+  result.reason = std::move(reason);
+  result.queue_wait_ms = ms_between(p.admitted_at, now);
+  result.total_ms = result.queue_wait_ms;
+  fulfill(p, std::move(result));
+}
+
+}  // namespace
+
+void fulfill(PendingRequest& pending, GenerationResult result) {
+  pending.promise.set_value(std::move(result));
+  if (pending.on_complete) pending.on_complete();
+}
+
+RequestQueue::~RequestQueue() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = Clock::now();
+  for (auto& p : pending_) {
+    complete_without_payload(p, RequestStatus::kCancelled, "queue destroyed", now);
+  }
+  pending_.clear();
+}
+
+Admission RequestQueue::try_enqueue(PendingRequest pending) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending.admitted_at = Clock::now();
+  if (closed_) {
+    obs::count("serve/rejected_shutdown");
+    complete_without_payload(pending, RequestStatus::kRejected, "shutting_down", Clock::now());
+    return {false, "shutting_down"};
+  }
+  if (pending_.size() >= capacity_) {
+    obs::count("serve/rejected_full");
+    complete_without_payload(pending, RequestStatus::kRejected, "queue_full", Clock::now());
+    return {false, "queue_full"};
+  }
+  pending.sequence = next_sequence_++;
+  pending_.push_back(std::move(pending));
+  obs::count("serve/admitted");
+  publish_depth_locked();
+  work_cv_.notify_one();
+  return {true, ""};
+}
+
+Admission RequestQueue::enqueue_wait(PendingRequest pending) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [this] { return closed_ || pending_.size() < capacity_; });
+  pending.admitted_at = Clock::now();
+  if (closed_) {
+    obs::count("serve/rejected_shutdown");
+    complete_without_payload(pending, RequestStatus::kRejected, "shutting_down", Clock::now());
+    return {false, "shutting_down"};
+  }
+  pending.sequence = next_sequence_++;
+  pending_.push_back(std::move(pending));
+  obs::count("serve/admitted");
+  publish_depth_locked();
+  work_cv_.notify_one();
+  return {true, ""};
+}
+
+bool RequestQueue::cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->request.id == id) {
+      complete_without_payload(*it, RequestStatus::kCancelled, "cancelled", Clock::now());
+      pending_.erase(it);
+      obs::count("serve/cancelled");
+      publish_depth_locked();
+      space_cv_.notify_one();
+      return true;
+    }
+  }
+  return false;
+}
+
+double RequestQueue::effective_priority(const PendingRequest& p, Clock::time_point now) const {
+  const double waited_ms = ms_between(p.admitted_at, now);
+  return static_cast<double>(p.request.priority) +
+         (aging_interval_ms_ > 0 ? waited_ms / aging_interval_ms_ : 0.0);
+}
+
+void RequestQueue::expire_locked(Clock::time_point now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const double deadline = it->request.deadline_ms;
+    if (deadline > 0 && ms_between(it->admitted_at, now) > deadline) {
+      complete_without_payload(*it, RequestStatus::kDeadlineExpired, "deadline_expired", now);
+      obs::count("serve/deadline_expired");
+      it = pending_.erase(it);
+      space_cv_.notify_one();
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<PendingRequest> RequestQueue::pop_batch(int max_requests,
+                                                    std::chrono::microseconds max_wait) {
+  std::vector<PendingRequest> batch;
+  if (max_requests <= 0) return batch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Phase 1: wait for any work (or shutdown). Expiry runs on every wake so
+  // a dead request never blocks the consumer.
+  for (;;) {
+    expire_locked(Clock::now());
+    if (!pending_.empty() || closed_) break;
+    work_cv_.wait(lock);
+  }
+  if (pending_.empty()) {  // closed and drained
+    publish_depth_locked();
+    return batch;
+  }
+
+  // Phase 2: give a not-yet-full batch a short chance to fill. The head
+  // choice is re-taken after every wake — a higher-priority arrival during
+  // the wait becomes the new head.
+  const auto fill_deadline = Clock::now() + max_wait;
+  for (;;) {
+    const auto now = Clock::now();
+    auto head = pending_.begin();
+    double best = effective_priority(*head, now);
+    for (auto it = std::next(head); it != pending_.end(); ++it) {
+      const double p = effective_priority(*it, now);
+      if (p > best || (p == best && it->sequence < head->sequence)) {
+        head = it;
+        best = p;
+      }
+    }
+    const BatchKey key = batch_key(head->request, head->condition);
+    int compatible = 0;
+    for (const auto& p : pending_) {
+      if (batch_key(p.request, p.condition) == key) ++compatible;
+    }
+    if (compatible >= max_requests || closed_ || now >= fill_deadline) {
+      // Cut the batch: head first, then compatible requests in FIFO order.
+      batch.push_back(std::move(*head));
+      pending_.erase(head);
+      for (auto it = pending_.begin();
+           it != pending_.end() && static_cast<int>(batch.size()) < max_requests;) {
+        if (batch_key(it->request, it->condition) == key) {
+          batch.push_back(std::move(*it));
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      publish_depth_locked();
+      space_cv_.notify_all();
+      return batch;
+    }
+    work_cv_.wait_until(lock, fill_deadline);
+    expire_locked(Clock::now());
+    if (pending_.empty()) {
+      if (closed_) {
+        publish_depth_locked();
+        return batch;
+      }
+      // Everything expired while waiting; go back to phase 1.
+      for (;;) {
+        expire_locked(Clock::now());
+        if (!pending_.empty() || closed_) break;
+        work_cv_.wait(lock);
+      }
+      if (pending_.empty()) {
+        publish_depth_locked();
+        return batch;
+      }
+    }
+  }
+}
+
+void RequestQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void RequestQueue::publish_depth_locked() {
+  obs::gauge("serve/queue_depth", static_cast<double>(pending_.size()));
+}
+
+}  // namespace cp::serve

@@ -1,0 +1,326 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dataset/style.h"
+#include "obs/registry.h"
+#include "util/logging.h"
+
+namespace cp::serve {
+
+namespace {
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+diffusion::SampleConfig sample_config(const GenerationRequest& r, int condition) {
+  diffusion::SampleConfig sc;
+  sc.rows = r.rows;
+  sc.cols = r.cols;
+  sc.condition = condition;
+  sc.sample_steps = r.sample_steps;
+  sc.polish_rounds = r.polish_rounds;
+  return sc;
+}
+
+}  // namespace
+
+Server::Server(const diffusion::TopologyGenerator& generator,
+               std::vector<const legalize::Legalizer*> legalizers, ServerConfig config)
+    : config_(config),
+      legalizers_(std::move(legalizers)),
+      pool_(config.workers > 1 ? std::make_unique<util::ThreadPool>(config.workers) : nullptr),
+      sampler_(generator, pool_.get()),
+      cache_(config.cache_entries),
+      queue_(config.queue_capacity, config.aging_interval_ms),
+      batcher_(&queue_, config.batch) {
+  if (legalizers_.empty()) throw std::invalid_argument("Server: no legalizers");
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+Server::Submitted Server::submit_impl(GenerationRequest request, bool blocking) {
+  Submitted out;
+  std::promise<GenerationResult> promise;
+  out.result = promise.get_future();
+
+  const std::string invalid = validate(request);
+  if (!invalid.empty()) {
+    obs::count("serve/rejected_invalid");
+    out.reason = "invalid: " + invalid;
+    GenerationResult result;
+    result.id = request.id;
+    result.status = RequestStatus::kRejected;
+    result.reason = out.reason;
+    promise.set_value(std::move(result));
+    return out;
+  }
+  const int condition = dataset::style_index(request.style);
+  if (static_cast<std::size_t>(condition) >= legalizers_.size()) {
+    obs::count("serve/rejected_invalid");
+    out.reason = "invalid: no legalizer for style '" + request.style + "'";
+    GenerationResult result;
+    result.id = request.id;
+    result.status = RequestStatus::kRejected;
+    result.reason = out.reason;
+    promise.set_value(std::move(result));
+    return out;
+  }
+
+  // Fast path: a repeated request never touches the queue.
+  const std::uint64_t key = request.content_hash();
+  if (auto payload = cache_.lookup(key)) {
+    GenerationResult result;
+    result.id = request.id;
+    result.status = RequestStatus::kOk;
+    result.payload = std::move(payload);
+    result.cache_hit = true;
+    promise.set_value(std::move(result));
+    out.admitted = true;
+    return out;
+  }
+
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.condition = condition;
+  pending.promise = std::move(promise);
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    ++outstanding_;
+  }
+  pending.on_complete = [this] {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    --outstanding_;
+    drain_cv_.notify_all();
+  };
+  const Admission admission =
+      blocking ? queue_.enqueue_wait(std::move(pending)) : queue_.try_enqueue(std::move(pending));
+  out.admitted = admission.admitted;
+  out.reason = admission.reason;
+  return out;
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void Server::shutdown() {
+  if (stopped_.exchange(true)) {
+    if (dispatcher_.joinable()) dispatcher_.join();
+    return;
+  }
+  queue_.close();  // reject new work; the dispatcher drains what is queued
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void Server::dispatch_loop() {
+  for (;;) {
+    std::vector<PendingRequest> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // queue closed and drained
+    execute_batch(std::move(batch));
+  }
+}
+
+void Server::complete(PendingRequest pending, GenerationResult result) {
+  switch (result.status) {
+    case RequestStatus::kOk:
+      obs::count("serve/requests_ok");
+      break;
+    case RequestStatus::kIncomplete:
+      obs::count("serve/requests_incomplete");
+      break;
+    default:
+      break;
+  }
+  fulfill(pending, std::move(result));
+}
+
+void Server::execute_batch(std::vector<PendingRequest> batch) {
+  const obs::Span span = obs::trace_scope("serve/batch");
+  const auto batch_start = Clock::now();
+
+  // Stage 0: late cache hits (payload landed after this request was
+  // admitted) and in-batch dedup of identical content hashes.
+  std::vector<Active> active;
+  active.reserve(batch.size());
+  std::unordered_map<std::uint64_t, int> leader_of;
+  for (auto& pending : batch) {
+    Active a;
+    a.key = pending.request.content_hash();
+    a.budget = config_.max_attempts_per_pattern * pending.request.count + 64;
+    a.pending = std::move(pending);
+    if (auto payload = cache_.lookup(a.key)) {
+      GenerationResult result;
+      result.id = a.pending.request.id;
+      result.status = RequestStatus::kOk;
+      result.payload = std::move(payload);
+      result.cache_hit = true;
+      result.queue_wait_ms = ms_between(a.pending.admitted_at, batch_start);
+      result.total_ms = ms_between(a.pending.admitted_at, Clock::now());
+      complete(std::move(a.pending), std::move(result));
+      continue;
+    }
+    auto [it, inserted] = leader_of.try_emplace(a.key, static_cast<int>(active.size()));
+    if (!inserted) {
+      a.dedup_leader = it->second;
+      obs::count("serve/dedup_hit");
+    }
+    active.push_back(std::move(a));
+  }
+
+  // Stage 1: generation rounds. Each round coalesces the outstanding need
+  // of every unfilled leader into ONE BatchSampler::sample_jobs invocation,
+  // legalizes every candidate in parallel, then accepts per request in
+  // stream order. A request whose round yields too few legal patterns
+  // simply re-enters the next round with its stream cursor advanced —
+  // that is the legalization retry path.
+  for (;;) {
+    struct JobRange {
+      int owner = 0;
+      std::size_t begin = 0;
+      long long want = 0;
+    };
+    std::vector<diffusion::BatchSampler::SampleJob> jobs;
+    std::vector<JobRange> ranges;
+    for (int i = 0; i < static_cast<int>(active.size()); ++i) {
+      Active& a = active[i];
+      if (a.done || a.dedup_leader >= 0) continue;
+      const GenerationRequest& r = a.pending.request;
+      const long long accepted = static_cast<long long>(a.payload.size());
+      const long long remaining = r.count - accepted;
+      if (remaining <= 0) {
+        a.done = true;
+        continue;
+      }
+      long long want = remaining;
+      if (r.legalize) {
+        // Oversample by the observed per-request rejection rate (at least
+        // 2x the remaining need), clipped to the attempt budget — the same
+        // policy as PatternLibrary::populate, applied per request so the
+        // round count stays a pure function of the request's own streams.
+        const double yield =
+            a.attempts == 0 ? 0.5
+                            : std::max(0.05, static_cast<double>(accepted) /
+                                                 static_cast<double>(a.attempts));
+        want = std::max<long long>(remaining * 2,
+                                   static_cast<long long>(remaining / yield) + 1);
+        want = std::min(want, a.budget - a.attempts);
+      }
+      if (want <= 0) {
+        a.done = true;  // budget exhausted: completes as kIncomplete below
+        continue;
+      }
+      ranges.push_back({i, jobs.size(), want});
+      const util::Rng root(r.seed);
+      for (long long k = 0; k < want; ++k) {
+        jobs.push_back({sample_config(r, a.pending.condition), root, a.next_stream + k});
+      }
+      ++a.rounds;
+    }
+    if (jobs.empty()) break;
+
+    obs::observe("serve/batch_samples", static_cast<double>(jobs.size()));
+    std::vector<squish::Topology> candidates;
+    {
+      const obs::Span sample_span = obs::trace_scope("sample");
+      candidates = sampler_.sample_jobs(jobs);
+    }
+
+    // Legalize every candidate of every legalizing owner, fanned out.
+    std::vector<legalize::LegalizeResult> legal(candidates.size());
+    {
+      const obs::Span legalize_span = obs::trace_scope("legalize");
+      auto legalize_one = [&](long long j) {
+        const auto idx = static_cast<std::size_t>(j);
+        // Find the owning range (few ranges; linear scan is fine).
+        for (const auto& range : ranges) {
+          if (idx >= range.begin && idx < range.begin + static_cast<std::size_t>(range.want)) {
+            const Active& a = active[static_cast<std::size_t>(range.owner)];
+            const GenerationRequest& r = a.pending.request;
+            if (r.legalize) {
+              legal[idx] = legalizers_[static_cast<std::size_t>(a.pending.condition)]->legalize(
+                  candidates[idx], r.width_nm, r.height_nm);
+            }
+            return;
+          }
+        }
+      };
+      const long long n = static_cast<long long>(candidates.size());
+      if (pool_ != nullptr && pool_->size() > 1) {
+        pool_->parallel_for(n, legalize_one);
+      } else {
+        for (long long j = 0; j < n; ++j) legalize_one(j);
+      }
+    }
+
+    // Accept in stream order; unexamined surplus candidates do not count
+    // against the budget (mirrors populate's accounting).
+    for (const auto& range : ranges) {
+      Active& a = active[static_cast<std::size_t>(range.owner)];
+      const GenerationRequest& r = a.pending.request;
+      for (long long k = 0; k < range.want; ++k) {
+        if (static_cast<int>(a.payload.size()) >= r.count) break;
+        const auto idx = range.begin + static_cast<std::size_t>(k);
+        ++a.attempts;
+        if (!r.legalize) {
+          a.payload.topologies.push_back(candidates[idx]);
+        } else if (legal[idx].ok()) {
+          a.payload.patterns.push_back(std::move(*legal[idx].pattern));
+        } else {
+          obs::count("serve/legalize_failures");
+        }
+      }
+      a.next_stream += static_cast<std::uint64_t>(range.want);
+      if (static_cast<int>(a.payload.size()) >= r.count) a.done = true;
+    }
+    obs::count("serve/rounds");
+  }
+
+  // Stage 2: publish. Leaders first (so followers can share their payload),
+  // then dedup followers.
+  const auto finish = Clock::now();
+  std::vector<std::shared_ptr<const GenerationPayload>> published(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    Active& a = active[i];
+    if (a.dedup_leader >= 0) continue;
+    auto payload = std::make_shared<const GenerationPayload>(std::move(a.payload));
+    published[i] = payload;
+    const bool full = static_cast<int>(payload->size()) >= a.pending.request.count;
+    if (full) cache_.insert(a.key, payload);
+    if (a.rounds > 1) obs::count("serve/legalize_retries", a.rounds - 1);
+
+    GenerationResult result;
+    result.id = a.pending.request.id;
+    result.status = full ? RequestStatus::kOk : RequestStatus::kIncomplete;
+    if (!full) result.reason = "attempt budget exhausted";
+    result.payload = std::move(payload);
+    result.attempts = a.attempts;
+    result.rounds = a.rounds;
+    result.queue_wait_ms = ms_between(a.pending.admitted_at, batch_start);
+    result.service_ms = ms_between(batch_start, finish);
+    result.total_ms = ms_between(a.pending.admitted_at, finish);
+    complete(std::move(a.pending), std::move(result));
+  }
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    Active& a = active[i];
+    if (a.dedup_leader < 0) continue;
+    const auto& payload = published[static_cast<std::size_t>(a.dedup_leader)];
+    const bool full = static_cast<int>(payload->size()) >= a.pending.request.count;
+    GenerationResult result;
+    result.id = a.pending.request.id;
+    result.status = full ? RequestStatus::kOk : RequestStatus::kIncomplete;
+    if (!full) result.reason = "attempt budget exhausted";
+    result.payload = payload;
+    result.deduped = true;
+    result.queue_wait_ms = ms_between(a.pending.admitted_at, batch_start);
+    result.service_ms = ms_between(batch_start, finish);
+    result.total_ms = ms_between(a.pending.admitted_at, finish);
+    complete(std::move(a.pending), std::move(result));
+  }
+}
+
+}  // namespace cp::serve

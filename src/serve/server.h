@@ -1,0 +1,133 @@
+#pragma once
+// The pattern-generation server: request lifecycle around the diffusion
+// stack (docs/SERVING.md).
+//
+//   submit() -> RequestQueue (bounded; admission control, priority aging,
+//   deadlines) -> Batcher (microbatching) -> one dispatcher thread that
+//   coalesces compatible requests into single BatchSampler::sample_jobs
+//   invocations fanned out on a util::ThreadPool, legalizes candidates in
+//   parallel, retries streams that fail legalization, and fulfills the
+//   request futures. An LRU PatternCache keyed by the request content hash
+//   short-circuits repeated requests past the diffusion chain entirely.
+//
+// Determinism contract (audited by tests/serve/server_test.cpp and the
+// `chatpattern_serve --workers` replay): request sample k is always drawn
+// from Rng(request.seed).fork(next_stream + k) and candidates are accepted
+// in stream order, so a request's payload is a pure function of its content
+// fields. Worker count, queue order, batch composition, cache state and
+// retry rounds change only *when* the answer arrives, never what it is.
+//
+// Shutdown is a graceful drain: close admissions, finish everything already
+// queued, then stop the dispatcher. The destructor does the same.
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "diffusion/batch_sampler.h"
+#include "legalize/legalizer.h"
+#include "serve/batcher.h"
+#include "serve/cache.h"
+#include "serve/request_queue.h"
+#include "util/thread_pool.h"
+
+namespace cp::serve {
+
+struct ServerConfig {
+  /// Fan-out width. 1 = fully serial (no pool) — the determinism baseline.
+  int workers = 1;
+  std::size_t queue_capacity = 64;
+  std::size_t cache_entries = 256;     // 0 disables the result cache
+  BatchPolicy batch;                   // microbatching knobs
+  double aging_interval_ms = 100.0;    // priority aging rate (see queue)
+  /// Legalization retry budget: a request may consume up to
+  /// `max_attempts_per_pattern * count + 64` sampled topologies before it
+  /// completes as kIncomplete with whatever it has.
+  long long max_attempts_per_pattern = 16;
+};
+
+class Server {
+ public:
+  /// `generator` and `legalizers[style]` are borrowed and must outlive the
+  /// server. One legalizer per condition index (style).
+  Server(const diffusion::TopologyGenerator& generator,
+         std::vector<const legalize::Legalizer*> legalizers, ServerConfig config = {});
+  ~Server();  // graceful drain, then stop
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admission outcome. The future is always valid: rejected submissions
+  /// carry a ready kRejected result, so replay loops handle every line
+  /// uniformly.
+  struct Submitted {
+    bool admitted = false;
+    std::string reason;  // rejection reason when !admitted
+    std::future<GenerationResult> result;
+  };
+
+  /// Blocking admission (backpressure): waits for a queue slot. Rejected
+  /// only when the request is invalid or the server is shutting down.
+  Submitted submit(GenerationRequest request) { return submit_impl(std::move(request), true); }
+
+  /// Non-blocking admission: a full queue rejects with reason "queue_full".
+  Submitted try_submit(GenerationRequest request) {
+    return submit_impl(std::move(request), false);
+  }
+
+  /// Cancel a still-queued request (false once it is in flight or done).
+  bool cancel(const std::string& id) { return queue_.cancel(id); }
+
+  /// Block until every admitted request has completed. Does not close
+  /// admissions — use between phases of a replay.
+  void drain();
+
+  /// Close admissions, drain, stop the dispatcher. Idempotent.
+  void shutdown();
+
+  const ServerConfig& config() const { return config_; }
+  PatternCache& cache() { return cache_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  /// In-flight bookkeeping of one batched request during execute_batch.
+  struct Active {
+    PendingRequest pending;
+    std::uint64_t key = 0;          // content hash
+    int dedup_leader = -1;          // index of the identical in-batch twin
+    GenerationPayload payload;
+    std::uint64_t next_stream = 0;  // first unconsumed Rng stream
+    long long attempts = 0;
+    long long budget = 0;
+    int rounds = 0;
+    bool done = false;
+    bool cache_hit = false;
+  };
+
+  Submitted submit_impl(GenerationRequest request, bool blocking);
+  void dispatch_loop();
+  void execute_batch(std::vector<PendingRequest> batch);
+  void complete(PendingRequest pending, GenerationResult result);
+
+  ServerConfig config_;
+  std::vector<const legalize::Legalizer*> legalizers_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when workers <= 1
+  diffusion::BatchSampler sampler_;
+  PatternCache cache_;
+  RequestQueue queue_;
+  Batcher batcher_;
+
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  long long outstanding_ = 0;  // admitted but not yet completed
+
+  std::atomic<bool> stopped_{false};
+  std::thread dispatcher_;
+};
+
+}  // namespace cp::serve

@@ -1,0 +1,75 @@
+// LRU semantics of serve::PatternCache.
+
+#include <gtest/gtest.h>
+
+#include "serve/cache.h"
+
+namespace cp::serve {
+namespace {
+
+std::shared_ptr<const GenerationPayload> payload_of(int n) {
+  auto p = std::make_shared<GenerationPayload>();
+  for (int i = 0; i < n; ++i) p->topologies.emplace_back(2, 2, 1);
+  return p;
+}
+
+TEST(PatternCache, HitReturnsTheSharedPayload) {
+  PatternCache cache(4);
+  auto p = payload_of(3);
+  cache.insert(7, p);
+  auto hit = cache.lookup(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), p.get());  // pointer share, not a copy
+  EXPECT_EQ(hit->size(), 3u);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 0);
+}
+
+TEST(PatternCache, MissOnUnknownKey) {
+  PatternCache cache(4);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(PatternCache, EvictsLeastRecentlyUsed) {
+  PatternCache cache(2);
+  cache.insert(1, payload_of(1));
+  cache.insert(2, payload_of(2));
+  ASSERT_NE(cache.lookup(1), nullptr);  // refresh 1; now 2 is LRU
+  cache.insert(3, payload_of(3));       // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+}
+
+TEST(PatternCache, EvictedPayloadStaysValidForHolders) {
+  PatternCache cache(1);
+  auto held = cache.lookup(5);
+  cache.insert(5, payload_of(4));
+  held = cache.lookup(5);
+  cache.insert(6, payload_of(1));  // evicts 5
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->size(), 4u);  // the client's shared_ptr keeps it alive
+}
+
+TEST(PatternCache, ReinsertRefreshesInsteadOfDuplicating) {
+  PatternCache cache(2);
+  cache.insert(1, payload_of(1));
+  cache.insert(1, payload_of(2));
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.lookup(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 2u);  // the newer payload won
+}
+
+TEST(PatternCache, CapacityZeroDisables) {
+  PatternCache cache(0);
+  cache.insert(1, payload_of(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+}
+
+}  // namespace
+}  // namespace cp::serve

@@ -1,0 +1,157 @@
+// Admission control, priority aging, deadlines and cancellation of
+// serve::RequestQueue.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "serve/request_queue.h"
+
+namespace cp::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Handle {
+  std::future<GenerationResult> future;
+};
+
+PendingRequest make_pending(const std::string& id, Handle& handle, int priority = 1,
+                            double deadline_ms = 0, int rows = 32) {
+  PendingRequest p;
+  p.request.id = id;
+  p.request.priority = priority;
+  p.request.deadline_ms = deadline_ms;
+  p.request.rows = rows;
+  p.request.cols = rows;
+  p.condition = 0;
+  std::promise<GenerationResult> promise;
+  handle.future = promise.get_future();
+  p.promise = std::move(promise);
+  p.admitted_at = Clock::now();
+  return p;
+}
+
+TEST(RequestQueue, FullQueueRejectsWithReadyRejectedResult) {
+  RequestQueue queue(1);
+  Handle h1, h2;
+  EXPECT_TRUE(queue.try_enqueue(make_pending("a", h1)).admitted);
+  const Admission second = queue.try_enqueue(make_pending("b", h2));
+  EXPECT_FALSE(second.admitted);
+  EXPECT_EQ(second.reason, "queue_full");
+  // The rejected request's future is ready — callers never dangle.
+  ASSERT_EQ(h2.future.wait_for(0s), std::future_status::ready);
+  const GenerationResult r = h2.future.get();
+  EXPECT_EQ(r.status, RequestStatus::kRejected);
+  EXPECT_EQ(r.reason, "queue_full");
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(RequestQueue, ClosedQueueRejectsAsShuttingDown) {
+  RequestQueue queue(4);
+  queue.close();
+  Handle h;
+  const Admission a = queue.try_enqueue(make_pending("a", h));
+  EXPECT_FALSE(a.admitted);
+  EXPECT_EQ(a.reason, "shutting_down");
+  EXPECT_EQ(h.future.get().status, RequestStatus::kRejected);
+}
+
+TEST(RequestQueue, PopBatchCoalescesCompatibleRequestsOnly) {
+  RequestQueue queue(8);
+  Handle h1, h2, h3;
+  queue.try_enqueue(make_pending("a", h1, 1, 0, /*rows=*/32));
+  queue.try_enqueue(make_pending("b", h2, 1, 0, /*rows=*/64));  // incompatible
+  queue.try_enqueue(make_pending("c", h3, 1, 0, /*rows=*/32));
+  std::vector<PendingRequest> batch = queue.pop_batch(8, 0us);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request.id, "a");
+  EXPECT_EQ(batch[1].request.id, "c");
+  batch = queue.pop_batch(8, 0us);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.id, "b");
+}
+
+TEST(RequestQueue, HigherPriorityJumpsTheLine) {
+  RequestQueue queue(8, /*aging_interval_ms=*/1e9);  // aging effectively off
+  Handle h1, h2;
+  queue.try_enqueue(make_pending("low", h1, 1));
+  queue.try_enqueue(make_pending("high", h2, 5));
+  const std::vector<PendingRequest> batch = queue.pop_batch(1, 0us);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.id, "high");
+}
+
+TEST(RequestQueue, AgingPromotesLongWaiters) {
+  // Effective priority = priority + waited_ms / interval. With a 1ms
+  // interval, 30ms of waiting outweighs a later priority-5 arrival.
+  RequestQueue queue(8, /*aging_interval_ms=*/1.0);
+  Handle h1, h2;
+  queue.try_enqueue(make_pending("old-low", h1, 1));
+  std::this_thread::sleep_for(30ms);
+  queue.try_enqueue(make_pending("fresh-high", h2, 5));
+  const std::vector<PendingRequest> batch = queue.pop_batch(1, 0us);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.id, "old-low");
+}
+
+TEST(RequestQueue, ExpiredDeadlinesCompleteWithoutDispatch) {
+  RequestQueue queue(8);
+  Handle expired, alive;
+  queue.try_enqueue(make_pending("doomed", expired, 1, /*deadline_ms=*/1.0));
+  queue.try_enqueue(make_pending("alive", alive, 1, /*deadline_ms=*/0));
+  std::this_thread::sleep_for(10ms);
+  const std::vector<PendingRequest> batch = queue.pop_batch(8, 0us);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.id, "alive");
+  ASSERT_EQ(expired.future.wait_for(0s), std::future_status::ready);
+  EXPECT_EQ(expired.future.get().status, RequestStatus::kDeadlineExpired);
+}
+
+TEST(RequestQueue, CancelRemovesQueuedRequest) {
+  RequestQueue queue(8);
+  Handle h1, h2;
+  queue.try_enqueue(make_pending("keep", h1));
+  queue.try_enqueue(make_pending("drop", h2));
+  EXPECT_TRUE(queue.cancel("drop"));
+  EXPECT_FALSE(queue.cancel("drop"));     // already gone
+  EXPECT_FALSE(queue.cancel("unknown"));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(h2.future.get().status, RequestStatus::kCancelled);
+}
+
+TEST(RequestQueue, CloseDrainsThenSignalsShutdown) {
+  RequestQueue queue(8);
+  Handle h;
+  queue.try_enqueue(make_pending("last", h));
+  queue.close();
+  EXPECT_EQ(queue.pop_batch(8, 0us).size(), 1u);  // queued work still drains
+  EXPECT_TRUE(queue.pop_batch(8, 0us).empty());   // then the shutdown signal
+}
+
+TEST(RequestQueue, DestructionCancelsLeftovers) {
+  Handle h;
+  {
+    RequestQueue queue(8);
+    queue.try_enqueue(make_pending("orphan", h));
+  }
+  ASSERT_EQ(h.future.wait_for(0s), std::future_status::ready);
+  EXPECT_EQ(h.future.get().status, RequestStatus::kCancelled);
+}
+
+TEST(RequestQueue, EnqueueWaitBlocksUntilSlotFrees) {
+  RequestQueue queue(1);
+  Handle h1, h2;
+  ASSERT_TRUE(queue.enqueue_wait(make_pending("first", h1)).admitted);
+  std::thread producer([&] { EXPECT_TRUE(queue.enqueue_wait(make_pending("second", h2)).admitted); });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(queue.size(), 1u);  // producer is parked on the full queue
+  EXPECT_EQ(queue.pop_batch(1, 0us).size(), 1u);
+  producer.join();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cp::serve

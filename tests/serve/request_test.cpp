@@ -1,0 +1,131 @@
+// Wire-format and content-hash tests for serve::GenerationRequest — the
+// NDJSON protocol of chatpattern_serve (docs/SERVING.md).
+
+#include <gtest/gtest.h>
+
+#include "serve/request.h"
+
+namespace cp::serve {
+namespace {
+
+GenerationRequest sample_request() {
+  GenerationRequest r;
+  r.id = "req-1";
+  r.style = "Layer-10003";
+  r.count = 3;
+  r.rows = 64;
+  r.cols = 32;
+  r.sample_steps = 8;
+  r.polish_rounds = 1;
+  r.width_nm = 1024;
+  r.height_nm = 512;
+  r.seed = 42;
+  r.legalize = false;
+  r.priority = 7;
+  r.deadline_ms = 250.0;
+  return r;
+}
+
+TEST(RequestWire, JsonRoundTripPreservesEveryField) {
+  const GenerationRequest r = sample_request();
+  const GenerationRequest back = GenerationRequest::from_json(r.to_json());
+  EXPECT_EQ(back.id, r.id);
+  EXPECT_EQ(back.style, r.style);
+  EXPECT_EQ(back.count, r.count);
+  EXPECT_EQ(back.rows, r.rows);
+  EXPECT_EQ(back.cols, r.cols);
+  EXPECT_EQ(back.sample_steps, r.sample_steps);
+  EXPECT_EQ(back.polish_rounds, r.polish_rounds);
+  EXPECT_EQ(back.width_nm, r.width_nm);
+  EXPECT_EQ(back.height_nm, r.height_nm);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.legalize, r.legalize);
+  EXPECT_EQ(back.priority, r.priority);
+  EXPECT_DOUBLE_EQ(back.deadline_ms, r.deadline_ms);
+  EXPECT_EQ(back.content_hash(), r.content_hash());
+}
+
+TEST(RequestWire, DefaultsSurviveMinimalLine) {
+  const ParsedRequest p = parse_request_line(R"({"id":"only-id"})");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.id, "only-id");
+  EXPECT_EQ(p.request.style, "Layer-10001");
+  EXPECT_EQ(p.request.count, 1);
+  EXPECT_TRUE(p.request.legalize);
+  EXPECT_EQ(p.request.priority, 1);
+}
+
+TEST(RequestWire, MalformedLinesAreRejectedNotThrown) {
+  EXPECT_FALSE(parse_request_line("this is not json").ok);
+  EXPECT_FALSE(parse_request_line("{\"id\":").ok);
+  EXPECT_FALSE(parse_request_line("[1,2,3]").ok);
+  const ParsedRequest p = parse_request_line("not json at all");
+  EXPECT_FALSE(p.error.empty());
+}
+
+TEST(RequestWire, ValidationCatchesBadFields) {
+  EXPECT_FALSE(parse_request_line(R"({"style":"Layer-10001"})").ok);  // no id
+  EXPECT_FALSE(parse_request_line(R"({"id":"x","style":"Layer-9"})").ok);
+  EXPECT_FALSE(parse_request_line(R"({"id":"x","count":0})").ok);
+  EXPECT_FALSE(parse_request_line(R"({"id":"x","rows":-4})").ok);
+  EXPECT_FALSE(parse_request_line(R"({"id":"x","steps":0})").ok);
+}
+
+TEST(RequestHash, CoversContentFieldsOnly) {
+  const GenerationRequest base = sample_request();
+  // Scheduling fields must NOT change the hash: a high-priority retry of a
+  // cached request still hits.
+  GenerationRequest sched = base;
+  sched.id = "other-id";
+  sched.priority = 99;
+  sched.deadline_ms = 1.0;
+  EXPECT_EQ(sched.content_hash(), base.content_hash());
+
+  // Every content field must change it.
+  auto differs = [&](auto mutate) {
+    GenerationRequest m = base;
+    mutate(m);
+    return m.content_hash() != base.content_hash();
+  };
+  EXPECT_TRUE(differs([](GenerationRequest& m) { m.style = "Layer-10001"; }));
+  EXPECT_TRUE(differs([](GenerationRequest& m) { ++m.count; }));
+  EXPECT_TRUE(differs([](GenerationRequest& m) { ++m.rows; }));
+  EXPECT_TRUE(differs([](GenerationRequest& m) { ++m.cols; }));
+  EXPECT_TRUE(differs([](GenerationRequest& m) { ++m.sample_steps; }));
+  EXPECT_TRUE(differs([](GenerationRequest& m) { ++m.polish_rounds; }));
+  EXPECT_TRUE(differs([](GenerationRequest& m) { ++m.width_nm; }));
+  EXPECT_TRUE(differs([](GenerationRequest& m) { ++m.height_nm; }));
+  EXPECT_TRUE(differs([](GenerationRequest& m) { ++m.seed; }));
+  EXPECT_TRUE(differs([](GenerationRequest& m) { m.legalize = !m.legalize; }));
+}
+
+TEST(RequestWire, ResultJsonCarriesHexLibraryHash) {
+  GenerationResult res;
+  res.id = "r";
+  res.status = RequestStatus::kOk;
+  auto payload = std::make_shared<GenerationPayload>();
+  payload->topologies.emplace_back(4, 4, 1);
+  res.payload = payload;
+  const util::Json j = res.to_json();
+  EXPECT_EQ(j.at("status").as_string(), "ok");
+  const std::string hash = j.at("library_hash").as_string();
+  EXPECT_EQ(hash.size(), 16u);  // %016llx
+  EXPECT_NE(res.library_hash(), 0u);
+}
+
+TEST(RequestWire, BatchKeyGroupsCompatibleRequests) {
+  const GenerationRequest a = sample_request();
+  GenerationRequest b = a;
+  b.id = "req-2";
+  b.seed = 99;       // seeds stay per-request
+  b.count = 1;       // so does the amount requested
+  b.legalize = true; // and the delivery target
+  EXPECT_EQ(batch_key(a, 1), batch_key(b, 1));
+  GenerationRequest c = a;
+  c.rows = a.rows * 2;
+  EXPECT_FALSE(batch_key(a, 1) == batch_key(c, 1));
+  EXPECT_FALSE(batch_key(a, 0) == batch_key(a, 1));
+}
+
+}  // namespace
+}  // namespace cp::serve

@@ -1,0 +1,105 @@
+#pragma once
+// Shared fixture for serving-layer tests: the same small trained generator
+// as the agent suite (32-cell window, stripe data for condition 0,
+// transposed stripes for condition 1) plus relaxed design rules, packaged
+// so each test can spin up serve::Server instances with varying configs.
+
+#include <gtest/gtest.h>
+
+#include "diffusion/cascade.h"
+#include "diffusion/tabular_denoiser.h"
+#include "legalize/legalizer.h"
+#include "serve/server.h"
+
+namespace cp::serve::testing {
+
+inline squish::Topology stripes(int n, int period, int phase = 0) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, ((c + phase) / period) % 2);
+  }
+  return t;
+}
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  static constexpr int kWindow = 32;
+  /// A generous physical budget for kWindow-sized stripe topologies.
+  static constexpr long long kBudgetNm = 4000;
+
+  ServeFixture()
+      : schedule_(diffusion::ScheduleConfig{}),
+        denoiser_(make_denoiser(/*coarse=*/false)),
+        coarse_denoiser_(make_denoiser(/*coarse=*/true)),
+        sampler_(schedule_, coarse_denoiser_, denoiser_, fixture_cascade_config()),
+        legal0_(relaxed_rules()),
+        legal1_(relaxed_rules()) {}
+
+  /// Factor 2 (16x16 coarse grid): an 8x8 coarse stage is too small for the
+  /// 17-cell receptive field to learn anything from two training clips.
+  static diffusion::CascadeConfig fixture_cascade_config() {
+    diffusion::CascadeConfig cfg;
+    cfg.factor = 2;
+    return cfg;
+  }
+
+  static drc::DesignRules relaxed_rules() {
+    drc::DesignRules r;
+    r.min_space_nm = 30;
+    r.min_width_nm = 30;
+    r.min_area_nm2 = 900;
+    return r;
+  }
+
+  diffusion::TabularDenoiser make_denoiser(bool coarse) {
+    diffusion::TabularConfig cfg;
+    cfg.conditions = 2;
+    cfg.draws_per_bucket = 3;
+    diffusion::TabularDenoiser d(schedule_, cfg);
+    util::Rng rng(coarse ? 2 : 1);
+    std::vector<squish::Topology> a, b;
+    for (int p = 6; p <= 8; p += 2) {
+      for (int phase = 0; phase < 2 * p; ++phase) {
+        squish::Topology sa = stripes(kWindow, p, phase);
+        squish::Topology sb = sa.transposed();
+        if (coarse) {
+          sa = squish::downsample_majority(sa, 2);
+          sb = squish::downsample_majority(sb, 2);
+        }
+        a.push_back(std::move(sa));
+        b.push_back(std::move(sb));
+      }
+    }
+    d.fit(a, 0, rng);
+    d.fit(b, 1, rng);
+    return d;
+  }
+
+  std::vector<const legalize::Legalizer*> legalizers() const { return {&legal0_, &legal1_}; }
+
+  /// A well-formed request sized for the fixture model.
+  GenerationRequest make_request(const std::string& id, std::uint64_t seed,
+                                 const std::string& style = "Layer-10001") const {
+    GenerationRequest r;
+    r.id = id;
+    r.style = style;
+    r.count = 1;
+    r.rows = kWindow;
+    r.cols = kWindow;
+    r.sample_steps = 6;
+    r.polish_rounds = 1;
+    r.width_nm = kBudgetNm;
+    r.height_nm = kBudgetNm;
+    r.seed = seed;
+    return r;
+  }
+
+  diffusion::NoiseSchedule schedule_;
+  diffusion::TabularDenoiser denoiser_;
+  diffusion::TabularDenoiser coarse_denoiser_;
+  diffusion::CascadeSampler sampler_;
+  legalize::Legalizer legal0_;
+  legalize::Legalizer legal1_;
+};
+
+}  // namespace cp::serve::testing

@@ -1,0 +1,150 @@
+// Concurrency stress for the serving layer, built to run under the TSAN
+// configuration (cmake -DCHATPATTERN_TSAN=ON; ctest -R serve_stress):
+// many producer threads push through a small queue (exercising blocking
+// admission / backpressure), workers fan out, cancellations race the
+// dispatcher, and drain()/shutdown() race completions. Uses a trivial
+// deterministic generator so TSAN time goes to the serving machinery, not
+// the diffusion chain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "tests/serve/serve_fixture.h"
+
+namespace cp::serve {
+namespace {
+
+using testing::stripes;
+
+/// Deterministic, cheap, thread-safe: the stripe phase comes from the Rng
+/// stream, so payloads are still a pure function of (seed, stream).
+class StripeGenerator : public diffusion::TopologyGenerator {
+ public:
+  squish::Topology sample(const diffusion::SampleConfig& config,
+                          util::Rng& rng) const override {
+    return stripes(config.rows, 8, rng.uniform_int(0, 7));
+  }
+  squish::Topology modify(const squish::Topology& known, const squish::Topology&,
+                          const diffusion::ModifyConfig&, util::Rng&) const override {
+    return known;
+  }
+  const char* name() const override { return "StripeGenerator"; }
+  bool thread_safe() const override { return true; }
+};
+
+TEST(ServeStress, ConcurrentProducersBackpressureAndDrain) {
+  StripeGenerator generator;
+  const drc::DesignRules rules{};  // defaults; legalize=false path only
+  const legalize::Legalizer legal0(rules), legal1(rules);
+
+  ServerConfig config;
+  config.workers = 4;
+  config.queue_capacity = 8;  // small: producers must block on admission
+  config.cache_entries = 16;
+  config.batch.max_batch_requests = 4;
+  config.batch.max_wait_us = 200;
+  Server server(generator, {&legal0, &legal1});
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 32;
+  std::atomic<int> ok{0}, shared{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        GenerationRequest r;
+        r.id = "p" + std::to_string(p) + "-" + std::to_string(i);
+        r.rows = r.cols = 16;
+        r.legalize = false;
+        // Only 8 distinct contents across all producers: heavy dedup/cache
+        // contention is the point.
+        r.seed = static_cast<std::uint64_t>(i % 8);
+        r.count = 1 + (static_cast<int>(r.seed) % 2);
+        Server::Submitted s = server.submit(std::move(r));
+        ASSERT_TRUE(s.admitted) << s.reason;
+        const GenerationResult result = s.result.get();
+        ASSERT_EQ(result.status, RequestStatus::kOk) << result.reason;
+        ASSERT_EQ(result.delivered(), static_cast<std::size_t>(1 + (i % 8) % 2));
+        if (result.cache_hit || result.deduped) shared.fetch_add(1);
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  server.drain();
+  EXPECT_EQ(ok.load(), kProducers * kPerProducer);
+  // 128 requests over 8 distinct contents: almost everything is shared.
+  EXPECT_GT(shared.load(), kProducers * kPerProducer / 2);
+  server.shutdown();
+}
+
+TEST(ServeStress, CancellationRacesDispatch) {
+  StripeGenerator generator;
+  const drc::DesignRules rules{};
+  const legalize::Legalizer legal0(rules), legal1(rules);
+  ServerConfig config;
+  config.workers = 2;
+  config.cache_entries = 0;  // force every request through the queue
+  Server server(generator, {&legal0, &legal1}, config);
+
+  std::vector<std::future<GenerationResult>> futures;
+  std::vector<std::string> ids;
+  for (int i = 0; i < 64; ++i) {
+    GenerationRequest r;
+    r.id = "c" + std::to_string(i);
+    r.rows = r.cols = 16;
+    r.legalize = false;
+    r.seed = static_cast<std::uint64_t>(1000 + i);
+    ids.push_back(r.id);
+    Server::Submitted s = server.submit(std::move(r));
+    ASSERT_TRUE(s.admitted);
+    futures.push_back(std::move(s.result));
+  }
+  std::thread canceller([&] {
+    for (const std::string& id : ids) server.cancel(id);
+  });
+  canceller.join();
+  int done = 0, cancelled = 0;
+  for (auto& f : futures) {
+    const GenerationResult r = f.get();  // every future must complete
+    if (r.status == RequestStatus::kOk) ++done;
+    if (r.status == RequestStatus::kCancelled) ++cancelled;
+    EXPECT_TRUE(r.status == RequestStatus::kOk || r.status == RequestStatus::kCancelled);
+  }
+  EXPECT_EQ(done + cancelled, 64);
+  server.drain();
+}
+
+TEST(ServeStress, ShutdownWhileProducersRunCompletesEveryFuture) {
+  StripeGenerator generator;
+  const drc::DesignRules rules{};
+  const legalize::Legalizer legal0(rules), legal1(rules);
+  auto server = std::make_unique<Server>(generator, std::vector<const legalize::Legalizer*>{
+                                                        &legal0, &legal1});
+
+  std::vector<std::future<GenerationResult>> futures;
+  for (int i = 0; i < 32; ++i) {
+    GenerationRequest r;
+    r.id = "s" + std::to_string(i);
+    r.rows = r.cols = 16;
+    r.legalize = false;
+    r.seed = static_cast<std::uint64_t>(i);
+    Server::Submitted s = server->try_submit(std::move(r));
+    if (s.admitted || s.result.valid()) futures.push_back(std::move(s.result));
+  }
+  server.reset();  // destructor = close + drain + stop
+  for (auto& f : futures) {
+    const GenerationResult r = f.get();
+    EXPECT_TRUE(r.status == RequestStatus::kOk || r.status == RequestStatus::kRejected ||
+                r.status == RequestStatus::kCancelled)
+        << to_string(r.status);
+  }
+}
+
+}  // namespace
+}  // namespace cp::serve

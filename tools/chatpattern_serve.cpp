@@ -1,0 +1,156 @@
+// chatpattern_serve — NDJSON trace replay front-end for serve::Server
+// (docs/SERVING.md).
+//
+// Reads one GenerationRequest JSON object per line from --trace (a file, or
+// "-" for stdin), submits every line through the serving layer with blocking
+// admission (backpressure), and emits one NDJSON result line per input line
+// *in input order* — malformed lines yield a "rejected" result line rather
+// than aborting the replay, so result count always equals request count.
+//
+// The offline-friendly twin of a network front-end: the protocol is exactly
+// what a socket server would speak, but replaying files keeps the binary
+// runnable in CI and lets the determinism audit diff whole runs. The final
+// summary prints a combined library hash over every payload in input order;
+// replaying the same trace with --workers 1 and --workers N must agree
+// bit-for-bit (tested by scripts/run_serving_smoke.sh and
+// tests/serve/server_test.cpp).
+//
+// Flags (on top of the shared bench/common.h set: --seed, --train, --outdir,
+// --manifest, --csv):
+//   --trace FILE      NDJSON request trace ("-" = stdin; default "-")
+//   --out FILE        result NDJSON destination (default: stdout)
+//   --workers N       fan-out width (1 = serial; default 1)
+//   --queue N         admission queue capacity (default 64)
+//   --cache N         result-cache entries (default 256)
+//   --max-batch N     microbatch size cap in requests (default 8)
+//   --max-wait-us N   microbatch fill wait (default 2000)
+//
+// Exit codes: 0 = trace fully replayed; 2 = cannot read trace / write
+// outputs (matching the bench harness convention).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "serve/server.h"
+#include "util/cli.h"
+
+using namespace cp;
+
+int main(int argc, char** argv) {
+  bench::Env env = bench::make_env(argc, argv, /*default_samples=*/0);
+  util::CliFlags flags(argc, argv);
+  const std::string trace_path = flags.get("trace", "-");
+  const std::string out_path = flags.get("out", "");
+
+  serve::ServerConfig config;
+  config.workers = static_cast<int>(flags.get_int("workers", 1));
+  config.queue_capacity = static_cast<std::size_t>(flags.get_int("queue", 64));
+  config.cache_entries = static_cast<std::size_t>(flags.get_int("cache", 256));
+  config.batch.max_batch_requests = static_cast<int>(flags.get_int("max-batch", 8));
+  config.batch.max_wait_us = flags.get_int("max-wait-us", 2000);
+
+  std::ifstream trace_file;
+  std::istream* trace = &std::cin;
+  if (trace_path != "-") {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "error: cannot open trace file '%s'\n", trace_path.c_str());
+      return 2;
+    }
+    trace = &trace_file;
+  }
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!out_path.empty()) {
+    out_file = bench::open_output(bench::out_path(env, out_path));
+    out = &out_file;
+  }
+
+  const std::vector<const legalize::Legalizer*> legalizers = {&env.chat->legalizer(0),
+                                                              &env.chat->legalizer(1)};
+  serve::Server server(env.chat->sampler(), legalizers, config);
+
+  // One slot per input line, in input order. Parse failures complete
+  // immediately; valid lines hold the future of their submission.
+  struct Slot {
+    std::string id;
+    bool submitted = false;
+    std::future<serve::GenerationResult> future;
+    serve::GenerationResult immediate;  // used when !submitted
+  };
+  std::vector<Slot> slots;
+  std::string line;
+  long long line_no = 0;
+  while (std::getline(*trace, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;  // blank
+    Slot slot;
+    serve::ParsedRequest parsed = serve::parse_request_line(line);
+    if (!parsed.ok) {
+      obs::count("serve/rejected_parse");
+      slot.id = util::format("line-%lld", line_no);
+      slot.immediate.id = slot.id;
+      slot.immediate.status = serve::RequestStatus::kRejected;
+      slot.immediate.reason = "parse_error: " + parsed.error;
+      slots.push_back(std::move(slot));
+      continue;
+    }
+    slot.id = parsed.request.id;
+    serve::Server::Submitted submitted = server.submit(std::move(parsed.request));
+    slot.submitted = true;
+    slot.future = std::move(submitted.result);
+    slots.push_back(std::move(slot));
+  }
+
+  // Collect in input order; each get() blocks until that request completes.
+  std::uint64_t combined = 1469598103934665603ULL;
+  auto fnv = [&combined](std::uint64_t v) {
+    combined ^= v;
+    combined *= 1099511628211ULL;
+  };
+  long long ok = 0, incomplete = 0, rejected = 0, expired = 0, cancelled = 0;
+  long long cache_hits = 0, deduped = 0;
+  for (Slot& slot : slots) {
+    serve::GenerationResult result =
+        slot.submitted ? slot.future.get() : std::move(slot.immediate);
+    switch (result.status) {
+      case serve::RequestStatus::kOk: ++ok; break;
+      case serve::RequestStatus::kIncomplete: ++incomplete; break;
+      case serve::RequestStatus::kRejected: ++rejected; break;
+      case serve::RequestStatus::kDeadlineExpired: ++expired; break;
+      case serve::RequestStatus::kCancelled: ++cancelled; break;
+    }
+    if (result.cache_hit) ++cache_hits;
+    if (result.deduped) ++deduped;
+    fnv(result.library_hash());
+    (*out) << result.to_json().dump() << "\n";
+  }
+  out->flush();
+  server.shutdown();
+
+  std::fprintf(stderr,
+               "[serve] replayed %zu requests: ok %lld, incomplete %lld, rejected %lld, "
+               "expired %lld, cancelled %lld; cache hits %lld, deduped %lld\n",
+               slots.size(), ok, incomplete, rejected, expired, cancelled, cache_hits,
+               deduped);
+  std::fprintf(stderr, "[serve] combined_hash %016llx workers %d\n",
+               static_cast<unsigned long long>(combined), config.workers);
+
+  env.manifest.metrics["requests"] = static_cast<long long>(slots.size());
+  env.manifest.metrics["ok"] = ok;
+  env.manifest.metrics["incomplete"] = incomplete;
+  env.manifest.metrics["rejected"] = rejected;
+  env.manifest.metrics["cache_hits"] = cache_hits;
+  env.manifest.metrics["deduped"] = deduped;
+  env.manifest.metrics["workers"] = config.workers;
+  env.manifest.metrics["combined_hash"] =
+      util::format("%016llx", static_cast<unsigned long long>(combined));
+  bench::write_manifest(env);
+  return 0;
+}
