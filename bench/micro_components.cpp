@@ -18,6 +18,7 @@
 #include "obs/manifest.h"
 #include "obs/registry.h"
 #include "squish/normalize.h"
+#include "util/fault.h"
 
 namespace {
 
@@ -167,6 +168,29 @@ void BM_ComplexityMetric(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ComplexityMetric);
+
+// ---- fault-injection overhead (docs/ROBUSTNESS.md) ------------------------
+// Disarmed fault points sit on hot paths (denoiser/infer, legalize/run);
+// their cost must stay one relaxed atomic load.
+
+void BM_FaultPointDisarmed(benchmark::State& state) {
+  util::fault::clear();
+  for (auto _ : state) {
+    util::fault::point("bench/disarmed");
+  }
+}
+BENCHMARK(BM_FaultPointDisarmed);
+
+void BM_FaultPointArmedOtherName(benchmark::State& state) {
+  // Worst realistic case: some schedule is armed, so every point pays the
+  // registry lookup even though its own name never fires.
+  util::fault::configure("bench/other=every:1000000000");
+  for (auto _ : state) {
+    util::fault::point("bench/armed_miss");
+  }
+  util::fault::clear();
+}
+BENCHMARK(BM_FaultPointArmedOtherName);
 
 // ---- nn/gemm kernels (the MLP denoiser's hidden-layer shape) --------------
 

@@ -39,7 +39,7 @@ for b in $benches; do
 done
 
 # 3. Cross-referenced documents must exist.
-for doc in docs/OBSERVABILITY.md docs/SERVING.md ROADMAP.md README.md; do
+for doc in docs/OBSERVABILITY.md docs/SERVING.md docs/ROBUSTNESS.md ROADMAP.md README.md; do
   [ -f "$root/$doc" ] || err "referenced document $doc is missing"
 done
 

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Fault-injection smoke test (docs/ROBUSTNESS.md): replay one NDJSON trace
+# through chatpattern_serve under canned CHATPATTERN_FAULTS schedules and
+# assert the degraded-mode serving contract:
+#
+#   1. baseline (faults unset): every request ok, nothing degraded — and the
+#      combined library hash H0 is the reference for the transient runs;
+#   2. transient sampling faults (denoiser/infer=every:7): the retry path
+#      absorbs every fault, so the replay is bit-identical to H0 with zero
+#      degraded results;
+#   3. total sampling failure (denoiser/infer=every:1): every primary
+#      attempt fails, every request still completes via the fallback
+#      generator — 0 dropped, 0 failed, raw requests all ok and degraded;
+#   4. transient legalization faults (legalize/run=every:5): the same
+#      candidate is retried, so the replay is again bit-identical to H0.
+#
+# All runs use --workers 1: fault-point call counters are process-global, so
+# a serial run makes the firing schedule exactly reproducible.
+#
+# Usage: check_faults.sh <chatpattern_serve-binary> [workdir]
+# Wired into ctest as `check_faults` (tests/CMakeLists.txt).
+set -euo pipefail
+
+SERVE_BIN=${1:?usage: check_faults.sh <chatpattern_serve-binary> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+TRACE="$WORKDIR/trace.ndjson"
+
+# 18 unique-content requests (no cache/dedup traffic — every line exercises
+# the generation path): 12 legalized, 6 raw-topology.
+: > "$TRACE"
+for i in $(seq 0 11); do
+  style=$([ $((i % 2)) -eq 0 ] && echo Layer-10001 || echo Layer-10003)
+  echo "{\"id\":\"leg$i\",\"style\":\"$style\",\"count\":1,\"rows\":32,\"cols\":32,\"steps\":6,\"polish\":1,\"width_nm\":2048,\"height_nm\":2048,\"seed\":$((300 + i))}" >> "$TRACE"
+done
+for i in $(seq 0 5); do
+  echo "{\"id\":\"raw$i\",\"legalize\":false,\"rows\":16,\"cols\":16,\"steps\":4,\"polish\":0,\"seed\":$((500 + i))}" >> "$TRACE"
+done
+LINES=$(wc -l < "$TRACE")
+
+run() {
+  local name=$1 faults=$2
+  local out="$WORKDIR/out_$name.ndjson" err="$WORKDIR/stderr_$name.log"
+  if [ -n "$faults" ]; then
+    CHATPATTERN_FAULTS="$faults" "$SERVE_BIN" --trace "$TRACE" --out "$out" \
+      --train 24 --workers 1 2> "$err"
+  else
+    env -u CHATPATTERN_FAULTS "$SERVE_BIN" --trace "$TRACE" --out "$out" \
+      --train 24 --workers 1 2> "$err"
+  fi
+  local results
+  results=$(wc -l < "$out")
+  if [ "$results" -ne "$LINES" ]; then
+    echo "FAIL($name): $results result lines for $LINES trace lines (dropped requests)" >&2
+    exit 1
+  fi
+}
+
+hash_of() { grep -o 'combined_hash [0-9a-f]*' "$WORKDIR/stderr_$1.log" | awk '{print $2}'; }
+count_status() { grep -c "\"status\":\"$2\"" "$WORKDIR/out_$1.ndjson" || true; }
+count_degraded() { grep -c '"degraded":true' "$WORKDIR/out_$1.ndjson" || true; }
+
+# 1. Baseline.
+run baseline ""
+H0=$(hash_of baseline)
+if [ "$(count_degraded baseline)" -ne 0 ]; then
+  echo "FAIL(baseline): degraded results without any fault schedule" >&2
+  exit 1
+fi
+if [ "$(count_status baseline ok)" -ne "$LINES" ]; then
+  echo "FAIL(baseline): not every request completed ok" >&2
+  exit 1
+fi
+
+# 2. Transient sampling faults: retries absorb them; output bit-identical.
+run transient "denoiser/infer=every:7"
+if [ "$(hash_of transient)" != "$H0" ]; then
+  echo "FAIL(transient): retry path changed the payload (hash $(hash_of transient) != $H0)" >&2
+  exit 1
+fi
+if [ "$(count_degraded transient)" -ne 0 ]; then
+  echo "FAIL(transient): transient faults should never reach the fallback" >&2
+  exit 1
+fi
+
+# 3. Total sampling failure: everything completes through the fallback.
+run degraded "denoiser/infer=every:1"
+if [ "$(count_status degraded failed)" -ne 0 ]; then
+  echo "FAIL(degraded): requests failed instead of degrading" >&2
+  exit 1
+fi
+completed=$(( $(count_status degraded ok) + $(count_status degraded incomplete) ))
+if [ "$completed" -ne "$LINES" ]; then
+  echo "FAIL(degraded): only $completed/$LINES requests completed" >&2
+  exit 1
+fi
+if [ "$(count_status degraded ok)" -lt 6 ]; then
+  echo "FAIL(degraded): raw-topology requests did not all complete ok" >&2
+  exit 1
+fi
+if [ "$(count_degraded degraded)" -lt 6 ]; then
+  echo "FAIL(degraded): expected every fallback-served request marked degraded" >&2
+  exit 1
+fi
+
+# 4. Transient legalization faults: same candidate retried; bit-identical.
+run legfault "legalize/run=every:5"
+if [ "$(hash_of legfault)" != "$H0" ]; then
+  echo "FAIL(legfault): legalize retry changed the payload (hash $(hash_of legfault) != $H0)" >&2
+  exit 1
+fi
+if [ "$(count_degraded legfault)" -ne 0 ]; then
+  echo "FAIL(legfault): legalization faults must not degrade sampling" >&2
+  exit 1
+fi
+
+echo "OK: $LINES requests survive transient and total fault schedules" \
+     "(baseline hash $H0, degraded run served $(count_degraded degraded) fallbacks)"

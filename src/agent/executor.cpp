@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "obs/registry.h"
+#include "util/fault.h"
+#include "util/retry.h"
 #include "util/strings.h"
 
 namespace cp::agent {
@@ -98,10 +100,33 @@ ExecutionResult Executor::run(const RequirementList& requirement) {
       // topology_legalization", ...).
       result.transcript.push_back("Action: " + pretty_action(action.action));
       result.transcript.push_back("Action Input: " + action.input.dump());
+      // Tool calls recover through the same retry path as the serving layer
+      // (fault point `agent/tool`). The tools are deterministic given their
+      // input, so a retried call returns the identical result; when the
+      // budget is exhausted the failure becomes an error observation the
+      // brain reacts to — one bad tool never aborts the whole requirement.
       ToolResult tr;
       {
         const obs::Span tool_span = obs::trace_scope("tool/" + action.action);
-        tr = tools_->call(action.action, action.input);
+        util::Rng jitter = util::Rng(ctx.item_seed).fork(static_cast<std::uint64_t>(step));
+        util::RetryStats retry_stats;
+        try {
+          tr = util::retry_call(
+              util::RetryPolicy{},  // defaults: 3 attempts, no sleep
+              jitter,
+              [&] {
+                util::fault::point("agent/tool");
+                return tools_->call(action.action, action.input);
+              },
+              &retry_stats);
+        } catch (const std::exception& e) {
+          tr.ok = false;
+          tr.payload = util::Json();
+          tr.payload["error"] = std::string("tool failed: ") + e.what();
+        }
+        if (retry_stats.attempts > 1) {
+          obs::count("agent/tool_retries", retry_stats.attempts - 1);
+        }
       }
       obs::count("agent/tool_calls");
       obs::count((tr.ok ? "agent/tool_ok/" : "agent/tool_error/") + action.action);

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/populate_journal.h"
 #include "io/gds.h"
 #include "obs/registry.h"
 #include "util/strings.h"
@@ -15,7 +16,7 @@ PopulateStats PatternLibrary::populate(const diffusion::TopologyGenerator& gener
                                        const diffusion::SampleConfig& sample_config,
                                        geometry::Coord width_nm, geometry::Coord height_nm,
                                        int count, std::uint64_t seed, util::ThreadPool* pool,
-                                       long long max_attempts) {
+                                       long long max_attempts, PopulateJournal* journal) {
   const obs::Span span = obs::trace_scope("library/populate");
   PopulateStats stats;
   if (count <= 0) {
@@ -28,6 +29,30 @@ PopulateStats PatternLibrary::populate(const diffusion::TopologyGenerator& gener
 
   int accepted = 0;
   std::uint64_t next_stream = 0;
+
+  // Resume from a journal of completed rounds, if one matches this run.
+  // Candidates are derived statelessly from (seed, stream index), so
+  // continuing at the journalled next_stream replays exactly the rounds an
+  // uninterrupted run would have executed next.
+  if (journal != nullptr) {
+    PopulateJournal::Fingerprint fp;
+    fp.seed = seed;
+    fp.count = count;
+    fp.width_nm = width_nm;
+    fp.height_nm = height_nm;
+    fp.max_attempts = max_attempts;
+    PopulateJournal::State restored;
+    if (journal->open(fp, &restored)) {
+      stats.attempts = restored.attempts;
+      stats.rounds = restored.rounds;
+      next_stream = restored.next_stream;
+      accepted = static_cast<int>(restored.patterns.size());
+      for (auto& p : restored.patterns) patterns_.push_back(std::move(p));
+      obs::count("library/journal_resumes");
+      obs::count("library/journal_restored_patterns", accepted);
+    }
+  }
+
   while (accepted < count && stats.attempts < max_attempts) {
     // Oversample by the observed rejection rate (at least 2x the remaining
     // need) so most libraries fill in one or two rounds, clipped to the
@@ -63,6 +88,7 @@ PopulateStats PatternLibrary::populate(const diffusion::TopologyGenerator& gener
       for (long long i = 0; i < n; ++i) legalize_one(i);
     }
 
+    const std::size_t round_start = patterns_.size();
     for (long long i = 0; i < n && accepted < count; ++i) {
       ++stats.attempts;
       legalize::LegalizeResult& res = results[static_cast<std::size_t>(i)];
@@ -70,6 +96,9 @@ PopulateStats PatternLibrary::populate(const diffusion::TopologyGenerator& gener
         patterns_.push_back(std::move(*res.pattern));
         ++accepted;
       }
+    }
+    if (journal != nullptr) {
+      journal->append_round(stats.attempts, stats.rounds, next_stream, patterns_, round_start);
     }
   }
   stats.complete = accepted == count;

@@ -14,6 +14,8 @@
 
 namespace cp::core {
 
+class PopulateJournal;
+
 /// Outcome of PatternLibrary::populate.
 struct PopulateStats {
   long long attempts = 0;  // topologies sampled in total
@@ -35,12 +37,17 @@ class PatternLibrary {
   /// resulting library is bit-identical for every thread count. The
   /// parallel analogue of core::select_legal (see selection.h); benches use
   /// that serial form, a production library builder uses this.
+  ///
+  /// With a `journal` (see populate_journal.h) each completed round is
+  /// persisted: a killed run restarted against the same journal restores all
+  /// previously accepted patterns instead of regenerating them, and the
+  /// final library is bit-identical to an uninterrupted run.
   PopulateStats populate(const diffusion::TopologyGenerator& generator,
                          const legalize::Legalizer& legalizer,
                          const diffusion::SampleConfig& sample_config,
                          geometry::Coord width_nm, geometry::Coord height_nm, int count,
                          std::uint64_t seed, util::ThreadPool* pool = nullptr,
-                         long long max_attempts = 0);
+                         long long max_attempts = 0, PopulateJournal* journal = nullptr);
   std::size_t size() const { return patterns_.size(); }
   bool empty() const { return patterns_.empty(); }
   const std::string& style() const { return style_; }

@@ -1,0 +1,134 @@
+#include "diffusion/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+#include "util/fs.h"
+
+namespace cp::diffusion {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'P', 'T', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint32_t version = kVersion;
+  std::int32_t iterations = 0;
+  std::int32_t batch_pixels = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t param_count = 0;
+  std::int32_t next_iter = 0;
+};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+}
+
+void write_rng_state(std::ostream& os, const util::Rng::State& st) {
+  write_pod(os, st.seed);
+  for (std::uint64_t s : st.s) write_pod(os, s);
+  const std::uint8_t spare = st.has_spare_normal ? 1 : 0;
+  write_pod(os, spare);
+  write_pod(os, st.spare_normal);
+}
+
+util::Rng::State read_rng_state(std::istream& is) {
+  util::Rng::State st;
+  read_pod(is, st.seed);
+  for (auto& s : st.s) read_pod(is, s);
+  std::uint8_t spare = 0;
+  read_pod(is, spare);
+  if (spare > 1) throw std::runtime_error("checkpoint: corrupt rng state");
+  st.has_spare_normal = spare != 0;
+  read_pod(is, st.spare_normal);
+  return st;
+}
+
+}  // namespace
+
+void save_trainer_checkpoint(const std::string& path, MlpDenoiser& model, const nn::Adam& opt,
+                             const util::Rng& rng, int next_iter, const TrainConfig& config) {
+  const std::vector<nn::Param*> params = model.net().params();
+  Header header;
+  header.iterations = config.iterations;
+  header.batch_pixels = config.batch_pixels;
+  header.seed = config.seed;
+  header.param_count = static_cast<std::uint32_t>(params.size());
+  header.next_iter = next_iter;
+
+  std::ostringstream os(std::ios::binary);
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, header.version);
+  write_pod(os, header.iterations);
+  write_pod(os, header.batch_pixels);
+  write_pod(os, header.seed);
+  write_pod(os, header.param_count);
+  write_pod(os, header.next_iter);
+  write_rng_state(os, rng.state());
+  if (!os) throw std::runtime_error("checkpoint: header serialisation failed");
+  nn::save_params(os, params);
+  opt.save_state(os);
+  util::atomic_write_file_checksummed(path, os.str());
+}
+
+bool load_trainer_checkpoint(const std::string& path, MlpDenoiser& model, nn::Adam& opt,
+                             util::Rng& rng, int* next_iter, const TrainConfig& config) {
+  if (!std::filesystem::exists(path)) return false;
+  // Checkpoints always carry the CRC trailer — a file without one is torn
+  // or foreign, not a legacy format.
+  const std::string data =
+      util::read_file_checksummed(path, "checkpoint", /*require_trailer=*/true);
+  std::istringstream is(data, std::ios::binary);
+
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  Header header;
+  read_pod(is, header.version);
+  read_pod(is, header.iterations);
+  read_pod(is, header.batch_pixels);
+  read_pod(is, header.seed);
+  read_pod(is, header.param_count);
+  read_pod(is, header.next_iter);
+  if (!is) throw std::runtime_error("checkpoint: truncated header in " + path);
+  if (header.version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version in " + path);
+  }
+
+  const std::vector<nn::Param*> params = model.net().params();
+  if (header.iterations != config.iterations || header.batch_pixels != config.batch_pixels ||
+      header.seed != config.seed || header.param_count != params.size()) {
+    return false;  // different training run: start fresh, don't splice state
+  }
+  if (header.next_iter < 0 || header.next_iter > header.iterations) {
+    throw std::runtime_error("checkpoint: implausible next_iter in " + path);
+  }
+
+  const util::Rng::State rng_state = read_rng_state(is);
+  if (!is) throw std::runtime_error("checkpoint: truncated rng state in " + path);
+  // Restore into temporaries-last order: nn::load_params / Adam::load_state
+  // throw before mutating on shape mismatch, and rng/next_iter are only
+  // touched after both succeed, so a corrupt tail leaves the caller's state
+  // untouched apart from params (which the caller retrains from scratch
+  // anyway after catching).
+  nn::load_params(is, params);
+  opt.load_state(is);
+  rng.restore(rng_state);
+  *next_iter = header.next_iter;
+  return true;
+}
+
+}  // namespace cp::diffusion

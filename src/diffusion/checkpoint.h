@@ -1,0 +1,47 @@
+#pragma once
+// Crash-safe checkpoint/resume for the MLP trainer.
+//
+// A checkpoint captures every piece of mutable training state — network
+// parameters, Adam moments + step count, and the trainer's RNG state — so
+// a run resumed from iteration k produces weights bit-identical to an
+// uninterrupted run (see tests/diffusion/checkpoint_test.cpp). The file is
+// written with util::atomic_write_file_checksummed: a crash mid-save leaves
+// the previous checkpoint intact, and a torn/corrupted file is detected by
+// the CRC32 trailer on load.
+//
+// File layout (little-endian, after the CPCK trailer is stripped):
+//   magic "CPTC" | version u32 | fingerprint (iterations, batch_pixels,
+//   seed, param count) | next_iter i32 | Rng::State | nn::save_params |
+//   Adam::save_state
+//
+// The fingerprint ties a checkpoint to its TrainConfig: resuming with a
+// different iteration budget, batch size, seed or model architecture is a
+// different trajectory, so load returns false (start fresh) rather than
+// splicing incompatible state.
+
+#include <string>
+
+#include "diffusion/mlp_denoiser.h"
+#include "diffusion/trainer.h"
+#include "nn/optim.h"
+#include "util/rng.h"
+
+namespace cp::diffusion {
+
+/// Atomically write the full trainer state. `next_iter` is the first
+/// iteration the resumed run should execute. Throws std::runtime_error on
+/// I/O failure (the previous checkpoint, if any, is left intact).
+void save_trainer_checkpoint(const std::string& path, MlpDenoiser& model, const nn::Adam& opt,
+                             const util::Rng& rng, int next_iter, const TrainConfig& config);
+
+/// Restore trainer state from `path`.
+///   * missing file, or fingerprint mismatch with `config` -> returns false
+///     (caller trains from scratch);
+///   * matching checkpoint -> restores model/opt/rng, sets *next_iter,
+///     returns true;
+///   * corrupt file (bad magic, truncation, checksum mismatch) -> throws
+///     std::runtime_error.
+bool load_trainer_checkpoint(const std::string& path, MlpDenoiser& model, nn::Adam& opt,
+                             util::Rng& rng, int* next_iter, const TrainConfig& config);
+
+}  // namespace cp::diffusion

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "diffusion/checkpoint.h"
 #include "diffusion/transition.h"
 #include "nn/optim.h"
 #include "obs/registry.h"
@@ -59,6 +60,26 @@ TrainStats train_mlp(MlpDenoiser& model,
   nn::Adam opt(model.net().params(), config.lr);
   TrainStats stats;
 
+  // Checkpoint/resume: restore params + optimizer moments + RNG state so
+  // the remaining iterations replay exactly what an uninterrupted run would
+  // have executed. A corrupt checkpoint is never fatal — warn and retrain.
+  int start_iter = 0;
+  if (!config.checkpoint_path.empty()) {
+    try {
+      if (load_trainer_checkpoint(config.checkpoint_path, model, opt, rng, &start_iter,
+                                  config)) {
+        obs::count("trainer/checkpoint_resumes");
+        CP_LOG_INFO << "train_mlp resuming from " << config.checkpoint_path << " at iteration "
+                    << start_iter;
+      }
+    } catch (const std::exception& e) {
+      obs::count("trainer/checkpoint_corrupt");
+      CP_LOG_WARN << "train_mlp ignoring corrupt checkpoint " << config.checkpoint_path << ": "
+                  << e.what();
+      start_iter = 0;
+    }
+  }
+
   // Optional worker pool: feature extraction and the per-pixel loss/grad
   // evaluation are embarrassingly parallel (pixel i writes feature row i,
   // grad slot i and loss slot i), while every RNG draw and the network
@@ -76,7 +97,7 @@ TrainStats train_mlp(MlpDenoiser& model,
   };
 
   const int fdim = model.feature_dim();
-  for (int iter = 0; iter < config.iterations; ++iter) {
+  for (int iter = start_iter; iter < config.iterations; ++iter) {
     // One noised image per minibatch; random pixels from it.
     const int cond = rng.uniform_int(0, static_cast<int>(per_class.size()) - 1);
     const auto& pool = per_class[static_cast<std::size_t>(cond)];
@@ -138,6 +159,12 @@ TrainStats train_mlp(MlpDenoiser& model,
       CP_LOG_INFO << "train_mlp iter " << iter << " loss " << loss;
     }
     stats.final_loss = static_cast<float>(loss);
+
+    if (config.checkpoint_every > 0 && !config.checkpoint_path.empty() &&
+        (iter + 1) % config.checkpoint_every == 0 && iter + 1 < config.iterations) {
+      save_trainer_checkpoint(config.checkpoint_path, model, opt, rng, iter + 1, config);
+      obs::count("trainer/checkpoints_written");
+    }
   }
   obs::gauge("trainer/final_loss", static_cast<double>(stats.final_loss));
   return stats;

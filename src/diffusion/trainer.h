@@ -13,6 +13,7 @@
 // grad-clip 1.0 and lambda 1e-3 — the paper's hyper-parameters. Iteration
 // counts are scaled down for CPU (see DESIGN.md S2).
 
+#include <string>
 #include <vector>
 
 #include "diffusion/mlp_denoiser.h"
@@ -33,6 +34,14 @@ struct TrainConfig {
   /// calling thread and the loss reduction runs in pixel-index order, so
   /// the trained weights are bit-identical for every thread count.
   int threads = 1;
+  /// Checkpoint/resume (see diffusion/checkpoint.h). When `checkpoint_path`
+  /// is non-empty, train_mlp first tries to resume from it (a corrupt file
+  /// is logged and ignored; a fingerprint mismatch starts fresh), and with
+  /// `checkpoint_every` > 0 snapshots params + optimizer + RNG state every
+  /// that many iterations. A resumed run is bit-identical to an
+  /// uninterrupted one.
+  std::string checkpoint_path;
+  int checkpoint_every = 0;  // 0 = resume-only, never write
 };
 
 struct TrainStats {

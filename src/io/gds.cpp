@@ -8,11 +8,21 @@
 #include <stdexcept>
 
 #include "geometry/extract.h"
+#include "util/fault.h"
+#include "util/fs.h"
 #include "util/strings.h"
 
 namespace cp::io {
 
 namespace {
+
+// Resource-exhaustion guards for the reader: a malicious or corrupt header
+// must not make us over-allocate or loop unboundedly. All caps are orders
+// of magnitude above anything this library writes.
+constexpr std::uint64_t kMaxFileBytes = 256ULL << 20;   // whole-file slurp cap
+constexpr std::size_t kMaxRecords = 1u << 22;           // ~4M records
+constexpr std::size_t kMaxBoundaryPoints = 8192;        // points per XY loop
+constexpr std::size_t kMaxBoundaryWork = 64u << 20;     // grid cells x edges
 
 // GDSII record ids (record type << 8 | data type).
 constexpr std::uint16_t kHeader = 0x0002;
@@ -156,10 +166,11 @@ void write_gds(const std::string& path, const GdsLibrary& library) {
   }
   put_record(out, kEndLib, "");
 
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("gds: cannot open " + path + " for writing");
-  os.write(out.data(), static_cast<std::streamsize>(out.size()));
-  if (!os) throw std::runtime_error("gds: write failed for " + path);
+  // Crash-safe: tmp + fsync + rename, with a CRC32 trailer after ENDLIB.
+  // Readers (ours and standard viewers) stop at ENDLIB, so the trailer is
+  // invisible to record parsing; read_gds verifies and strips it first.
+  util::fault::point("gds/write");
+  util::atomic_write_file_checksummed(path, out);
 }
 
 namespace {
@@ -172,16 +183,22 @@ struct Record {
 class Reader {
  public:
   explicit Reader(const std::string& path) {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) throw std::runtime_error("gds: cannot open " + path);
-    data_.assign(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+    // Cap the slurp (kMaxFileBytes) and verify our CRC trailer when present
+    // — files from other tools have no trailer and parse as before; a
+    // present-but-mismatching trailer throws a checksum error.
+    data_ = util::read_file(path, kMaxFileBytes);
+    util::strip_crc_trailer(data_, "gds");
   }
 
   bool next(Record& record) {
     if (pos_ + 4 > data_.size()) return false;
+    if (++records_ > kMaxRecords) throw std::runtime_error("gds: too many records");
     const std::size_t len = (static_cast<unsigned char>(data_[pos_]) << 8) |
                             static_cast<unsigned char>(data_[pos_ + 1]);
-    if (len < 4 || pos_ + len > data_.size()) {
+    // A declared length below the 4-byte header or past the end of the file
+    // (truncation, or a malicious header promising more than exists) is
+    // structural corruption, never a loop or an over-read.
+    if (len < 4 || len > data_.size() - pos_) {
       throw std::runtime_error("gds: corrupt record length");
     }
     record.id = static_cast<std::uint16_t>((static_cast<unsigned char>(data_[pos_ + 2]) << 8) |
@@ -192,9 +209,19 @@ class Reader {
     return true;
   }
 
+  /// After ENDLIB: tape-format writers pad to block boundaries with NULs,
+  /// so trailing zeros are fine; any other residue is a torn CRC trailer or
+  /// foreign bytes appended to the stream.
+  void expect_only_padding() const {
+    for (std::size_t i = pos_; i < data_.size(); ++i) {
+      if (data_[i] != '\0') throw std::runtime_error("gds: trailing bytes after ENDLIB");
+    }
+  }
+
  private:
   std::string data_;
   std::size_t pos_ = 0;
+  std::size_t records_ = 0;
 };
 
 std::int32_t get_i32(const std::string& p, std::size_t i) {
@@ -215,6 +242,7 @@ std::string trim_nul(const std::string& s) {
 /// scan-line grid).
 std::vector<geometry::Rect> loop_to_rects(const std::vector<geometry::Point>& loop) {
   if (loop.size() < 4) throw std::runtime_error("gds: degenerate boundary");
+  if (loop.size() > kMaxBoundaryPoints) throw std::runtime_error("gds: boundary too complex");
   std::vector<geometry::Coord> xs, ys;
   for (const auto& p : loop) {
     xs.push_back(p.x);
@@ -227,6 +255,13 @@ std::vector<geometry::Rect> loop_to_rects(const std::vector<geometry::Point>& lo
   const int cols = static_cast<int>(xs.size()) - 1;
   const int rows = static_cast<int>(ys.size()) - 1;
   if (cols <= 0 || rows <= 0) throw std::runtime_error("gds: empty boundary");
+  // The even-odd rasterisation below costs grid-cells x edges; bound it so
+  // an adversarial loop with thousands of distinct coordinates cannot pin
+  // the CPU (or allocate an enormous grid).
+  if (static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) * loop.size() >
+      kMaxBoundaryWork) {
+    throw std::runtime_error("gds: boundary too complex");
+  }
 
   std::vector<std::uint8_t> grid(static_cast<std::size_t>(rows) * cols, 0);
   for (int r = 0; r < rows; ++r) {
@@ -256,6 +291,7 @@ std::vector<geometry::Rect> loop_to_rects(const std::vector<geometry::Point>& lo
 }  // namespace
 
 GdsLibrary read_gds(const std::string& path) {
+  util::fault::point("gds/read");
   Reader reader(path);
   GdsLibrary lib;
   lib.structures.clear();
@@ -292,10 +328,12 @@ GdsLibrary read_gds(const std::string& path) {
         loop.clear();
         break;
       case kLayer:
+        if (rec.payload.size() < 2) throw std::runtime_error("gds: bad LAYER");
         layer = (static_cast<unsigned char>(rec.payload[0]) << 8) |
                 static_cast<unsigned char>(rec.payload[1]);
         break;
       case kDatatype:
+        if (rec.payload.size() < 2) throw std::runtime_error("gds: bad DATATYPE");
         datatype = (static_cast<unsigned char>(rec.payload[0]) << 8) |
                    static_cast<unsigned char>(rec.payload[1]);
         break;
@@ -316,6 +354,7 @@ GdsLibrary read_gds(const std::string& path) {
         current = nullptr;
         break;
       case kEndLib:
+        reader.expect_only_padding();
         return lib;
       default:
         throw std::runtime_error(

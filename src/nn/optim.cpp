@@ -1,6 +1,12 @@
 #include "nn/optim.h"
 
 #include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
 
 namespace cp::nn {
 
@@ -49,6 +55,39 @@ void Adam::step() {
     }
     p->bump_version();  // invalidate packed-weight caches
   }
+}
+
+void Adam::save_state(std::ostream& os) const {
+  const std::int64_t t = t_;
+  os.write(reinterpret_cast<const char*>(&t), sizeof(t));
+  const std::uint32_t count = static_cast<std::uint32_t>(params_.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  if (!os) throw std::runtime_error("Adam::save_state: stream write failed");
+  for (const Tensor& m : m_) write_tensor(os, m);
+  for (const Tensor& v : v_) write_tensor(os, v);
+}
+
+void Adam::load_state(std::istream& is) {
+  std::int64_t t = 0;
+  std::uint32_t count = 0;
+  is.read(reinterpret_cast<char*>(&t), sizeof(t));
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is || t < 0 || count != params_.size()) {
+    throw std::runtime_error("Adam::load_state: corrupt or mismatched state");
+  }
+  std::vector<Tensor> m, v;
+  m.reserve(count);
+  v.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) m.push_back(read_tensor(is));
+  for (std::uint32_t i = 0; i < count; ++i) v.push_back(read_tensor(is));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!m[i].same_shape(params_[i]->value) || !v[i].same_shape(params_[i]->value)) {
+      throw std::runtime_error("Adam::load_state: moment shape mismatch");
+    }
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = t;
 }
 
 void Sgd::step() {

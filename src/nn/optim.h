@@ -3,6 +3,7 @@
 // (lr 2e-4, standard betas) plus gradient-norm clipping (the paper clips at
 // 1.0).
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/layers.h"
@@ -23,6 +24,13 @@ class Adam {
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
   long long steps() const { return t_; }
+
+  /// Checkpoint support (diffusion::Trainer): serialize / restore the first
+  /// and second moments plus the step count. load_state throws
+  /// std::runtime_error when the stream does not match this optimizer's
+  /// parameter shapes (corrupt or mismatched checkpoint).
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   std::vector<Param*> params_;

@@ -1,16 +1,29 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "util/fault.h"
+#include "util/fs.h"
 
 namespace cp::nn {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x43504e4e;  // "CPNN"
-}
+// Corrupt-header guard: a bit-flipped shape must not trigger a giant
+// allocation. 2^28 floats (1 GiB) is far above any model this library
+// builds.
+constexpr long long kMaxTensorNumel = 1LL << 28;
+}  // namespace
 
 void write_tensor(std::ostream& os, const Tensor& t) {
+  // Disk-full simulation for the raw-stream path: a fired `io/write` aborts
+  // mid-file, which is exactly the partial-write hazard save_params_file's
+  // atomic path exists to contain.
+  util::fault::point("io/write");
   const std::uint32_t rank = static_cast<std::uint32_t>(t.rank());
   os.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
   for (int i = 0; i < t.rank(); ++i) {
@@ -19,6 +32,7 @@ void write_tensor(std::ostream& os, const Tensor& t) {
   }
   os.write(reinterpret_cast<const char*>(t.data()),
            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!os) throw std::runtime_error("write_tensor: stream write failed");
 }
 
 Tensor read_tensor(std::istream& is) {
@@ -26,10 +40,15 @@ Tensor read_tensor(std::istream& is) {
   is.read(reinterpret_cast<char*>(&rank), sizeof(rank));
   if (!is || rank > 8) throw std::runtime_error("read_tensor: corrupt header");
   std::vector<int> shape(rank);
+  long long numel = 1;
   for (auto& d : shape) {
     std::int32_t v = 0;
     is.read(reinterpret_cast<char*>(&v), sizeof(v));
     if (!is || v < 0) throw std::runtime_error("read_tensor: corrupt shape");
+    numel *= v;
+    if (numel > kMaxTensorNumel) {
+      throw std::runtime_error("read_tensor: implausible tensor size (corrupt shape)");
+    }
     d = v;
   }
   Tensor t(shape);
@@ -43,6 +62,7 @@ void save_params(std::ostream& os, const std::vector<Param*>& params) {
   os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
   const std::uint32_t count = static_cast<std::uint32_t>(params.size());
   os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  if (!os) throw std::runtime_error("save_params: stream write failed");
   for (const Param* p : params) write_tensor(os, p->value);
 }
 
@@ -61,15 +81,26 @@ void load_params(std::istream& is, const std::vector<Param*>& params) {
 }
 
 void save_params_file(const std::string& path, const std::vector<Param*>& params) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("save_params_file: cannot open " + path);
+  // Crash-safe: serialize fully in memory, then tmp + fsync + rename with a
+  // CRC32 trailer. A crash (or injected fault) mid-save leaves any previous
+  // file intact; a torn or bit-rotted file is rejected at load time.
+  std::ostringstream os(std::ios::binary);
   save_params(os, params);
+  util::atomic_write_file_checksummed(path, os.str());
 }
 
 bool load_params_file(const std::string& path, const std::vector<Param*>& params) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
+  if (!std::filesystem::exists(path)) return false;
+  // Trailer-less files from pre-trailer writers still load; a present but
+  // mismatching trailer throws ("load_params: checksum mismatch ...").
+  const std::string data = util::read_file_checksummed(path, "load_params");
+  std::istringstream is(data, std::ios::binary);
   load_params(is, params);
+  // A genuine file (legacy or trailer-stripped) ends exactly at the last
+  // tensor; leftover bytes mean a corrupted trailer was mistaken for payload.
+  if (is.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error("load_params: trailing bytes after parameters in '" + path + "'");
+  }
   return true;
 }
 

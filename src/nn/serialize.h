@@ -18,8 +18,13 @@ Tensor read_tensor(std::istream& is);
 void save_params(std::ostream& os, const std::vector<Param*>& params);
 void load_params(std::istream& is, const std::vector<Param*>& params);
 
+/// Crash-safe save: tmp + fsync + rename with a CRC32 integrity trailer
+/// (util::atomic_write_file_checksummed) — a crash mid-save leaves any
+/// previous file intact. Throws std::runtime_error on I/O failure.
 void save_params_file(const std::string& path, const std::vector<Param*>& params);
-/// Returns false if the file does not exist; throws on corrupt content.
+/// Returns false if the file does not exist; throws std::runtime_error on
+/// corrupt content (bad magic/shape, truncation, checksum mismatch).
+/// Trailer-less legacy files are still accepted.
 bool load_params_file(const std::string& path, const std::vector<Param*>& params);
 
 }  // namespace cp::nn

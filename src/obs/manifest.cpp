@@ -2,9 +2,9 @@
 
 #include <cstdio>
 #include <ctime>
-#include <filesystem>
-#include <fstream>
 #include <thread>
+
+#include "util/fs.h"
 
 namespace cp::obs {
 
@@ -56,27 +56,13 @@ util::Json RunManifest::to_json(const Registry& registry) const {
 
 bool RunManifest::write(const std::string& path, const Registry& registry,
                         std::string* error) const {
-  const std::filesystem::path target(path);
-  std::error_code ec;
-  if (target.has_parent_path()) {
-    std::filesystem::create_directories(target.parent_path(), ec);
-    if (ec) {
-      if (error != nullptr) {
-        *error = "cannot create directory '" + target.parent_path().string() +
-                 "': " + ec.message();
-      }
-      return false;
-    }
-  }
-  std::ofstream out(path);
-  if (!out) {
-    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
-    return false;
-  }
-  out << to_json(registry).dump(2) << "\n";
-  out.flush();
-  if (!out) {
-    if (error != nullptr) *error = "write to '" + path + "' failed";
+  // Crash-safe tmp + fsync + rename: a manifest is either the previous
+  // complete run or this complete run, never a torn JSON document. No CRC
+  // trailer — manifests stay plain JSON for jq and friends.
+  try {
+    util::atomic_write_file(path, to_json(registry).dump(2) + "\n");
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
     return false;
   }
   return true;

@@ -109,6 +109,7 @@ const char* to_string(RequestStatus status) {
     case RequestStatus::kRejected: return "rejected";
     case RequestStatus::kDeadlineExpired: return "deadline_expired";
     case RequestStatus::kCancelled: return "cancelled";
+    case RequestStatus::kFailed: return "failed";
   }
   return "unknown";
 }
@@ -146,6 +147,7 @@ util::Json GenerationResult::to_json() const {
   j["topologies"] = payload ? payload->topologies.size() : std::size_t{0};
   j["cache_hit"] = cache_hit;
   if (deduped) j["deduped"] = true;
+  if (degraded) j["degraded"] = true;
   j["attempts"] = attempts;
   j["rounds"] = rounds;
   j["queue_wait_ms"] = queue_wait_ms;

@@ -86,6 +86,8 @@ enum class RequestStatus {
   kRejected,         // refused at admission (queue full / invalid / draining)
   kDeadlineExpired,  // deadline passed before generation started
   kCancelled,        // cancelled while queued (or server destroyed)
+  kFailed,           // internal error during generation; the request failed,
+                     // the dispatcher survived (docs/ROBUSTNESS.md)
 };
 
 const char* to_string(RequestStatus status);
@@ -113,6 +115,11 @@ struct GenerationResult {
 
   bool cache_hit = false;   // payload came from the PatternCache
   bool deduped = false;     // payload shared with an identical in-batch twin
+  /// True when at least one delivered sample came from the degraded-mode
+  /// fallback generator after the primary's retry budget was exhausted
+  /// (docs/ROBUSTNESS.md). Degraded payloads are never cached: a later
+  /// identical request gets a fresh, non-degraded attempt.
+  bool degraded = false;
   long long attempts = 0;   // topologies sampled for this request
   int rounds = 0;           // generation rounds (>1 means legalization retries)
   double queue_wait_ms = 0; // admission -> batch formation

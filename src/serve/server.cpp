@@ -5,7 +5,9 @@
 
 #include "dataset/style.h"
 #include "obs/registry.h"
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/retry.h"
 
 namespace cp::serve {
 
@@ -121,7 +123,16 @@ void Server::dispatch_loop() {
   for (;;) {
     std::vector<PendingRequest> batch = batcher_.next_batch();
     if (batch.empty()) return;  // queue closed and drained
-    execute_batch(std::move(batch));
+    try {
+      execute_batch(std::move(batch));
+    } catch (const std::exception& e) {
+      // Last-resort containment: execute_batch fails individual requests
+      // internally, so reaching here is a bug — but the dispatcher must
+      // outlive it either way, or every queued request behind this batch
+      // hangs forever.
+      obs::count("serve/batch_failures");
+      CP_LOG_WARN << "serve: batch escaped execute_batch: " << e.what();
+    }
   }
 }
 
@@ -133,10 +144,71 @@ void Server::complete(PendingRequest pending, GenerationResult result) {
     case RequestStatus::kIncomplete:
       obs::count("serve/requests_incomplete");
       break;
+    case RequestStatus::kFailed:
+      obs::count("serve/requests_failed");
+      break;
     default:
       break;
   }
+  if (result.degraded) obs::count("serve/degraded");
   fulfill(pending, std::move(result));
+}
+
+Server::GuardedSamples Server::sample_jobs_guarded(
+    const std::vector<diffusion::BatchSampler::SampleJob>& jobs) {
+  GuardedSamples out;
+  out.topologies.resize(jobs.size());
+  out.degraded.assign(jobs.size(), 0);
+  out.failed.assign(jobs.size(), 0);
+  const diffusion::TopologyGenerator& primary = sampler_.generator();
+  const diffusion::TopologyGenerator* fallback = config_.fallback;
+
+  auto one = [&](long long i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const auto& job = jobs[idx];
+    // Jitter rng for the backoff sleeps only — the sample itself re-forks
+    // job.root.fork(job.stream) on every attempt, so a retried draw is
+    // bit-identical to an undisturbed first try.
+    util::Rng jitter(job.root.fork(job.stream).next_u64());
+    util::RetryStats stats;
+    try {
+      out.topologies[idx] = util::retry_call(
+          config_.sample_retry, jitter,
+          [&] {
+            util::fault::point("denoiser/infer");
+            util::Rng rng = job.root.fork(job.stream);
+            return primary.sample(job.config, rng);
+          },
+          &stats);
+      if (stats.attempts > 1) obs::count("serve/sample_retries", stats.attempts - 1);
+      return;
+    } catch (const std::exception&) {
+      if (stats.attempts > 1) obs::count("serve/sample_retries", stats.attempts - 1);
+    }
+    if (fallback != nullptr) {
+      try {
+        util::Rng rng = job.root.fork(job.stream);
+        out.topologies[idx] = fallback->sample(job.config, rng);
+        out.degraded[idx] = 1;
+        obs::count("serve/sample_fallbacks");
+        return;
+      } catch (const std::exception&) {
+        // fall through: the sample is lost, not the request
+      }
+    }
+    out.failed[idx] = 1;
+    obs::count("serve/sample_failures");
+  };
+
+  const long long n = static_cast<long long>(jobs.size());
+  const bool par = pool_ != nullptr && pool_->size() > 1 && primary.thread_safe() &&
+                   (fallback == nullptr || fallback->thread_safe());
+  if (par) {
+    pool_->parallel_for(n, one);
+  } else {
+    for (long long i = 0; i < n; ++i) one(i);
+  }
+  return out;
 }
 
 void Server::execute_batch(std::vector<PendingRequest> batch) {
@@ -173,11 +245,15 @@ void Server::execute_batch(std::vector<PendingRequest> batch) {
   }
 
   // Stage 1: generation rounds. Each round coalesces the outstanding need
-  // of every unfilled leader into ONE BatchSampler::sample_jobs invocation,
-  // legalizes every candidate in parallel, then accepts per request in
-  // stream order. A request whose round yields too few legal patterns
-  // simply re-enters the next round with its stream cursor advanced —
-  // that is the legalization retry path.
+  // of every unfilled leader into ONE guarded sampling fan-out (retry /
+  // fallback per sample — see sample_jobs_guarded), legalizes every
+  // candidate in parallel, then accepts per request in stream order. A
+  // request whose round yields too few legal patterns simply re-enters the
+  // next round with its stream cursor advanced — that is the legalization
+  // retry path. Anything that still escapes fails this batch's requests as
+  // kFailed below; it never kills the dispatcher.
+  std::string batch_error;
+  try {
   for (;;) {
     struct JobRange {
       int owner = 0;
@@ -224,26 +300,39 @@ void Server::execute_batch(std::vector<PendingRequest> batch) {
     if (jobs.empty()) break;
 
     obs::observe("serve/batch_samples", static_cast<double>(jobs.size()));
-    std::vector<squish::Topology> candidates;
+    GuardedSamples sampled;
     {
       const obs::Span sample_span = obs::trace_scope("sample");
-      candidates = sampler_.sample_jobs(jobs);
+      sampled = sample_jobs_guarded(jobs);
     }
+    const std::vector<squish::Topology>& candidates = sampled.topologies;
 
-    // Legalize every candidate of every legalizing owner, fanned out.
+    // Legalize every candidate of every legalizing owner, fanned out. A
+    // legalization failure (fault point `legalize/run`) retries the SAME
+    // candidate, so a transient fault leaves the payload bit-identical; an
+    // exhausted budget drops the candidate (the request re-rounds).
     std::vector<legalize::LegalizeResult> legal(candidates.size());
     {
       const obs::Span legalize_span = obs::trace_scope("legalize");
       auto legalize_one = [&](long long j) {
         const auto idx = static_cast<std::size_t>(j);
+        if (sampled.failed[idx] != 0) return;  // no candidate to legalize
         // Find the owning range (few ranges; linear scan is fine).
         for (const auto& range : ranges) {
           if (idx >= range.begin && idx < range.begin + static_cast<std::size_t>(range.want)) {
             const Active& a = active[static_cast<std::size_t>(range.owner)];
             const GenerationRequest& r = a.pending.request;
             if (r.legalize) {
-              legal[idx] = legalizers_[static_cast<std::size_t>(a.pending.condition)]->legalize(
-                  candidates[idx], r.width_nm, r.height_nm);
+              util::Rng jitter(r.seed ^ (0xc2b2ae3d27d4eb4fULL + idx));
+              try {
+                legal[idx] = util::retry_call(config_.legalize_retry, jitter, [&] {
+                  util::fault::point("legalize/run");
+                  return legalizers_[static_cast<std::size_t>(a.pending.condition)]->legalize(
+                      candidates[idx], r.width_nm, r.height_nm);
+                });
+              } catch (const std::exception&) {
+                obs::count("serve/legalize_faults");  // dropped; request re-rounds
+              }
             }
             return;
           }
@@ -258,7 +347,9 @@ void Server::execute_batch(std::vector<PendingRequest> batch) {
     }
 
     // Accept in stream order; unexamined surplus candidates do not count
-    // against the budget (mirrors populate's accounting).
+    // against the budget (mirrors populate's accounting). A failed sample
+    // consumes budget but delivers nothing, so a fully-failing backend
+    // still terminates as kIncomplete instead of looping forever.
     for (const auto& range : ranges) {
       Active& a = active[static_cast<std::size_t>(range.owner)];
       const GenerationRequest& r = a.pending.request;
@@ -266,10 +357,13 @@ void Server::execute_batch(std::vector<PendingRequest> batch) {
         if (static_cast<int>(a.payload.size()) >= r.count) break;
         const auto idx = range.begin + static_cast<std::size_t>(k);
         ++a.attempts;
+        if (sampled.failed[idx] != 0) continue;
         if (!r.legalize) {
           a.payload.topologies.push_back(candidates[idx]);
+          if (sampled.degraded[idx] != 0) a.degraded = true;
         } else if (legal[idx].ok()) {
           a.payload.patterns.push_back(std::move(*legal[idx].pattern));
+          if (sampled.degraded[idx] != 0) a.degraded = true;
         } else {
           obs::count("serve/legalize_failures");
         }
@@ -278,6 +372,31 @@ void Server::execute_batch(std::vector<PendingRequest> batch) {
       if (static_cast<int>(a.payload.size()) >= r.count) a.done = true;
     }
     obs::count("serve/rounds");
+  }
+  } catch (const std::exception& e) {
+    batch_error = e.what();
+    obs::count("serve/batch_failures");
+    CP_LOG_WARN << "serve: generation failed for a batch of " << active.size()
+                << " request(s): " << e.what();
+  }
+
+  // Failure publish: every request of this batch completes as kFailed with
+  // the error as its reason. The dispatcher moves on to the next batch.
+  if (!batch_error.empty()) {
+    const auto fail_time = Clock::now();
+    for (Active& a : active) {
+      GenerationResult result;
+      result.id = a.pending.request.id;
+      result.status = RequestStatus::kFailed;
+      result.reason = "internal error: " + batch_error;
+      result.attempts = a.attempts;
+      result.rounds = a.rounds;
+      result.queue_wait_ms = ms_between(a.pending.admitted_at, batch_start);
+      result.service_ms = ms_between(batch_start, fail_time);
+      result.total_ms = ms_between(a.pending.admitted_at, fail_time);
+      complete(std::move(a.pending), std::move(result));
+    }
+    return;
   }
 
   // Stage 2: publish. Leaders first (so followers can share their payload),
@@ -290,13 +409,16 @@ void Server::execute_batch(std::vector<PendingRequest> batch) {
     auto payload = std::make_shared<const GenerationPayload>(std::move(a.payload));
     published[i] = payload;
     const bool full = static_cast<int>(payload->size()) >= a.pending.request.count;
-    if (full) cache_.insert(a.key, payload);
+    // A degraded payload is never cached: a later identical request should
+    // get a fresh shot at the primary generator, not a stale fallback.
+    if (full && !a.degraded) cache_.insert(a.key, payload);
     if (a.rounds > 1) obs::count("serve/legalize_retries", a.rounds - 1);
 
     GenerationResult result;
     result.id = a.pending.request.id;
     result.status = full ? RequestStatus::kOk : RequestStatus::kIncomplete;
     if (!full) result.reason = "attempt budget exhausted";
+    result.degraded = a.degraded;
     result.payload = std::move(payload);
     result.attempts = a.attempts;
     result.rounds = a.rounds;
@@ -314,6 +436,7 @@ void Server::execute_batch(std::vector<PendingRequest> batch) {
     result.id = a.pending.request.id;
     result.status = full ? RequestStatus::kOk : RequestStatus::kIncomplete;
     if (!full) result.reason = "attempt budget exhausted";
+    result.degraded = active[static_cast<std::size_t>(a.dedup_leader)].degraded;
     result.payload = payload;
     result.deduped = true;
     result.queue_wait_ms = ms_between(a.pending.admitted_at, batch_start);

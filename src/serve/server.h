@@ -17,6 +17,12 @@
 // fields. Worker count, queue order, batch composition, cache state and
 // retry rounds change only *when* the answer arrives, never what it is.
 //
+// Fault tolerance (docs/ROBUSTNESS.md): sampling and legalization run
+// behind retry-with-backoff; exhausted sampling falls back to
+// ServerConfig::fallback (result marked degraded); an unexpected batch
+// error fails the affected requests as kFailed — the dispatcher thread
+// never dies with work queued behind it.
+//
 // Shutdown is a graceful drain: close admissions, finish everything already
 // queued, then stop the dispatcher. The destructor does the same.
 
@@ -34,6 +40,7 @@
 #include "serve/batcher.h"
 #include "serve/cache.h"
 #include "serve/request_queue.h"
+#include "util/retry.h"
 #include "util/thread_pool.h"
 
 namespace cp::serve {
@@ -49,6 +56,22 @@ struct ServerConfig {
   /// `max_attempts_per_pattern * count + 64` sampled topologies before it
   /// completes as kIncomplete with whatever it has.
   long long max_attempts_per_pattern = 16;
+
+  /// Degraded-mode serving (docs/ROBUSTNESS.md). A sample that throws
+  /// (fault point `denoiser/infer`, or a real inference failure) is retried
+  /// under `sample_retry` with the identical Rng stream, so a transient
+  /// failure changes nothing about the payload. When the retry budget is
+  /// exhausted and `fallback` is non-null, the sample is drawn from the
+  /// fallback generator instead and the result is marked degraded=true
+  /// (and never cached). With no fallback the sample is dropped, consuming
+  /// attempt budget. Legalization failures (fault point `legalize/run`)
+  /// retry the same candidate under `legalize_retry`. The dispatcher
+  /// survives all of it: a request can fail (kFailed), the process cannot.
+  util::RetryPolicy sample_retry;
+  util::RetryPolicy legalize_retry;
+  /// Borrowed, may be null; must outlive the server (e.g. the single-scale
+  /// tabular sampler backing the cascade).
+  const diffusion::TopologyGenerator* fallback = nullptr;
 };
 
 class Server {
@@ -107,12 +130,23 @@ class Server {
     int rounds = 0;
     bool done = false;
     bool cache_hit = false;
+    bool degraded = false;  // any accepted sample came from the fallback
+  };
+
+  /// Result of one guarded sampling fan-out: slot i holds jobs[i]'s
+  /// topology plus whether it came from the fallback (degraded) or from
+  /// nowhere at all (failed — retries and fallback both exhausted).
+  struct GuardedSamples {
+    std::vector<squish::Topology> topologies;
+    std::vector<std::uint8_t> degraded;
+    std::vector<std::uint8_t> failed;
   };
 
   Submitted submit_impl(GenerationRequest request, bool blocking);
   void dispatch_loop();
   void execute_batch(std::vector<PendingRequest> batch);
   void complete(PendingRequest pending, GenerationResult result);
+  GuardedSamples sample_jobs_guarded(const std::vector<diffusion::BatchSampler::SampleJob>& jobs);
 
   ServerConfig config_;
   std::vector<const legalize::Legalizer*> legalizers_;

@@ -1,0 +1,175 @@
+#include "util/fault.h"
+
+#ifndef CP_FAULT_DISABLED
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "obs/registry.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cp::util::fault {
+
+namespace {
+
+enum class Mode { kEvery, kOnce, kProb };
+
+struct PointState {
+  Mode mode = Mode::kEvery;
+  long long n = 1;          // every/once period or target call
+  double p = 0.0;           // prob threshold
+  std::uint64_t seed = 0;   // prob seed
+  long long calls = 0;
+  long long fired = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, PointState, std::less<>> points;
+  bool env_checked = false;
+};
+
+// Leaked (like obs::Registry) so points may be evaluated during static
+// destruction without ordering hazards.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::atomic<bool> g_armed{false};
+// Cleared once the env has been consulted (or configure() preempted it);
+// keeps the disarmed fast path at one relaxed load after the first call.
+std::atomic<bool> g_env_pending{true};
+
+PointState parse_mode(const std::string& name, const std::string& mode) {
+  const std::vector<std::string> parts = util::split(mode, ':');
+  auto fail = [&](const char* why) {
+    throw std::invalid_argument("fault::configure: bad schedule '" + mode + "' for '" + name +
+                                "': " + why);
+  };
+  PointState s;
+  if (parts.empty()) fail("empty mode");
+  try {
+    if (parts[0] == "every" || parts[0] == "once") {
+      if (parts.size() != 2) fail("expected every:N / once:N");
+      s.mode = parts[0] == "every" ? Mode::kEvery : Mode::kOnce;
+      s.n = std::stoll(parts[1]);
+      if (s.n < 1) fail("N must be >= 1");
+    } else if (parts[0] == "prob") {
+      if (parts.size() != 3) fail("expected prob:P:SEED");
+      s.mode = Mode::kProb;
+      s.p = std::stod(parts[1]);
+      if (s.p < 0.0 || s.p > 1.0) fail("P must be in [0,1]");
+      s.seed = static_cast<std::uint64_t>(std::stoull(parts[2]));
+    } else {
+      fail("unknown mode (every/once/prob)");
+    }
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {
+    fail("unparsable number");
+  }
+  return s;
+}
+
+std::map<std::string, PointState, std::less<>> parse_spec(const std::string& spec) {
+  std::map<std::string, PointState, std::less<>> points;
+  std::string normalized = spec;
+  for (char& c : normalized) {
+    if (c == ',') c = ';';
+  }
+  for (const std::string& raw : util::split(normalized, ';')) {
+    const std::string entry = util::trim(raw);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("fault::configure: expected name=mode, got '" + entry + "'");
+    }
+    const std::string name = util::trim(entry.substr(0, eq));
+    points[name] = parse_mode(name, util::trim(entry.substr(eq + 1)));
+  }
+  return points;
+}
+
+void install(std::map<std::string, PointState, std::less<>> points) {
+  Registry& r = registry();
+  r.points = std::move(points);
+  r.env_checked = true;
+  g_env_pending.store(false, std::memory_order_relaxed);
+  g_armed.store(!r.points.empty(), std::memory_order_relaxed);
+}
+
+/// Lazy CHATPATTERN_FAULTS pickup: runs at most once, on the first point
+/// evaluation that happens before any programmatic configure().
+void check_env_locked(Registry& r) {
+  if (r.env_checked) return;
+  r.env_checked = true;
+  g_env_pending.store(false, std::memory_order_relaxed);
+  const char* env = std::getenv("CHATPATTERN_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  r.points = parse_spec(env);  // a malformed env spec throws: fail loudly
+  g_armed.store(!r.points.empty(), std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+void configure(const std::string& spec) { install(parse_spec(spec)); }
+
+void clear() { install({}); }
+
+bool should_fire(std::string_view name) {
+  if (!g_armed.load(std::memory_order_relaxed) &&
+      !g_env_pending.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  check_env_locked(r);
+  const auto it = r.points.find(name);
+  if (it == r.points.end()) return false;
+  PointState& s = it->second;
+  const long long call = ++s.calls;  // 1-based
+  bool fire = false;
+  switch (s.mode) {
+    case Mode::kEvery:
+      fire = call % s.n == 0;
+      break;
+    case Mode::kOnce:
+      fire = call == s.n;
+      break;
+    case Mode::kProb: {
+      std::uint64_t sm = s.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(call));
+      const std::uint64_t u = splitmix64(sm);
+      fire = static_cast<double>(u >> 11) * 0x1.0p-53 < s.p;
+      break;
+    }
+  }
+  if (fire) {
+    ++s.fired;
+    obs::count("fault/" + std::string(name));
+  }
+  return fire;
+}
+
+long long fired_count(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.fired;
+}
+
+long long call_count(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.calls;
+}
+
+}  // namespace cp::util::fault
+
+#endif  // CP_FAULT_DISABLED

@@ -1,0 +1,96 @@
+#pragma once
+// Deterministic, seedable fault injection (docs/ROBUSTNESS.md).
+//
+// Production code marks its failure-prone operations with named fault
+// points: `util::fault::point("denoiser/infer")` at the top of the guarded
+// call. A point is inert (one relaxed atomic load) until a schedule is
+// armed for its name, either programmatically via configure() or through
+// the CHATPATTERN_FAULTS environment variable, which is read lazily on the
+// first point() evaluation so every binary honours it with zero wiring:
+//
+//   CHATPATTERN_FAULTS='denoiser/infer=every:3;io/atomic_write=once:2'
+//
+// Schedule grammar — entries separated by ';' or ',', each `name=mode`:
+//   every:N      fire on calls N, 2N, 3N, ...        (N >= 1)
+//   once:N       fire exactly once, on call N        (N >= 1, 1-based)
+//   prob:P:SEED  fire when splitmix64(SEED, call#) < P (P in [0,1])
+//
+// Call numbering is per point and process-global. In a serial run the
+// firing pattern is exactly reproducible; under a thread pool the call
+// *indices* are still deterministic per call, but which work item draws
+// which index depends on scheduling — use every:1/once/serial runs when a
+// test needs an exact firing sequence.
+//
+// A fired point throws FaultInjected (a std::runtime_error) and bumps both
+// its internal fired counter (fired_count(), for tests) and the obs counter
+// `fault/<name>`, so injected failures are visible in run manifests.
+//
+// Building with -DCHATPATTERN_FAULTS=OFF compiles every point to nothing.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cp::util::fault {
+
+/// Thrown by point() when its schedule fires.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(std::string_view name)
+      : std::runtime_error("injected fault at '" + std::string(name) + "'"),
+        point_(name) {}
+  const std::string& point_name() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// True when fault points are compiled in (CHATPATTERN_FAULTS=ON, default).
+inline constexpr bool kCompiledIn =
+#ifdef CP_FAULT_DISABLED
+    false;
+#else
+    true;
+#endif
+
+#ifdef CP_FAULT_DISABLED
+
+inline bool armed() { return false; }
+inline void configure(const std::string&) {}
+inline void clear() {}
+inline bool should_fire(std::string_view) { return false; }
+inline long long fired_count(std::string_view) { return 0; }
+inline long long call_count(std::string_view) { return 0; }
+
+#else
+
+/// True once any schedule is active (env or configure()).
+bool armed();
+
+/// Replace the active schedules with `spec` (see grammar above; an empty
+/// spec disarms everything). Throws std::invalid_argument on a malformed
+/// spec. Also marks the env variable as consumed, so tests that configure
+/// programmatically are immune to a stray CHATPATTERN_FAULTS in the
+/// environment.
+void configure(const std::string& spec);
+
+/// Disarm every point and reset all counters.
+void clear();
+
+/// Evaluate the schedule of `name`, advancing its call counter. Returns
+/// true when the point should fail this call. Thread-safe.
+bool should_fire(std::string_view name);
+
+/// Times `name` has fired / been evaluated since the last configure/clear.
+long long fired_count(std::string_view name);
+long long call_count(std::string_view name);
+
+#endif  // CP_FAULT_DISABLED
+
+/// The fault point marker: throws FaultInjected when the armed schedule for
+/// `name` says this call fails. No-op otherwise.
+inline void point(std::string_view name) {
+  if (should_fire(name)) throw FaultInjected(name);
+}
+
+}  // namespace cp::util::fault

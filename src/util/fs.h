@@ -1,0 +1,59 @@
+#pragma once
+// Crash-safe file persistence (docs/ROBUSTNESS.md).
+//
+// atomic_write_file implements the classic tmp + fsync + rename protocol:
+// readers observe either the complete old contents or the complete new
+// contents, never a torn write — a crash (or an injected `io/atomic_write`
+// fault) mid-write leaves the destination untouched. The checksummed
+// variants append an 8-byte trailer ("CPCK" magic + little-endian CRC32 of
+// the payload) so readers also detect bit rot and truncation that rename
+// atomicity cannot: read_file_checksummed verifies and strips the trailer,
+// throwing a structured std::runtime_error on mismatch, and tolerates
+// trailer-less files for backward compatibility with pre-trailer writers
+// (a valid payload cannot end in the magic by construction of our formats).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cp::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`, continuing from
+/// `crc` (pass 0 to start a fresh checksum).
+std::uint32_t crc32(std::string_view data, std::uint32_t crc = 0);
+
+/// Whole-file read. Throws std::runtime_error when the file cannot be
+/// opened or read, or when it exceeds `max_bytes` (resource-exhaustion
+/// guard; 0 = unlimited).
+std::string read_file(const std::string& path, std::uint64_t max_bytes = 0);
+
+/// Crash-safe whole-file write: the data lands in `<path>.tmp.<pid>` in the
+/// same directory (created if missing), is flushed and fsync'd, then
+/// renamed over `path`. Throws std::runtime_error on any I/O failure, after
+/// removing the temporary. Fault point: `io/atomic_write`.
+void atomic_write_file(const std::string& path, std::string_view data);
+
+/// The 8-byte integrity trailer appended by the checksummed writers.
+inline constexpr std::string_view kCrcTrailerMagic = "CPCK";
+inline constexpr std::size_t kCrcTrailerBytes = 8;
+
+/// `data` + trailer, atomically (see atomic_write_file).
+void atomic_write_file_checksummed(const std::string& path, std::string_view data);
+
+/// True when `data` ends in a trailer whose magic matches (the CRC is not
+/// yet checked — see strip_crc_trailer).
+bool has_crc_trailer(std::string_view data);
+
+/// Verify and remove the trailer in place. Returns true when a valid
+/// trailer was stripped, false when no trailer is present (legacy file).
+/// Throws std::runtime_error("<context>: checksum mismatch ...") when the
+/// trailer magic is present but the CRC disagrees — the corruption signal.
+bool strip_crc_trailer(std::string& data, const std::string& context);
+
+/// read_file + strip_crc_trailer. `require_trailer` additionally rejects
+/// trailer-less files (for formats that have always been checksummed).
+std::string read_file_checksummed(const std::string& path, const std::string& context,
+                                  bool require_trailer = false,
+                                  std::uint64_t max_bytes = 0);
+
+}  // namespace cp::util

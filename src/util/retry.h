@@ -1,0 +1,84 @@
+#pragma once
+// Bounded retry with capped exponential backoff and deterministic jitter
+// (docs/ROBUSTNESS.md "Retry and fallback semantics").
+//
+// retry_call(policy, rng, fn) invokes fn() up to policy.max_attempts times,
+// swallowing std::exception failures between attempts and rethrowing the
+// last one when the budget is exhausted. The sleep before attempt k+1 is
+//
+//     min(max_delay_ms, base_delay_ms * backoff^k) * (0.5 + 0.5 * u)
+//
+// with u drawn from the caller-supplied Rng — callers derive it from
+// Rng::fork of their work item's stream, so the jitter sequence (like every
+// other random choice in this codebase) is a pure function of the root
+// seed, never of wall-clock or thread identity. A base_delay_ms of 0 (the
+// default) retries immediately, which is what deterministic tests and the
+// serving fast path want; real deployments set a small base so a struggling
+// dependency gets breathing room.
+//
+// The policy deliberately retries *calls*, not state: fn must be safe to
+// re-invoke from scratch (our call sites re-fork their sample Rng per
+// attempt, so a retried draw is bit-identical to an undisturbed first try).
+
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <type_traits>
+
+#include "util/rng.h"
+
+namespace cp::util {
+
+struct RetryPolicy {
+  int max_attempts = 3;        // total tries, including the first
+  double base_delay_ms = 0.0;  // 0 = no sleep between attempts
+  double max_delay_ms = 50.0;  // backoff cap
+  double backoff = 2.0;        // delay multiplier per failed attempt
+};
+
+/// Backoff before attempt `attempt`+1 (0-based failed attempt index), with
+/// jitter from `rng`. Exposed for tests; retry_call uses it internally.
+inline double backoff_delay_ms(const RetryPolicy& policy, int attempt, Rng& rng) {
+  double delay = policy.base_delay_ms;
+  for (int i = 0; i < attempt && delay < policy.max_delay_ms; ++i) delay *= policy.backoff;
+  if (delay > policy.max_delay_ms) delay = policy.max_delay_ms;
+  return delay * (0.5 + 0.5 * rng.uniform());
+}
+
+/// Outcome bookkeeping a call site can feed into its own counters.
+struct RetryStats {
+  int attempts = 0;  // attempts actually made
+  bool succeeded = false;
+};
+
+/// Run fn() with bounded retries. Returns fn()'s value on the first
+/// success; rethrows the final failure once max_attempts std::exceptions
+/// have been swallowed. Non-std::exception throwables propagate
+/// immediately (they are not failures, they are bugs).
+template <typename F>
+auto retry_call(const RetryPolicy& policy, Rng& rng, F&& fn, RetryStats* stats = nullptr)
+    -> decltype(fn()) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (stats != nullptr) ++stats->attempts;
+      if constexpr (std::is_void_v<decltype(fn())>) {
+        fn();
+        if (stats != nullptr) stats->succeeded = true;
+        return;
+      } else {
+        auto result = fn();
+        if (stats != nullptr) stats->succeeded = true;
+        return result;
+      }
+    } catch (const std::exception&) {
+      if (attempt + 1 >= attempts) throw;
+      const double delay = backoff_delay_ms(policy, attempt, rng);
+      if (delay > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+      }
+    }
+  }
+}
+
+}  // namespace cp::util

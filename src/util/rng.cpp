@@ -83,6 +83,22 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+Rng::State Rng::state() const {
+  State out;
+  out.seed = seed_;
+  for (int i = 0; i < 4; ++i) out.s[i] = s_[i];
+  out.has_spare_normal = has_spare_normal_;
+  out.spare_normal = spare_normal_;
+  return out;
+}
+
+void Rng::restore(const State& state) {
+  seed_ = state.seed;
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_spare_normal_ = state.has_spare_normal;
+  spare_normal_ = state.spare_normal;
+}
+
 Rng Rng::fork() { return Rng(next_u64()); }
 
 Rng Rng::fork(std::uint64_t stream) const {

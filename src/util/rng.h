@@ -65,6 +65,18 @@ class Rng {
   /// The seed this generator was constructed from (root of fork(i) streams).
   std::uint64_t seed() const { return seed_; }
 
+  /// Complete generator state, for checkpoint/resume: a generator restored
+  /// from a snapshot produces the exact draw sequence the snapshotted one
+  /// would have (including a buffered Box-Muller spare normal).
+  struct State {
+    std::uint64_t seed = 0;
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_spare_normal = false;
+    double spare_normal = 0.0;
+  };
+  State state() const;
+  void restore(const State& state);
+
  private:
   std::uint64_t seed_;
   std::uint64_t s_[4];

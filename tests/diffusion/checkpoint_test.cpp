@@ -1,0 +1,187 @@
+// Trainer checkpoint/resume (diffusion/checkpoint.h, docs/ROBUSTNESS.md):
+// a run killed between checkpoints resumes from the last snapshot and
+// produces weights bit-identical to an uninterrupted run; corrupt or
+// mismatched checkpoints fall back to a fresh train instead of crashing.
+
+#include "diffusion/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "diffusion/trainer.h"
+#include "util/fs.h"
+
+namespace cp::diffusion {
+namespace {
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+squish::Topology stripes(int n, int period) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, (c / period) % 2);
+  }
+  return t;
+}
+
+std::vector<std::vector<squish::Topology>> stripe_classes() {
+  std::vector<std::vector<squish::Topology>> per_class(2);
+  for (int p = 2; p <= 4; ++p) {
+    per_class[0].push_back(stripes(24, p));
+    per_class[1].push_back(stripes(24, p).transposed());
+  }
+  return per_class;
+}
+
+TrainConfig base_config() {
+  TrainConfig cfg;
+  cfg.iterations = 60;
+  cfg.batch_pixels = 64;
+  cfg.lr = 3e-3f;
+  cfg.seed = 5;
+  return cfg;
+}
+
+MlpDenoiser make_model(const NoiseSchedule& schedule, std::uint64_t init_seed) {
+  util::Rng rng(init_seed);
+  return MlpDenoiser(schedule, MlpConfig{2, 16, 2}, rng);
+}
+
+void expect_same_params(MlpDenoiser& a, MlpDenoiser& b) {
+  const auto& pa = a.net().params();
+  const auto& pb = b.net().params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_TRUE(pa[i]->value.same_shape(pb[i]->value));
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j) {
+      ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]) << "param " << i << " element " << j;
+    }
+  }
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  MlpDenoiser model = make_model(schedule, 1);
+  nn::Adam opt(model.net().params(), 1e-3f);
+  util::Rng rng(77);
+  (void)rng.next_u64();  // advance so the saved state is mid-stream
+  const TrainConfig cfg = base_config();
+  const std::string path = temp_path("cp_roundtrip.ckpt");
+
+  save_trainer_checkpoint(path, model, opt, rng, /*next_iter=*/20, cfg);
+
+  MlpDenoiser restored = make_model(schedule, 2);  // different init on purpose
+  nn::Adam ropt(restored.net().params(), 1e-3f);
+  util::Rng rrng(0);
+  int next_iter = -1;
+  ASSERT_TRUE(load_trainer_checkpoint(path, restored, ropt, rrng, &next_iter, cfg));
+  EXPECT_EQ(next_iter, 20);
+  expect_same_params(model, restored);
+  // The restored RNG continues the exact stream of the saved one.
+  EXPECT_EQ(rng.next_u64(), rrng.next_u64());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileReturnsFalse) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  MlpDenoiser model = make_model(schedule, 1);
+  nn::Adam opt(model.net().params());
+  util::Rng rng(1);
+  int next_iter = -1;
+  EXPECT_FALSE(load_trainer_checkpoint(temp_path("cp_nonexistent.ckpt"), model, opt, rng,
+                                       &next_iter, base_config()));
+}
+
+TEST(CheckpointTest, FingerprintMismatchReturnsFalse) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  MlpDenoiser model = make_model(schedule, 1);
+  nn::Adam opt(model.net().params());
+  util::Rng rng(1);
+  const TrainConfig cfg = base_config();
+  const std::string path = temp_path("cp_fingerprint.ckpt");
+  save_trainer_checkpoint(path, model, opt, rng, 10, cfg);
+
+  TrainConfig other = cfg;
+  other.seed = cfg.seed + 1;  // a different run — its checkpoint must not apply
+  int next_iter = -1;
+  EXPECT_FALSE(load_trainer_checkpoint(path, model, opt, rng, &next_iter, other));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CorruptFileThrows) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  MlpDenoiser model = make_model(schedule, 1);
+  nn::Adam opt(model.net().params());
+  util::Rng rng(1);
+  const TrainConfig cfg = base_config();
+  const std::string path = temp_path("cp_corrupt.ckpt");
+  save_trainer_checkpoint(path, model, opt, rng, 10, cfg);
+
+  std::string raw = util::read_file(path);
+  raw[raw.size() / 2] ^= 0x10;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+  }
+  int next_iter = -1;
+  EXPECT_THROW((void)load_trainer_checkpoint(path, model, opt, rng, &next_iter, cfg),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, KilledRunResumesBitIdentically) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  const auto data = stripe_classes();
+  const std::string path = temp_path("cp_resume.ckpt");
+  std::remove(path.c_str());
+
+  // Reference: one uninterrupted run, no checkpointing involved.
+  MlpDenoiser reference = make_model(schedule, 3);
+  train_mlp(reference, data, base_config());
+
+  // Checkpointed run: snapshots land at iterations 20 and 40 (never at the
+  // final iteration), so after it finishes the iteration-40 snapshot is
+  // exactly what a kill between iteration 40 and 60 would leave on disk.
+  MlpDenoiser victim = make_model(schedule, 3);
+  TrainConfig partial = base_config();
+  partial.checkpoint_path = path;
+  partial.checkpoint_every = 20;
+  train_mlp(victim, data, partial);
+  expect_same_params(victim, reference);  // checkpointing must not perturb
+
+  // Resume: a differently-initialized model picks up the iteration-40
+  // snapshot left on disk and replays only iterations 40..59. If resume
+  // restores params + Adam moments + RNG exactly, the result is
+  // bit-identical to the uninterrupted reference despite the alien init.
+  MlpDenoiser resumed = make_model(schedule, 999);
+  const TrainStats stats = train_mlp(resumed, data, partial);
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+  expect_same_params(resumed, reference);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CorruptCheckpointFallsBackToFreshTraining) {
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  const auto data = stripe_classes();
+  const std::string path = temp_path("cp_fallback.ckpt");
+
+  MlpDenoiser reference = make_model(schedule, 4);
+  train_mlp(reference, data, base_config());
+
+  // Garbage where a checkpoint should be: train_mlp logs and starts fresh.
+  util::atomic_write_file(path, "this is not a checkpoint");
+  MlpDenoiser model = make_model(schedule, 4);
+  TrainConfig cfg = base_config();
+  cfg.checkpoint_path = path;
+  train_mlp(model, data, cfg);
+  expect_same_params(model, reference);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cp::diffusion

@@ -20,6 +20,7 @@
 #include "drc/rules.h"
 #include "legalize/legalizer.h"
 #include "squish/squish.h"
+#include "util/fs.h"
 #include "util/rng.h"
 
 #ifndef CP_GOLDEN_DIR
@@ -32,9 +33,9 @@ namespace {
 void golden_compare(const std::string& name, const std::string& actual) {
   const std::string path = std::string(CP_GOLDEN_DIR) + "/" + name;
   if (std::getenv("CP_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(path);
-    ASSERT_TRUE(out.good()) << "cannot write " << path;
-    out << actual;
+    // Atomic regeneration: an interrupted update never leaves a half-written
+    // golden file to confuse the next comparison run.
+    ASSERT_NO_THROW(util::atomic_write_file(path, actual)) << "cannot write " << path;
     GTEST_SKIP() << "regenerated " << path;
   }
   std::ifstream in(path);

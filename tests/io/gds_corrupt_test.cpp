@@ -1,0 +1,148 @@
+// Corrupted-input robustness of the GDSII reader (docs/ROBUSTNESS.md): a
+// truncated, bit-flipped or zero-filled file must always surface as a clean
+// std::runtime_error — never a crash, hang, or silently wrong library.
+// Runs under ASan/UBSan via the CHATPATTERN_ASAN/UBSAN build options.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "io/gds.h"
+#include "util/fault.h"
+#include "util/fs.h"
+
+namespace cp::io {
+namespace {
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+/// A small two-structure library with several boundaries to corrupt.
+std::string write_fixture(const char* name) {
+  GdsLibrary lib;
+  lib.name = "CORRUPTION_FIXTURE";
+  for (int s = 0; s < 2; ++s) {
+    GdsStructure str;
+    str.name = "PAT" + std::to_string(s);
+    str.layer = 1 + s;
+    for (int i = 0; i < 3; ++i) {
+      str.rects.push_back({i * 100, s * 50, i * 100 + 60, s * 50 + 40});
+    }
+    lib.structures.push_back(std::move(str));
+  }
+  const std::string path = temp_path(name);
+  write_gds(path, lib);
+  return path;
+}
+
+void overwrite(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+/// The reader contract under corruption: either a clean parse (corruption
+/// hit a benign spot) or std::runtime_error. Anything else fails the test.
+void expect_clean_failure_or_parse(const std::string& path, const std::string& what) {
+  try {
+    const GdsLibrary lib = read_gds(path);
+    (void)lib;
+  } catch (const std::runtime_error&) {
+    // expected failure mode
+  } catch (...) {
+    FAIL() << what << ": escaped with a non-runtime_error exception";
+  }
+}
+
+TEST(GdsCorruptTest, RoundTripBaseline) {
+  const std::string path = write_fixture("corrupt_base.gds");
+  const GdsLibrary lib = read_gds(path);
+  EXPECT_EQ(lib.name, "CORRUPTION_FIXTURE");
+  ASSERT_EQ(lib.structures.size(), 2u);
+  EXPECT_EQ(lib.structures[0].rects.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(GdsCorruptTest, TruncationAtEveryPrefixLength) {
+  const std::string path = write_fixture("corrupt_trunc.gds");
+  const std::string original = util::read_file(path);
+  const std::string victim = temp_path("corrupt_trunc_victim.gds");
+  // Every prefix (stepping 3 to keep runtime sane) must fail cleanly: the
+  // CRC trailer is gone, so this exercises the raw record-parser guards.
+  for (std::size_t len = 0; len + 1 < original.size(); len += 3) {
+    overwrite(victim, original.substr(0, len));
+    expect_clean_failure_or_parse(victim, "truncate to " + std::to_string(len));
+  }
+  std::remove(path.c_str());
+  std::remove(victim.c_str());
+}
+
+TEST(GdsCorruptTest, BitFlipAtEveryByte) {
+  const std::string path = write_fixture("corrupt_flip.gds");
+  const std::string original = util::read_file(path);
+  const std::string victim = temp_path("corrupt_flip_victim.gds");
+  long long checksum_catches = 0;
+  for (std::size_t pos = 0; pos < original.size(); ++pos) {
+    std::string mutated = original;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x20);
+    overwrite(victim, mutated);
+    try {
+      (void)read_gds(victim);
+    } catch (const std::runtime_error& e) {
+      if (std::string(e.what()).find("checksum") != std::string::npos) ++checksum_catches;
+    } catch (...) {
+      FAIL() << "bit flip at " << pos << " escaped with a non-runtime_error exception";
+    }
+  }
+  // Most payload flips must be caught by the CRC trailer specifically.
+  EXPECT_GT(checksum_catches, static_cast<long long>(original.size() / 2));
+  std::remove(path.c_str());
+  std::remove(victim.c_str());
+}
+
+TEST(GdsCorruptTest, ZeroFilledRegions) {
+  const std::string path = write_fixture("corrupt_zero.gds");
+  const std::string original = util::read_file(path);
+  const std::string victim = temp_path("corrupt_zero_victim.gds");
+  for (std::size_t start = 0; start + 8 <= original.size(); start += 8) {
+    std::string mutated = original;
+    for (std::size_t i = start; i < start + 8; ++i) mutated[i] = '\0';
+    overwrite(victim, mutated);
+    expect_clean_failure_or_parse(victim, "zero-fill at " + std::to_string(start));
+  }
+  // Fully zeroed file of the original size.
+  overwrite(victim, std::string(original.size(), '\0'));
+  expect_clean_failure_or_parse(victim, "all zeros");
+  std::remove(path.c_str());
+  std::remove(victim.c_str());
+}
+
+TEST(GdsCorruptTest, DeclaredLengthBeyondFileEnd) {
+  const std::string path = write_fixture("corrupt_len.gds");
+  std::string data = util::read_file(path);
+  util::strip_crc_trailer(data, "test");
+  // Inflate the first record's big-endian length field far past EOF.
+  data[0] = '\x7f';
+  data[1] = '\x7f';
+  const std::string victim = temp_path("corrupt_len_victim.gds");
+  overwrite(victim, data);
+  EXPECT_THROW((void)read_gds(victim), std::runtime_error);
+  std::remove(path.c_str());
+  std::remove(victim.c_str());
+}
+
+TEST(GdsCorruptTest, InjectedReadAndWriteFaults) {
+  const std::string path = write_fixture("corrupt_fault.gds");
+  util::fault::configure("gds/read=once:1");
+  EXPECT_THROW((void)read_gds(path), util::fault::FaultInjected);
+  util::fault::configure("gds/write=once:1");
+  EXPECT_THROW(write_gds(path, GdsLibrary{}), util::fault::FaultInjected);
+  util::fault::clear();
+  // The failed write must not have damaged the existing file.
+  EXPECT_NO_THROW((void)read_gds(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cp::io

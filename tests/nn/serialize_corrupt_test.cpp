@@ -1,0 +1,164 @@
+// Corrupted-input robustness of the on-disk parameter format
+// (docs/ROBUSTNESS.md): truncated, bit-flipped, or zero-filled files must
+// always be rejected with a clean std::runtime_error — never a crash, hang,
+// or a silently garbage-initialized model. Runs under ASan/UBSan via the
+// CHATPATTERN_ASAN/UBSAN build options.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/serialize.h"
+#include "util/fault.h"
+#include "util/fs.h"
+#include "util/rng.h"
+
+namespace cp::nn {
+namespace {
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+void overwrite(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+struct ParamFixture {
+  Param w, b;
+  std::vector<Param*> params() { return {&w, &b}; }
+};
+
+ParamFixture make_fixture(std::uint64_t seed) {
+  util::Rng rng(seed);
+  ParamFixture f;
+  f.w.value = Tensor::randn({8, 8}, rng);
+  f.b.value = Tensor::randn({8}, rng);
+  return f;
+}
+
+/// load_params_file under corruption must either throw std::runtime_error or
+/// (when a flip happens to land benignly) succeed cleanly; and on failure the
+/// target params must not be trusted by the caller anyway.
+void expect_clean_failure_or_load(const std::string& path, const std::string& what) {
+  ParamFixture target = make_fixture(999);
+  try {
+    (void)load_params_file(path, target.params());
+  } catch (const std::runtime_error&) {
+    // expected failure mode
+  } catch (...) {
+    FAIL() << what << ": escaped with a non-runtime_error exception";
+  }
+}
+
+TEST(SerializeCorruptTest, RoundTripBaseline) {
+  ParamFixture saved = make_fixture(1);
+  const std::string path = temp_path("params_base.bin");
+  save_params_file(path, saved.params());
+
+  ParamFixture loaded = make_fixture(2);
+  ASSERT_TRUE(load_params_file(path, loaded.params()));
+  for (std::size_t i = 0; i < saved.w.value.numel(); ++i) {
+    ASSERT_FLOAT_EQ(loaded.w.value[i], saved.w.value[i]);
+  }
+  EXPECT_FALSE(load_params_file(temp_path("params_missing.bin"), loaded.params()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeCorruptTest, TruncationAtEveryPrefixLength) {
+  ParamFixture saved = make_fixture(3);
+  const std::string path = temp_path("params_trunc.bin");
+  save_params_file(path, saved.params());
+  const std::string original = util::read_file(path);
+  const std::string victim = temp_path("params_trunc_victim.bin");
+  for (std::size_t len = 0; len + 1 < original.size(); len += 5) {
+    overwrite(victim, original.substr(0, len));
+    ParamFixture target = make_fixture(4);
+    EXPECT_THROW((void)load_params_file(victim, target.params()), std::runtime_error)
+        << "truncate to " << len << " bytes must be rejected";
+  }
+  std::remove(path.c_str());
+  std::remove(victim.c_str());
+}
+
+TEST(SerializeCorruptTest, BitFlipAtEveryByte) {
+  ParamFixture saved = make_fixture(5);
+  const std::string path = temp_path("params_flip.bin");
+  save_params_file(path, saved.params());
+  const std::string original = util::read_file(path);
+  const std::string victim = temp_path("params_flip_victim.bin");
+  // With the CRC trailer present, every single-bit payload flip must throw
+  // (a flip inside the trailer itself also breaks the checksum match).
+  for (std::size_t pos = 0; pos < original.size(); ++pos) {
+    std::string mutated = original;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x01);
+    overwrite(victim, mutated);
+    ParamFixture target = make_fixture(6);
+    EXPECT_THROW((void)load_params_file(victim, target.params()), std::runtime_error)
+        << "bit flip at byte " << pos << " must be rejected";
+  }
+  std::remove(path.c_str());
+  std::remove(victim.c_str());
+}
+
+TEST(SerializeCorruptTest, ZeroFilledRegions) {
+  ParamFixture saved = make_fixture(7);
+  const std::string path = temp_path("params_zero.bin");
+  save_params_file(path, saved.params());
+  const std::string original = util::read_file(path);
+  const std::string victim = temp_path("params_zero_victim.bin");
+  for (std::size_t start = 0; start + 16 <= original.size(); start += 16) {
+    std::string mutated = original;
+    for (std::size_t i = start; i < start + 16; ++i) mutated[i] = '\0';
+    overwrite(victim, mutated);
+    ParamFixture target = make_fixture(8);
+    EXPECT_THROW((void)load_params_file(victim, target.params()), std::runtime_error)
+        << "zero-fill at byte " << start << " must be rejected";
+  }
+  overwrite(victim, std::string(original.size(), '\0'));
+  expect_clean_failure_or_load(victim, "all zeros");
+  std::remove(path.c_str());
+  std::remove(victim.c_str());
+}
+
+TEST(SerializeCorruptTest, TrailerlessLegacyFileStillLoads) {
+  ParamFixture saved = make_fixture(9);
+  const std::string path = temp_path("params_legacy.bin");
+  save_params_file(path, saved.params());
+  // Strip the CRC trailer to emulate a file written before this format
+  // revision; the reader must still accept it.
+  std::string data = util::read_file(path);
+  ASSERT_TRUE(util::strip_crc_trailer(data, "test"));
+  overwrite(path, data);
+  ParamFixture loaded = make_fixture(10);
+  ASSERT_TRUE(load_params_file(path, loaded.params()));
+  for (std::size_t i = 0; i < saved.b.value.numel(); ++i) {
+    ASSERT_FLOAT_EQ(loaded.b.value[i], saved.b.value[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeCorruptTest, InjectedWriteFaultLeavesOldParamsIntact) {
+  ParamFixture first = make_fixture(11);
+  const std::string path = temp_path("params_fault.bin");
+  save_params_file(path, first.params());
+
+  ParamFixture second = make_fixture(12);
+  util::fault::configure("io/write=once:1");
+  EXPECT_THROW(save_params_file(path, second.params()), util::fault::FaultInjected);
+  util::fault::clear();
+
+  // The aborted save must not have torn the previous file.
+  ParamFixture loaded = make_fixture(13);
+  ASSERT_TRUE(load_params_file(path, loaded.params()));
+  for (std::size_t i = 0; i < first.w.value.numel(); ++i) {
+    ASSERT_FLOAT_EQ(loaded.w.value[i], first.w.value[i]);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cp::nn

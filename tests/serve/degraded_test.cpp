@@ -1,0 +1,150 @@
+// Degraded-mode serving (docs/ROBUSTNESS.md): injected sampling and
+// legalization faults must never kill the dispatcher or drop a request —
+// transient faults are absorbed bit-identically by retries, total primary
+// failure falls back to the degraded generator, and degraded payloads are
+// never cached.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.h"
+#include "tests/serve/serve_fixture.h"
+#include "util/fault.h"
+
+namespace cp::serve {
+namespace {
+
+class DegradedTest : public testing::ServeFixture {
+ protected:
+  void TearDown() override { util::fault::clear(); }
+
+  ServerConfig serial_config() const {
+    ServerConfig config;
+    config.workers = 1;  // fault call counters are process-global: keep the
+                         // firing schedule exactly reproducible
+    return config;
+  }
+
+  /// Replay `seeds` one request at a time (so fault call indices do not
+  /// depend on batching) and return each result.
+  std::vector<GenerationResult> replay(Server& server, const std::vector<std::uint64_t>& seeds) {
+    std::vector<GenerationResult> results;
+    for (std::uint64_t seed : seeds) {
+      Server::Submitted s = server.submit(make_request("r" + std::to_string(seed), seed));
+      results.push_back(s.result.get());
+    }
+    return results;
+  }
+};
+
+TEST_F(DegradedTest, TransientSamplingFaultsAreBitIdenticallyAbsorbed) {
+  const std::vector<std::uint64_t> seeds = {10, 11, 12, 13, 14, 15};
+
+  std::vector<std::uint64_t> baseline;
+  {
+    Server server(sampler_, legalizers(), serial_config());
+    for (const GenerationResult& r : replay(server, seeds)) {
+      ASSERT_TRUE(r.ok());
+      baseline.push_back(r.library_hash());
+    }
+    server.shutdown();
+  }
+
+  // Every third primary attempt throws; the default 3-attempt retry re-forks
+  // the identical Rng stream, so payloads must not change at all.
+  util::fault::configure("denoiser/infer=every:3");
+  Server server(sampler_, legalizers(), serial_config());
+  const std::vector<GenerationResult> results = replay(server, seeds);
+  server.shutdown();
+  ASSERT_GT(util::fault::fired_count("denoiser/infer"), 0);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "seed " << seeds[i];
+    EXPECT_FALSE(results[i].degraded) << "transient faults must never reach the fallback";
+    EXPECT_EQ(results[i].library_hash(), baseline[i]) << "seed " << seeds[i];
+  }
+}
+
+TEST_F(DegradedTest, TotalPrimaryFailureServesDegradedFromFallback) {
+  ServerConfig config = serial_config();
+  config.fallback = &sampler_.fine_sampler();
+  util::fault::configure("denoiser/infer=every:1");
+
+  Server server(sampler_, legalizers(), config);
+  const std::vector<GenerationResult> results = replay(server, {20, 21, 22});
+  server.shutdown();
+  for (const GenerationResult& r : results) {
+    ASSERT_TRUE(r.ok()) << r.reason;
+    EXPECT_TRUE(r.degraded) << "every sample came from the fallback";
+    EXPECT_GT(r.delivered(), 0u);
+  }
+}
+
+TEST_F(DegradedTest, DegradedPayloadsAreNeverCached) {
+  ServerConfig config = serial_config();
+  config.fallback = &sampler_.fine_sampler();
+  Server server(sampler_, legalizers(), config);
+
+  util::fault::configure("denoiser/infer=every:1");
+  Server::Submitted first = server.submit(make_request("first", 30));
+  const GenerationResult degraded = first.result.get();
+  ASSERT_TRUE(degraded.ok());
+  ASSERT_TRUE(degraded.degraded);
+
+  // Faults gone: the identical request must be generated fresh by the
+  // primary, not served from a cache poisoned with the degraded payload.
+  util::fault::clear();
+  Server::Submitted second = server.submit(make_request("second", 30));
+  const GenerationResult healthy = second.result.get();
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_FALSE(healthy.cache_hit) << "degraded payloads must not be cached";
+  EXPECT_FALSE(healthy.degraded);
+
+  // A healthy result does get cached.
+  Server::Submitted third = server.submit(make_request("third", 30));
+  const GenerationResult cached = third.result.get();
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached.cache_hit);
+  EXPECT_FALSE(cached.degraded);
+  EXPECT_EQ(cached.library_hash(), healthy.library_hash());
+  server.shutdown();
+}
+
+TEST_F(DegradedTest, NoFallbackCompletesIncompleteInsteadOfHanging) {
+  util::fault::configure("denoiser/infer=every:1");
+  Server server(sampler_, legalizers(), serial_config());  // no fallback
+  Server::Submitted s = server.submit(make_request("doomed", 40));
+  const GenerationResult r = s.result.get();  // must return, not hang
+  server.shutdown();
+  EXPECT_EQ(r.status, RequestStatus::kIncomplete);
+  EXPECT_EQ(r.delivered(), 0u);
+  EXPECT_FALSE(r.degraded);
+}
+
+TEST_F(DegradedTest, TransientLegalizationFaultsRetrySameCandidate) {
+  const std::vector<std::uint64_t> seeds = {50, 51, 52};
+  std::vector<std::uint64_t> baseline;
+  {
+    Server server(sampler_, legalizers(), serial_config());
+    for (const GenerationResult& r : replay(server, seeds)) {
+      ASSERT_TRUE(r.ok());
+      baseline.push_back(r.library_hash());
+    }
+    server.shutdown();
+  }
+
+  util::fault::configure("legalize/run=every:2");
+  Server server(sampler_, legalizers(), serial_config());
+  const std::vector<GenerationResult> results = replay(server, seeds);
+  server.shutdown();
+  ASSERT_GT(util::fault::fired_count("legalize/run"), 0);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "seed " << seeds[i];
+    EXPECT_FALSE(results[i].degraded);
+    EXPECT_EQ(results[i].library_hash(), baseline[i]) << "seed " << seeds[i];
+  }
+}
+
+}  // namespace
+}  // namespace cp::serve

@@ -74,6 +74,10 @@ int main(int argc, char** argv) {
 
   const std::vector<const legalize::Legalizer*> legalizers = {&env.chat->legalizer(0),
                                                               &env.chat->legalizer(1)};
+  // Degraded-mode fallback: when the cascade sampler's retry budget is
+  // exhausted (injected or real faults), requests are served from the
+  // single-resolution fine sampler and marked degraded instead of failing.
+  config.fallback = &env.chat->fine_sampler();
   serve::Server server(env.chat->sampler(), legalizers, config);
 
   // One slot per input line, in input order. Parse failures complete
@@ -114,8 +118,8 @@ int main(int argc, char** argv) {
     combined ^= v;
     combined *= 1099511628211ULL;
   };
-  long long ok = 0, incomplete = 0, rejected = 0, expired = 0, cancelled = 0;
-  long long cache_hits = 0, deduped = 0;
+  long long ok = 0, incomplete = 0, rejected = 0, expired = 0, cancelled = 0, failed = 0;
+  long long cache_hits = 0, deduped = 0, degraded = 0;
   for (Slot& slot : slots) {
     serve::GenerationResult result =
         slot.submitted ? slot.future.get() : std::move(slot.immediate);
@@ -125,9 +129,11 @@ int main(int argc, char** argv) {
       case serve::RequestStatus::kRejected: ++rejected; break;
       case serve::RequestStatus::kDeadlineExpired: ++expired; break;
       case serve::RequestStatus::kCancelled: ++cancelled; break;
+      case serve::RequestStatus::kFailed: ++failed; break;
     }
     if (result.cache_hit) ++cache_hits;
     if (result.deduped) ++deduped;
+    if (result.degraded) ++degraded;
     fnv(result.library_hash());
     (*out) << result.to_json().dump() << "\n";
   }
@@ -136,9 +142,10 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "[serve] replayed %zu requests: ok %lld, incomplete %lld, rejected %lld, "
-               "expired %lld, cancelled %lld; cache hits %lld, deduped %lld\n",
-               slots.size(), ok, incomplete, rejected, expired, cancelled, cache_hits,
-               deduped);
+               "expired %lld, cancelled %lld, failed %lld; cache hits %lld, deduped %lld, "
+               "degraded %lld\n",
+               slots.size(), ok, incomplete, rejected, expired, cancelled, failed,
+               cache_hits, deduped, degraded);
   std::fprintf(stderr, "[serve] combined_hash %016llx workers %d\n",
                static_cast<unsigned long long>(combined), config.workers);
 
@@ -146,6 +153,8 @@ int main(int argc, char** argv) {
   env.manifest.metrics["ok"] = ok;
   env.manifest.metrics["incomplete"] = incomplete;
   env.manifest.metrics["rejected"] = rejected;
+  env.manifest.metrics["failed"] = failed;
+  env.manifest.metrics["degraded"] = degraded;
   env.manifest.metrics["cache_hits"] = cache_hits;
   env.manifest.metrics["deduped"] = deduped;
   env.manifest.metrics["workers"] = config.workers;
