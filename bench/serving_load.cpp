@@ -11,9 +11,18 @@
 //                   cold scenario's (the cache-path speedup the JSON
 //                   records).
 //
+//   * fast_mode    — the few-step engine end-to-end through the serving
+//                   layer: the same distinct-content trace once with the
+//                   full K-step reverse chain and once with a few-step
+//                   request (`schedule` + small `steps`), served over the
+//                   single-resolution sampler (the cascade pins its own
+//                   tuned step budgets, so it would mask the knob). The
+//                   JSON records the fast-mode throughput multiple.
+//
 // Results are written to BENCH_serving.json (override with --json FILE).
 // Extra flags on top of bench/common.h: --json FILE, --requests N,
-// --distinct K, --workers N, --rows N, --legalize 0|1.
+// --distinct K, --workers N, --rows N, --legalize 0|1, --fast_requests N,
+// --fast_steps N, --fast_schedule KIND.
 
 #include <algorithm>
 #include <chrono>
@@ -43,10 +52,11 @@ double percentile(std::vector<double> sorted, double p) {
 }
 
 ScenarioResult run_scenario(const bench::Env& env, const serve::ServerConfig& config,
-                            const std::vector<serve::GenerationRequest>& trace) {
+                            const std::vector<serve::GenerationRequest>& trace,
+                            const diffusion::TopologyGenerator* generator = nullptr) {
   const std::vector<const legalize::Legalizer*> legalizers = {&env.chat->legalizer(0),
                                                               &env.chat->legalizer(1)};
-  serve::Server server(env.chat->sampler(), legalizers, config);
+  serve::Server server(generator ? *generator : env.chat->sampler(), legalizers, config);
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::future<serve::GenerationResult>> futures;
@@ -150,6 +160,40 @@ int main(int argc, char** argv) {
   const double speedup = cold.throughput_rps > 0 ? dup.throughput_rps / cold.throughput_rps : 0;
   std::printf("  cache-path speedup: %.2fx\n", speedup);
 
+  // Fast-mode: few-step requests end-to-end. Small distinct-content traces
+  // (the full chain is ~20x the work per request), identical seeds in both,
+  // served over the single-resolution sampler where the per-request
+  // `steps`/`schedule` fields are honored exactly.
+  const long long fast_requests = std::max<long long>(1, flags.get_int("fast_requests", 12));
+  const int fast_steps = static_cast<int>(flags.get_int("fast_steps", 24));
+  const std::string fast_schedule = flags.get("fast_schedule", "quadratic");
+  const int chain_steps = env.chat->schedule().steps();
+  std::vector<serve::GenerationRequest> full_trace, fast_trace;
+  for (long long i = 0; i < fast_requests; ++i) {
+    serve::GenerationRequest r = make_request(i, static_cast<std::uint64_t>(5000 + i));
+    r.id = "full-" + std::to_string(i);
+    r.sample_steps = chain_steps;  // count >= K visits every level: full chain
+    full_trace.push_back(r);
+    r.id = "fast-" + std::to_string(i);
+    r.sample_steps = fast_steps;
+    r.schedule = fast_schedule;
+    fast_trace.push_back(std::move(r));
+  }
+  const diffusion::TopologyGenerator& flat = env.chat->fine_sampler();
+  const ScenarioResult full = run_scenario(env, config, full_trace, &flat);
+  std::printf("  full_chain:      %7.1f req/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms"
+              "  (%lld requests, %d steps)\n",
+              full.throughput_rps, full.p50_ms, full.p95_ms, full.p99_ms, fast_requests,
+              chain_steps);
+  const ScenarioResult fast = run_scenario(env, config, fast_trace, &flat);
+  std::printf("  fast_mode:       %7.1f req/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms"
+              "  (schedule %s, %d steps)\n",
+              fast.throughput_rps, fast.p50_ms, fast.p95_ms, fast.p99_ms,
+              fast_schedule.c_str(), fast_steps);
+  const double fast_speedup =
+      full.throughput_rps > 0 ? fast.throughput_rps / full.throughput_rps : 0;
+  std::printf("  fast-mode speedup: %.2fx\n", fast_speedup);
+
   util::Json report;
   report["bench"] = std::string("serving_load");
   report["workers"] = static_cast<long long>(config.workers);
@@ -161,6 +205,14 @@ int main(int argc, char** argv) {
   report["cold"] = to_json(cold, cold_trace.size());
   report["duplicate_heavy"] = to_json(dup, dup_trace.size());
   report["cache_speedup"] = speedup;
+  util::Json fast_mode;
+  fast_mode["steps"] = static_cast<long long>(fast_steps);
+  fast_mode["schedule"] = fast_schedule;
+  fast_mode["chain_steps"] = static_cast<long long>(chain_steps);
+  fast_mode["full_chain"] = to_json(full, full_trace.size());
+  fast_mode["fast"] = to_json(fast, fast_trace.size());
+  fast_mode["speedup"] = fast_speedup;
+  report["fast_mode"] = std::move(fast_mode);
   std::ofstream out = bench::open_output(json_path);
   out << report.dump(2) << "\n";
   std::printf("[bench] wrote %s\n", json_path.c_str());
@@ -168,6 +220,7 @@ int main(int argc, char** argv) {
   env.manifest.metrics["cold_rps"] = cold.throughput_rps;
   env.manifest.metrics["dup_rps"] = dup.throughput_rps;
   env.manifest.metrics["cache_speedup"] = speedup;
+  env.manifest.metrics["fast_mode_speedup"] = fast_speedup;
   bench::write_manifest(env);
   return 0;
 }

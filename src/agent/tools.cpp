@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dataset/style.h"
+#include "diffusion/timestep_schedule.h"
 #include "util/strings.h"
 
 namespace cp::agent {
@@ -78,6 +79,14 @@ int condition_of(const util::Json& args) {
   return idx;
 }
 
+/// Optional "schedule" argument shared by the sampling tools; empty =
+/// noise-uniform (the legacy placement). Throws on an unknown name.
+diffusion::ScheduleKind schedule_of(const util::Json& args) {
+  const std::string name = args.get_string("schedule", "");
+  if (name.empty()) return diffusion::ScheduleKind::kNoiseUniform;
+  return diffusion::schedule_kind_from_string(name);
+}
+
 util::Json topology_summary(const squish::Topology& t) {
   const auto [cx, cy] = t.complexity();
   util::Json j;
@@ -102,8 +111,10 @@ ToolRegistry make_standard_tools(GeneratorBackend backend) {
       "topology_generation",
       "Random Topology Generation: samples a new topology matrix with the "
       "conditional diffusion model. Args: style (Layer-10001|Layer-10003), "
-      "rows, cols (<= model window), seed, steps. Returns topology_id and "
-      "summary statistics; the matrix itself stays in the store.",
+      "rows, cols (<= model window), seed, steps, schedule (noise_uniform|"
+      "uniform|quadratic|searched; fast-sampling timestep placement). "
+      "Returns topology_id and summary statistics; the matrix itself stays "
+      "in the store.",
       [shared](const util::Json& args) {
         ToolResult r;
         const int cond = condition_of(args);
@@ -112,6 +123,7 @@ ToolRegistry make_standard_tools(GeneratorBackend backend) {
         sc.cols = static_cast<int>(args.get_int("cols", shared->window));
         sc.condition = cond;
         sc.sample_steps = static_cast<int>(args.get_int("steps", 16));
+        sc.schedule_kind = schedule_of(args);
         if (sc.rows > shared->window || sc.cols > shared->window) {
           r.payload["error"] = util::format(
               "requested size %dx%d exceeds the model window %d; use topology_extension",
@@ -133,6 +145,7 @@ ToolRegistry make_standard_tools(GeneratorBackend backend) {
           req.cols = sc.cols;
           req.sample_steps = sc.sample_steps;
           req.polish_rounds = sc.polish_rounds;
+          req.schedule = args.get_string("schedule", "");
           req.seed = seed;
           req.legalize = false;  // this tool delivers a raw topology
           serve::Server::Submitted submitted = shared->server->submit(std::move(req));
@@ -164,7 +177,7 @@ ToolRegistry make_standard_tools(GeneratorBackend backend) {
       "Topology Extension: grows a topology to a target size with "
       "In-Painting or Out-Painting. Args: topology_id (optional; omit to "
       "grow from a fresh sample), target_rows, target_cols, method (Out|In), "
-      "stride, style, seed, steps. Returns a new topology_id.",
+      "stride, style, seed, steps, schedule. Returns a new topology_id.",
       [shared](const util::Json& args) {
         ToolResult r;
         const int cond = condition_of(args);
@@ -173,6 +186,7 @@ ToolRegistry make_standard_tools(GeneratorBackend backend) {
         ec.stride = static_cast<int>(args.get_int("stride", shared->default_stride));
         ec.condition = cond;
         ec.sample_steps = static_cast<int>(args.get_int("steps", 16));
+        ec.schedule_kind = schedule_of(args);
         const int rows = static_cast<int>(args.get_int("target_rows", shared->window));
         const int cols = static_cast<int>(args.get_int("target_cols", shared->window));
         const extension::Method method =
@@ -231,7 +245,7 @@ ToolRegistry make_standard_tools(GeneratorBackend backend) {
       "[left,right) of a topology with the masked reverse process (Eq. 12), "
       "keeping everything else. A time-efficient alternative to discarding a "
       "failed topology. Args: topology_id, upper, left, bottom, right, "
-      "style, seed, steps. Returns a new topology_id.",
+      "style, seed, steps, schedule. Returns a new topology_id.",
       [shared](const util::Json& args) {
         ToolResult r;
         const int cond = condition_of(args);
@@ -254,6 +268,7 @@ ToolRegistry make_standard_tools(GeneratorBackend backend) {
         diffusion::ModifyConfig mc;
         mc.condition = cond;
         mc.sample_steps = static_cast<int>(args.get_int("steps", 16));
+        mc.schedule_kind = schedule_of(args);
         util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)) ^ shared->seed_mix);
         squish::Topology modified = shared->sampler->modify(topo, keep, mc, rng);
         r.payload = topology_summary(modified);

@@ -28,6 +28,7 @@ squish::Topology CascadeSampler::refine(const squish::Topology& coarse_up,
     ModifyConfig mc;
     mc.condition = condition;
     mc.sample_steps = steps;
+    mc.schedule_kind = config_.schedule_kind;
     if (keep_mask.empty()) {
       squish::Topology no_keep(x.rows(), x.cols(), 0);
       x = modify_from(fine_, x, no_keep, std::move(init), k_mid, mc, rng);
@@ -70,6 +71,7 @@ squish::Topology CascadeSampler::sample(const SampleConfig& config, util::Rng& r
   coarse_cfg.cols = config.cols / config_.factor;
   coarse_cfg.condition = config.condition;
   coarse_cfg.sample_steps = config_.coarse_steps;
+  coarse_cfg.schedule_kind = config_.schedule_kind;
   coarse_cfg.polish_rounds = 0;  // MAP consolidation below replaces it
   squish::Topology coarse = coarse_.sample(coarse_cfg, rng);
   for (int round = 0; round < config_.polish_rounds; ++round) {
@@ -78,6 +80,26 @@ squish::Topology CascadeSampler::sample(const SampleConfig& config, util::Rng& r
   const squish::Topology up = squish::upsample_nearest(coarse, config_.factor);
   return refine(up, squish::Topology(), squish::Topology(), config.condition,
                 config_.refine_steps, rng);
+}
+
+void CascadeSampler::set_searched_timesteps(std::vector<int> coarse, std::vector<int> fine) {
+  coarse_.set_searched_timesteps(std::move(coarse));
+  fine_.set_searched_timesteps(std::move(fine));
+}
+
+std::vector<int> CascadeSampler::coarse_timesteps() const {
+  return coarse_.make_timesteps(config_.coarse_steps, config_.schedule_kind);
+}
+
+int CascadeSampler::refine_start_level() const {
+  if (config_.refine_flip <= 0.0) return 0;
+  return std::max(1, fine_.schedule().step_for_flip(config_.refine_flip));
+}
+
+std::vector<int> CascadeSampler::refine_timesteps() const {
+  const int k_mid = refine_start_level();
+  if (k_mid == 0) return {};
+  return fine_.make_timesteps_from(k_mid, config_.refine_steps, config_.schedule_kind);
 }
 
 squish::Topology CascadeSampler::modify(const squish::Topology& known,
@@ -105,6 +127,7 @@ squish::Topology CascadeSampler::modify(const squish::Topology& known,
   }
   ModifyConfig coarse_cfg = config;
   coarse_cfg.sample_steps = config_.coarse_steps;
+  coarse_cfg.schedule_kind = config_.schedule_kind;
   squish::Topology coarse = coarse_.modify(coarse_known, coarse_keep, coarse_cfg, rng);
   for (int round = 0; round < config_.polish_rounds / 2; ++round) {
     coarse = coarse_.map_polish(std::move(coarse), config_.polish_k, config.condition,

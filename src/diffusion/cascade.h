@@ -33,6 +33,11 @@ struct CascadeConfig {
   int coarse_steps = 24;    // visited coarse-stage timesteps
   int polish_rounds = 6;    // deterministic MAP polish sweeps (fine stage)
   int polish_k = 16;        // noise level the MAP polish assumes
+  /// Visited-subset placement for both stages (timestep_schedule.h). The
+  /// per-request SampleConfig/ModifyConfig kind is deliberately ignored
+  /// here: the cascade's step budgets are its own tuned knobs, and one kind
+  /// keeps the two stages consistent.
+  ScheduleKind schedule_kind = ScheduleKind::kNoiseUniform;
 };
 
 class CascadeSampler : public TopologyGenerator {
@@ -58,6 +63,20 @@ class CascadeSampler : public TopologyGenerator {
   const DiffusionSampler& coarse_sampler() const { return coarse_; }
   const DiffusionSampler& fine_sampler() const { return fine_; }
   const CascadeConfig& cascade_config() const { return config_; }
+
+  /// Register searched visited lists for the two stages (consulted when
+  /// `schedule_kind` is kSearched; see DiffusionSampler). Pass an empty
+  /// vector to leave a stage on its closed-form fallback.
+  void set_searched_timesteps(std::vector<int> coarse, std::vector<int> fine);
+
+  /// The exact visited-step lists the stages will walk — the coarse chain
+  /// from K and, when stochastic refinement is enabled (refine_flip > 0),
+  /// the fine chain from its restart level. Exposed so tests/golden can pin
+  /// the visited-step logic without sampling.
+  std::vector<int> coarse_timesteps() const;
+  std::vector<int> refine_timesteps() const;  // empty when refine_flip == 0
+  /// Restart level of the stochastic refinement stage (0 when disabled).
+  int refine_start_level() const;
 
  private:
   /// Fine-stage refinement of an upsampled coarse topology, with an optional

@@ -12,7 +12,8 @@ squish::Topology modify_from(const DiffusionSampler& sampler, const squish::Topo
     throw std::invalid_argument("modify_from: dimension mismatch");
   }
   const NoiseSchedule& schedule = sampler.schedule();
-  const std::vector<int> steps = sampler.make_timesteps_from(k_start, config.sample_steps);
+  const std::vector<int> steps =
+      sampler.make_timesteps_from(k_start, config.sample_steps, config.schedule_kind);
 
   squish::Topology x = std::move(init);
   const int rounds = std::max(1, config.resample_rounds);

@@ -16,6 +16,10 @@ namespace cp::diffusion {
 struct ModifyConfig {
   int condition = 0;
   int sample_steps = 0;  // 0 = full chain
+  /// Visited-subset placement for the masked reverse chain; in-painting and
+  /// out-painting inherit it via extension::ExtensionConfig, so the fast-
+  /// sampling mode covers modification as well as free generation.
+  ScheduleKind schedule_kind = ScheduleKind::kNoiseUniform;
   /// RePaint-style resampling: how many times each reverse jump is re-done
   /// (re-noising in between) to harmonise kept and generated regions.
   /// 1 = plain single pass.

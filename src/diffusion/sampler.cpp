@@ -13,28 +13,29 @@ std::vector<int> DiffusionSampler::make_timesteps(int count) const {
 }
 
 std::vector<int> DiffusionSampler::make_timesteps_from(int k_start, int count) const {
+  return make_timesteps_from(k_start, count, ScheduleKind::kNoiseUniform);
+}
+
+std::vector<int> DiffusionSampler::make_timesteps(int count, ScheduleKind kind) const {
+  return make_timesteps_from(schedule_->steps(), count, kind);
+}
+
+std::vector<int> DiffusionSampler::make_timesteps_from(int k_start, int count,
+                                                       ScheduleKind kind) const {
   const int k_max = std::clamp(k_start, 1, schedule_->steps());
-  if (count <= 0 || count >= k_max) {
-    std::vector<int> steps(static_cast<std::size_t>(k_max) + 1);
-    for (int i = 0; i <= k_max; ++i) steps[static_cast<std::size_t>(i)] = k_max - i;
-    return steps;
+  if (kind == ScheduleKind::kSearched && count > 0 && count < k_max) {
+    if (!searched_.empty()) return TimestepSchedule::restrict_to(searched_, k_max);
+    // No registered list: degrade to the closed-form default rather than
+    // failing a serving request.
+    obs::count("sampler/searched_fallback");
+    kind = ScheduleKind::kNoiseUniform;
   }
-  // Noise-uniform spacing: with the paper's linear beta schedule the chain
-  // is essentially fully mixed beyond small k (cumulative flip saturates at
-  // 0.5), so uniform-in-k striding would waste almost every step. Instead
-  // the visited steps are chosen so the *cumulative flip probability*
-  // decreases in equal increments — an annealing schedule that spends the
-  // step budget where structure actually forms.
-  std::vector<int> steps{k_max};
-  const double top = schedule_->cumulative_flip(k_max);
-  for (int i = 1; i < count; ++i) {
-    const double target = top * (1.0 - static_cast<double>(i) / count);
-    const int k = schedule_->step_for_flip(target);
-    if (k >= 1 && k < steps.back()) steps.push_back(k);
-  }
-  if (steps.back() != 1) steps.push_back(1);
-  steps.push_back(0);
-  return steps;
+  return TimestepSchedule::make(*schedule_, kind, k_max, count);
+}
+
+void DiffusionSampler::set_searched_timesteps(std::vector<int> steps) {
+  if (!steps.empty()) TimestepSchedule::validate(steps, schedule_->steps());
+  searched_ = std::move(steps);
 }
 
 squish::Topology DiffusionSampler::reverse_step(const squish::Topology& xk, int k_from, int k_to,
@@ -184,7 +185,8 @@ squish::Topology DiffusionSampler::sample(const SampleConfig& config, util::Rng&
   for (int r = 0; r < x.rows(); ++r) {
     for (int c = 0; c < x.cols(); ++c) x.set(r, c, rng.bernoulli(0.5) ? 1 : 0);
   }
-  x = sample_from(std::move(x), make_timesteps(config.sample_steps), config.condition, rng);
+  x = sample_from(std::move(x), make_timesteps(config.sample_steps, config.schedule_kind),
+                  config.condition, rng);
   for (int round = 0; round < config.polish_rounds; ++round) {
     x = polish(std::move(x), config.polish_k, config.condition, rng);
   }

@@ -15,6 +15,7 @@
 #include "diffusion/denoiser.h"
 #include "diffusion/generator.h"
 #include "diffusion/schedule.h"
+#include "diffusion/timestep_schedule.h"
 #include "diffusion/transition.h"
 #include "util/rng.h"
 
@@ -26,6 +27,10 @@ struct SampleConfig {
   int condition = 0;
   /// Number of visited timesteps (2..K); 0 means the full K-step chain.
   int sample_steps = 0;
+  /// How the visited subset is placed (timestep_schedule.h). The default
+  /// reproduces the historical noise-uniform spacing bit-for-bit; kSearched
+  /// resolves against the sampler's registered searched list.
+  ScheduleKind schedule_kind = ScheduleKind::kNoiseUniform;
   /// Extra low-noise refinement passes after the main chain: the sample is
   /// re-noised to a small timestep and reverse-diffused again. Cheap (a few
   /// denoiser calls each) and very effective at removing speckle and
@@ -70,6 +75,20 @@ class DiffusionSampler : public TopologyGenerator {
   /// Same, but starting from an intermediate noise level `k_start` — used by
   /// the cascade's refinement stage and by polish passes.
   std::vector<int> make_timesteps_from(int k_start, int count) const;
+
+  /// Kind-aware variants (timestep_schedule.h). kSearched uses the list
+  /// registered via set_searched_timesteps, restricted to levels <= k_start;
+  /// with no registered list it falls back to noise-uniform (counted under
+  /// `sampler/searched_fallback`). The degenerate budget (count <= 0 or
+  /// >= k_start) yields the full chain for every kind.
+  std::vector<int> make_timesteps(int count, ScheduleKind kind) const;
+  std::vector<int> make_timesteps_from(int k_start, int count, ScheduleKind kind) const;
+
+  /// Register the offline-searched schedule consulted by kSearched (see
+  /// search_timesteps). Validates the list; setup-time mutation like
+  /// set_guidance, not safe concurrently with sampling.
+  void set_searched_timesteps(std::vector<int> steps);
+  const std::vector<int>& searched_timesteps() const { return searched_; }
 
   /// One reverse jump x_{k_from} -> x_{k_to} (k_to < k_from).
   squish::Topology reverse_step(const squish::Topology& xk, int k_from, int k_to, int condition,
@@ -123,6 +142,7 @@ class DiffusionSampler : public TopologyGenerator {
   const Denoiser* denoiser_;
   bool sequential_ = true;
   bool guidance_ = true;
+  std::vector<int> searched_;  // kSearched visited list; empty = unset
 };
 
 }  // namespace cp::diffusion

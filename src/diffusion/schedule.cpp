@@ -37,6 +37,15 @@ int NoiseSchedule::step_for_flip(double flip) const {
   return lo;
 }
 
+double NoiseSchedule::flip_between_product(int j, int k) const {
+  if (j < 0 || k > steps_ || j > k) throw std::out_of_range("flip_between_product: bad step pair");
+  // Each single-step channel has eigenvalue (1 - 2 beta_i) on the signed
+  // basis; a product of channels multiplies the eigenvalues.
+  double eigen = 1.0;
+  for (int i = j + 1; i <= k; ++i) eigen *= 1.0 - 2.0 * beta(i);
+  return 0.5 * (1.0 - eigen);
+}
+
 double NoiseSchedule::flip_between(int j, int k) const {
   if (j < 0 || k > steps_ || j > k) throw std::out_of_range("flip_between: bad step pair");
   // Compose: bbar_k = bbar_j (1 - f) + (1 - bbar_j) f  =>  solve for f.

@@ -35,8 +35,23 @@ class NoiseSchedule {
   double cumulative_flip(int k) const { return bbar_[static_cast<std::size_t>(k)]; }
 
   /// Flip probability of the composed channel from step j to step k (j < k):
-  /// P(x_k != x_j). Used for strided (jumpy) reverse sampling.
+  /// P(x_k != x_j). Used for strided (jumpy) reverse sampling. Once level j
+  /// is fully mixed (1 - 2 bbar_j below float noise) the recurrence is not
+  /// identifiable and 0.5 is returned by convention — harmless there, since
+  /// x_j is uniform and carries no information about x_0 anyway.
   double flip_between(int j, int k) const;
+
+  /// Same channel via the product identity 1 - 2 f = prod_{i=j+1..k}
+  /// (1 - 2 beta_i) — the literal "product of per-step transitions" form.
+  /// Mathematically equal to flip_between up to float noise; the fast-
+  /// sampling tests compare the two across whole schedules.
+  double flip_between_product(int j, int k) const;
+
+  /// Closed-form composition of two symmetric bit-flip channels applied in
+  /// sequence: P(flipped overall) = f1 (1 - f2) + (1 - f1) f2.
+  static double compose_flip(double f1, double f2) {
+    return f1 * (1.0 - f2) + (1.0 - f1) * f2;
+  }
 
   /// Smallest k whose cumulative flip reaches `flip` (clamped to [0, K]).
   /// Inverse of cumulative_flip; used to build noise-uniform timestep lists.

@@ -1,5 +1,7 @@
 #include "diffusion/transition.h"
 
+#include <stdexcept>
+
 namespace cp::diffusion {
 
 squish::Topology forward_noise(const squish::Topology& x0, const NoiseSchedule& schedule, int k,
@@ -31,6 +33,29 @@ double reverse_p1(int xk, double p0, double flip_0j, double flip_jk) {
   // model belief p0 = P(x0 = 1).
   return p0 * posterior_p1(xk, 1, flip_0j, flip_jk) +
          (1.0 - p0) * posterior_p1(xk, 0, flip_0j, flip_jk);
+}
+
+std::vector<ComposedJump> composed_jumps(const NoiseSchedule& schedule,
+                                         const std::vector<int>& timesteps) {
+  if (timesteps.size() < 2) {
+    throw std::invalid_argument("composed_jumps: need at least one jump");
+  }
+  std::vector<ComposedJump> jumps;
+  jumps.reserve(timesteps.size() - 1);
+  for (std::size_t i = 0; i + 1 < timesteps.size(); ++i) {
+    const int from = timesteps[i];
+    const int to = timesteps[i + 1];
+    if (to >= from || to < 0 || from > schedule.steps()) {
+      throw std::invalid_argument("composed_jumps: list must strictly decrease within [0, K]");
+    }
+    ComposedJump j;
+    j.k_from = from;
+    j.k_to = to;
+    j.flip_0to = schedule.cumulative_flip(to);
+    j.flip_tofrom = schedule.flip_between(to, from);
+    jumps.push_back(j);
+  }
+  return jumps;
 }
 
 }  // namespace cp::diffusion

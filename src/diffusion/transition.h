@@ -5,6 +5,8 @@
 // pixels all sums over the latent x0 have two terms and are evaluated in
 // closed form — no approximation.
 
+#include <vector>
+
 #include "diffusion/schedule.h"
 #include "squish/topology.h"
 #include "util/rng.h"
@@ -28,5 +30,23 @@ double posterior_p1(int xk, int x0, double flip_0j, double flip_jk);
 /// Reverse kernel with the latent x0 marginalised against the model belief
 /// p0 = P(x_0 = 1 | x_k, c): Equation (5)/(9) for one pixel.
 double reverse_p1(int xk, double p0, double flip_0j, double flip_jk);
+
+/// One composed reverse jump of a visited-timestep subset: the two exact
+/// channels the skipped-step posterior q(x_{k_to} | x_{k_from}, x_0) needs.
+/// Because the two-state chain is Markov and channels compose in closed
+/// form, the jump posterior built from these is *equal* to marginalising
+/// every skipped intermediate step (fast_sampler_test proves it) — few-step
+/// sampling approximates only the denoiser evaluations, never the algebra.
+struct ComposedJump {
+  int k_from = 0, k_to = 0;
+  double flip_0to = 0.0;    // cumulative channel x_0   -> x_{k_to}
+  double flip_tofrom = 0.0; // composed channel x_{k_to} -> x_{k_from}
+};
+
+/// Precompute the composed channels of a descending visited list (front =
+/// start level, back = 0). Validates the list shape (strictly decreasing,
+/// within [0, K]) and throws std::invalid_argument otherwise.
+std::vector<ComposedJump> composed_jumps(const NoiseSchedule& schedule,
+                                         const std::vector<int>& timesteps);
 
 }  // namespace cp::diffusion

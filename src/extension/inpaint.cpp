@@ -101,9 +101,11 @@ ExtensionResult extend_inpaint(const diffusion::TopologyGenerator& generator,
   sc.cols = L;
   sc.condition = config.condition;
   sc.sample_steps = config.sample_steps;
+  sc.schedule_kind = config.schedule_kind;
   diffusion::ModifyConfig mc;
   mc.condition = config.condition;
   mc.sample_steps = config.sample_steps;
+  mc.schedule_kind = config.schedule_kind;
   mc.resample_rounds = config.resample_rounds;
 
   result.model_calls = run_tile_jobs(generator, result.topology, jobs, L, sc, mc, rng.fork(),

@@ -15,6 +15,9 @@ struct ExtensionConfig {
   int stride = 64;   // S: out-painting stride (overlap = L - S)
   int condition = 0;
   int sample_steps = 16;
+  /// Visited-subset placement for every window sample and seam repair
+  /// (timestep_schedule.h) — fast mode covers extension end to end.
+  diffusion::ScheduleKind schedule_kind = diffusion::ScheduleKind::kNoiseUniform;
   int resample_rounds = 1;
 };
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dataset/style.h"
+#include "diffusion/timestep_schedule.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -33,6 +34,7 @@ std::uint64_t GenerationRequest::content_hash() const {
   h = mix(h, static_cast<std::uint64_t>(cols));
   h = mix(h, static_cast<std::uint64_t>(sample_steps));
   h = mix(h, static_cast<std::uint64_t>(polish_rounds));
+  h = mix_string(h, schedule);
   h = mix(h, static_cast<std::uint64_t>(width_nm));
   h = mix(h, static_cast<std::uint64_t>(height_nm));
   h = mix(h, seed);
@@ -50,6 +52,7 @@ util::Json GenerationRequest::to_json() const {
   j["cols"] = cols;
   j["steps"] = sample_steps;
   j["polish"] = polish_rounds;
+  if (!schedule.empty()) j["schedule"] = schedule;
   j["width_nm"] = static_cast<long long>(width_nm);
   j["height_nm"] = static_cast<long long>(height_nm);
   j["seed"] = static_cast<long long>(seed);
@@ -66,6 +69,10 @@ std::string validate(const GenerationRequest& r) {
   if (r.rows <= 0 || r.cols <= 0) return "'rows'/'cols' must be positive";
   if (r.sample_steps <= 0) return "'steps' must be positive";
   if (r.polish_rounds < 0) return "'polish' must be >= 0";
+  if (!r.schedule.empty() && !diffusion::is_schedule_kind(r.schedule)) {
+    return "unknown 'schedule' '" + r.schedule +
+           "' (want noise_uniform|uniform|quadratic|searched)";
+  }
   if (r.width_nm <= 0 || r.height_nm <= 0) return "'width_nm'/'height_nm' must be positive";
   if (r.deadline_ms < 0) return "'deadline_ms' must be >= 0";
   return "";
@@ -81,6 +88,7 @@ GenerationRequest GenerationRequest::from_json(const util::Json& j) {
   r.cols = static_cast<int>(j.get_int("cols", r.cols));
   r.sample_steps = static_cast<int>(j.get_int("steps", r.sample_steps));
   r.polish_rounds = static_cast<int>(j.get_int("polish", r.polish_rounds));
+  r.schedule = j.get_string("schedule", "");
   r.width_nm = j.get_int("width_nm", r.width_nm);
   r.height_nm = j.get_int("height_nm", r.height_nm);
   r.seed = static_cast<std::uint64_t>(j.get_int("seed", 1));
@@ -99,6 +107,7 @@ BatchKey batch_key(const GenerationRequest& request, int condition) {
   key.cols = request.cols;
   key.sample_steps = request.sample_steps;
   key.polish_rounds = request.polish_rounds;
+  key.schedule = request.schedule;
   return key;
 }
 

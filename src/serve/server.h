@@ -57,6 +57,15 @@ struct ServerConfig {
   /// completes as kIncomplete with whatever it has.
   long long max_attempts_per_pattern = 16;
 
+  /// Fast-sampling default (diffusion/timestep_schedule.h): the visited-
+  /// timestep placement applied to requests whose `schedule` field is
+  /// empty. Lets an operator flip the whole server to few-step mode
+  /// (e.g. kQuadratic) without touching clients; individual requests
+  /// still override it per call. kSearched requires the generator's
+  /// samplers to carry a registered searched list, else they fall back to
+  /// noise-uniform.
+  diffusion::ScheduleKind default_schedule = diffusion::ScheduleKind::kNoiseUniform;
+
   /// Degraded-mode serving (docs/ROBUSTNESS.md). A sample that throws
   /// (fault point `denoiser/infer`, or a real inference failure) is retried
   /// under `sample_retry` with the identical Rng stream, so a transient

@@ -86,7 +86,103 @@ TEST(ScheduleTest, FlipBetweenBadRangeThrows) {
   EXPECT_THROW(s.flip_between(5, 3), std::out_of_range);
   EXPECT_THROW(s.flip_between(-1, 3), std::out_of_range);
   EXPECT_THROW(s.flip_between(0, 11), std::out_of_range);
+  EXPECT_THROW(s.flip_between_product(5, 3), std::out_of_range);
+  EXPECT_THROW(s.flip_between_product(-1, 3), std::out_of_range);
+  EXPECT_THROW(s.flip_between_product(0, 11), std::out_of_range);
 }
+
+// The identities above must hold for ANY schedule length, not just the
+// paper's K = 1000 — the cascade's coarse stage and the test fixtures run
+// tiny and odd K values where off-by-one bugs in the closed forms actually
+// bite. Parameterised over a deliberately awkward set.
+//
+// Caveat shared by all of them: once a level is fully mixed (cumulative
+// flip at 0.5 to float precision) the flip_between recurrence is no longer
+// identifiable and returns 0.5 by convention. The exact identities are
+// asserted from well-conditioned start levels, the convention is asserted
+// past the implementation's cutoff, and the narrow ill-conditioned band in
+// between (denominator in (1e-12, 1e-6]) is skipped — there the recurrence
+// runs but division noise swamps any sensible tolerance.
+class ScheduleSizeTest : public ::testing::TestWithParam<int> {
+ protected:
+  static double mix_margin(const NoiseSchedule& s, int level) {
+    return 1.0 - 2.0 * s.cumulative_flip(level);
+  }
+  static bool conditioned(const NoiseSchedule& s, int level) {
+    return mix_margin(s, level) > 1e-6;
+  }
+  static bool saturated(const NoiseSchedule& s, int level) {
+    return mix_margin(s, level) <= 1e-12;  // flip_between's own cutoff
+  }
+};
+
+TEST_P(ScheduleSizeTest, CumulativeFlipMonotoneWithEndpoints) {
+  const int K = GetParam();
+  const NoiseSchedule s{ScheduleConfig{K, 0.01, 0.5}};
+  ASSERT_EQ(s.steps(), K);
+  EXPECT_DOUBLE_EQ(s.cumulative_flip(0), 0.0);  // bbar_0: nothing flipped yet
+  double prev = 0.0;
+  for (int k = 1; k <= K; ++k) {
+    const double b = s.cumulative_flip(k);
+    EXPECT_GE(b, prev - 1e-12) << "k=" << k;
+    EXPECT_LE(b, 0.5 + 1e-12) << "k=" << k;
+    prev = b;
+  }
+  // beta_K = 0.5 forces exact terminal uniformity at every K.
+  EXPECT_NEAR(s.cumulative_flip(K), 0.5, 1e-12);
+}
+
+TEST_P(ScheduleSizeTest, FlipBetweenEndpointIdentities) {
+  const int K = GetParam();
+  const NoiseSchedule s{ScheduleConfig{K, 0.01, 0.5}};
+  for (int k = 0; k <= K; ++k) {
+    // Starting at the clean state, the composed channel IS the cumulative.
+    EXPECT_NEAR(s.flip_between(0, k), s.cumulative_flip(k), 1e-12) << "k=" << k;
+    // The empty jump never flips — until the level is fully mixed, where
+    // the recurrence degenerates and the 0.5 convention takes over.
+    if (saturated(s, k)) {
+      EXPECT_DOUBLE_EQ(s.flip_between(k, k), 0.5) << "k=" << k;
+    } else if (conditioned(s, k)) {
+      EXPECT_NEAR(s.flip_between(k, k), 0.0, 1e-12) << "k=" << k;
+    }
+  }
+}
+
+TEST_P(ScheduleSizeTest, ProductFormMatchesRecurrenceEverywhere) {
+  const int K = GetParam();
+  const NoiseSchedule s{ScheduleConfig{K, 0.01, 0.5}};
+  for (int j = 0; j <= K; ++j) {
+    for (int k = j; k <= K; ++k) {
+      if (saturated(s, j)) {
+        EXPECT_DOUBLE_EQ(s.flip_between(j, k), 0.5) << "jump " << j << "->" << k;
+      } else if (conditioned(s, j)) {
+        EXPECT_NEAR(s.flip_between(j, k), s.flip_between_product(j, k), 1e-9)
+            << "jump " << j << "->" << k;
+      }
+    }
+  }
+}
+
+TEST_P(ScheduleSizeTest, ComposeFlipSplitsEveryJump) {
+  const int K = GetParam();
+  const NoiseSchedule s{ScheduleConfig{K, 0.01, 0.5}};
+  for (int j = 0; j <= K; ++j) {
+    for (int m = j; m <= K; ++m) {
+      if (!conditioned(s, m)) continue;  // recurrence past mixing: convention
+      for (int k = m; k <= K; k += 3) {
+        EXPECT_NEAR(s.flip_between(j, k),
+                    NoiseSchedule::compose_flip(s.flip_between(j, m), s.flip_between(m, k)),
+                    1e-9)
+            << j << "->" << m << "->" << k;
+      }
+    }
+  }
+}
+
+// K = 1 is excluded: the linear interpolation pins beta_1 = beta_start
+// there (covered by ScheduleTest.SingleStepSchedule), so the terminal-
+// uniformity claim does not apply.
+INSTANTIATE_TEST_SUITE_P(SmallAndOddK, ScheduleSizeTest, ::testing::Values(2, 7, 64));
 
 }  // namespace
 }  // namespace cp::diffusion

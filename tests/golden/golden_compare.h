@@ -1,0 +1,43 @@
+#pragma once
+// Shared byte-for-byte golden-file comparison used by every test in the
+// golden_test binary. Each caller renders a deterministic textual report and
+// compares it against a committed file under tests/golden/.
+//
+// To regenerate after an intentional change:
+//   CP_UPDATE_GOLDEN=1 ./build/tests/golden_test
+// then review the diff of tests/golden/*.txt and commit it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/fs.h"
+
+#ifndef CP_GOLDEN_DIR
+#error "CP_GOLDEN_DIR must point at the committed golden files"
+#endif
+
+namespace cp {
+
+inline void golden_compare(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(CP_GOLDEN_DIR) + "/" + name;
+  if (std::getenv("CP_UPDATE_GOLDEN") != nullptr) {
+    // Atomic regeneration: an interrupted update never leaves a half-written
+    // golden file to confuse the next comparison run.
+    ASSERT_NO_THROW(util::atomic_write_file(path, actual)) << "cannot write " << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with CP_UPDATE_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(actual, buffer.str())
+      << "output drifted from " << path
+      << "; if the change is intentional, regenerate with CP_UPDATE_GOLDEN=1";
+}
+
+}  // namespace cp

@@ -11,42 +11,18 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "drc/checker.h"
 #include "drc/rules.h"
+#include "golden_compare.h"
 #include "legalize/legalizer.h"
 #include "squish/squish.h"
-#include "util/fs.h"
 #include "util/rng.h"
-
-#ifndef CP_GOLDEN_DIR
-#error "CP_GOLDEN_DIR must point at the committed golden files"
-#endif
 
 namespace cp {
 namespace {
-
-void golden_compare(const std::string& name, const std::string& actual) {
-  const std::string path = std::string(CP_GOLDEN_DIR) + "/" + name;
-  if (std::getenv("CP_UPDATE_GOLDEN") != nullptr) {
-    // Atomic regeneration: an interrupted update never leaves a half-written
-    // golden file to confuse the next comparison run.
-    ASSERT_NO_THROW(util::atomic_write_file(path, actual)) << "cannot write " << path;
-    GTEST_SKIP() << "regenerated " << path;
-  }
-  std::ifstream in(path);
-  ASSERT_TRUE(in.good()) << "missing golden file " << path
-                         << " — run with CP_UPDATE_GOLDEN=1 to create it";
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  EXPECT_EQ(actual, buffer.str())
-      << "output drifted from " << path
-      << "; if the change is intentional, regenerate with CP_UPDATE_GOLDEN=1";
-}
 
 // ---- deterministic fixture inputs ---------------------------------------
 
