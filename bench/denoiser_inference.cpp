@@ -26,8 +26,12 @@
 #include "bench/common.h"
 #include "diffusion/batch_sampler.h"
 #include "diffusion/mlp_denoiser.h"
+#include "diffusion/reference.h"
+#include "diffusion/tabular_denoiser.h"
 #include "diffusion/transition.h"
+#include "drc/checker.h"
 #include "nn/gemm.h"
+#include "squish/reference.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
 
@@ -122,9 +126,27 @@ std::uint64_t batch_hash(const std::vector<squish::Topology>& batch) {
   for (const auto& t : batch) {
     mix(static_cast<std::uint64_t>(t.rows()));
     mix(static_cast<std::uint64_t>(t.cols()));
-    for (std::size_t i = 0; i < t.size(); ++i) mix(t.data()[i]);
+    for (int r = 0; r < t.rows(); ++r) {
+      for (int c = 0; c < t.cols(); ++c) mix(t.at(r, c));
+    }
   }
   return h;
+}
+
+/// One packed-vs-byte microkernel row: print, record, and fold the
+/// bit-identity verdict into the process exit code.
+util::Json substrate_row(const char* name, double byte_sec, double packed_sec, bool identical,
+                         bool& all_identical) {
+  all_identical = all_identical && identical;
+  std::printf("%-14s: byte %9.3f ms  packed %9.3f ms  speedup %5.2fx  %s\n", name,
+              byte_sec * 1e3, packed_sec * 1e3, byte_sec / packed_sec,
+              identical ? "bit-identical" : "<< MISMATCH");
+  util::JsonObject row;
+  row["byte_ms"] = byte_sec * 1e3;
+  row["packed_ms"] = packed_sec * 1e3;
+  row["speedup"] = byte_sec / packed_sec;
+  row["bit_identical"] = identical;
+  return util::Json(std::move(row));
 }
 
 }  // namespace
@@ -192,6 +214,97 @@ int main(int argc, char** argv) {
   std::printf("legacy vs new bit-identical: %s   (checksum %.6f)\n\n",
               bit_identical ? "yes" : "NO", sink);
 
+  // --- Packed substrate microkernels: the bit-packed Topology (64 cells per
+  // uint64_t word, docs/GRID.md) against the retained byte-per-cell reference
+  // (squish::ByteTopology + diffusion::reference_*). Same workload, same RNG
+  // streams; every row verifies bit-identical output before timing.
+  const int sub_n = static_cast<int>(flags.get_int("subgrid", 256));
+  const int sub_reps = static_cast<int>(flags.get_int("subreps", 30));
+  squish::Topology sub0 = stripes(sub_n, 3);
+  {
+    util::Rng jitter(seed + 9);
+    sub0 = diffusion::forward_noise(sub0, schedule, 10, jitter);
+  }
+  const squish::ByteTopology bsub0(sub0);
+  const int sub_k = 40;
+
+  std::printf("== Packed substrate vs byte reference (grid %dx%d) ==\n", sub_n, sub_n);
+  bool sub_identical = true;
+  util::JsonObject substrate;
+
+  // forward noising: word-parallel XOR-mask build vs per-cell flip. Both
+  // consume one rng.bernoulli per cell in row-major order, so seeding both
+  // sides identically must give bit-identical grids.
+  {
+    util::Rng ra(seed + 21), rb(seed + 21);
+    const squish::Topology py = diffusion::forward_noise(sub0, schedule, sub_k, ra);
+    const squish::ByteTopology by = diffusion::reference_forward_noise(bsub0, schedule, sub_k, rb);
+    const bool same = py == by.packed();
+    std::size_t guard = 0;
+    const double byte_sec = seconds_per_call(sub_reps, [&](int i) {
+      util::Rng r(seed + 100 + i);
+      guard += diffusion::reference_forward_noise(bsub0, schedule, sub_k, r).popcount();
+    });
+    const double packed_sec = seconds_per_call(sub_reps, [&](int i) {
+      util::Rng r(seed + 100 + i);
+      guard += diffusion::forward_noise(sub0, schedule, sub_k, r).popcount();
+    });
+    substrate["forward_noise"] = substrate_row("forward_noise", byte_sec, packed_sec, same,
+                                               sub_identical);
+    sink += static_cast<double>(guard & 1);
+  }
+
+  // neighbour gather: the denoisers' 17-offset feature index for every cell.
+  // Packed path funnel-shifts one 64-bit plane per offset and transposes the
+  // 17 planes into per-lane indices; byte path does 17 mirrored loads/cell.
+  {
+    util::Rng gather_rng(seed + 2);
+    const squish::Topology pxk = diffusion::forward_noise(sub0, schedule, sub_k, gather_rng);
+    const squish::ByteTopology bxk(pxk);
+    std::vector<int> idx(static_cast<std::size_t>(sub_n));
+    bool same = true;
+    for (int r = 0; same && r < sub_n; ++r) {
+      diffusion::TabularDenoiser::neighborhood_indices_row(pxk, r, idx.data());
+      for (int c = 0; same && c < sub_n; ++c) {
+        same = idx[static_cast<std::size_t>(c)] == diffusion::reference_neighborhood_index(bxk, r, c);
+      }
+    }
+    long long guard = 0;
+    const double byte_sec = seconds_per_call(sub_reps, [&](int) {
+      for (int r = 0; r < sub_n; ++r) {
+        for (int c = 0; c < sub_n; ++c) guard += diffusion::reference_neighborhood_index(bxk, r, c);
+      }
+    });
+    const double packed_sec = seconds_per_call(sub_reps, [&](int) {
+      for (int r = 0; r < sub_n; ++r) {
+        diffusion::TabularDenoiser::neighborhood_indices_row(pxk, r, idx.data());
+        guard += idx[0];
+      }
+    });
+    substrate["neighbor_gather"] = substrate_row("neighbor_gather", byte_sec, packed_sec, same,
+                                                 sub_identical);
+    sink += static_cast<double>(guard & 1);
+  }
+
+  // DRC run scan: countr_zero hopping over masked words vs per-cell walk.
+  {
+    bool same = true;
+    for (int r = 0; same && r < sub_n; ++r) {
+      same = drc::row_runs(sub0, r, 1) == diffusion::reference_row_runs(bsub0, r, 1);
+    }
+    std::size_t guard = 0;
+    const double byte_sec = seconds_per_call(sub_reps, [&](int) {
+      for (int r = 0; r < sub_n; ++r) guard += diffusion::reference_row_runs(bsub0, r, 1).size();
+    });
+    const double packed_sec = seconds_per_call(sub_reps, [&](int) {
+      for (int r = 0; r < sub_n; ++r) guard += drc::row_runs(sub0, r, 1).size();
+    });
+    substrate["row_runs"] = substrate_row("row_runs", byte_sec, packed_sec, same, sub_identical);
+    sink += static_cast<double>(guard & 1);
+  }
+  bit_identical = bit_identical && sub_identical;
+  std::printf("\n");
+
   // --- BatchSampler scaling: the MLP now fans out; verify bit-identity per
   // thread count and record the speedup curve.
   const diffusion::DiffusionSampler sampler(schedule, d);
@@ -249,6 +362,9 @@ int main(int argc, char** argv) {
   report["seed"] = static_cast<long long>(seed);
   report["hardware_threads"] = util::ThreadPool::hardware_threads();
   report["single_thread"] = util::Json(std::move(single));
+  substrate["grid"] = sub_n;
+  substrate["all_bit_identical"] = sub_identical;
+  report["packed_substrate"] = util::Json(std::move(substrate));
   report["batch_samples"] = count;
   report["batch_deterministic_across_thread_counts"] = deterministic;
   report["batch_rows"] = util::Json(std::move(rows));

@@ -32,7 +32,9 @@ std::uint64_t batch_hash(const std::vector<squish::Topology>& batch) {
   for (const auto& t : batch) {
     mix(static_cast<std::uint64_t>(t.rows()));
     mix(static_cast<std::uint64_t>(t.cols()));
-    for (std::size_t i = 0; i < t.size(); ++i) mix(t.data()[i]);
+    for (int r = 0; r < t.rows(); ++r) {
+      for (int c = 0; c < t.cols(); ++c) mix(t.at(r, c));
+    }
   }
   return h;
 }

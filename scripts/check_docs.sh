@@ -5,7 +5,10 @@
 #   1. every src/<module> directory is mentioned in DESIGN.md;
 #   2. every bench binary (add_cp_bench + add_executable targets in
 #      bench/CMakeLists.txt) is mentioned in EXPERIMENTS.md;
-#   3. the documents cross-referenced from DESIGN.md/EXPERIMENTS.md exist.
+#   3. the documents cross-referenced from DESIGN.md/EXPERIMENTS.md exist;
+#   4. every intra-repo markdown link [text](path) in the top-level *.md and
+#      docs/*.md resolves to an existing file;
+#   5. every docs/*.md is referenced from README.md or DESIGN.md.
 #
 # Usage: check_docs.sh [repo-root]   (defaults to the script's parent dir)
 
@@ -41,6 +44,33 @@ done
 # 3. Cross-referenced documents must exist.
 for doc in docs/OBSERVABILITY.md docs/SERVING.md docs/ROBUSTNESS.md ROADMAP.md README.md; do
   [ -f "$root/$doc" ] || err "referenced document $doc is missing"
+done
+
+# 4. Intra-repo markdown links must resolve. Links are [text](target); skip
+#    URLs and pure #anchors, strip any #fragment, and resolve relative to the
+#    file containing the link.
+for md in "$root"/*.md "$root"/docs/*.md; do
+  [ -f "$md" ] || continue
+  dir="$(dirname "$md")"
+  links="$(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*(\(.*\))/\1/')"
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -n "$target" ] || continue
+    if [ -e "$dir/$target" ] || [ -e "$root/$target" ]; then
+      continue
+    fi
+    err "${md#"$root"/}: broken intra-repo link ($link)"
+  done
+done
+
+# 5. Every docs/*.md must be reachable from the entry points.
+for doc in "$root"/docs/*.md; do
+  name="docs/$(basename "$doc")"
+  grep -q "$name" "$root/README.md" "$root/DESIGN.md" ||
+    err "$name is not referenced from README.md or DESIGN.md"
 done
 
 if [ "$fail" -ne 0 ]; then

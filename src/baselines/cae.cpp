@@ -15,9 +15,18 @@ CaeBaseline::CaeBaseline(int side, int latent_dim, util::Rng& rng)
       encoder_(side * side, latent_dim, shared_init_rng(rng)),
       decoder_(latent_dim, side * side, rng) {}
 
+namespace {
+void fill_features(const squish::Topology& t, nn::Tensor& x) {
+  std::size_t i = 0;
+  for (int r = 0; r < t.rows(); ++r) {
+    for (int c = 0; c < t.cols(); ++c) x[i++] = t.at(r, c) ? 1.0f : 0.0f;
+  }
+}
+}  // namespace
+
 nn::Tensor CaeBaseline::encode(const squish::Topology& t) {
   nn::Tensor x({1, side_ * side_});
-  for (std::size_t i = 0; i < t.size(); ++i) x[i] = t.data()[i] ? 1.0f : 0.0f;
+  fill_features(t, x);
   return encoder_.forward(x);
 }
 
@@ -42,7 +51,7 @@ void CaeBaseline::train(const std::vector<squish::Topology>& data, int iteration
     const squish::Topology& t =
         data[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(data.size()) - 1))];
     nn::Tensor x({1, side_ * side_});
-    for (std::size_t i = 0; i < t.size(); ++i) x[i] = t.data()[i] ? 1.0f : 0.0f;
+    fill_features(t, x);
     for (nn::Param* p : params) p->grad.fill(0.0f);
     const nn::Tensor z = encoder_.forward(x);
     const nn::Tensor recon = decoder_.forward(z);

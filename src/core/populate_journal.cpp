@@ -63,7 +63,10 @@ bool get_deltas(const std::string& buf, std::size_t& pos, squish::DeltaVec& d) {
 void put_pattern(std::string& buf, const squish::SquishPattern& p) {
   put(buf, static_cast<std::int32_t>(p.topology.rows()));
   put(buf, static_cast<std::int32_t>(p.topology.cols()));
-  buf.append(reinterpret_cast<const char*>(p.topology.data()), p.topology.size());
+  // On-disk format stays one byte per cell regardless of the packed in-memory
+  // representation, so journals written before the packing refactor replay.
+  const std::vector<std::uint8_t> cells = p.topology.to_bytes();
+  buf.append(reinterpret_cast<const char*>(cells.data()), cells.size());
   put_deltas(buf, p.dx);
   put_deltas(buf, p.dy);
 }
@@ -74,8 +77,14 @@ bool get_pattern(const std::string& buf, std::size_t& pos, squish::SquishPattern
   if (rows < 0 || cols < 0 || rows > 1 << 16 || cols > 1 << 16) return false;
   const std::size_t cells = static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
   if (buf.size() - pos < cells) return false;
-  p.topology = squish::Topology(rows, cols);
-  std::memcpy(p.topology.data(), buf.data() + pos, cells);
+  try {
+    // from_bytes rejects any cell byte outside {0,1}: a record that passed the
+    // CRC but carries non-binary cells is treated as corrupt, not replayed.
+    p.topology = squish::Topology::from_bytes(
+        rows, cols, reinterpret_cast<const std::uint8_t*>(buf.data() + pos), cells);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
   pos += cells;
   return get_deltas(buf, pos, p.dx) && get_deltas(buf, pos, p.dy);
 }

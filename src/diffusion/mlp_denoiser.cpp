@@ -2,20 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 #include <stdexcept>
 #include <vector>
+
+#include "diffusion/neighborhood.h"
 
 namespace cp::diffusion {
 
 namespace {
 constexpr int kTimeFeatures = 4;
 
-constexpr int kOffsets[TabularDenoiser::kNeighbors][2] = {
-    {0, 0},  {-1, 0}, {1, 0},  {0, -1}, {0, 1},  {-1, -1}, {-1, 1},  {1, -1}, {1, 1},
-    {-2, 0}, {2, 0},  {0, -2}, {0, 2},  {-4, 0}, {4, 0},   {0, -4},  {0, 4},
-};
+// Canonical offset table shared with the tabular denoiser; order defines the
+// feature layout.
+constexpr auto& kOffsets = neighborhood::kOffsets;
 
+// Single-reflection boundary padding. Deliberately NOT the tabular denoiser's
+// period-folding mirror: the two rules differ on grids smaller than the
+// distance-4 probes, and each module keeps its historical behaviour.
 inline int mirror(int i, int n) {
   if (i < 0) return -i;
   if (i >= n) return 2 * n - 2 - i;
@@ -31,15 +36,16 @@ inline void neighbor_features(const squish::Topology& xk, int r, int c, float* o
 }
 
 /// Largest |offset| in kOffsets: pixels at least this far from every border
-/// need no mirror reflection and can gather neighbors with precomputed
-/// linear deltas. Values are identical to neighbor_features (same cells
-/// loaded), just without the per-neighbor branch pair.
-constexpr int kNeighborMargin = 4;
+/// need no mirror reflection and can read straight from the packed planes.
+constexpr int kNeighborMargin = neighborhood::kMargin;
 
-inline void neighbor_features_interior(const std::uint8_t* center, const int* lin,
-                                       float* out) {
+/// Feature write from the 17 gathered bit-planes: lane j of plane i is the
+/// neighbour-i value of cell (r, word*64 + j). Values are identical to
+/// neighbor_features (same cells), with register shifts instead of 17
+/// scattered loads plus mirror branches.
+inline void neighbor_features_from_planes(const std::uint64_t* planes, int lane, float* out) {
   for (int i = 0; i < TabularDenoiser::kNeighbors; ++i) {
-    out[i] = center[lin[i]] ? 1.0f : -1.0f;
+    out[i] = ((planes[i] >> lane) & 1u) ? 1.0f : -1.0f;
   }
 }
 
@@ -162,18 +168,18 @@ void MlpDenoiser::predict_x0(const squish::Topology& xk, int k, int condition,
   const float flip = static_cast<float>(schedule_->cumulative_flip(k));
   const float* tail = cached_tail(ctx, t, flip, config_.conditions, condition);
   const int tail_len = kTimeFeatures + config_.conditions;
-  int lin[TabularDenoiser::kNeighbors];
-  for (int i = 0; i < TabularDenoiser::kNeighbors; ++i) {
-    lin[i] = kOffsets[i][0] * xk.cols() + kOffsets[i][1];
-  }
-  const std::uint8_t* grid = xk.data();
+  std::uint64_t planes[TabularDenoiser::kNeighbors];
   float* row = ctx.features.data();
   for (int r = 0; r < xk.rows(); ++r) {
     const bool r_interior = r >= kNeighborMargin && r < xk.rows() - kNeighborMargin;
+    int word = -1;  // word index currently held in `planes`
     for (int c = 0; c < xk.cols(); ++c, row += dim) {
       if (r_interior && c >= kNeighborMargin && c < xk.cols() - kNeighborMargin) {
-        neighbor_features_interior(grid + static_cast<std::size_t>(r) * xk.cols() + c, lin,
-                                   row);
+        if (c >> 6 != word) {
+          word = c >> 6;
+          neighborhood::gather_planes(xk, r, word, planes);
+        }
+        neighbor_features_from_planes(planes, c & 63, row);
       } else {
         neighbor_features(xk, r, c, row);
       }

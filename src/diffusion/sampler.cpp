@@ -181,9 +181,18 @@ squish::Topology DiffusionSampler::map_polish(squish::Topology x, int k, int con
 squish::Topology DiffusionSampler::sample(const SampleConfig& config, util::Rng& rng) const {
   const obs::Span span = obs::trace_scope("sampler/sample");
   obs::count("sampler/samples");
+  // Word-parallel uniform init; one Bernoulli draw per cell in row-major
+  // order, same stream as the scalar loop (see forward_noise).
   squish::Topology x(config.rows, config.cols);
   for (int r = 0; r < x.rows(); ++r) {
-    for (int c = 0; c < x.cols(); ++c) x.set(r, c, rng.bernoulli(0.5) ? 1 : 0);
+    for (int w = 0; w < x.words_per_row(); ++w) {
+      const int bits = std::min(64, x.cols() - w * 64);
+      std::uint64_t mask = 0;
+      for (int j = 0; j < bits; ++j) {
+        mask |= static_cast<std::uint64_t>(rng.bernoulli(0.5)) << j;
+      }
+      if (mask != 0) x.xor_word(r, w, mask);
+    }
   }
   x = sample_from(std::move(x), make_timesteps(config.sample_steps, config.schedule_kind),
                   config.condition, rng);

@@ -6,17 +6,16 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "diffusion/neighborhood.h"
 #include "diffusion/transition.h"
 
 namespace cp::diffusion {
 
 namespace {
-// Diamond neighbourhood offsets (dr, dc): center, 4-ring, diagonals, then
-// the distance-2 cross. Order defines the bit layout of the table index.
-constexpr int kOffsets[TabularDenoiser::kNeighbors][2] = {
-    {0, 0},  {-1, 0}, {1, 0},  {0, -1}, {0, 1},  {-1, -1}, {-1, 1},  {1, -1}, {1, 1},
-    {-2, 0}, {2, 0},  {0, -2}, {0, 2},  {-4, 0}, {4, 0},   {0, -4},  {0, 4},
-};
+// Neighbourhood offsets (dr, dc); the canonical table lives in
+// diffusion/neighborhood.h and defines the bit layout of the table index.
+constexpr auto& kOffsets = neighborhood::kOffsets;
+static_assert(neighborhood::kCount == TabularDenoiser::kNeighbors);
 
 // Reflect-101 boundary padding. A single reflection (-i / 2n-2-i) is only
 // valid while |i - clamp| < n; the cascade's coarse stage runs on grids as
@@ -53,6 +52,40 @@ int TabularDenoiser::neighborhood_index(const squish::Topology& t, int r, int c)
     index |= (t.at(rr, cc) != 0) << i;
   }
   return index;
+}
+
+void TabularDenoiser::neighborhood_indices_row(const squish::Topology& t, int r,
+                                               int* indices) {
+  const int rows = t.rows();
+  const int cols = t.cols();
+  const bool r_interior = r >= neighborhood::kMargin && r < rows - neighborhood::kMargin;
+  if (!r_interior || cols <= 2 * neighborhood::kMargin) {
+    for (int c = 0; c < cols; ++c) indices[c] = neighborhood_index(t, r, c);
+    return;
+  }
+  // Interior columns word-at-a-time: 17 funnel-shifted planes + one 64x64 bit
+  // transpose yield the table index of every lane at once.
+  for (int wi = 0; wi < t.words_per_row(); ++wi) {
+    const int base = wi * 64;
+    const int c_lo = std::max(base, neighborhood::kMargin);
+    const int c_hi = std::min(base + 64, cols - neighborhood::kMargin);
+    if (c_lo >= c_hi) continue;
+    std::uint64_t idx[64];
+    neighborhood::gather_indices(t, r, wi, idx);
+    for (int c = c_lo; c < c_hi; ++c) indices[c] = static_cast<int>(idx[c - base]);
+  }
+  for (int c = 0; c < neighborhood::kMargin; ++c) indices[c] = neighborhood_index(t, r, c);
+  for (int c = cols - neighborhood::kMargin; c < cols; ++c) {
+    indices[c] = neighborhood_index(t, r, c);
+  }
+}
+
+void TabularDenoiser::row_indices(const squish::Topology& t, int r, int* indices) const {
+  if (packed_gather_) {
+    neighborhood_indices_row(t, r, indices);
+  } else {
+    for (int c = 0; c < t.cols(); ++c) indices[c] = neighborhood_index(t, r, c);
+  }
 }
 
 int TabularDenoiser::bucket_of(int k) const {
@@ -92,9 +125,11 @@ void TabularDenoiser::fit(const std::vector<squish::Topology>& topologies, int c
       for (int draw = 0; draw < config_.draws_per_bucket; ++draw) {
         const int k = rng.uniform_int(k_lo, std::max(k_lo, k_hi));
         const squish::Topology xk = forward_noise(x0, *schedule_, k, rng);
+        std::vector<int> indices(static_cast<std::size_t>(x0.cols()));
         for (int r = 0; r < x0.rows(); ++r) {
+          row_indices(xk, r, indices.data());
           for (int c = 0; c < x0.cols(); ++c) {
-            const std::size_t cc = cell(condition, bucket, neighborhood_index(xk, r, c));
+            const std::size_t cc = cell(condition, bucket, indices[static_cast<std::size_t>(c)]);
             ones_[cc] += x0.at(r, c);
             ++totals_[cc];
           }
@@ -119,9 +154,11 @@ void TabularDenoiser::predict_x0(const squish::Topology& xk, int k, int conditio
   const double alpha = config_.smoothing;
   p0.resize(xk.size());
   std::size_t out = 0;
+  std::vector<int> indices(static_cast<std::size_t>(xk.cols()));
   for (int r = 0; r < xk.rows(); ++r) {
+    row_indices(xk, r, indices.data());
     for (int c = 0; c < xk.cols(); ++c) {
-      const std::size_t cc = cell(condition, bucket, neighborhood_index(xk, r, c));
+      const std::size_t cc = cell(condition, bucket, indices[static_cast<std::size_t>(c)]);
       const double n1 = static_cast<double>(ones_[cc]);
       const double n = static_cast<double>(totals_[cc]);
       p0[out++] = static_cast<float>((n1 + alpha * prior) / (n + alpha));

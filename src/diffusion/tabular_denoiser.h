@@ -59,8 +59,21 @@ class TabularDenoiser : public Denoiser {
   /// Empirical class density (fraction of 1s seen in training data).
   double class_density(int condition) const;
 
-  /// Neighbourhood index of pixel (r, c) in `t` with mirror padding.
+  /// Neighbourhood index of pixel (r, c) in `t` with mirror padding — the
+  /// scalar reference path, also used as the border fallback of the packed
+  /// row kernel below.
   static int neighborhood_index(const squish::Topology& t, int r, int c);
+
+  /// Fill `indices[0..cols)` with the neighbourhood indices of row `r`,
+  /// using the packed plane-gather fast path for interior cells
+  /// (diffusion/neighborhood.h). Bit-identical to calling
+  /// neighborhood_index per cell.
+  static void neighborhood_indices_row(const squish::Topology& t, int r, int* indices);
+
+  /// Route fit/predict through the scalar per-cell gather instead of the
+  /// packed row kernel. Benchmark/test hook only (before/after rows in
+  /// BENCH_denoiser.json); outputs are bit-identical either way.
+  void set_packed_gather(bool enabled) { packed_gather_ = enabled; }
 
   void save(std::ostream& os) const;
   void load(std::istream& is);
@@ -68,9 +81,11 @@ class TabularDenoiser : public Denoiser {
  private:
   int bucket_of(int k) const;
   std::size_t cell(int condition, int bucket, int index) const;
+  void row_indices(const squish::Topology& t, int r, int* indices) const;
 
   const NoiseSchedule* schedule_;
   TabularConfig config_;
+  bool packed_gather_ = true;
   std::vector<std::uint32_t> ones_;
   std::vector<std::uint32_t> totals_;
   std::vector<double> density_num_;  // per-condition filled-cell counts

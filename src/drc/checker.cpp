@@ -32,17 +32,35 @@ geometry::Rect DrcReport::violating_region_cells() const {
 }
 
 std::vector<std::pair<int, int>> row_runs(const squish::Topology& t, int r, std::uint8_t value) {
+  // Word-at-a-time run scan: complement for 0-runs, mask the row tail, then
+  // hop between run boundaries with countr_zero instead of testing cells.
   std::vector<std::pair<int, int>> runs;
-  int c = 0;
-  while (c < t.cols()) {
-    if (t.at(r, c) != value) {
-      ++c;
-      continue;
+  const int cols = t.cols();
+  if (cols == 0) return runs;
+  const std::uint64_t* row = t.row_words(r);
+  int start = -1;  // column where the currently open run began, -1 if none
+  for (int wi = 0; wi < t.words_per_row(); ++wi) {
+    std::uint64_t m = value ? row[wi] : ~row[wi];
+    const int base = wi * 64;
+    const int bits = std::min(64, cols - base);
+    if (bits < 64) m &= geometry::bitgrid_tail_mask(bits);
+    int j = 0;
+    while (j < bits) {
+      if (start < 0) {
+        const std::uint64_t rest = m >> j;
+        if (rest == 0) break;
+        j += std::countr_zero(rest);
+        start = base + j;
+      }
+      const std::uint64_t inv = ~(m >> j);
+      j = (inv == 0) ? 64 : j + std::countr_zero(inv);
+      if (j < bits) {
+        runs.emplace_back(start, base + j);
+        start = -1;
+      }
     }
-    const int start = c;
-    while (c < t.cols() && t.at(r, c) == value) ++c;
-    runs.emplace_back(start, c);
   }
+  if (start >= 0) runs.emplace_back(start, cols);
   return runs;
 }
 
@@ -130,9 +148,12 @@ DrcReport check(const squish::SquishPattern& pattern, const DesignRules& rules) 
     }
   }
 
-  // Width and space along columns (y direction).
+  // Width and space along columns (y direction): one packed transpose, then
+  // the same word-level run scan as the row pass (column c of t is row c of
+  // the transpose, so violation order and content are unchanged).
+  const squish::Topology tt = t.transposed();
   for (int c = 0; c < cols; ++c) {
-    const auto ones = col_runs(t, c, 1);
+    const auto ones = row_runs(tt, c, 1);
     for (const auto& [b, e] : ones) {
       if (b == 0 || e == rows) continue;  // run continues outside the clip
       const Coord h = span_sum(pattern.dy, b, e);
@@ -155,7 +176,7 @@ DrcReport check(const squish::SquishPattern& pattern, const DesignRules& rules) 
   std::vector<Coord> py(static_cast<std::size_t>(rows) + 1, 0);
   for (int c = 0; c < cols; ++c) px[c + 1] = px[c] + pattern.dx[static_cast<std::size_t>(c)];
   for (int r = 0; r < rows; ++r) py[r + 1] = py[r] + pattern.dy[static_cast<std::size_t>(r)];
-  for (const auto& comp : geometry::connected_components(t.data(), rows, cols)) {
+  for (const auto& comp : geometry::connected_components(t.view())) {
     Coord area = 0;
     for (const geometry::Point& cell : comp.cells) {
       area += pattern.dx[static_cast<std::size_t>(cell.x)] *

@@ -1,0 +1,95 @@
+#pragma once
+// Bit-packed binary occupancy grids.
+//
+// One cell per bit, 64 cells per `std::uint64_t` word, row-major with a
+// word-aligned row pitch of `words_per_row = ceil(cols / 64)` words. Within a
+// word the least-significant bit is the lowest column index: cell (r, c) is
+// bit `c % 64` of word `r * words_per_row + c / 64`. Bits at positions >= cols
+// in the last word of a row (the "tail") must be zero — see docs/GRID.md for
+// the full layout contract and kernel-writing idioms.
+//
+// This header is the geometry-side view of that layout. squish::Topology owns
+// the canonical packed storage and exposes it as a BitGridView; modules that
+// build transient grids of their own (e.g. the GDS reader's point-in-polygon
+// raster) use the owning BitGrid. Geometry stays deliberately independent of
+// the squish module to keep the dependency graph acyclic.
+
+#include <cstdint>
+#include <vector>
+
+namespace cp::geometry {
+
+/// Number of cells per storage word.
+inline constexpr int kBitGridWordBits = 64;
+
+/// Words needed to hold `cols` cells in one row.
+constexpr int bitgrid_words_per_row(int cols) {
+  return (cols + kBitGridWordBits - 1) / kBitGridWordBits;
+}
+
+/// Mask of the valid (non-tail) bits in the last word of a `cols`-cell row;
+/// all ones when cols is a multiple of 64 (and for cols == 0, where no last
+/// word exists).
+constexpr std::uint64_t bitgrid_tail_mask(int cols) {
+  const int rem = cols % kBitGridWordBits;
+  return rem == 0 ? ~std::uint64_t{0} : (~std::uint64_t{0} >> (kBitGridWordBits - rem));
+}
+
+/// In-place transpose of a 64x64 bit tile, LSB-first: afterwards bit i of
+/// x[j] is the old bit j of x[i]. Masked-swap network (Hacker's Delight 7-3,
+/// mirrored for least-significant-bit-first column order). Shared by the
+/// Topology transpose and the denoiser plane-gather kernels.
+inline void bitgrid_transpose64(std::uint64_t x[64]) {
+  std::uint64_t m = 0xFFFFFFFF00000000ULL;
+  for (int j = 32; j != 0; j >>= 1, m ^= m >> j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = (x[k] ^ (x[k + j] << j)) & m;
+      x[k] ^= t;
+      x[k + j] ^= t >> j;
+    }
+  }
+}
+
+/// Non-owning read-only view of a bit-packed grid.
+struct BitGridView {
+  const std::uint64_t* words = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int words_per_row = 0;
+
+  bool test(int r, int c) const {
+    return (word(r, c / kBitGridWordBits) >> (c % kBitGridWordBits)) & 1u;
+  }
+  std::uint64_t word(int r, int w) const {
+    return words[static_cast<std::size_t>(r) * words_per_row + w];
+  }
+  const std::uint64_t* row(int r) const {
+    return words + static_cast<std::size_t>(r) * words_per_row;
+  }
+};
+
+/// Minimal owning bit-packed grid for modules that raster their own masks.
+struct BitGrid {
+  int rows = 0;
+  int cols = 0;
+  int words_per_row = 0;
+  std::vector<std::uint64_t> words;
+
+  BitGrid() = default;
+  BitGrid(int rows_in, int cols_in)
+      : rows(rows_in),
+        cols(cols_in),
+        words_per_row(bitgrid_words_per_row(cols_in)),
+        words(static_cast<std::size_t>(rows_in) * bitgrid_words_per_row(cols_in), 0) {}
+
+  void set(int r, int c, bool v) {
+    std::uint64_t& w =
+        words[static_cast<std::size_t>(r) * words_per_row + c / kBitGridWordBits];
+    const std::uint64_t bit = std::uint64_t{1} << (c % kBitGridWordBits);
+    w = v ? (w | bit) : (w & ~bit);
+  }
+  bool test(int r, int c) const { return view().test(r, c); }
+  BitGridView view() const { return BitGridView{words.data(), rows, cols, words_per_row}; }
+};
+
+}  // namespace cp::geometry

@@ -1,44 +1,52 @@
 #include "geometry/extract.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace cp::geometry {
 
-std::vector<GridComponent> connected_components(const std::uint8_t* data, int rows, int cols) {
+std::vector<GridComponent> connected_components(const BitGridView& grid) {
+  const int rows = grid.rows;
+  const int cols = grid.cols;
   std::vector<int> label(static_cast<std::size_t>(rows) * cols, -1);
   std::vector<GridComponent> components;
   std::vector<int> stack;
   auto idx = [cols](int r, int c) { return static_cast<std::size_t>(r) * cols + c; };
 
   for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      if (data[idx(r, c)] == 0 || label[idx(r, c)] >= 0) continue;
-      const int id = static_cast<int>(components.size());
-      components.emplace_back();
-      GridComponent& comp = components.back();
-      comp.min_row = comp.max_row = r;
-      comp.min_col = comp.max_col = c;
-      stack.push_back(static_cast<int>(idx(r, c)));
-      label[idx(r, c)] = id;
-      while (!stack.empty()) {
-        const int cell = stack.back();
-        stack.pop_back();
-        const int cr = cell / cols;
-        const int cc = cell % cols;
-        comp.cells.push_back(Point{cc, cr});
-        comp.min_row = std::min(comp.min_row, cr);
-        comp.max_row = std::max(comp.max_row, cr);
-        comp.min_col = std::min(comp.min_col, cc);
-        comp.max_col = std::max(comp.max_col, cc);
-        const int dr[4] = {-1, 1, 0, 0};
-        const int dc[4] = {0, 0, -1, 1};
-        for (int d = 0; d < 4; ++d) {
-          const int nr = cr + dr[d];
-          const int nc = cc + dc[d];
-          if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
-          if (data[idx(nr, nc)] == 0 || label[idx(nr, nc)] >= 0) continue;
-          label[idx(nr, nc)] = id;
-          stack.push_back(static_cast<int>(idx(nr, nc)));
+    for (int w = 0; w < grid.words_per_row; ++w) {
+      std::uint64_t bits = grid.word(r, w);
+      while (bits != 0) {
+        const int c = w * kBitGridWordBits + std::countr_zero(bits);
+        bits &= bits - 1;  // clear lowest set bit; seeds stay in column order
+        if (label[idx(r, c)] >= 0) continue;
+        const int id = static_cast<int>(components.size());
+        components.emplace_back();
+        GridComponent& comp = components.back();
+        comp.min_row = comp.max_row = r;
+        comp.min_col = comp.max_col = c;
+        stack.push_back(static_cast<int>(idx(r, c)));
+        label[idx(r, c)] = id;
+        while (!stack.empty()) {
+          const int cell = stack.back();
+          stack.pop_back();
+          const int cr = cell / cols;
+          const int cc = cell % cols;
+          comp.cells.push_back(Point{cc, cr});
+          comp.min_row = std::min(comp.min_row, cr);
+          comp.max_row = std::max(comp.max_row, cr);
+          comp.min_col = std::min(comp.min_col, cc);
+          comp.max_col = std::max(comp.max_col, cc);
+          const int dr[4] = {-1, 1, 0, 0};
+          const int dc[4] = {0, 0, -1, 1};
+          for (int d = 0; d < 4; ++d) {
+            const int nr = cr + dr[d];
+            const int nc = cc + dc[d];
+            if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+            if (!grid.test(nr, nc) || label[idx(nr, nc)] >= 0) continue;
+            label[idx(nr, nc)] = id;
+            stack.push_back(static_cast<int>(idx(nr, nc)));
+          }
         }
       }
     }
@@ -46,9 +54,7 @@ std::vector<GridComponent> connected_components(const std::uint8_t* data, int ro
   return components;
 }
 
-std::vector<Rect> component_to_cell_rects(const GridComponent& component, const std::uint8_t* data,
-                                          int rows, int cols) {
-  (void)rows;
+std::vector<Rect> component_to_cell_rects(const GridComponent& component) {
   // Build per-row horizontal runs restricted to this component's cells, then
   // merge runs with identical column extents across consecutive rows.
   std::vector<std::vector<std::pair<int, int>>> runs_by_row(
@@ -61,8 +67,6 @@ std::vector<Rect> component_to_cell_rects(const GridComponent& component, const 
     const int lc = static_cast<int>(p.x) - component.min_col;
     local[static_cast<std::size_t>(lr) * width + lc] = 1;
   }
-  (void)data;
-  (void)cols;
   for (std::size_t lr = 0; lr < runs_by_row.size(); ++lr) {
     int c = 0;
     while (c < width) {
@@ -115,10 +119,10 @@ std::vector<Rect> component_to_cell_rects(const GridComponent& component, const 
   return rects;
 }
 
-std::vector<Rect> grid_to_cell_rects(const std::uint8_t* data, int rows, int cols) {
+std::vector<Rect> grid_to_cell_rects(const BitGridView& grid) {
   std::vector<Rect> all;
-  for (const GridComponent& comp : connected_components(data, rows, cols)) {
-    auto rects = component_to_cell_rects(comp, data, rows, cols);
+  for (const GridComponent& comp : connected_components(grid)) {
+    auto rects = component_to_cell_rects(comp);
     all.insert(all.end(), rects.begin(), rects.end());
   }
   return all;

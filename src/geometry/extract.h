@@ -5,11 +5,13 @@
 // grid-side analyses (connected components, per-component cell rectangles)
 // that the DRC checker and the unsquish step build on. It is deliberately
 // independent of the squish module to keep the dependency graph acyclic:
-// callers pass raw row-major data.
+// callers pass a bit-packed BitGridView (squish::Topology::view() produces
+// one; transient rasters use geometry::BitGrid).
 
 #include <cstdint>
 #include <vector>
 
+#include "geometry/bitgrid.h"
 #include "geometry/polygon.h"
 
 namespace cp::geometry {
@@ -20,16 +22,17 @@ struct GridComponent {
   int min_row = 0, max_row = 0, min_col = 0, max_col = 0;
 };
 
-/// Label 4-connected components of the `rows x cols` row-major binary grid.
-std::vector<GridComponent> connected_components(const std::uint8_t* data, int rows, int cols);
+/// Label 4-connected components of the bit-packed binary grid. Components are
+/// seeded in row-major scan order (word-skipping over empty words), so the
+/// result ordering matches a scalar row-major scan.
+std::vector<GridComponent> connected_components(const BitGridView& grid);
 
 /// Decompose one component into maximal horizontal cell-run rectangles merged
 /// vertically (a standard rectilinear decomposition): the result rects are in
 /// *cell* coordinates (col0, row0, col1, row1), half-open.
-std::vector<Rect> component_to_cell_rects(const GridComponent& component, const std::uint8_t* data,
-                                          int rows, int cols);
+std::vector<Rect> component_to_cell_rects(const GridComponent& component);
 
 /// Convenience: full grid -> cell-coordinate rects of all filled regions.
-std::vector<Rect> grid_to_cell_rects(const std::uint8_t* data, int rows, int cols);
+std::vector<Rect> grid_to_cell_rects(const BitGridView& grid);
 
 }  // namespace cp::geometry

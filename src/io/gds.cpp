@@ -263,7 +263,7 @@ std::vector<geometry::Rect> loop_to_rects(const std::vector<geometry::Point>& lo
     throw std::runtime_error("gds: boundary too complex");
   }
 
-  std::vector<std::uint8_t> grid(static_cast<std::size_t>(rows) * cols, 0);
+  geometry::BitGrid grid(rows, cols);
   for (int r = 0; r < rows; ++r) {
     const double cy = 0.5 * (static_cast<double>(ys[r]) + static_cast<double>(ys[r + 1]));
     for (int c = 0; c < cols; ++c) {
@@ -278,11 +278,11 @@ std::vector<geometry::Rect> loop_to_rects(const std::vector<geometry::Point>& lo
         const double hi = static_cast<double>(std::max(a.y, b.y));
         if (cy > lo && cy < hi && static_cast<double>(a.x) > cx) ++crossings;
       }
-      grid[static_cast<std::size_t>(r) * cols + c] = crossings % 2;
+      grid.set(r, c, crossings % 2 != 0);
     }
   }
   std::vector<geometry::Rect> rects;
-  for (const geometry::Rect& cell : geometry::grid_to_cell_rects(grid.data(), rows, cols)) {
+  for (const geometry::Rect& cell : geometry::grid_to_cell_rects(grid.view())) {
     rects.push_back(geometry::Rect{xs[cell.x0], ys[cell.y0], xs[cell.x1], ys[cell.y1]});
   }
   return rects;

@@ -110,8 +110,7 @@ LegalizeResult Legalizer::legalize(const squish::Topology& topology, Coord width
 
     // Area check on the candidate assignment.
     bool area_clean = true;
-    for (const auto& comp :
-         geometry::connected_components(topology.data(), topology.rows(), topology.cols())) {
+    for (const auto& comp : geometry::connected_components(topology.view())) {
       const bool on_border = comp.min_row == 0 || comp.min_col == 0 ||
                              comp.max_row + 1 == topology.rows() ||
                              comp.max_col + 1 == topology.cols();

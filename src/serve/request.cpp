@@ -132,7 +132,10 @@ std::uint64_t payload_hash(const GenerationPayload& payload) {
   auto fnv_topology = [&](const squish::Topology& t) {
     fnv(static_cast<std::uint64_t>(t.rows()));
     fnv(static_cast<std::uint64_t>(t.cols()));
-    for (std::size_t i = 0; i < t.size(); ++i) fnv(t.data()[i]);
+    // Per-cell 0/1 feed keeps hash values identical to the byte-backed era.
+    for (int r = 0; r < t.rows(); ++r) {
+      for (int c = 0; c < t.cols(); ++c) fnv(t.at(r, c));
+    }
   };
   for (const auto& p : payload.patterns) {
     fnv_topology(p.topology);

@@ -7,28 +7,15 @@ namespace cp::squish {
 
 namespace {
 
-bool rows_equal(const Topology& t, int a, int b) {
-  for (int c = 0; c < t.cols(); ++c) {
-    if (t.at(a, c) != t.at(b, c)) return false;
-  }
-  return true;
-}
-
-bool cols_equal(const Topology& t, int a, int b) {
-  for (int r = 0; r < t.rows(); ++r) {
-    if (t.at(r, a) != t.at(r, b)) return false;
-  }
-  return true;
-}
-
 /// Rebuild a pattern keeping `keep` rows (merging the delta mass of dropped
-/// duplicates into the kept representative).
+/// duplicates into the kept representative). Duplicate detection is a packed
+/// word-vector compare per row pair (Topology::rows_equal).
 SquishPattern merge_rows(const SquishPattern& p) {
   const int rows = p.topology.rows();
   std::vector<int> rep;  // representative row per group
   DeltaVec dy;
   for (int r = 0; r < rows; ++r) {
-    if (!rep.empty() && rows_equal(p.topology, r, rep.back())) {
+    if (!rep.empty() && p.topology.rows_equal(r, rep.back())) {
       dy.back() += p.dy[static_cast<std::size_t>(r)];
     } else {
       rep.push_back(r);
@@ -52,7 +39,7 @@ SquishPattern merge_cols(const SquishPattern& p) {
   std::vector<int> rep;
   DeltaVec dx;
   for (int c = 0; c < cols; ++c) {
-    if (!rep.empty() && cols_equal(p.topology, c, rep.back())) {
+    if (!rep.empty() && p.topology.cols_equal(c, rep.back())) {
       dx.back() += p.dx[static_cast<std::size_t>(c)];
     } else {
       rep.push_back(c);

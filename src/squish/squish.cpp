@@ -83,8 +83,7 @@ std::vector<Rect> unsquish(const SquishPattern& pattern) {
   for (int r = 0; r < rows; ++r) py[r + 1] = py[r] + pattern.dy[r];
 
   std::vector<Rect> out;
-  for (const Rect& cell_rect :
-       geometry::grid_to_cell_rects(pattern.topology.data(), rows, cols)) {
+  for (const Rect& cell_rect : geometry::grid_to_cell_rects(pattern.topology.view())) {
     out.push_back(Rect{px[cell_rect.x0], py[cell_rect.y0], px[cell_rect.x1], py[cell_rect.y1]});
   }
   return out;

@@ -1,23 +1,110 @@
 #include "squish/topology.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace cp::squish {
 
+namespace {
+
+using geometry::bitgrid_tail_mask;
+using geometry::bitgrid_words_per_row;
+
+/// Copy `count` bits starting at bit `offset` of the `src_words`-word source
+/// row into `dst` starting at bit 0. Writes ceil(count/64) words with zero
+/// tail bits; never reads past src[src_words - 1].
+void extract_bits(const std::uint64_t* src, int src_words, int offset, int count,
+                  std::uint64_t* dst) {
+  if (count <= 0) return;
+  const int out_words = bitgrid_words_per_row(count);
+  const int q = offset >> 6;
+  const int sh = offset & 63;
+  for (int i = 0; i < out_words; ++i) {
+    std::uint64_t w = src[q + i] >> sh;
+    if (sh != 0 && q + i + 1 < src_words) w |= src[q + i + 1] << (64 - sh);
+    dst[i] = w;
+  }
+  dst[out_words - 1] &= bitgrid_tail_mask(count);
+}
+
+/// Write `count` bits (read from bit 0 of `src`) into the destination row at
+/// bit `offset`, leaving all other destination bits untouched.
+void deposit_bits(std::uint64_t* dst, int offset, int count, const std::uint64_t* src) {
+  if (count <= 0) return;
+  const int q = offset >> 6;
+  const int sh = offset & 63;
+  const int in_words = bitgrid_words_per_row(count);
+  for (int i = 0; i < in_words; ++i) {
+    const int bits_here = std::min(64, count - i * 64);
+    const std::uint64_t m = bitgrid_tail_mask(bits_here);
+    const std::uint64_t v = src[i] & m;
+    dst[q + i] = (dst[q + i] & ~(m << sh)) | (v << sh);
+    if (sh != 0 && (m >> (64 - sh)) != 0) {
+      dst[q + i + 1] = (dst[q + i + 1] & ~(m >> (64 - sh))) | (v >> (64 - sh));
+    }
+  }
+}
+
+std::uint64_t bit_reverse(std::uint64_t v) {
+  v = ((v >> 1) & 0x5555555555555555ULL) | ((v & 0x5555555555555555ULL) << 1);
+  v = ((v >> 2) & 0x3333333333333333ULL) | ((v & 0x3333333333333333ULL) << 2);
+  v = ((v >> 4) & 0x0F0F0F0F0F0F0F0FULL) | ((v & 0x0F0F0F0F0F0F0F0FULL) << 4);
+  v = ((v >> 8) & 0x00FF00FF00FF00FFULL) | ((v & 0x00FF00FF00FF00FFULL) << 8);
+  v = ((v >> 16) & 0x0000FFFF0000FFFFULL) | ((v & 0x0000FFFF0000FFFFULL) << 16);
+  return (v >> 32) | (v << 32);
+}
+
+}  // namespace
+
 Topology::Topology(int rows, int cols, std::uint8_t fill)
-    : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill ? 1 : 0) {
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_(bitgrid_words_per_row(cols)),
+      words_(static_cast<std::size_t>(rows) * bitgrid_words_per_row(cols),
+             fill ? ~std::uint64_t{0} : 0) {
   if (rows < 0 || cols < 0) throw std::invalid_argument("Topology: negative dimensions");
+  if (fill && words_per_row_ > 0) {
+    const std::uint64_t tail = tail_mask();
+    for (int r = 0; r < rows_; ++r) {
+      words_[word_index(r, words_per_row_ - 1)] &= tail;
+    }
+  }
+}
+
+std::vector<std::uint8_t> Topology::to_bytes() const {
+  std::vector<std::uint8_t> bytes(size());
+  std::size_t i = 0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) bytes[i++] = at(r, c);
+  }
+  return bytes;
+}
+
+Topology Topology::from_bytes(int rows, int cols, const std::uint8_t* bytes,
+                              std::size_t count) {
+  Topology t(rows, cols);
+  if (count != t.size()) throw std::invalid_argument("Topology::from_bytes: size mismatch");
+  std::size_t i = 0;
+  for (int r = 0; r < rows; ++r) {
+    std::uint64_t* row = t.words_.data() + t.word_index(r, 0);
+    for (int c = 0; c < cols; ++c, ++i) {
+      const std::uint8_t v = bytes[i];
+      if (v > 1) throw std::invalid_argument("Topology::from_bytes: cell value not in {0,1}");
+      row[c >> 6] |= static_cast<std::uint64_t>(v) << (c & 63);
+    }
+  }
+  return t;
 }
 
 std::size_t Topology::popcount() const {
   std::size_t n = 0;
-  for (std::uint8_t v : data_) n += v;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
   return n;
 }
 
 double Topology::density() const {
-  return data_.empty() ? 0.0 : static_cast<double>(popcount()) / static_cast<double>(data_.size());
+  return empty() ? 0.0 : static_cast<double>(popcount()) / static_cast<double>(size());
 }
 
 Topology Topology::window(int r0, int c0, int r1, int c1) const {
@@ -26,8 +113,8 @@ Topology Topology::window(int r0, int c0, int r1, int c1) const {
   }
   Topology out(r1 - r0, c1 - c0);
   for (int r = r0; r < r1; ++r) {
-    std::copy(data_.begin() + index(r, c0), data_.begin() + index(r, c1),
-              out.data_.begin() + out.index(r - r0, 0));
+    extract_bits(row_words(r), words_per_row_, c0, c1 - c0,
+                 out.words_.data() + out.word_index(r - r0, 0));
   }
   return out;
 }
@@ -37,25 +124,46 @@ void Topology::paste(const Topology& tile, int r0, int c0) {
   const int c_begin = std::max(0, c0);
   const int r_end = std::min(rows_, r0 + tile.rows());
   const int c_end = std::min(cols_, c0 + tile.cols());
+  const int count = c_end - c_begin;
+  if (count <= 0 || r_end <= r_begin) return;
+  std::vector<std::uint64_t> tmp(bitgrid_words_per_row(count));
   for (int r = r_begin; r < r_end; ++r) {
-    for (int c = c_begin; c < c_end; ++c) {
-      data_[index(r, c)] = tile.at(r - r0, c - c0);
-    }
+    extract_bits(tile.row_words(r - r0), tile.words_per_row_, c_begin - c0, count, tmp.data());
+    deposit_bits(words_.data() + word_index(r, 0), c_begin, count, tmp.data());
   }
 }
 
 Topology Topology::transposed() const {
   Topology out(cols_, rows_);
-  for (int r = 0; r < rows_; ++r) {
-    for (int c = 0; c < cols_; ++c) out.set(c, r, at(r, c));
+  for (int bi = 0; bi * 64 < rows_; ++bi) {
+    const int r_base = bi * 64;
+    const int r_lim = std::min(64, rows_ - r_base);
+    for (int bj = 0; bj < words_per_row_; ++bj) {
+      std::uint64_t x[64] = {};
+      for (int i = 0; i < r_lim; ++i) x[i] = word(r_base + i, bj);
+      geometry::bitgrid_transpose64(x);
+      const int c_base = bj * 64;
+      const int c_lim = std::min(64, cols_ - c_base);
+      for (int j = 0; j < c_lim; ++j) {
+        out.words_[out.word_index(c_base + j, bi)] = x[j];
+      }
+    }
   }
   return out;
 }
 
 Topology Topology::flipped_horizontal() const {
   Topology out(rows_, cols_);
+  if (words_per_row_ == 0) return out;
+  const int pad = words_per_row_ * 64 - cols_;
+  std::vector<std::uint64_t> tmp(words_per_row_);
   for (int r = 0; r < rows_; ++r) {
-    for (int c = 0; c < cols_; ++c) out.set(r, cols_ - 1 - c, at(r, c));
+    const std::uint64_t* src = row_words(r);
+    for (int i = 0; i < words_per_row_; ++i) {
+      tmp[i] = bit_reverse(src[words_per_row_ - 1 - i]);
+    }
+    extract_bits(tmp.data(), words_per_row_, pad, cols_,
+                 out.words_.data() + out.word_index(r, 0));
   }
   return out;
 }
@@ -63,35 +171,35 @@ Topology Topology::flipped_horizontal() const {
 Topology Topology::flipped_vertical() const {
   Topology out(rows_, cols_);
   for (int r = 0; r < rows_; ++r) {
-    for (int c = 0; c < cols_; ++c) out.set(rows_ - 1 - r, c, at(r, c));
+    std::copy(row_words(r), row_words(r) + words_per_row_,
+              out.words_.data() + out.word_index(rows_ - 1 - r, 0));
   }
   return out;
 }
 
-namespace {
-bool rows_equal(const Topology& t, int a, int b) {
-  for (int c = 0; c < t.cols(); ++c) {
-    if (t.at(a, c) != t.at(b, c)) return false;
+bool Topology::rows_equal(int a, int b) const {
+  return std::equal(row_words(a), row_words(a) + words_per_row_, row_words(b));
+}
+
+bool Topology::cols_equal(int a, int b) const {
+  const int wa = a >> 6, sa = a & 63;
+  const int wb = b >> 6, sb = b & 63;
+  for (int r = 0; r < rows_; ++r) {
+    const std::uint64_t* row = row_words(r);
+    if (((row[wa] >> sa) ^ (row[wb] >> sb)) & 1u) return false;
   }
   return true;
 }
-bool cols_equal(const Topology& t, int a, int b) {
-  for (int r = 0; r < t.rows(); ++r) {
-    if (t.at(r, a) != t.at(r, b)) return false;
-  }
-  return true;
-}
-}  // namespace
 
 Topology Topology::deduplicated() const {
   if (empty()) return Topology();
   std::vector<int> keep_rows{0};
   for (int r = 1; r < rows_; ++r) {
-    if (!rows_equal(*this, r, keep_rows.back())) keep_rows.push_back(r);
+    if (!rows_equal(r, keep_rows.back())) keep_rows.push_back(r);
   }
   std::vector<int> keep_cols{0};
   for (int c = 1; c < cols_; ++c) {
-    if (!cols_equal(*this, c, keep_cols.back())) keep_cols.push_back(c);
+    if (!cols_equal(c, keep_cols.back())) keep_cols.push_back(c);
   }
   Topology out(static_cast<int>(keep_rows.size()), static_cast<int>(keep_cols.size()));
   for (std::size_t r = 0; r < keep_rows.size(); ++r) {

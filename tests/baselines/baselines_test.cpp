@@ -34,7 +34,9 @@ TEST(CaeTest, ReconstructsTrainingDataApproximately) {
   int best_diff = 1 << 30;
   for (const auto& t : data) {
     int diff = 0;
-    for (std::size_t i = 0; i < t.size(); ++i) diff += t.data()[i] != g.data()[i];
+    for (int r = 0; r < t.rows(); ++r) {
+      for (int c = 0; c < t.cols(); ++c) diff += t.at(r, c) != g.at(r, c);
+    }
     best_diff = std::min(best_diff, diff);
   }
   EXPECT_LT(best_diff, static_cast<int>(g.size()) / 4);
@@ -82,7 +84,9 @@ TEST(LegalGanTest, RemovesIsolatedSpeckle) {
   // The cleaned pattern should match the unperturbed stripes better.
   const squish::Topology ref = legalgan_cleanup(stripes(16, 4), cfg);
   int diff = 0;
-  for (std::size_t i = 0; i < ref.size(); ++i) diff += ref.data()[i] != cleaned.data()[i];
+  for (int r = 0; r < ref.rows(); ++r) {
+    for (int c = 0; c < ref.cols(); ++c) diff += ref.at(r, c) != cleaned.at(r, c);
+  }
   EXPECT_LE(diff, 2);
 }
 

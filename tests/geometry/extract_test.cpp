@@ -14,7 +14,7 @@ TEST(ExtractTest, SingleComponent) {
   t.set(1, 1, 1);
   t.set(1, 2, 1);
   t.set(2, 1, 1);
-  const auto comps = connected_components(t.data(), 4, 4);
+  const auto comps = connected_components(t.view());
   ASSERT_EQ(comps.size(), 1u);
   EXPECT_EQ(comps[0].cells.size(), 3u);
   EXPECT_EQ(comps[0].min_row, 1);
@@ -28,17 +28,17 @@ TEST(ExtractTest, DiagonalCellsAreSeparate) {
   t.set(0, 0, 1);
   t.set(1, 1, 1);
   t.set(2, 2, 1);
-  EXPECT_EQ(connected_components(t.data(), 3, 3).size(), 3u);
+  EXPECT_EQ(connected_components(t.view()).size(), 3u);
 }
 
 TEST(ExtractTest, EmptyGridNoComponents) {
   Topology t(5, 5);
-  EXPECT_TRUE(connected_components(t.data(), 5, 5).empty());
+  EXPECT_TRUE(connected_components(t.view()).empty());
 }
 
 TEST(ExtractTest, FullGridOneComponent) {
   Topology t(6, 7, 1);
-  const auto comps = connected_components(t.data(), 6, 7);
+  const auto comps = connected_components(t.view());
   ASSERT_EQ(comps.size(), 1u);
   EXPECT_EQ(comps[0].cells.size(), 42u);
 }
@@ -48,7 +48,7 @@ TEST(ExtractTest, RectDecompositionOfRectangle) {
   for (int r = 1; r < 4; ++r) {
     for (int c = 2; c < 5; ++c) t.set(r, c, 1);
   }
-  const auto rects = grid_to_cell_rects(t.data(), 6, 6);
+  const auto rects = grid_to_cell_rects(t.view());
   ASSERT_EQ(rects.size(), 1u);
   EXPECT_EQ(rects[0], (Rect{2, 1, 5, 4}));
 }
@@ -60,7 +60,7 @@ TEST(ExtractTest, RectDecompositionOfLShape) {
     for (int c = 0; c < 4; ++c) t.set(r, c, 1);
   for (int r = 2; r < 4; ++r)
     for (int c = 0; c < 2; ++c) t.set(r, c, 1);
-  const auto rects = grid_to_cell_rects(t.data(), 4, 4);
+  const auto rects = grid_to_cell_rects(t.view());
   // The decomposition is 2 rects; total covered area must match.
   Coord area = 0;
   for (const Rect& r : rects) area += r.area();
@@ -73,7 +73,7 @@ TEST(ExtractTest, DecompositionCoversExactly) {
   Topology t(8, 8);
   const int cells[][2] = {{1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 2}, {3, 3}, {4, 3}};
   for (auto& rc : cells) t.set(rc[0], rc[1], 1);
-  const auto rects = grid_to_cell_rects(t.data(), 8, 8);
+  const auto rects = grid_to_cell_rects(t.view());
   Topology cover(8, 8);
   for (const Rect& r : rects) {
     for (Coord y = r.y0; y < r.y1; ++y) {
@@ -90,7 +90,7 @@ TEST(ExtractTest, MultipleComponentsEachDecomposed) {
   Topology t(5, 9);
   t.set(0, 0, 1);
   for (int c = 4; c < 7; ++c) t.set(2, c, 1);
-  const auto rects = grid_to_cell_rects(t.data(), 5, 9);
+  const auto rects = grid_to_cell_rects(t.view());
   ASSERT_EQ(rects.size(), 2u);
 }
 
