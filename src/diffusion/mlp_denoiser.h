@@ -32,6 +32,11 @@ struct MlpConfig {
   int conditions = 2;
   int hidden = 64;
   int layers = 2;  // hidden layers
+  /// Route predict_x0 / predict_x0_pixel / predict_x0_row through the int8
+  /// inference tier unconditionally (DESIGN.md "Quantized inference").
+  /// Request-scoped selection via diffusion::PrecisionScope works regardless
+  /// of this flag; appended last so positional brace-inits stay valid.
+  bool quantized = false;
 };
 
 class MlpDenoiser : public Denoiser {
@@ -42,6 +47,14 @@ class MlpDenoiser : public Denoiser {
                   ProbGrid& p0) const override;
   float predict_x0_pixel(const squish::Topology& xk, int r, int c, int k,
                          int condition) const override;
+  /// Batched pixel query: p(x0=1) for every cell of row `r` in one GEMM
+  /// call, writing xk.cols() probabilities to `out`. Equivalent to calling
+  /// predict_x0_pixel per column but amortizes the neighbourhood gather and
+  /// the kernel launch across the row (bit-identical per pixel on the fp32
+  /// path; the interior plane gather produces the same feature values as the
+  /// mirrored per-pixel loads and GEMM rows are independent).
+  void predict_x0_row(const squish::Topology& xk, int r, int k, int condition,
+                      float* out) const;
   int conditions() const override { return config_.conditions; }
   /// Inference runs the stateless nn::Layer::infer path with thread-local
   /// scratch — concurrent calls are race-free.
@@ -61,6 +74,11 @@ class MlpDenoiser : public Denoiser {
   const NoiseSchedule& schedule() const { return *schedule_; }
 
  private:
+  /// True when this call should take the int8 tier: the config opts in, or
+  /// the calling thread's PrecisionScope (diffusion/precision.h) requests
+  /// kInt8 — and the net matches the quantizable stack pattern.
+  bool use_int8() const;
+
   const NoiseSchedule* schedule_;
   MlpConfig config_;
   // Inference uses the const, stateless infer() path; only the trainer

@@ -1,0 +1,31 @@
+#include "diffusion/precision.h"
+
+namespace cp::diffusion {
+
+namespace {
+thread_local Precision g_active = Precision::kFp32;
+}  // namespace
+
+Precision active_precision() { return g_active; }
+
+PrecisionScope::PrecisionScope(Precision p) : prev_(g_active) { g_active = p; }
+
+PrecisionScope::~PrecisionScope() { g_active = prev_; }
+
+const char* to_string(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "fp32";
+}
+
+bool precision_from_string(const std::string& s, Precision* out) {
+  if (s == "fp32") {
+    *out = Precision::kFp32;
+    return true;
+  }
+  if (s == "int8") {
+    *out = Precision::kInt8;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace cp::diffusion

@@ -1,0 +1,49 @@
+#pragma once
+// Thread-local inference-precision selection (DESIGN.md "Quantized
+// inference").
+//
+// Precision is a *request-scoped* property, not a model property: the same
+// trained MlpDenoiser serves fp32 and int8 callers concurrently. Rather than
+// threading a precision argument through every Denoiser::predict_x0 call
+// site (guidance, polish, cascade refinement, extension windows all funnel
+// into the same virtual), the sampler entry points install a thread-local
+// PrecisionScope and the denoiser reads active_precision() when choosing its
+// kernel tier.
+//
+// Thread-locality is safe because BatchSampler executes each sample wholly
+// on one worker thread; nothing hands a half-finished sample across threads.
+
+#include <string>
+
+namespace cp::diffusion {
+
+enum class Precision : unsigned char {
+  kFp32,  // default: bit-identical to the golden files
+  kInt8,  // opt-in quantized tier: faster, NOT bit-equal to fp32
+};
+
+/// The precision requested for the current thread's in-flight sample.
+/// Defaults to kFp32 when no scope is active.
+Precision active_precision();
+
+/// RAII scope: installs `p` as the current thread's active precision for its
+/// lifetime, restoring the previous value on destruction (scopes nest).
+class PrecisionScope {
+ public:
+  explicit PrecisionScope(Precision p);
+  ~PrecisionScope();
+  PrecisionScope(const PrecisionScope&) = delete;
+  PrecisionScope& operator=(const PrecisionScope&) = delete;
+
+ private:
+  Precision prev_;
+};
+
+/// "fp32" / "int8".
+const char* to_string(Precision p);
+
+/// Parses "fp32" / "int8"; returns false (leaving `out` untouched) on any
+/// other input.
+bool precision_from_string(const std::string& s, Precision* out);
+
+}  // namespace cp::diffusion

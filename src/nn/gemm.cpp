@@ -1,10 +1,21 @@
 #include "nn/gemm.h"
 
+#include <atomic>
+#include <cmath>
 #include <cstring>
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define CP_GEMM_X86 1
+#include <immintrin.h>
+#else
+#define CP_GEMM_X86 0
+#endif
 
 namespace cp::nn::gemm {
 
 namespace {
+
+std::atomic<bool> g_simd_enabled{true};
 
 // Fixed-width vector chunk: a compile-time trip count lets the -O2
 // autovectorizer (very-cheap cost model) emit SIMD without a runtime
@@ -16,27 +27,34 @@ namespace {
 // kernels carry the qualifiers; the public wrappers below just forward.
 constexpr int kChunk = 8;
 
-// Register-tiled: each kChunk-wide output tile accumulates in registers
-// across the whole k loop, so y traffic drops from O(in*out) to O(out) per
-// row. Every y[o] is still b[o] plus the k-ascending sum — bit-identical to
-// forward_naive.
-void forward_packed_impl(int n, int in, int out, const float* __restrict__ x,
-                         const float* __restrict__ wt, const float* __restrict__ b,
-                         float* __restrict__ y) {
-  const int vec_end = out - out % kChunk;
+// Register-tiled: each C-wide output tile accumulates in registers across
+// the whole k loop, so y traffic drops from O(in*out) to O(out) per row.
+// Every y[o] is still b[o] plus the k-ascending sum — bit-identical to
+// forward_naive for any tile width (independent elements run in lockstep).
+//
+// always_inline so the body specializes into each ISA wrapper below:
+// __attribute__((target("avx2"))) on the *caller* is what compiles this
+// body with 256-bit registers. target_clones does not reliably dispatch
+// here (GCC 12 resolves the ifunc to the default clone under -O2), hence
+// the manual __builtin_cpu_supports dispatch in forward_packed.
+template <int C>
+__attribute__((always_inline)) inline void forward_packed_body(
+    int n, int in, int out, const float* __restrict__ x, const float* __restrict__ wt,
+    const float* __restrict__ b, float* __restrict__ y) {
+  const int vec_end = out - out % C;
   for (int i = 0; i < n; ++i) {
     const float* xi = x + static_cast<std::size_t>(i) * in;
     float* yi = y + static_cast<std::size_t>(i) * out;
     int o = 0;
-    for (; o < vec_end; o += kChunk) {
-      float acc[kChunk];
-      for (int j = 0; j < kChunk; ++j) acc[j] = b[o + j];
+    for (; o < vec_end; o += C) {
+      float acc[C];
+      for (int j = 0; j < C; ++j) acc[j] = b[o + j];
       for (int k = 0; k < in; ++k) {
         const float xv = xi[k];
         const float* wk = wt + static_cast<std::size_t>(k) * out + o;
-        for (int j = 0; j < kChunk; ++j) acc[j] += xv * wk[j];
+        for (int j = 0; j < C; ++j) acc[j] += xv * wk[j];
       }
-      for (int j = 0; j < kChunk; ++j) yi[o + j] = acc[j];
+      for (int j = 0; j < C; ++j) yi[o + j] = acc[j];
     }
     for (; o < out; ++o) {
       float acc = b[o];
@@ -45,6 +63,26 @@ void forward_packed_impl(int n, int in, int out, const float* __restrict__ x,
     }
   }
 }
+
+void forward_packed_impl(int n, int in, int out, const float* __restrict__ x,
+                         const float* __restrict__ wt, const float* __restrict__ b,
+                         float* __restrict__ y) {
+  forward_packed_body<kChunk>(n, in, out, x, wt, b, y);
+}
+
+#if CP_GEMM_X86
+// 16-wide fp32 twin: two 8-float accumulator registers per tile under AVX2.
+// Plain AVX2 (no FMA ISA flag) rounds the multiply and the add separately,
+// exactly like the SSE2 baseline, so this stays bit-identical even though
+// the build default is -ffp-contract=fast (contraction needs an FMA
+// instruction to exist in the enabled ISA). 32-wide spills registers and
+// loses; 16 is the measured sweet spot on this microarchitecture.
+__attribute__((target("avx2"))) void forward_packed_wide_avx2(
+    int n, int in, int out, const float* __restrict__ x, const float* __restrict__ wt,
+    const float* __restrict__ b, float* __restrict__ y) {
+  forward_packed_body<16>(n, in, out, x, wt, b, y);
+}
+#endif
 
 void backward_dx_impl(int n, int in, int out, const float* __restrict__ g,
                       const float* __restrict__ w, float* __restrict__ dx) {
@@ -85,7 +123,207 @@ void backward_accum_impl(int n, int in, int out, const float* __restrict__ g,
   }
 }
 
+// ---------------------------------------------------------------------------
+// int8 kernels. The integer GEMM is exact in any order; the float epilogues
+// below are written as the *same* operation sequence scalar and AVX2 so the
+// two produce bit-identical bytes (tests/nn/gemm_test.cpp locks this in).
+
+/// Rational-tanh SiLU: th(t) = t(27+t^2)/(27+9t^2) clamped to [-1,1],
+/// silu(v) = (v/2)(1+th(v/2)). One div, no exp — vectorizable.
+inline float fast_silu(float v) {
+  const float t = v * 0.5f;
+  const float t2 = t * t;
+  float th = (t * (27.0f + t2)) / (27.0f + 9.0f * t2);
+  th = th < -1.0f ? -1.0f : th;
+  th = th > 1.0f ? 1.0f : th;
+  return (v * 0.5f) * (1.0f + th);
+}
+
+inline float apply_act(QuantAct act, float v) {
+  return act == QuantAct::kRelu ? (v > 0.0f ? v : 0.0f) : fast_silu(v);
+}
+
+void forward_quantized_scalar(int n, int pin, int pout, const std::int16_t* __restrict__ qx,
+                              const std::int16_t* __restrict__ wq,
+                              std::int32_t* __restrict__ acc) {
+  for (int i = 0; i < n; ++i) {
+    const std::int16_t* xi = qx + static_cast<std::size_t>(i) * pin;
+    std::int32_t* ai = acc + static_cast<std::size_t>(i) * pout;
+    for (int o = 0; o < pout; ++o) {
+      std::int32_t a = 0;
+      for (int k = 0; k < pin; ++k) {
+        a += static_cast<std::int32_t>(xi[k]) *
+             wq[(static_cast<std::size_t>(k / 2) * pout + o) * 2 + (k & 1)];
+      }
+      ai[o] = a;
+    }
+  }
+}
+
+void epilogue_act_quant_scalar(QuantAct act, int n, int pout, const std::int32_t* acc,
+                               const float* rs, const float* scale, const float* bias,
+                               float* vtmp, std::int16_t* qy, float* rs_out) {
+  for (int i = 0; i < n; ++i) {
+    const std::int32_t* ai = acc + static_cast<std::size_t>(i) * pout;
+    const float s = rs[i];
+    float m = 0.0f;
+    for (int o = 0; o < pout; ++o) {
+      const float v =
+          apply_act(act, bias[o] + static_cast<float>(ai[o]) * (s * scale[o]));
+      vtmp[o] = v;
+      const float a = v < 0.0f ? -v : v;
+      m = a > m ? a : m;
+    }
+    std::int16_t* yi = qy + static_cast<std::size_t>(i) * pout;
+    if (m == 0.0f) {
+      std::memset(yi, 0, sizeof(std::int16_t) * static_cast<std::size_t>(pout));
+      rs_out[i] = 0.0f;
+      continue;
+    }
+    rs_out[i] = m / 127.0f;
+    const float inv = 127.0f / m;
+    for (int o = 0; o < pout; ++o) {
+      yi[o] = static_cast<std::int16_t>(std::lrintf(vtmp[o] * inv));
+    }
+  }
+}
+
+#if CP_GEMM_X86
+
+/// vpmaddwd microkernel: broadcast one int16 (x[k], x[k+1]) pair to every
+/// lane, multiply-add against the pair-interleaved weight rows, accumulate
+/// int32. Four 8-lane accumulators (32 output channels) per tile keep the
+/// madd/add dependency chains apart.
+__attribute__((target("avx2"))) void forward_quantized_avx2(
+    int n, int pin, int pout, const std::int16_t* __restrict__ qx,
+    const std::int16_t* __restrict__ wq, std::int32_t* __restrict__ acc) {
+  const int otiles = pout / 8;
+  for (int i = 0; i < n; ++i) {
+    const std::int16_t* xi = qx + static_cast<std::size_t>(i) * pin;
+    std::int32_t* ai = acc + static_cast<std::size_t>(i) * pout;
+    int ot = 0;
+    for (; ot + 4 <= otiles; ot += 4) {
+      __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256(),
+              a2 = _mm256_setzero_si256(), a3 = _mm256_setzero_si256();
+      const std::int16_t* w = wq + static_cast<std::size_t>(ot) * 16;
+      for (int k = 0; k < pin; k += 2) {
+        std::int32_t pair;
+        std::memcpy(&pair, xi + k, sizeof(pair));
+        const __m256i xv = _mm256_set1_epi32(pair);
+        const std::int16_t* wk = w + static_cast<std::size_t>(k / 2) * pout * 2;
+        a0 = _mm256_add_epi32(
+            a0, _mm256_madd_epi16(xv, _mm256_loadu_si256((const __m256i*)(wk))));
+        a1 = _mm256_add_epi32(
+            a1, _mm256_madd_epi16(xv, _mm256_loadu_si256((const __m256i*)(wk + 16))));
+        a2 = _mm256_add_epi32(
+            a2, _mm256_madd_epi16(xv, _mm256_loadu_si256((const __m256i*)(wk + 32))));
+        a3 = _mm256_add_epi32(
+            a3, _mm256_madd_epi16(xv, _mm256_loadu_si256((const __m256i*)(wk + 48))));
+      }
+      _mm256_storeu_si256((__m256i*)(ai + ot * 8), a0);
+      _mm256_storeu_si256((__m256i*)(ai + ot * 8 + 8), a1);
+      _mm256_storeu_si256((__m256i*)(ai + ot * 8 + 16), a2);
+      _mm256_storeu_si256((__m256i*)(ai + ot * 8 + 24), a3);
+    }
+    for (; ot < otiles; ++ot) {
+      __m256i a0 = _mm256_setzero_si256();
+      const std::int16_t* w = wq + static_cast<std::size_t>(ot) * 16;
+      for (int k = 0; k < pin; k += 2) {
+        std::int32_t pair;
+        std::memcpy(&pair, xi + k, sizeof(pair));
+        const __m256i xv = _mm256_set1_epi32(pair);
+        const std::int16_t* wk = w + static_cast<std::size_t>(k / 2) * pout * 2;
+        a0 = _mm256_add_epi32(
+            a0, _mm256_madd_epi16(xv, _mm256_loadu_si256((const __m256i*)(wk))));
+      }
+      _mm256_storeu_si256((__m256i*)(ai + ot * 8), a0);
+    }
+  }
+}
+
+/// Same operations as fast_silu, lane-parallel. min/max clamp order and the
+/// (v/2)*(1+th) product order match the scalar exactly.
+__attribute__((target("avx2"))) inline __m256 fast_silu_ps(__m256 v) {
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 c27 = _mm256_set1_ps(27.0f);
+  const __m256 c9 = _mm256_set1_ps(9.0f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 t = _mm256_mul_ps(v, half);
+  const __m256 t2 = _mm256_mul_ps(t, t);
+  const __m256 num = _mm256_mul_ps(t, _mm256_add_ps(c27, t2));
+  const __m256 den = _mm256_add_ps(c27, _mm256_mul_ps(c9, t2));
+  __m256 th = _mm256_div_ps(num, den);
+  th = _mm256_max_ps(_mm256_sub_ps(_mm256_setzero_ps(), one), th);
+  th = _mm256_min_ps(one, th);
+  return _mm256_mul_ps(_mm256_mul_ps(v, half), _mm256_add_ps(one, th));
+}
+
+template <QuantAct A>
+__attribute__((target("avx2"))) void epilogue_act_quant_avx2(
+    int n, int pout, const std::int32_t* acc, const float* rs, const float* scale,
+    const float* bias, float* vtmp, std::int16_t* qy, float* rs_out) {
+  const __m256 signmask = _mm256_set1_ps(-0.0f);
+  const int pout16 = pout - pout % 16;
+  for (int i = 0; i < n; ++i) {
+    const std::int32_t* ai = acc + static_cast<std::size_t>(i) * pout;
+    const __m256 s = _mm256_set1_ps(rs[i]);
+    __m256 mx = _mm256_setzero_ps();
+    for (int o = 0; o < pout; o += 8) {
+      const __m256 f = _mm256_cvtepi32_ps(_mm256_loadu_si256((const __m256i*)(ai + o)));
+      const __m256 w = _mm256_mul_ps(s, _mm256_loadu_ps(scale + o));
+      __m256 val = _mm256_add_ps(_mm256_loadu_ps(bias + o), _mm256_mul_ps(f, w));
+      val = A == QuantAct::kRelu ? _mm256_max_ps(val, _mm256_setzero_ps())
+                                 : fast_silu_ps(val);
+      _mm256_storeu_ps(vtmp + o, val);
+      mx = _mm256_max_ps(mx, _mm256_andnot_ps(signmask, val));
+    }
+    __m128 m4 = _mm_max_ps(_mm256_castps256_ps128(mx), _mm256_extractf128_ps(mx, 1));
+    m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    m4 = _mm_max_ss(m4, _mm_shuffle_ps(m4, m4, 1));
+    const float m = _mm_cvtss_f32(m4);
+    std::int16_t* yi = qy + static_cast<std::size_t>(i) * pout;
+    if (m == 0.0f) {
+      std::memset(yi, 0, sizeof(std::int16_t) * static_cast<std::size_t>(pout));
+      rs_out[i] = 0.0f;
+      continue;
+    }
+    rs_out[i] = m / 127.0f;
+    const float invf = 127.0f / m;
+    const __m256 inv = _mm256_set1_ps(invf);
+    int o = 0;
+    for (; o < pout16; o += 16) {
+      const __m256i q0 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(vtmp + o), inv));
+      const __m256i q1 =
+          _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(vtmp + o + 8), inv));
+      __m256i p = _mm256_packs_epi32(q0, q1);  // lane-interleaved
+      p = _mm256_permute4x64_epi64(p, 0xD8);   // restore linear order
+      _mm256_storeu_si256((__m256i*)(yi + o), p);
+    }
+    // pout % 16 == 8 tail: lrintf is round-to-nearest-even like cvtps.
+    for (; o < pout; ++o) {
+      yi[o] = static_cast<std::int16_t>(std::lrintf(vtmp[o] * invf));
+    }
+  }
+}
+
+#endif  // CP_GEMM_X86
+
 }  // namespace
+
+bool cpu_has_avx2() {
+#if CP_GEMM_X86
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+void set_simd_enabled(bool enabled) {
+  g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool simd_enabled() { return g_simd_enabled.load(std::memory_order_relaxed); }
 
 void pack_wt(int in, int out, const float* w, float* wt) {
   for (int o = 0; o < out; ++o) {
@@ -110,6 +348,12 @@ void forward_naive(int n, int in, int out, const float* x, const float* w, const
 
 void forward_packed(int n, int in, int out, const float* x, const float* wt, const float* b,
                     float* y) {
+#if CP_GEMM_X86
+  if (out >= kWideMinOut && simd_enabled() && cpu_has_avx2()) {
+    forward_packed_wide_avx2(n, in, out, x, wt, b, y);
+    return;
+  }
+#endif
   forward_packed_impl(n, in, out, x, wt, b, y);
 }
 
@@ -120,6 +364,92 @@ void backward_dx(int n, int in, int out, const float* g, const float* w, float* 
 void backward_accum(int n, int in, int out, const float* g, const float* x, float* dw,
                     float* db) {
   backward_accum_impl(n, in, out, g, x, dw, db);
+}
+
+void quantize_weights(int in, int out, const float* w, const float* b, QuantizedPack& pack) {
+  pack.in = in;
+  pack.out = out;
+  pack.pin = quant_pad(in);
+  pack.pout = quant_pad(out);
+  pack.wq.assign(static_cast<std::size_t>(pack.pin / 2) * pack.pout * 2, 0);
+  pack.scale.assign(static_cast<std::size_t>(pack.pout), 0.0f);
+  pack.bias.assign(static_cast<std::size_t>(pack.pout), 0.0f);
+  for (int o = 0; o < out; ++o) {
+    const float* wo = w + static_cast<std::size_t>(o) * in;
+    float m = 0.0f;
+    for (int k = 0; k < in; ++k) m = std::max(m, std::fabs(wo[k]));
+    pack.scale[static_cast<std::size_t>(o)] = m == 0.0f ? 0.0f : m / 127.0f;
+    pack.bias[static_cast<std::size_t>(o)] = b[o];
+    const float inv = m == 0.0f ? 0.0f : 127.0f / m;
+    for (int k = 0; k < in; ++k) {
+      pack.wq[(static_cast<std::size_t>(k / 2) * pack.pout + o) * 2 + (k & 1)] =
+          static_cast<std::int16_t>(std::lrintf(wo[k] * inv));
+    }
+  }
+}
+
+void quantize_rows(int n, int in, int pin, const float* x, std::int16_t* qx, float* rs) {
+  for (int i = 0; i < n; ++i) {
+    const float* xi = x + static_cast<std::size_t>(i) * in;
+    std::int16_t* qi = qx + static_cast<std::size_t>(i) * pin;
+    float m = 0.0f;
+    for (int k = 0; k < in; ++k) {
+      const float a = xi[k] < 0.0f ? -xi[k] : xi[k];
+      m = a > m ? a : m;
+    }
+    if (m == 0.0f) {
+      std::memset(qi, 0, sizeof(std::int16_t) * static_cast<std::size_t>(pin));
+      rs[i] = 0.0f;
+      continue;
+    }
+    rs[i] = m / 127.0f;
+    const float inv = 127.0f / m;
+    for (int k = 0; k < in; ++k) {
+      qi[k] = static_cast<std::int16_t>(std::lrintf(xi[k] * inv));
+    }
+    for (int k = in; k < pin; ++k) qi[k] = 0;
+  }
+}
+
+void forward_quantized(int n, int pin, int pout, const std::int16_t* qx,
+                       const std::int16_t* wq, std::int32_t* acc) {
+#if CP_GEMM_X86
+  if (simd_enabled() && cpu_has_avx2() && pout % 8 == 0) {
+    forward_quantized_avx2(n, pin, pout, qx, wq, acc);
+    return;
+  }
+#endif
+  forward_quantized_scalar(n, pin, pout, qx, wq, acc);
+}
+
+void epilogue_act_quant(QuantAct act, int n, int pout, const std::int32_t* acc,
+                        const float* rs, const float* scale, const float* bias, float* vtmp,
+                        std::int16_t* qy, float* rs_out) {
+#if CP_GEMM_X86
+  if (simd_enabled() && cpu_has_avx2() && pout % 8 == 0) {
+    if (act == QuantAct::kRelu) {
+      epilogue_act_quant_avx2<QuantAct::kRelu>(n, pout, acc, rs, scale, bias, vtmp, qy,
+                                               rs_out);
+    } else {
+      epilogue_act_quant_avx2<QuantAct::kSiluFast>(n, pout, acc, rs, scale, bias, vtmp, qy,
+                                                   rs_out);
+    }
+    return;
+  }
+#endif
+  epilogue_act_quant_scalar(act, n, pout, acc, rs, scale, bias, vtmp, qy, rs_out);
+}
+
+void epilogue_dequant(int n, int pout, int out, const std::int32_t* acc, const float* rs,
+                      const float* scale, const float* bias, float* y) {
+  for (int i = 0; i < n; ++i) {
+    const std::int32_t* ai = acc + static_cast<std::size_t>(i) * pout;
+    float* yi = y + static_cast<std::size_t>(i) * out;
+    const float s = rs[i];
+    for (int o = 0; o < out; ++o) {
+      yi[o] = bias[o] + static_cast<float>(ai[o]) * (s * scale[o]);
+    }
+  }
 }
 
 }  // namespace cp::nn::gemm

@@ -1,8 +1,8 @@
 #pragma once
 // Blocked, compiler-vectorizable GEMM kernels for the NN hot paths.
 //
-// Every kernel here preserves the *per-element accumulation order* of the
-// original naive triple loops: each output element is a sum over its
+// Every fp32 kernel here preserves the *per-element accumulation order* of
+// the original naive triple loops: each output element is a sum over its
 // contraction index taken strictly in ascending order, one float rounding
 // per multiply-add. Vectorization only runs independent output elements in
 // lockstep, so results are bit-identical to the naive reference for every
@@ -16,9 +16,25 @@
 // very-cheap cost model's refusal of runtime trip counts). nn::Workspace
 // caches the packed transpose per Param across inference calls.
 //
+// Two vector tiers share that contract (DESIGN.md "Quantized inference"):
+//
+//  * fp32: the portable 8-wide tile (SSE2 baseline) plus a 16-wide AVX2
+//    twin selected at runtime via __builtin_cpu_supports. Both run the same
+//    k-ascending accumulation per element, and plain AVX2 (no FMA flag)
+//    rounds the multiply and the add separately exactly like SSE2, so the
+//    wide kernel stays bit-identical and remains the *default* path.
+//  * int8 (opt-in): per-output-channel symmetric weight quantization into a
+//    pair-interleaved int16 pack, dynamic per-row activation quantization,
+//    int32 accumulation (vpmaddwd on AVX2) and a fused
+//    bias+dequant+activation+requant epilogue. The scalar fallback computes
+//    the identical integers and the identical float epilogue (AVX2 uses
+//    round-to-nearest-even exactly like lrintf), so quantized results are
+//    bit-deterministic across ISAs — just not equal to fp32.
+//
 // Shapes (row-major): x [n, in] · w [out, in] (+ b [out]) -> y [n, out].
 
 #include <cstdint>
+#include <vector>
 
 namespace cp::nn::gemm {
 
@@ -26,6 +42,20 @@ namespace cp::nn::gemm {
 /// naive kernel is used (a dot-product column cannot be vectorized without
 /// reordering the sum).
 inline constexpr int kVecMinOut = 8;
+
+/// Minimum output width for the 16-wide AVX2 fp32 tile (two tiles' worth of
+/// accumulators; narrower shapes stay on the 8-wide kernel).
+inline constexpr int kWideMinOut = 16;
+
+/// True when the CPU supports AVX2 (cached runtime probe).
+bool cpu_has_avx2();
+
+/// Runtime switch for the SIMD-dispatched kernels (fp32 16-wide AVX2 tile
+/// and the AVX2 int8 kernels). Defaults to enabled; benches disable it to
+/// measure the portable baseline and tests disable it to verify the scalar
+/// fallbacks produce bit-identical results. Process-wide (atomic).
+void set_simd_enabled(bool enabled);
+bool simd_enabled();
 
 /// Pack w [out, in] into wt [in, out] (transpose) for forward_packed.
 void pack_wt(int in, int out, const float* w, float* wt);
@@ -37,7 +67,8 @@ void forward_naive(int n, int in, int out, const float* x, const float* w, const
                    float* y);
 
 /// Vector kernel: y = x wt + b with wt = w^T packed by pack_wt. Requires
-/// out >= 1; fastest when out >= kVecMinOut.
+/// out >= 1; fastest when out >= kVecMinOut. Dispatches to the 16-wide AVX2
+/// tile when available (bit-identical; see header comment).
 void forward_packed(int n, int in, int out, const float* x, const float* wt, const float* b,
                     float* y);
 
@@ -50,5 +81,60 @@ void backward_dx(int n, int in, int out, const float* g, const float* w, float* 
 /// index ascending — the legacy order.
 void backward_accum(int n, int in, int out, const float* g, const float* x, float* dw,
                     float* db);
+
+// ---------------------------------------------------------------------------
+// int8 quantized inference (opt-in; see DESIGN.md "Quantized inference").
+
+/// Round a dimension up to the int8 kernels' lane multiple. Padded input
+/// lanes carry zero weights and zero activations (exact zero contribution);
+/// padded output channels carry zero scale and zero bias, so they dequantize
+/// to activation(0) and never perturb the per-row absmax.
+inline int quant_pad(int d) { return (d + 7) & ~7; }
+
+/// Activation fused into the quantized epilogue. kSiluFast is the rational
+/// tanh approximation th(t) = t(27+t^2)/(27+9t^2) — vectorizable, within
+/// ~3e-3 of exact SiLU, and computed identically by the scalar and AVX2
+/// epilogues.
+enum class QuantAct : std::uint8_t { kSiluFast, kRelu };
+
+/// Per-output-channel symmetric int8 weight quantization, stored widened to
+/// int16 in a pair-interleaved layout for vpmaddwd:
+///     wq[((k/2) * pout + o) * 2 + (k & 1)] = round(w[o][k] * 127 / max_k|w[o][k]|)
+/// with k < pin (even), o < pout, both padded via quant_pad.
+struct QuantizedPack {
+  int in = 0, out = 0;    // logical dims
+  int pin = 0, pout = 0;  // padded dims: pin even, pout a multiple of 8
+  std::vector<std::int16_t> wq;  // [pin/2][pout][2] pair-interleaved
+  std::vector<float> scale;      // [pout] per-channel scales (0 on padding)
+  std::vector<float> bias;       // [pout] padded copy of b (0 on padding)
+};
+
+/// Build `pack` from w [out, in] and b [out].
+void quantize_weights(int in, int out, const float* w, const float* b, QuantizedPack& pack);
+
+/// Dynamic per-row symmetric activation quantization: for each of n rows of
+/// x [n, in], rs[i] = max_k|x[i][k]| / 127 and qx[i][k] = lrintf(x[i][k]/rs[i])
+/// (zero rows quantize to all-zero with rs = 0). qx rows are padded to pin
+/// with zeros. Scalar on purpose: one implementation, one rounding rule.
+void quantize_rows(int n, int in, int pin, const float* x, std::int16_t* qx, float* rs);
+
+/// acc[i][o] = sum_k qx[i][k] * wq[k][o] over the padded dims — exact int32
+/// arithmetic, so the AVX2 and scalar kernels agree bit-for-bit. `wq` is the
+/// pair-interleaved pack; pin must be even, pout a multiple of 8.
+void forward_quantized(int n, int pin, int pout, const std::int16_t* qx,
+                       const std::int16_t* wq, std::int32_t* acc);
+
+/// Fused epilogue for a hidden layer: v = act(bias[o] + acc[i][o] *
+/// (rs[i] * scale[o])), then requantize the row symmetrically into qy
+/// (int16, [n, pout]) with the new row scale in rs_out. `vtmp` is caller
+/// scratch of at least pout floats. Round-to-nearest-even on both paths.
+void epilogue_act_quant(QuantAct act, int n, int pout, const std::int32_t* acc,
+                        const float* rs, const float* scale, const float* bias, float* vtmp,
+                        std::int16_t* qy, float* rs_out);
+
+/// Final-layer epilogue: dequantize without activation or requantization,
+/// writing y [n, out] (padding channels stripped).
+void epilogue_dequant(int n, int pout, int out, const std::int32_t* acc, const float* rs,
+                      const float* scale, const float* bias, float* y);
 
 }  // namespace cp::nn::gemm

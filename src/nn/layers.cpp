@@ -37,6 +37,31 @@ const Tensor& Workspace::packed_wt(const Param& p) {
   return entry->wt;
 }
 
+const gemm::QuantizedPack& Workspace::quantized_pack(const Param& w, const Param& b) {
+  QuantPackEntry* entry = nullptr;
+  for (auto& e : qpacks_) {
+    if (e.weight == &w) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    qpacks_.emplace_back();
+    entry = &qpacks_.back();
+    entry->weight = &w;
+    entry->weight_version = 0;  // differs from any live version (they start at 1)
+    entry->bias_version = 0;
+  }
+  if (entry->weight_version != w.version || entry->bias_version != b.version) {
+    const int out = w.value.dim(0);
+    const int in = static_cast<int>(w.value.numel()) / (out > 0 ? out : 1);
+    gemm::quantize_weights(in, out, w.value.data(), b.value.data(), entry->pack);
+    entry->weight_version = w.version;
+    entry->bias_version = b.version;
+  }
+  return entry->pack;
+}
+
 Linear::Linear(int in_features, int out_features, util::Rng& rng) {
   const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
   weight_.value = Tensor::randn({out_features, in_features}, rng, stddev);
@@ -323,6 +348,102 @@ const Tensor& Sequential::infer(const Tensor& x, Workspace& ws) const {
     return a0;
   }
   return *cur;
+}
+
+namespace {
+
+/// One quantizable stage: a Linear plus the activation fused into its
+/// epilogue (the final stage has none — it dequantizes to float).
+struct QuantStage {
+  const Linear* linear = nullptr;
+  gemm::QuantAct act = gemm::QuantAct::kSiluFast;
+};
+
+/// Match (Linear [SiLU|ReLU])* Linear; false on anything else (Conv2d,
+/// Sigmoid heads, bare activations, trailing activations).
+bool collect_quant_stages(const Sequential& net, std::vector<QuantStage>* stages) {
+  if (stages != nullptr) stages->clear();
+  if (net.size() == 0) return false;
+  std::size_t i = 0;
+  while (i < net.size()) {
+    const auto* linear = dynamic_cast<const Linear*>(&net.layer(i));
+    if (linear == nullptr) return false;
+    QuantStage stage;
+    stage.linear = linear;
+    ++i;
+    if (i < net.size()) {  // intermediate Linear: requires a fusable activation
+      if (dynamic_cast<const SiLU*>(&net.layer(i)) != nullptr) {
+        stage.act = gemm::QuantAct::kSiluFast;
+      } else if (dynamic_cast<const ReLU*>(&net.layer(i)) != nullptr) {
+        stage.act = gemm::QuantAct::kRelu;
+      } else {
+        return false;
+      }
+      ++i;
+      if (i >= net.size()) return false;  // trailing activation: no final Linear
+    }
+    if (stages != nullptr) stages->push_back(stage);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Sequential::quantizable() const { return collect_quant_stages(*this, nullptr); }
+
+const Tensor& Sequential::infer_quantized(const Tensor& x, Workspace& ws) const {
+  if (x.rank() != 2 || !quantizable()) return infer(x, ws);
+  const int n = x.dim(0);
+  const int in = x.dim(1);
+  const int pin = gemm::quant_pad(in);
+  // Slots 2/3 so the staging buffers never collide with the chain's
+  // ping-pong buffers inside infer_quantized_pre.
+  std::vector<std::int16_t>& qx = ws.qi16(2);
+  std::vector<float>& rs = ws.qf32(3);
+  qx.resize(static_cast<std::size_t>(n) * pin);
+  rs.resize(static_cast<std::size_t>(n));
+  gemm::quantize_rows(n, in, pin, x.data(), qx.data(), rs.data());
+  return infer_quantized_pre(n, qx.data(), rs.data(), ws);
+}
+
+const Tensor& Sequential::infer_quantized_pre(int n, const std::int16_t* qx, const float* rs,
+                                              Workspace& ws) const {
+  std::vector<QuantStage> stages;
+  if (!collect_quant_stages(*this, &stages)) {
+    throw std::logic_error("Sequential::infer_quantized_pre: stack is not quantizable");
+  }
+  const std::int16_t* cur = qx;
+  const float* cur_rs = rs;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const Linear& lin = *stages[s].linear;
+    const gemm::QuantizedPack& pack = ws.quantized_pack(lin.weight(), lin.bias());
+    std::vector<std::int32_t>& acc = ws.qi32(0);
+    acc.resize(static_cast<std::size_t>(n) * pack.pout);
+    gemm::forward_quantized(n, pack.pin, pack.pout, cur, pack.wq.data(), acc.data());
+    if (s + 1 < stages.size()) {
+      // Ping-pong between int16 slots 0/1; the epilogue's requantized rows
+      // have stride pack.pout == quant_pad(next stage's input) by
+      // construction, so they feed the next GEMM directly.
+      std::vector<std::int16_t>& qy = ws.qi16(s % 2);
+      std::vector<float>& rs_out = ws.qf32(s % 2);
+      std::vector<float>& vtmp = ws.qf32(2);
+      qy.resize(static_cast<std::size_t>(n) * pack.pout);
+      rs_out.resize(static_cast<std::size_t>(n));
+      vtmp.resize(static_cast<std::size_t>(pack.pout));
+      gemm::epilogue_act_quant(stages[s].act, n, pack.pout, acc.data(), cur_rs,
+                               pack.scale.data(), pack.bias.data(), vtmp.data(), qy.data(),
+                               rs_out.data());
+      cur = qy.data();
+      cur_rs = rs_out.data();
+    } else {
+      Tensor& y = ws.activation(0);
+      y.resize(n, pack.out);
+      gemm::epilogue_dequant(n, pack.pout, pack.out, acc.data(), cur_rs, pack.scale.data(),
+                             pack.bias.data(), y.data());
+      return y;
+    }
+  }
+  throw std::logic_error("Sequential::infer_quantized_pre: empty stage list");
 }
 
 const std::vector<Param*>& Sequential::params() {

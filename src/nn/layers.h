@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/gemm.h"
 #include "nn/tensor.h"
 
 namespace cp::nn {
@@ -49,6 +50,8 @@ struct Param {
 ///                   staging) — valid only within a single infer() call.
 ///  * packed_wt(p):  transposed weight cache for the vector GEMM kernel,
 ///                   invalidated automatically via Param::version.
+///  * quantized_pack(w, b): int8 weight pack for the quantized path,
+///                   invalidated via *both* Params' versions.
 /// All buffers grow on demand and are reused via Tensor::resize, so steady
 /// state inference performs zero heap allocations.
 class Workspace {
@@ -60,9 +63,27 @@ class Workspace {
   /// gemm::forward_packed. Re-packed only when `p.version` changes.
   const Tensor& packed_wt(const Param& p);
 
+  /// The int8 pack of a Linear's (weight, bias) for the quantized inference
+  /// path. Re-quantized whenever either Param's version changes — optimizer
+  /// steps and the serializer's load path bump both, so a stale pack can
+  /// never be served after a weight update (tests/nn/infer_test.cpp).
+  const gemm::QuantizedPack& quantized_pack(const Param& w, const Param& b);
+
+  /// Typed scratch pools for the quantized chain (int16 activations, int32
+  /// accumulators, row scales). Same growth-and-reuse discipline as the
+  /// Tensor pools.
+  std::vector<std::int16_t>& qi16(std::size_t i) { return slot_v(qi16_, i); }
+  std::vector<std::int32_t>& qi32(std::size_t i) { return slot_v(qi32_, i); }
+  std::vector<float>& qf32(std::size_t i) { return slot_v(qf32_, i); }
+
  private:
   // Deques so references handed out stay valid as pools grow on demand.
   static Tensor& slot(std::deque<Tensor>& pool, std::size_t i) {
+    while (pool.size() <= i) pool.emplace_back();
+    return pool[i];
+  }
+  template <typename T>
+  static std::vector<T>& slot_v(std::deque<std::vector<T>>& pool, std::size_t i) {
     while (pool.size() <= i) pool.emplace_back();
     return pool[i];
   }
@@ -73,9 +94,20 @@ class Workspace {
     Tensor wt;
   };
 
+  struct QuantPackEntry {
+    const Param* weight = nullptr;
+    std::uint64_t weight_version = 0;
+    std::uint64_t bias_version = 0;
+    gemm::QuantizedPack pack;
+  };
+
   std::deque<Tensor> activations_;
   std::deque<Tensor> scratch_;
   std::deque<PackEntry> packs_;
+  std::deque<QuantPackEntry> qpacks_;
+  std::deque<std::vector<std::int16_t>> qi16_;
+  std::deque<std::vector<std::int32_t>> qi32_;
+  std::deque<std::vector<float>> qf32_;
 };
 
 class Layer {
@@ -102,6 +134,8 @@ class Linear : public Layer {
 
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
   int in_features() const { return weight_.value.dim(1); }
   int out_features() const { return weight_.value.dim(0); }
 
@@ -182,6 +216,23 @@ class Sequential {
   /// until the next infer() with the same workspace. Bit-identical to
   /// forward(); safe to call concurrently with per-thread workspaces.
   const Tensor& infer(const Tensor& x, Workspace& ws) const;
+  /// True when the stack matches the quantizable pattern
+  /// (Linear [SiLU|ReLU])* Linear — the shapes infer_quantized can run.
+  bool quantizable() const;
+  /// Opt-in int8 inference (DESIGN.md "Quantized inference"): dynamic
+  /// per-row activation quantization, per-channel weight quantization from
+  /// the workspace's version-stamped pack cache, int32 accumulation and a
+  /// fused bias+dequant+activation+requant epilogue between layers. NOT
+  /// bit-equal to infer() (quantization error ~1e-2 on unit-scale inputs);
+  /// bit-deterministic across thread counts and ISAs. Falls back to infer()
+  /// when the stack is not quantizable or `x` is not 2-D.
+  const Tensor& infer_quantized(const Tensor& x, Workspace& ws) const;
+  /// Quantized inference from pre-quantized rows: qx is [n, pin] int16 with
+  /// per-row scales rs[n], where pin = gemm::quant_pad of the first
+  /// Linear's input width (callers that build int16 features directly skip
+  /// the float staging pass entirely). Throws when not quantizable().
+  const Tensor& infer_quantized_pre(int n, const std::int16_t* qx, const float* rs,
+                                    Workspace& ws) const;
   /// Flattened parameter list; cached (rebuilt only after add()).
   const std::vector<Param*>& params();
   void zero_grad();

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dataset/style.h"
+#include "diffusion/precision.h"
 #include "diffusion/timestep_schedule.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -35,6 +36,7 @@ std::uint64_t GenerationRequest::content_hash() const {
   h = mix(h, static_cast<std::uint64_t>(sample_steps));
   h = mix(h, static_cast<std::uint64_t>(polish_rounds));
   h = mix_string(h, schedule);
+  h = mix_string(h, precision);
   h = mix(h, static_cast<std::uint64_t>(width_nm));
   h = mix(h, static_cast<std::uint64_t>(height_nm));
   h = mix(h, seed);
@@ -53,6 +55,7 @@ util::Json GenerationRequest::to_json() const {
   j["steps"] = sample_steps;
   j["polish"] = polish_rounds;
   if (!schedule.empty()) j["schedule"] = schedule;
+  if (precision != "fp32") j["precision"] = precision;
   j["width_nm"] = static_cast<long long>(width_nm);
   j["height_nm"] = static_cast<long long>(height_nm);
   j["seed"] = static_cast<long long>(seed);
@@ -73,6 +76,12 @@ std::string validate(const GenerationRequest& r) {
     return "unknown 'schedule' '" + r.schedule +
            "' (want noise_uniform|uniform|quadratic|searched)";
   }
+  {
+    diffusion::Precision p;
+    if (!diffusion::precision_from_string(r.precision, &p)) {
+      return "unknown 'precision' '" + r.precision + "' (want fp32|int8)";
+    }
+  }
   if (r.width_nm <= 0 || r.height_nm <= 0) return "'width_nm'/'height_nm' must be positive";
   if (r.deadline_ms < 0) return "'deadline_ms' must be >= 0";
   return "";
@@ -89,6 +98,7 @@ GenerationRequest GenerationRequest::from_json(const util::Json& j) {
   r.sample_steps = static_cast<int>(j.get_int("steps", r.sample_steps));
   r.polish_rounds = static_cast<int>(j.get_int("polish", r.polish_rounds));
   r.schedule = j.get_string("schedule", "");
+  r.precision = j.get_string("precision", "fp32");
   r.width_nm = j.get_int("width_nm", r.width_nm);
   r.height_nm = j.get_int("height_nm", r.height_nm);
   r.seed = static_cast<std::uint64_t>(j.get_int("seed", 1));
@@ -108,6 +118,7 @@ BatchKey batch_key(const GenerationRequest& request, int condition) {
   key.sample_steps = request.sample_steps;
   key.polish_rounds = request.polish_rounds;
   key.schedule = request.schedule;
+  key.precision = request.precision;
   return key;
 }
 

@@ -1,0 +1,164 @@
+// Quality gate for int8 quantized inference (DESIGN.md "Quantized
+// inference"): sampling through the quantized kernels is allowed to change
+// bits — it is NOT allowed to change the statistics the paper reports. For a
+// fixed seed set we draw a library with the fp32 tier and one with the int8
+// tier from the same trained MLP denoiser, then hold the same summary-metric
+// deltas the few-step harness enforces (fast_quality_test.cpp): mean
+// density, mean scan-line complexity (c_x + c_y) and library diversity
+// (Definition 2), plus absolute density sanity so a collapsed pair of
+// libraries cannot sneak through on deltas alone.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "diffusion/mlp_denoiser.h"
+#include "diffusion/precision.h"
+#include "diffusion/sampler.h"
+#include "diffusion/trainer.h"
+#include "metrics/metrics.h"
+
+namespace cp::diffusion {
+namespace {
+
+constexpr int kPatterns = 6;    // library size per tier
+constexpr int kFastSteps = 50;  // same visited-step budget as fast_quality
+// Thresholds shared with fast_quality_test.cpp: ~2x the sampler's own
+// seed-to-seed noise on this fixture.
+constexpr double kDensityTol = 0.12;
+constexpr double kComplexityTol = 10.0;
+constexpr double kDiversityTol = 1.6;
+
+squish::Topology stripes(int n, int period) {
+  squish::Topology t(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) t.set(r, c, (c / period) % 2);
+  }
+  return t;
+}
+
+struct LibraryStats {
+  double density = 0.0;
+  double complexity = 0.0;
+  double diversity = 0.0;
+};
+
+LibraryStats stats_of(const std::vector<squish::Topology>& lib) {
+  LibraryStats s;
+  for (const auto& t : lib) {
+    const auto [cx, cy] = t.complexity();
+    s.density += t.density();
+    s.complexity += cx + cy;
+  }
+  s.density /= static_cast<double>(lib.size());
+  s.complexity /= static_cast<double>(lib.size());
+  s.diversity = metrics::diversity(lib);
+  return s;
+}
+
+class QuantQualityTest : public ::testing::Test {
+ protected:
+  QuantQualityTest() : schedule_(ScheduleConfig{}), denoiser_(make_trained(schedule_)) {}
+
+  static MlpDenoiser make_trained(const NoiseSchedule& schedule) {
+    util::Rng rng(5);
+    MlpDenoiser model(schedule, MlpConfig{1, 32, 2}, rng);
+    std::vector<std::vector<squish::Topology>> per_class(1);
+    for (int p = 2; p <= 4; ++p) per_class[0].push_back(stripes(32, p));
+    TrainConfig cfg;
+    cfg.iterations = 800;
+    cfg.seed = 7;
+    train_mlp(model, per_class, cfg);
+    return model;
+  }
+
+  std::vector<squish::Topology> draw_library(const DiffusionSampler& sampler,
+                                             Precision precision) const {
+    SampleConfig cfg;
+    cfg.rows = 32;
+    cfg.cols = 32;
+    cfg.sample_steps = kFastSteps;
+    cfg.polish_rounds = 1;
+    cfg.precision = precision;
+    std::vector<squish::Topology> lib;
+    for (int i = 0; i < kPatterns; ++i) {
+      util::Rng rng(100 + static_cast<std::uint64_t>(i));  // fixed seed set
+      lib.push_back(sampler.sample(cfg, rng));
+    }
+    return lib;
+  }
+
+  NoiseSchedule schedule_;
+  MlpDenoiser denoiser_;
+};
+
+TEST_F(QuantQualityTest, Int8SamplingMatchesFp32Statistics) {
+  const DiffusionSampler sampler(schedule_, denoiser_);
+  const LibraryStats fp32 = stats_of(draw_library(sampler, Precision::kFp32));
+  const LibraryStats int8 = stats_of(draw_library(sampler, Precision::kInt8));
+
+  std::ostringstream table;
+  table << "\n  tier    density  complexity  diversity\n";
+  table << "  fp32    " << fp32.density << "  " << fp32.complexity << "  " << fp32.diversity
+        << "\n";
+  table << "  int8    " << int8.density << "  " << int8.complexity << "  " << int8.diversity
+        << "\n";
+
+  EXPECT_LE(std::abs(int8.density - fp32.density), kDensityTol) << "density" << table.str();
+  EXPECT_LE(std::abs(int8.complexity - fp32.complexity), kComplexityTol)
+      << "complexity" << table.str();
+  EXPECT_LE(std::abs(int8.diversity - fp32.diversity), kDiversityTol)
+      << "diversity" << table.str();
+  for (const LibraryStats* s : {&fp32, &int8}) {
+    EXPECT_GT(s->density, 0.2) << table.str();
+    EXPECT_LT(s->density, 0.8) << table.str();
+  }
+}
+
+TEST_F(QuantQualityTest, Int8SamplingIsDeterministic) {
+  // Bit-determinism within the tier: the int8 kernels are exact integer
+  // arithmetic plus identically-rounded epilogues, so the same seed must
+  // reproduce the same topology, run to run.
+  const DiffusionSampler sampler(schedule_, denoiser_);
+  SampleConfig cfg;
+  cfg.rows = 32;
+  cfg.cols = 32;
+  cfg.sample_steps = kFastSteps;
+  cfg.polish_rounds = 1;
+  cfg.precision = Precision::kInt8;
+  util::Rng a(42), b(42);
+  EXPECT_TRUE(sampler.sample(cfg, a) == sampler.sample(cfg, b));
+}
+
+TEST_F(QuantQualityTest, ConfigFlagAndPrecisionScopeAgree) {
+  // The two opt-in routes — MlpConfig::quantized on the model and a
+  // request-scoped PrecisionScope — must select the same kernels and
+  // produce identical predictions.
+  util::Rng rng_a(9), rng_b(9);
+  const NoiseSchedule schedule{ScheduleConfig{}};
+  const MlpDenoiser via_scope(schedule, MlpConfig{1, 16, 1}, rng_a);
+  const MlpDenoiser via_config(schedule, MlpConfig{1, 16, 1, true}, rng_b);
+
+  const squish::Topology xk = stripes(24, 3);
+  ProbGrid p_scope, p_config;
+  {
+    const PrecisionScope scope(Precision::kInt8);
+    via_scope.predict_x0(xk, 40, 0, p_scope);
+  }
+  via_config.predict_x0(xk, 40, 0, p_config);
+  ASSERT_EQ(p_scope.size(), p_config.size());
+  for (std::size_t i = 0; i < p_scope.size(); ++i) {
+    ASSERT_EQ(p_scope[i], p_config[i]) << "at " << i;
+  }
+  // And the scoped int8 prediction really is the quantized one, not fp32.
+  ProbGrid p_fp32;
+  via_scope.predict_x0(xk, 40, 0, p_fp32);
+  bool differs = false;
+  for (std::size_t i = 0; i < p_fp32.size(); ++i) differs = differs || p_fp32[i] != p_scope[i];
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace cp::diffusion

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "nn/tensor.h"
@@ -127,6 +129,154 @@ TEST(GemmTest, LinearForwardDispatchesBitIdenticallyForAllShapes) {
           << "n=" << s.n << " in=" << s.in << " out=" << s.out << " at " << i;
     }
   }
+}
+
+/// Restores the process-wide SIMD dispatch switch no matter how the test
+/// exits; other suites in this binary assume the default (enabled).
+struct SimdGuard {
+  ~SimdGuard() { gemm::set_simd_enabled(true); }
+};
+
+TEST(GemmTest, WideKernelBitIdenticalAcrossSimdToggle) {
+  // The 16-wide AVX2 fp32 tile must produce the same bits as the portable
+  // 8-wide kernel for every shape — on a machine without AVX2 both runs take
+  // the portable path and the test degenerates to a self-comparison.
+  SimdGuard guard;
+  util::Rng rng(16);
+  for (const Shape& s : kShapes) {
+    const auto x = randn(static_cast<std::size_t>(s.n) * s.in, rng);
+    const auto w = randn(static_cast<std::size_t>(s.out) * s.in, rng);
+    const auto b = randn(static_cast<std::size_t>(s.out), rng);
+    std::vector<float> wt(static_cast<std::size_t>(s.in) * s.out);
+    gemm::pack_wt(s.in, s.out, w.data(), wt.data());
+
+    std::vector<float> y_scalar(static_cast<std::size_t>(s.n) * s.out);
+    std::vector<float> y_simd(y_scalar.size());
+    gemm::set_simd_enabled(false);
+    gemm::forward_packed(s.n, s.in, s.out, x.data(), wt.data(), b.data(), y_scalar.data());
+    gemm::set_simd_enabled(true);
+    gemm::forward_packed(s.n, s.in, s.out, x.data(), wt.data(), b.data(), y_simd.data());
+    for (std::size_t i = 0; i < y_scalar.size(); ++i) {
+      ASSERT_EQ(y_scalar[i], y_simd[i])
+          << "n=" << s.n << " in=" << s.in << " out=" << s.out << " at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, QuantizedKernelsScalarAvx2BitIdentical) {
+  // The int8 tier's determinism contract: integer GEMM is exact arithmetic
+  // and the epilogues round identically (lrintf vs hardware RNE), so the
+  // scalar fallback and the AVX2 kernels must agree bit-for-bit — including
+  // the requantized int16 activations and the per-row scales.
+  SimdGuard guard;
+  util::Rng rng(17);
+  for (const Shape& s : kShapes) {
+    const auto x = randn(static_cast<std::size_t>(s.n) * s.in, rng);
+    const auto w = randn(static_cast<std::size_t>(s.out) * s.in, rng);
+    const auto b = randn(static_cast<std::size_t>(s.out), rng);
+    gemm::QuantizedPack pack;
+    gemm::quantize_weights(s.in, s.out, w.data(), b.data(), pack);
+    ASSERT_EQ(pack.pin % 2, 0);
+    ASSERT_EQ(pack.pout % 8, 0);
+    std::vector<std::int16_t> qx(static_cast<std::size_t>(s.n) * pack.pin);
+    std::vector<float> rs(static_cast<std::size_t>(s.n));
+    gemm::quantize_rows(s.n, s.in, pack.pin, x.data(), qx.data(), rs.data());
+
+    std::vector<std::int32_t> acc_scalar(static_cast<std::size_t>(s.n) * pack.pout);
+    std::vector<std::int32_t> acc_simd(acc_scalar.size());
+    gemm::set_simd_enabled(false);
+    gemm::forward_quantized(s.n, pack.pin, pack.pout, qx.data(), pack.wq.data(),
+                            acc_scalar.data());
+    gemm::set_simd_enabled(true);
+    gemm::forward_quantized(s.n, pack.pin, pack.pout, qx.data(), pack.wq.data(),
+                            acc_simd.data());
+    for (std::size_t i = 0; i < acc_scalar.size(); ++i) {
+      ASSERT_EQ(acc_scalar[i], acc_simd[i]) << "acc mismatch at " << i;
+    }
+
+    std::vector<float> vtmp(static_cast<std::size_t>(pack.pout));
+    for (gemm::QuantAct act : {gemm::QuantAct::kSiluFast, gemm::QuantAct::kRelu}) {
+      std::vector<std::int16_t> qy_scalar(static_cast<std::size_t>(s.n) * pack.pout);
+      std::vector<std::int16_t> qy_simd(qy_scalar.size());
+      std::vector<float> rs_scalar(static_cast<std::size_t>(s.n)), rs_simd(rs_scalar.size());
+      gemm::set_simd_enabled(false);
+      gemm::epilogue_act_quant(act, s.n, pack.pout, acc_scalar.data(), rs.data(),
+                               pack.scale.data(), pack.bias.data(), vtmp.data(),
+                               qy_scalar.data(), rs_scalar.data());
+      gemm::set_simd_enabled(true);
+      gemm::epilogue_act_quant(act, s.n, pack.pout, acc_scalar.data(), rs.data(),
+                               pack.scale.data(), pack.bias.data(), vtmp.data(),
+                               qy_simd.data(), rs_simd.data());
+      for (std::size_t i = 0; i < qy_scalar.size(); ++i) {
+        ASSERT_EQ(qy_scalar[i], qy_simd[i]) << "qy mismatch at " << i;
+      }
+      for (std::size_t i = 0; i < rs_scalar.size(); ++i) {
+        ASSERT_EQ(rs_scalar[i], rs_simd[i]) << "rs mismatch at " << i;
+      }
+    }
+
+    std::vector<float> y_scalar(static_cast<std::size_t>(s.n) * s.out);
+    std::vector<float> y_simd(y_scalar.size());
+    gemm::set_simd_enabled(false);
+    gemm::epilogue_dequant(s.n, pack.pout, s.out, acc_scalar.data(), rs.data(),
+                           pack.scale.data(), pack.bias.data(), y_scalar.data());
+    gemm::set_simd_enabled(true);
+    gemm::epilogue_dequant(s.n, pack.pout, s.out, acc_scalar.data(), rs.data(),
+                           pack.scale.data(), pack.bias.data(), y_simd.data());
+    for (std::size_t i = 0; i < y_scalar.size(); ++i) {
+      ASSERT_EQ(y_scalar[i], y_simd[i]) << "dequant mismatch at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, QuantizedLinearApproximatesFp32) {
+  // Accuracy (not identity): one quantized Linear must track the fp32 result
+  // within the expected per-channel-symmetric-int8 error envelope.
+  util::Rng rng(18);
+  for (const Shape& s : kShapes) {
+    const auto x = randn(static_cast<std::size_t>(s.n) * s.in, rng);
+    const auto w = randn(static_cast<std::size_t>(s.out) * s.in, rng);
+    const auto b = randn(static_cast<std::size_t>(s.out), rng);
+    std::vector<float> y_ref(static_cast<std::size_t>(s.n) * s.out);
+    gemm::forward_naive(s.n, s.in, s.out, x.data(), w.data(), b.data(), y_ref.data());
+
+    gemm::QuantizedPack pack;
+    gemm::quantize_weights(s.in, s.out, w.data(), b.data(), pack);
+    std::vector<std::int16_t> qx(static_cast<std::size_t>(s.n) * pack.pin);
+    std::vector<float> rs(static_cast<std::size_t>(s.n));
+    gemm::quantize_rows(s.n, s.in, pack.pin, x.data(), qx.data(), rs.data());
+    std::vector<std::int32_t> acc(static_cast<std::size_t>(s.n) * pack.pout);
+    gemm::forward_quantized(s.n, pack.pin, pack.pout, qx.data(), pack.wq.data(), acc.data());
+    std::vector<float> y_q(y_ref.size());
+    gemm::epilogue_dequant(s.n, pack.pout, s.out, acc.data(), rs.data(), pack.scale.data(),
+                           pack.bias.data(), y_q.data());
+
+    // Two rounding steps of ~1/254 each on |x|,|w| <= absmax accumulate over
+    // `in` products; scale the bound with sqrt(in) and the data magnitude.
+    float max_abs = 1.0f;
+    for (float v : y_ref) max_abs = std::max(max_abs, std::abs(v));
+    const float tol = 0.02f * max_abs * std::sqrt(static_cast<float>(s.in));
+    for (std::size_t i = 0; i < y_ref.size(); ++i) {
+      ASSERT_NEAR(y_ref[i], y_q[i], tol)
+          << "n=" << s.n << " in=" << s.in << " out=" << s.out << " at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, QuantizeRowsHandlesZeroAndPadding) {
+  const int n = 2, in = 3, pin = gemm::quant_pad(in);
+  EXPECT_EQ(pin, 8);
+  const float x[n * in] = {0.0f, 0.0f, 0.0f, 1.0f, -2.0f, 0.5f};
+  std::vector<std::int16_t> qx(static_cast<std::size_t>(n) * pin, 99);
+  float rs[n];
+  gemm::quantize_rows(n, in, pin, x, qx.data(), rs);
+  // All-zero row: zero scale, zero lanes (the kernel contributes nothing).
+  EXPECT_EQ(rs[0], 0.0f);
+  for (int k = 0; k < pin; ++k) EXPECT_EQ(qx[static_cast<std::size_t>(k)], 0);
+  // Regular row: absmax lane hits +/-127 exactly, padding lanes are zeroed.
+  EXPECT_EQ(rs[1], 2.0f / 127.0f);
+  EXPECT_EQ(qx[static_cast<std::size_t>(pin) + 1], -127);
+  for (int k = in; k < pin; ++k) EXPECT_EQ(qx[static_cast<std::size_t>(pin) + k], 0);
 }
 
 TEST(GemmTest, PackWtIsTranspose) {

@@ -97,6 +97,23 @@ TEST(RequestHash, CoversContentFieldsOnly) {
   EXPECT_TRUE(differs([](GenerationRequest& m) { ++m.height_nm; }));
   EXPECT_TRUE(differs([](GenerationRequest& m) { ++m.seed; }));
   EXPECT_TRUE(differs([](GenerationRequest& m) { m.legalize = !m.legalize; }));
+  // Precision is a content field: an int8 request must never alias a cached
+  // fp32 payload (DESIGN.md "Quantized inference").
+  EXPECT_TRUE(differs([](GenerationRequest& m) { m.precision = "int8"; }));
+}
+
+TEST(RequestWire, PrecisionFieldRoundTripsAndValidates) {
+  GenerationRequest r = sample_request();
+  EXPECT_EQ(r.precision, "fp32");  // default
+  r.precision = "int8";
+  const GenerationRequest back = GenerationRequest::from_json(r.to_json());
+  EXPECT_EQ(back.precision, "int8");
+  EXPECT_EQ(back.content_hash(), r.content_hash());
+
+  const ParsedRequest p = parse_request_line(R"({"id":"q","precision":"int8"})");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.precision, "int8");
+  EXPECT_FALSE(parse_request_line(R"({"id":"q","precision":"fp16"})").ok);
 }
 
 TEST(RequestWire, ResultJsonCarriesHexLibraryHash) {
@@ -125,6 +142,11 @@ TEST(RequestWire, BatchKeyGroupsCompatibleRequests) {
   c.rows = a.rows * 2;
   EXPECT_FALSE(batch_key(a, 1) == batch_key(c, 1));
   EXPECT_FALSE(batch_key(a, 0) == batch_key(a, 1));
+  // Mixed-precision requests must not share a batch: the whole wave runs
+  // under one PrecisionScope.
+  GenerationRequest q = a;
+  q.precision = "int8";
+  EXPECT_FALSE(batch_key(a, 1) == batch_key(q, 1));
 }
 
 }  // namespace
