@@ -1,0 +1,169 @@
+// Streaming-ingestion benchmark (docs/LIBRARY.md): generates a synthetic
+// multi-structure GDS layout, then times the three stages of the library
+// pipeline separately so a regression points at the guilty layer:
+//
+//   * stream    — record-level streaming read of the file with no squishing
+//                 (io/gds_stream.h); reported as MB/s.
+//   * ingest    — the full GDS -> windows -> squish -> store pipeline into an
+//                 in-memory store (pattlib/ingest.h); reported as windows/s.
+//   * store     — appending distinct patterns to a persistent store and
+//                 replaying the file on reopen (pattlib/pattern_store.h);
+//                 reported as ops/s for both directions.
+//
+// Results are written to BENCH_ingestion.json (override with --json FILE).
+// Flags: --structures N, --rects N (per structure), --patterns N (store
+// stage), --window NM, --outdir DIR, --json FILE, --seed S.
+//
+// Absolute numbers are one-core, sample-count limited; the orderings and the
+// stream-vs-ingest gap (squish cost dominates I/O) are the reproducible part.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/gds.h"
+#include "io/gds_stream.h"
+#include "pattlib/ingest.h"
+#include "util/cli.h"
+#include "util/fs.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+using namespace cp;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// A dense synthetic layout: every structure carries `rects` bars laid out
+/// row-major over a grid, so the 2048-nm windowing pass finds work in nearly
+/// every window. Geometry varies per structure to defeat dedup.
+io::GdsLibrary make_layout(int structures, int rects, util::Rng& rng) {
+  io::GdsLibrary lib;
+  lib.name = "INGESTION_BENCH";
+  for (int s = 0; s < structures; ++s) {
+    io::GdsStructure str;
+    str.name = "CELL" + std::to_string(s);
+    str.layer = 1;
+    const int per_row = 64;
+    for (int i = 0; i < rects; ++i) {
+      const geometry::Coord x = (i % per_row) * 256;
+      const geometry::Coord y = (i / per_row) * 256;
+      const geometry::Coord w = 96 + static_cast<geometry::Coord>(rng.next_u64() % 96);
+      const geometry::Coord h = 96 + static_cast<geometry::Coord>(rng.next_u64() % 96);
+      str.rects.push_back({x, y, x + w, y + h});
+    }
+    lib.structures.push_back(std::move(str));
+  }
+  return lib;
+}
+
+/// A random topology with a fresh canonical hash (w.h.p.) for the store stage.
+squish::SquishPattern random_pattern(int n, util::Rng& rng) {
+  squish::SquishPattern p;
+  p.topology = squish::Topology(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) p.topology.set(r, c, static_cast<int>(rng.next_u64() & 1));
+  }
+  p.dx = squish::uniform_deltas(n, 2048);
+  p.dy = squish::uniform_deltas(n, 2048);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv);
+  const int structures = static_cast<int>(flags.get_int("structures", 48));
+  const int rects = static_cast<int>(flags.get_int("rects", 1024));
+  const int patterns = static_cast<int>(flags.get_int("patterns", 2000));
+  const long long window_nm = flags.get_int("window", 2048);
+  const std::string outdir = flags.get("outdir", ".");
+  const std::string json_path =
+      (outdir == "." ? std::string() : outdir + "/") + flags.get("json", "BENCH_ingestion.json");
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+
+  if (outdir != ".") std::filesystem::create_directories(outdir);
+  const std::string work = (outdir == "." ? std::string(".") : outdir);
+  const std::string gds_path = work + "/bench_ingestion.gds";
+  const std::string store_path = work + "/bench_ingestion.cppl";
+  std::remove(store_path.c_str());
+
+  std::printf("[setup] writing %d structures x %d rects...\n", structures, rects);
+  io::write_gds(gds_path, make_layout(structures, rects, rng));
+  const std::uint64_t gds_bytes = std::filesystem::file_size(gds_path);
+
+  util::Json j;
+  j["structures"] = structures;
+  j["rects_per_structure"] = rects;
+  j["gds_bytes"] = static_cast<long long>(gds_bytes);
+  j["window_nm"] = window_nm;
+
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    long long streamed_rects = 0;
+    const io::StreamStats st = io::stream_gds_structures(
+        gds_path, [&](io::GdsStructure&& s) { streamed_rects += static_cast<long long>(s.rects.size()); });
+    const double secs = seconds_since(t0);
+    const double mb_per_s = static_cast<double>(st.bytes) / 1e6 / secs;
+    j["stream_s"] = secs;
+    j["stream_mb_per_s"] = mb_per_s;
+    std::printf("[stream] %lld rects, %.1f MB in %.3f s = %.1f MB/s\n", streamed_rects,
+                static_cast<double>(st.bytes) / 1e6, secs, mb_per_s);
+  }
+
+  {
+    pattlib::PatternStore store;  // in-memory: isolates squish + index cost
+    pattlib::IngestConfig cfg;
+    cfg.window.window_nm = window_nm;
+    const auto t0 = std::chrono::steady_clock::now();
+    const pattlib::IngestStats st = pattlib::ingest_gds(gds_path, store, cfg);
+    const double secs = seconds_since(t0);
+    const double windows_per_s = static_cast<double>(st.windows_kept) / secs;
+    j["windows_seen"] = st.windows_seen;
+    j["windows_kept"] = st.windows_kept;
+    j["ingest_added"] = st.added;
+    j["ingest_s"] = secs;
+    j["windows_per_s"] = windows_per_s;
+    std::printf("[ingest] %lld windows (%lld unique) in %.3f s = %.1f windows/s\n",
+                st.windows_kept, st.added, secs, windows_per_s);
+  }
+
+  {
+    std::vector<squish::SquishPattern> fresh;
+    fresh.reserve(static_cast<std::size_t>(patterns));
+    for (int i = 0; i < patterns; ++i) fresh.push_back(random_pattern(24, rng));
+    long long added = 0;
+    double add_secs = 0;
+    {
+      pattlib::PatternStore store(store_path);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const squish::SquishPattern& p : fresh) {
+        if (store.add(p, {}).inserted) ++added;
+      }
+      store.flush();
+      add_secs = seconds_since(t0);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    pattlib::PatternStore reopened(store_path);
+    const double replay_secs = seconds_since(t1);
+    j["store_adds"] = added;
+    j["store_add_s"] = add_secs;
+    j["store_ops_per_s"] = static_cast<double>(added) / add_secs;
+    j["store_replay_s"] = replay_secs;
+    j["store_replay_ops_per_s"] = static_cast<double>(reopened.size()) / replay_secs;
+    std::printf("[store] %lld appends in %.3f s = %.1f ops/s; replay of %zu in %.3f s = %.1f ops/s\n",
+                added, add_secs, static_cast<double>(added) / add_secs, reopened.size(),
+                replay_secs, static_cast<double>(reopened.size()) / replay_secs);
+  }
+
+  util::atomic_write_file(json_path, j.dump(2) + "\n");
+  std::printf("[json] wrote %s\n", json_path.c_str());
+  std::remove(gds_path.c_str());
+  std::remove(store_path.c_str());
+  return 0;
+}

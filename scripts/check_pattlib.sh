@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Pattern-library gate (docs/LIBRARY.md): one command that proves the claims
+# the persistent store stands on, in dependency order:
+#
+#   1. unit contracts — canonical-hash dedup, metadata queries, persistence
+#      round trips, torn-tail crash recovery (bit-identical restart), bit-rot
+#      detection, windowing arithmetic and streaming ingestion (pattlib_test);
+#   2. end-to-end CLI walk — a deterministic GDS fixture is imported through
+#      the bounded-memory streaming path; the dedup counts must come out
+#      exactly (6 structures x 2 motif placements, 3 distinct motifs =>
+#      3 added / 9 deduped), a second import of the same file must add
+#      nothing, queries must be byte-identical across runs and re-opens,
+#      and a torn append (garbage tail) must be recovered on the next open
+#      with the store still answering the same query.
+#
+# 1 breaking means the store/windowing logic regressed (fix the code);
+# 2 breaking alone means the CLI plumbing or the on-disk format drifted.
+#
+# Usage: check_pattlib.sh <pattlib_test-binary> <chatpattern_lib-binary>
+# Wired into ctest as `check_pattlib` (tests/CMakeLists.txt).
+set -euo pipefail
+
+USAGE="usage: check_pattlib.sh <pattlib_test-binary> <chatpattern_lib-binary>"
+TEST_BIN=${1:?${USAGE}}
+CLI_BIN=${2:?${USAGE}}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/check_pattlib.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+GDS="$WORK/fixture.gds"
+STORE="$WORK/library.cppl"
+
+echo "== gate 1/2: pattlib unit suites =="
+"$TEST_BIN" --gtest_brief=1 || {
+  echo "FAIL(unit): a store/windowing/ingestion contract regressed" >&2
+  exit 1
+}
+
+echo "== gate 2/2: end-to-end CLI walk =="
+"$CLI_BIN" fixture --out "$GDS" --structures 6 --motifs 3 >/dev/null
+
+IMPORT1=$("$CLI_BIN" import --store "$STORE" --gds "$GDS")
+echo "$IMPORT1"
+echo "$IMPORT1" | grep -q 'added=3 deduped=9 ' || {
+  echo "FAIL(import): expected added=3 deduped=9, got: $IMPORT1" >&2
+  exit 1
+}
+
+IMPORT2=$("$CLI_BIN" import --store "$STORE" --gds "$GDS")
+echo "$IMPORT2"
+echo "$IMPORT2" | grep -q 'added=0 deduped=12 ' || {
+  echo "FAIL(reimport): a second import of the same file added patterns: $IMPORT2" >&2
+  exit 1
+}
+
+"$CLI_BIN" query --store "$STORE" > "$WORK/query1.txt"
+"$CLI_BIN" query --store "$STORE" > "$WORK/query2.txt"
+diff -u "$WORK/query1.txt" "$WORK/query2.txt" || {
+  echo "FAIL(determinism): identical queries returned different output" >&2
+  exit 1
+}
+[ "$(wc -l < "$WORK/query1.txt")" -eq 3 ] || {
+  echo "FAIL(query): expected 3 stored patterns" >&2
+  exit 1
+}
+
+# Simulate a crashed writer: a torn tail must be recovered on the next open,
+# and the recovery must be visible in stats exactly once.
+printf '\x01torn-append-garbage' >> "$STORE"
+STATS=$("$CLI_BIN" stats --store "$STORE")
+echo "$STATS"
+echo "$STATS" | grep -q 'patterns=3 ' || {
+  echo "FAIL(recovery): torn tail changed the pattern count: $STATS" >&2
+  exit 1
+}
+echo "$STATS" | grep -q 'recovered_bytes=20' || {
+  echo "FAIL(recovery): torn tail was not recovered: $STATS" >&2
+  exit 1
+}
+"$CLI_BIN" stats --store "$STORE" | grep -q 'recovered_bytes=0' || {
+  echo "FAIL(recovery): recovery did not materialise on disk (second open recovered again)" >&2
+  exit 1
+}
+
+# The recovered store still answers the same query and still dedups.
+"$CLI_BIN" query --store "$STORE" > "$WORK/query3.txt"
+diff -u "$WORK/query1.txt" "$WORK/query3.txt" || {
+  echo "FAIL(recovery): recovered store answers queries differently" >&2
+  exit 1
+}
+"$CLI_BIN" import --store "$STORE" --gds "$GDS" | grep -q 'added=0 ' || {
+  echo "FAIL(recovery): recovered store lost its dedup index" >&2
+  exit 1
+}
+
+echo "OK: store contracts hold and the CLI import/query/recovery walk is deterministic"

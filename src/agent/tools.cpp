@@ -277,6 +277,42 @@ ToolRegistry make_standard_tools(GeneratorBackend backend) {
         return r;
       }});
 
+  if (shared->library != nullptr) {
+    registry.register_tool(ToolSpec{
+        "library_retrieval",
+        "Library Retrieval: queries the persistent pattern library for "
+        "previously ingested or generated DRC-ready patterns instead of "
+        "sampling new ones. Args: style_tag ('*' = any), count, min_density, "
+        "max_density, layer (-1 = any). Returns pattern_id references into "
+        "the session store plus per-pattern summaries; the matrices stay "
+        "server-side.",
+        [shared](const util::Json& args) {
+          ToolResult r;
+          pattlib::Query q;
+          const std::string tag = args.get_string("style_tag", "*");
+          if (tag != "*") q.style_tag = tag;
+          q.limit = args.get_int("count", 4);
+          q.min_density = args.get_number("min_density", 0.0);
+          q.max_density = args.get_number("max_density", 1.0);
+          q.layer = static_cast<int>(args.get_int("layer", -1));
+          const std::vector<std::uint64_t> ids = shared->library->query(q);
+          util::JsonArray found;
+          for (const std::uint64_t id : ids) {
+            const pattlib::StoredPattern& e = shared->library->at(id);
+            util::Json item = topology_summary(e.pattern.topology);
+            item["pattern_id"] = shared->store->put_pattern(e.pattern);
+            item["style_tag"] = e.meta.style_tag;
+            item["drc"] = std::string(pattlib::to_string(e.meta.drc));
+            found.push_back(std::move(item));
+          }
+          r.payload["patterns"] = util::Json(std::move(found));
+          r.payload["matched"] = ids.size();
+          r.payload["library_size"] = shared->library->size();
+          r.ok = true;
+          return r;
+        }});
+  }
+
   registry.register_tool(ToolSpec{
       "topology_analysis",
       "Topology Analysis: reports size, complexity (c_x, c_y) and density of "

@@ -18,6 +18,7 @@
 #include "diffusion/sampler.h"
 #include "extension/planner.h"
 #include "legalize/legalizer.h"
+#include "pattlib/pattern_store.h"
 #include "serve/server.h"
 #include "util/json.h"
 
@@ -64,6 +65,12 @@ struct GeneratorBackend {
   /// the inline tool stream), so attach it for serving deployments, not for
   /// reproducing the inline-tool baselines.
   serve::Server* server = nullptr;
+  /// Optional persistent pattern library (docs/LIBRARY.md). When set, the
+  /// library_retrieval tool is registered: the agent can pull previously
+  /// ingested/generated patterns by metadata query instead of sampling new
+  /// ones. Borrowed; must outlive the registry and not be mutated while
+  /// tools run.
+  const pattlib::PatternStore* library = nullptr;
 };
 
 struct ToolResult {
@@ -96,7 +103,8 @@ class ToolRegistry {
 
 /// Build the standard tool set over a backend:
 ///   topology_generation, topology_legalization, topology_extension,
-///   topology_modification, topology_analysis.
+///   topology_modification, topology_analysis,
+/// plus library_retrieval when backend.library is attached.
 ToolRegistry make_standard_tools(GeneratorBackend backend);
 
 }  // namespace cp::agent

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 
 #include "core/populate_journal.h"
 #include "io/gds.h"
 #include "obs/registry.h"
+#include "util/fs.h"
 #include "util/strings.h"
 
 namespace cp::core {
@@ -121,17 +121,19 @@ double PatternLibrary::diversity() const {
 
 int PatternLibrary::export_pbm(const std::string& dir) const {
   std::filesystem::create_directories(dir);
-  std::ofstream manifest(dir + "/manifest.txt");
-  manifest << "style " << style_ << "\ncount " << patterns_.size() << "\n";
+  std::string manifest = "style " + style_ + "\ncount " + std::to_string(patterns_.size()) + "\n";
   int written = 0;
   for (std::size_t i = 0; i < patterns_.size(); ++i) {
     const std::string name = util::format("pattern_%05zu.pbm", i);
-    std::ofstream out(dir + "/" + name);
-    out << patterns_[i].topology.to_pbm();
-    manifest << name << " " << patterns_[i].width_nm() << "x" << patterns_[i].height_nm()
-             << " nm\n";
+    util::atomic_write_file(dir + "/" + name, patterns_[i].topology.to_pbm());
+    manifest += util::format("%s %lldx%lld nm\n", name.c_str(),
+                             static_cast<long long>(patterns_[i].width_nm()),
+                             static_cast<long long>(patterns_[i].height_nm()));
     ++written;
   }
+  // Atomic: a reader (or a crash) never observes a manifest that names files
+  // which were not fully written.
+  util::atomic_write_file(dir + "/manifest.txt", manifest);
   return written + 1;
 }
 
@@ -147,6 +149,27 @@ int PatternLibrary::export_gds(const std::string& path, int layer) const {
   }
   io::write_gds(path, lib);
   return static_cast<int>(lib.structures.size());
+}
+
+int PatternLibrary::export_store(pattlib::PatternStore& store, int layer) const {
+  int inserted = 0;
+  for (const squish::SquishPattern& p : patterns_) {
+    pattlib::PatternMeta meta;
+    meta.source = "generated";
+    meta.style_tag = style_;
+    meta.layer = layer;
+    if (store.add(p, std::move(meta)).inserted) ++inserted;
+  }
+  store.flush();
+  return inserted;
+}
+
+PatternLibrary PatternLibrary::from_store(const pattlib::PatternStore& store,
+                                          const std::vector<std::uint64_t>& ids,
+                                          std::string style) {
+  PatternLibrary lib(std::move(style));
+  for (const std::uint64_t id : ids) lib.add(store.at(id).pattern);
+  return lib;
 }
 
 }  // namespace cp::core

@@ -9,6 +9,7 @@
 #include "drc/rules.h"
 #include "legalize/legalizer.h"
 #include "metrics/metrics.h"
+#include "pattlib/pattern_store.h"
 #include "squish/squish.h"
 #include "util/thread_pool.h"
 
@@ -68,6 +69,18 @@ class PatternLibrary {
   /// coordinates in nm on the given layer). Loads into standard layout
   /// viewers. Returns the number of structures written.
   int export_gds(const std::string& path, int layer = 1) const;
+
+  /// Append every pattern to a persistent pattlib::PatternStore, tagged with
+  /// this library's style and source "generated". Duplicates (by canonical
+  /// topology hash) are dropped by the store; returns the number actually
+  /// inserted.
+  int export_store(pattlib::PatternStore& store, int layer = 1) const;
+
+  /// Build a library from store entries — the retrieval bridge used by the
+  /// serve layer and the library CLI. Throws std::out_of_range on unknown
+  /// ids.
+  static PatternLibrary from_store(const pattlib::PatternStore& store,
+                                   const std::vector<std::uint64_t>& ids, std::string style);
 
  private:
   std::string style_;

@@ -1,13 +1,10 @@
 #include "io/gds.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <stdexcept>
 
-#include "geometry/extract.h"
+#include "io/gds_records.h"
 #include "util/fault.h"
 #include "util/fs.h"
 #include "util/strings.h"
@@ -21,23 +18,6 @@ namespace {
 // of magnitude above anything this library writes.
 constexpr std::uint64_t kMaxFileBytes = 256ULL << 20;   // whole-file slurp cap
 constexpr std::size_t kMaxRecords = 1u << 22;           // ~4M records
-constexpr std::size_t kMaxBoundaryPoints = 8192;        // points per XY loop
-constexpr std::size_t kMaxBoundaryWork = 64u << 20;     // grid cells x edges
-
-// GDSII record ids (record type << 8 | data type).
-constexpr std::uint16_t kHeader = 0x0002;
-constexpr std::uint16_t kBgnLib = 0x0102;
-constexpr std::uint16_t kLibName = 0x0206;
-constexpr std::uint16_t kUnits = 0x0305;
-constexpr std::uint16_t kEndLib = 0x0400;
-constexpr std::uint16_t kBgnStr = 0x0502;
-constexpr std::uint16_t kStrName = 0x0606;
-constexpr std::uint16_t kEndStr = 0x0700;
-constexpr std::uint16_t kBoundary = 0x0800;
-constexpr std::uint16_t kLayer = 0x0D02;
-constexpr std::uint16_t kDatatype = 0x0E02;
-constexpr std::uint16_t kXy = 0x1003;
-constexpr std::uint16_t kEndEl = 0x1100;
 
 void put_u16(std::string& out, std::uint16_t v) {
   out.push_back(static_cast<char>(v >> 8));
@@ -50,40 +30,6 @@ void put_i32(std::string& out, std::int32_t v) {
   out.push_back(static_cast<char>((u >> 16) & 0xff));
   out.push_back(static_cast<char>((u >> 8) & 0xff));
   out.push_back(static_cast<char>(u & 0xff));
-}
-
-/// GDSII 8-byte real: sign bit, 7-bit excess-64 base-16 exponent, 56-bit
-/// mantissa in [1/16, 1).
-void put_real8(std::string& out, double value) {
-  std::uint64_t bits = 0;
-  if (value != 0.0) {
-    const bool negative = value < 0.0;
-    double mag = std::fabs(value);
-    int exponent = 64;
-    while (mag >= 1.0) {
-      mag /= 16.0;
-      ++exponent;
-    }
-    while (mag < 1.0 / 16.0) {
-      mag *= 16.0;
-      --exponent;
-    }
-    const std::uint64_t mantissa = static_cast<std::uint64_t>(std::llround(mag * 72057594037927936.0));  // 2^56
-    bits = (static_cast<std::uint64_t>(negative) << 63) |
-           (static_cast<std::uint64_t>(exponent & 0x7f) << 56) |
-           (mantissa & 0x00ffffffffffffffULL);
-  }
-  for (int i = 7; i >= 0; --i) out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
-}
-
-double get_real8(const unsigned char* p) {
-  const bool negative = (p[0] & 0x80) != 0;
-  const int exponent = (p[0] & 0x7f) - 64;
-  std::uint64_t mantissa = 0;
-  for (int i = 1; i < 8; ++i) mantissa = (mantissa << 8) | p[i];
-  const double value =
-      static_cast<double>(mantissa) / 72057594037927936.0 * std::pow(16.0, exponent);
-  return negative ? -value : value;
 }
 
 void put_record(std::string& out, std::uint16_t id, const std::string& payload) {
@@ -117,30 +63,30 @@ void write_gds(const std::string& path, const GdsLibrary& library) {
   {
     std::string p;
     put_u16(p, 600);  // stream version 6
-    put_record(out, kHeader, p);
+    put_record(out, kRecHeader, p);
   }
-  put_record(out, kBgnLib, timestamp_payload());
-  put_record(out, kLibName, ascii_payload(library.name));
+  put_record(out, kRecBgnLib, timestamp_payload());
+  put_record(out, kRecLibName, ascii_payload(library.name));
   {
     std::string p;
     put_real8(p, library.dbu_per_user_unit);
     put_real8(p, library.dbu_in_meter);
-    put_record(out, kUnits, p);
+    put_record(out, kRecUnits, p);
   }
   for (const GdsStructure& str : library.structures) {
-    put_record(out, kBgnStr, timestamp_payload());
-    put_record(out, kStrName, ascii_payload(str.name));
+    put_record(out, kRecBgnStr, timestamp_payload());
+    put_record(out, kRecStrName, ascii_payload(str.name));
     for (const geometry::Rect& r : str.rects) {
-      put_record(out, kBoundary, "");
+      put_record(out, kRecBoundary, "");
       {
         std::string p;
         put_u16(p, static_cast<std::uint16_t>(str.layer));
-        put_record(out, kLayer, p);
+        put_record(out, kRecLayer, p);
       }
       {
         std::string p;
         put_u16(p, static_cast<std::uint16_t>(str.datatype));
-        put_record(out, kDatatype, p);
+        put_record(out, kRecDatatype, p);
       }
       {
         std::string p;  // closed loop: 5 points
@@ -158,13 +104,13 @@ void write_gds(const std::string& path, const GdsLibrary& library) {
           put_i32(p, xs[i]);
           put_i32(p, ys[i]);
         }
-        put_record(out, kXy, p);
+        put_record(out, kRecXy, p);
       }
-      put_record(out, kEndEl, "");
+      put_record(out, kRecEndEl, "");
     }
-    put_record(out, kEndStr, "");
+    put_record(out, kRecEndStr, "");
   }
-  put_record(out, kEndLib, "");
+  put_record(out, kRecEndLib, "");
 
   // Crash-safe: tmp + fsync + rename, with a CRC32 trailer after ENDLIB.
   // Readers (ours and standard viewers) stop at ENDLIB, so the trailer is
@@ -177,6 +123,7 @@ namespace {
 
 struct Record {
   std::uint16_t id = 0;
+  std::uint64_t offset = 0;  // absolute byte offset of the record header
   std::string payload;
 };
 
@@ -195,14 +142,18 @@ class Reader {
     if (++records_ > kMaxRecords) throw std::runtime_error("gds: too many records");
     const std::size_t len = (static_cast<unsigned char>(data_[pos_]) << 8) |
                             static_cast<unsigned char>(data_[pos_ + 1]);
+    record.id = static_cast<std::uint16_t>((static_cast<unsigned char>(data_[pos_ + 2]) << 8) |
+                                           static_cast<unsigned char>(data_[pos_ + 3]));
+    record.offset = pos_;
     // A declared length below the 4-byte header or past the end of the file
     // (truncation, or a malicious header promising more than exists) is
     // structural corruption, never a loop or an over-read.
     if (len < 4 || len > data_.size() - pos_) {
-      throw std::runtime_error("gds: corrupt record length");
+      throw std::runtime_error(
+          util::format("gds: corrupt record length %zu at byte %llu (%s)", len,
+                       static_cast<unsigned long long>(pos_),
+                       describe_record(record.id).c_str()));
     }
-    record.id = static_cast<std::uint16_t>((static_cast<unsigned char>(data_[pos_ + 2]) << 8) |
-                                           static_cast<unsigned char>(data_[pos_ + 3]));
     record.payload.assign(data_.begin() + static_cast<long>(pos_) + 4,
                           data_.begin() + static_cast<long>(pos_ + len));
     pos_ += len;
@@ -214,7 +165,11 @@ class Reader {
   /// foreign bytes appended to the stream.
   void expect_only_padding() const {
     for (std::size_t i = pos_; i < data_.size(); ++i) {
-      if (data_[i] != '\0') throw std::runtime_error("gds: trailing bytes after ENDLIB");
+      if (data_[i] != '\0') {
+        throw std::runtime_error(util::format(
+            "gds: trailing bytes after ENDLIB at byte %llu",
+            static_cast<unsigned long long>(i)));
+      }
     }
   }
 
@@ -238,54 +193,12 @@ std::string trim_nul(const std::string& s) {
   return out;
 }
 
-/// Decompose a closed rectilinear loop into rects (even-odd fill over the
-/// scan-line grid).
-std::vector<geometry::Rect> loop_to_rects(const std::vector<geometry::Point>& loop) {
-  if (loop.size() < 4) throw std::runtime_error("gds: degenerate boundary");
-  if (loop.size() > kMaxBoundaryPoints) throw std::runtime_error("gds: boundary too complex");
-  std::vector<geometry::Coord> xs, ys;
-  for (const auto& p : loop) {
-    xs.push_back(p.x);
-    ys.push_back(p.y);
-  }
-  std::sort(xs.begin(), xs.end());
-  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
-  std::sort(ys.begin(), ys.end());
-  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
-  const int cols = static_cast<int>(xs.size()) - 1;
-  const int rows = static_cast<int>(ys.size()) - 1;
-  if (cols <= 0 || rows <= 0) throw std::runtime_error("gds: empty boundary");
-  // The even-odd rasterisation below costs grid-cells x edges; bound it so
-  // an adversarial loop with thousands of distinct coordinates cannot pin
-  // the CPU (or allocate an enormous grid).
-  if (static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) * loop.size() >
-      kMaxBoundaryWork) {
-    throw std::runtime_error("gds: boundary too complex");
-  }
-
-  geometry::BitGrid grid(rows, cols);
-  for (int r = 0; r < rows; ++r) {
-    const double cy = 0.5 * (static_cast<double>(ys[r]) + static_cast<double>(ys[r + 1]));
-    for (int c = 0; c < cols; ++c) {
-      const double cx = 0.5 * (static_cast<double>(xs[c]) + static_cast<double>(xs[c + 1]));
-      // Even-odd ray cast to +x over the loop's vertical edges.
-      int crossings = 0;
-      for (std::size_t i = 0; i + 1 < loop.size(); ++i) {
-        const auto& a = loop[i];
-        const auto& b = loop[i + 1];
-        if (a.x != b.x) continue;  // horizontal edge
-        const double lo = static_cast<double>(std::min(a.y, b.y));
-        const double hi = static_cast<double>(std::max(a.y, b.y));
-        if (cy > lo && cy < hi && static_cast<double>(a.x) > cx) ++crossings;
-      }
-      grid.set(r, c, crossings % 2 != 0);
-    }
-  }
-  std::vector<geometry::Rect> rects;
-  for (const geometry::Rect& cell : geometry::grid_to_cell_rects(grid.view())) {
-    rects.push_back(geometry::Rect{xs[cell.x0], ys[cell.y0], xs[cell.x1], ys[cell.y1]});
-  }
-  return rects;
+/// "gds: bad UNITS (0x0305) at byte 28" — the shared corrupt-payload error
+/// form; the record name comes from the table both readers use.
+[[noreturn]] void throw_bad_record(const Record& rec, const char* what) {
+  throw std::runtime_error(util::format("gds: %s %s at byte %llu", what,
+                                        describe_record(rec.id).c_str(),
+                                        static_cast<unsigned long long>(rec.offset)));
 }
 
 }  // namespace
@@ -303,62 +216,65 @@ GdsLibrary read_gds(const std::string& path) {
 
   while (reader.next(rec)) {
     switch (rec.id) {
-      case kHeader:
-      case kBgnLib:
-      case kBgnStr:
-      case kEndEl:
+      case kRecHeader:
+      case kRecBgnLib:
+      case kRecBgnStr:
+      case kRecEndEl:
         break;
-      case kLibName:
+      case kRecLibName:
         lib.name = trim_nul(rec.payload);
         break;
-      case kUnits:
-        if (rec.payload.size() != 16) throw std::runtime_error("gds: bad UNITS");
+      case kRecUnits:
+        if (rec.payload.size() != 16) throw_bad_record(rec, "bad");
         lib.dbu_per_user_unit =
             get_real8(reinterpret_cast<const unsigned char*>(rec.payload.data()));
         lib.dbu_in_meter =
             get_real8(reinterpret_cast<const unsigned char*>(rec.payload.data()) + 8);
         break;
-      case kStrName:
+      case kRecStrName:
         lib.structures.emplace_back();
         current = &lib.structures.back();
         current->name = trim_nul(rec.payload);
         break;
-      case kBoundary:
+      case kRecBoundary:
         in_boundary = true;
         loop.clear();
         break;
-      case kLayer:
-        if (rec.payload.size() < 2) throw std::runtime_error("gds: bad LAYER");
+      case kRecLayer:
+        if (rec.payload.size() < 2) throw_bad_record(rec, "bad");
         layer = (static_cast<unsigned char>(rec.payload[0]) << 8) |
                 static_cast<unsigned char>(rec.payload[1]);
         break;
-      case kDatatype:
-        if (rec.payload.size() < 2) throw std::runtime_error("gds: bad DATATYPE");
+      case kRecDatatype:
+        if (rec.payload.size() < 2) throw_bad_record(rec, "bad");
         datatype = (static_cast<unsigned char>(rec.payload[0]) << 8) |
                    static_cast<unsigned char>(rec.payload[1]);
         break;
-      case kXy: {
+      case kRecXy: {
         if (!in_boundary) break;  // ignore paths etc.
         loop.clear();
         for (std::size_t i = 0; i + 8 <= rec.payload.size(); i += 8) {
           loop.push_back(geometry::Point{get_i32(rec.payload, i), get_i32(rec.payload, i + 4)});
         }
-        if (current == nullptr) throw std::runtime_error("gds: XY outside structure");
+        if (current == nullptr) {
+          throw std::runtime_error(util::format(
+              "gds: XY outside a structure at byte %llu",
+              static_cast<unsigned long long>(rec.offset)));
+        }
         current->layer = layer;
         current->datatype = datatype;
-        for (const geometry::Rect& r : loop_to_rects(loop)) current->rects.push_back(r);
+        for (const geometry::Rect& r : boundary_to_rects(loop)) current->rects.push_back(r);
         in_boundary = false;
         break;
       }
-      case kEndStr:
+      case kRecEndStr:
         current = nullptr;
         break;
-      case kEndLib:
+      case kRecEndLib:
         reader.expect_only_padding();
         return lib;
       default:
-        throw std::runtime_error(
-            util::format("gds: unsupported record 0x%04x", rec.id));
+        throw_bad_record(rec, "unsupported");
     }
   }
   throw std::runtime_error("gds: missing ENDLIB");

@@ -37,7 +37,10 @@ void write_gds(const std::string& path, const GdsLibrary& library);
 
 /// Read a GDSII stream file written by this library or containing
 /// rectilinear BOUNDARY elements. Non-rectilinear polygons and unsupported
-/// record types raise std::runtime_error with the offending record id.
+/// record types raise std::runtime_error naming the offending record (the
+/// io/gds_records.h table) and its absolute byte offset. Slurps the whole
+/// file; for bounded-memory ingestion of foreign libraries use
+/// io/gds_stream.h.
 GdsLibrary read_gds(const std::string& path);
 
 }  // namespace cp::io

@@ -1,0 +1,42 @@
+#include "pattlib/ingest.h"
+
+#include <utility>
+
+#include "io/gds_stream.h"
+#include "obs/registry.h"
+
+namespace cp::pattlib {
+
+IngestStats ingest_gds(const std::string& path, PatternStore& store, const IngestConfig& cfg) {
+  IngestStats stats;
+  const io::StreamStats stream = io::stream_gds_structures(path, [&](io::GdsStructure&& s) {
+    ++stats.structures;
+    if (cfg.layer >= 0 && s.layer != cfg.layer) return;
+    if (cfg.max_windows > 0 && stats.windows_kept >= cfg.max_windows) return;
+    stats.rects += static_cast<long long>(s.rects.size());
+    const WindowStats w = windows_over(
+        s.rects, cfg.window,
+        [&](squish::SquishPattern&& pattern, geometry::Coord wx, geometry::Coord wy) {
+          if (cfg.max_windows > 0 && stats.added + stats.deduped >= cfg.max_windows) return;
+          PatternMeta meta;
+          meta.source = path;
+          meta.structure = s.name;
+          meta.style_tag = cfg.style_tag;
+          meta.layer = s.layer;
+          meta.window_x = wx;
+          meta.window_y = wy;
+          const AddResult r = store.add(pattern, std::move(meta));
+          r.inserted ? ++stats.added : ++stats.deduped;
+        });
+    stats.windows_seen += w.seen;
+    // windows_kept counts store submissions, which the max_windows cap may
+    // stop short of the windowing pass's own kept count.
+    stats.windows_kept = stats.added + stats.deduped;
+  });
+  stats.bytes_streamed = stream.bytes;
+  store.flush();
+  obs::count("pattlib/ingested_files");
+  return stats;
+}
+
+}  // namespace cp::pattlib

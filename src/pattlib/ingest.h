@@ -1,0 +1,39 @@
+#pragma once
+// End-to-end ingestion: stream a GDSII file structure by structure
+// (io::stream_gds_structures), window each structure's rect soup
+// (pattlib::windows_over) and add every kept window to a PatternStore,
+// deduplicating by canonical topology hash. Memory is bounded by one
+// structure plus the store index — the whole layout is never resident
+// (docs/LIBRARY.md, EXPERIMENTS.md ingestion bench).
+
+#include <string>
+
+#include "pattlib/pattern_store.h"
+#include "pattlib/window.h"
+
+namespace cp::pattlib {
+
+struct IngestConfig {
+  WindowConfig window;
+  std::string style_tag = "ingested";  // recorded on every stored pattern
+  int layer = -1;                      // -1 = every layer; else skip others
+  long long max_windows = 0;           // 0 = unlimited; cap on windows stored
+};
+
+struct IngestStats {
+  long long structures = 0;    // structures streamed (before the layer filter)
+  long long rects = 0;         // rects seen in accepted structures
+  long long windows_seen = 0;  // grid windows over accepted structures
+  long long windows_kept = 0;  // windows that passed the density prefilter
+  long long added = 0;         // new store entries
+  long long deduped = 0;       // windows dropped by the canonical-hash index
+  std::uint64_t bytes_streamed = 0;  // GDS record-region bytes consumed
+};
+
+/// Stream `path` into `store`. Flushes the store once at the end. Throws
+/// std::runtime_error on any GDS corruption (byte offset + record name, see
+/// io/gds_stream.h) or store I/O failure; the store keeps every pattern
+/// added before the throw.
+IngestStats ingest_gds(const std::string& path, PatternStore& store, const IngestConfig& cfg);
+
+}  // namespace cp::pattlib

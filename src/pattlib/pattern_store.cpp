@@ -1,0 +1,514 @@
+#include "pattlib/pattern_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "io/gds.h"
+#include "obs/registry.h"
+#include "util/fault.h"
+#include "util/fs.h"
+#include "util/strings.h"
+
+namespace cp::pattlib {
+
+namespace {
+
+// CPPL container layout (docs/LIBRARY.md): an 8-byte file magic, then an
+// append-only sequence of independently framed records:
+//   [u8 type][u32le payload_len][payload][u32le crc32(type|len|payload)]
+// Frame independence is what makes torn-tail recovery exact: a record either
+// verifies completely or is not part of the store.
+constexpr std::string_view kFileMagic = "CPPLIB01";
+constexpr std::uint8_t kPatternRecord = 1;
+constexpr std::uint8_t kDrcRecord = 2;
+constexpr std::size_t kFrameOverhead = 1 + 4 + 4;
+constexpr std::uint64_t kMaxStoreBytes = 4ULL << 30;   // open-time slurp cap
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;   // per-record sanity cap
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_string(std::string& out, const std::string& s) {
+  if (s.size() > 0xffff) throw std::invalid_argument("pattlib: metadata string too long");
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out += s;
+}
+
+/// Bounds-checked little-endian cursor over a record payload; any over-read
+/// is a corrupt record, reported as such.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  std::uint16_t u16() { return static_cast<std::uint16_t>(raw(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(raw(4)); }
+  std::uint64_t u64() { return raw(8); }
+  double f64() {
+    const std::uint64_t bits = raw(8);
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::size_t n = u16();
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  std::string_view bytes(std::size_t n) {
+    need(n);
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw std::runtime_error("pattlib: corrupt record payload");
+  }
+  std::uint64_t raw(int width) {
+    need(static_cast<std::size_t>(width));
+    std::uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += static_cast<std::size_t>(width);
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+std::string serialize_pattern(const StoredPattern& e) {
+  const squish::Topology& t = e.pattern.topology;
+  if (t.rows() > 0xffff || t.cols() > 0xffff) {
+    throw std::invalid_argument("pattlib: topology too large for the store format");
+  }
+  std::string p;
+  put_u16(p, static_cast<std::uint16_t>(t.rows()));
+  put_u16(p, static_cast<std::uint16_t>(t.cols()));
+  // Topology bits: row-major, 8 cells per byte, LSB first.
+  const int bytes_per_row = (t.cols() + 7) / 8;
+  for (int r = 0; r < t.rows(); ++r) {
+    for (int b = 0; b < bytes_per_row; ++b) {
+      unsigned char byte = 0;
+      for (int k = 0; k < 8; ++k) {
+        const int c = b * 8 + k;
+        if (c < t.cols() && t.at(r, c)) byte |= static_cast<unsigned char>(1u << k);
+      }
+      p.push_back(static_cast<char>(byte));
+    }
+  }
+  auto put_deltas = [&p](const squish::DeltaVec& d) {
+    for (const geometry::Coord v : d) {
+      if (v <= 0 || v > 0xffffffffLL) {
+        throw std::invalid_argument("pattlib: delta out of the store's u32 range");
+      }
+      put_u32(p, static_cast<std::uint32_t>(v));
+    }
+  };
+  put_deltas(e.pattern.dx);
+  put_deltas(e.pattern.dy);
+  put_string(p, e.meta.source);
+  put_string(p, e.meta.structure);
+  put_string(p, e.meta.style_tag);
+  put_u32(p, static_cast<std::uint32_t>(e.meta.layer));
+  put_u64(p, static_cast<std::uint64_t>(e.meta.window_x));
+  put_u64(p, static_cast<std::uint64_t>(e.meta.window_y));
+  p.push_back(static_cast<char>(e.meta.drc));
+  put_f64(p, e.meta.density);
+  put_u16(p, static_cast<std::uint16_t>(e.meta.complexity_x));
+  put_u16(p, static_cast<std::uint16_t>(e.meta.complexity_y));
+  return p;
+}
+
+StoredPattern deserialize_pattern(std::string_view payload) {
+  Cursor cur(payload);
+  StoredPattern e;
+  const int rows = cur.u16();
+  const int cols = cur.u16();
+  if (rows == 0 || cols == 0) throw std::runtime_error("pattlib: corrupt record payload");
+  const int bytes_per_row = (cols + 7) / 8;
+  squish::Topology t(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    const std::string_view row = cur.bytes(static_cast<std::size_t>(bytes_per_row));
+    for (int c = 0; c < cols; ++c) {
+      if ((static_cast<unsigned char>(row[static_cast<std::size_t>(c / 8)]) >> (c % 8)) & 1u) {
+        t.set(r, c, 1);
+      }
+    }
+  }
+  e.pattern.topology = std::move(t);
+  e.pattern.dx.resize(static_cast<std::size_t>(cols));
+  for (auto& d : e.pattern.dx) d = static_cast<geometry::Coord>(cur.u32());
+  e.pattern.dy.resize(static_cast<std::size_t>(rows));
+  for (auto& d : e.pattern.dy) d = static_cast<geometry::Coord>(cur.u32());
+  e.meta.source = cur.str();
+  e.meta.structure = cur.str();
+  e.meta.style_tag = cur.str();
+  e.meta.layer = static_cast<int>(cur.u32());
+  e.meta.window_x = static_cast<geometry::Coord>(cur.u64());
+  e.meta.window_y = static_cast<geometry::Coord>(cur.u64());
+  const std::uint64_t drc = static_cast<unsigned char>(cur.bytes(1)[0]);
+  if (drc > 2) throw std::runtime_error("pattlib: corrupt record payload");
+  e.meta.drc = static_cast<DrcStatus>(drc);
+  e.meta.density = cur.f64();
+  e.meta.complexity_x = cur.u16();
+  e.meta.complexity_y = cur.u16();
+  if (!cur.exhausted()) throw std::runtime_error("pattlib: corrupt record payload");
+  if (!e.pattern.well_formed()) throw std::runtime_error("pattlib: corrupt record payload");
+  return e;
+}
+
+std::string frame_record(std::uint8_t type, const std::string& payload) {
+  std::string frame;
+  frame.reserve(payload.size() + kFrameOverhead);
+  frame.push_back(static_cast<char>(type));
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  const std::uint32_t crc = util::crc32(std::string_view(frame));
+  put_u32(frame, crc);
+  return frame;
+}
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+const char* to_string(DrcStatus status) {
+  switch (status) {
+    case DrcStatus::kUnknown: return "unknown";
+    case DrcStatus::kClean: return "clean";
+    case DrcStatus::kViolating: return "violating";
+  }
+  return "unknown";
+}
+
+std::uint64_t topology_hash(const squish::Topology& t) {
+  const squish::Topology d = t.deduplicated();
+  std::uint64_t h = 1469598103934665603ULL;
+  auto fnv = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  fnv(static_cast<std::uint64_t>(d.rows()));
+  fnv(static_cast<std::uint64_t>(d.cols()));
+  // The zero-tail invariant makes packed words canonical for equal grids.
+  for (int r = 0; r < d.rows(); ++r) {
+    for (int w = 0; w < d.words_per_row(); ++w) fnv(d.word(r, w));
+  }
+  return h;
+}
+
+PatternStore::PatternStore(std::string path) : path_(std::move(path)) { open_and_replay(); }
+
+PatternStore::~PatternStore() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+void PatternStore::open_and_replay() {
+  namespace fs = std::filesystem;
+  const fs::path target(path_);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      throw std::runtime_error("pattlib: cannot create directory '" +
+                               target.parent_path().string() + "': " + ec.message());
+    }
+  }
+
+  std::string data;
+  if (fs::exists(target)) data = util::read_file(path_, kMaxStoreBytes);
+
+  std::uint64_t valid_end = 0;
+  if (data.size() < kFileMagic.size()) {
+    // New store, or a writer died inside the 8-byte header: start fresh.
+    recovered_bytes_ = data.size();
+    data.clear();
+  } else if (std::string_view(data).substr(0, kFileMagic.size()) != kFileMagic) {
+    throw std::runtime_error("pattlib: '" + path_ + "' is not a CPPL pattern store");
+  } else {
+    valid_end = kFileMagic.size();
+    std::size_t pos = kFileMagic.size();
+    while (pos < data.size()) {
+      // A frame that cannot complete before EOF is a torn append: recover.
+      // A complete frame with a bad CRC mid-file (valid records follow) is
+      // bit rot: fail loudly instead of silently dropping history.
+      bool torn = false;
+      std::uint8_t type = 0;
+      std::string_view payload;
+      if (pos + 5 > data.size()) {
+        torn = true;
+      } else {
+        type = static_cast<std::uint8_t>(data[pos]);
+        std::uint32_t len = 0;
+        for (int i = 0; i < 4; ++i) {
+          len |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + 1 + i]))
+                 << (8 * i);
+        }
+        if (len > kMaxRecordBytes || pos + kFrameOverhead + len > data.size()) {
+          torn = true;
+        } else {
+          const std::string_view frame(data.data() + pos, 5 + len);
+          std::uint32_t stored = 0;
+          for (int i = 0; i < 4; ++i) {
+            stored |= static_cast<std::uint32_t>(
+                          static_cast<unsigned char>(data[pos + 5 + len + i]))
+                      << (8 * i);
+          }
+          if (util::crc32(frame) != stored) {
+            // Damaged final record, or a zero-filled tail (blocks allocated
+            // by a crashed writer but never flushed): torn, recover. A bad
+            // frame followed by non-zero data is bit rot: fail loudly
+            // instead of silently dropping history.
+            const bool zero_tail =
+                data.find_first_not_of('\0', pos) == std::string::npos;
+            if (pos + kFrameOverhead + len == data.size() || zero_tail) {
+              torn = true;
+            } else {
+              throw std::runtime_error(util::format(
+                  "pattlib: checksum mismatch in '%s' at byte %llu", path_.c_str(),
+                  static_cast<unsigned long long>(pos)));
+            }
+          } else {
+            payload = frame.substr(5);
+          }
+        }
+      }
+      if (torn) break;
+
+      if (type == kPatternRecord) {
+        StoredPattern e = deserialize_pattern(payload);
+        e.id = static_cast<std::uint64_t>(entries_.size());
+        e.topology_hash = topology_hash(e.pattern.topology);
+        by_hash_.emplace(e.topology_hash, e.id);  // first writer wins, like add()
+        entries_.push_back(std::move(e));
+      } else if (type == kDrcRecord) {
+        Cursor cur(payload);
+        const std::uint64_t id = cur.u64();
+        const std::uint64_t status = static_cast<unsigned char>(cur.bytes(1)[0]);
+        if (!cur.exhausted() || status > 2 || id >= entries_.size()) {
+          throw std::runtime_error("pattlib: corrupt record payload");
+        }
+        entries_[static_cast<std::size_t>(id)].meta.drc = static_cast<DrcStatus>(status);
+      } else {
+        throw std::runtime_error(util::format("pattlib: unknown record type %u in '%s'",
+                                              static_cast<unsigned>(type), path_.c_str()));
+      }
+      pos += kFrameOverhead + payload.size();
+      valid_end = pos;
+    }
+    if (valid_end < data.size()) {
+      recovered_bytes_ = data.size() - valid_end;
+      obs::count("pattlib/recovered_records");
+    }
+  }
+
+  // Materialise the recovery before appending anything new: the file is
+  // truncated to its valid prefix, so a re-open sees a bit-identical store.
+  if (recovered_bytes_ > 0 && fs::exists(target)) {
+    std::error_code ec;
+    fs::resize_file(target, valid_end, ec);
+    if (ec) {
+      throw std::runtime_error("pattlib: cannot truncate torn tail of '" + path_ +
+                               "': " + ec.message());
+    }
+  }
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw_errno("pattlib: cannot open store", path_);
+  file_bytes_ = valid_end;
+  if (valid_end == 0) {
+    // Fresh (or reset) store: write the file magic through the same
+    // full-write path as records.
+    const std::string magic(kFileMagic);
+    std::size_t off = 0;
+    while (off < magic.size()) {
+      const ssize_t n = ::write(fd_, magic.data() + off, magic.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("pattlib: write failed for", path_);
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    file_bytes_ = magic.size();
+  }
+}
+
+void PatternStore::append_record(std::uint8_t type, const std::string& payload) {
+  if (fd_ < 0) return;  // in-memory store
+  util::fault::point("pattlib/append");
+  const std::string frame = frame_record(type, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pattlib: write failed for", path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  file_bytes_ += frame.size();
+}
+
+void PatternStore::flush() {
+  if (fd_ >= 0 && ::fsync(fd_) != 0) throw_errno("pattlib: fsync failed for", path_);
+}
+
+AddResult PatternStore::add(const squish::SquishPattern& pattern, PatternMeta meta) {
+  if (!pattern.well_formed() || pattern.topology.empty()) {
+    throw std::invalid_argument("pattlib: malformed or empty pattern");
+  }
+  const std::uint64_t hash = topology_hash(pattern.topology);
+  if (const auto it = by_hash_.find(hash); it != by_hash_.end()) {
+    ++dedup_rejects_;
+    obs::count("pattlib/dedup_rejects");
+    return {it->second, false};
+  }
+  StoredPattern e;
+  e.id = static_cast<std::uint64_t>(entries_.size());
+  e.pattern = pattern;
+  e.meta = std::move(meta);
+  e.meta.density = pattern.topology.density();
+  const auto [cx, cy] = pattern.topology.complexity();
+  e.meta.complexity_x = cx;
+  e.meta.complexity_y = cy;
+  e.topology_hash = hash;
+  append_record(kPatternRecord, serialize_pattern(e));
+  by_hash_.emplace(hash, e.id);
+  entries_.push_back(std::move(e));
+  obs::count("pattlib/added");
+  return {entries_.back().id, true};
+}
+
+const StoredPattern& PatternStore::at(std::uint64_t id) const {
+  if (id >= entries_.size()) {
+    throw std::out_of_range(util::format("pattlib: no pattern %llu (store holds %zu)",
+                                         static_cast<unsigned long long>(id), entries_.size()));
+  }
+  return entries_[static_cast<std::size_t>(id)];
+}
+
+std::optional<std::uint64_t> PatternStore::find_by_hash(std::uint64_t hash) const {
+  const auto it = by_hash_.find(hash);
+  if (it == by_hash_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PatternStore::set_drc(std::uint64_t id, DrcStatus status) {
+  StoredPattern& e = entries_[static_cast<std::size_t>(at(id).id)];
+  std::string payload;
+  put_u64(payload, id);
+  payload.push_back(static_cast<char>(status));
+  append_record(kDrcRecord, payload);
+  e.meta.drc = status;
+}
+
+std::vector<std::uint64_t> PatternStore::query(const Query& q) const {
+  std::vector<std::uint64_t> out;
+  for (const StoredPattern& e : entries_) {
+    if (q.limit > 0 && static_cast<long long>(out.size()) >= q.limit) break;
+    const PatternMeta& m = e.meta;
+    if (!q.style_tag.empty() && m.style_tag != q.style_tag) continue;
+    if (!q.source_contains.empty() && m.source.find(q.source_contains) == std::string::npos) {
+      continue;
+    }
+    if (q.layer >= 0 && m.layer != q.layer) continue;
+    if (q.drc >= 0 && static_cast<int>(m.drc) != q.drc) continue;
+    if (m.density < q.min_density || m.density > q.max_density) continue;
+    const int rows = e.pattern.topology.rows();
+    const int cols = e.pattern.topology.cols();
+    if (rows < q.min_rows || (q.max_rows > 0 && rows > q.max_rows)) continue;
+    if (cols < q.min_cols || (q.max_cols > 0 && cols > q.max_cols)) continue;
+    out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<squish::SquishPattern> PatternStore::patterns(
+    const std::vector<std::uint64_t>& ids) const {
+  std::vector<squish::SquishPattern> out;
+  out.reserve(ids.size());
+  for (const std::uint64_t id : ids) out.push_back(at(id).pattern);
+  return out;
+}
+
+StoreStats PatternStore::stats() const {
+  StoreStats s;
+  s.patterns = entries_.size();
+  s.dedup_rejects = dedup_rejects_;
+  s.file_bytes = file_bytes_;
+  s.recovered_bytes = recovered_bytes_;
+  for (const StoredPattern& e : entries_) {
+    ++s.by_style[e.meta.style_tag];
+    ++s.by_layer[e.meta.layer];
+  }
+  return s;
+}
+
+int PatternStore::export_gds(const std::string& gds_path,
+                             const std::vector<std::uint64_t>& ids) const {
+  io::GdsLibrary lib;
+  lib.name = "CHATPATTERN_STORE";
+  for (const std::uint64_t id : ids) {
+    const StoredPattern& e = at(id);
+    io::GdsStructure str;
+    str.name = util::format("PATTERN_%08llu", static_cast<unsigned long long>(id));
+    str.layer = e.meta.layer;
+    str.rects = squish::unsquish(e.pattern);
+    lib.structures.push_back(std::move(str));
+  }
+  io::write_gds(gds_path, lib);
+  return static_cast<int>(lib.structures.size());
+}
+
+int PatternStore::export_pbm(const std::string& dir,
+                             const std::vector<std::uint64_t>& ids) const {
+  std::string manifest;
+  int written = 0;
+  for (const std::uint64_t id : ids) {
+    const StoredPattern& e = at(id);
+    const std::string name = util::format("pattern_%08llu.pbm", static_cast<unsigned long long>(id));
+    util::atomic_write_file(dir + "/" + name, e.pattern.topology.to_pbm());
+    manifest += util::format("%s %lldx%lld nm style=%s layer=%d drc=%s\n", name.c_str(),
+                             static_cast<long long>(e.pattern.width_nm()),
+                             static_cast<long long>(e.pattern.height_nm()),
+                             e.meta.style_tag.c_str(), e.meta.layer, to_string(e.meta.drc));
+    ++written;
+  }
+  util::atomic_write_file(dir + "/manifest.txt",
+                          util::format("count %d\n", written) + manifest);
+  return written + 1;
+}
+
+}  // namespace cp::pattlib

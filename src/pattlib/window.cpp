@@ -1,0 +1,107 @@
+#include "pattlib/window.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace cp::pattlib {
+
+namespace {
+
+using geometry::Coord;
+using geometry::Rect;
+
+// Enumeration cap for skip_empty = false: every grid window is visited, so
+// refuse grids that would turn one call into billions of squishes.
+constexpr long long kMaxEnumeratedWindows = 1LL << 24;
+
+/// Index of the last window whose span [origin + i*stride, ... + window)
+/// starts at or before `x` (floor division for non-negative offsets).
+long long window_floor(Coord x, Coord origin, Coord stride) {
+  return static_cast<long long>((x - origin) / stride);
+}
+
+}  // namespace
+
+WindowStats windows_over(
+    const std::vector<Rect>& rects, const WindowConfig& cfg,
+    const std::function<void(squish::SquishPattern&&, Coord, Coord)>& fn) {
+  if (cfg.window_nm <= 0) throw std::invalid_argument("pattlib: window_nm must be positive");
+  if (cfg.stride_nm < 0) throw std::invalid_argument("pattlib: stride_nm must be non-negative");
+  const Coord window = cfg.window_nm;
+  const Coord stride = cfg.stride_nm > 0 ? cfg.stride_nm : window;
+
+  WindowStats stats;
+  if (rects.empty()) return stats;
+
+  const Rect bbox = geometry::bounding_box(rects);
+  const Coord ox = bbox.x0, oy = bbox.y0;
+  // Enough windows that the last one reaches (or passes) the far edge.
+  auto grid_count = [&](Coord extent) {
+    if (extent <= window) return 1LL;
+    return static_cast<long long>((extent - window + stride - 1) / stride) + 1;
+  };
+  const long long nx = grid_count(bbox.width());
+  const long long ny = grid_count(bbox.height());
+  stats.seen = nx * ny;
+
+  // Bucket rects by the window indices they overlap. With stride < window a
+  // rect lands in every window whose span intersects it. std::map keys give
+  // the deterministic row-major visit order for free.
+  std::map<std::pair<long long, long long>, std::vector<std::size_t>> buckets;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const Rect& r = rects[i];
+    if (r.empty()) continue;
+    const long long ix0 = std::max(0LL, window_floor(r.x0 - window + 1 + stride - 1, ox, stride));
+    const long long ix1 = std::min(nx - 1, window_floor(r.x1 - 1, ox, stride));
+    const long long iy0 = std::max(0LL, window_floor(r.y0 - window + 1 + stride - 1, oy, stride));
+    const long long iy1 = std::min(ny - 1, window_floor(r.y1 - 1, oy, stride));
+    for (long long iy = iy0; iy <= iy1; ++iy) {
+      for (long long ix = ix0; ix <= ix1; ++ix) {
+        buckets[{iy, ix}].push_back(i);
+      }
+    }
+  }
+
+  const double window_area = static_cast<double>(window) * static_cast<double>(window);
+  auto visit = [&](long long iy, long long ix, const std::vector<std::size_t>& bucket) {
+    const Coord wx = ox + static_cast<Coord>(ix) * stride;
+    const Coord wy = oy + static_cast<Coord>(iy) * stride;
+    const Rect win{wx, wy, wx + window, wy + window};
+    double area = 0;
+    std::vector<Rect> clipped;
+    clipped.reserve(bucket.size());
+    for (const std::size_t i : bucket) {
+      const Rect c = rects[i].clipped_to(win);
+      if (c.empty()) continue;
+      area += static_cast<double>(c.area());
+      clipped.push_back(c);
+    }
+    const double density = area / window_area;
+    if (cfg.skip_empty && clipped.empty()) return;
+    if (density < cfg.min_density || density > cfg.max_density) return;
+    ++stats.kept;
+    fn(squish::squish(clipped, win), wx, wy);
+  };
+
+  if (cfg.skip_empty) {
+    for (const auto& [key, bucket] : buckets) visit(key.first, key.second, bucket);
+  } else {
+    if (stats.seen > kMaxEnumeratedWindows) {
+      throw std::invalid_argument(
+          "pattlib: window grid too large to enumerate without skip_empty");
+    }
+    static const std::vector<std::size_t> kEmpty;
+    for (long long iy = 0; iy < ny; ++iy) {
+      for (long long ix = 0; ix < nx; ++ix) {
+        const auto it = buckets.find({iy, ix});
+        visit(iy, ix, it == buckets.end() ? kEmpty : it->second);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace cp::pattlib

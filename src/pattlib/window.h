@@ -1,0 +1,43 @@
+#pragma once
+// Windowing pass of the ingestion pipeline (docs/LIBRARY.md): slide fixed-
+// size nm windows over a structure's rectangle soup and squish each window
+// that passes the density prefilter into a SquishPattern. Rects are bucketed
+// by window index first, so the cost is O(rects + populated windows), not
+// O(rects x windows) — a sparse die with a huge bounding box only pays for
+// the windows that actually contain geometry.
+
+#include <functional>
+
+#include "squish/squish.h"
+
+namespace cp::pattlib {
+
+struct WindowConfig {
+  geometry::Coord window_nm = 2048;  // square window edge
+  geometry::Coord stride_nm = 0;     // 0 = window_nm (non-overlapping tiling)
+  /// Physical fill-fraction prefilter (clipped rect area / window area),
+  /// applied before squishing; windows outside [min, max] are skipped.
+  double min_density = 0.0;
+  double max_density = 1.0;
+  /// Skip windows with no geometry at all (the overwhelming majority on a
+  /// sparse layout). When false every grid window is delivered, which also
+  /// makes the pass O(windows) — guarded by a grid-size cap.
+  bool skip_empty = true;
+};
+
+struct WindowStats {
+  long long seen = 0;  // grid windows covering the bounding box
+  long long kept = 0;  // windows delivered to the callback
+};
+
+/// Slide cfg windows over `rects` (grid anchored at the bounding-box origin)
+/// and invoke `fn(pattern, window_x, window_y)` for each window that passes
+/// the density prefilter, in deterministic row-major (y, then x) order.
+/// window_x/window_y are the window's origin in the source's nm coordinates.
+/// Throws std::invalid_argument on a non-positive window, a negative stride,
+/// or (with skip_empty = false) a grid too large to enumerate.
+WindowStats windows_over(
+    const std::vector<geometry::Rect>& rects, const WindowConfig& cfg,
+    const std::function<void(squish::SquishPattern&&, geometry::Coord, geometry::Coord)>& fn);
+
+}  // namespace cp::pattlib

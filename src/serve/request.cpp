@@ -41,6 +41,7 @@ std::uint64_t GenerationRequest::content_hash() const {
   h = mix(h, static_cast<std::uint64_t>(height_nm));
   h = mix(h, seed);
   h = mix(h, legalize ? 1 : 0);
+  h = mix_string(h, source);
   std::uint64_t state = h;
   return util::splitmix64(state);
 }
@@ -60,6 +61,7 @@ util::Json GenerationRequest::to_json() const {
   j["height_nm"] = static_cast<long long>(height_nm);
   j["seed"] = static_cast<long long>(seed);
   j["legalize"] = legalize;
+  if (!source.empty()) j["source"] = source;
   if (priority != 1) j["priority"] = priority;
   if (deadline_ms > 0) j["deadline_ms"] = deadline_ms;
   return j;
@@ -67,7 +69,14 @@ util::Json GenerationRequest::to_json() const {
 
 std::string validate(const GenerationRequest& r) {
   if (r.id.empty()) return "missing or empty 'id'";
-  if (dataset::style_index(r.style) < 0) return "unknown style '" + r.style + "'";
+  if (!r.source.empty() && r.source != "store") {
+    return "unknown 'source' '" + r.source + "' (want \"\"|store)";
+  }
+  // Store requests reinterpret `style` as the store's free-form style tag,
+  // so the dataset style registry does not apply to them.
+  if (r.source.empty() && dataset::style_index(r.style) < 0) {
+    return "unknown style '" + r.style + "'";
+  }
   if (r.count <= 0) return "'count' must be positive";
   if (r.rows <= 0 || r.cols <= 0) return "'rows'/'cols' must be positive";
   if (r.sample_steps <= 0) return "'steps' must be positive";
@@ -103,6 +112,7 @@ GenerationRequest GenerationRequest::from_json(const util::Json& j) {
   r.height_nm = j.get_int("height_nm", r.height_nm);
   r.seed = static_cast<std::uint64_t>(j.get_int("seed", 1));
   r.legalize = j.get_bool("legalize", true);
+  r.source = j.get_string("source", "");
   r.priority = static_cast<int>(j.get_int("priority", 1));
   r.deadline_ms = j.get_number("deadline_ms", 0.0);
   const std::string reason = validate(r);

@@ -59,6 +59,14 @@ struct GenerationRequest {
   /// true: deliver legalized SquishPatterns (retrying streams that fail
   /// legalization); false: deliver the first `count` raw topologies.
   bool legalize = true;
+  /// Payload origin: "" = generate via the diffusion stack (the default);
+  /// "store" = retrieve from the server's attached pattlib::PatternStore
+  /// instead. Store requests reinterpret `style` as the store's free-form
+  /// style tag ("*" = any tag) and `count` as the query limit; they are
+  /// answered synchronously at submit, bypassing the queue AND the cache
+  /// (store contents may grow between calls). A content field: it changes
+  /// what the payload is, so it is hashed.
+  std::string source;
 
   /// Canonical content hash over the content fields only (SplitMix64
   /// avalanche chain). The PatternCache key.

@@ -65,6 +65,35 @@ Server::Submitted Server::submit_impl(GenerationRequest request, bool blocking) 
     promise.set_value(std::move(result));
     return out;
   }
+  // Store-backed retrieval: answered synchronously from the attached
+  // PatternStore's index — no sampling, no queue slot, and no cache entry
+  // (the store may gain patterns between identical requests).
+  if (request.source == "store") {
+    GenerationResult result;
+    result.id = request.id;
+    if (config_.store == nullptr) {
+      obs::count("serve/rejected_invalid");
+      out.reason = "invalid: source 'store' but the server has no pattern store attached";
+      result.status = RequestStatus::kRejected;
+      result.reason = out.reason;
+      promise.set_value(std::move(result));
+      return out;
+    }
+    pattlib::Query query;
+    if (request.style != "*") query.style_tag = request.style;
+    query.limit = request.count;
+    auto payload = std::make_shared<GenerationPayload>();
+    payload->patterns = config_.store->patterns(config_.store->query(query));
+    result.status = static_cast<int>(payload->patterns.size()) == request.count
+                        ? RequestStatus::kOk
+                        : RequestStatus::kIncomplete;
+    result.payload = std::move(payload);
+    obs::count("serve/store_requests");
+    promise.set_value(std::move(result));
+    out.admitted = true;
+    return out;
+  }
+
   const int condition = dataset::style_index(request.style);
   if (static_cast<std::size_t>(condition) >= legalizers_.size()) {
     obs::count("serve/rejected_invalid");

@@ -37,6 +37,7 @@
 
 #include "diffusion/batch_sampler.h"
 #include "legalize/legalizer.h"
+#include "pattlib/pattern_store.h"
 #include "serve/batcher.h"
 #include "serve/cache.h"
 #include "serve/request_queue.h"
@@ -81,6 +82,14 @@ struct ServerConfig {
   /// Borrowed, may be null; must outlive the server (e.g. the single-scale
   /// tabular sampler backing the cascade).
   const diffusion::TopologyGenerator* fallback = nullptr;
+
+  /// Borrowed, may be null; must outlive the server. Enables requests with
+  /// source="store": retrieval from a persistent pattern library instead of
+  /// generation. Store requests are answered synchronously at submit (cheap
+  /// const reads) and never enter the queue or the cache; with no store
+  /// attached they are rejected. The store must not be mutated while the
+  /// server is accepting requests (see pattlib/pattern_store.h thread model).
+  const pattlib::PatternStore* store = nullptr;
 };
 
 class Server {

@@ -1,0 +1,114 @@
+// The library_retrieval tool: registered only when a persistent
+// pattlib::PatternStore is attached to the backend, pulls stored patterns
+// into the session store by metadata query, and keeps the matrices
+// server-side (the agent sees ids and summaries only).
+
+#include <gtest/gtest.h>
+
+#include "agent_fixture.h"
+#include "pattlib/pattern_store.h"
+#include "squish/squish.h"
+
+namespace cp::agent::testing {
+namespace {
+
+class LibraryToolTest : public AgentFixture {
+ protected:
+  /// A well-formed squish pattern whose canonical topology is distinct per
+  /// stripe period (different run counts survive deduplication).
+  squish::SquishPattern make_pattern(int period) const {
+    squish::SquishPattern p;
+    p.topology = stripes(kWindow, period);
+    p.dx = squish::uniform_deltas(kWindow, kBudgetNm);
+    p.dy = squish::uniform_deltas(kWindow, kBudgetNm);
+    return p;
+  }
+
+  void fill_library(pattlib::PatternStore& lib) const {
+    pattlib::PatternMeta meta;
+    meta.style_tag = "stripes";
+    meta.layer = 1;
+    lib.add(make_pattern(4), meta);
+    meta.layer = 2;
+    lib.add(make_pattern(8), meta);
+    meta.style_tag = "checker";
+    meta.layer = 1;
+    lib.add(make_pattern(16), meta);
+  }
+
+  ToolRegistry make_tools(const pattlib::PatternStore* library) {
+    GeneratorBackend backend;
+    backend.sampler = &sampler_;
+    backend.legalizers = {&legal0_, &legal1_};
+    backend.store = &store_;
+    backend.window = kWindow;
+    backend.default_stride = kWindow / 2;
+    backend.library = library;
+    return make_standard_tools(backend);
+  }
+};
+
+TEST_F(LibraryToolTest, NotRegisteredWithoutLibrary) {
+  // The fixture's default registry has no library attached.
+  EXPECT_FALSE(tools_.has("library_retrieval"));
+  const ToolResult r = tools_.call("library_retrieval", util::Json());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(LibraryToolTest, RetrievalRegistersPatternsInSessionStore) {
+  pattlib::PatternStore lib;
+  fill_library(lib);
+  const ToolRegistry tools = make_tools(&lib);
+  ASSERT_TRUE(tools.has("library_retrieval"));
+
+  util::Json args;
+  args["style_tag"] = "stripes";
+  args["count"] = 8;
+  const ToolResult r = tools.call("library_retrieval", args);
+  ASSERT_TRUE(r.ok) << r.payload.dump();
+  EXPECT_EQ(r.payload.at("matched").as_int(), 2);
+  EXPECT_EQ(r.payload.at("library_size").as_int(), 3);
+  const util::JsonArray& found = r.payload.at("patterns").as_array();
+  ASSERT_EQ(found.size(), 2u);
+  for (const util::Json& item : found) {
+    // The matrix never crosses the tool boundary: the agent gets an id into
+    // the session store plus summary characteristics.
+    const std::string id = item.at("pattern_id").as_string();
+    EXPECT_TRUE(store_.has_pattern(id));
+    EXPECT_TRUE(store_.pattern(id).well_formed());
+    EXPECT_EQ(item.at("style_tag").as_string(), "stripes");
+    EXPECT_EQ(item.at("drc").as_string(), "unknown");
+    EXPECT_GT(item.at("rows").as_int(), 0);
+  }
+}
+
+TEST_F(LibraryToolTest, WildcardLayerAndDensityFilters) {
+  pattlib::PatternStore lib;
+  fill_library(lib);
+  const ToolRegistry tools = make_tools(&lib);
+
+  util::Json any;
+  any["style_tag"] = "*";
+  any["count"] = 8;
+  EXPECT_EQ(tools.call("library_retrieval", any).payload.at("matched").as_int(), 3);
+
+  util::Json layered = any;
+  layered["layer"] = 2;
+  EXPECT_EQ(tools.call("library_retrieval", layered).payload.at("matched").as_int(), 1);
+
+  // The stripe fixtures are half-dense; an impossible density band is empty.
+  util::Json dense = any;
+  dense["min_density"] = 0.95;
+  const ToolResult r = tools.call("library_retrieval", dense);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.payload.at("matched").as_int(), 0);
+  EXPECT_TRUE(r.payload.at("patterns").as_array().empty());
+
+  // count caps the result set.
+  util::Json capped = any;
+  capped["count"] = 1;
+  EXPECT_EQ(tools.call("library_retrieval", capped).payload.at("patterns").as_array().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cp::agent::testing

@@ -1,0 +1,216 @@
+// Windowing pass + streaming ingestion (pattlib/window.h, pattlib/ingest.h):
+// grid arithmetic, density prefiltering, overlapping strides, and the
+// GDS -> windows -> store pipeline with cross-structure dedup.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/gds.h"
+#include "pattlib/ingest.h"
+#include "util/fs.h"
+
+namespace cp::pattlib {
+namespace {
+
+using geometry::Coord;
+using geometry::Rect;
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(WindowTest, NonOverlappingTilingCoversTheBoundingBox) {
+  // Four separated blobs, one per 1000-nm window corner of a 2x2 grid.
+  std::vector<Rect> rects;
+  for (const Coord base_x : {Coord{0}, Coord{1000}}) {
+    for (const Coord base_y : {Coord{0}, Coord{1000}}) {
+      rects.push_back({base_x + 100, base_y + 100, base_x + 400, base_y + 300});
+    }
+  }
+  WindowConfig cfg;
+  cfg.window_nm = 1000;
+  std::vector<std::pair<Coord, Coord>> origins;
+  const WindowStats stats = windows_over(
+      rects, cfg, [&](squish::SquishPattern&& p, Coord wx, Coord wy) {
+        EXPECT_TRUE(p.well_formed());
+        origins.emplace_back(wx, wy);
+      });
+  EXPECT_EQ(stats.seen, 4);
+  EXPECT_EQ(stats.kept, 4);
+  ASSERT_EQ(origins.size(), 4u);
+  // Deterministic row-major order, anchored at the bbox origin (100, 100).
+  EXPECT_EQ(origins[0], (std::pair<Coord, Coord>{100, 100}));
+  EXPECT_EQ(origins[1], (std::pair<Coord, Coord>{1100, 100}));
+  EXPECT_EQ(origins[2], (std::pair<Coord, Coord>{100, 1100}));
+  EXPECT_EQ(origins[3], (std::pair<Coord, Coord>{1100, 1100}));
+}
+
+TEST(WindowTest, SparseLayoutSkipsEmptyWindows) {
+  // Two blobs 100 windows apart: seen counts the whole grid, kept only 2.
+  const std::vector<Rect> rects = {{0, 0, 500, 500}, {100000, 0, 100500, 500}};
+  WindowConfig cfg;
+  cfg.window_nm = 1000;
+  long long delivered = 0;
+  const WindowStats stats =
+      windows_over(rects, cfg, [&](squish::SquishPattern&&, Coord, Coord) { ++delivered; });
+  EXPECT_EQ(stats.seen, 101);
+  EXPECT_EQ(stats.kept, 2);
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(WindowTest, DensityPrefilter) {
+  const std::vector<Rect> rects = {{0, 0, 1000, 1000},        // density 1.0 window
+                                   {2000, 0, 2100, 100}};     // density 0.01 window
+  WindowConfig cfg;
+  cfg.window_nm = 1000;
+  cfg.min_density = 0.5;
+  long long kept = 0;
+  windows_over(rects, cfg, [&](squish::SquishPattern&&, Coord wx, Coord) {
+    EXPECT_EQ(wx, 0);
+    ++kept;
+  });
+  EXPECT_EQ(kept, 1);
+  cfg.min_density = 0.0;
+  cfg.max_density = 0.5;
+  kept = 0;
+  windows_over(rects, cfg, [&](squish::SquishPattern&&, Coord wx, Coord) {
+    EXPECT_EQ(wx, 2000);
+    ++kept;
+  });
+  EXPECT_EQ(kept, 1);
+}
+
+TEST(WindowTest, OverlappingStrideRevisitsGeometry) {
+  const std::vector<Rect> rects = {{0, 0, 1800, 200}};
+  WindowConfig cfg;
+  cfg.window_nm = 1000;
+  cfg.stride_nm = 500;
+  long long kept = 0;
+  windows_over(rects, cfg, [&](squish::SquishPattern&&, Coord, Coord) { ++kept; });
+  // Strided grid over the 1800-nm bbox: windows at x = 0, 500, 1000 (the
+  // last reaches past the far edge), every one intersecting the bar.
+  EXPECT_EQ(kept, 3);
+}
+
+TEST(WindowTest, EnumeratesEmptyWindowsWhenAsked) {
+  const std::vector<Rect> rects = {{0, 0, 100, 100}, {2500, 2500, 2600, 2600}};
+  WindowConfig cfg;
+  cfg.window_nm = 1000;
+  cfg.skip_empty = false;
+  long long delivered = 0;
+  const WindowStats stats =
+      windows_over(rects, cfg, [&](squish::SquishPattern&&, Coord, Coord) { ++delivered; });
+  EXPECT_EQ(stats.seen, 9);
+  EXPECT_EQ(delivered, 9);
+  EXPECT_EQ(stats.kept, 9);
+}
+
+TEST(WindowTest, BadConfigsThrow) {
+  const std::vector<Rect> rects = {{0, 0, 10, 10}};
+  WindowConfig cfg;
+  cfg.window_nm = 0;
+  EXPECT_THROW(windows_over(rects, cfg, [](squish::SquishPattern&&, Coord, Coord) {}),
+               std::invalid_argument);
+  cfg.window_nm = 100;
+  cfg.stride_nm = -1;
+  EXPECT_THROW(windows_over(rects, cfg, [](squish::SquishPattern&&, Coord, Coord) {}),
+               std::invalid_argument);
+  // Empty input is a no-op, not an error.
+  cfg.stride_nm = 0;
+  const WindowStats stats =
+      windows_over({}, cfg, [](squish::SquishPattern&&, Coord, Coord) { FAIL(); });
+  EXPECT_EQ(stats.seen, 0);
+}
+
+/// Fixture mirroring tools/chatpattern_lib.cpp: `structures` structures
+/// carrying `motifs` distinct motifs (bar stacks of different heights),
+/// each motif placed twice per structure.
+std::string write_fixture(const std::string& name, int structures, int motifs) {
+  io::GdsLibrary lib;
+  lib.name = "INGEST_FIXTURE";
+  for (int s = 0; s < structures; ++s) {
+    io::GdsStructure str;
+    str.name = "CELL" + std::to_string(s);
+    str.layer = 1 + (s % 2);
+    const int bars = 2 + (s % motifs);
+    for (const Coord base : {Coord{0}, Coord{4096}}) {
+      for (int j = 0; j < bars; ++j) {
+        const Coord y0 = 128 + static_cast<Coord>(j) * 256;
+        str.rects.push_back({base, y0, base + 1024, y0 + 128});
+      }
+    }
+    lib.structures.push_back(std::move(str));
+  }
+  const std::string path = temp_path(name);
+  io::write_gds(path, lib);
+  return path;
+}
+
+TEST(IngestTest, FixtureDedupAcrossStructuresAndRuns) {
+  const std::string path = write_fixture("ingest_dedup.gds", 6, 3);
+  PatternStore store;
+  IngestConfig cfg;
+  cfg.style_tag = "fixture";
+  const IngestStats st = ingest_gds(path, store, cfg);
+  EXPECT_EQ(st.structures, 6);
+  EXPECT_EQ(st.windows_kept, 12);  // 2 populated windows per structure
+  EXPECT_EQ(st.added, 3);          // 3 distinct motifs
+  EXPECT_EQ(st.deduped, 9);
+  EXPECT_GT(st.bytes_streamed, 0u);
+  EXPECT_EQ(store.size(), 3u);
+  const StoredPattern& e = store.at(0);
+  EXPECT_EQ(e.meta.source, path);
+  EXPECT_EQ(e.meta.structure, "CELL0");
+  EXPECT_EQ(e.meta.style_tag, "fixture");
+  EXPECT_EQ(e.meta.window_x, 0);
+
+  // Re-ingesting the same file adds nothing.
+  const IngestStats again = ingest_gds(path, store, cfg);
+  EXPECT_EQ(again.added, 0);
+  EXPECT_EQ(again.deduped, 12);
+  EXPECT_EQ(store.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(IngestTest, LayerFilterAndWindowCap) {
+  const std::string path = write_fixture("ingest_filter.gds", 6, 3);
+  {
+    PatternStore store;
+    IngestConfig cfg;
+    cfg.layer = 2;  // structures 1, 3, 5 only
+    const IngestStats st = ingest_gds(path, store, cfg);
+    EXPECT_EQ(st.structures, 6);
+    EXPECT_EQ(st.windows_kept, 6);
+    for (std::size_t i = 0; i < store.size(); ++i) EXPECT_EQ(store.at(i).meta.layer, 2);
+  }
+  {
+    PatternStore store;
+    IngestConfig cfg;
+    cfg.max_windows = 3;
+    const IngestStats st = ingest_gds(path, store, cfg);
+    EXPECT_EQ(st.windows_kept, 3);
+    EXPECT_EQ(st.added + st.deduped, 3);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IngestTest, CorruptGdsFailsCleanlyStorePreserved) {
+  const std::string path = write_fixture("ingest_corrupt.gds", 4, 2);
+  std::string data;
+  {
+    data = util::read_file(path);
+    data.resize(data.size() / 2);  // truncate mid-stream
+    util::atomic_write_file(path, data);
+  }
+  PatternStore store;
+  IngestConfig cfg;
+  EXPECT_THROW(ingest_gds(path, store, cfg), std::runtime_error);
+  // Structures delivered before the corruption point are kept.
+  EXPECT_FALSE(store.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cp::pattlib

@@ -1,0 +1,229 @@
+// PatternStore (pattlib/pattern_store.h): canonical-hash dedup, metadata
+// queries, persistence round trips, DRC amendments, torn-tail crash
+// recovery (bit-identical restart) and bit-rot detection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "io/gds.h"
+#include "pattlib/pattern_store.h"
+#include "util/fault.h"
+#include "util/fs.h"
+
+namespace cp::pattlib {
+namespace {
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+/// A small squish pattern: `bars` full-width horizontal bars.
+squish::SquishPattern bar_pattern(int bars, geometry::Coord bar_nm = 100,
+                                  geometry::Coord gap_nm = 60) {
+  std::vector<geometry::Rect> rects;
+  geometry::Coord y = 0;
+  for (int i = 0; i < bars; ++i) {
+    rects.push_back({0, y, 400, y + bar_nm});
+    y += bar_nm + gap_nm;
+  }
+  return squish::squish(rects, {0, 0, 400, y});
+}
+
+TEST(TopologyHashTest, InvariantUnderScanLineSplits) {
+  const squish::SquishPattern a = bar_pattern(3);
+  // The same physical bars with different nm sizes have the same canonical
+  // topology (scan-line structure), hence the same hash.
+  const squish::SquishPattern b = bar_pattern(3, 180, 90);
+  EXPECT_EQ(topology_hash(a.topology), topology_hash(b.topology));
+  // Upsampling duplicates rows/cols — a pure scan-line split.
+  EXPECT_EQ(topology_hash(squish::upsample_nearest(a.topology, 2)), topology_hash(a.topology));
+  // A different bar count is a different canonical topology.
+  EXPECT_NE(topology_hash(a.topology), topology_hash(bar_pattern(4).topology));
+}
+
+TEST(PatternStoreTest, InMemoryAddDedupAndQuery) {
+  PatternStore store;
+  PatternMeta meta;
+  meta.style_tag = "stripes";
+  const AddResult first = store.add(bar_pattern(2), meta);
+  EXPECT_TRUE(first.inserted);
+  meta.style_tag = "other";
+  const AddResult dup = store.add(bar_pattern(2, 300, 40), meta);  // same canonical topology
+  EXPECT_FALSE(dup.inserted);
+  EXPECT_EQ(dup.id, first.id);
+  meta.style_tag = "stripes";
+  meta.layer = 3;
+  EXPECT_TRUE(store.add(bar_pattern(5), meta).inserted);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().dedup_rejects, 1);
+
+  Query q;
+  q.style_tag = "stripes";
+  EXPECT_EQ(store.query(q).size(), 2u);  // the dup kept the FIRST writer's tag
+  q.layer = 3;
+  const auto ids = store.query(q);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(store.at(ids[0]).meta.layer, 3);
+
+  Query by_rows;
+  by_rows.min_rows = bar_pattern(5).topology.rows();
+  EXPECT_EQ(store.query(by_rows).size(), 1u);
+
+  EXPECT_TRUE(store.find_by_hash(topology_hash(bar_pattern(2).topology)).has_value());
+  EXPECT_FALSE(store.find_by_hash(0xdeadbeefULL).has_value());
+  EXPECT_THROW((void)store.at(99), std::out_of_range);
+  EXPECT_THROW((void)store.add(squish::SquishPattern{}, {}), std::invalid_argument);
+}
+
+TEST(PatternStoreTest, PersistReopenRoundTrip) {
+  const std::string path = temp_path("store_roundtrip.cppl");
+  std::remove(path.c_str());
+  {
+    PatternStore store(path);
+    PatternMeta meta;
+    meta.source = "unit.gds";
+    meta.structure = "TOP";
+    meta.style_tag = "stripes";
+    meta.layer = 7;
+    meta.window_x = 4096;
+    meta.window_y = 2048;
+    for (int bars = 1; bars <= 4; ++bars) EXPECT_TRUE(store.add(bar_pattern(bars), meta).inserted);
+    store.flush();
+  }
+  PatternStore reopened(path);
+  ASSERT_EQ(reopened.size(), 4u);
+  EXPECT_EQ(reopened.stats().recovered_bytes, 0u);
+  const StoredPattern& e = reopened.at(2);
+  EXPECT_EQ(e.id, 2u);
+  EXPECT_EQ(e.meta.source, "unit.gds");
+  EXPECT_EQ(e.meta.structure, "TOP");
+  EXPECT_EQ(e.meta.style_tag, "stripes");
+  EXPECT_EQ(e.meta.layer, 7);
+  EXPECT_EQ(e.meta.window_x, 4096);
+  EXPECT_EQ(e.meta.window_y, 2048);
+  EXPECT_EQ(e.pattern.topology, bar_pattern(3).topology);
+  EXPECT_EQ(e.pattern.dx, bar_pattern(3).dx);
+  EXPECT_EQ(e.pattern.dy, bar_pattern(3).dy);
+  EXPECT_EQ(e.topology_hash, topology_hash(bar_pattern(3).topology));
+  EXPECT_DOUBLE_EQ(e.meta.density, bar_pattern(3).topology.density());
+  // A duplicate across process lifetimes still dedups: the index is rebuilt.
+  EXPECT_FALSE(reopened.add(bar_pattern(2), {}).inserted);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStoreTest, DrcAmendmentPersists) {
+  const std::string path = temp_path("store_drc.cppl");
+  std::remove(path.c_str());
+  {
+    PatternStore store(path);
+    store.add(bar_pattern(2), {});
+    store.add(bar_pattern(3), {});
+    store.set_drc(1, DrcStatus::kClean);
+    store.set_drc(0, DrcStatus::kViolating);
+    store.set_drc(1, DrcStatus::kViolating);  // last amendment wins
+  }
+  PatternStore reopened(path);
+  EXPECT_EQ(reopened.at(0).meta.drc, DrcStatus::kViolating);
+  EXPECT_EQ(reopened.at(1).meta.drc, DrcStatus::kViolating);
+  Query q;
+  q.drc = static_cast<int>(DrcStatus::kViolating);
+  EXPECT_EQ(reopened.query(q).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStoreTest, TornTailRecoveryIsBitIdentical) {
+  const std::string path = temp_path("store_torn.cppl");
+  std::remove(path.c_str());
+  {
+    PatternStore store(path);
+    for (int bars = 1; bars <= 3; ++bars) store.add(bar_pattern(bars), {});
+  }
+  const std::string intact = util::read_file(path);
+
+  for (const std::string& tail : {std::string("\x01garbage"), std::string(40, '\0'),
+                                  std::string("\x02\x03\x04"), std::string(1, '\x01')}) {
+    util::atomic_write_file(path, intact + tail);
+    {
+      // A crashed writer left a torn append: open recovers every complete
+      // record and truncates the tail away.
+      PatternStore recovered(path);
+      EXPECT_EQ(recovered.size(), 3u);
+      EXPECT_EQ(recovered.stats().recovered_bytes, tail.size());
+    }
+    // The truncation materialised: the file is bit-identical to the
+    // pre-crash store, and a second open sees nothing to recover.
+    EXPECT_EQ(util::read_file(path), intact);
+    PatternStore again(path);
+    EXPECT_EQ(again.stats().recovered_bytes, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PatternStoreTest, BitRotInsideValidPrefixThrows) {
+  const std::string path = temp_path("store_rot.cppl");
+  std::remove(path.c_str());
+  {
+    PatternStore store(path);
+    store.add(bar_pattern(2), {});
+    store.add(bar_pattern(3), {});
+  }
+  std::string data = util::read_file(path);
+  data[20] = static_cast<char>(data[20] ^ 0x40);  // inside the first record's payload
+  util::atomic_write_file(path, data);
+  try {
+    PatternStore store(path);
+    FAIL() << "bit rot not detected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PatternStoreTest, NotAStoreFileRejected) {
+  const std::string path = temp_path("store_foreign.cppl");
+  util::atomic_write_file(path, "definitely not a CPPL file");
+  EXPECT_THROW(PatternStore store(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStoreTest, InjectedAppendFaultLeavesStoreConsistent) {
+  const std::string path = temp_path("store_fault.cppl");
+  std::remove(path.c_str());
+  {
+    PatternStore store(path);
+    store.add(bar_pattern(2), {});
+    util::fault::configure("pattlib/append=once:1");
+    EXPECT_THROW(store.add(bar_pattern(3), {}), util::fault::FaultInjected);
+    util::fault::clear();
+  }
+  PatternStore reopened(path);
+  EXPECT_EQ(reopened.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStoreTest, ExportBridges) {
+  const std::string gds_path = temp_path("store_export.gds");
+  const std::string pbm_dir = temp_path("store_export_pbm");
+  PatternStore store;
+  PatternMeta meta;
+  meta.layer = 5;
+  store.add(bar_pattern(2), meta);
+  store.add(bar_pattern(3), meta);
+
+  EXPECT_EQ(store.export_gds(gds_path, {0, 1}), 2);
+  const io::GdsLibrary lib = io::read_gds(gds_path);
+  ASSERT_EQ(lib.structures.size(), 2u);
+  EXPECT_EQ(lib.structures[0].layer, 5);
+
+  EXPECT_EQ(store.export_pbm(pbm_dir, {0, 1}), 3);  // 2 PBMs + manifest
+  EXPECT_TRUE(std::filesystem::exists(pbm_dir + "/manifest.txt"));
+  EXPECT_TRUE(std::filesystem::exists(pbm_dir + "/pattern_00000001.pbm"));
+  std::remove(gds_path.c_str());
+  std::filesystem::remove_all(pbm_dir);
+}
+
+}  // namespace
+}  // namespace cp::pattlib

@@ -1,0 +1,128 @@
+// Store-backed retrieval through the serving layer: requests with
+// source="store" are answered synchronously from an attached
+// pattlib::PatternStore — no sampling, no queue slot, no cache entry.
+
+#include <gtest/gtest.h>
+
+#include "pattlib/pattern_store.h"
+#include "serve_fixture.h"
+#include "squish/squish.h"
+
+namespace cp::serve::testing {
+namespace {
+
+class StoreRequestTest : public ServeFixture {
+ protected:
+  /// A well-formed squish pattern whose canonical topology is distinct per
+  /// stripe period (different run counts survive deduplication).
+  squish::SquishPattern make_pattern(int period) const {
+    squish::SquishPattern p;
+    p.topology = stripes(kWindow, period);
+    p.dx = squish::uniform_deltas(kWindow, kBudgetNm);
+    p.dy = squish::uniform_deltas(kWindow, kBudgetNm);
+    return p;
+  }
+
+  void fill_store(pattlib::PatternStore& store) const {
+    pattlib::PatternMeta meta;
+    meta.style_tag = "stripes";
+    store.add(make_pattern(4), meta);
+    store.add(make_pattern(8), meta);
+    meta.style_tag = "other";
+    store.add(make_pattern(16), meta);
+  }
+
+  GenerationRequest store_request(const std::string& id, const std::string& tag, int count) const {
+    GenerationRequest r = make_request(id, /*seed=*/1);
+    r.source = "store";
+    r.style = tag;
+    r.count = count;
+    return r;
+  }
+};
+
+TEST_F(StoreRequestTest, RetrievalByTagWildcardAndLimit) {
+  pattlib::PatternStore store;
+  fill_store(store);
+  ServerConfig cfg;
+  cfg.store = &store;
+  Server server(sampler_, legalizers(), cfg);
+
+  auto sub = server.submit(store_request("r1", "stripes", 2));
+  ASSERT_TRUE(sub.admitted);
+  GenerationResult res = sub.result.get();
+  EXPECT_EQ(res.status, RequestStatus::kOk);
+  ASSERT_TRUE(res.payload != nullptr);
+  EXPECT_EQ(res.payload->patterns.size(), 2u);
+  EXPECT_TRUE(res.payload->topologies.empty());
+  for (const auto& p : res.payload->patterns) EXPECT_TRUE(p.well_formed());
+
+  // "*" matches every tag.
+  res = server.submit(store_request("r2", "*", 3)).result.get();
+  EXPECT_EQ(res.status, RequestStatus::kOk);
+  EXPECT_EQ(res.payload->patterns.size(), 3u);
+
+  // Asking for more than the store holds delivers what exists, kIncomplete.
+  res = server.submit(store_request("r3", "*", 10)).result.get();
+  EXPECT_EQ(res.status, RequestStatus::kIncomplete);
+  EXPECT_EQ(res.payload->patterns.size(), 3u);
+
+  // An unmatched tag is an empty (incomplete) payload, not an error.
+  res = server.submit(store_request("r4", "no_such_tag", 1)).result.get();
+  EXPECT_EQ(res.status, RequestStatus::kIncomplete);
+  EXPECT_EQ(res.payload->patterns.size(), 0u);
+}
+
+TEST_F(StoreRequestTest, StoreRequestsBypassQueueAndCache) {
+  pattlib::PatternStore store;
+  fill_store(store);
+  ServerConfig cfg;
+  cfg.store = &store;
+  Server server(sampler_, legalizers(), cfg);
+
+  const GenerationRequest req = store_request("dup", "stripes", 2);
+  const GenerationResult first = server.submit(req).result.get();
+  const GenerationResult second = server.submit(req).result.get();
+  // Identical content, but store results never enter the PatternCache: the
+  // store may gain patterns between calls.
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(payload_hash(*first.payload), payload_hash(*second.payload));
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST_F(StoreRequestTest, RejectedWhenNoStoreAttached) {
+  Server server(sampler_, legalizers(), ServerConfig{});
+  auto sub = server.submit(store_request("r1", "stripes", 1));
+  EXPECT_FALSE(sub.admitted);
+  EXPECT_NE(sub.reason.find("no pattern store"), std::string::npos) << sub.reason;
+  const GenerationResult res = sub.result.get();
+  EXPECT_EQ(res.status, RequestStatus::kRejected);
+}
+
+TEST_F(StoreRequestTest, ValidationAndWireFormat) {
+  // Unknown source values are rejected up front.
+  GenerationRequest bad = make_request("b", 1);
+  bad.source = "elsewhere";
+  EXPECT_FALSE(validate(bad).empty());
+
+  // A store request's style is a free-form tag, not a dataset style.
+  GenerationRequest tagged = store_request("t", "any-tag-at-all", 1);
+  EXPECT_TRUE(validate(tagged).empty());
+  GenerationRequest unknown_style = make_request("u", 1, "any-tag-at-all");
+  EXPECT_FALSE(validate(unknown_style).empty());
+
+  // source is a content field: it changes the hash and survives the wire.
+  GenerationRequest gen = make_request("h", 1);
+  GenerationRequest via_store = gen;
+  via_store.source = "store";
+  EXPECT_NE(gen.content_hash(), via_store.content_hash());
+  const GenerationRequest parsed = GenerationRequest::from_json(via_store.to_json());
+  EXPECT_EQ(parsed.source, "store");
+  EXPECT_EQ(parsed.content_hash(), via_store.content_hash());
+  // Default (generate) requests omit the field entirely.
+  EXPECT_FALSE(gen.to_json().contains("source"));
+}
+
+}  // namespace
+}  // namespace cp::serve::testing

@@ -1,0 +1,173 @@
+// chatpattern_lib — command-line manager for persistent pattern libraries
+// (docs/LIBRARY.md).
+//
+// Subcommands (first positional argument):
+//   fixture --out FILE [--structures N] [--motifs M]
+//       Write a deterministic multi-structure GDS fixture whose structures
+//       repeat M distinct motifs — cross-structure duplicates by
+//       construction, so an import exercises the dedup index. Used by
+//       scripts/check_pattlib.sh and handy for a quick local walkthrough.
+//   import --store FILE --gds FILE [--window N] [--stride N] [--style TAG]
+//          [--layer L] [--min-density D] [--max-density D] [--max-windows N]
+//       Stream the GDS through the windowing pass into the store (bounded
+//       memory; see io/gds_stream.h). Prints one "imported: k=v ..." line.
+//   query --store FILE [--style TAG] [--source-contains S] [--layer L]
+//         [--drc unknown|clean|violating] [--min-density D] [--max-density D]
+//         [--limit N]
+//       Print one line per matching pattern, in insertion order
+//       (deterministic across runs and re-opens).
+//   stats --store FILE
+//       Store-level counters plus per-style and per-layer histograms.
+//   export --store FILE (--gds OUT | --pbm DIR) [query flags]
+//       Export the query's matches as a GDS library or a PBM directory.
+//
+// Exit codes: 0 = success, 1 = usage error, 2 = runtime failure (corrupt
+// file, I/O error) with the reason on stderr.
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/gds.h"
+#include "pattlib/ingest.h"
+#include "pattlib/pattern_store.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+using namespace cp;
+
+namespace {
+
+int usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s <fixture|import|query|stats|export> [flags]\n"
+               "see the header of tools/chatpattern_lib.cpp or docs/LIBRARY.md\n",
+               program);
+  return 1;
+}
+
+/// Deterministic fixture: `structures` structures, structure s carrying
+/// motif s %% `motifs` twice (at x = 0 and x = 4096), every motif a distinct
+/// topology (different bar count). Importing with the default 2048 nm
+/// window yields exactly `motifs` unique patterns.
+io::GdsLibrary make_fixture(int structures, int motifs) {
+  io::GdsLibrary lib;
+  lib.name = "PATTLIB_FIXTURE";
+  for (int s = 0; s < structures; ++s) {
+    io::GdsStructure str;
+    str.name = util::format("CELL_%03d", s);
+    str.layer = 1;
+    const int m = s % motifs;
+    const int bars = 2 + m;
+    for (const geometry::Coord base : {geometry::Coord{0}, geometry::Coord{4096}}) {
+      for (int j = 0; j < bars; ++j) {
+        const geometry::Coord y0 = 128 + static_cast<geometry::Coord>(j) * 256;
+        const geometry::Coord x1 = base + 1024 + ((m + j) % 3) * 256;
+        str.rects.push_back(geometry::Rect{base, y0, x1, y0 + 128});
+      }
+    }
+    lib.structures.push_back(std::move(str));
+  }
+  return lib;
+}
+
+pattlib::Query query_from_flags(const util::CliFlags& flags) {
+  pattlib::Query q;
+  q.style_tag = flags.get("style", "");
+  q.source_contains = flags.get("source-contains", "");
+  q.layer = static_cast<int>(flags.get_int("layer", -1));
+  const std::string drc = flags.get("drc", "");
+  if (drc == "unknown") q.drc = 0;
+  else if (drc == "clean") q.drc = 1;
+  else if (drc == "violating") q.drc = 2;
+  else if (!drc.empty()) throw std::invalid_argument("bad --drc '" + drc + "'");
+  q.min_density = flags.get_double("min-density", 0.0);
+  q.max_density = flags.get_double("max-density", 1.0);
+  q.limit = flags.get_int("limit", 0);
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(argc, argv);
+  if (flags.positional().empty()) return usage(argv[0]);
+  const std::string cmd = flags.positional().front();
+
+  try {
+    if (cmd == "fixture") {
+      const std::string out = flags.get("out", "");
+      if (out.empty()) return usage(argv[0]);
+      const io::GdsLibrary lib = make_fixture(static_cast<int>(flags.get_int("structures", 6)),
+                                              static_cast<int>(flags.get_int("motifs", 3)));
+      io::write_gds(out, lib);
+      std::printf("fixture: structures=%zu out=%s\n", lib.structures.size(), out.c_str());
+      return 0;
+    }
+
+    const std::string store_path = flags.get("store", "");
+    if (store_path.empty()) return usage(argv[0]);
+
+    if (cmd == "import") {
+      const std::string gds = flags.get("gds", "");
+      if (gds.empty()) return usage(argv[0]);
+      pattlib::PatternStore store(store_path);
+      pattlib::IngestConfig cfg;
+      cfg.window.window_nm = flags.get_int("window", 2048);
+      cfg.window.stride_nm = flags.get_int("stride", 0);
+      cfg.window.min_density = flags.get_double("min-density", 0.0);
+      cfg.window.max_density = flags.get_double("max-density", 1.0);
+      cfg.style_tag = flags.get("style", "ingested");
+      cfg.layer = static_cast<int>(flags.get_int("layer", -1));
+      cfg.max_windows = flags.get_int("max-windows", 0);
+      const pattlib::IngestStats st = pattlib::ingest_gds(gds, store, cfg);
+      std::printf(
+          "imported: structures=%lld rects=%lld windows_seen=%lld windows_kept=%lld "
+          "added=%lld deduped=%lld bytes=%llu store_size=%zu\n",
+          st.structures, st.rects, st.windows_seen, st.windows_kept, st.added, st.deduped,
+          static_cast<unsigned long long>(st.bytes_streamed), store.size());
+      return 0;
+    }
+
+    if (cmd == "query") {
+      const pattlib::PatternStore store(store_path);
+      for (const std::uint64_t id : store.query(query_from_flags(flags))) {
+        const pattlib::StoredPattern& e = store.at(id);
+        std::printf("%llu hash=%016llx %dx%d density=%.4f style=%s layer=%d drc=%s src=%s:%s\n",
+                    static_cast<unsigned long long>(id),
+                    static_cast<unsigned long long>(e.topology_hash), e.pattern.topology.rows(),
+                    e.pattern.topology.cols(), e.meta.density, e.meta.style_tag.c_str(),
+                    e.meta.layer, pattlib::to_string(e.meta.drc), e.meta.source.c_str(),
+                    e.meta.structure.c_str());
+      }
+      return 0;
+    }
+
+    if (cmd == "stats") {
+      const pattlib::PatternStore store(store_path);
+      const pattlib::StoreStats st = store.stats();
+      std::printf("patterns=%zu file_bytes=%llu recovered_bytes=%llu\n", st.patterns,
+                  static_cast<unsigned long long>(st.file_bytes),
+                  static_cast<unsigned long long>(st.recovered_bytes));
+      for (const auto& [style, n] : st.by_style) std::printf("style %s %zu\n", style.c_str(), n);
+      for (const auto& [layer, n] : st.by_layer) std::printf("layer %d %zu\n", layer, n);
+      return 0;
+    }
+
+    if (cmd == "export") {
+      const pattlib::PatternStore store(store_path);
+      const std::vector<std::uint64_t> ids = store.query(query_from_flags(flags));
+      const std::string gds = flags.get("gds", "");
+      const std::string pbm = flags.get("pbm", "");
+      if (gds.empty() == pbm.empty()) return usage(argv[0]);  // exactly one target
+      const int written = gds.empty() ? store.export_pbm(pbm, ids) : store.export_gds(gds, ids);
+      std::printf("exported: patterns=%zu files=%d\n", ids.size(), written);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage(argv[0]);
+}
