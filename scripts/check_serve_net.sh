@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# Multi-process serving gate (docs/SERVING.md, docs/ROBUSTNESS.md): start a
+# `chatpattern_serve --listen` front-end with 2 forked workers and assert
+# the fault-isolation contract end-to-end:
+#
+#   1. fault-free TCP replay — every request answered ok, nothing degraded,
+#      and the combined library hash bit-identical to the same trace
+#      replayed offline (single process): the cross-process determinism
+#      audit;
+#   2. chaos: kill -9 one worker mid-replay — the front-end must not crash,
+#      100% of requests must still complete (retried ones degraded-or-
+#      better), and the supervisor must respawn the worker;
+#   3. chaos: SIGSTOP one worker mid-replay — the wedged worker must be
+#      detected by heartbeat silence, killed, and its in-flight requests
+#      retried on the survivor; again 0 front-end crashes, 100% completion;
+#   4. graceful shutdown — {"cmd":"shutdown"} drains and the front-end exits
+#      0 (a nonzero exit means the request ledger leaked accepted work).
+#
+# Each phase uses a fresh-content trace so the chaos signals land while real
+# diffusion work is in flight instead of hitting warm worker caches.
+#
+# Usage: check_serve_net.sh <chatpattern_serve-binary> [workdir]
+# Wired into ctest as `check_serve_net` (tests/CMakeLists.txt).
+set -euo pipefail
+
+SERVE_BIN=${1:?usage: check_serve_net.sh <chatpattern_serve-binary> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+PROCS=2
+LINES=24
+
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+  fi
+  # Orphaned workers re-exec the same binary; sweep any we spawned.
+  if [ -f "$WORKDIR/state.json" ]; then
+    for pid in $(grep -o '"workers":\[[0-9,]*\]' "$WORKDIR/state.json" | grep -o '[0-9]*'); do
+      kill -9 "$pid" 2>/dev/null || true
+    done
+  fi
+}
+trap cleanup EXIT
+
+# make_trace <file> <seed_base>: unique-content legalized requests, enough
+# volume that a mid-replay worker loss has work in flight to retry.
+make_trace() {
+  local file=$1 base=$2
+  : > "$file"
+  for i in $(seq 0 $((LINES - 1))); do
+    local style
+    style=$([ $((i % 2)) -eq 0 ] && echo Layer-10001 || echo Layer-10003)
+    echo "{\"id\":\"n$i\",\"style\":\"$style\",\"count\":1,\"rows\":32,\"cols\":32,\"steps\":6,\"polish\":1,\"width_nm\":2048,\"height_nm\":2048,\"seed\":$((base + i))}" >> "$file"
+  done
+}
+make_trace "$WORKDIR/trace_clean.ndjson" 700
+make_trace "$WORKDIR/trace_kill.ndjson" 800
+make_trace "$WORKDIR/trace_stop.ndjson" 900
+
+# Offline reference hash (same binary, single process, same training).
+env -u CHATPATTERN_FAULTS "$SERVE_BIN" --trace "$WORKDIR/trace_clean.ndjson" \
+  --out "$WORKDIR/offline.ndjson" --train 24 --workers 2 2> "$WORKDIR/offline.log"
+H0=$(grep -o 'combined_hash [0-9a-f]*' "$WORKDIR/offline.log" | awk '{print $2}')
+[ -n "$H0" ] || { echo "FAIL: offline replay produced no combined hash" >&2; exit 1; }
+
+# Start the multi-process front-end.
+env -u CHATPATTERN_FAULTS "$SERVE_BIN" --listen --procs "$PROCS" --train 24 \
+  --port-file "$WORKDIR/port.txt" --state-file "$WORKDIR/state.json" \
+  --journal "$WORKDIR/ledger.cpsj" > "$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for every worker to report ready (worker startup trains the backend).
+alive=0
+for _ in $(seq 1 600); do
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: front-end died during startup" >&2;
+                                          cat "$WORKDIR/server.log" >&2; exit 1; }
+  if [ -f "$WORKDIR/state.json" ]; then
+    alive=$(grep -o '"alive":[0-9]*' "$WORKDIR/state.json" | grep -o '[0-9]*' || echo 0)
+    [ "$alive" = "$PROCS" ] && break
+  fi
+  sleep 0.5
+done
+[ "$alive" = "$PROCS" ] || { echo "FAIL: workers never became ready" >&2; exit 1; }
+PORT=$(cat "$WORKDIR/port.txt")
+
+worker_pids() { grep -o '"workers":\[[0-9,]*\]' "$WORKDIR/state.json" | grep -o '[0-9]*'; }
+
+replay() {  # replay <name> <trace>
+  local name=$1 trace=$2
+  "$SERVE_BIN" --connect-port "$PORT" --trace "$trace" --out "$WORKDIR/$name.ndjson" \
+    2> "$WORKDIR/$name.log"
+}
+hash_of() { grep -o 'combined_hash [0-9a-f]*' "$WORKDIR/$1.log" | awk '{print $2}'; }
+count_status() { grep -c "\"status\":\"$2\"" "$WORKDIR/$1.ndjson" || true; }
+assert_complete() {  # every trace line answered
+  local name=$1
+  local n
+  n=$(wc -l < "$WORKDIR/$name.ndjson")
+  if [ "$n" -ne "$LINES" ]; then
+    echo "FAIL($name): $n/$LINES requests answered" >&2
+    exit 1
+  fi
+  if grep -q '"answered":false' "$WORKDIR/$name.ndjson"; then
+    echo "FAIL($name): unanswered requests in outcome file" >&2
+    exit 1
+  fi
+}
+assert_frontend_alive() {
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL($1): front-end crashed" >&2
+    tail -20 "$WORKDIR/server.log" >&2
+    exit 1
+  fi
+}
+wait_workers_back() {  # wait until the supervisor has $PROCS workers alive again
+  for _ in $(seq 1 600); do
+    alive=$(grep -o '"alive":[0-9]*' "$WORKDIR/state.json" | grep -o '[0-9]*' || echo 0)
+    [ "$alive" = "$PROCS" ] && return 0
+    sleep 0.5
+  done
+  echo "FAIL($1): supervisor did not restore $PROCS workers" >&2
+  exit 1
+}
+
+# 1. Fault-free replay: bit-identical to the offline reference.
+replay clean "$WORKDIR/trace_clean.ndjson"
+assert_complete clean
+assert_frontend_alive clean
+if [ "$(hash_of clean)" != "$H0" ]; then
+  echo "FAIL(clean): multi-process hash $(hash_of clean) != offline $H0" >&2
+  exit 1
+fi
+if [ "$(count_status clean ok)" -ne "$LINES" ]; then
+  echo "FAIL(clean): not every request ok" >&2
+  exit 1
+fi
+if grep -q '"degraded":true' "$WORKDIR/clean.ndjson"; then
+  echo "FAIL(clean): degraded results without any fault" >&2
+  exit 1
+fi
+
+# 2. kill -9 one worker mid-replay.
+VICTIM=$(worker_pids | head -1)
+( sleep 0.4; kill -9 "$VICTIM" 2>/dev/null || true ) &
+KILLER=$!
+replay chaos_kill "$WORKDIR/trace_kill.ndjson"
+wait "$KILLER" || true
+assert_complete chaos_kill
+assert_frontend_alive chaos_kill
+if [ "$(count_status chaos_kill failed)" -ne 0 ]; then
+  echo "FAIL(chaos_kill): requests failed instead of being retried" >&2
+  exit 1
+fi
+wait_workers_back chaos_kill
+
+# 3. SIGSTOP one worker mid-replay (wedged, not dead: heartbeat silence
+# must detect it). The supervisor's SIGKILL frees a stopped process.
+VICTIM=$(worker_pids | head -1)
+( sleep 0.4; kill -STOP "$VICTIM" 2>/dev/null || true ) &
+STOPPER=$!
+replay chaos_stop "$WORKDIR/trace_stop.ndjson"
+wait "$STOPPER" || true
+assert_complete chaos_stop
+assert_frontend_alive chaos_stop
+if [ "$(count_status chaos_stop failed)" -ne 0 ]; then
+  echo "FAIL(chaos_stop): requests failed instead of being retried" >&2
+  exit 1
+fi
+wait_workers_back chaos_stop
+
+# 4. Graceful shutdown: drains and exits 0 (nonzero = ledger leak).
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf '{"cmd":"shutdown"}\n' >&3
+read -r _reply <&3 || true
+exec 3<&- 3>&-
+rc=0
+wait "$SERVER_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL(shutdown): front-end exited $rc (accepted-work leak?)" >&2
+  tail -20 "$WORKDIR/server.log" >&2
+  exit 1
+fi
+SERVER_PID=""
+
+restarts=$(grep -c 'down:' "$WORKDIR/server.log" || true)
+echo "OK: ${LINES}-request replays survive kill -9 and SIGSTOP chaos" \
+     "(hash $H0 fault-free, $restarts worker restart(s), clean shutdown)"

@@ -1,0 +1,197 @@
+#include "serve/client.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/json.h"
+#include "util/net.h"
+
+namespace cp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string extract_id(const std::string& line) {
+  try {
+    const util::Json j = util::Json::parse(line);
+    if (j.is_object()) return j.get_string("id", "");
+  } catch (const std::exception&) {
+  }
+  return "";
+}
+
+std::uint64_t parse_hash(const std::string& hex) {
+  return std::strtoull(hex.c_str(), nullptr, 16);
+}
+
+/// One connection's replay: pipelined nonblocking writes interleaved with
+/// result reads, so the whole allotment can be in flight at once.
+void run_connection(const std::vector<std::string>& lines, const std::vector<std::size_t>& slots,
+                    const ReplayClientOptions& options, std::vector<ReplayOutcome>* outcomes,
+                    std::string* error) {
+  if (slots.empty()) return;
+  util::net::Socket sock;
+  try {
+    sock = util::net::connect_tcp(options.host, options.port, options.connect_timeout_ms);
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return;
+  }
+  util::net::set_nonblocking(sock.fd(), true);
+
+  // Outgoing bytes plus per-slot completion offsets (latency stamps when a
+  // request's final byte hits the kernel).
+  std::string out;
+  std::vector<std::size_t> sent_boundary(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    out.append(lines[slots[i]]).append("\n");
+    sent_boundary[i] = out.size();
+  }
+  // Replies match by id; duplicate/empty ids resolve FIFO in send order.
+  std::unordered_map<std::string, std::deque<std::size_t>> by_id;  // -> local index
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    by_id[extract_id(lines[slots[i]])].push_back(i);
+  }
+  std::vector<Clock::time_point> sent_at(slots.size());
+
+  const auto deadline = Clock::now() + std::chrono::milliseconds(options.overall_timeout_ms);
+  std::size_t out_offset = 0;
+  std::size_t next_stamp = 0;
+  std::size_t answered = 0;
+  util::net::LineBuffer inbuf;
+  char chunk[65536];
+
+  while (answered < slots.size()) {
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      *error = "replay timed out with " + std::to_string(slots.size() - answered) +
+               " request(s) unanswered";
+      return;
+    }
+    // Write as much as the kernel takes.
+    bool write_blocked = false;
+    while (out_offset < out.size()) {
+      std::size_t n = 0;
+      const util::net::IoStatus st = util::net::write_some(
+          sock.fd(), std::string_view(out).substr(out_offset), &n);
+      if (st == util::net::IoStatus::kOk) {
+        out_offset += n;
+        const auto stamp = Clock::now();
+        while (next_stamp < slots.size() && sent_boundary[next_stamp] <= out_offset) {
+          sent_at[next_stamp++] = stamp;
+        }
+        continue;
+      }
+      if (st == util::net::IoStatus::kAgain) {
+        write_blocked = true;
+        break;
+      }
+      *error = "write failed (" + std::string(util::net::to_string(st)) + ")";
+      return;
+    }
+    // Read whatever results have arrived.
+    bool made_progress = false;
+    for (;;) {
+      std::size_t n = 0;
+      const util::net::IoStatus st = util::net::read_some(sock.fd(), chunk, sizeof(chunk), &n);
+      if (st == util::net::IoStatus::kOk) {
+        made_progress = true;
+        inbuf.append(chunk, n);
+        continue;
+      }
+      if (st == util::net::IoStatus::kAgain) break;
+      *error = st == util::net::IoStatus::kClosed
+                   ? "connection closed with " + std::to_string(slots.size() - answered) +
+                         " request(s) unanswered"
+                   : "read failed";
+      return;
+    }
+    std::string line;
+    while (inbuf.next_line(&line)) {
+      util::Json j;
+      try {
+        j = util::Json::parse(line);
+      } catch (const std::exception&) {
+        *error = "unparseable result line";
+        return;
+      }
+      const std::string id = j.get_string("id", "");
+      auto it = by_id.find(id);
+      if (it == by_id.end() || it->second.empty()) continue;  // stats reply etc.
+      const std::size_t local = it->second.front();
+      it->second.pop_front();
+      ReplayOutcome& o = (*outcomes)[slots[local]];
+      o.id = id;
+      o.answered = true;
+      o.status = j.get_string("status", "");
+      o.library_hash = parse_hash(j.get_string("library_hash", "0"));
+      o.cache_hit = j.get_bool("cache_hit", false);
+      o.degraded = j.get_bool("degraded", false);
+      o.latency_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - sent_at[local]).count();
+      ++answered;
+    }
+    if (answered >= slots.size()) break;
+    if (!made_progress) {
+      const int wait_ms = static_cast<int>(std::min<long long>(
+          250, std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now())
+                   .count()));
+      if (write_blocked && out_offset < out.size()) {
+        util::net::poll_writable(sock.fd(), std::max(1, wait_ms));
+      } else {
+        util::net::poll_readable(sock.fd(), std::max(1, wait_ms));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ReplayReport replay_over_tcp(const std::vector<std::string>& lines,
+                             const ReplayClientOptions& options) {
+  ReplayReport report;
+  report.outcomes.resize(lines.size());
+  report.sent = static_cast<long long>(lines.size());
+  if (lines.empty()) {
+    report.ok = true;
+    report.combined_hash = 1469598103934665603ULL;
+    return report;
+  }
+
+  const int conns = std::max(1, std::min<int>(options.connections,
+                                              static_cast<int>(lines.size())));
+  std::vector<std::vector<std::size_t>> split(static_cast<std::size_t>(conns));
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    split[i % static_cast<std::size_t>(conns)].push_back(i);
+  }
+  std::vector<std::string> errors(static_cast<std::size_t>(conns));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(conns));
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      run_connection(lines, split[static_cast<std::size_t>(c)], options, &report.outcomes,
+                     &errors[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& e : errors) {
+    if (!e.empty() && report.error.empty()) report.error = e;
+  }
+  std::uint64_t combined = 1469598103934665603ULL;
+  for (const auto& o : report.outcomes) {
+    if (o.answered) ++report.answered;
+    combined ^= o.library_hash;
+    combined *= 1099511628211ULL;
+  }
+  report.combined_hash = combined;
+  report.ok = report.error.empty() && report.answered == report.sent;
+  return report;
+}
+
+}  // namespace cp::serve

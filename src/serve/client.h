@@ -1,0 +1,62 @@
+#pragma once
+// Pipelined NDJSON replay client of the TCP serving front-end
+// (docs/SERVING.md "Process architecture").
+//
+// Drives a trace (one request line per entry, the same files the offline
+// replay consumes) through a running front-end over a small pool of
+// connections. Requests are pipelined: each connection thread interleaves
+// nonblocking writes of its remaining lines with reads of whatever results
+// have arrived, so thousands of requests can be in flight at once without
+// thousands of sockets — this is how the bench reaches 10k+ concurrency
+// and how the chaos harness keeps pressure on while workers are killed.
+//
+// Results arrive in completion order and are matched back to their trace
+// slot by id, so the combined FNV hash over `library_hash` in *input*
+// order is comparable bit-for-bit with the offline replay's summary — the
+// cross-process determinism audit.
+//
+// Requirement on the trace: ids must be unique (duplicate-request load is
+// expressed as distinct ids with identical content, which also exercises
+// the worker caches the way real traffic would).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cp::serve {
+
+struct ReplayClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 4;       // parallel sockets; trace is split round-robin
+  int connect_timeout_ms = 5000;
+  int overall_timeout_ms = 600000;  // whole-replay budget per connection
+};
+
+/// Outcome of one replayed request (input order).
+struct ReplayOutcome {
+  std::string id;
+  std::string status;          // "ok", "failed", ... ("" = never answered)
+  std::uint64_t library_hash = 0;
+  bool cache_hit = false;
+  bool degraded = false;
+  bool answered = false;
+  double latency_ms = 0.0;  // send -> result on the wire
+};
+
+struct ReplayReport {
+  bool ok = false;        // transport-level success (every line answered)
+  std::string error;      // first transport error when !ok
+  long long sent = 0;
+  long long answered = 0;
+  std::uint64_t combined_hash = 0;  // FNV over library_hash, input order
+  std::vector<ReplayOutcome> outcomes;  // one per trace line, input order
+};
+
+/// Replay `lines` (complete request JSON lines, no trailing newline)
+/// against host:port. Blocks until every request is answered or a
+/// connection fails/times out.
+ReplayReport replay_over_tcp(const std::vector<std::string>& lines,
+                             const ReplayClientOptions& options);
+
+}  // namespace cp::serve

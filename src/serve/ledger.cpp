@@ -1,0 +1,183 @@
+#include "serve/ledger.h"
+
+#include <cstring>
+
+#include "obs/registry.h"
+#include "util/fs.h"
+
+namespace cp::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'P', 'S', 'J'};
+constexpr std::uint32_t kVersion = 1;
+constexpr char kAccept = 'A';
+constexpr char kComplete = 'C';
+// Framing overhead per record: u32 length + u32 crc.
+constexpr std::size_t kFrameBytes = 8;
+// Sanity cap on one record (ids are short; a huge length is corruption).
+constexpr std::uint32_t kMaxRecordBytes = 1 << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+RequestLedger::RequestLedger(std::string journal_path) {
+  if (journal_path.empty()) return;
+  journal_.open(journal_path, std::ios::binary | std::ios::trunc);
+  if (!journal_) {
+    journal_error_ = "ledger: cannot open journal '" + journal_path + "'";
+    return;
+  }
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  put_u32(header, kVersion);
+  append_record(header);
+}
+
+std::uint64_t RequestLedger::accept(const std::string& client_id, std::uint64_t content_hash) {
+  const std::uint64_t seq = next_seq_++;
+  ++accepted_;
+  open_.emplace(seq, client_id);
+  if (journal_.is_open()) {
+    std::string payload;
+    payload.push_back(kAccept);
+    put_u64(payload, seq);
+    put_u64(payload, content_hash);
+    put_u32(payload, static_cast<std::uint32_t>(client_id.size()));
+    payload.append(client_id);
+    append_record(payload);
+  }
+  return seq;
+}
+
+void RequestLedger::complete(std::uint64_t seq, std::string_view status) {
+  const auto it = open_.find(seq);
+  if (it == open_.end()) {
+    ++double_completes_;
+    obs::count("serve_net/ledger_double_complete");
+    return;
+  }
+  open_.erase(it);
+  ++completed_;
+  if (journal_.is_open()) {
+    std::string payload;
+    payload.push_back(kComplete);
+    put_u64(payload, seq);
+    put_u32(payload, static_cast<std::uint32_t>(status.size()));
+    payload.append(status);
+    append_record(payload);
+  }
+}
+
+std::vector<std::string> RequestLedger::unfinished_ids() const {
+  std::vector<std::string> out;
+  out.reserve(open_.size());
+  for (const auto& [seq, id] : open_) out.push_back(id);
+  return out;
+}
+
+void RequestLedger::flush() {
+  if (journal_.is_open()) journal_.flush();
+}
+
+void RequestLedger::append_record(std::string_view payload) {
+  if (!journal_.is_open()) return;
+  std::string frame;
+  frame.reserve(payload.size() + kFrameBytes);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload);
+  put_u32(frame, util::crc32(payload));
+  journal_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  journal_.flush();
+  if (!journal_ && journal_error_.empty()) {
+    journal_error_ = "ledger: journal write failed";
+    obs::count("serve_net/ledger_write_errors");
+  }
+}
+
+RequestLedger::Recovered RequestLedger::load(const std::string& path) {
+  Recovered out;
+  std::string data;
+  try {
+    data = util::read_file(path);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    return out;
+  }
+
+  std::unordered_map<std::uint64_t, std::string> open;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos + kFrameBytes <= data.size()) {
+    const std::uint32_t len = get_u32(data.data() + pos);
+    if (len > kMaxRecordBytes || pos + kFrameBytes + len > data.size()) {
+      out.torn_tail = true;
+      break;
+    }
+    const char* payload = data.data() + pos + 4;
+    const std::uint32_t crc = get_u32(payload + len);
+    if (util::crc32(std::string_view(payload, len)) != crc) {
+      out.torn_tail = true;  // torn or bit-rotted final record(s): stop here
+      break;
+    }
+    pos += kFrameBytes + len;
+
+    if (!saw_header) {
+      if (len != sizeof(kMagic) + 4 || std::memcmp(payload, kMagic, sizeof(kMagic)) != 0 ||
+          get_u32(payload + sizeof(kMagic)) != kVersion) {
+        out.error = "ledger: not a CPSJ journal: " + path;
+        return out;
+      }
+      saw_header = true;
+      continue;
+    }
+    if (len < 1) continue;
+    const char kind = payload[0];
+    if (kind == kAccept && len >= 1 + 8 + 8 + 4) {
+      const std::uint64_t seq = get_u64(payload + 1);
+      const std::uint32_t id_len = get_u32(payload + 17);
+      if (1 + 8 + 8 + 4 + id_len <= len) {
+        open.emplace(seq, std::string(payload + 21, id_len));
+        ++out.accepted;
+      }
+    } else if (kind == kComplete && len >= 1 + 8 + 4) {
+      const std::uint64_t seq = get_u64(payload + 1);
+      open.erase(seq);
+      ++out.completed;
+    }
+    // Unknown kinds are skipped: future writers stay loadable.
+  }
+  if (pos < data.size() && !out.torn_tail) out.torn_tail = true;
+  if (!saw_header) {
+    out.error = "ledger: empty or headerless journal: " + path;
+    return out;
+  }
+  for (auto& [seq, id] : open) out.unfinished_ids.push_back(std::move(id));
+  out.ok = true;
+  return out;
+}
+
+}  // namespace cp::serve

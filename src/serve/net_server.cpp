@@ -1,0 +1,413 @@
+#include "serve/net_server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "obs/registry.h"
+#include "serve/wire.h"
+#include "util/fs.h"
+#include "util/logging.h"
+
+namespace cp::serve {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point then,
+                std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+}  // namespace
+
+NetServer::NetServer(NetServerConfig config)
+    : config_(std::move(config)),
+      listener_(util::net::listen_tcp(config_.host, config_.port, config_.backlog, &port_)),
+      ledger_(config_.journal_path) {
+  util::net::set_cloexec(listener_.fd(), true);
+  WorkerPool::Handler handler;
+  handler.on_ready = [this](int) { write_state_file(); };
+  handler.on_result_line = [this](int shard, const std::string& line) {
+    on_worker_result(shard, line);
+  };
+  handler.on_down = [this](int shard, const std::string& why) { on_worker_down(shard, why); };
+  pool_ = std::make_unique<WorkerPool>(config_.worker_argv, config_.supervisor,
+                                       std::move(handler));
+}
+
+NetServer::~NetServer() = default;
+
+void NetServer::write_state_file() {
+  if (config_.state_file.empty()) return;
+  util::Json j;
+  j["port"] = static_cast<long long>(port_);
+  j["pid"] = static_cast<long long>(::getpid());
+  util::JsonArray pids;
+  for (const pid_t pid : pool_->pids()) pids.emplace_back(static_cast<long long>(pid));
+  j["workers"] = util::Json(std::move(pids));
+  j["alive"] = static_cast<long long>(pool_->shard_map().alive_count());
+  try {
+    util::atomic_write_file(config_.state_file, j.dump() + "\n");
+  } catch (const std::exception& e) {
+    CP_LOG_WARN << "serve front-end: state file: " << e.what();
+  }
+}
+
+int NetServer::run() {
+  pool_->start();
+  write_state_file();
+
+  std::vector<struct pollfd> fds;
+  while (!(draining_ && inflight_.empty())) {
+    fds.clear();
+    {
+      struct pollfd p;
+      p.fd = listener_.fd();
+      p.events = POLLIN;
+      p.revents = 0;
+      fds.push_back(p);
+    }
+    for (const auto& [id, conn] : conns_) {
+      struct pollfd p;
+      p.fd = conn.sock.fd();
+      p.events = static_cast<short>(POLLIN | (conn.outbuf.empty() ? 0 : POLLOUT));
+      p.revents = 0;
+      fds.push_back(p);
+    }
+    pool_->collect_pollfds(&fds);
+
+    const int timeout = std::min(pool_->next_timeout_ms(), 100);
+    ::poll(fds.data(), fds.size(), timeout);
+
+    accept_new();
+    // Service every connection (nonblocking reads make "try all" cheap and
+    // immune to pollfd/index bookkeeping bugs).
+    std::vector<long long> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    for (const long long id : ids) service_conn(id);
+
+    pool_->pump();
+    pool_->tick();
+
+    // Idle sweep: a quiet connection that is owed nothing is closed — the
+    // per-connection read timeout of the protocol.
+    const auto now = Clock::now();
+    for (const auto& [id, conn] : conns_) {
+      if (conn.owed == 0 && conn.outbuf.empty() &&
+          ms_since(conn.last_activity, now) > config_.idle_timeout_ms) {
+        obs::count("serve_net/idle_closed");
+        doomed_conns_.push_back(id);
+      }
+    }
+    for (const long long id : doomed_conns_) conns_.erase(id);
+    doomed_conns_.clear();
+  }
+
+  // Drained: every accepted request completed. Flush what clients are owed,
+  // then stop the workers.
+  for (auto& [id, conn] : conns_) {
+    if (!conn.outbuf.empty()) {
+      util::net::send_all(conn.sock.fd(), conn.outbuf, 1000);
+      conn.outbuf.clear();
+    }
+  }
+  conns_.clear();
+  pool_->shutdown(config_.drain_timeout_ms);
+  ledger_.flush();
+  write_state_file();
+  if (ledger_.outstanding() != 0) {
+    CP_LOG_WARN << "serve front-end: " << ledger_.outstanding()
+                << " accepted request(s) never completed (ledger leak)";
+    return 1;
+  }
+  return 0;
+}
+
+void NetServer::accept_new() {
+  for (;;) {
+    util::net::Socket sock;
+    const util::net::IoStatus st = util::net::accept_conn(listener_.fd(), &sock);
+    if (st != util::net::IoStatus::kOk) return;  // kAgain, or transient error
+    util::net::set_cloexec(sock.fd(), true);  // workers must not inherit clients
+    Conn conn;
+    conn.sock = std::move(sock);
+    conn.last_activity = Clock::now();
+    conns_.emplace(next_conn_id_++, std::move(conn));
+    obs::count("serve_net/connections");
+  }
+}
+
+void NetServer::service_conn(long long conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  char chunk[4096];
+  for (;;) {
+    std::size_t n = 0;
+    const util::net::IoStatus st = util::net::read_some(conn.sock.fd(), chunk, sizeof(chunk), &n);
+    if (st == util::net::IoStatus::kOk) {
+      conn.last_activity = Clock::now();
+      conn.inbuf.append(chunk, n);
+      std::string line;
+      while (conn.inbuf.next_line(&line)) {
+        if (!line.empty()) handle_client_line(conn_id, line);
+        if (conns_.find(conn_id) == conns_.end()) return;  // closed by a handler
+      }
+      if (conn.inbuf.pending() > config_.max_line_bytes) {
+        obs::count("serve_net/overlong_lines");
+        close_conn(conn_id);
+        return;
+      }
+      continue;
+    }
+    if (st == util::net::IoStatus::kAgain) break;
+    close_conn(conn_id);  // kClosed / kError: peer went away
+    return;
+  }
+  flush_conn(conn_id);
+}
+
+void NetServer::handle_client_line(long long conn_id, const std::string& line) {
+  // Control command? (Cheap check before the request parse: commands are
+  // rare, so probe only when the object has a "cmd" member.)
+  if (line.find("\"cmd\"") != std::string::npos) {
+    try {
+      const util::Json j = util::Json::parse(line);
+      if (j.is_object() && !j.get_string("cmd", "").empty()) {
+        handle_command(conn_id, j);
+        return;
+      }
+    } catch (const std::exception&) {
+      // fall through to the request path, which reports the parse error
+    }
+  }
+
+  ParsedRequest parsed = parse_request_line(line);
+  if (!parsed.ok) {
+    obs::count("serve_net/parse_errors");
+    std::string id;
+    try {
+      const util::Json j = util::Json::parse(line);
+      if (j.is_object()) id = j.get_string("id", "");
+    } catch (const std::exception&) {
+    }
+    reject(conn_id, id, "parse_error: " + parsed.error);
+    return;
+  }
+  GenerationRequest request = std::move(parsed.request);
+
+  // Admission control. Every rejection is a complete, well-formed result
+  // line — clients always get exactly one line per request line.
+  if (draining_) {
+    reject(conn_id, request.id, "shutting_down");
+    return;
+  }
+  if (config_.max_inflight > 0 &&
+      static_cast<long long>(inflight_.size()) >= config_.max_inflight) {
+    obs::count("serve_net/shed_load");
+    reject(conn_id, request.id, "shed_load");
+    return;
+  }
+  if (config_.tenant_quota > 0 && !request.tenant.empty() &&
+      tenant_inflight_[request.tenant] >= config_.tenant_quota) {
+    obs::count("serve_net/tenant_rejected");
+    reject(conn_id, request.id, "tenant_quota");
+    return;
+  }
+
+  const std::uint64_t key = request.content_hash();
+  const std::uint64_t seq = ledger_.accept(request.id, key);
+  Inflight inf;
+  inf.conn_id = conn_id;
+  inf.client_id = request.id;
+  inf.tenant = request.tenant;
+  inf.key = key;
+  inf.accepted_at = Clock::now();
+  inf.request = std::move(request);
+  inf.request.id = wire::internal_id(seq);
+  if (!inf.tenant.empty()) ++tenant_inflight_[inf.tenant];
+  inflight_.emplace(seq, std::move(inf));
+  auto conn = conns_.find(conn_id);
+  if (conn != conns_.end()) ++conn->second.owed;
+  obs::count("serve_net/accepted");
+  obs::gauge("serve_net/inflight", static_cast<double>(inflight_.size()));
+  dispatch(seq);
+}
+
+void NetServer::dispatch(std::uint64_t seq) {
+  Inflight& inf = inflight_.at(seq);
+  const int shard = pool_->shard_map().owner(inf.key);
+  if (shard < 0 || !pool_->send_request(shard, inf.request.to_json().dump())) {
+    synth_failure(seq, shard < 0 ? "no_workers" : "worker_unavailable");
+    return;
+  }
+  inf.shard = shard;
+}
+
+void NetServer::handle_command(long long conn_id, const util::Json& j) {
+  const std::string cmd = j.get_string("cmd", "");
+  if (cmd == "stats") {
+    util::Json reply_j;
+    reply_j["accepted"] = ledger_.accepted();
+    reply_j["completed"] = ledger_.completed();
+    reply_j["inflight"] = static_cast<long long>(inflight_.size());
+    reply_j["double_completes"] = ledger_.double_completes();
+    reply_j["workers"] = static_cast<long long>(pool_->shards());
+    reply_j["workers_alive"] = static_cast<long long>(pool_->shard_map().alive_count());
+    reply_j["worker_restarts"] = pool_->total_restarts();
+    reply_j["rolling_restart"] = pool_->rolling_restart_active();
+    reply(conn_id, reply_j.dump());
+    return;
+  }
+  if (cmd == "rolling_restart") {
+    pool_->rolling_restart();
+    reply(conn_id, "{\"ok\":true}");
+    return;
+  }
+  if (cmd == "shutdown") {
+    draining_ = true;
+    reply(conn_id, "{\"ok\":true}");
+    return;
+  }
+  reply(conn_id, "{\"error\":\"unknown cmd '" + cmd + "'\"}");
+}
+
+void NetServer::on_worker_result(int shard, const std::string& line) {
+  util::Json j;
+  try {
+    j = util::Json::parse(line);
+  } catch (const std::exception&) {
+    obs::count("serve_net/bad_result_lines");
+    CP_LOG_WARN << "serve front-end: unparseable result from shard " << shard;
+    return;  // the seq stays inflight; the watchdog owns a wedged worker
+  }
+  std::uint64_t seq = 0;
+  if (!j.is_object() || !wire::parse_internal_id(j.get_string("id", ""), &seq)) {
+    obs::count("serve_net/bad_result_lines");
+    return;
+  }
+  auto it = inflight_.find(seq);
+  if (it == inflight_.end()) {
+    obs::count("serve_net/orphan_results");
+    return;
+  }
+  Inflight& inf = it->second;
+  j["id"] = inf.client_id;
+  // A retried request survived a worker loss: the payload bits are the same
+  // (determinism contract) but the result must say the fault happened.
+  if (inf.retried) j["degraded"] = true;
+  finish(seq, j.dump(), j.get_string("status", "unknown").c_str());
+}
+
+void NetServer::on_worker_down(int shard, const std::string& why) {
+  obs::count("serve_net/worker_down_events");
+  write_state_file();
+  // Collect first: retrying mutates inflight_ entries and a synthesized
+  // failure erases them.
+  std::vector<std::uint64_t> lost;
+  for (const auto& [seq, inf] : inflight_) {
+    if (inf.shard == shard) lost.push_back(seq);
+  }
+  if (!lost.empty()) {
+    CP_LOG_WARN << "serve front-end: shard " << shard << " lost " << lost.size()
+                << " inflight request(s) (" << why << "); retrying on survivors";
+  }
+  for (const std::uint64_t seq : lost) {
+    Inflight& inf = inflight_.at(seq);
+    if (inf.retried) {
+      synth_failure(seq, "worker_lost_twice");
+      continue;
+    }
+    const int next = pool_->shard_map().owner(inf.key);  // dead shard excluded
+    if (next < 0) {
+      synth_failure(seq, "worker_lost_no_survivors");
+      continue;
+    }
+    inf.retried = true;
+    inf.shard = next;
+    // Never cached: the retried answer must not seed the survivor's cache
+    // with a payload the dead worker already half-owned.
+    inf.request.no_cache = true;
+    if (!pool_->send_request(next, inf.request.to_json().dump())) {
+      synth_failure(seq, "worker_lost_no_survivors");
+      continue;
+    }
+    obs::count("serve_net/retries");
+  }
+}
+
+void NetServer::finish(std::uint64_t seq, const std::string& result_line, const char* status) {
+  auto it = inflight_.find(seq);
+  if (it == inflight_.end()) return;
+  Inflight& inf = it->second;
+  ledger_.complete(seq, status);
+  if (!inf.tenant.empty()) {
+    auto t = tenant_inflight_.find(inf.tenant);
+    if (t != tenant_inflight_.end() && --t->second <= 0) tenant_inflight_.erase(t);
+  }
+  obs::count("serve_net/completed");
+  obs::observe("serve_net/request_ms", ms_since(inf.accepted_at, Clock::now()));
+  const long long conn_id = inf.conn_id;
+  inflight_.erase(it);
+  obs::gauge("serve_net/inflight", static_cast<double>(inflight_.size()));
+  auto conn = conns_.find(conn_id);
+  if (conn != conns_.end()) {
+    --conn->second.owed;
+    reply(conn_id, result_line);
+  }
+}
+
+void NetServer::synth_failure(std::uint64_t seq, const std::string& reason) {
+  const Inflight& inf = inflight_.at(seq);
+  GenerationResult result;
+  result.id = inf.client_id;
+  result.status = RequestStatus::kFailed;
+  result.reason = reason;
+  obs::count("serve_net/synth_failures");
+  finish(seq, result.to_json().dump(), "failed");
+}
+
+void NetServer::reject(long long conn_id, const std::string& id, const std::string& reason) {
+  GenerationResult result;
+  result.id = id;
+  result.status = RequestStatus::kRejected;
+  result.reason = reason;
+  reply(conn_id, result.to_json().dump());
+}
+
+void NetServer::reply(long long conn_id, const std::string& line) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  it->second.outbuf.append(line).append("\n");
+  flush_conn(conn_id);
+}
+
+void NetServer::flush_conn(long long conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  while (!conn.outbuf.empty()) {
+    std::size_t n = 0;
+    const util::net::IoStatus st = util::net::write_some(conn.sock.fd(), conn.outbuf, &n);
+    if (st == util::net::IoStatus::kOk) {
+      conn.outbuf.erase(0, n);
+      continue;
+    }
+    if (st == util::net::IoStatus::kAgain) return;  // poll() adds POLLOUT
+    close_conn(conn_id);
+    return;
+  }
+}
+
+void NetServer::close_conn(long long conn_id) {
+  // Orphan this connection's inflight work: the requests still complete
+  // (and the ledger still balances); only the delivery is dropped.
+  for (auto& [seq, inf] : inflight_) {
+    if (inf.conn_id == conn_id) inf.conn_id = -1;
+  }
+  conns_.erase(conn_id);
+}
+
+}  // namespace cp::serve

@@ -1,0 +1,137 @@
+#pragma once
+// TCP front-end of the multi-process serving tier (docs/SERVING.md
+// "Process architecture").
+//
+// One single-threaded poll() event loop owns everything: the listening
+// socket, every client connection, the worker channels (via WorkerPool) and
+// all timers. Single-threadedness is a correctness feature, not a
+// limitation — it makes fork() safe, removes every lock from the front-end,
+// and means a front-end data race is structurally impossible. The front-end
+// never computes: it parses, routes, and relays, so its event loop stays
+// responsive even when every worker is saturated.
+//
+// Protocol: NDJSON both ways, the same wire format as the offline replay
+// files. Clients write GenerationRequest lines and read GenerationResult
+// lines (completion order, matched by id); control objects
+// ({"cmd":"stats"}, {"cmd":"rolling_restart"}, {"cmd":"shutdown"}) get one
+// JSON reply line each.
+//
+// Request lifecycle:
+//   parse -> admission (global max_inflight => "shed_load"; per-tenant
+//   quota => "tenant_quota") -> ledger.accept(seq) -> id rewritten to
+//   "s<seq>" -> routed to shard = ShardMap::owner(content_hash) -> worker
+//   computes -> result relayed with the client id restored ->
+//   ledger.complete(seq).
+//
+// Worker loss: every request in flight on the dead shard is retried once
+// on the surviving owner of its key, re-sent with no_cache=true and its
+// relayed result forced degraded=true — a retried answer is bit-identical
+// (determinism contract) but must never seed any worker's cache nor
+// pretend the fault did not happen. A second loss, or no surviving shard,
+// synthesizes a kFailed result. Either way the ledger completes every
+// accepted seq exactly once: the front-end does not crash and does not
+// leak work, which is precisely what the chaos gate asserts.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/ledger.h"
+#include "serve/request.h"
+#include "serve/supervisor.h"
+#include "util/json.h"
+#include "util/net.h"
+
+namespace cp::serve {
+
+struct NetServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral (port() reports the bound one)
+  int backlog = 128;
+  std::size_t max_line_bytes = 1 << 20;  // per-connection framing cap
+  int idle_timeout_ms = 60000;  // close quiet connections with nothing owed
+  long long max_inflight = 16384;  // global admission cap; 0 = unlimited
+  long long tenant_quota = 0;      // per-tenant inflight cap; 0 = unlimited
+  int drain_timeout_ms = 15000;    // worker drain budget at shutdown
+  std::string journal_path;        // request ledger journal ("" = in-memory)
+  std::string state_file;  // live {port, pid, worker pids} JSON ("" = none)
+  SupervisorConfig supervisor;
+  std::vector<std::string> worker_argv;  // WorkerPool spawn command
+};
+
+class NetServer {
+ public:
+  /// Binds and listens (throws on failure); workers spawn in run().
+  explicit NetServer(NetServerConfig config);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  int port() const { return port_; }
+
+  /// The event loop. Returns once a {"cmd":"shutdown"} (or request_stop())
+  /// has been honoured and every accepted request has completed.
+  int run();
+
+  /// Ask the loop to drain and exit (idempotent; callable from a signal
+  /// handler — it only sets a flag).
+  void request_stop() { draining_ = true; }
+
+  const RequestLedger& ledger() const { return ledger_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Conn {
+    util::net::Socket sock;
+    util::net::LineBuffer inbuf;
+    std::string outbuf;
+    Clock::time_point last_activity{};
+    long long owed = 0;  // results not yet delivered to this connection
+  };
+
+  struct Inflight {
+    long long conn_id = -1;  // -1: connection gone, discard the result
+    std::string client_id;
+    std::string tenant;
+    std::uint64_t key = 0;
+    int shard = -1;
+    bool retried = false;
+    GenerationRequest request;  // kept for the one retry re-send
+    Clock::time_point accepted_at{};
+  };
+
+  void accept_new();
+  void service_conn(long long conn_id);
+  void handle_client_line(long long conn_id, const std::string& line);
+  void handle_command(long long conn_id, const util::Json& j);
+  void on_worker_result(int shard, const std::string& line);
+  void on_worker_down(int shard, const std::string& why);
+  void dispatch(std::uint64_t seq);  // route/send inflight_[seq]
+  void finish(std::uint64_t seq, const std::string& result_line, const char* status);
+  void reply(long long conn_id, const std::string& line);
+  void synth_failure(std::uint64_t seq, const std::string& reason);
+  void reject(long long conn_id, const std::string& id, const std::string& reason);
+  void flush_conn(long long conn_id);
+  void close_conn(long long conn_id);
+  void write_state_file();
+
+  NetServerConfig config_;
+  int port_ = 0;  // declared before listener_: listen_tcp writes into it
+  util::net::Socket listener_;
+  RequestLedger ledger_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  std::unordered_map<long long, Conn> conns_;
+  long long next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, Inflight> inflight_;  // ledger seq ->
+  std::unordered_map<std::string, long long> tenant_inflight_;
+  std::vector<long long> doomed_conns_;  // closed during this iteration
+  bool draining_ = false;
+};
+
+}  // namespace cp::serve

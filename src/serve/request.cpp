@@ -64,6 +64,8 @@ util::Json GenerationRequest::to_json() const {
   if (!source.empty()) j["source"] = source;
   if (priority != 1) j["priority"] = priority;
   if (deadline_ms > 0) j["deadline_ms"] = deadline_ms;
+  if (!tenant.empty()) j["tenant"] = tenant;
+  if (no_cache) j["no_cache"] = true;
   return j;
 }
 
@@ -115,6 +117,8 @@ GenerationRequest GenerationRequest::from_json(const util::Json& j) {
   r.source = j.get_string("source", "");
   r.priority = static_cast<int>(j.get_int("priority", 1));
   r.deadline_ms = j.get_number("deadline_ms", 0.0);
+  r.tenant = j.get_string("tenant", "");
+  r.no_cache = j.get_bool("no_cache", false);
   const std::string reason = validate(r);
   if (!reason.empty()) throw std::invalid_argument(reason);
   return r;
@@ -181,6 +185,7 @@ util::Json GenerationResult::to_json() const {
   j["cache_hit"] = cache_hit;
   if (deduped) j["deduped"] = true;
   if (degraded) j["degraded"] = true;
+  if (truncated) j["truncated"] = true;
   j["attempts"] = attempts;
   j["rounds"] = rounds;
   j["queue_wait_ms"] = queue_wait_ms;

@@ -35,6 +35,17 @@ struct GenerationRequest {
   std::string id;           // client-chosen, non-empty; used for cancellation
   int priority = 1;         // higher runs earlier; aged to prevent starvation
   double deadline_ms = 0;   // relative to admission; 0 = none
+  /// Accounting principal for the network front-end's per-tenant admission
+  /// quotas (serve/net_server.h); free-form, "" = the anonymous tenant.
+  /// Ignored by the in-process server. Not hashed: the same content served
+  /// to two tenants is still the same content.
+  std::string tenant;
+  /// Bypass the PatternCache entirely (no lookup, no insert). Set by the
+  /// front-end on requests it re-sends after losing a worker mid-flight:
+  /// per the degraded-serving convention (docs/ROBUSTNESS.md) an
+  /// interrupted request's payload is delivered but never cached. Not
+  /// hashed — it changes caching, never the payload.
+  bool no_cache = false;
 
   // -- content fields (hashed) --
   std::string style = "Layer-10001";  // condition label; resolved at submit
@@ -139,9 +150,14 @@ struct GenerationResult {
   bool deduped = false;     // payload shared with an identical in-batch twin
   /// True when at least one delivered sample came from the degraded-mode
   /// fallback generator after the primary's retry budget was exhausted
-  /// (docs/ROBUSTNESS.md). Degraded payloads are never cached: a later
-  /// identical request gets a fresh, non-degraded attempt.
+  /// (docs/ROBUSTNESS.md), or — at the network front-end — when the request
+  /// was re-run after a worker loss. Degraded payloads are never cached: a
+  /// later identical request gets a fresh, non-degraded attempt.
   bool degraded = false;
+  /// Store-retrieval only: the requested count exceeded the server's
+  /// ServerConfig::store_result_cap and the payload was clipped to the cap
+  /// (distinguishes "the cap bound the result" from "the store ran out").
+  bool truncated = false;
   long long attempts = 0;   // topologies sampled for this request
   int rounds = 0;           // generation rounds (>1 means legalization retries)
   double queue_wait_ms = 0; // admission -> batch formation

@@ -26,6 +26,7 @@ void complete_without_payload(PendingRequest& p, RequestStatus status, std::stri
 }  // namespace
 
 void fulfill(PendingRequest& pending, GenerationResult result) {
+  if (pending.on_result) pending.on_result(result);
   pending.promise.set_value(std::move(result));
   if (pending.on_complete) pending.on_complete();
 }

@@ -46,6 +46,10 @@ struct PendingRequest {
   GenerationRequest request;
   int condition = 0;  // resolved style index
   std::promise<GenerationResult> promise;
+  /// Invoked (if set) with the final result right before the promise is
+  /// fulfilled, on whichever thread completed the request — the push-style
+  /// completion channel of Server::submit's ResultCallback. Must not throw.
+  std::function<void(const GenerationResult&)> on_result;
   /// Invoked (if set) right after the promise is fulfilled, on whichever
   /// thread completed the request — the Server's outstanding-work hook.
   std::function<void()> on_complete;

@@ -49,10 +49,17 @@ Server::Server(const diffusion::TopologyGenerator& generator,
 
 Server::~Server() { shutdown(); }
 
-Server::Submitted Server::submit_impl(GenerationRequest request, bool blocking) {
+Server::Submitted Server::submit_impl(GenerationRequest request, bool blocking,
+                                      ResultCallback on_result) {
   Submitted out;
   std::promise<GenerationResult> promise;
   out.result = promise.get_future();
+  // Immediate completions (rejections, cache hits, store reads) bypass the
+  // queue, so the push-style callback fires here rather than in fulfill().
+  auto finish = [&](GenerationResult result) {
+    if (on_result) on_result(result);
+    promise.set_value(std::move(result));
+  };
 
   const std::string invalid = validate(request);
   if (!invalid.empty()) {
@@ -62,34 +69,24 @@ Server::Submitted Server::submit_impl(GenerationRequest request, bool blocking) 
     result.id = request.id;
     result.status = RequestStatus::kRejected;
     result.reason = out.reason;
-    promise.set_value(std::move(result));
+    finish(std::move(result));
     return out;
   }
   // Store-backed retrieval: answered synchronously from the attached
   // PatternStore's index — no sampling, no queue slot, and no cache entry
   // (the store may gain patterns between identical requests).
   if (request.source == "store") {
-    GenerationResult result;
-    result.id = request.id;
     if (config_.store == nullptr) {
       obs::count("serve/rejected_invalid");
       out.reason = "invalid: source 'store' but the server has no pattern store attached";
+      GenerationResult result;
+      result.id = request.id;
       result.status = RequestStatus::kRejected;
       result.reason = out.reason;
-      promise.set_value(std::move(result));
+      finish(std::move(result));
       return out;
     }
-    pattlib::Query query;
-    if (request.style != "*") query.style_tag = request.style;
-    query.limit = request.count;
-    auto payload = std::make_shared<GenerationPayload>();
-    payload->patterns = config_.store->patterns(config_.store->query(query));
-    result.status = static_cast<int>(payload->patterns.size()) == request.count
-                        ? RequestStatus::kOk
-                        : RequestStatus::kIncomplete;
-    result.payload = std::move(payload);
-    obs::count("serve/store_requests");
-    promise.set_value(std::move(result));
+    finish(store_lookup(request));
     out.admitted = true;
     return out;
   }
@@ -102,27 +99,32 @@ Server::Submitted Server::submit_impl(GenerationRequest request, bool blocking) 
     result.id = request.id;
     result.status = RequestStatus::kRejected;
     result.reason = out.reason;
-    promise.set_value(std::move(result));
+    finish(std::move(result));
     return out;
   }
 
-  // Fast path: a repeated request never touches the queue.
+  // Fast path: a repeated request never touches the queue. Requests marked
+  // no_cache (front-end worker-loss retries) skip the cache in both
+  // directions — see request.h.
   const std::uint64_t key = request.content_hash();
-  if (auto payload = cache_.lookup(key)) {
-    GenerationResult result;
-    result.id = request.id;
-    result.status = RequestStatus::kOk;
-    result.payload = std::move(payload);
-    result.cache_hit = true;
-    promise.set_value(std::move(result));
-    out.admitted = true;
-    return out;
+  if (!request.no_cache) {
+    if (auto payload = cache_.lookup(key)) {
+      GenerationResult result;
+      result.id = request.id;
+      result.status = RequestStatus::kOk;
+      result.payload = std::move(payload);
+      result.cache_hit = true;
+      finish(std::move(result));
+      out.admitted = true;
+      return out;
+    }
   }
 
   PendingRequest pending;
   pending.request = std::move(request);
   pending.condition = condition;
   pending.promise = std::move(promise);
+  pending.on_result = std::move(on_result);
   {
     std::lock_guard<std::mutex> lock(drain_mutex_);
     ++outstanding_;
@@ -137,6 +139,48 @@ Server::Submitted Server::submit_impl(GenerationRequest request, bool blocking) 
   out.admitted = admission.admitted;
   out.reason = admission.reason;
   return out;
+}
+
+GenerationResult Server::store_lookup(const GenerationRequest& request) {
+  GenerationResult result;
+  result.id = request.id;
+  pattlib::Query query;
+  if (request.style != "*") query.style_tag = request.style;
+  // Guard rail: clip the read to store_result_cap so one greedy request
+  // cannot materialize the whole library (docs/ROBUSTNESS.md).
+  long long limit = request.count;
+  if (config_.store_result_cap > 0 && limit > config_.store_result_cap) {
+    limit = config_.store_result_cap;
+    result.truncated = true;
+    obs::count("serve/store_truncated");
+  }
+  query.limit = static_cast<int>(limit);
+  util::Rng jitter(request.content_hash());
+  util::RetryStats stats;
+  try {
+    auto payload = std::make_shared<GenerationPayload>();
+    payload->patterns = util::retry_call(
+        config_.store_retry, jitter,
+        [&] {
+          util::fault::point("pattlib/query");
+          return config_.store->patterns(config_.store->query(query));
+        },
+        &stats);
+    if (stats.attempts > 1) obs::count("serve/store_retries", stats.attempts - 1);
+    result.status = static_cast<long long>(payload->patterns.size()) >= request.count
+                        ? RequestStatus::kOk
+                        : RequestStatus::kIncomplete;
+    result.payload = std::move(payload);
+    obs::count("serve/store_requests");
+  } catch (const std::exception& e) {
+    // A corrupt or faulting store fails THIS request; it never throws
+    // through submit into the caller.
+    if (stats.attempts > 1) obs::count("serve/store_retries", stats.attempts - 1);
+    obs::count("serve/store_errors");
+    result.status = RequestStatus::kFailed;
+    result.reason = std::string("store error: ") + e.what();
+  }
+  return result;
 }
 
 void Server::drain() {
@@ -259,7 +303,7 @@ void Server::execute_batch(std::vector<PendingRequest> batch) {
     a.key = pending.request.content_hash();
     a.budget = config_.max_attempts_per_pattern * pending.request.count + 64;
     a.pending = std::move(pending);
-    if (auto payload = cache_.lookup(a.key)) {
+    if (auto payload = a.pending.request.no_cache ? nullptr : cache_.lookup(a.key)) {
       GenerationResult result;
       result.id = a.pending.request.id;
       result.status = RequestStatus::kOk;
@@ -446,7 +490,8 @@ void Server::execute_batch(std::vector<PendingRequest> batch) {
     const bool full = static_cast<int>(payload->size()) >= a.pending.request.count;
     // A degraded payload is never cached: a later identical request should
     // get a fresh shot at the primary generator, not a stale fallback.
-    if (full && !a.degraded) cache_.insert(a.key, payload);
+    // no_cache requests (front-end worker-loss retries) never publish either.
+    if (full && !a.degraded && !a.pending.request.no_cache) cache_.insert(a.key, payload);
     if (a.rounds > 1) obs::count("serve/legalize_retries", a.rounds - 1);
 
     GenerationResult result;

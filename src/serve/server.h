@@ -90,6 +90,14 @@ struct ServerConfig {
   /// attached they are rejected. The store must not be mutated while the
   /// server is accepting requests (see pattlib/pattern_store.h thread model).
   const pattlib::PatternStore* store = nullptr;
+  /// Store-retrieval guard rails (docs/ROBUSTNESS.md): the query limit is
+  /// clipped to `store_result_cap` (result marked truncated when the cap
+  /// binds; 0 = uncapped), the read runs under `store_retry` with the
+  /// `pattlib/query` fault point, and an exhausted retry budget completes
+  /// the request as kFailed (counted under `serve/store_errors`) instead of
+  /// throwing through submit.
+  long long store_result_cap = 1024;
+  util::RetryPolicy store_retry;
 };
 
 class Server {
@@ -112,13 +120,20 @@ class Server {
     std::future<GenerationResult> result;
   };
 
+  /// Completion hook for push-style consumers (the multi-process worker
+  /// loop): invoked exactly once per submitted request, on whichever thread
+  /// completes it, right before the future becomes ready. Must not throw.
+  using ResultCallback = std::function<void(const GenerationResult&)>;
+
   /// Blocking admission (backpressure): waits for a queue slot. Rejected
   /// only when the request is invalid or the server is shutting down.
-  Submitted submit(GenerationRequest request) { return submit_impl(std::move(request), true); }
+  Submitted submit(GenerationRequest request, ResultCallback on_result = nullptr) {
+    return submit_impl(std::move(request), true, std::move(on_result));
+  }
 
   /// Non-blocking admission: a full queue rejects with reason "queue_full".
-  Submitted try_submit(GenerationRequest request) {
-    return submit_impl(std::move(request), false);
+  Submitted try_submit(GenerationRequest request, ResultCallback on_result = nullptr) {
+    return submit_impl(std::move(request), false, std::move(on_result));
   }
 
   /// Cancel a still-queued request (false once it is in flight or done).
@@ -160,7 +175,8 @@ class Server {
     std::vector<std::uint8_t> failed;
   };
 
-  Submitted submit_impl(GenerationRequest request, bool blocking);
+  Submitted submit_impl(GenerationRequest request, bool blocking, ResultCallback on_result);
+  GenerationResult store_lookup(const GenerationRequest& request);
   void dispatch_loop();
   void execute_batch(std::vector<PendingRequest> batch);
   void complete(PendingRequest pending, GenerationResult result);

@@ -1,0 +1,48 @@
+#include "serve/shard.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace cp::serve {
+
+ShardMap::ShardMap(int shards) {
+  if (shards <= 0) throw std::invalid_argument("ShardMap: shards must be positive");
+  alive_.assign(static_cast<std::size_t>(shards), 0);
+}
+
+void ShardMap::set_alive(int shard, bool alive) {
+  alive_.at(static_cast<std::size_t>(shard)) = alive ? 1 : 0;
+}
+
+int ShardMap::alive_count() const {
+  int n = 0;
+  for (const std::uint8_t a : alive_) n += a;
+  return n;
+}
+
+std::uint64_t ShardMap::weight(std::uint64_t key, int shard) {
+  // Distinct avalanche stream per shard: the golden-ratio salt keeps the
+  // per-shard streams decorrelated, splitmix64 does the mixing.
+  std::uint64_t state =
+      key ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(shard) + 1));
+  return util::splitmix64(state);
+}
+
+int ShardMap::owner(std::uint64_t key) const { return owner_excluding(key, -1); }
+
+int ShardMap::owner_excluding(std::uint64_t key, int excluded) const {
+  int best = -1;
+  std::uint64_t best_weight = 0;
+  for (int s = 0; s < shards(); ++s) {
+    if (alive_[static_cast<std::size_t>(s)] == 0 || s == excluded) continue;
+    const std::uint64_t w = weight(key, s);
+    if (best < 0 || w > best_weight || (w == best_weight && s < best)) {
+      best = s;
+      best_weight = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace cp::serve

@@ -1,0 +1,48 @@
+#pragma once
+// Consistent-hash shard map of the multi-process serving tier
+// (docs/SERVING.md "Process architecture").
+//
+// Requests are routed to worker processes by rendezvous (highest-random-
+// weight) hashing of their content hash: owner(key) is the alive shard
+// whose mixed weight(key, shard) is largest. Two properties matter here:
+//
+//   * stability — identical requests always land on the same worker while
+//     the alive set is unchanged, so each worker's PatternCache owns a
+//     disjoint slice of the key space and repeated requests keep hitting;
+//   * minimal movement — when a worker dies, only the keys it owned move
+//     (each to its second-highest weight); every other key keeps its
+//     owner, so a crash does not flush the surviving caches.
+//
+// The map is a pure function of (key, alive set): the front-end and any
+// test can predict routing without talking to the workers.
+
+#include <cstdint>
+#include <vector>
+
+namespace cp::serve {
+
+class ShardMap {
+ public:
+  /// `shards` slots, all initially dead (workers announce readiness).
+  explicit ShardMap(int shards);
+
+  int shards() const { return static_cast<int>(alive_.size()); }
+  void set_alive(int shard, bool alive);
+  bool alive(int shard) const { return alive_[static_cast<std::size_t>(shard)] != 0; }
+  int alive_count() const;
+
+  /// Owning shard of `key` among the alive set; -1 when none are alive.
+  int owner(std::uint64_t key) const;
+
+  /// Owner of `key` with `excluded` treated as dead — the retry target
+  /// after losing a worker mid-request. -1 when no other shard is alive.
+  int owner_excluding(std::uint64_t key, int excluded) const;
+
+  /// The rendezvous weight (pure; exposed for tests).
+  static std::uint64_t weight(std::uint64_t key, int shard);
+
+ private:
+  std::vector<std::uint8_t> alive_;
+};
+
+}  // namespace cp::serve

@@ -1,0 +1,377 @@
+#include "serve/supervisor.h"
+
+#include <signal.h>
+
+#include <algorithm>
+
+#include "obs/registry.h"
+#include "serve/wire.h"
+#include "util/logging.h"
+
+namespace cp::serve {
+
+namespace {
+
+/// Result lines are small; anything past this on a worker channel is a
+/// framing bug and the worker is killed rather than buffered without bound.
+constexpr std::size_t kMaxWorkerLineBytes = 1 << 20;
+
+int ms_since(std::chrono::steady_clock::time_point then,
+             std::chrono::steady_clock::time_point now) {
+  return static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - then).count());
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(std::vector<std::string> spawn_argv, SupervisorConfig config,
+                       Handler handler)
+    : spawn_argv_(std::move(spawn_argv)),
+      config_(config),
+      handler_(std::move(handler)),
+      shards_(config.workers),
+      workers_(static_cast<std::size_t>(config.workers)) {
+  util::net::ignore_sigpipe();
+}
+
+WorkerPool::~WorkerPool() {
+  for (auto& w : workers_) {
+    if (w.pid > 0) {
+      util::kill_process(w.pid, SIGKILL);
+      util::wait_process(w.pid);
+      w.pid = -1;
+    }
+  }
+}
+
+void WorkerPool::start() {
+  for (int i = 0; i < shards(); ++i) spawn(i);
+}
+
+void WorkerPool::spawn(int shard) {
+  Worker& w = workers_[static_cast<std::size_t>(shard)];
+  auto [parent_end, child_end] = util::net::socketpair_stream();
+  // Parent end: nonblocking for the event loop, CLOEXEC so the *next*
+  // spawned sibling does not inherit this worker's channel.
+  util::net::set_nonblocking(parent_end.fd(), true);
+  util::net::set_cloexec(parent_end.fd(), true);
+
+  std::vector<std::string> argv = spawn_argv_;
+  argv.push_back("--worker-fd");
+  argv.push_back(std::to_string(child_end.fd()));
+  argv.push_back("--shard");
+  argv.push_back(std::to_string(shard));
+
+  std::string error;
+  const pid_t pid = util::spawn_process(argv, &error);
+  // child_end closes here either way: the child inherited its own copy.
+  if (pid < 0) {
+    CP_LOG_WARN << "serve supervisor: spawn shard " << shard << " failed: " << error;
+    obs::count("serve_net/spawn_failures");
+    w.state = State::kDown;
+    w.respawn_at = Clock::now() + std::chrono::milliseconds(std::min(
+                                      config_.backoff_max_ms,
+                                      config_.backoff_base_ms << std::min(w.fail_streak, 10)));
+    ++w.fail_streak;
+    return;
+  }
+  if (w.started_once) ++restarts_;
+  w.started_once = true;
+  w.pid = pid;
+  w.channel = std::move(parent_end);
+  w.inbuf.clear();
+  w.outbuf.clear();
+  w.state = State::kStarting;
+  w.spawned_at = Clock::now();
+  w.last_line = w.spawned_at;
+  w.last_result = w.spawned_at;
+  w.inflight = 0;
+  obs::count("serve_net/worker_spawns");
+}
+
+void WorkerPool::kill_worker(int shard, const std::string& why, bool backoff) {
+  Worker& w = workers_[static_cast<std::size_t>(shard)];
+  if (w.state == State::kDown) return;
+  CP_LOG_WARN << "serve supervisor: shard " << shard << " down: " << why;
+  if (w.pid > 0) {
+    util::kill_process(w.pid, SIGKILL);  // also frees a SIGSTOPped worker
+    util::wait_process(w.pid);
+    w.pid = -1;
+  }
+  w.channel.reset();
+  w.inbuf.clear();
+  w.outbuf.clear();
+  w.state = State::kDown;
+  w.inflight = 0;
+  shards_.set_alive(shard, false);
+  obs::count("serve_net/worker_deaths");
+  const auto now = Clock::now();
+  if (backoff) {
+    const int delay = std::min(config_.backoff_max_ms,
+                               config_.backoff_base_ms << std::min(w.fail_streak, 10));
+    ++w.fail_streak;
+    w.respawn_at = now + std::chrono::milliseconds(delay);
+  } else {
+    w.respawn_at = now;  // clean drain: respawn immediately
+  }
+  if (handler_.on_down) handler_.on_down(shard, why);
+}
+
+void WorkerPool::handle_line(int shard, const std::string& line) {
+  Worker& w = workers_[static_cast<std::size_t>(shard)];
+  w.last_line = Clock::now();
+  switch (wire::classify_worker_line(line)) {
+    case wire::WorkerLine::kHeartbeat:
+      return;
+    case wire::WorkerLine::kReady:
+      if (w.state == State::kStarting) {
+        w.state = State::kReady;
+        w.last_result = w.last_line;
+        shards_.set_alive(shard, true);
+        if (handler_.on_ready) handler_.on_ready(shard);
+      }
+      return;
+    case wire::WorkerLine::kDrained:
+      if (w.state == State::kDraining) {
+        w.outbuf.append(wire::kStopCmd).append("\n");
+        flush_out(shard);
+      }
+      return;
+    case wire::WorkerLine::kResult:
+      w.last_result = w.last_line;
+      if (w.inflight > 0) --w.inflight;
+      if (handler_.on_result_line) handler_.on_result_line(shard, line);
+      return;
+  }
+}
+
+void WorkerPool::flush_out(int shard) {
+  Worker& w = workers_[static_cast<std::size_t>(shard)];
+  while (!w.outbuf.empty() && w.channel.valid()) {
+    std::size_t n = 0;
+    const util::net::IoStatus st = util::net::write_some(w.channel.fd(), w.outbuf, &n);
+    if (st == util::net::IoStatus::kOk) {
+      w.outbuf.erase(0, n);
+      continue;
+    }
+    if (st == util::net::IoStatus::kAgain) return;  // poll() for POLLOUT
+    kill_worker(shard, "channel write error", /*backoff=*/true);
+    return;
+  }
+}
+
+void WorkerPool::collect_pollfds(std::vector<struct pollfd>* fds) const {
+  for (const auto& w : workers_) {
+    if (!w.channel.valid()) continue;
+    struct pollfd p;
+    p.fd = w.channel.fd();
+    p.events = static_cast<short>(POLLIN | (w.outbuf.empty() ? 0 : POLLOUT));
+    p.revents = 0;
+    fds->push_back(p);
+  }
+}
+
+void WorkerPool::pump() {
+  char chunk[4096];
+  for (int shard = 0; shard < shards(); ++shard) {
+    Worker& w = workers_[static_cast<std::size_t>(shard)];
+    if (!w.channel.valid()) continue;
+    // Read everything currently available.
+    for (;;) {
+      std::size_t n = 0;
+      const util::net::IoStatus st = util::net::read_some(w.channel.fd(), chunk, sizeof(chunk), &n);
+      if (st == util::net::IoStatus::kOk) {
+        w.inbuf.append(chunk, n);
+        std::string line;
+        while (w.channel.valid() && w.inbuf.next_line(&line)) handle_line(shard, line);
+        if (!w.channel.valid()) break;  // a callback killed this worker
+        if (w.inbuf.pending() > kMaxWorkerLineBytes) {
+          kill_worker(shard, "unframed channel (line too long)", /*backoff=*/true);
+          break;
+        }
+        continue;
+      }
+      if (st == util::net::IoStatus::kAgain) break;
+      // kClosed / kError: the process is gone or dying; reap + reroute now.
+      kill_worker(shard, "channel closed", /*backoff=*/true);
+      break;
+    }
+    if (w.channel.valid()) flush_out(shard);
+  }
+}
+
+void WorkerPool::tick() {
+  const auto now = Clock::now();
+
+  // Reap exits the channel has not already surfaced.
+  util::ExitStatus status;
+  pid_t pid;
+  while ((pid = util::reap_any(&status)) > 0) {
+    for (int shard = 0; shard < shards(); ++shard) {
+      Worker& w = workers_[static_cast<std::size_t>(shard)];
+      if (w.pid != pid) continue;
+      w.pid = -1;  // already reaped; kill_worker must not wait again
+      const bool clean = w.state == State::kDraining && status.exited && status.code == 0;
+      kill_worker(shard, clean ? "drained" : "exit: " + status.describe(), /*backoff=*/!clean);
+      break;
+    }
+  }
+
+  for (int shard = 0; shard < shards(); ++shard) {
+    Worker& w = workers_[static_cast<std::size_t>(shard)];
+    switch (w.state) {
+      case State::kStarting:
+        if (ms_since(w.spawned_at, now) > config_.startup_timeout_ms) {
+          obs::count("serve_net/startup_timeouts");
+          kill_worker(shard, "startup timeout", /*backoff=*/true);
+        }
+        break;
+      case State::kReady:
+      case State::kDraining:
+        if (ms_since(w.last_line, now) > config_.heartbeat_timeout_ms) {
+          obs::count("serve_net/heartbeat_timeouts");
+          kill_worker(shard, "heartbeat timeout", /*backoff=*/true);
+          break;
+        }
+        if (w.inflight > 0 && ms_since(w.last_result, now) > config_.watchdog_ms) {
+          obs::count("serve_net/watchdog_kills");
+          kill_worker(shard, "request watchdog (no progress)", /*backoff=*/true);
+          break;
+        }
+        if (w.state == State::kReady && w.fail_streak > 0 &&
+            ms_since(w.spawned_at, now) > config_.min_uptime_ms) {
+          w.fail_streak = 0;  // healthy again: future crashes restart fast
+        }
+        break;
+      case State::kDown:
+        if (!shut_down_ && now >= w.respawn_at) spawn(shard);
+        break;
+    }
+  }
+
+  // Rolling restart: cycle one shard at a time, never reducing capacity by
+  // more than one worker.
+  if (rolling_next_ >= 0) {
+    if (rolling_draining_ >= 0) {
+      const Worker& w = workers_[static_cast<std::size_t>(rolling_draining_)];
+      if (w.state == State::kReady) {  // back up: advance to the next shard
+        rolling_draining_ = -1;
+        ++rolling_next_;
+      }
+    }
+    if (rolling_draining_ < 0) {
+      while (rolling_next_ >= 0 && rolling_next_ < shards()) {
+        Worker& w = workers_[static_cast<std::size_t>(rolling_next_)];
+        if (w.state == State::kReady) {
+          w.outbuf.append(wire::kDrainCmd).append("\n");
+          w.state = State::kDraining;
+          shards_.set_alive(rolling_next_, false);  // route new work elsewhere
+          flush_out(rolling_next_);
+          rolling_draining_ = rolling_next_;
+          break;
+        }
+        ++rolling_next_;  // down/still starting: skip (a restart is free)
+      }
+      if (rolling_next_ >= shards()) {
+        rolling_next_ = -1;
+        rolling_draining_ = -1;
+        obs::count("serve_net/rolling_restarts_done");
+      }
+    }
+  }
+}
+
+int WorkerPool::next_timeout_ms() const {
+  const auto now = Clock::now();
+  int timeout = 1000;
+  auto consider = [&](int remaining) { timeout = std::max(1, std::min(timeout, remaining)); };
+  for (const auto& w : workers_) {
+    switch (w.state) {
+      case State::kStarting:
+        consider(config_.startup_timeout_ms - ms_since(w.spawned_at, now));
+        break;
+      case State::kReady:
+      case State::kDraining:
+        consider(config_.heartbeat_timeout_ms - ms_since(w.last_line, now));
+        if (w.inflight > 0) consider(config_.watchdog_ms - ms_since(w.last_result, now));
+        break;
+      case State::kDown:
+        consider(ms_since(now, w.respawn_at));
+        break;
+    }
+  }
+  return timeout;
+}
+
+bool WorkerPool::send_request(int shard, const std::string& line) {
+  if (shard < 0 || shard >= shards()) return false;
+  Worker& w = workers_[static_cast<std::size_t>(shard)];
+  if (w.state != State::kReady) return false;
+  w.outbuf.append(line).append("\n");
+  // The watchdog measures "time since last progress"; an idle worker's
+  // last_result goes stale, so restart the clock on the idle->busy edge or
+  // the first request after a long idle period would be judged instantly.
+  if (w.inflight == 0) w.last_result = Clock::now();
+  ++w.inflight;
+  flush_out(shard);
+  // flush_out can kill the worker on a write error; report honestly.
+  return w.state == State::kReady;
+}
+
+void WorkerPool::rolling_restart() {
+  if (rolling_next_ >= 0 || shut_down_) return;
+  rolling_next_ = 0;
+  rolling_draining_ = -1;
+  obs::count("serve_net/rolling_restarts");
+}
+
+void WorkerPool::shutdown(int timeout_ms) {
+  if (shut_down_) return;
+  shut_down_ = true;
+  rolling_next_ = -1;
+  rolling_draining_ = -1;
+  for (int shard = 0; shard < shards(); ++shard) {
+    Worker& w = workers_[static_cast<std::size_t>(shard)];
+    if (w.state == State::kReady || w.state == State::kStarting) {
+      w.outbuf.append(wire::kDrainCmd).append("\n");
+      w.state = State::kDraining;
+      shards_.set_alive(shard, false);
+      flush_out(shard);
+    }
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool any_up = false;
+    for (const auto& w : workers_) any_up = any_up || w.state != State::kDown;
+    if (!any_up || Clock::now() >= deadline) break;
+    std::vector<struct pollfd> fds;
+    collect_pollfds(&fds);
+    if (!fds.empty()) ::poll(fds.data(), fds.size(), 50);
+    pump();
+    tick();
+  }
+  for (int shard = 0; shard < shards(); ++shard) {
+    if (workers_[static_cast<std::size_t>(shard)].state != State::kDown) {
+      kill_worker(shard, "shutdown timeout", /*backoff=*/true);
+    }
+  }
+}
+
+bool WorkerPool::ready(int shard) const {
+  return shard >= 0 && shard < shards() &&
+         workers_[static_cast<std::size_t>(shard)].state == State::kReady;
+}
+
+long long WorkerPool::inflight(int shard) const {
+  if (shard < 0 || shard >= shards()) return 0;
+  return workers_[static_cast<std::size_t>(shard)].inflight;
+}
+
+std::vector<pid_t> WorkerPool::pids() const {
+  std::vector<pid_t> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) out.push_back(w.state == State::kDown ? -1 : w.pid);
+  return out;
+}
+
+}  // namespace cp::serve

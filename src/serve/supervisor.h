@@ -1,0 +1,163 @@
+#pragma once
+// Worker-process supervision for the serving front-end (docs/SERVING.md
+// "Process architecture", docs/ROBUSTNESS.md "Worker supervision").
+//
+// The WorkerPool owns N forked worker processes, one per shard. Each worker
+// is spawned by re-exec'ing this binary (spec.argv + "--worker-fd K
+// --shard I"): the channel is an AF_UNIX socketpair whose child end is
+// inherited by fd number, and whose parent end is nonblocking + CLOEXEC so
+// sibling workers never inherit each other's channels.
+//
+// The pool is event-loop state, not a thread: the single-threaded front-end
+// calls collect_pollfds() before poll(), pump() after it, and tick() on
+// every iteration. Keeping the supervisor single-threaded is what makes
+// fork() safe here.
+//
+// Health model (all timers in tick()):
+//   * liveness   — a READY worker that writes nothing (heartbeat or result)
+//     for heartbeat_timeout_ms is presumed stopped (SIGSTOP, livelock) and
+//     is SIGKILLed. Workers heartbeat every ~200ms from a dedicated thread,
+//     so this fires only when the whole process is frozen.
+//   * progress   — a READY worker with inflight requests that produces no
+//     result line for watchdog_ms is wedged (or silently dropping results —
+//     fault point `serve_net/worker_result`) and is SIGKILLed. This is
+//     progress-based on purpose: a deep queue under load keeps producing
+//     *some* results, so the watchdog does not false-positive under load.
+//   * startup    — a spawned worker must emit {"ready":true} within
+//     startup_timeout_ms (generous: workers train their backend first).
+//   * exits      — reaped via waitpid(WNOHANG); any exit of a non-draining
+//     worker is a crash.
+// Every death fires Handler::on_down (the front-end re-routes that shard's
+// inflight requests) and schedules a respawn with exponential backoff
+// (base·2^streak, capped; the streak resets after min_uptime_ms of healthy
+// uptime, so a worker that crashes only occasionally restarts fast).
+//
+// Rolling restart drains shards one at a time: drain cmd -> {"drained":true}
+// -> stop cmd -> clean exit -> immediate respawn -> wait ready -> next
+// shard. At most one shard is down at any moment and its queue was empty,
+// so no accepted work is lost (the ledger audits exactly this).
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+
+#include "serve/shard.h"
+#include "util/net.h"
+#include "util/subprocess.h"
+
+namespace cp::serve {
+
+struct SupervisorConfig {
+  int workers = 2;
+  int heartbeat_timeout_ms = 2000;  // silence after ready => presumed dead
+  int startup_timeout_ms = 120000;  // spawn -> ready (includes training)
+  int watchdog_ms = 20000;          // inflight but no result => wedged
+  int backoff_base_ms = 100;        // restart delay = base * 2^streak
+  int backoff_max_ms = 5000;
+  int min_uptime_ms = 5000;  // uptime that resets the failure streak
+};
+
+class WorkerPool {
+ public:
+  /// Event callbacks into the front-end. All fire from pump()/tick() on the
+  /// event-loop thread.
+  struct Handler {
+    /// Worker `shard` announced {"ready":true}; routing may include it.
+    std::function<void(int shard)> on_ready;
+    /// A result NDJSON line from `shard` (control lines are consumed
+    /// internally).
+    std::function<void(int shard, const std::string& line)> on_result_line;
+    /// Worker `shard` died or was killed (`why` is diagnostic). Its channel
+    /// is closed and the shard is already marked dead — the front-end must
+    /// re-route whatever it had in flight there.
+    std::function<void(int shard, const std::string& why)> on_down;
+  };
+
+  /// `spawn_argv` is the worker command line minus the per-shard suffix;
+  /// the pool appends "--worker-fd <fd> --shard <i>" at spawn time.
+  WorkerPool(std::vector<std::string> spawn_argv, SupervisorConfig config, Handler handler);
+  ~WorkerPool();  // SIGKILL + reap everything still running
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spawn every worker. Call once before the event loop.
+  void start();
+
+  /// Append worker-channel pollfds (POLLIN always, POLLOUT when a write is
+  /// buffered) for the front-end's poll() call.
+  void collect_pollfds(std::vector<struct pollfd>* fds) const;
+
+  /// Drain readable/writable worker channels; fires handler callbacks.
+  void pump();
+
+  /// Timers: reap exits, heartbeat/startup/watchdog checks, backoff
+  /// respawns, rolling-restart progression. Call every loop iteration.
+  void tick();
+
+  /// Upper bound on how long the event loop may sleep before a pool timer
+  /// could fire (milliseconds; always in (0, 1000]).
+  int next_timeout_ms() const;
+
+  /// Queue one request line for `shard` and count it inflight. False when
+  /// the shard is not ready (caller re-routes or fails the request).
+  bool send_request(int shard, const std::string& line);
+
+  /// Begin a rolling restart (no-op if one is already running).
+  void rolling_restart();
+  bool rolling_restart_active() const { return rolling_next_ >= 0; }
+
+  /// Graceful shutdown: drain+stop every worker, wait up to `timeout_ms`,
+  /// SIGKILL stragglers, reap all. The pool is dead afterwards.
+  void shutdown(int timeout_ms);
+
+  const ShardMap& shard_map() const { return shards_; }
+  int shards() const { return shards_.shards(); }
+  bool ready(int shard) const;
+  long long inflight(int shard) const;
+  long long total_restarts() const { return restarts_; }
+  /// Live worker pids, -1 for down shards (chaos harness targets these).
+  std::vector<pid_t> pids() const;
+
+ private:
+  enum class State { kDown, kStarting, kReady, kDraining };
+  using Clock = std::chrono::steady_clock;
+
+  struct Worker {
+    pid_t pid = -1;
+    util::net::Socket channel;  // parent end: nonblocking, CLOEXEC
+    util::net::LineBuffer inbuf;
+    std::string outbuf;  // unsent bytes (channel buffer full)
+    State state = State::kDown;
+    Clock::time_point spawned_at{};
+    Clock::time_point last_line{};     // any line: liveness marker
+    Clock::time_point last_result{};   // result lines only: progress marker
+    Clock::time_point respawn_at{};    // kDown: when backoff expires
+    long long inflight = 0;
+    int fail_streak = 0;
+    bool started_once = false;  // respawn (vs first spawn) accounting
+  };
+
+  void spawn(int shard);
+  void kill_worker(int shard, const std::string& why, bool backoff);
+  void handle_line(int shard, const std::string& line);
+  void flush_out(int shard);
+
+  std::vector<std::string> spawn_argv_;
+  SupervisorConfig config_;
+  Handler handler_;
+  ShardMap shards_;
+  std::vector<Worker> workers_;
+  long long restarts_ = 0;
+  int rolling_next_ = -1;      // next shard to cycle; -1 = no rolling restart
+  int rolling_draining_ = -1;  // shard currently mid-cycle; -1 = none
+  bool shut_down_ = false;
+};
+
+}  // namespace cp::serve

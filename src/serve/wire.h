@@ -1,0 +1,69 @@
+#pragma once
+// Wire protocol of the supervisor <-> worker channel and the client-facing
+// control lines (docs/SERVING.md "Process architecture").
+//
+// Everything on every stream is NDJSON — one JSON object per '\n'-separated
+// line — so the worker channel, the TCP client protocol and the offline
+// replay files all share one framing. Three line families:
+//
+//   * requests / results: serve::GenerationRequest / GenerationResult wire
+//     forms (request.h). The front-end rewrites request ids to "s<seq>"
+//     before forwarding so worker-side ids are unique across clients, and
+//     restores the client id on the way back.
+//   * worker control: exact-prefix lines the worker emits on its channel
+//     ({"hb":N} heartbeats, {"ready":true} after its Server is up,
+//     {"drained":true} after a graceful drain) and commands the supervisor
+//     sends it ({"cmd":"drain"}, {"cmd":"stop"}).
+//   * client control: {"cmd":"stats"} / {"cmd":"shutdown"} /
+//     {"cmd":"rolling_restart"} on a client TCP connection.
+//
+// Worker-emitted control lines are classified by exact prefix match, not a
+// JSON parse: the worker writes them itself, so the format is canonical by
+// construction and the front-end stays cheap on its per-line hot path.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cp::serve::wire {
+
+// -- worker -> supervisor ---------------------------------------------------
+inline constexpr std::string_view kHeartbeatPrefix = "{\"hb\":";
+inline constexpr std::string_view kReadyLine = "{\"ready\":true}";
+inline constexpr std::string_view kDrainedLine = "{\"drained\":true}";
+
+// -- supervisor -> worker ---------------------------------------------------
+inline constexpr std::string_view kDrainCmd = "{\"cmd\":\"drain\"}";
+inline constexpr std::string_view kStopCmd = "{\"cmd\":\"stop\"}";
+
+/// Kinds of line a worker writes on its channel.
+enum class WorkerLine { kResult, kHeartbeat, kReady, kDrained };
+
+inline WorkerLine classify_worker_line(std::string_view line) {
+  if (line.size() >= kHeartbeatPrefix.size() &&
+      line.substr(0, kHeartbeatPrefix.size()) == kHeartbeatPrefix) {
+    return WorkerLine::kHeartbeat;
+  }
+  if (line == kReadyLine) return WorkerLine::kReady;
+  if (line == kDrainedLine) return WorkerLine::kDrained;
+  return WorkerLine::kResult;
+}
+
+/// The internal id the front-end forwards for ledger sequence `seq`.
+inline std::string internal_id(std::uint64_t seq) { return "s" + std::to_string(seq); }
+
+/// Parse an internal id back to its sequence. False when `id` is not of
+/// internal form (defensive: a worker never invents ids).
+inline bool parse_internal_id(std::string_view id, std::uint64_t* seq) {
+  if (id.size() < 2 || id[0] != 's') return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = 1; i < id.size(); ++i) {
+    const char c = id[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace cp::serve::wire

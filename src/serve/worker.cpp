@@ -1,0 +1,151 @@
+#include "serve/worker.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+#include "serve/wire.h"
+#include "util/fault.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/net.h"
+
+namespace cp::serve {
+
+namespace {
+
+/// Serialized writer of the worker channel: the main loop, the heartbeat
+/// thread and the Server's completion threads all emit lines. A failed or
+/// timed-out write poisons the channel (`ok()` false) — the supervisor is
+/// gone or wedged, and the worker's only sane move is to exit.
+class ChannelWriter {
+ public:
+  ChannelWriter(int fd, int timeout_ms) : fd_(fd), timeout_ms_(timeout_ms) {}
+
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (failed_) return;
+    const util::net::IoStatus st = util::net::send_all(fd_, line + "\n", timeout_ms_);
+    if (st != util::net::IoStatus::kOk) {
+      failed_ = true;
+      CP_LOG_WARN << "serve worker: channel write failed (" << util::net::to_string(st) << ")";
+    }
+  }
+
+  bool ok() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !failed_;
+  }
+
+ private:
+  int fd_;
+  int timeout_ms_;
+  mutable std::mutex mutex_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+int run_worker(const diffusion::TopologyGenerator& generator,
+               std::vector<const legalize::Legalizer*> legalizers, ServerConfig config,
+               const WorkerOptions& options) {
+  util::net::ignore_sigpipe();
+  ChannelWriter writer(options.channel_fd, options.write_timeout_ms);
+  Server server(generator, std::move(legalizers), config);
+
+  // Heartbeats start before `ready` so a worker wedged inside its very
+  // first request still beats; the supervisor only *arms* the heartbeat
+  // timeout once it has seen the ready line.
+  std::atomic<bool> stop_heartbeat{false};
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+  std::thread heartbeat;
+  if (options.heartbeat_ms > 0) {
+    heartbeat = std::thread([&] {
+      std::uint64_t n = 0;
+      std::unique_lock<std::mutex> lock(hb_mutex);
+      while (!stop_heartbeat.load()) {
+        writer.write_line("{\"hb\":" + std::to_string(++n) + "}");
+        hb_cv.wait_for(lock, std::chrono::milliseconds(options.heartbeat_ms),
+                       [&] { return stop_heartbeat.load(); });
+      }
+    });
+  }
+  auto join_heartbeat = [&] {
+    stop_heartbeat.store(true);
+    hb_cv.notify_all();
+    if (heartbeat.joinable()) heartbeat.join();
+  };
+
+  writer.write_line(std::string(wire::kReadyLine));
+
+  // Completion path: push each result over the channel as it finishes. The
+  // fault point simulates a worker that computes but never reports — the
+  // logical wedge only the front-end's request watchdog can recover.
+  auto on_result = [&writer](const GenerationResult& result) {
+    try {
+      util::fault::point("serve_net/worker_result");
+    } catch (const std::exception&) {
+      obs::count("serve_net/worker_result_dropped");
+      return;  // line dropped; the supervisor's watchdog owns recovery
+    }
+    writer.write_line(result.to_json().dump());
+  };
+
+  util::net::LineReader reader(options.channel_fd);
+  std::string line;
+  int exit_code = 0;
+  for (;;) {
+    if (!writer.ok()) {
+      exit_code = 3;
+      break;
+    }
+    // Wake periodically so a poisoned writer is noticed even on an idle
+    // channel.
+    const util::net::IoStatus st = reader.read_line(&line, 1000);
+    if (st == util::net::IoStatus::kTimeout) continue;
+    if (st != util::net::IoStatus::kOk) {
+      // Channel closed: the supervisor died or dropped us. Nothing to
+      // report to; exit without draining (the front-end re-routes).
+      exit_code = st == util::net::IoStatus::kClosed ? 0 : 3;
+      break;
+    }
+    if (line.empty()) continue;
+    if (line == wire::kStopCmd) break;
+    if (line == wire::kDrainCmd) {
+      server.drain();
+      writer.write_line(std::string(wire::kDrainedLine));
+      continue;
+    }
+    ParsedRequest parsed = parse_request_line(line);
+    if (!parsed.ok) {
+      // Defensive: the front-end validates before forwarding, so this is a
+      // framing bug — answer it anyway so no seq is left unaccounted.
+      obs::count("serve_net/worker_parse_errors");
+      GenerationResult result;
+      try {
+        const util::Json j = util::Json::parse(line);
+        if (j.is_object()) result.id = j.get_string("id", "");
+      } catch (const std::exception&) {
+        // not even JSON; id stays empty
+      }
+      result.status = RequestStatus::kRejected;
+      result.reason = "parse_error: " + parsed.error;
+      writer.write_line(result.to_json().dump());
+      continue;
+    }
+    // Blocking admission: the socketpair buffer is the front-end's queue
+    // ahead of this one, and backpressure propagating into it is fine —
+    // the front-end never blocks on worker writes.
+    server.submit(std::move(parsed.request), on_result);
+  }
+
+  join_heartbeat();
+  server.shutdown();
+  return exit_code;
+}
+
+}  // namespace cp::serve

@@ -1,0 +1,48 @@
+#pragma once
+// Worker-process main loop of the multi-process serving tier
+// (docs/SERVING.md "Process architecture").
+//
+// A worker is one forked+exec'd chatpattern_serve process that owns a full
+// serve::Server (its own dispatcher thread, thread pool and PatternCache —
+// fault isolation is the point: a crash here kills one shard's cache, not
+// the front-end). It speaks NDJSON on a single inherited socketpair fd:
+//
+//   in:  request lines (GenerationRequest wire form, ids rewritten to
+//        "s<seq>" by the front-end) and control commands
+//        ({"cmd":"drain"}, {"cmd":"stop"}).
+//   out: result lines (GenerationResult wire form), {"ready":true} once the
+//        Server is constructed, {"hb":N} heartbeats from a dedicated thread,
+//        and {"drained":true} after a drain command completes.
+//
+// Results are pushed from the Server's completion threads via the
+// ResultCallback submit hook — the worker never blocks on futures, so a
+// single slow request cannot stall the channel. All channel writes share
+// one mutex (dispatcher thread, heartbeat thread and the main loop all
+// write). The fault point `serve_net/worker_result` guards each result
+// write: an injected fault drops the line (the request "completes" but the
+// supervisor never hears), which is exactly the logical wedge the request
+// watchdog exists to catch.
+
+#include <vector>
+
+#include "serve/server.h"
+
+namespace cp::serve {
+
+struct WorkerOptions {
+  int channel_fd = -1;       // inherited supervisor channel (blocking ok)
+  int shard = 0;             // this worker's shard index (logs/diagnostics)
+  int heartbeat_ms = 200;    // heartbeat period; <= 0 disables heartbeats
+  int write_timeout_ms = 10000;  // per-line channel write budget
+};
+
+/// Run the worker loop until the channel closes or a stop command arrives.
+/// Returns a process exit code: 0 = clean stop/drain, 3 = channel failure.
+/// `generator` / `legalizers` / `config` are the same Server inputs the
+/// single-process replay uses — every worker trains the same deterministic
+/// backend, so routing never changes payload bits.
+int run_worker(const diffusion::TopologyGenerator& generator,
+               std::vector<const legalize::Legalizer*> legalizers, ServerConfig config,
+               const WorkerOptions& options);
+
+}  // namespace cp::serve

@@ -1,0 +1,282 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+namespace cp::util::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::string(strerror(errno)));
+}
+
+/// Remaining budget of a deadline started `timeout_ms` ago; -1 passes
+/// through (wait forever), and an elapsed budget clamps to 0 so poll()
+/// still makes one nonblocking check.
+int remaining_ms(Clock::time_point start, int timeout_ms) {
+  if (timeout_ms < 0) return -1;
+  const auto spent =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start).count();
+  const long long left = static_cast<long long>(timeout_ms) - spent;
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+IoStatus poll_one(int fd, short events, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) {
+      // POLLERR/POLLHUP surface through the subsequent read/write, which
+      // reports the precise condition (EOF vs errno).
+      return IoStatus::kOk;
+    }
+    if (rc == 0) return IoStatus::kTimeout;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+void Socket::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kAgain: return "again";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kClosed: return "closed";
+    case IoStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+bool set_cloexec(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | FD_CLOEXEC) : (flags & ~FD_CLOEXEC);
+  return ::fcntl(fd, F_SETFD, next) == 0;
+}
+
+Socket listen_tcp(const std::string& host, int port, int backlog, int* bound_port) {
+  ignore_sigpipe();
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("net: socket");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: bad listen host '" + host + "' (want IPv4 dotted quad)");
+  }
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("net: bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), backlog) != 0) throw_errno("net: listen");
+  if (bound_port != nullptr) {
+    struct sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<struct sockaddr*>(&bound), &len) != 0) {
+      throw_errno("net: getsockname");
+    }
+    *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  if (!set_nonblocking(sock.fd(), true)) throw_errno("net: nonblocking listener");
+  return sock;
+}
+
+IoStatus accept_conn(int listen_fd, Socket* out) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      if (!set_nonblocking(fd, true)) return IoStatus::kError;
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = std::move(sock);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kAgain;
+    // Transient per-connection accept failures (ECONNABORTED, EMFILE...)
+    // are the caller's retry decision, not a listener death.
+    return IoStatus::kError;
+  }
+}
+
+Socket connect_tcp(const std::string& host, int port, int timeout_ms) {
+  ignore_sigpipe();
+  const auto start = Clock::now();
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("net: socket");
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: bad host '" + host + "' (want IPv4 dotted quad)");
+  }
+  if (!set_nonblocking(sock.fd(), true)) throw_errno("net: nonblocking connect");
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) == 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS || errno == EALREADY) {
+      const IoStatus st = poll_writable(sock.fd(), remaining_ms(start, timeout_ms));
+      if (st == IoStatus::kTimeout) {
+        throw std::runtime_error("net: connect " + host + ":" + std::to_string(port) +
+                                 ": timed out");
+      }
+      if (st != IoStatus::kOk) throw_errno("net: connect poll");
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        throw_errno("net: connect getsockopt");
+      }
+      if (err != 0) {
+        errno = err;
+        throw_errno("net: connect " + host + ":" + std::to_string(port));
+      }
+      break;
+    }
+    if (errno == EISCONN) break;
+    throw_errno("net: connect " + host + ":" + std::to_string(port));
+  }
+  if (!set_nonblocking(sock.fd(), false)) throw_errno("net: blocking connect socket");
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+std::pair<Socket, Socket> socketpair_stream() {
+  ignore_sigpipe();
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) throw_errno("net: socketpair");
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+IoStatus poll_readable(int fd, int timeout_ms) { return poll_one(fd, POLLIN, timeout_ms); }
+IoStatus poll_writable(int fd, int timeout_ms) { return poll_one(fd, POLLOUT, timeout_ms); }
+
+IoStatus read_some(int fd, char* buf, std::size_t cap, std::size_t* n_read) {
+  *n_read = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, cap);
+    if (n > 0) {
+      *n_read = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kAgain;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus write_some(int fd, std::string_view data, std::size_t* n_written) {
+  *n_written = 0;
+  if (data.empty()) return IoStatus::kOk;
+  for (;;) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n >= 0) {
+      *n_written = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kAgain;
+    return IoStatus::kError;  // EPIPE included — SIGPIPE is ignored
+  }
+}
+
+IoStatus send_all(int fd, std::string_view data, int timeout_ms) {
+  ignore_sigpipe();
+  const auto start = Clock::now();
+  while (!data.empty()) {
+    std::size_t n = 0;
+    const IoStatus st = write_some(fd, data, &n);
+    if (st == IoStatus::kOk) {
+      data.remove_prefix(n);
+      continue;
+    }
+    if (st == IoStatus::kAgain) {
+      const IoStatus wait = poll_writable(fd, remaining_ms(start, timeout_ms));
+      if (wait == IoStatus::kTimeout) return IoStatus::kTimeout;
+      if (wait != IoStatus::kOk) return wait;
+      continue;
+    }
+    return st;
+  }
+  return IoStatus::kOk;
+}
+
+bool LineBuffer::next_line(std::string* line) {
+  const std::size_t pos = buf_.find('\n');
+  if (pos == std::string::npos) return false;
+  line->assign(buf_, 0, pos);
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  buf_.erase(0, pos + 1);
+  return true;
+}
+
+IoStatus LineReader::read_line(std::string* line, int timeout_ms) {
+  const auto start = Clock::now();
+  char chunk[4096];
+  for (;;) {
+    if (buffer_.next_line(line)) return IoStatus::kOk;
+    if (buffer_.pending() > max_line_) return IoStatus::kError;  // unframed stream
+    // Poll before reading: the fd may be blocking (worker channels are), and
+    // a bare read() would ignore the deadline entirely.
+    const IoStatus wait = poll_readable(fd_, remaining_ms(start, timeout_ms));
+    if (wait == IoStatus::kTimeout) return IoStatus::kTimeout;
+    if (wait != IoStatus::kOk) return wait;
+    std::size_t n = 0;
+    const IoStatus st = read_some(fd_, chunk, sizeof(chunk), &n);
+    if (st == IoStatus::kOk) {
+      buffer_.append(chunk, n);
+      continue;
+    }
+    if (st == IoStatus::kAgain) continue;  // spurious wakeup
+    return st;  // kClosed / kError
+  }
+}
+
+}  // namespace cp::util::net

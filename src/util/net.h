@@ -1,0 +1,152 @@
+#pragma once
+// POSIX socket primitives for the multi-process serving tier
+// (docs/SERVING.md "Process architecture").
+//
+// Everything here is deliberately low-level and allocation-light: RAII fd
+// ownership, EINTR/EAGAIN-correct read/write loops, poll-based timeouts,
+// and newline-delimited framing for the NDJSON wire format. SIGPIPE is a
+// process-wide hazard of socket servers — a peer that disappears between
+// poll() and write() turns the write into a fatal signal — so every entry
+// point that can write calls ignore_sigpipe() (idempotent, thread-safe)
+// and failures surface as ordinary IoStatus::kError returns instead.
+//
+// Two I/O styles, matching the two process roles:
+//   * the front-end event loop runs every fd nonblocking and multiplexes
+//     with poll() (read_some / write_some / LineBuffer);
+//   * workers and replay clients own one stream each and use the blocking
+//     helpers (send_all / LineReader::read_line) whose waits are poll-based
+//     so a per-call timeout is always honoured.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cp::util::net {
+
+/// Ignore SIGPIPE process-wide (idempotent; safe from any thread). Called
+/// by every helper that may write to a socket, so binaries need no wiring.
+void ignore_sigpipe();
+
+/// Move-only RAII wrapper of a file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { reset(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Close now (idempotent). EINTR on close is not retried (POSIX leaves
+  /// the fd state unspecified; retrying risks closing a reused fd).
+  void reset();
+  /// Give up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one I/O step.
+enum class IoStatus {
+  kOk,       // made progress
+  kAgain,    // nonblocking fd has nothing right now
+  kTimeout,  // poll deadline elapsed
+  kClosed,   // orderly EOF / peer closed
+  kError,    // errno-level failure (connection reset, bad fd, ...)
+};
+
+const char* to_string(IoStatus s);
+
+/// O_NONBLOCK on/off. Returns false on fcntl failure.
+bool set_nonblocking(int fd, bool on);
+/// FD_CLOEXEC on/off. Returns false on fcntl failure.
+bool set_cloexec(int fd, bool on);
+
+/// Bind + listen on host:port (IPv4 dotted or "0.0.0.0"). `port` 0 picks an
+/// ephemeral port; *bound_port receives the actual one. SO_REUSEADDR is set.
+/// Throws std::runtime_error with errno context on failure.
+Socket listen_tcp(const std::string& host, int port, int backlog, int* bound_port);
+
+/// Accept one connection from a (nonblocking) listener. kAgain when none
+/// pending. The accepted socket is returned nonblocking.
+IoStatus accept_conn(int listen_fd, Socket* out);
+
+/// Connect to host:port, waiting up to timeout_ms for the handshake.
+/// Throws std::runtime_error on failure/timeout. The socket is blocking.
+Socket connect_tcp(const std::string& host, int port, int timeout_ms);
+
+/// A connected AF_UNIX stream pair (supervisor <-> worker channel). Both
+/// ends are blocking, CLOEXEC off — callers set per-end flags themselves.
+/// Throws std::runtime_error on failure.
+std::pair<Socket, Socket> socketpair_stream();
+
+/// Wait until `fd` is readable. -1 = wait forever.
+IoStatus poll_readable(int fd, int timeout_ms);
+/// Wait until `fd` is writable. -1 = wait forever.
+IoStatus poll_writable(int fd, int timeout_ms);
+
+/// One nonblocking-friendly read. Returns kOk and sets *n_read (> 0),
+/// kAgain (nonblocking fd drained), kClosed (EOF) or kError. EINTR retried.
+IoStatus read_some(int fd, char* buf, std::size_t cap, std::size_t* n_read);
+
+/// One nonblocking-friendly write of as much as the kernel takes. Returns
+/// kOk and sets *n_written (>= 0; 0 only when data is empty), kAgain, or
+/// kError (EPIPE lands here thanks to ignore_sigpipe). EINTR retried.
+IoStatus write_some(int fd, std::string_view data, std::size_t* n_written);
+
+/// Blocking write of the whole buffer with poll-based waits; EINTR/EAGAIN
+/// are absorbed. -1 = no timeout. kTimeout means a *partial* write may have
+/// happened — callers treat the stream as poisoned and close it.
+IoStatus send_all(int fd, std::string_view data, int timeout_ms);
+
+/// Newline framing over an append buffer. Lines are '\n'-separated;
+/// trailing '\r' is stripped (telnet-friendly). No length limit of its own —
+/// callers enforce one via pending().
+class LineBuffer {
+ public:
+  void append(const char* data, std::size_t n) { buf_.append(data, n); }
+  /// Extract the next complete line into *line (without the newline).
+  bool next_line(std::string* line);
+  /// Bytes buffered without a completing newline yet.
+  std::size_t pending() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Blocking line reader over one fd (worker / replay-client side).
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::size_t max_line_bytes = 1 << 20)
+      : fd_(fd), max_line_(max_line_bytes) {}
+
+  /// Next line, waiting up to timeout_ms (-1 = forever). kOk fills *line;
+  /// kClosed = EOF with no buffered line left; a line exceeding the cap is
+  /// kError (protocol violation, the stream is unframed from here on).
+  IoStatus read_line(std::string* line, int timeout_ms);
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  LineBuffer buffer_;
+};
+
+}  // namespace cp::util::net

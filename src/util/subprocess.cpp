@@ -1,0 +1,128 @@
+#include "util/subprocess.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/strings.h"
+
+namespace cp::util {
+
+namespace {
+
+ExitStatus from_wait_status(int wstatus) {
+  ExitStatus st;
+  if (WIFEXITED(wstatus)) {
+    st.exited = true;
+    st.code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    st.signaled = true;
+    st.signal = WTERMSIG(wstatus);
+  }
+  return st;
+}
+
+}  // namespace
+
+std::string ExitStatus::describe() const {
+  if (exited) return format("exit %d", code);
+  if (signaled) {
+    const char* name = strsignal(signal);
+    return format("signal %d (%s)", signal, name != nullptr ? name : "?");
+  }
+  return "unknown";
+}
+
+std::string self_exe_path(const std::string& fallback) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return fallback;
+}
+
+pid_t spawn_process(const std::vector<std::string>& argv, std::string* error) {
+  if (argv.empty()) {
+    if (error != nullptr) *error = "spawn: empty argv";
+    return -1;
+  }
+  // Build the exec vector BEFORE forking: the child must not allocate.
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error != nullptr) *error = std::string("spawn: fork: ") + strerror(errno);
+    return -1;
+  }
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    _exit(127);  // exec failed; only async-signal-safe calls on this path
+  }
+  return pid;
+}
+
+bool try_wait(pid_t pid, ExitStatus* status) {
+  int wstatus = 0;
+  for (;;) {
+    const pid_t rc = ::waitpid(pid, &wstatus, WNOHANG);
+    if (rc == pid) {
+      if (status != nullptr) *status = from_wait_status(wstatus);
+      return true;
+    }
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    // ECHILD: nothing of ours by that pid — report a synthetic failure so
+    // supervisors treat it as gone rather than spinning.
+    if (status != nullptr) {
+      *status = ExitStatus{};
+      status->exited = true;
+      status->code = 127;
+    }
+    return true;
+  }
+}
+
+ExitStatus wait_process(pid_t pid) {
+  int wstatus = 0;
+  for (;;) {
+    const pid_t rc = ::waitpid(pid, &wstatus, 0);
+    if (rc == pid) return from_wait_status(wstatus);
+    if (rc < 0 && errno == EINTR) continue;
+    ExitStatus st;
+    st.exited = true;
+    st.code = 127;
+    return st;
+  }
+}
+
+pid_t reap_any(ExitStatus* status) {
+  int wstatus = 0;
+  for (;;) {
+    const pid_t rc = ::waitpid(-1, &wstatus, WNOHANG);
+    if (rc > 0) {
+      if (status != nullptr) *status = from_wait_status(wstatus);
+      return rc;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return -1;  // no reapable children (or none exist)
+  }
+}
+
+bool kill_process(pid_t pid, int sig) {
+  if (pid <= 0) return false;  // never signal process groups by accident
+  return ::kill(pid, sig) == 0;
+}
+
+bool process_alive(pid_t pid) {
+  if (pid <= 0) return false;
+  return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+}  // namespace cp::util

@@ -1,0 +1,57 @@
+#pragma once
+// Child-process control for the serving supervisor (docs/SERVING.md).
+//
+// Thin, explicit wrappers over fork/exec/waitpid/kill. The supervisor is
+// deliberately single-threaded, so plain fork() is safe here; the child
+// execs immediately (no allocation between fork and exec beyond the argv
+// that was prepared before forking). A failed exec exits with code 127,
+// the shell convention, which the supervisor reports as a spawn failure.
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace cp::util {
+
+/// Exit information of a reaped child.
+struct ExitStatus {
+  bool exited = false;    // normal _exit / return from main
+  int code = 0;           // exit code when `exited`
+  bool signaled = false;  // killed by a signal
+  int signal = 0;         // the signal when `signaled`
+
+  /// Human-readable "exit 0" / "signal 9 (SIGKILL)".
+  std::string describe() const;
+};
+
+/// Absolute path of the running executable (/proc/self/exe). Falls back to
+/// `fallback` (typically argv[0]) when the proc link is unreadable.
+std::string self_exe_path(const std::string& fallback = "");
+
+/// fork + execv. `argv[0]` is the binary path. File descriptors are
+/// inherited by number (callers mark supervisor-private fds CLOEXEC).
+/// Returns the child pid, or -1 with *error filled. The child _exit(127)s
+/// when exec fails.
+pid_t spawn_process(const std::vector<std::string>& argv, std::string* error);
+
+/// Non-blocking reap of a specific child. True when the child was reaped
+/// (status filled); false while it is still running. A vanished/foreign
+/// pid reaps as {exited, code 127}.
+bool try_wait(pid_t pid, ExitStatus* status);
+
+/// Blocking reap of a specific child.
+ExitStatus wait_process(pid_t pid);
+
+/// Reap any exited child without blocking. Returns the pid (status filled)
+/// or -1 when none are reapable.
+pid_t reap_any(ExitStatus* status);
+
+/// Send `sig` to `pid`. False when the signal cannot be delivered (ESRCH —
+/// already gone — included).
+bool kill_process(pid_t pid, int sig);
+
+/// True while `pid` exists (kill(pid, 0) semantics).
+bool process_alive(pid_t pid);
+
+}  // namespace cp::util

@@ -110,6 +110,33 @@ TEST(RequestQueue, ExpiredDeadlinesCompleteWithoutDispatch) {
   EXPECT_EQ(expired.future.get().status, RequestStatus::kDeadlineExpired);
 }
 
+TEST(RequestQueue, DeadlineExpiredMidBatchCompletesPromiseExactlyOnce) {
+  // Regression: a request whose deadline passes while a batch is being
+  // assembled is completed as kDeadlineExpired by expire_locked — and must
+  // not be completed a second time by a later pop, cancel, or the queue
+  // destructor (a double promise.set_value throws std::future_error).
+  Handle doomed, alive;
+  int completions = 0;
+  {
+    RequestQueue queue(8);
+    PendingRequest p = make_pending("doomed", doomed, 1, /*deadline_ms=*/1.0);
+    p.on_complete = [&completions] { ++completions; };
+    ASSERT_TRUE(queue.try_enqueue(std::move(p)).admitted);
+    queue.try_enqueue(make_pending("alive", alive, 1, /*deadline_ms=*/0));
+    std::this_thread::sleep_for(10ms);
+    const std::vector<PendingRequest> batch = queue.pop_batch(8, 0us);
+    ASSERT_EQ(batch.size(), 1u);  // expired, no dispatch
+    EXPECT_EQ(batch[0].request.id, "alive");
+    ASSERT_EQ(doomed.future.wait_for(0s), std::future_status::ready);
+    EXPECT_EQ(doomed.future.get().status, RequestStatus::kDeadlineExpired);
+    EXPECT_EQ(completions, 1);
+    EXPECT_FALSE(queue.cancel("doomed"));          // already gone
+    queue.close();
+    EXPECT_TRUE(queue.pop_batch(8, 0us).empty());  // still gone: shutdown signal
+  }  // destructor must not touch the already-completed promise
+  EXPECT_EQ(completions, 1);
+}
+
 TEST(RequestQueue, CancelRemovesQueuedRequest) {
   RequestQueue queue(8);
   Handle h1, h2;

@@ -120,6 +120,85 @@ TEST(ServeStress, CancellationRacesDispatch) {
   server.drain();
 }
 
+TEST(ServeStress, DeadlineExpiryRacesCancellationAndDrain) {
+  // Three-way race on the RequestQueue, built for the TSAN configuration:
+  // producers enqueue with tiny deadlines, a canceller sweeps ids, a
+  // consumer pops batches, and close() lands mid-stream. Every promise must
+  // complete exactly once (a double set_value throws std::future_error and
+  // fails the test through the on_complete counter).
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 64;
+  constexpr int kTotal = kProducers * kPerProducer;
+  RequestQueue queue(16);
+  std::vector<std::future<GenerationResult>> futures(kTotal);
+  std::atomic<int> completions{0};
+  std::atomic<int> admitted{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int slot = p * kPerProducer + i;
+        PendingRequest pending;
+        pending.request.id = "r" + std::to_string(slot);
+        pending.request.rows = pending.request.cols = 16;
+        // Half the requests carry a deadline short enough to expire while
+        // queued under contention; the rest have none.
+        pending.request.deadline_ms = (i % 2 == 0) ? 0.5 : 0.0;
+        pending.promise = std::promise<GenerationResult>();
+        futures[static_cast<std::size_t>(slot)] = pending.promise.get_future();
+        pending.on_complete = [&completions] { completions.fetch_add(1); };
+        pending.admitted_at = Clock::now();
+        if (queue.enqueue_wait(std::move(pending)).admitted) admitted.fetch_add(1);
+      }
+    });
+  }
+  std::thread canceller([&] {
+    for (int slot = 0; slot < kTotal; ++slot) {
+      queue.cancel("r" + std::to_string(slot));
+      if (slot % 16 == 0) std::this_thread::yield();
+    }
+  });
+  std::atomic<bool> stop_consumer{false};
+  std::atomic<int> dispatched{0};
+  std::thread consumer([&] {
+    while (!stop_consumer.load()) {
+      std::vector<PendingRequest> batch = queue.pop_batch(4, std::chrono::microseconds(100));
+      if (batch.empty() && queue.closed()) break;
+      for (PendingRequest& p : batch) {
+        GenerationResult r;
+        r.status = RequestStatus::kOk;
+        fulfill(p, std::move(r));
+        dispatched.fetch_add(1);
+      }
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  queue.close();  // drain: consumer keeps popping until empty, then exits
+  consumer.join();
+  stop_consumer.store(true);
+  canceller.join();
+
+  // Every admitted request completed exactly once, through exactly one of
+  // the three exits (dispatch, deadline expiry, cancellation); rejected
+  // ones (post-close producers) also completed via the rejection path.
+  int ok = 0, expired = 0, cancelled = 0, rejected = 0;
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.valid());
+    const GenerationResult r = f.get();
+    switch (r.status) {
+      case RequestStatus::kOk: ++ok; break;
+      case RequestStatus::kDeadlineExpired: ++expired; break;
+      case RequestStatus::kCancelled: ++cancelled; break;
+      case RequestStatus::kRejected: ++rejected; break;
+      default: FAIL() << "unexpected status " << to_string(r.status);
+    }
+  }
+  EXPECT_EQ(ok + expired + cancelled + rejected, kTotal);
+  EXPECT_EQ(ok, dispatched.load());
+  EXPECT_EQ(completions.load(), kTotal);
+}
+
 TEST(ServeStress, ShutdownWhileProducersRunCompletesEveryFuture) {
   StripeGenerator generator;
   const drc::DesignRules rules{};

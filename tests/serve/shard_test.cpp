@@ -1,0 +1,125 @@
+// Rendezvous-hash routing properties of serve::ShardMap: stability while
+// the alive set is unchanged, minimal movement when a worker dies, and the
+// retry-target semantics of owner_excluding (docs/SERVING.md).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "serve/shard.h"
+
+namespace cp::serve {
+namespace {
+
+std::uint64_t key_for(int i) {
+  // Cheap splitmix-style scramble so keys are spread over the full range.
+  std::uint64_t x = static_cast<std::uint64_t>(i) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+ShardMap all_alive(int shards) {
+  ShardMap map(shards);
+  for (int s = 0; s < shards; ++s) map.set_alive(s, true);
+  return map;
+}
+
+TEST(ShardMap, StartsAllDeadAndOwnerIsMinusOne) {
+  ShardMap map(4);
+  EXPECT_EQ(map.alive_count(), 0);
+  EXPECT_EQ(map.owner(42), -1);
+  EXPECT_EQ(map.owner_excluding(42, 0), -1);
+}
+
+TEST(ShardMap, OwnerIsStableWhileAliveSetUnchanged) {
+  const ShardMap map = all_alive(4);
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t k = key_for(i);
+    const int first = map.owner(k);
+    ASSERT_GE(first, 0);
+    ASSERT_LT(first, 4);
+    EXPECT_EQ(map.owner(k), first);  // pure function of (key, alive set)
+  }
+}
+
+TEST(ShardMap, DistributionIsRoughlyBalanced) {
+  const ShardMap map = all_alive(4);
+  std::map<int, int> counts;
+  constexpr int kKeys = 4096;
+  for (int i = 0; i < kKeys; ++i) counts[map.owner(key_for(i))]++;
+  for (int s = 0; s < 4; ++s) {
+    // Each shard should own a substantial slice (expected 25%; allow wide
+    // slack — this is a sanity check, not a statistics test).
+    EXPECT_GT(counts[s], kKeys / 8) << "shard " << s << " starved";
+    EXPECT_LT(counts[s], kKeys / 2) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardMap, DeathMovesOnlyTheDeadShardsKeys) {
+  ShardMap map = all_alive(4);
+  std::vector<int> before(512);
+  for (int i = 0; i < 512; ++i) before[static_cast<std::size_t>(i)] = map.owner(key_for(i));
+
+  map.set_alive(2, false);
+  for (int i = 0; i < 512; ++i) {
+    const int now = map.owner(key_for(i));
+    const int was = before[static_cast<std::size_t>(i)];
+    ASSERT_NE(now, 2);  // dead shards own nothing
+    if (was != 2) {
+      EXPECT_EQ(now, was) << "key " << i << " moved although its owner survived";
+    }
+  }
+}
+
+TEST(ShardMap, RevivalRestoresOriginalOwnership) {
+  ShardMap map = all_alive(4);
+  std::vector<int> before(256);
+  for (int i = 0; i < 256; ++i) before[static_cast<std::size_t>(i)] = map.owner(key_for(i));
+  map.set_alive(1, false);
+  map.set_alive(1, true);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(map.owner(key_for(i)), before[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(ShardMap, OwnerExcludingMatchesRoutingAfterDeath) {
+  // The retry target computed while the dying shard is still marked alive
+  // must equal the owner after it is actually marked dead — the front-end
+  // retries onto exactly the shard the key would land on anyway.
+  ShardMap map = all_alive(4);
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t k = key_for(i);
+    const int owner = map.owner(k);
+    const int retry = map.owner_excluding(k, owner);
+    ShardMap after = all_alive(4);
+    after.set_alive(owner, false);
+    EXPECT_EQ(retry, after.owner(k));
+    EXPECT_NE(retry, owner);
+  }
+}
+
+TEST(ShardMap, OwnerExcludingLastSurvivorIsMinusOne) {
+  ShardMap map(2);
+  map.set_alive(0, true);
+  const std::uint64_t k = key_for(7);
+  EXPECT_EQ(map.owner(k), 0);
+  EXPECT_EQ(map.owner_excluding(k, 0), -1);
+}
+
+TEST(ShardMap, SingleShardOwnsEverything) {
+  ShardMap map(1);
+  map.set_alive(0, true);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(map.owner(key_for(i)), 0);
+}
+
+TEST(ShardMap, WeightIsDeterministic) {
+  EXPECT_EQ(ShardMap::weight(123, 0), ShardMap::weight(123, 0));
+  EXPECT_NE(ShardMap::weight(123, 0), ShardMap::weight(123, 1));
+  EXPECT_NE(ShardMap::weight(123, 0), ShardMap::weight(124, 0));
+}
+
+}  // namespace
+}  // namespace cp::serve

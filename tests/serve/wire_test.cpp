@@ -1,0 +1,48 @@
+// Worker-channel line classification and internal-id rewriting
+// (serve/wire.h; docs/SERVING.md "Process architecture").
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "serve/wire.h"
+
+namespace cp::serve::wire {
+namespace {
+
+TEST(Wire, ClassifiesControlLinesByExactPrefix) {
+  EXPECT_EQ(classify_worker_line("{\"hb\":1}"), WorkerLine::kHeartbeat);
+  EXPECT_EQ(classify_worker_line("{\"hb\":123456}"), WorkerLine::kHeartbeat);
+  EXPECT_EQ(classify_worker_line("{\"ready\":true}"), WorkerLine::kReady);
+  EXPECT_EQ(classify_worker_line("{\"drained\":true}"), WorkerLine::kDrained);
+}
+
+TEST(Wire, EverythingElseIsAResult) {
+  EXPECT_EQ(classify_worker_line("{\"id\":\"s1\",\"status\":\"ok\"}"), WorkerLine::kResult);
+  // Near-misses are results, not control lines: classification is an exact
+  // prefix/equality match on worker-canonical spellings.
+  EXPECT_EQ(classify_worker_line("{\"ready\":true,\"x\":1}"), WorkerLine::kResult);
+  EXPECT_EQ(classify_worker_line("{ \"hb\":1}"), WorkerLine::kResult);
+  EXPECT_EQ(classify_worker_line(""), WorkerLine::kResult);
+}
+
+TEST(Wire, InternalIdRoundTrips) {
+  for (const std::uint64_t seq : {0ULL, 1ULL, 42ULL, 18446744073709551615ULL}) {
+    std::uint64_t parsed = 0;
+    ASSERT_TRUE(parse_internal_id(internal_id(seq), &parsed));
+    EXPECT_EQ(parsed, seq);
+  }
+}
+
+TEST(Wire, RejectsNonInternalIds) {
+  std::uint64_t seq = 0;
+  EXPECT_FALSE(parse_internal_id("", &seq));
+  EXPECT_FALSE(parse_internal_id("s", &seq));       // no digits
+  EXPECT_FALSE(parse_internal_id("x123", &seq));    // wrong tag
+  EXPECT_FALSE(parse_internal_id("s12a", &seq));    // non-digit
+  EXPECT_FALSE(parse_internal_id("client-7", &seq));
+}
+
+}  // namespace
+}  // namespace cp::serve::wire

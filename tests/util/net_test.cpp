@@ -1,0 +1,147 @@
+// POSIX socket primitives of util::net: newline framing, loopback TCP,
+// socketpair streams, nonblocking statuses and read timeouts
+// (docs/SERVING.md "Process architecture").
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "util/net.h"
+
+namespace cp::util::net {
+namespace {
+
+TEST(LineBufferTest, FramesAcrossArbitraryChunks) {
+  LineBuffer buf;
+  const std::string stream = "alpha\nbeta\r\ngam";
+  // Feed one byte at a time: framing must be independent of chunking.
+  for (const char c : stream) buf.append(&c, 1);
+  std::string line;
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "alpha");
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "beta");  // trailing \r stripped
+  EXPECT_FALSE(buf.next_line(&line));
+  EXPECT_EQ(buf.pending(), 3u);  // "gam" awaits its newline
+  buf.append("ma\n", 3);
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "gamma");
+  EXPECT_EQ(buf.pending(), 0u);
+}
+
+TEST(LineBufferTest, EmptyLinesAreLines) {
+  LineBuffer buf;
+  buf.append("\n\nx\n", 4);
+  std::string line;
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(buf.next_line(&line));
+  EXPECT_EQ(line, "x");
+}
+
+TEST(NetTest, ListenConnectEcho) {
+  int port = 0;
+  Socket listener = listen_tcp("127.0.0.1", 0, 4, &port);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_GT(port, 0);  // ephemeral port reported back
+  ASSERT_TRUE(set_nonblocking(listener.fd(), true));
+
+  std::thread client_thread([&] {
+    Socket client = connect_tcp("127.0.0.1", port, 2000);
+    ASSERT_EQ(send_all(client.fd(), "ping\n", 2000), IoStatus::kOk);
+    LineReader reader(client.fd());
+    std::string line;
+    ASSERT_EQ(reader.read_line(&line, 2000), IoStatus::kOk);
+    EXPECT_EQ(line, "pong");
+  });
+
+  Socket conn;
+  // The nonblocking accept races the connect; poll until it lands.
+  for (int i = 0; i < 100 && !conn.valid(); ++i) {
+    poll_readable(listener.fd(), 50);
+    const IoStatus st = accept_conn(listener.fd(), &conn);
+    if (st == IoStatus::kOk) break;
+    ASSERT_EQ(st, IoStatus::kAgain);
+  }
+  ASSERT_TRUE(conn.valid());
+  LineReader reader(conn.fd());
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line, 2000), IoStatus::kOk);
+  EXPECT_EQ(line, "ping");
+  ASSERT_EQ(send_all(conn.fd(), "pong\n", 2000), IoStatus::kOk);
+  client_thread.join();
+}
+
+TEST(NetTest, SocketpairCarriesLinesBothWays) {
+  auto [a, b] = socketpair_stream();
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  ASSERT_EQ(send_all(a.fd(), "{\"hb\":1}\n", 1000), IoStatus::kOk);
+  LineReader rb(b.fd());
+  std::string line;
+  ASSERT_EQ(rb.read_line(&line, 1000), IoStatus::kOk);
+  EXPECT_EQ(line, "{\"hb\":1}");
+  ASSERT_EQ(send_all(b.fd(), "{\"cmd\":\"stop\"}\n", 1000), IoStatus::kOk);
+  LineReader ra(a.fd());
+  ASSERT_EQ(ra.read_line(&line, 1000), IoStatus::kOk);
+  EXPECT_EQ(line, "{\"cmd\":\"stop\"}");
+}
+
+TEST(NetTest, ReadLineTimesOutOnSilence) {
+  auto [a, b] = socketpair_stream();
+  LineReader reader(a.fd());
+  std::string line;
+  EXPECT_EQ(reader.read_line(&line, 50), IoStatus::kTimeout);
+  (void)b;
+}
+
+TEST(NetTest, ReadLineReportsEofAfterPeerClose) {
+  auto [a, b] = socketpair_stream();
+  ASSERT_EQ(send_all(b.fd(), "last\n", 1000), IoStatus::kOk);
+  b.reset();
+  LineReader reader(a.fd());
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line, 1000), IoStatus::kOk);
+  EXPECT_EQ(line, "last");  // buffered line first
+  EXPECT_EQ(reader.read_line(&line, 1000), IoStatus::kClosed);
+}
+
+TEST(NetTest, OversizedLineIsAProtocolError) {
+  auto [a, b] = socketpair_stream();
+  const std::string big(256, 'x');
+  ASSERT_EQ(send_all(b.fd(), big, 1000), IoStatus::kOk);  // no newline yet
+  LineReader reader(a.fd(), /*max_line_bytes=*/64);
+  std::string line;
+  EXPECT_EQ(reader.read_line(&line, 1000), IoStatus::kError);
+}
+
+TEST(NetTest, NonblockingReadReportsAgain) {
+  auto [a, b] = socketpair_stream();
+  ASSERT_TRUE(set_nonblocking(a.fd(), true));
+  char buf[16];
+  std::size_t n = 0;
+  EXPECT_EQ(read_some(a.fd(), buf, sizeof(buf), &n), IoStatus::kAgain);
+  (void)b;
+}
+
+TEST(NetTest, WriteToClosedPeerIsAnErrorNotASignal) {
+  // ignore_sigpipe() must turn EPIPE into IoStatus::kError; a SIGPIPE would
+  // kill the test binary outright.
+  auto [a, b] = socketpair_stream();
+  b.reset();
+  const std::string data(1 << 16, 'y');
+  IoStatus st = IoStatus::kOk;
+  // The first write may land in the kernel buffer; keep writing until the
+  // broken pipe surfaces.
+  for (int i = 0; i < 64 && st == IoStatus::kOk; ++i) {
+    std::size_t n = 0;
+    st = write_some(a.fd(), data, &n);
+  }
+  EXPECT_EQ(st, IoStatus::kError);
+}
+
+}  // namespace
+}  // namespace cp::util::net

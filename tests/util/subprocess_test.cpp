@@ -1,0 +1,107 @@
+// fork/exec/waitpid wrappers of util (subprocess.h): spawn, reap, kill and
+// liveness — the primitives under the serving supervisor
+// (docs/SERVING.md "Process architecture").
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/subprocess.h"
+
+namespace cp::util {
+namespace {
+
+TEST(SubprocessTest, SelfExePathPointsAtARealFile) {
+  const std::string path = self_exe_path("fallback");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), '/');
+  EXPECT_NE(path, "fallback");
+}
+
+TEST(SubprocessTest, SpawnAndWaitExitCode) {
+  std::string error;
+  const pid_t ok = spawn_process({"/bin/sh", "-c", "exit 0"}, &error);
+  ASSERT_GT(ok, 0) << error;
+  EXPECT_TRUE(wait_process(ok).exited);
+
+  const pid_t fail = spawn_process({"/bin/sh", "-c", "exit 7"}, &error);
+  ASSERT_GT(fail, 0) << error;
+  const ExitStatus st = wait_process(fail);
+  EXPECT_TRUE(st.exited);
+  EXPECT_EQ(st.code, 7);
+}
+
+TEST(SubprocessTest, FailedExecExits127) {
+  std::string error;
+  const pid_t pid = spawn_process({"/no/such/binary/anywhere"}, &error);
+  ASSERT_GT(pid, 0) << error;  // fork succeeds; the exec fails in the child
+  const ExitStatus st = wait_process(pid);
+  EXPECT_TRUE(st.exited);
+  EXPECT_EQ(st.code, 127);
+}
+
+TEST(SubprocessTest, TryWaitIsNonBlocking) {
+  std::string error;
+  const pid_t pid = spawn_process({"/bin/sh", "-c", "sleep 5"}, &error);
+  ASSERT_GT(pid, 0) << error;
+  ExitStatus st;
+  EXPECT_FALSE(try_wait(pid, &st));  // still running
+  EXPECT_TRUE(process_alive(pid));
+  ASSERT_TRUE(kill_process(pid, SIGKILL));
+  const ExitStatus reaped = wait_process(pid);
+  EXPECT_TRUE(reaped.signaled);
+  EXPECT_EQ(reaped.signal, SIGKILL);
+  EXPECT_FALSE(kill_process(pid, 0));  // gone: delivery fails
+}
+
+TEST(SubprocessTest, SigstopPausesUntilSigkill) {
+  // The supervisor's answer to a wedged (SIGSTOPped) worker is SIGKILL,
+  // which frees a stopped process without SIGCONT.
+  std::string error;
+  const pid_t pid = spawn_process({"/bin/sh", "-c", "sleep 5"}, &error);
+  ASSERT_GT(pid, 0) << error;
+  ASSERT_TRUE(kill_process(pid, SIGSTOP));
+  ExitStatus st;
+  EXPECT_FALSE(try_wait(pid, &st));  // stopped, not exited
+  EXPECT_TRUE(process_alive(pid));
+  ASSERT_TRUE(kill_process(pid, SIGKILL));
+  EXPECT_EQ(wait_process(pid).signal, SIGKILL);
+}
+
+TEST(SubprocessTest, ReapAnyCollectsExitedChildren) {
+  std::string error;
+  std::vector<pid_t> pids;
+  for (int i = 0; i < 3; ++i) {
+    const pid_t pid = spawn_process({"/bin/sh", "-c", "exit 0"}, &error);
+    ASSERT_GT(pid, 0) << error;
+    pids.push_back(pid);
+  }
+  int reaped = 0;
+  for (int spin = 0; spin < 2000 && reaped < 3; ++spin) {
+    ExitStatus st;
+    if (reap_any(&st) > 0) {
+      EXPECT_TRUE(st.exited);
+      ++reaped;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(reaped, 3);
+}
+
+TEST(SubprocessTest, DescribeIsHumanReadable) {
+  ExitStatus exited;
+  exited.exited = true;
+  exited.code = 3;
+  EXPECT_NE(exited.describe().find("3"), std::string::npos);
+  ExitStatus killed;
+  killed.signaled = true;
+  killed.signal = SIGKILL;
+  EXPECT_NE(killed.describe().find("9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cp::util
