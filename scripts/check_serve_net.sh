@@ -10,6 +10,9 @@
 #   2. chaos: kill -9 one worker mid-replay — the front-end must not crash,
 #      100% of requests must still complete (retried ones degraded-or-
 #      better), and the supervisor must respawn the worker;
+#   2b. chaos: kill -9 every worker at once mid-replay — retries cascade
+#      onto already-dead shards (re-entrant worker-down handling); requests
+#      may fail but the front-end must survive and answer every line;
 #   3. chaos: SIGSTOP one worker mid-replay — the wedged worker must be
 #      detected by heartbeat silence, killed, and its in-flight requests
 #      retried on the survivor; again 0 front-end crashes, 100% completion;
@@ -30,16 +33,21 @@ PROCS=2
 LINES=24
 
 SERVER_PID=""
+# Live worker pids from state.json. Dead shards are recorded as -1: those
+# must never be treated as pids (a naive digit grep turns -1 into pid 1).
+worker_pids() {
+  [ -f "$WORKDIR/state.json" ] || return 0
+  sed -n 's/.*"workers":\[\([-0-9,]*\)\].*/\1/p' "$WORKDIR/state.json" \
+    | tr ',' '\n' | grep -v '^-' | grep . || true
+}
 cleanup() {
   if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
     kill -9 "$SERVER_PID" 2>/dev/null || true
   fi
   # Orphaned workers re-exec the same binary; sweep any we spawned.
-  if [ -f "$WORKDIR/state.json" ]; then
-    for pid in $(grep -o '"workers":\[[0-9,]*\]' "$WORKDIR/state.json" | grep -o '[0-9]*'); do
-      kill -9 "$pid" 2>/dev/null || true
-    done
-  fi
+  for pid in $(worker_pids); do
+    kill -9 "$pid" 2>/dev/null || true
+  done
 }
 trap cleanup EXIT
 
@@ -57,6 +65,7 @@ make_trace() {
 make_trace "$WORKDIR/trace_clean.ndjson" 700
 make_trace "$WORKDIR/trace_kill.ndjson" 800
 make_trace "$WORKDIR/trace_stop.ndjson" 900
+make_trace "$WORKDIR/trace_cascade.ndjson" 1000
 
 # Offline reference hash (same binary, single process, same training).
 env -u CHATPATTERN_FAULTS "$SERVE_BIN" --trace "$WORKDIR/trace_clean.ndjson" \
@@ -64,8 +73,13 @@ env -u CHATPATTERN_FAULTS "$SERVE_BIN" --trace "$WORKDIR/trace_clean.ndjson" \
 H0=$(grep -o 'combined_hash [0-9a-f]*' "$WORKDIR/offline.log" | awk '{print $2}')
 [ -n "$H0" ] || { echo "FAIL: offline replay produced no combined hash" >&2; exit 1; }
 
-# Start the multi-process front-end.
+# Start the multi-process front-end. The heartbeat timeout is raised above
+# the 2s default so a parallel-ctest CPU squeeze cannot starve a healthy
+# worker's heartbeat into a false-positive kill (which would turn retried
+# requests into worker_lost_twice failures and flake the gate); SIGSTOP
+# detection in phase 3 just takes those 5s instead of 2s.
 env -u CHATPATTERN_FAULTS "$SERVE_BIN" --listen --procs "$PROCS" --train 24 \
+  --hb-timeout-ms 5000 \
   --port-file "$WORKDIR/port.txt" --state-file "$WORKDIR/state.json" \
   --journal "$WORKDIR/ledger.cpsj" > "$WORKDIR/server.log" 2>&1 &
 SERVER_PID=$!
@@ -83,8 +97,6 @@ for _ in $(seq 1 600); do
 done
 [ "$alive" = "$PROCS" ] || { echo "FAIL: workers never became ready" >&2; exit 1; }
 PORT=$(cat "$WORKDIR/port.txt")
-
-worker_pids() { grep -o '"workers":\[[0-9,]*\]' "$WORKDIR/state.json" | grep -o '[0-9]*'; }
 
 replay() {  # replay <name> <trace>
   local name=$1 trace=$2
@@ -113,10 +125,10 @@ assert_frontend_alive() {
     exit 1
   fi
 }
-wait_workers_back() {  # wait until the supervisor has $PROCS workers alive again
+wait_workers_back() {  # wait until $PROCS workers are alive with real pids
   for _ in $(seq 1 600); do
     alive=$(grep -o '"alive":[0-9]*' "$WORKDIR/state.json" | grep -o '[0-9]*' || echo 0)
-    [ "$alive" = "$PROCS" ] && return 0
+    [ "$alive" = "$PROCS" ] && [ "$(worker_pids | wc -l)" -eq "$PROCS" ] && return 0
     sleep 0.5
   done
   echo "FAIL($1): supervisor did not restore $PROCS workers" >&2
@@ -153,6 +165,22 @@ if [ "$(count_status chaos_kill failed)" -ne 0 ]; then
   exit 1
 fi
 wait_workers_back chaos_kill
+
+# 2b. kill -9 EVERY worker at once mid-replay: the cascading-failure case.
+# Retries for the first dead shard land on the other shard, which is also
+# dead, so the retry write fails and re-enters the worker-down handler —
+# the path that used to throw std::out_of_range through the event loop.
+# Requests may legitimately fail here (no survivors); the contract is only
+# that the front-end never crashes, answers every line, and the supervisor
+# restores the fleet.
+VICTIMS=$(worker_pids)
+( sleep 0.4; for pid in $VICTIMS; do kill -9 "$pid" 2>/dev/null || true; done ) &
+KILLER=$!
+replay chaos_cascade "$WORKDIR/trace_cascade.ndjson"
+wait "$KILLER" || true
+assert_complete chaos_cascade
+assert_frontend_alive chaos_cascade
+wait_workers_back chaos_cascade
 
 # 3. SIGSTOP one worker mid-replay (wedged, not dead: heartbeat silence
 # must detect it). The supervisor's SIGKILL frees a stopped process.

@@ -159,7 +159,9 @@ RequestLedger::Recovered RequestLedger::load(const std::string& path) {
     if (kind == kAccept && len >= 1 + 8 + 8 + 4) {
       const std::uint64_t seq = get_u64(payload + 1);
       const std::uint32_t id_len = get_u32(payload + 17);
-      if (1 + 8 + 8 + 4 + id_len <= len) {
+      // len >= 21 was checked above; subtracting there cannot wrap, whereas
+      // `21 + id_len` can when id_len is near UINT32_MAX.
+      if (id_len <= len - (1 + 8 + 8 + 4)) {
         open.emplace(seq, std::string(payload + 21, id_len));
         ++out.accepted;
       }

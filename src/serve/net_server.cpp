@@ -61,7 +61,7 @@ int NetServer::run() {
   std::vector<struct pollfd> fds;
   while (!(draining_ && inflight_.empty())) {
     fds.clear();
-    {
+    if (Clock::now() >= accept_backoff_until_) {
       struct pollfd p;
       p.fd = listener_.fd();
       p.events = POLLIN;
@@ -129,7 +129,15 @@ void NetServer::accept_new() {
   for (;;) {
     util::net::Socket sock;
     const util::net::IoStatus st = util::net::accept_conn(listener_.fd(), &sock);
-    if (st != util::net::IoStatus::kOk) return;  // kAgain, or transient error
+    if (st == util::net::IoStatus::kAgain) return;
+    if (st != util::net::IoStatus::kOk) {
+      // Transient accept failure (EMFILE/ENFILE/ECONNABORTED...). The pending
+      // connection stays queued, so keeping the listener in the poll set
+      // would busy-spin; park it briefly instead.
+      obs::count("serve_net/accept_errors");
+      accept_backoff_until_ = Clock::now() + std::chrono::milliseconds(50);
+      return;
+    }
     util::net::set_cloexec(sock.fd(), true);  // workers must not inherit clients
     Conn conn;
     conn.sock = std::move(sock);
@@ -315,7 +323,12 @@ void NetServer::on_worker_down(int shard, const std::string& why) {
                 << " inflight request(s) (" << why << "); retrying on survivors";
   }
   for (const std::uint64_t seq : lost) {
-    Inflight& inf = inflight_.at(seq);
+    // A failed send_request below kills that worker and synchronously
+    // re-enters this handler, which may complete seqs the outer frame still
+    // holds — so every iteration re-resolves and tolerates absence.
+    auto it = inflight_.find(seq);
+    if (it == inflight_.end()) continue;
+    Inflight& inf = it->second;
     if (inf.retried) {
       synth_failure(seq, "worker_lost_twice");
       continue;
@@ -360,7 +373,9 @@ void NetServer::finish(std::uint64_t seq, const std::string& result_line, const 
 }
 
 void NetServer::synth_failure(std::uint64_t seq, const std::string& reason) {
-  const Inflight& inf = inflight_.at(seq);
+  auto it = inflight_.find(seq);
+  if (it == inflight_.end()) return;  // completed by a re-entrant down event
+  const Inflight& inf = it->second;
   GenerationResult result;
   result.id = inf.client_id;
   result.status = RequestStatus::kFailed;

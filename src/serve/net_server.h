@@ -131,6 +131,7 @@ class NetServer {
   std::unordered_map<std::uint64_t, Inflight> inflight_;  // ledger seq ->
   std::unordered_map<std::string, long long> tenant_inflight_;
   std::vector<long long> doomed_conns_;  // closed during this iteration
+  Clock::time_point accept_backoff_until_{};  // listener parked after accept error
   bool draining_ = false;
 };
 

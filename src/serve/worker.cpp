@@ -75,7 +75,12 @@ int run_worker(const diffusion::TopologyGenerator& generator,
     });
   }
   auto join_heartbeat = [&] {
-    stop_heartbeat.store(true);
+    {
+      // Under hb_mutex: storing without it can race the heartbeat thread
+      // between its predicate check and wait_for, losing the wakeup.
+      std::lock_guard<std::mutex> lock(hb_mutex);
+      stop_heartbeat.store(true);
+    }
     hb_cv.notify_all();
     if (heartbeat.joinable()) heartbeat.join();
   };

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "serve/ledger.h"
+#include "util/fs.h"
 
 namespace cp::serve {
 namespace {
@@ -100,6 +101,35 @@ TEST_F(LedgerTest, TornTailIsDroppedOnLoad) {
   // accept/complete pair survives.
   EXPECT_EQ(rec.accepted, 1);
   EXPECT_EQ(rec.completed, 1);
+  EXPECT_TRUE(rec.unfinished_ids.empty());
+}
+
+TEST_F(LedgerTest, HugeIdLengthInCrcValidRecordIsSkippedNotRead) {
+  // Regression: an Accept record whose id_len field claims ~4GB used to pass
+  // the bounds check via unsigned wraparound (21 + 0xFFFFFFFF == 20) and
+  // read far past the buffer. The record is CRC-valid on purpose — only the
+  // length-vs-payload consistency check can reject it.
+  const std::string journal = path("evil.cpsj");
+  {
+    RequestLedger ledger(journal);  // writes the CPSJ header record
+    ledger.flush();
+  }
+  std::string payload;
+  payload.push_back('A');                       // kAccept
+  payload.append(8, '\x01');                    // seq
+  payload.append(8, '\x02');                    // content hash
+  payload.append(4, '\xFF');                    // id_len = 0xFFFFFFFF
+  std::string frame;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.append(payload);
+  const std::uint32_t crc = util::crc32(payload);
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  std::ofstream(journal, std::ios::binary | std::ios::app) << frame;
+
+  const RequestLedger::Recovered rec = RequestLedger::load(journal);
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.accepted, 0);  // the lying record contributes nothing
   EXPECT_TRUE(rec.unfinished_ids.empty());
 }
 
